@@ -1,0 +1,88 @@
+// Ablation for the §5.2 executor design choice: evaluate predicates BEFORE visibility checks so
+// that dead versions of non-matching tuples never enter the invalidity mask.
+//
+// With the stock ordering (cheap visibility check first), every dead version a scan encounters
+// widens the mask, shrinking validity intervals and therefore cache usefulness: entries come
+// out with narrower intervals and transactions find fewer consistent versions. The paper keeps
+// the reordering because "it incurs little overhead for simple predicates".
+//
+// Expected shape: predicate-first yields equal-or-better hit rate and throughput; both stay
+// correct (the validity property tests run under both orderings).
+#include "bench/bench_common.h"
+#include "tests/test_support.h"
+
+using namespace txcache;
+using namespace txcache::bench;
+
+namespace {
+
+// Engine-level mask quality: a table where non-matching rows churn heavily. Scan queries with a
+// residual predicate see identical results under both orderings, but the stock ordering's
+// invalidity mask swallows every dead version it encounters, collapsing validity intervals.
+void EngineLevelSection() {
+  using namespace txcache::testing;
+  std::printf("\n--- engine level: scan with residual predicate over churning table ---\n");
+  std::printf("%-28s %22s %18s\n", "executor ordering", "avg validity width", "still-valid");
+  for (bool predicate_first : {true, false}) {
+    ManualClock clock;
+    Database::Options options;
+    options.predicate_before_visibility = predicate_first;
+    Database db(&clock, options);
+    CreateAccountsTable(&db);
+    // 50 stable rows that match the query; 50 churning rows that never do.
+    for (int64_t i = 0; i < 50; ++i) {
+      InsertAccount(&db, i, "stable", 100 + i);
+      InsertAccount(&db, 100 + i, "churn", 0);
+    }
+    double total_width = 0;
+    int still_valid = 0;
+    constexpr int kRounds = 40;
+    for (int round = 0; round < kRounds; ++round) {
+      UpdateBalance(&db, 100 + round % 50, round);  // churn a non-matching row
+      auto txn = db.BeginReadOnly();
+      auto r = db.Execute(txn.value(), Query::From(AccessPath::SeqScan(kAccounts))
+                                           .Where(PEq(AccountsCol::kOwner, Value("stable"))));
+      db.Commit(txn.value());
+      const Interval v = r.value().validity;
+      const Timestamp upper = v.unbounded() ? db.LatestCommitTs() + 1 : v.upper;
+      total_width += static_cast<double>(upper - v.lower);
+      still_valid += v.unbounded() ? 1 : 0;
+    }
+    std::printf("%-28s %19.1f ts %17.0f%%\n",
+                predicate_first ? "predicate-first (paper)" : "visibility-first (stock)",
+                total_width / kRounds, 100.0 * still_valid / kRounds);
+  }
+  std::printf("(wider intervals => cached entries usable by more transactions)\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("ablation_mask_order: predicate-before-visibility (paper) vs stock ordering",
+              "§5.2 design choice");
+  std::printf("%-28s %12s %12s %16s %18s\n", "executor ordering", "req/s", "hit rate",
+              "cons. misses", "inserts skipped");
+  for (bool predicate_first : {true, false}) {
+    sim::SimConfig cfg = PaperConfig(/*disk_bound=*/false, EnvScale());
+    cfg.db_options.predicate_before_visibility = predicate_first;
+    cfg.mode = ClientMode::kConsistent;
+    cfg.cache_bytes_per_node = 8 << 20;
+    sim::ClusterSim sim(cfg);
+    auto result = sim.Run();
+    if (!result.ok()) {
+      std::printf("%-28s FAILED: %s\n", predicate_first ? "predicate-first" : "stock",
+                  result.status().ToString().c_str());
+      continue;
+    }
+    const sim::SimResult& r = result.value();
+    std::printf("%-28s %12.0f %11.1f%% %16llu %18llu\n",
+                predicate_first ? "predicate-first (paper)" : "visibility-first (stock)",
+                r.throughput_rps, r.cache.hit_rate() * 100,
+                static_cast<unsigned long long>(r.cache.miss_consistency),
+                static_cast<unsigned long long>(r.clients.inserts_skipped));
+  }
+  std::printf("(RUBiS is almost entirely index-equality lookups, where the ordering cannot\n"
+              " matter — consistent with the paper's note that wildcard-prone scans are rare.)\n");
+  EngineLevelSection();
+  return 0;
+}

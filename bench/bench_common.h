@@ -1,0 +1,94 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every binary prints the same rows/series as the corresponding paper figure or table. Scale
+// knobs (dataset size, measurement window) default to values that finish in seconds; set
+// TXCACHE_BENCH_SCALE (e.g. 1.0 for paper-sized datasets) and TXCACHE_BENCH_MEASURE_S for
+// longer, higher-fidelity runs.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/sim/cluster_sim.h"
+
+namespace txcache::bench {
+
+inline double EnvScale(double fallback = 0.02) {
+  const char* s = std::getenv("TXCACHE_BENCH_SCALE");
+  return s != nullptr ? std::atof(s) : fallback;
+}
+
+inline WallClock EnvMeasure(double fallback_s = 8.0) {
+  const char* s = std::getenv("TXCACHE_BENCH_MEASURE_S");
+  return Seconds(s != nullptr ? std::atof(s) : fallback_s);
+}
+
+// Global time-scale factor: the paper's 7 s think time and 1-120 s staleness axes are scaled
+// down together (default 10x) so short simulated windows exercise the same ratios of staleness
+// to update rate. All printed axis labels are in PAPER seconds; the scaled value actually runs.
+inline double EnvTimeScale(double fallback = 0.1) {
+  const char* s = std::getenv("TXCACHE_BENCH_TIMESCALE");
+  return s != nullptr ? std::atof(s) : fallback;
+}
+
+inline WallClock ScaledStaleness(double paper_seconds) {
+  return Seconds(paper_seconds * EnvTimeScale());
+}
+
+inline const char* ModeName(ClientMode mode) {
+  switch (mode) {
+    case ClientMode::kConsistent:
+      return "TxCache";
+    case ClientMode::kNoConsistency:
+      return "No consistency";
+    case ClientMode::kNoCache:
+      return "No caching";
+  }
+  return "?";
+}
+
+// Baseline simulation configuration mirroring the paper's testbed (§8): seven web servers, two
+// dedicated cache nodes, one database, 30 s staleness limit, bidding mix.
+inline sim::SimConfig PaperConfig(bool disk_bound, double scale) {
+  sim::SimConfig cfg;
+  cfg.disk_bound = disk_bound;
+  cfg.scale = disk_bound ? rubis::RubisScale::DiskBound(scale)
+                         : rubis::RubisScale::InMemory(scale);
+  cfg.num_web_servers = 7;
+  cfg.num_cache_nodes = 2;
+  // Think time is scaled down (default 10x) so saturating client populations stay small; the
+  // offered load per client rises by the same factor, preserving the closed-loop shape.
+  cfg.think_time_mean = Seconds(7.0 * EnvTimeScale());
+  cfg.staleness = Seconds(30);  // paper default; figure binaries override per experiment
+  cfg.warmup = Seconds(8);
+  cfg.measure = EnvMeasure();
+  cfg.num_clients = disk_bound ? 400 : 1600;
+  return cfg;
+}
+
+// Measures the dataset size of a configuration (for expressing cache sizes as fractions of the
+// database, as the paper's absolute MB/GB axes do).
+inline size_t ProbeDatasetBytes(const sim::SimConfig& base) {
+  sim::SimConfig cfg = base;
+  cfg.num_clients = 1;
+  cfg.warmup = Seconds(0);
+  cfg.measure = Millis(1);
+  sim::ClusterSim sim(cfg);
+  auto r = sim.Run();
+  return r.ok() ? r.value().db_bytes : 0;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("scale=%.3f (TXCACHE_BENCH_SCALE), measure=%.1fs (TXCACHE_BENCH_MEASURE_S)\n",
+              EnvScale(), ToSeconds(EnvMeasure()));
+  std::printf("================================================================\n");
+}
+
+}  // namespace txcache::bench
+
+#endif  // BENCH_BENCH_COMMON_H_

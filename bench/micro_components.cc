@@ -1,0 +1,289 @@
+// Component microbenchmarks (google-benchmark): interval algebra, serialization, consistent
+// hashing, cache server operations, database access paths, pincushion round trips, and the
+// pin-set operations of the client library.
+//
+// Includes the §5.4 claim ("nearly all pincushion requests received a response in under
+// 0.2 ms") and the DESIGN.md ablation of bounds-only vs exact pin-set filtering.
+#include <benchmark/benchmark.h>
+
+#include "src/cache/cache_server.h"
+#include "src/cluster/consistent_hash.h"
+#include "src/core/pin_set.h"
+#include "src/db/database.h"
+#include "src/pincushion/pincushion.h"
+#include "src/util/rng.h"
+#include "src/util/serde.h"
+#include "tests/test_support.h"
+
+namespace txcache {
+namespace {
+
+using namespace txcache::testing;
+
+// --- interval algebra ---
+
+void BM_IntervalSetAdd(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Interval> intervals;
+  for (int i = 0; i < 256; ++i) {
+    Timestamp lo = static_cast<Timestamp>(rng.Uniform(0, 100000));
+    intervals.push_back({lo, lo + static_cast<Timestamp>(rng.Uniform(1, 500))});
+  }
+  for (auto _ : state) {
+    IntervalSet s;
+    for (const Interval& iv : intervals) {
+      s.Add(iv);
+    }
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_IntervalSetAdd);
+
+void BM_IntervalMaximalGap(benchmark::State& state) {
+  IntervalSet s;
+  Rng rng(2);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    Timestamp lo = static_cast<Timestamp>(rng.Uniform(0, 1000000));
+    s.Add({lo, lo + 50});
+  }
+  Timestamp t = 500'000;
+  while (s.Contains(t)) {
+    ++t;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.MaximalGapAround(t, Interval::All()));
+  }
+}
+BENCHMARK(BM_IntervalMaximalGap)->Arg(16)->Arg(256)->Arg(4096);
+
+// --- serialization (cache keys / values) ---
+
+void BM_SerdeCacheKey(benchmark::State& state) {
+  for (auto _ : state) {
+    Writer w;
+    w.PutString("rubis.page.view_item");
+    SerializeValue(w, int64_t{123456});
+    SerializeValue(w, std::string("second-arg"));
+    benchmark::DoNotOptimize(w.Take());
+  }
+}
+BENCHMARK(BM_SerdeCacheKey);
+
+void BM_SerdeRowRoundtrip(benchmark::State& state) {
+  Row row{Value(int64_t{1}), Value("nickname"), Value(3.5), Value(int64_t{42}),
+          Value(std::string(200, 'd'))};
+  for (auto _ : state) {
+    auto decoded = DecodeRow(EncodeRow(row));
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_SerdeRowRoundtrip);
+
+// --- consistent hashing ---
+
+void BM_ConsistentHashLookup(benchmark::State& state) {
+  ConsistentHashRing ring(64);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    ring.AddNode("node-" + std::to_string(i));
+  }
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.NodeForKey(key++));
+  }
+}
+BENCHMARK(BM_ConsistentHashLookup)->Arg(2)->Arg(8)->Arg(64);
+
+// --- cache server ---
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  ManualClock clock;
+  CacheServer server("bench", &clock);
+  Rng rng(3);
+  constexpr int kKeys = 10'000;
+  for (int i = 0; i < kKeys; ++i) {
+    InsertRequest req;
+    req.key = "key-" + std::to_string(i);
+    req.value = std::string(128, 'v');
+    req.interval = {10, kTimestampInfinity};
+    req.computed_at = 10;
+    req.tags = {InvalidationTag::Concrete("t", "i", std::to_string(i))};
+    server.Insert(req);
+  }
+  LookupRequest req;
+  req.bounds_lo = 10;
+  req.bounds_hi = 10;
+  for (auto _ : state) {
+    req.key = "key-" + std::to_string(rng.Uniform(0, kKeys - 1));
+    benchmark::DoNotOptimize(server.Lookup(req));
+  }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void BM_CacheInsert(benchmark::State& state) {
+  ManualClock clock;
+  CacheServer::Options options;
+  options.capacity_bytes = 64 << 20;
+  CacheServer server("bench", &clock, options);
+  int64_t i = 0;
+  for (auto _ : state) {
+    InsertRequest req;
+    req.key = "key-" + std::to_string(i++);
+    req.value = std::string(128, 'v');
+    req.interval = {10, 20};
+    server.Insert(req);
+  }
+}
+BENCHMARK(BM_CacheInsert);
+
+void BM_CacheInvalidation(benchmark::State& state) {
+  // Applies one invalidation message against a cache holding `range` still-valid entries per
+  // tag bucket.
+  ManualClock clock;
+  CacheServer server("bench", &clock);
+  uint64_t seqno = 1;
+  Timestamp ts = 100;
+  for (auto _ : state) {
+    state.PauseTiming();
+    server.Flush();
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+      InsertRequest req;
+      req.key = "key-" + std::to_string(i);
+      req.value = "v";
+      req.interval = {ts - 50, kTimestampInfinity};
+      req.computed_at = ts - 50;
+      req.tags = {InvalidationTag::Concrete("t", "i", "hot")};
+      server.Insert(req);
+    }
+    InvalidationMessage msg;
+    msg.seqno = seqno++;
+    msg.ts = ts++;
+    msg.tags = {InvalidationTag::Concrete("t", "i", "hot")};
+    state.ResumeTiming();
+    server.Deliver(msg);
+  }
+}
+BENCHMARK(BM_CacheInvalidation)->Arg(1)->Arg(64);
+
+// --- database access paths ---
+
+class DbFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const ::benchmark::State&) override {
+    clock_ = std::make_unique<ManualClock>();
+    db_ = std::make_unique<Database>(clock_.get());
+    CreateAccountsTable(db_.get());
+    TxnId txn = db_->BeginReadWrite();
+    for (int64_t i = 0; i < 20'000; ++i) {
+      db_->Insert(txn, kAccounts, Account(i, "owner" + std::to_string(i % 499), i % 1000,
+                                          i % 63));
+    }
+    db_->Commit(txn);
+  }
+  void TearDown(const ::benchmark::State&) override {
+    db_.reset();
+    clock_.reset();
+  }
+
+  std::unique_ptr<ManualClock> clock_;
+  std::unique_ptr<Database> db_;
+};
+
+BENCHMARK_F(DbFixture, BM_DbPointLookup)(benchmark::State& state) {
+  auto txn = db_->BeginReadOnly();
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db_->Execute(txn.value(), AccountById(rng.Uniform(0, 19'999))));
+  }
+  db_->Commit(txn.value());
+}
+
+BENCHMARK_F(DbFixture, BM_DbSecondaryIndexScan)(benchmark::State& state) {
+  auto txn = db_->BeginReadOnly();
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db_->Execute(
+        txn.value(), Query::From(AccessPath::IndexEq(
+                         kAccounts, kAccountsByOwner,
+                         Row{Value("owner" + std::to_string(rng.Uniform(0, 498)))}))));
+  }
+  db_->Commit(txn.value());
+}
+
+BENCHMARK_F(DbFixture, BM_DbUpdateCommit)(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    TxnId txn = db_->BeginReadWrite();
+    db_->Update(txn, kAccounts, AccountById(rng.Uniform(0, 19'999)).from, nullptr,
+                {{AccountsCol::kBalance, Value(rng.Uniform(0, 999))}});
+    benchmark::DoNotOptimize(db_->Commit(txn));
+  }
+}
+
+BENCHMARK_F(DbFixture, BM_DbVacuum)(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    TxnId txn = db_->BeginReadWrite();
+    for (int64_t i = 0; i < 512; ++i) {
+      db_->Update(txn, kAccounts, AccountById(i * 7 % 20'000).from, nullptr,
+                  {{AccountsCol::kBalance, Value(i)}});
+    }
+    db_->Commit(txn);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(db_->Vacuum());
+  }
+}
+
+// --- pincushion (§5.4: sub-0.2 ms responses) ---
+
+void BM_PincushionRoundTrip(benchmark::State& state) {
+  ManualClock clock;
+  Database db(&clock);
+  CreateAccountsTable(&db);
+  InsertAccount(&db, 1, "a", 1);
+  Pincushion pincushion(&db, &clock);
+  for (int i = 0; i < 20; ++i) {
+    PinnedSnapshot snap = db.Pin();
+    pincushion.Register(PinInfo{snap.ts, snap.wallclock});
+  }
+  for (auto _ : state) {
+    auto pins = pincushion.AcquireFreshPins(Seconds(30));
+    pincushion.Release(pins);
+    benchmark::DoNotOptimize(pins);
+  }
+}
+BENCHMARK(BM_PincushionRoundTrip);
+
+// --- pin set: bounds-only vs exact narrowing (DESIGN.md ablation) ---
+
+void BM_PinSetNarrowExact(benchmark::State& state) {
+  std::vector<PinInfo> pins;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    pins.push_back(PinInfo{static_cast<Timestamp>(10 + i), 0});
+  }
+  for (auto _ : state) {
+    PinSet set;
+    set.Reset(pins, true);
+    benchmark::DoNotOptimize(set.NarrowTo(Interval{12, 10 + pins.size()}));
+  }
+}
+BENCHMARK(BM_PinSetNarrowExact)->Arg(4)->Arg(64);
+
+void BM_PinSetBoundsOnly(benchmark::State& state) {
+  std::vector<PinInfo> pins;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    pins.push_back(PinInfo{static_cast<Timestamp>(10 + i), 0});
+  }
+  PinSet set;
+  set.Reset(pins, true);
+  for (auto _ : state) {
+    Interval bounds{set.BoundsLo(), set.BoundsHi()};
+    benchmark::DoNotOptimize(bounds.Overlaps(Interval{12, 10 + pins.size()}));
+  }
+}
+BENCHMARK(BM_PinSetBoundsOnly)->Arg(4)->Arg(64);
+
+}  // namespace
+}  // namespace txcache
+
+BENCHMARK_MAIN();

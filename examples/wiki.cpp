@@ -1,0 +1,184 @@
+// A miniature MediaWiki-style application ported to TxCache, following the paper's §7.2 notes:
+//
+//   * article rendering cached as a function of (title, revision-independent): the dominant
+//     read path, invalidated automatically on edit;
+//   * a localization cache: interface messages scanned once and cached (wildcard-tagged, so a
+//     message edit invalidates it — rare);
+//   * the user-object trap the paper describes: MediaWiki cached each user's edit count inside
+//     the USER object and *forgot to invalidate it on edit* (bug #8391). With TxCache the
+//     dependency is tracked automatically — no developer reasoning required.
+//
+// Run: ./build/examples/wiki
+#include <cstdio>
+
+#include "src/core/cacheable_function.h"
+#include "src/core/txcache_client.h"
+
+using namespace txcache;
+
+namespace {
+
+struct ArticleCols {
+  enum : ColumnId { kId, kTitle, kBody, kRevision, kLastEditor, kCount };
+};
+struct UserCols {
+  enum : ColumnId { kId, kName, kEditCount, kCount };
+};
+struct MessageCols {
+  enum : ColumnId { kKey, kText, kCount };
+};
+
+struct RenderedPage {
+  std::string html;
+  template <typename F>
+  void ForEachField(F&& f) {
+    f(html);
+  }
+  template <typename F>
+  void ForEachField(F&& f) const {
+    f(html);
+  }
+};
+
+struct UserCard {
+  std::string name;
+  int64_t edit_count = 0;
+  template <typename F>
+  void ForEachField(F&& f) {
+    f(name), f(edit_count);
+  }
+  template <typename F>
+  void ForEachField(F&& f) const {
+    f(name), f(edit_count);
+  }
+};
+
+}  // namespace
+
+int main() {
+  SystemClock clock;
+  Database db(&clock);
+  InvalidationBus bus;
+  db.set_invalidation_bus(&bus);
+  CacheServer cache("wiki-cache", &clock);
+  bus.Subscribe(&cache);
+  CacheCluster cluster;
+  cluster.AddNode(&cache);
+  Pincushion pincushion(&db, &clock);
+
+  // --- schema ---
+  db.CreateTable(TableSchema{"articles",
+                             {{"id", ValueType::kInt, false},
+                              {"title", ValueType::kString, false},
+                              {"body", ValueType::kString, false},
+                              {"revision", ValueType::kInt, false},
+                              {"last_editor", ValueType::kInt, false}}});
+  db.CreateIndex(IndexSchema{"articles_pk", "articles", {ArticleCols::kId}, true});
+  db.CreateIndex(IndexSchema{"articles_by_title", "articles", {ArticleCols::kTitle}, true});
+  db.CreateTable(TableSchema{"wiki_users",
+                             {{"id", ValueType::kInt, false},
+                              {"name", ValueType::kString, false},
+                              {"edit_count", ValueType::kInt, false}}});
+  db.CreateIndex(IndexSchema{"wiki_users_pk", "wiki_users", {UserCols::kId}, true});
+  db.CreateTable(TableSchema{"messages",
+                             {{"key", ValueType::kString, false},
+                              {"text", ValueType::kString, false}}});
+  db.CreateIndex(IndexSchema{"messages_pk", "messages", {MessageCols::kKey}, true});
+
+  {
+    TxnId txn = db.BeginReadWrite();
+    db.Insert(txn, "articles",
+              Row{Value(1), Value("TxCache"), Value("A transactional cache."), Value(1),
+                  Value(100)});
+    db.Insert(txn, "wiki_users", Row{Value(100), Value("Alice"), Value(41)});
+    db.Insert(txn, "messages", Row{Value("sidebar"), Value("Main page | Random | Help")});
+    db.Insert(txn, "messages", Row{Value("footer"), Value("Content is available under CC.")});
+    db.Commit(txn);
+  }
+
+  TxCacheClient client(&db, &pincushion, &cluster, &clock);
+
+  // Localization cache: the paper notes MediaWiki already caches message translations; here it
+  // is one cacheable function over a sequential scan (wildcard tag on `messages`).
+  auto messages = client.MakeCacheable<std::vector<std::string>>("wiki.messages", [&] {
+    std::vector<std::string> out;
+    auto r = client.ExecuteQuery(
+        Query::From(AccessPath::SeqScan("messages")).SortBy(MessageCols::kKey));
+    if (r.ok()) {
+      for (const Row& row : r.value().rows) {
+        out.push_back(row[MessageCols::kText].AsString());
+      }
+    }
+    return out;
+  });
+
+  // The USER object with its edit count — the exact object from MediaWiki bug #8391.
+  auto user_card = client.MakeCacheable<UserCard, int64_t>("wiki.user", [&](int64_t id) {
+    UserCard card;
+    auto r = client.ExecuteQuery(
+        Query::From(AccessPath::IndexEq("wiki_users", "wiki_users_pk", Row{Value(id)})));
+    if (r.ok() && !r.value().rows.empty()) {
+      card.name = r.value().rows[0][UserCols::kName].AsString();
+      card.edit_count = r.value().rows[0][UserCols::kEditCount].AsInt();
+    }
+    return card;
+  });
+
+  // Article rendering: nested cacheable calls (messages + user card inside the page).
+  auto render = client.MakeCacheable<RenderedPage, std::string>(
+      "wiki.render", [&](const std::string& title) {
+        RenderedPage page;
+        auto r = client.ExecuteQuery(Query::From(
+            AccessPath::IndexEq("articles", "articles_by_title", Row{Value(title)})));
+        if (!r.ok() || r.value().rows.empty()) {
+          page.html = "<h1>No such article</h1>";
+          return page;
+        }
+        const Row& article = r.value().rows[0];
+        UserCard editor = user_card(article[ArticleCols::kLastEditor].AsInt());
+        std::string chrome;
+        for (const std::string& m : messages()) {
+          chrome += "<nav>" + m + "</nav>";
+        }
+        page.html = chrome + "<h1>" + title + "</h1><p>" +
+                    article[ArticleCols::kBody].AsString() + "</p><footer>rev " +
+                    std::to_string(article[ArticleCols::kRevision].AsInt()) + ", last edit by " +
+                    editor.name + " (" + std::to_string(editor.edit_count) +
+                    " edits)</footer>";
+        return page;
+      });
+
+  auto show = [&](const char* label) {
+    client.BeginRO(Seconds(0));
+    RenderedPage p = render("TxCache");
+    UserCard alice = user_card(100);
+    client.Commit();
+    std::printf("%-28s %s\n", label, p.html.c_str());
+    std::printf("%-28s Alice has %lld edits\n", "", (long long)alice.edit_count);
+  };
+
+  show("initial render (cold):");
+  show("second render (cached):");
+  const ClientStats& s1 = client.stats();
+  std::printf("--> hits so far: %llu, db queries: %llu\n\n", (unsigned long long)s1.cache_hits,
+              (unsigned long long)s1.db_queries);
+
+  // Edit the article. In MediaWiki this required remembering to invalidate the page AND the
+  // user object; here the database's invalidation tags handle both.
+  client.BeginRW();
+  client.Update("articles",
+                AccessPath::IndexEq("articles", "articles_by_title", Row{Value("TxCache")}),
+                nullptr,
+                {{ArticleCols::kBody, Value("A transactional, self-invalidating cache.")},
+                 {ArticleCols::kRevision, Value(2)}});
+  client.Update("wiki_users",
+                AccessPath::IndexEq("wiki_users", "wiki_users_pk", Row{Value(int64_t{100})}),
+                nullptr, {{UserCols::kEditCount, Value(42)}});
+  client.Commit();
+  std::printf("=== Alice edits the article (one read/write transaction) ===\n\n");
+
+  show("render after edit:");
+  std::printf("\nNo explicit invalidation anywhere in this file: the edit's invalidation tags\n"
+              "truncated the article page AND the cached user object (the bug-#8391 case).\n");
+  return 0;
+}

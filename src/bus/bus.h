@@ -1,0 +1,78 @@
+// In-process stand-in for the reliable application-level multicast the paper uses (Census) to
+// carry the invalidation stream from the database to every cache node.
+//
+// The bus assigns contiguous sequence numbers at publish time (the database publishes while
+// holding its commit lock, so seqno order == commit-timestamp order). Delivery is pluggable: by
+// default messages are handed to subscribers synchronously, but the simulator installs a
+// delivery hook that routes each (subscriber, message) pair through the event queue with
+// per-link latency — including out-of-order delivery in fault-injection tests, which the cache
+// node's reorder buffer must absorb.
+#ifndef SRC_BUS_BUS_H_
+#define SRC_BUS_BUS_H_
+
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "src/bus/invalidation.h"
+
+namespace txcache {
+
+class InvalidationSubscriber {
+ public:
+  virtual ~InvalidationSubscriber() = default;
+  virtual void Deliver(const InvalidationMessage& msg) = 0;
+};
+
+class InvalidationBus {
+ public:
+  // fn(subscriber, msg): responsible for eventually calling subscriber->Deliver(msg).
+  using DeliveryHook =
+      std::function<void(InvalidationSubscriber* subscriber, const InvalidationMessage& msg)>;
+
+  void Subscribe(InvalidationSubscriber* subscriber) {
+    std::lock_guard<std::mutex> lock(mu_);
+    subscribers_.push_back(subscriber);
+  }
+
+  void SetDeliveryHook(DeliveryHook hook) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook_ = std::move(hook);
+  }
+
+  // Stamps the message with the next sequence number and delivers it to every subscriber.
+  // Returns the assigned seqno.
+  uint64_t Publish(InvalidationMessage msg) {
+    std::vector<InvalidationSubscriber*> subs;
+    DeliveryHook hook;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      msg.seqno = next_seqno_++;
+      subs = subscribers_;
+      hook = hook_;
+    }
+    for (InvalidationSubscriber* s : subs) {
+      if (hook) {
+        hook(s, msg);
+      } else {
+        s->Deliver(msg);
+      }
+    }
+    return msg.seqno;
+  }
+
+  uint64_t next_seqno() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_seqno_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_seqno_ = 1;
+  std::vector<InvalidationSubscriber*> subscribers_;
+  DeliveryHook hook_;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_BUS_BUS_H_

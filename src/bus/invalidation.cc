@@ -1,0 +1,31 @@
+#include "src/bus/invalidation.h"
+
+#include <sstream>
+
+namespace txcache {
+namespace {
+
+// Keys are serialized bytes; render non-printable characters as \xNN for logs and tests.
+std::string EscapeKey(const std::string& key) {
+  std::ostringstream os;
+  for (char c : key) {
+    if (c >= 0x20 && c < 0x7f && c != '\\') {
+      os << c;
+    } else {
+      static const char* kHex = "0123456789abcdef";
+      os << "\\x" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string InvalidationTag::ToString() const {
+  if (wildcard) {
+    return table + ":?";
+  }
+  return table + ":" + index + "=" + EscapeKey(key);
+}
+
+}  // namespace txcache

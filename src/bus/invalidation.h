@@ -1,0 +1,66 @@
+// Invalidation tags and the invalidation-stream message format (paper §4.2, §5.3).
+//
+// A tag names a database dependency at one of two granularities:
+//   * concrete:  TABLE:INDEX=KEY — "the set of tuples in TABLE with KEY in INDEX"
+//   * wildcard:  TABLE:?         — "anything in TABLE"
+// The database attaches tags to query results (based on the access methods the executor used)
+// and, at commit time of a read/write transaction, emits one InvalidationMessage carrying the
+// transaction's commit timestamp and every tag it affected. Cache nodes apply messages in
+// timestamp order, truncating the validity interval of matching still-valid entries.
+#ifndef SRC_BUS_INVALIDATION_H_
+#define SRC_BUS_INVALIDATION_H_
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/util/hash.h"
+#include "src/util/types.h"
+
+namespace txcache {
+
+struct InvalidationTag {
+  std::string table;
+  std::string index;  // empty iff wildcard
+  std::string key;    // serialized index key; empty iff wildcard
+  bool wildcard = false;
+
+  static InvalidationTag Concrete(std::string table, std::string index, std::string key) {
+    return InvalidationTag{std::move(table), std::move(index), std::move(key), false};
+  }
+  static InvalidationTag Wildcard(std::string table) {
+    return InvalidationTag{std::move(table), "", "", true};
+  }
+
+  bool operator==(const InvalidationTag& o) const = default;
+  bool operator<(const InvalidationTag& o) const {
+    return std::tie(table, wildcard, index, key) < std::tie(o.table, o.wildcard, o.index, o.key);
+  }
+
+  uint64_t Hash() const {
+    uint64_t h = Fnv1a(table);
+    h = Fnv1a(index, h);
+    h = Fnv1a(key, h);
+    return Mix64(h ^ (wildcard ? 0x9e3779b97f4a7c15ull : 0));
+  }
+
+  // Human-readable form, e.g. "users:idx_users_id=\x07" or "items:?".
+  std::string ToString() const;
+};
+
+struct TagHasher {
+  size_t operator()(const InvalidationTag& t) const { return static_cast<size_t>(t.Hash()); }
+};
+
+// One entry in the invalidation stream: all tags affected by a single update transaction.
+struct InvalidationMessage {
+  uint64_t seqno = 0;  // assigned by the bus; contiguous per stream
+  Timestamp ts = kTimestampZero;
+  WallClock wallclock = 0;
+  std::vector<InvalidationTag> tags;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_BUS_INVALIDATION_H_

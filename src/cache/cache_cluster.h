@@ -1,0 +1,108 @@
+// A fleet of cache servers addressed through consistent hashing (paper §4): every application
+// node holds the full node list and maps keys directly to the owning server.
+#ifndef SRC_CACHE_CACHE_CLUSTER_H_
+#define SRC_CACHE_CACHE_CLUSTER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/cache_server.h"
+#include "src/cluster/consistent_hash.h"
+
+namespace txcache {
+
+class CacheCluster {
+ public:
+  explicit CacheCluster(size_t virtual_nodes_per_node = 64) : ring_(virtual_nodes_per_node) {}
+
+  // The cluster does not own servers; callers keep them alive.
+  bool AddNode(CacheServer* server) {
+    if (!ring_.AddNode(server->name())) {
+      return false;
+    }
+    servers_[server->name()] = server;
+    return true;
+  }
+
+  bool RemoveNode(const std::string& name) {
+    if (!ring_.RemoveNode(name)) {
+      return false;
+    }
+    servers_.erase(name);
+    return true;
+  }
+
+  Result<CacheServer*> NodeForKey(const std::string& key) const {
+    auto name_or = ring_.NodeForKey(key);
+    if (!name_or.ok()) {
+      return name_or.status();
+    }
+    auto it = servers_.find(name_or.value());
+    if (it == servers_.end()) {
+      return Status::Internal("ring references unknown node");
+    }
+    return it->second;
+  }
+
+  size_t node_count() const { return servers_.size(); }
+
+  std::vector<CacheServer*> Nodes() const {
+    std::vector<CacheServer*> out;
+    out.reserve(servers_.size());
+    for (const auto& [_, server] : servers_) {
+      out.push_back(server);
+    }
+    return out;
+  }
+
+  CacheStats TotalStats() const {
+    CacheStats total;
+    for (const auto& [_, server] : servers_) {
+      CacheStats s = server->stats();
+      total.lookups += s.lookups;
+      total.hits += s.hits;
+      total.miss_compulsory += s.miss_compulsory;
+      total.miss_staleness += s.miss_staleness;
+      total.miss_capacity += s.miss_capacity;
+      total.miss_consistency += s.miss_consistency;
+      total.inserts += s.inserts;
+      total.duplicate_inserts += s.duplicate_inserts;
+      total.invalidation_messages += s.invalidation_messages;
+      total.invalidation_truncations += s.invalidation_truncations;
+      total.insert_time_truncations += s.insert_time_truncations;
+      total.evictions_lru += s.evictions_lru;
+      total.evictions_stale += s.evictions_stale;
+      total.reorder_buffered += s.reorder_buffered;
+    }
+    return total;
+  }
+
+  void FlushAll() {
+    for (const auto& [_, server] : servers_) {
+      server->Flush();
+    }
+  }
+
+  void ResetStatsAll() {
+    for (const auto& [_, server] : servers_) {
+      server->ResetStats();
+    }
+  }
+
+  size_t TotalBytesUsed() const {
+    size_t n = 0;
+    for (const auto& [_, server] : servers_) {
+      n += server->bytes_used();
+    }
+    return n;
+  }
+
+ private:
+  ConsistentHashRing ring_;
+  std::unordered_map<std::string, CacheServer*> servers_;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_CACHE_CACHE_CLUSTER_H_

@@ -1,0 +1,152 @@
+// The versioned cache server (paper §4).
+//
+// Each key maps to a chain of versions with pairwise-disjoint validity intervals. A version
+// whose interval is unbounded is "still valid": it is registered in the tag index and will be
+// truncated when a matching invalidation-stream message arrives. Lookups carry a timestamp
+// range (the caller's pin-set bounds) and return the most recent version whose interval
+// intersects it.
+//
+// Invalidation stream: messages are applied strictly in sequence-number order; out-of-order
+// deliveries wait in a reorder buffer. For still-valid entries, the effective upper bound at
+// lookup time is the timestamp of the last applied invalidation, which closes the
+// insert/invalidate race the paper describes (§4.2). A bounded history of recent invalidations
+// per tag lets late inserts (value computed before an invalidation was applied) be truncated
+// correctly at insert time.
+//
+// Eviction: least-recently-used across versions, plus eager eviction of versions whose
+// invalidation happened longer ago than the maximum staleness any transaction could accept.
+#ifndef SRC_CACHE_CACHE_SERVER_H_
+#define SRC_CACHE_CACHE_SERVER_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/bus/bus.h"
+#include "src/cache/cache_types.h"
+#include "src/util/clock.h"
+#include "src/util/status.h"
+
+namespace txcache {
+
+class CacheServer : public InvalidationSubscriber {
+ public:
+  struct Options {
+    size_t capacity_bytes = 64 << 20;
+    // Versions invalidated more than this long ago (wall clock) cannot satisfy any transaction
+    // and are eagerly evicted. Matches the largest staleness limit the deployment uses.
+    WallClock max_staleness = Seconds(120);
+    // How many commit timestamps of per-tag invalidation history to retain for insert-time
+    // replay. Inserts whose computed_at is older than the retained floor have their still-valid
+    // claim truncated conservatively.
+    Timestamp history_retention = 100'000;
+    // Run the staleness sweep every this many mutating operations.
+    uint64_t sweep_interval_ops = 2048;
+  };
+
+  CacheServer(std::string name, const Clock* clock) : CacheServer(std::move(name), clock, Options{}) {}
+  CacheServer(std::string name, const Clock* clock, Options options);
+  ~CacheServer() override;
+
+  CacheServer(const CacheServer&) = delete;
+  CacheServer& operator=(const CacheServer&) = delete;
+
+  LookupResponse Lookup(const LookupRequest& req);
+  Status Insert(const InsertRequest& req);
+
+  // InvalidationSubscriber: called by the bus (possibly out of order in tests/simulation).
+  void Deliver(const InvalidationMessage& msg) override;
+
+  // Drops all cached data (not the stream position). Used between benchmark runs.
+  void Flush();
+
+  // Cache warm-up via snapshots (paper §8: "we ensured the cache was warm by restoring its
+  // contents from a snapshot"). The snapshot serializes every resident version (values,
+  // intervals, tags, computed_at) plus the stream position; importing replays each entry
+  // through the normal Insert path so invalidation-history checks still apply.
+  std::string ExportSnapshot() const;
+  Status ImportSnapshot(const std::string& snapshot);
+
+  const std::string& name() const { return name_; }
+  CacheStats stats() const;
+  void ResetStats();
+  size_t bytes_used() const;
+  size_t version_count() const;
+  size_t key_count() const;
+  Timestamp last_invalidation_ts() const;
+
+ private:
+  struct Version {
+    Interval interval;                      // truncated in place by invalidations
+    Timestamp known_valid_through = kTimestampZero;  // max(lower, computed_at)
+    bool still_valid = false;
+    std::string value;
+    std::vector<InvalidationTag> tags;      // registered in tag index iff still_valid
+    WallClock invalidated_wallclock = 0;    // set when truncated
+    size_t bytes = 0;
+    const std::string* key = nullptr;       // points at the map node's key (stable)
+    std::list<Version*>::iterator lru_it;   // position in lru_
+  };
+
+  struct KeyEntry {
+    // Sorted by interval.lower; intervals pairwise disjoint.
+    std::vector<std::unique_ptr<Version>> versions;
+    bool ever_inserted = false;
+  };
+
+  // All helpers assume mu_ is held.
+  void ApplyLocked(const InvalidationMessage& msg);
+  void TruncateLocked(Version* v, Timestamp ts, WallClock wallclock);
+  void RegisterTagsLocked(Version* v);
+  void UnregisterTagsLocked(Version* v);
+  void RemoveVersionLocked(Version* v);
+  void TouchLocked(Version* v);
+  void EvictToFitLocked();
+  void SweepStaleLocked();
+  void RecordHistoryLocked(const InvalidationMessage& msg);
+  // Earliest invalidation affecting `tags` with timestamp > after; kTimestampInfinity if none.
+  Timestamp EarliestInvalidationAfterLocked(const std::vector<InvalidationTag>& tags,
+                                            Timestamp after) const;
+  Timestamp EffectiveUpperLocked(const Version& v) const;
+
+  const std::string name_;
+  const Clock* clock_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, KeyEntry> map_;
+  std::list<Version*> lru_;  // front = most recently used
+  size_t bytes_used_ = 0;
+  size_t version_count_ = 0;
+
+  // Still-valid version registry: concrete tag -> versions carrying it; table -> versions
+  // carrying any tag of that table (serves wildcard invalidation messages); table -> versions
+  // holding a wildcard tag on that table (invalidated by any message touching the table).
+  std::unordered_map<InvalidationTag, std::unordered_set<Version*>, TagHasher> tag_index_;
+  std::unordered_map<std::string, std::unordered_set<Version*>> table_index_;
+  std::unordered_map<std::string, std::unordered_set<Version*>> wildcard_holders_;
+
+  // Invalidation stream state.
+  uint64_t next_expected_seqno_ = 1;
+  std::map<uint64_t, InvalidationMessage> reorder_buffer_;
+  Timestamp last_invalidation_ts_ = kTimestampZero;
+
+  // Recent invalidation history for insert-time replay: per concrete tag, per table (wildcard
+  // messages), and per table (any message touching the table).
+  std::unordered_map<InvalidationTag, std::vector<Timestamp>, TagHasher> tag_history_;
+  std::unordered_map<std::string, std::vector<Timestamp>> table_wildcard_history_;
+  std::unordered_map<std::string, std::vector<Timestamp>> table_any_history_;
+  Timestamp history_floor_ = kTimestampZero;  // history below this has been pruned
+
+  uint64_t ops_since_sweep_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_CACHE_CACHE_SERVER_H_

@@ -1,0 +1,87 @@
+// Wire-level request/response types and statistics for the cache server.
+#ifndef SRC_CACHE_CACHE_TYPES_H_
+#define SRC_CACHE_CACHE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/bus/invalidation.h"
+#include "src/util/interval.h"
+#include "src/util/types.h"
+
+namespace txcache {
+
+// LOOKUP: find the most recent version of `key` whose validity interval intersects
+// [bounds_lo, bounds_hi] — the bounds of the caller's pin set (§6.2). `fresh_lo` is the oldest
+// timestamp the caller's staleness limit would accept; it is used only to classify misses
+// (consistency vs staleness, §8.3), never to widen matches.
+struct LookupRequest {
+  std::string key;
+  Timestamp bounds_lo = kTimestampZero;
+  Timestamp bounds_hi = kTimestampInfinity;  // kTimestampInfinity when * is in the pin set
+  Timestamp fresh_lo = kTimestampZero;
+};
+
+enum class MissKind : uint8_t {
+  kNone = 0,     // hit
+  kCompulsory,   // key never inserted
+  kStaleness,    // versions exist but all are older than the staleness limit
+  kCapacity,     // key was present but every version has been evicted
+  kConsistency,  // a sufficiently fresh version exists but is inconsistent with the pin set
+};
+
+const char* MissKindName(MissKind kind);
+
+struct LookupResponse {
+  bool hit = false;
+  MissKind miss = MissKind::kNone;
+  std::string value;
+  // Effective validity interval of the returned version. For still-valid entries the upper
+  // bound is the timestamp of the last invalidation applied before this lookup (§4.2), so the
+  // interval is always concrete and race-free.
+  Interval interval;
+  bool still_valid = false;
+  // Dependency tags of a still-valid hit. A cacheable function that consumed this value
+  // inherits them, so its own cached result is invalidated when this one would be (§6.3).
+  std::vector<InvalidationTag> tags;
+};
+
+// PUT: store the result of a cacheable-function call. `computed_at` is the snapshot the value
+// was computed from; the database vouches for validity through that timestamp, so the server
+// only needs to replay invalidations later than it when the entry claims to be still valid.
+struct InsertRequest {
+  std::string key;
+  std::string value;
+  Interval interval;  // unbounded upper => still valid, subscribe to invalidations
+  Timestamp computed_at = kTimestampZero;
+  std::vector<InvalidationTag> tags;
+};
+
+struct CacheStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t miss_compulsory = 0;
+  uint64_t miss_staleness = 0;
+  uint64_t miss_capacity = 0;
+  uint64_t miss_consistency = 0;
+  uint64_t inserts = 0;
+  uint64_t duplicate_inserts = 0;
+  uint64_t invalidation_messages = 0;
+  uint64_t invalidation_truncations = 0;
+  uint64_t insert_time_truncations = 0;  // still-valid claims cut by replayed history
+  uint64_t evictions_lru = 0;
+  uint64_t evictions_stale = 0;
+  uint64_t reorder_buffered = 0;  // out-of-order stream messages held back
+
+  uint64_t misses() const {
+    return miss_compulsory + miss_staleness + miss_capacity + miss_consistency;
+  }
+  double hit_rate() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+}  // namespace txcache
+
+#endif  // SRC_CACHE_CACHE_TYPES_H_

@@ -1,0 +1,59 @@
+#include "src/cluster/consistent_hash.h"
+
+namespace txcache {
+
+bool ConsistentHashRing::AddNode(const std::string& name) {
+  if (nodes_.contains(name)) {
+    return false;
+  }
+  std::vector<uint64_t>& positions = nodes_[name];
+  positions.reserve(virtual_nodes_);
+  uint64_t h = Fnv1a(name);
+  for (size_t i = 0; i < virtual_nodes_; ++i) {
+    // Derive virtual-node positions by mixing the node hash with the replica index; probe
+    // forward on the (unlikely) event of a collision with an existing position.
+    uint64_t pos = Mix64(h ^ (0x9e3779b97f4a7c15ull * (i + 1)));
+    while (ring_.contains(pos)) {
+      ++pos;
+    }
+    ring_.emplace(pos, name);
+    positions.push_back(pos);
+  }
+  return true;
+}
+
+bool ConsistentHashRing::RemoveNode(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) {
+    return false;
+  }
+  for (uint64_t pos : it->second) {
+    ring_.erase(pos);
+  }
+  nodes_.erase(it);
+  return true;
+}
+
+bool ConsistentHashRing::HasNode(const std::string& name) const { return nodes_.contains(name); }
+
+Result<std::string> ConsistentHashRing::NodeForKey(uint64_t key_hash) const {
+  if (ring_.empty()) {
+    return Status::Unavailable("no cache nodes in ring");
+  }
+  auto it = ring_.lower_bound(Mix64(key_hash));
+  if (it == ring_.end()) {
+    it = ring_.begin();  // wrap around
+  }
+  return it->second;
+}
+
+std::vector<std::string> ConsistentHashRing::Nodes() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [name, _] : nodes_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace txcache

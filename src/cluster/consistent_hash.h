@@ -1,0 +1,48 @@
+// Consistent hashing over cache nodes (paper §4).
+//
+// Keys are partitioned among cache nodes with a fixed-membership consistent-hash ring: every
+// application node knows the full node list and maps a key to its node directly. Virtual nodes
+// smooth the distribution; adding or removing a node remaps only ~1/n of the key space, which
+// tests verify.
+#ifndef SRC_CLUSTER_CONSISTENT_HASH_H_
+#define SRC_CLUSTER_CONSISTENT_HASH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/hash.h"
+#include "src/util/status.h"
+
+namespace txcache {
+
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(size_t virtual_nodes_per_node = 64)
+      : virtual_nodes_(virtual_nodes_per_node) {}
+
+  // Adds a node identified by name. Returns false if already present.
+  bool AddNode(const std::string& name);
+  bool RemoveNode(const std::string& name);
+  bool HasNode(const std::string& name) const;
+
+  // Maps a key (by 64-bit hash) to the owning node. Empty ring => error.
+  Result<std::string> NodeForKey(uint64_t key_hash) const;
+  Result<std::string> NodeForKey(const std::string& key) const {
+    return NodeForKey(Fnv1a(key));
+  }
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t ring_size() const { return ring_.size(); }
+  std::vector<std::string> Nodes() const;
+
+ private:
+  size_t virtual_nodes_;
+  std::map<uint64_t, std::string> ring_;  // position -> node name
+  std::map<std::string, std::vector<uint64_t>> nodes_;  // node -> its ring positions
+};
+
+}  // namespace txcache
+
+#endif  // SRC_CLUSTER_CONSISTENT_HASH_H_

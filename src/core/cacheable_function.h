@@ -1,0 +1,114 @@
+// MAKE-CACHEABLE (paper §2.1): wraps a pure function so that calls are transparently memoized
+// through the cache with full transactional consistency.
+//
+// The cache key is derived from the function's registered name plus the deterministic binary
+// serialization of its arguments — the application never chooses keys (a documented source of
+// MediaWiki bugs the paper cites). The result type must be Serde-serializable.
+#ifndef SRC_CORE_CACHEABLE_FUNCTION_H_
+#define SRC_CORE_CACHEABLE_FUNCTION_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "src/core/txcache_client.h"
+#include "src/util/serde.h"
+
+namespace txcache {
+
+// Deterministic cache key: function name, NUL, serialized arguments.
+template <typename... Args>
+std::string MakeCacheKey(const std::string& name, const Args&... args) {
+  Writer w;
+  w.PutString(name);
+  (SerializeValue(w, args), ...);
+  return w.Take();
+}
+
+// Pops the frame on exceptions so a throwing cacheable function cannot corrupt the stack.
+class FrameGuard {
+ public:
+  explicit FrameGuard(TxCacheClient* client) : client_(client) { client_->FrameBegin(); }
+  ~FrameGuard() {
+    if (!finished_) {
+      client_->FrameAbandon();
+    }
+  }
+  FrameGuard(const FrameGuard&) = delete;
+  FrameGuard& operator=(const FrameGuard&) = delete;
+
+  FrameOutcome Finish() {
+    finished_ = true;
+    return client_->FrameEnd();
+  }
+
+ private:
+  TxCacheClient* client_;
+  bool finished_ = false;
+};
+
+template <typename Ret, typename... Args>
+class CacheableFunction {
+ public:
+  CacheableFunction() = default;
+  CacheableFunction(TxCacheClient* client, std::string name, std::function<Ret(Args...)> fn)
+      : client_(client), name_(std::move(name)), fn_(std::move(fn)) {}
+
+  Ret operator()(const Args&... args) const {
+    // Outside a read-only transaction (or in no-cache mode) the implementation runs directly:
+    // read/write transactions bypass the cache entirely (§2.2) — unless the application opted
+    // into RW cache reads, in which case values valid at the RW snapshot may be served (with
+    // the documented own-writes anomaly), but results are never stored.
+    if (client_ == nullptr || !client_->ShouldUseCache()) {
+      if (client_ != nullptr) {
+        if (client_->ShouldTryRwCacheRead()) {
+          client_->CountCacheableCall();
+          auto hit = client_->RwCacheLookup(MakeCacheKey(name_, args...));
+          if (hit.ok()) {
+            auto decoded = DeserializeFromString<Ret>(hit.value());
+            if (decoded.ok()) {
+              return decoded.take();
+            }
+          }
+          return fn_(args...);
+        }
+        client_->CountBypassedCall();
+      }
+      return fn_(args...);
+    }
+    client_->CountCacheableCall();
+    const std::string key = MakeCacheKey(name_, args...);
+    auto hit = client_->CacheLookup(key);
+    if (hit.ok()) {
+      auto decoded = DeserializeFromString<Ret>(hit.value());
+      if (decoded.ok()) {
+        return decoded.take();
+      }
+      // Corrupt or incompatible payload (e.g. after a software update changed Ret): fall
+      // through and recompute; the insert below will collide with the stored version and be
+      // dropped, but the caller still gets a correct answer.
+    }
+    FrameGuard guard(client_);
+    Ret ret = fn_(args...);
+    FrameOutcome outcome = guard.Finish();
+    client_->CacheStore(key, SerializeToString(ret), outcome);
+    return ret;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  TxCacheClient* client_ = nullptr;
+  std::string name_;
+  std::function<Ret(Args...)> fn_;
+};
+
+template <typename Ret, typename... Args, typename Fn>
+auto TxCacheClient::MakeCacheable(std::string name, Fn&& fn) {
+  return CacheableFunction<Ret, Args...>(this, std::move(name),
+                                         std::function<Ret(Args...)>(std::forward<Fn>(fn)));
+}
+
+}  // namespace txcache
+
+#endif  // SRC_CORE_CACHEABLE_FUNCTION_H_

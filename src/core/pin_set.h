@@ -1,0 +1,93 @@
+// The pin set: the set of pinned-snapshot timestamps at which the current read-only transaction
+// can still be serialized, plus the special element * ("the present") until any cached data has
+// been observed (paper §6.2).
+//
+// Invariants maintained here and checked in tests:
+//   1. everything the transaction observed is valid at every timestamp in the pin set;
+//   2. the pin set is never empty (NarrowTo refuses a narrowing that would empty it, which the
+//      client treats as a cache miss).
+#ifndef SRC_CORE_PIN_SET_H_
+#define SRC_CORE_PIN_SET_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/pincushion/pincushion.h"
+#include "src/util/interval.h"
+
+namespace txcache {
+
+class PinSet {
+ public:
+  void Reset(std::vector<PinInfo> pins, bool with_star) {
+    pins_ = std::move(pins);
+    std::sort(pins_.begin(), pins_.end(),
+              [](const PinInfo& a, const PinInfo& b) { return a.ts < b.ts; });
+    has_star_ = with_star;
+  }
+
+  void AddPin(const PinInfo& pin) {
+    auto it = std::lower_bound(pins_.begin(), pins_.end(), pin.ts,
+                               [](const PinInfo& a, Timestamp t) { return a.ts < t; });
+    if (it == pins_.end() || it->ts != pin.ts) {
+      pins_.insert(it, pin);
+    }
+  }
+
+  // Lookup bounds sent to the cache server: [oldest pin, newest pin], with an unbounded upper
+  // end while * is present (the transaction could still run "now").
+  Timestamp BoundsLo() const { return pins_.empty() ? kTimestampZero : pins_.front().ts; }
+  Timestamp BoundsHi() const {
+    if (has_star_ || pins_.empty()) {
+      return kTimestampInfinity;
+    }
+    return pins_.back().ts;
+  }
+
+  // Removes every timestamp outside `interval` and drops *. Returns false — leaving the pin
+  // set unchanged — if that would empty the set (the caller treats the value as a miss, which
+  // preserves Invariant 2 even in corner cases the paper's argument glosses, e.g. an entry
+  // whose generating pin has since been unpinned).
+  bool NarrowTo(const Interval& interval) {
+    std::vector<PinInfo> kept;
+    kept.reserve(pins_.size());
+    for (const PinInfo& pin : pins_) {
+      if (interval.Contains(pin.ts)) {
+        kept.push_back(pin);
+      }
+    }
+    if (kept.empty()) {
+      return false;
+    }
+    pins_ = std::move(kept);
+    has_star_ = false;
+    return true;
+  }
+
+  bool Contains(Timestamp ts) const {
+    return std::binary_search(
+        pins_.begin(), pins_.end(), ts,
+        [](const auto& a, const auto& b) { return Ts(a) < Ts(b); });
+  }
+
+  bool empty() const { return pins_.empty() && !has_star_; }
+  bool has_pins() const { return !pins_.empty(); }
+  bool has_star() const { return has_star_; }
+  void DropStar() { has_star_ = false; }
+  size_t pin_count() const { return pins_.size(); }
+  const std::vector<PinInfo>& pins() const { return pins_; }
+  const PinInfo& newest() const { return pins_.back(); }
+  const PinInfo& oldest() const { return pins_.front(); }
+
+ private:
+  // Heterogeneous comparison helper for binary_search over PinInfo/Timestamp.
+  static Timestamp Ts(const PinInfo& p) { return p.ts; }
+  static Timestamp Ts(Timestamp t) { return t; }
+
+  std::vector<PinInfo> pins_;  // sorted by ts
+  bool has_star_ = false;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_CORE_PIN_SET_H_

@@ -1,0 +1,373 @@
+#include "src/core/txcache_client.h"
+
+#include <cassert>
+
+namespace txcache {
+
+TxCacheClient::TxCacheClient(Database* db, Pincushion* pincushion, CacheCluster* cache,
+                             const Clock* clock, Options options)
+    : db_(db), pincushion_(pincushion), cache_(cache), clock_(clock), options_(options) {}
+
+TxCacheClient::~TxCacheClient() {
+  if (in_transaction()) {
+    Abort();
+  }
+}
+
+Status TxCacheClient::BeginRO(WallClock staleness) {
+  if (in_transaction()) {
+    return Status::FailedPrecondition("transaction already active");
+  }
+  state_ = TxnState::kReadOnly;
+  staleness_ = staleness;
+  chosen_ts_.reset();
+  db_txn_.reset();
+  frames_.clear();
+  acquired_pins_.clear();
+  if (options_.mode == ClientMode::kNoCache) {
+    pin_set_.Reset({}, /*with_star=*/true);
+  } else {
+    // The pin set starts as every pinned snapshot within the staleness limit, plus * ("run in
+    // the present") — §6.2.
+    acquired_pins_ = pincushion_->AcquireFreshPins(staleness);
+    pin_set_.Reset(acquired_pins_, /*with_star=*/true);
+  }
+  ++stats_.ro_txns;
+  return Status::Ok();
+}
+
+Status TxCacheClient::BeginRW() {
+  if (in_transaction()) {
+    return Status::FailedPrecondition("transaction already active");
+  }
+  state_ = TxnState::kReadWrite;
+  frames_.clear();
+  // Read/write transactions run directly on the database, bypassing the cache (§2.2).
+  db_txn_ = db_->BeginReadWrite();
+  chosen_ts_.reset();
+  ++stats_.rw_txns;
+  return Status::Ok();
+}
+
+Result<Timestamp> TxCacheClient::Commit() {
+  if (!in_transaction()) {
+    return Status::FailedPrecondition("no active transaction");
+  }
+  Timestamp report;
+  if (db_txn_.has_value()) {
+    auto info_or = db_->Commit(*db_txn_);
+    if (!info_or.ok()) {
+      // Commit-time failure (e.g. serialization conflict): the transaction is gone.
+      db_->Abort(*db_txn_);
+      EndTransactionCleanup();
+      ++stats_.aborts;
+      return info_or.status();
+    }
+    report = info_or.value().ts;
+    if (state_ == TxnState::kReadOnly) {
+      // Report a serialization point from the FINAL pin set (Invariant 1 holds at every one of
+      // its timestamps); the snapshot chosen for database queries is always still in it.
+      report = pin_set_.has_pins() ? pin_set_.newest().ts
+                                   : chosen_ts_.value_or(info_or.value().ts);
+    }
+  } else {
+    // Never touched the database: served entirely from the cache (or empty). The transaction
+    // is serializable at any pin-set timestamp; report the newest.
+    report = pin_set_.has_pins() ? pin_set_.newest().ts : db_->LatestCommitTs();
+  }
+  EndTransactionCleanup();
+  ++stats_.commits;
+  return report;
+}
+
+Status TxCacheClient::Abort() {
+  if (!in_transaction()) {
+    return Status::FailedPrecondition("no active transaction");
+  }
+  if (db_txn_.has_value()) {
+    db_->Abort(*db_txn_);
+  }
+  EndTransactionCleanup();
+  ++stats_.aborts;
+  return Status::Ok();
+}
+
+void TxCacheClient::EndTransactionCleanup() {
+  if (!acquired_pins_.empty()) {
+    pincushion_->Release(acquired_pins_);
+    acquired_pins_.clear();
+  }
+  pin_set_.Reset({}, false);
+  db_txn_.reset();
+  chosen_ts_.reset();
+  frames_.clear();
+  state_ = TxnState::kNone;
+}
+
+PinInfo TxCacheClient::PinNewSnapshot() {
+  PinnedSnapshot snap = db_->Pin();
+  PinInfo pin{snap.ts, snap.wallclock};
+  pincushion_->Register(pin);  // marks it in use once on our behalf
+  acquired_pins_.push_back(pin);
+  ++stats_.pins_created;
+  return pin;
+}
+
+Status TxCacheClient::EnsurePinnedSnapshot() {
+  if (pin_set_.has_pins()) {
+    return Status::Ok();
+  }
+  // No sufficiently fresh pinned snapshot exists: pin the latest one (§5.4).
+  pin_set_.AddPin(PinNewSnapshot());
+  return Status::Ok();
+}
+
+Status TxCacheClient::EnsureDbTxn() {
+  if (db_txn_.has_value()) {
+    return Status::Ok();
+  }
+  assert(state_ == TxnState::kReadOnly);
+  if (options_.mode == ClientMode::kNoCache) {
+    auto txn_or = db_->BeginReadOnly();
+    if (!txn_or.ok()) {
+      return txn_or.status();
+    }
+    db_txn_ = txn_or.value();
+    auto snap_or = db_->SnapshotOf(*db_txn_);
+    chosen_ts_ = snap_or.ok() ? snap_or.value() : db_->LatestCommitTs();
+    return Status::Ok();
+  }
+  // §6.2 policy: choose * (pin a brand-new snapshot) only when the freshest pin is older than
+  // the threshold; otherwise run on the newest pinned snapshot. This bounds pinned-snapshot
+  // churn on the database.
+  Timestamp chosen;
+  const bool stale_pins =
+      !pin_set_.has_pins() ||
+      clock_->Now() - pin_set_.newest().pinned_at > options_.new_pin_threshold;
+  if (pin_set_.has_star() && stale_pins) {
+    PinInfo pin = PinNewSnapshot();
+    pin_set_.AddPin(pin);  // reify *: "the present" becomes a concrete timestamp
+    chosen = pin.ts;
+  } else if (pin_set_.has_pins()) {
+    chosen = pin_set_.newest().ts;
+  } else {
+    return Status::Internal("pin set empty with no star");  // Invariant 2 violation
+  }
+  auto txn_or = db_->BeginReadOnly(chosen);
+  if (!txn_or.ok()) {
+    return txn_or.status();
+  }
+  db_txn_ = txn_or.value();
+  chosen_ts_ = chosen;
+  return Status::Ok();
+}
+
+void TxCacheClient::PropagateToFrames(const Interval& validity,
+                                      const std::vector<InvalidationTag>& tags) {
+  // Every cacheable function on the call stack depends on this observation (§6.3).
+  for (Frame& frame : frames_) {
+    frame.validity = frame.validity.Intersect(validity);
+    frame.tags.insert(tags.begin(), tags.end());
+  }
+}
+
+Result<QueryResult> TxCacheClient::ExecuteQuery(const Query& query) {
+  if (!in_transaction()) {
+    return Status::FailedPrecondition("no active transaction");
+  }
+  if (state_ == TxnState::kReadWrite) {
+    ++stats_.db_queries;
+    auto rw_result = db_->Execute(*db_txn_, query);
+    if (rw_result.ok()) {
+      stats_.db_tuples_examined += rw_result.value().stats.tuples_examined;
+      stats_.db_index_probes += rw_result.value().stats.index_probes;
+    }
+    return rw_result;
+  }
+  Status st = EnsureDbTxn();
+  if (!st.ok()) {
+    return st;
+  }
+  auto result_or = db_->Execute(*db_txn_, query);
+  ++stats_.db_queries;
+  if (!result_or.ok()) {
+    return result_or;
+  }
+  const QueryResult& result = result_or.value();
+  stats_.db_tuples_examined += result.stats.tuples_examined;
+  stats_.db_index_probes += result.stats.index_probes;
+  if (options_.mode != ClientMode::kNoCache) {
+    if (options_.mode == ClientMode::kConsistent) {
+      // The result's validity interval contains the chosen snapshot, so narrowing cannot empty
+      // the pin set (Invariant 2); it also drops * (§6.2).
+      bool ok = pin_set_.NarrowTo(result.validity);
+      assert(ok && "query validity must contain the chosen snapshot");
+      (void)ok;
+    } else {
+      pin_set_.DropStar();
+    }
+    PropagateToFrames(result.validity, result.tags);
+  }
+  return result_or;
+}
+
+Status TxCacheClient::Insert(const std::string& table, Row row) {
+  if (state_ != TxnState::kReadWrite) {
+    return Status::FailedPrecondition("writes require a read/write transaction");
+  }
+  ++stats_.db_writes;
+  return db_->Insert(*db_txn_, table, std::move(row));
+}
+
+Result<size_t> TxCacheClient::Update(const std::string& table, const AccessPath& path,
+                                     const PredicatePtr& where,
+                                     const std::vector<std::pair<ColumnId, Value>>& sets) {
+  if (state_ != TxnState::kReadWrite) {
+    return Status::FailedPrecondition("writes require a read/write transaction");
+  }
+  ++stats_.db_writes;
+  return db_->Update(*db_txn_, table, path, where, sets);
+}
+
+Result<size_t> TxCacheClient::Delete(const std::string& table, const AccessPath& path,
+                                     const PredicatePtr& where) {
+  if (state_ != TxnState::kReadWrite) {
+    return Status::FailedPrecondition("writes require a read/write transaction");
+  }
+  ++stats_.db_writes;
+  return db_->Delete(*db_txn_, table, path, where);
+}
+
+Result<std::string> TxCacheClient::CacheLookup(const std::string& key) {
+  assert(ShouldUseCache());
+  Status st = EnsurePinnedSnapshot();
+  if (!st.ok()) {
+    return st;
+  }
+  auto node_or = cache_->NodeForKey(key);
+  if (!node_or.ok()) {
+    return node_or.status();
+  }
+  LookupRequest req;
+  req.key = key;
+  if (chosen_ts_.has_value() && options_.mode == ClientMode::kConsistent) {
+    // The serialization timestamp is already fixed (a database query ran at it). Invariant 2's
+    // proof (§6.2.1) relies on the chosen timestamp remaining in the pin set — a later query
+    // executes at that snapshot and narrows the pin set to its validity interval — so a cached
+    // value is only usable if it was valid at exactly that timestamp.
+    req.bounds_lo = *chosen_ts_;
+    req.bounds_hi = *chosen_ts_;
+  } else {
+    req.bounds_lo = pin_set_.BoundsLo();
+    req.bounds_hi = pin_set_.BoundsHi();
+  }
+  req.fresh_lo = pin_set_.BoundsLo();
+  LookupResponse resp = node_or.value()->Lookup(req);
+  if (!resp.hit) {
+    ++stats_.cache_misses;
+    switch (resp.miss) {
+      case MissKind::kCompulsory:
+        ++stats_.miss_compulsory;
+        break;
+      case MissKind::kStaleness:
+        ++stats_.miss_staleness;
+        break;
+      case MissKind::kCapacity:
+        ++stats_.miss_capacity;
+        break;
+      case MissKind::kConsistency:
+        ++stats_.miss_consistency;
+        break;
+      case MissKind::kNone:
+        break;
+    }
+    return Status::NotFound("cache miss");
+  }
+  if (options_.mode == ClientMode::kConsistent) {
+    // Exact narrowing against the actual pin set (the server only checked bounds). An empty
+    // intersection means using this value could break serializability: treat it as a miss.
+    if (!pin_set_.NarrowTo(resp.interval)) {
+      ++stats_.pin_set_rejects;
+      ++stats_.cache_misses;
+      ++stats_.miss_consistency;
+      return Status::NotFound("cache hit rejected by pin set");
+    }
+  }
+  PropagateToFrames(resp.interval, resp.tags);
+  ++stats_.cache_hits;
+  return resp.value;
+}
+
+Result<std::string> TxCacheClient::RwCacheLookup(const std::string& key) {
+  assert(ShouldTryRwCacheRead());
+  auto snap_or = db_->SnapshotOf(*db_txn_);
+  if (!snap_or.ok()) {
+    return snap_or.status();
+  }
+  auto node_or = cache_->NodeForKey(key);
+  if (!node_or.ok()) {
+    return node_or.status();
+  }
+  LookupRequest req;
+  req.key = key;
+  req.bounds_lo = snap_or.value();
+  req.bounds_hi = snap_or.value();
+  req.fresh_lo = snap_or.value();
+  LookupResponse resp = node_or.value()->Lookup(req);
+  if (!resp.hit) {
+    ++stats_.cache_misses;
+    return Status::NotFound("cache miss");
+  }
+  ++stats_.cache_hits;
+  return resp.value;
+}
+
+void TxCacheClient::FrameBegin() { frames_.emplace_back(); }
+
+FrameOutcome TxCacheClient::FrameEnd() {
+  assert(!frames_.empty());
+  Frame frame = std::move(frames_.back());
+  frames_.pop_back();
+  FrameOutcome outcome;
+  outcome.validity = frame.validity;
+  outcome.tags.assign(frame.tags.begin(), frame.tags.end());
+  if (chosen_ts_.has_value()) {
+    outcome.computed_at = *chosen_ts_;
+  } else if (pin_set_.has_pins()) {
+    // The pin set always lies within every frame's validity interval (§6.2), so the newest pin
+    // is a timestamp the database implicitly vouched for.
+    outcome.computed_at = pin_set_.newest().ts;
+  } else {
+    outcome.computed_at = outcome.validity.lower;
+  }
+  return outcome;
+}
+
+void TxCacheClient::FrameAbandon() {
+  assert(!frames_.empty());
+  frames_.pop_back();
+}
+
+void TxCacheClient::CacheStore(const std::string& key, std::string value,
+                               const FrameOutcome& outcome) {
+  if (outcome.validity.empty()) {
+    // Possible under kNoConsistency, where observations are not forced to stay consistent.
+    ++stats_.inserts_skipped;
+    return;
+  }
+  auto node_or = cache_->NodeForKey(key);
+  if (!node_or.ok()) {
+    return;
+  }
+  InsertRequest req;
+  req.key = key;
+  req.value = std::move(value);
+  req.interval = outcome.validity;
+  req.computed_at = outcome.computed_at;
+  req.tags = outcome.tags;
+  if (node_or.value()->Insert(req).ok()) {
+    ++stats_.cache_inserts;
+  }
+}
+
+}  // namespace txcache

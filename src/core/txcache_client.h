@@ -1,0 +1,189 @@
+// The TxCache application-side library (paper §2.1, §6).
+//
+// Applications see the paper's five-call API — BEGIN-RO(staleness), BEGIN-RW, COMMIT, ABORT and
+// MAKE-CACHEABLE — and nothing else: cache servers, validity intervals, pin sets and
+// invalidation tags are all handled here.
+//
+//   TxCacheClient client(&db, &pincushion, &cluster, &clock);
+//   auto get_user = client.MakeCacheable<UserInfo, int64_t>("get_user", [&](int64_t id) {...});
+//   client.BeginRO(Seconds(30));
+//   UserInfo u = get_user(42);        // cache hit or transparent recompute+insert
+//   Timestamp ts = client.Commit().value();
+//
+// Read/write transactions bypass the cache entirely (§2.2). Read-only transactions choose their
+// serialization timestamp lazily (§6.2): the pin set starts as every sufficiently fresh pinned
+// snapshot plus * ("the present") and narrows as cached values and query results are observed;
+// the first real database query forces a concrete snapshot.
+//
+// A client instance drives one session at a time and is not thread-safe; the shared components
+// it talks to (database, cache servers, pincushion) are.
+#ifndef SRC_CORE_TXCACHE_CLIENT_H_
+#define SRC_CORE_TXCACHE_CLIENT_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cache/cache_cluster.h"
+#include "src/core/pin_set.h"
+#include "src/db/database.h"
+#include "src/pincushion/pincushion.h"
+#include "src/util/clock.h"
+#include "src/util/serde.h"
+
+namespace txcache {
+
+// Evaluation modes (paper §8): kConsistent is TxCache; kNoConsistency keeps the invalidation
+// machinery but serves any sufficiently fresh version, ignoring transactional consistency;
+// kNoCache is the no-caching baseline (every call executes against the database).
+enum class ClientMode : uint8_t { kConsistent, kNoConsistency, kNoCache };
+
+struct ClientStats {
+  uint64_t ro_txns = 0;
+  uint64_t rw_txns = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t cacheable_calls = 0;
+  uint64_t bypassed_calls = 0;  // executed directly: RW transaction or kNoCache mode
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t miss_compulsory = 0;
+  uint64_t miss_staleness = 0;
+  uint64_t miss_capacity = 0;
+  uint64_t miss_consistency = 0;
+  // Server-side bounds matched but the exact pin-set intersection was empty; treated as a
+  // consistency miss (see PinSet::NarrowTo).
+  uint64_t pin_set_rejects = 0;
+  uint64_t cache_inserts = 0;
+  uint64_t inserts_skipped = 0;  // empty accumulated validity (possible under kNoConsistency)
+  uint64_t db_queries = 0;
+  uint64_t db_tuples_examined = 0;
+  uint64_t db_index_probes = 0;
+  uint64_t db_writes = 0;  // INSERT/UPDATE/DELETE statements issued
+  uint64_t pins_created = 0;
+};
+
+// Validity/tag accumulation for one cacheable function on the call stack (§6.3).
+struct Frame {
+  Interval validity = Interval::All();
+  std::set<InvalidationTag> tags;
+};
+
+// What a finished frame learned; passed to CacheStore.
+struct FrameOutcome {
+  Interval validity = Interval::All();
+  std::vector<InvalidationTag> tags;
+  Timestamp computed_at = kTimestampZero;
+};
+
+class TxCacheClient {
+ public:
+  struct Options {
+    WallClock default_staleness = Seconds(30);
+    // Policy knob from §6.2: at the first database query, pin a fresh snapshot (choose *) only
+    // if the newest pin in the pin set is older than this; otherwise reuse the newest pin.
+    WallClock new_pin_threshold = Seconds(5);
+    ClientMode mode = ClientMode::kConsistent;
+    // §2.2 extension (off by default): let read/write transactions *read* cached values that
+    // were valid at their snapshot. Opting in accepts the documented anomaly: a cacheable call
+    // may return a value that predates the transaction's own uncommitted writes. Results of
+    // cacheable functions executed inside RW transactions are still never stored.
+    bool allow_rw_cache_reads = false;
+  };
+
+  TxCacheClient(Database* db, Pincushion* pincushion, CacheCluster* cache, const Clock* clock)
+      : TxCacheClient(db, pincushion, cache, clock, Options{}) {}
+  TxCacheClient(Database* db, Pincushion* pincushion, CacheCluster* cache, const Clock* clock,
+                Options options);
+  ~TxCacheClient();
+
+  TxCacheClient(const TxCacheClient&) = delete;
+  TxCacheClient& operator=(const TxCacheClient&) = delete;
+
+  // --- transactions ---
+  Status BeginRO() { return BeginRO(options_.default_staleness); }
+  Status BeginRO(WallClock staleness);
+  Status BeginRW();
+  // Commits and reports the timestamp the transaction ran at (§2.2) — usable as the staleness
+  // bound of a later transaction to guarantee monotonic reads.
+  Result<Timestamp> Commit();
+  Status Abort();
+
+  bool in_transaction() const { return state_ != TxnState::kNone; }
+  bool in_read_only() const { return state_ == TxnState::kReadOnly; }
+
+  // --- database access (bare queries/DML inside the current transaction) ---
+  Result<QueryResult> ExecuteQuery(const Query& query);
+  Status Insert(const std::string& table, Row row);
+  Result<size_t> Update(const std::string& table, const AccessPath& path,
+                        const PredicatePtr& where,
+                        const std::vector<std::pair<ColumnId, Value>>& sets);
+  Result<size_t> Delete(const std::string& table, const AccessPath& path,
+                        const PredicatePtr& where);
+
+  // --- cacheable functions (MAKE-CACHEABLE) ---
+  // Declared here, defined in cacheable_function.h to keep template machinery out of the way:
+  //   template <typename Ret, typename... Args>
+  //   CacheableFunction<Ret, Args...> MakeCacheable(std::string name,
+  //                                                 std::function<Ret(Args...)> fn);
+  template <typename Ret, typename... Args, typename Fn>
+  auto MakeCacheable(std::string name, Fn&& fn);
+
+  // --- cacheable-call plumbing (used by CacheableFunction; not application-facing) ---
+  bool ShouldUseCache() const { return state_ == TxnState::kReadOnly && options_.mode != ClientMode::kNoCache; }
+  bool ShouldTryRwCacheRead() const {
+    return state_ == TxnState::kReadWrite && options_.allow_rw_cache_reads &&
+           options_.mode != ClientMode::kNoCache;
+  }
+  Result<std::string> CacheLookup(const std::string& key);
+  // Lookup restricted to values valid at the read/write transaction's snapshot (§2.2
+  // extension). Never narrows any pin set; never inserts.
+  Result<std::string> RwCacheLookup(const std::string& key);
+  void FrameBegin();
+  FrameOutcome FrameEnd();
+  void FrameAbandon();
+  void CacheStore(const std::string& key, std::string value, const FrameOutcome& outcome);
+  void CountCacheableCall() { ++stats_.cacheable_calls; }
+  void CountBypassedCall() { ++stats_.bypassed_calls; }
+
+  const ClientStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ClientStats{}; }
+  const PinSet& pin_set() const { return pin_set_; }  // exposed for invariant tests
+  std::optional<Timestamp> chosen_timestamp() const { return chosen_ts_; }
+  const Options& options() const { return options_; }
+
+ private:
+  enum class TxnState : uint8_t { kNone, kReadOnly, kReadWrite };
+
+  // Makes sure the pin set holds at least one concrete pin (pinning a fresh snapshot if the
+  // pincushion had nothing fresh enough), so cache lookups have usable bounds (§5.4).
+  Status EnsurePinnedSnapshot();
+  // Lazily begins the underlying database transaction, choosing the serialization timestamp
+  // from the pin set per the §6.2 policy.
+  Status EnsureDbTxn();
+  PinInfo PinNewSnapshot();
+  void PropagateToFrames(const Interval& validity, const std::vector<InvalidationTag>& tags);
+  void EndTransactionCleanup();
+
+  Database* db_;
+  Pincushion* pincushion_;
+  CacheCluster* cache_;
+  const Clock* clock_;
+  Options options_;
+
+  TxnState state_ = TxnState::kNone;
+  WallClock staleness_ = 0;
+  PinSet pin_set_;
+  std::vector<PinInfo> acquired_pins_;  // released to the pincushion at transaction end
+  std::optional<TxnId> db_txn_;
+  std::optional<Timestamp> chosen_ts_;
+  std::vector<Frame> frames_;
+
+  ClientStats stats_;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_CORE_TXCACHE_CLIENT_H_

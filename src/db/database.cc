@@ -1,0 +1,835 @@
+#include "src/db/database.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/db/validity.h"
+
+namespace txcache {
+
+namespace {
+
+// Invalidation tag for a query-side access method (paper §5.3): index equality lookups yield a
+// concrete TABLE:INDEX=KEY tag; scans yield the TABLE:? wildcard.
+void AddAccessTag(const std::string& table, const AccessPath& path,
+                  std::vector<InvalidationTag>* tags) {
+  if (path.kind == AccessPath::Kind::kIndexEq) {
+    tags->push_back(InvalidationTag::Concrete(table, path.index, EncodeRow(path.eq_key)));
+  } else {
+    tags->push_back(InvalidationTag::Wildcard(table));
+  }
+}
+
+}  // namespace
+
+Database::Database(const Clock* clock, Options options) : clock_(clock), options_(options) {}
+
+Status Database::CreateTable(TableSchema schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (schema.name.empty() || schema.columns.empty()) {
+    return Status::InvalidArgument("table needs a name and at least one column");
+  }
+  if (tables_.contains(schema.name)) {
+    return Status::InvalidArgument("table already exists: " + schema.name);
+  }
+  auto table = std::make_unique<Table>();
+  table->schema = std::move(schema);
+  tables_.emplace(table->schema.name, std::move(table));
+  return Status::Ok();
+}
+
+Status Database::CreateIndex(IndexSchema schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Table* table = FindTableLocked(schema.table);
+  if (table == nullptr) {
+    return Status::InvalidArgument("no such table: " + schema.table);
+  }
+  if (schema.columns.empty()) {
+    return Status::InvalidArgument("index needs at least one column");
+  }
+  for (ColumnId c : schema.columns) {
+    if (c >= table->schema.columns.size()) {
+      return Status::InvalidArgument("index column out of range");
+    }
+  }
+  if (table->FindIndex(schema.name) != nullptr) {
+    return Status::InvalidArgument("index already exists: " + schema.name);
+  }
+  auto index = std::make_unique<OrderedIndex>(std::move(schema));
+  // Backfill existing versions (index creation is rare; tables are usually indexed up front).
+  for (TupleId id = 0; id < table->heap.size(); ++id) {
+    const TupleVersion& v = table->heap.Get(id);
+    if (!v.vacuumed) {
+      index->Insert(index->ExtractKey(v.row), id);
+    }
+  }
+  table->indexes.push_back(std::move(index));
+  return Status::Ok();
+}
+
+const TableSchema* Database::FindTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Table* t = FindTableLocked(name);
+  return t == nullptr ? nullptr : &t->schema;
+}
+
+std::vector<std::string> Database::ListTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<IndexSchema> Database::ListIndexes(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<IndexSchema> out;
+  const Table* t = FindTableLocked(table);
+  if (t != nullptr) {
+    out.reserve(t->indexes.size());
+    for (const auto& index : t->indexes) {
+      out.push_back(index->schema());
+    }
+  }
+  return out;
+}
+
+Database::Table* Database::FindTableLocked(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Database::Table* Database::FindTableLocked(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Result<Database::ActiveTxn*> Database::GetTxnLocked(TxnId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  return &it->second;
+}
+
+TxnId Database::BeginReadWrite() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TxnId id = clog_.Begin(clog_.latest_commit_ts(), /*read_only=*/false);
+  ActiveTxn& t = active_[id];
+  t.id = id;
+  t.read_only = false;
+  t.snapshot = clog_.latest_commit_ts();
+  return id;
+}
+
+Result<TxnId> Database::BeginReadOnly(std::optional<Timestamp> snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Timestamp snap = snapshot.value_or(clog_.latest_commit_ts());
+  if (snapshot.has_value() && *snapshot != clog_.latest_commit_ts() &&
+      !clog_.IsPinned(*snapshot)) {
+    return Status::NotFound("snapshot not retained (pin it first)");
+  }
+  if (snap > clog_.latest_commit_ts()) {
+    return Status::InvalidArgument("snapshot is in the future");
+  }
+  TxnId id = clog_.Begin(snap, /*read_only=*/true);
+  ActiveTxn& t = active_[id];
+  t.id = id;
+  t.read_only = true;
+  t.snapshot = snap;
+  return id;
+}
+
+Result<Timestamp> Database::SnapshotOf(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  return it->second.snapshot;
+}
+
+Result<CommitInfo> Database::Commit(TxnId txn) {
+  // Publication happens while mu_ is held so that invalidation-stream sequence order always
+  // matches commit-timestamp order — the invariant that lets cache nodes use "last invalidation
+  // applied" as the effective upper bound of still-valid entries (§4.2).
+  std::lock_guard<std::mutex> lock(mu_);
+  auto txn_or = GetTxnLocked(txn);
+  if (!txn_or.ok()) {
+    return txn_or.status();
+  }
+  ActiveTxn& t = *txn_or.value();
+  CommitInfo info;
+  const bool wrote = !t.created.empty() || !t.stamped.empty();
+  if (!wrote) {
+    // Read-only (or write-free) transactions do not consume a commit timestamp; they "ran at"
+    // their snapshot.
+    clog_.FinishReadOnly(txn);
+    info.ts = t.snapshot;
+    info.wallclock = clock_->Now();
+    active_.erase(txn);
+    clog_.AdvanceLiveScanFloor();
+    ++stats_.commits;
+    return info;
+  }
+  info.ts = clog_.Commit(txn, clock_->Now());
+  info.wallclock = clock_->Now();
+  ++stats_.commits;
+
+  InvalidationMessage msg;
+  if (options_.track_validity) {
+    // Assemble the invalidation message: per-table tag sets, collapsed to a wildcard if the
+    // transaction touched too many distinct keys in one table (§5.3).
+    for (auto& [table_name, tag_set] : t.write_tags) {
+      if (tag_set.size() > options_.wildcard_tag_threshold) {
+        msg.tags.push_back(InvalidationTag::Wildcard(table_name));
+        ++stats_.wildcard_collapses;
+      } else {
+        for (const InvalidationTag& tag : tag_set) {
+          msg.tags.push_back(tag);
+        }
+      }
+    }
+    msg.ts = info.ts;
+    msg.wallclock = info.wallclock;
+    info.invalidation_tags = msg.tags.size();
+    stats_.invalidation_tags += msg.tags.size();
+    if (!msg.tags.empty()) {
+      ++stats_.invalidation_messages;
+    }
+  }
+  active_.erase(txn);
+  clog_.AdvanceLiveScanFloor();
+  if (bus_ != nullptr && !msg.tags.empty()) {
+    bus_->Publish(std::move(msg));
+  }
+  return info;
+}
+
+Status Database::Abort(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto txn_or = GetTxnLocked(txn);
+  if (!txn_or.ok()) {
+    return txn_or.status();
+  }
+  ActiveTxn& t = *txn_or.value();
+  UndoLocked(t);
+  clog_.Abort(txn);
+  active_.erase(txn);
+  clog_.AdvanceLiveScanFloor();
+  ++stats_.aborts;
+  return Status::Ok();
+}
+
+void Database::UndoLocked(ActiveTxn& txn) {
+  // Created versions keep their aborted xmin; visibility skips them and vacuum reclaims them.
+  // Stamped xmax marks are cleared so later writers see a clean slate.
+  for (auto& [table, id] : txn.stamped) {
+    TupleVersion& v = table->heap.Get(id);
+    if (v.xmax == txn.id) {
+      v.xmax = kInvalidTxnId;
+    }
+  }
+}
+
+PinnedSnapshot Database::Pin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Timestamp ts = clog_.latest_commit_ts();
+  clog_.Pin(ts);
+  return PinnedSnapshot{ts, clock_->Now()};
+}
+
+Status Database::Unpin(Timestamp snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clog_.Unpin(snapshot);
+}
+
+Timestamp Database::LatestCommitTs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clog_.latest_commit_ts();
+}
+
+bool Database::IsVisible(const TupleVersion& v, Timestamp snapshot, TxnId self) const {
+  if (v.xmin != self) {
+    if (!clog_.IsCommitted(v.xmin) || clog_.CommitTs(v.xmin) > snapshot) {
+      return false;
+    }
+  }
+  if (v.xmax == kInvalidTxnId) {
+    return true;
+  }
+  if (v.xmax == self) {
+    return false;  // deleted by this transaction
+  }
+  if (!clog_.IsCommitted(v.xmax)) {
+    return true;  // deleter in progress or aborted
+  }
+  return clog_.CommitTs(v.xmax) > snapshot;
+}
+
+template <typename Fn>
+Status Database::VisitAccessPath(const Table& table, const AccessPath& path, QueryStats* stats,
+                                 Fn&& fn) const {
+  switch (path.kind) {
+    case AccessPath::Kind::kSeqScan:
+      for (TupleId id = 0; id < table.heap.size(); ++id) {
+        const TupleVersion& v = table.heap.Get(id);
+        if (v.vacuumed) {
+          continue;
+        }
+        ++stats->seq_scanned;
+        fn(id, v);
+      }
+      return Status::Ok();
+    case AccessPath::Kind::kIndexEq: {
+      const OrderedIndex* index = table.FindIndex(path.index);
+      if (index == nullptr) {
+        return Status::InvalidArgument("no such index: " + path.index);
+      }
+      ++stats->index_probes;
+      if (const std::vector<TupleId>* bucket = index->Lookup(path.eq_key)) {
+        for (TupleId id : *bucket) {
+          const TupleVersion& v = table.heap.Get(id);
+          if (!v.vacuumed) {
+            fn(id, v);
+          }
+        }
+      }
+      return Status::Ok();
+    }
+    case AccessPath::Kind::kIndexRange: {
+      const OrderedIndex* index = table.FindIndex(path.index);
+      if (index == nullptr) {
+        return Status::InvalidArgument("no such index: " + path.index);
+      }
+      ++stats->index_probes;
+      index->Range(path.range_lo, path.range_hi, [&](const Row&, TupleId id) {
+        const TupleVersion& v = table.heap.Get(id);
+        if (!v.vacuumed) {
+          fn(id, v);
+        }
+      });
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown access path kind");
+}
+
+Result<QueryResult> Database::Execute(TxnId txn, const Query& query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto txn_or = GetTxnLocked(txn);
+  if (!txn_or.ok()) {
+    return txn_or.status();
+  }
+  return ExecuteLocked(*txn_or.value(), query);
+}
+
+Result<QueryResult> Database::ExecuteLocked(ActiveTxn& txn, const Query& query) {
+  const Table* outer = FindTableLocked(query.from.table);
+  if (outer == nullptr) {
+    return Status::InvalidArgument("no such table: " + query.from.table);
+  }
+  const bool track = txn.read_only && options_.track_validity;
+  ValidityTracker tracker(&clog_, txn.snapshot, track);
+  // Collected as a flat vector and deduplicated once at the end: queries touch few distinct
+  // tags, and this path must stay cheap enough that tracking is "not observable" (§8.1).
+  std::vector<InvalidationTag> tags;
+  QueryResult result;
+  QueryStats& qstats = result.stats;
+
+  if (track) {
+    AddAccessTag(outer->schema.name, query.from, &tags);
+  }
+
+  // Classifies one candidate version: predicate and visibility checks in the configured order
+  // (paper §5.2 evaluates predicates first to tighten the invalidity mask). Returns true if the
+  // version belongs in the result.
+  auto admit = [&](const TupleVersion& v, auto&& eval_predicate) -> bool {
+    if (options_.predicate_before_visibility) {
+      if (!eval_predicate()) {
+        return false;
+      }
+      if (IsVisible(v, txn.snapshot, txn.id)) {
+        tracker.ObserveVisible(v);
+        return true;
+      }
+      tracker.ObserveInvisible(v);
+      return false;
+    }
+    // Stock order: cheap visibility check first. Every invisible version encountered goes into
+    // the mask (conservative), matching what an unmodified executor would have to assume.
+    if (!IsVisible(v, txn.snapshot, txn.id)) {
+      tracker.ObserveInvisible(v);
+      return false;
+    }
+    return eval_predicate();
+  };
+
+  // --- outer access ---
+  std::vector<Row> rows;
+  Status st = VisitAccessPath(*outer, query.from, &qstats, [&](TupleId, const TupleVersion& v) {
+    ++qstats.tuples_examined;
+    bool keep = admit(v, [&] { return query.where == nullptr || query.where->Eval(v.row); });
+    if (!options_.predicate_before_visibility && keep) {
+      tracker.ObserveVisible(v);
+    }
+    if (keep) {
+      rows.push_back(v.row);
+    }
+  });
+  if (!st.ok()) {
+    return st;
+  }
+
+  // --- index-nested-loop joins ---
+  for (const JoinStep& join : query.joins) {
+    const Table* inner = FindTableLocked(join.table);
+    if (inner == nullptr) {
+      return Status::InvalidArgument("no such table: " + join.table);
+    }
+    const OrderedIndex* index = inner->FindIndex(join.index);
+    if (index == nullptr) {
+      return Status::InvalidArgument("no such index: " + join.index);
+    }
+    std::vector<Row> next;
+    for (Row& row : rows) {
+      Row key;
+      key.reserve(join.key_columns.size());
+      for (uint32_t c : join.key_columns) {
+        if (c >= row.size()) {
+          return Status::InvalidArgument("join key column out of range");
+        }
+        key.push_back(row[c]);
+      }
+      if (track) {
+        // Tag the probe even when the bucket is empty: a negative result depends on the
+        // continued absence of matching tuples.
+        tags.push_back(InvalidationTag::Concrete(inner->schema.name, index->schema().name,
+                                                 EncodeRow(key)));
+      }
+      ++qstats.index_probes;
+      const std::vector<TupleId>* bucket = index->Lookup(key);
+      if (bucket == nullptr) {
+        continue;
+      }
+      for (TupleId id : *bucket) {
+        const TupleVersion& v = inner->heap.Get(id);
+        if (v.vacuumed) {
+          continue;
+        }
+        ++qstats.tuples_examined;
+        Row combined = row;
+        combined.insert(combined.end(), v.row.begin(), v.row.end());
+        bool keep = admit(
+            v, [&] { return join.residual == nullptr || join.residual->Eval(combined); });
+        if (!options_.predicate_before_visibility && keep) {
+          tracker.ObserveVisible(v);
+        }
+        if (keep) {
+          next.push_back(std::move(combined));
+        }
+      }
+    }
+    rows = std::move(next);
+  }
+
+  // --- aggregation ---
+  if (query.aggregate.has_value()) {
+    struct AggState {
+      int64_t count = 0;
+      double dsum = 0;
+      int64_t isum = 0;
+      bool any_double = false;
+      std::optional<Value> min, max;
+    };
+    auto fold = [&](AggState& s, const Row& row) {
+      ++s.count;
+      if (query.aggregate->kind == AggKind::kCount) {
+        return;
+      }
+      const Value& v = row[query.aggregate->column];
+      if (v.is_null()) {
+        return;
+      }
+      if (v.type() == ValueType::kDouble) {
+        s.any_double = true;
+        s.dsum += v.AsDouble();
+      } else if (v.type() == ValueType::kInt) {
+        s.isum += v.AsInt();
+        s.dsum += static_cast<double>(v.AsInt());
+      }
+      if (!s.min.has_value() || v < *s.min) {
+        s.min = v;
+      }
+      if (!s.max.has_value() || *s.max < v) {
+        s.max = v;
+      }
+    };
+    auto finish = [&](const AggState& s) -> Value {
+      switch (query.aggregate->kind) {
+        case AggKind::kCount:
+          return Value(s.count);
+        case AggKind::kSum:
+          if (s.count == 0) {
+            return Value::Null();
+          }
+          return s.any_double ? Value(s.dsum) : Value(s.isum);
+        case AggKind::kMin:
+          return s.min.value_or(Value::Null());
+        case AggKind::kMax:
+          return s.max.value_or(Value::Null());
+        case AggKind::kAvg:
+          return s.count == 0 ? Value::Null() : Value(s.dsum / static_cast<double>(s.count));
+      }
+      return Value::Null();
+    };
+    std::vector<Row> shaped;
+    if (query.group_by.has_value()) {
+      std::map<Value, AggState> groups;
+      for (const Row& row : rows) {
+        fold(groups[row[*query.group_by]], row);
+      }
+      shaped.reserve(groups.size());
+      for (auto& [group, state] : groups) {
+        shaped.push_back(Row{group, finish(state)});
+      }
+    } else {
+      AggState state;
+      for (const Row& row : rows) {
+        fold(state, row);
+      }
+      shaped.push_back(Row{finish(state)});
+    }
+    rows = std::move(shaped);
+  }
+
+  // --- order by / offset / limit / projection ---
+  if (!query.order_by.empty()) {
+    std::stable_sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+      for (const OrderBy& ob : query.order_by) {
+        int c = a[ob.column].Compare(b[ob.column]);
+        if (c != 0) {
+          return ob.descending ? c > 0 : c < 0;
+        }
+      }
+      return false;
+    });
+  }
+  if (query.offset > 0) {
+    if (query.offset >= rows.size()) {
+      rows.clear();
+    } else {
+      rows.erase(rows.begin(), rows.begin() + static_cast<ptrdiff_t>(query.offset));
+    }
+  }
+  if (query.limit > 0 && rows.size() > query.limit) {
+    rows.resize(query.limit);
+  }
+  if (!query.project.empty() && !query.aggregate.has_value()) {
+    for (Row& row : rows) {
+      Row projected;
+      projected.reserve(query.project.size());
+      for (uint32_t c : query.project) {
+        if (c >= row.size()) {
+          return Status::InvalidArgument("projection column out of range");
+        }
+        projected.push_back(std::move(row[c]));
+      }
+      row = std::move(projected);
+    }
+  }
+
+  result.rows = std::move(rows);
+  result.validity = tracker.Finalize();
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  result.tags = std::move(tags);
+  qstats.rows_returned = result.rows.size();
+  ++stats_.queries;
+  stats_.tuples_examined += qstats.tuples_examined;
+  return result;
+}
+
+Status Database::CheckWriteConflict(const TupleVersion& v, TxnId self) const {
+  if (v.xmax == kInvalidTxnId || clog_.IsAborted(v.xmax)) {
+    return Status::Ok();
+  }
+  if (v.xmax == self) {
+    return Status::Internal("double-write to one version");  // callers target visible versions
+  }
+  // Another transaction stamped this version. If it committed, it did so after our snapshot
+  // (otherwise the version would be invisible to us): first-committer-wins. If it is still in
+  // progress we conservatively fail rather than wait.
+  return Status::Conflict(clog_.IsCommitted(v.xmax) ? "row updated by a committed transaction"
+                                                    : "row locked by a concurrent transaction");
+}
+
+Status Database::CheckUniqueLocked(Table& table, const Row& row, TxnId self,
+                                   std::optional<TupleId> skip_tuple) const {
+  for (const auto& index : table.indexes) {
+    if (!index->schema().unique) {
+      continue;
+    }
+    const std::vector<TupleId>* bucket = index->Lookup(index->ExtractKey(row));
+    if (bucket == nullptr) {
+      continue;
+    }
+    for (TupleId id : *bucket) {
+      if (skip_tuple.has_value() && id == *skip_tuple) {
+        continue;
+      }
+      const TupleVersion& v = table.heap.Get(id);
+      if (v.vacuumed || clog_.IsAborted(v.xmin)) {
+        continue;
+      }
+      // A version counts as current (for uniqueness) if nothing has deleted it, or its only
+      // deleter aborted, or it is being deleted by us right now (replaced by an update).
+      const bool deleted =
+          v.xmax != kInvalidTxnId && v.xmax != self && !clog_.IsAborted(v.xmax) &&
+          clog_.IsCommitted(v.xmax);
+      const bool delete_pending =
+          v.xmax != kInvalidTxnId && v.xmax != self && clog_.IsInProgress(v.xmax);
+      if (!deleted && !delete_pending) {
+        if (v.xmax == self) {
+          continue;  // we deleted it in this transaction
+        }
+        return Status::Conflict("unique constraint violation on " + index->schema().name);
+      }
+      // A pending delete by another transaction: conservatively treat the slot as occupied.
+      if (delete_pending) {
+        return Status::Conflict("unique slot contended on " + index->schema().name);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void Database::AddWriteTagsLocked(ActiveTxn& txn, const Table& table, const Row& row) {
+  if (!options_.track_validity) {
+    return;
+  }
+  std::set<InvalidationTag>& tag_set = txn.write_tags[table.schema.name];
+  if (table.indexes.empty()) {
+    // No index to name the dependency: the whole table is the dependency.
+    tag_set.insert(InvalidationTag::Wildcard(table.schema.name));
+    return;
+  }
+  for (const auto& index : table.indexes) {
+    tag_set.insert(InvalidationTag::Concrete(table.schema.name, index->schema().name,
+                                             EncodeRow(index->ExtractKey(row))));
+  }
+}
+
+Status Database::Insert(TxnId txn, const std::string& table_name, Row row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto txn_or = GetTxnLocked(txn);
+  if (!txn_or.ok()) {
+    return txn_or.status();
+  }
+  ActiveTxn& t = *txn_or.value();
+  if (t.read_only) {
+    return Status::FailedPrecondition("insert in read-only transaction");
+  }
+  Table* table = FindTableLocked(table_name);
+  if (table == nullptr) {
+    return Status::InvalidArgument("no such table: " + table_name);
+  }
+  if (row.size() != table->schema.columns.size()) {
+    return Status::InvalidArgument("row arity mismatch for " + table_name);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = table->schema.columns[i];
+    if (row[i].is_null()) {
+      if (!col.nullable) {
+        return Status::InvalidArgument("null in non-nullable column " + col.name);
+      }
+    } else if (row[i].type() != col.type) {
+      return Status::InvalidArgument("type mismatch in column " + col.name);
+    }
+  }
+  Status unique = CheckUniqueLocked(*table, row, t.id, std::nullopt);
+  if (!unique.ok()) {
+    ++stats_.conflicts;
+    return unique;
+  }
+  AddWriteTagsLocked(t, *table, row);
+  TupleId id = table->heap.Append(std::move(row), t.id);
+  const TupleVersion& v = table->heap.Get(id);
+  for (const auto& index : table->indexes) {
+    index->Insert(index->ExtractKey(v.row), id);
+  }
+  t.created.emplace_back(table, id);
+  ++stats_.inserts;
+  return Status::Ok();
+}
+
+Status Database::CollectTargetsLocked(ActiveTxn& txn, Table& table, const AccessPath& path,
+                                      const PredicatePtr& where, std::vector<TupleId>* out,
+                                      QueryStats* stats) {
+  return VisitAccessPath(table, path, stats, [&](TupleId id, const TupleVersion& v) {
+    ++stats->tuples_examined;
+    if (!IsVisible(v, txn.snapshot, txn.id)) {
+      return;
+    }
+    if (where != nullptr && !where->Eval(v.row)) {
+      return;
+    }
+    out->push_back(id);
+  });
+}
+
+Result<size_t> Database::Update(TxnId txn, const std::string& table_name, const AccessPath& path,
+                                const PredicatePtr& where,
+                                const std::vector<std::pair<ColumnId, Value>>& sets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto txn_or = GetTxnLocked(txn);
+  if (!txn_or.ok()) {
+    return txn_or.status();
+  }
+  ActiveTxn& t = *txn_or.value();
+  if (t.read_only) {
+    return Status::FailedPrecondition("update in read-only transaction");
+  }
+  Table* table = FindTableLocked(table_name);
+  if (table == nullptr) {
+    return Status::InvalidArgument("no such table: " + table_name);
+  }
+  for (const auto& [col, value] : sets) {
+    if (col >= table->schema.columns.size()) {
+      return Status::InvalidArgument("update column out of range");
+    }
+    if (!value.is_null() && value.type() != table->schema.columns[col].type) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     table->schema.columns[col].name);
+    }
+  }
+  std::vector<TupleId> targets;
+  QueryStats qstats;
+  Status st = CollectTargetsLocked(t, *table, path, where, &targets, &qstats);
+  if (!st.ok()) {
+    return st;
+  }
+  for (TupleId id : targets) {
+    TupleVersion& old_version = table->heap.Get(id);
+    Status conflict = CheckWriteConflict(old_version, t.id);
+    if (!conflict.ok()) {
+      ++stats_.conflicts;
+      return conflict;
+    }
+    Row new_row = old_version.row;
+    for (const auto& [col, value] : sets) {
+      new_row[col] = value;
+    }
+    Status unique = CheckUniqueLocked(*table, new_row, t.id, id);
+    if (!unique.ok()) {
+      ++stats_.conflicts;
+      return unique;
+    }
+    AddWriteTagsLocked(t, *table, old_version.row);
+    AddWriteTagsLocked(t, *table, new_row);
+    old_version.xmax = t.id;
+    t.stamped.emplace_back(table, id);
+    TupleId new_id = table->heap.Append(std::move(new_row), t.id);
+    const TupleVersion& nv = table->heap.Get(new_id);
+    for (const auto& index : table->indexes) {
+      index->Insert(index->ExtractKey(nv.row), new_id);
+    }
+    t.created.emplace_back(table, new_id);
+  }
+  stats_.updates += targets.size();
+  return targets.size();
+}
+
+Result<size_t> Database::Delete(TxnId txn, const std::string& table_name, const AccessPath& path,
+                                const PredicatePtr& where) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto txn_or = GetTxnLocked(txn);
+  if (!txn_or.ok()) {
+    return txn_or.status();
+  }
+  ActiveTxn& t = *txn_or.value();
+  if (t.read_only) {
+    return Status::FailedPrecondition("delete in read-only transaction");
+  }
+  Table* table = FindTableLocked(table_name);
+  if (table == nullptr) {
+    return Status::InvalidArgument("no such table: " + table_name);
+  }
+  std::vector<TupleId> targets;
+  QueryStats qstats;
+  Status st = CollectTargetsLocked(t, *table, path, where, &targets, &qstats);
+  if (!st.ok()) {
+    return st;
+  }
+  for (TupleId id : targets) {
+    TupleVersion& v = table->heap.Get(id);
+    Status conflict = CheckWriteConflict(v, t.id);
+    if (!conflict.ok()) {
+      ++stats_.conflicts;
+      return conflict;
+    }
+    AddWriteTagsLocked(t, *table, v.row);
+    v.xmax = t.id;
+    t.stamped.emplace_back(table, id);
+  }
+  stats_.deletes += targets.size();
+  return targets.size();
+}
+
+size_t Database::Vacuum() {
+  std::lock_guard<std::mutex> lock(mu_);
+  clog_.AdvanceLiveScanFloor();
+  const Timestamp horizon = clog_.VacuumHorizon();
+  size_t reclaimed = 0;
+  for (auto& [name, table] : tables_) {
+    for (TupleId id = 0; id < table->heap.size(); ++id) {
+      TupleVersion& v = table->heap.Get(id);
+      if (v.vacuumed) {
+        continue;
+      }
+      bool dead = false;
+      if (clog_.IsAborted(v.xmin)) {
+        dead = true;
+      } else if (clog_.IsCommitted(v.xmin) && v.xmax != kInvalidTxnId &&
+                 clog_.IsCommitted(v.xmax) && clog_.CommitTs(v.xmax) <= horizon) {
+        // Invisible at every snapshot >= horizon. Removing it widens future invalidity masks
+        // only below the horizon, where no pinned snapshot or transaction can ever read.
+        dead = true;
+      }
+      if (dead) {
+        for (const auto& index : table->indexes) {
+          index->Remove(index->ExtractKey(v.row), id);
+        }
+        table->heap.MarkVacuumed(id);
+        ++reclaimed;
+      }
+    }
+  }
+  clog_.PruneWallClockHistory(horizon);
+  ++stats_.vacuum_runs;
+  stats_.versions_vacuumed += reclaimed;
+  return reclaimed;
+}
+
+DatabaseStats Database::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t Database::ApproximateDataBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = 0;
+  for (const auto& [name, table] : tables_) {
+    bytes += table->heap.live_bytes();
+  }
+  return bytes;
+}
+
+size_t Database::pinned_snapshot_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clog_.pinned_count();
+}
+
+}  // namespace txcache

@@ -1,0 +1,199 @@
+// The database engine facade: an in-memory MVCC relational database with snapshot isolation,
+// pinned snapshots, per-query validity intervals, and invalidation-tag generation — the
+// substrate TxCache's modified PostgreSQL provides in the paper (§5).
+//
+// Thread safety: all public methods are safe to call concurrently; a single mutex serializes
+// engine state (commit order therefore equals invalidation-stream order, which the protocol
+// requires).
+#ifndef SRC_DB_DATABASE_H_
+#define SRC_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/bus/bus.h"
+#include "src/db/heap.h"
+#include "src/db/index.h"
+#include "src/db/query.h"
+#include "src/db/schema.h"
+#include "src/db/txn_manager.h"
+#include "src/util/clock.h"
+#include "src/util/interval.h"
+#include "src/util/status.h"
+
+namespace txcache {
+
+// Work counters for one query; the simulator's cost model converts these to service time.
+struct QueryStats {
+  size_t tuples_examined = 0;  // heap versions touched (predicate or visibility evaluated)
+  size_t index_probes = 0;     // point lookups (outer access + join probes)
+  size_t seq_scanned = 0;      // versions visited by sequential scans
+  size_t rows_returned = 0;
+};
+
+struct QueryResult {
+  std::vector<Row> rows;
+  // Range of timestamps over which this result is unchanged; contains the snapshot. Only
+  // meaningful for read-only transactions with validity tracking enabled.
+  Interval validity;
+  std::vector<InvalidationTag> tags;  // sorted, deduplicated
+  QueryStats stats;
+
+  bool still_valid() const { return validity.unbounded(); }
+};
+
+struct CommitInfo {
+  Timestamp ts = kTimestampZero;
+  WallClock wallclock = 0;
+  size_t invalidation_tags = 0;  // tags published on the invalidation stream
+};
+
+struct PinnedSnapshot {
+  Timestamp ts = kTimestampZero;
+  WallClock wallclock = 0;  // when the snapshot was pinned (database-reported)
+};
+
+struct DatabaseStats {
+  uint64_t queries = 0;
+  uint64_t tuples_examined = 0;
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t conflicts = 0;
+  uint64_t invalidation_messages = 0;
+  uint64_t invalidation_tags = 0;
+  uint64_t wildcard_collapses = 0;
+  uint64_t vacuum_runs = 0;
+  uint64_t versions_vacuumed = 0;
+};
+
+class Database {
+ public:
+  struct Options {
+    // When false, emulates a stock DBMS: no validity intervals, no invalidation tags. Used by
+    // the §8.1 overhead benchmark ("modified vs stock Postgres").
+    bool track_validity = true;
+    // Evaluate predicates before visibility checks on scans to tighten the invalidity mask
+    // (§5.2). When false, uses the stock cheap-check-first order; masks become conservative.
+    bool predicate_before_visibility = true;
+    // An update transaction touching more than this many distinct tags in one table collapses
+    // them into a single TABLE:? wildcard (§5.3).
+    size_t wildcard_tag_threshold = 64;
+  };
+
+  explicit Database(const Clock* clock) : Database(clock, Options{}) {}
+  Database(const Clock* clock, Options options);
+
+  // --- schema ---
+  Status CreateTable(TableSchema schema);
+  Status CreateIndex(IndexSchema schema);
+  const TableSchema* FindTable(const std::string& name) const;
+  std::vector<std::string> ListTables() const;
+  std::vector<IndexSchema> ListIndexes(const std::string& table) const;
+
+  // --- transactions ---
+  TxnId BeginReadWrite();
+  // Begins a read-only transaction. With no snapshot, runs on the latest committed state. With
+  // a snapshot (BEGIN SNAPSHOTID), the snapshot must still be retained (pinned or latest).
+  Result<TxnId> BeginReadOnly(std::optional<Timestamp> snapshot = std::nullopt);
+  Result<CommitInfo> Commit(TxnId txn);
+  Status Abort(TxnId txn);
+  Result<Timestamp> SnapshotOf(TxnId txn) const;
+
+  // --- pinned snapshots (PIN / UNPIN) ---
+  PinnedSnapshot Pin();
+  Status Unpin(Timestamp snapshot);
+  Timestamp LatestCommitTs() const;
+
+  // --- queries and DML ---
+  Result<QueryResult> Execute(TxnId txn, const Query& query);
+  Status Insert(TxnId txn, const std::string& table, Row row);
+  // Updates rows matched by (path, where): sets[i] = {column, new value}. Returns #rows.
+  Result<size_t> Update(TxnId txn, const std::string& table, const AccessPath& path,
+                        const PredicatePtr& where,
+                        const std::vector<std::pair<ColumnId, Value>>& sets);
+  Result<size_t> Delete(TxnId txn, const std::string& table, const AccessPath& path,
+                        const PredicatePtr& where);
+
+  // --- maintenance ---
+  // Removes versions invisible to every pinned snapshot and running transaction. Returns the
+  // number of versions reclaimed. Safe to run at any time.
+  size_t Vacuum();
+
+  // Invalidation stream output (§5.3). Commits of updating transactions publish one message.
+  void set_invalidation_bus(InvalidationBus* bus) { bus_ = bus; }
+
+  DatabaseStats stats() const;
+  size_t ApproximateDataBytes() const;  // live heap bytes across tables (buffer-cache modeling)
+  size_t pinned_snapshot_count() const;
+
+ private:
+  struct Table {
+    TableSchema schema;
+    Heap heap;
+    std::vector<std::unique_ptr<OrderedIndex>> indexes;
+
+    OrderedIndex* FindIndex(const std::string& name) const {
+      for (const auto& idx : indexes) {
+        if (idx->schema().name == name) {
+          return idx.get();
+        }
+      }
+      return nullptr;
+    }
+  };
+
+  struct ActiveTxn {
+    TxnId id = kInvalidTxnId;
+    bool read_only = false;
+    Timestamp snapshot = kTimestampZero;
+    // Undo log: versions created (to ignore after abort) and xmax stamps placed (to clear).
+    std::vector<std::pair<Table*, TupleId>> created;
+    std::vector<std::pair<Table*, TupleId>> stamped;
+    // Invalidation tags accumulated from writes, grouped per table for wildcard collapsing.
+    std::map<std::string, std::set<InvalidationTag>> write_tags;
+  };
+
+  // All private helpers assume mu_ is held.
+  Table* FindTableLocked(const std::string& name);
+  const Table* FindTableLocked(const std::string& name) const;
+  Result<ActiveTxn*> GetTxnLocked(TxnId txn);
+
+  bool IsVisible(const TupleVersion& v, Timestamp snapshot, TxnId self) const;
+
+  // Visits versions selected by the access path; fn(TupleId, const TupleVersion&).
+  template <typename Fn>
+  Status VisitAccessPath(const Table& table, const AccessPath& path, QueryStats* stats,
+                         Fn&& fn) const;
+
+  Result<QueryResult> ExecuteLocked(ActiveTxn& txn, const Query& query);
+  Status CollectTargetsLocked(ActiveTxn& txn, Table& table, const AccessPath& path,
+                              const PredicatePtr& where, std::vector<TupleId>* out,
+                              QueryStats* stats);
+  Status CheckWriteConflict(const TupleVersion& v, TxnId self) const;
+  Status CheckUniqueLocked(Table& table, const Row& row, TxnId self,
+                           std::optional<TupleId> skip_tuple) const;
+  void AddWriteTagsLocked(ActiveTxn& txn, const Table& table, const Row& row);
+  void UndoLocked(ActiveTxn& txn);
+
+  mutable std::mutex mu_;
+  const Clock* clock_;
+  Options options_;
+  TxnManager clog_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<TxnId, ActiveTxn> active_;
+  InvalidationBus* bus_ = nullptr;
+  DatabaseStats stats_;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_DB_DATABASE_H_

@@ -1,0 +1,64 @@
+// No-overwrite versioned heap storage (paper §5.1).
+//
+// Mirrors the POSTGRES storage design the paper builds on: an UPDATE writes a new tuple version
+// and stamps the old one's xmax; a DELETE only stamps xmax. Old versions stay in the heap until
+// the vacuum cleaner removes those invisible to every pinned snapshot and running transaction.
+// Each version's lifetime — [commit(xmin), commit(xmax)) — is exactly the per-tuple validity
+// interval the validity tracker consumes (paper Fig. 4).
+#ifndef SRC_DB_HEAP_H_
+#define SRC_DB_HEAP_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/db/value.h"
+#include "src/util/interval.h"
+#include "src/util/types.h"
+
+namespace txcache {
+
+using TupleId = uint64_t;
+inline constexpr TupleId kInvalidTupleId = ~0ull;
+
+struct TupleVersion {
+  Row row;
+  TxnId xmin = kInvalidTxnId;  // creating transaction
+  TxnId xmax = kInvalidTxnId;  // deleting transaction (kInvalidTxnId = live)
+  bool vacuumed = false;       // slot reclaimed; ignore entirely
+};
+
+// Append-only tuple storage for one table. std::deque keeps references stable across appends.
+class Heap {
+ public:
+  TupleId Append(Row row, TxnId xmin) {
+    tuples_.push_back(TupleVersion{std::move(row), xmin, kInvalidTxnId, false});
+    live_bytes_ += RowByteSize(tuples_.back().row);
+    return tuples_.size() - 1;
+  }
+
+  TupleVersion& Get(TupleId id) { return tuples_[id]; }
+  const TupleVersion& Get(TupleId id) const { return tuples_[id]; }
+
+  void MarkVacuumed(TupleId id) {
+    TupleVersion& v = tuples_[id];
+    if (!v.vacuumed) {
+      live_bytes_ -= RowByteSize(v.row);
+      v.vacuumed = true;
+      Row().swap(v.row);  // actually release the memory
+      ++vacuumed_count_;
+    }
+  }
+
+  size_t size() const { return tuples_.size(); }
+  size_t vacuumed_count() const { return vacuumed_count_; }
+  size_t live_bytes() const { return live_bytes_; }
+
+ private:
+  std::deque<TupleVersion> tuples_;
+  size_t vacuumed_count_ = 0;
+  size_t live_bytes_ = 0;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_DB_HEAP_H_

@@ -1,0 +1,82 @@
+// Ordered secondary indexes.
+//
+// Like Postgres B-trees, an index references every heap version whose key matches — including
+// versions that are dead for a given snapshot. Visibility is decided at scan time by the
+// executor, which is what lets index scans contribute both result-tuple validity (visible
+// matches) and the invalidity mask (matching versions that fail the visibility check).
+#ifndef SRC_DB_INDEX_H_
+#define SRC_DB_INDEX_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/db/heap.h"
+#include "src/db/schema.h"
+#include "src/db/value.h"
+
+namespace txcache {
+
+class OrderedIndex {
+ public:
+  explicit OrderedIndex(IndexSchema schema) : schema_(std::move(schema)) {}
+
+  const IndexSchema& schema() const { return schema_; }
+
+  Row ExtractKey(const Row& row) const {
+    Row key;
+    key.reserve(schema_.columns.size());
+    for (ColumnId c : schema_.columns) {
+      key.push_back(row[c]);
+    }
+    return key;
+  }
+
+  void Insert(const Row& key, TupleId id) { entries_[key].push_back(id); }
+
+  void Remove(const Row& key, TupleId id) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      return;
+    }
+    auto& vec = it->second;
+    for (size_t i = 0; i < vec.size(); ++i) {
+      if (vec[i] == id) {
+        vec[i] = vec.back();
+        vec.pop_back();
+        break;
+      }
+    }
+    if (vec.empty()) {
+      entries_.erase(it);
+    }
+  }
+
+  // All heap versions (any visibility) whose key equals `key`.
+  const std::vector<TupleId>* Lookup(const Row& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  // Visits versions with lo <= key <= hi (either bound optional), in key order.
+  template <typename Visitor>  // Visitor: void(const Row& key, TupleId id)
+  void Range(const std::optional<Row>& lo, const std::optional<Row>& hi, Visitor&& visit) const {
+    auto it = lo ? entries_.lower_bound(*lo) : entries_.begin();
+    auto end = hi ? entries_.upper_bound(*hi) : entries_.end();
+    for (; it != end; ++it) {
+      for (TupleId id : it->second) {
+        visit(it->first, id);
+      }
+    }
+  }
+
+  size_t distinct_keys() const { return entries_.size(); }
+
+ private:
+  IndexSchema schema_;
+  std::map<Row, std::vector<TupleId>> entries_;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_DB_INDEX_H_

@@ -1,0 +1,134 @@
+#include "src/db/query.h"
+
+#include <cassert>
+
+namespace txcache {
+
+bool Predicate::Eval(const Row& row) const {
+  switch (kind) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kCmp: {
+      const Value& lhs = row[column];
+      // SQL semantics: comparisons against NULL are not satisfied.
+      if (lhs.is_null() || rhs.is_null()) {
+        return false;
+      }
+      const int c = lhs.Compare(rhs);
+      switch (op) {
+        case CmpOp::kEq:
+          return c == 0;
+        case CmpOp::kNe:
+          return c != 0;
+        case CmpOp::kLt:
+          return c < 0;
+        case CmpOp::kLe:
+          return c <= 0;
+        case CmpOp::kGt:
+          return c > 0;
+        case CmpOp::kGe:
+          return c >= 0;
+      }
+      return false;
+    }
+    case Kind::kColumnCmp: {
+      const Value& lhs = row[column];
+      const Value& r = row[rhs_column];
+      if (lhs.is_null() || r.is_null()) {
+        return false;
+      }
+      const int c = lhs.Compare(r);
+      switch (op) {
+        case CmpOp::kEq:
+          return c == 0;
+        case CmpOp::kNe:
+          return c != 0;
+        case CmpOp::kLt:
+          return c < 0;
+        case CmpOp::kLe:
+          return c <= 0;
+        case CmpOp::kGt:
+          return c > 0;
+        case CmpOp::kGe:
+          return c >= 0;
+      }
+      return false;
+    }
+    case Kind::kAnd:
+      for (const PredicatePtr& c : children) {
+        if (!c->Eval(row)) {
+          return false;
+        }
+      }
+      return true;
+    case Kind::kOr:
+      for (const PredicatePtr& c : children) {
+        if (c->Eval(row)) {
+          return true;
+        }
+      }
+      return false;
+    case Kind::kNot:
+      assert(children.size() == 1);
+      return !children[0]->Eval(row);
+    case Kind::kIsNull:
+      return row[column].is_null();
+  }
+  return false;
+}
+
+PredicatePtr PTrue() {
+  auto p = std::make_shared<Predicate>();
+  p->kind = Predicate::Kind::kTrue;
+  return p;
+}
+
+PredicatePtr PCmp(uint32_t column, CmpOp op, Value rhs) {
+  auto p = std::make_shared<Predicate>();
+  p->kind = Predicate::Kind::kCmp;
+  p->column = column;
+  p->op = op;
+  p->rhs = std::move(rhs);
+  return p;
+}
+
+PredicatePtr PEq(uint32_t column, Value rhs) { return PCmp(column, CmpOp::kEq, std::move(rhs)); }
+
+PredicatePtr PColumnCmp(uint32_t lhs_column, CmpOp op, uint32_t rhs_column) {
+  auto p = std::make_shared<Predicate>();
+  p->kind = Predicate::Kind::kColumnCmp;
+  p->column = lhs_column;
+  p->op = op;
+  p->rhs_column = rhs_column;
+  return p;
+}
+
+PredicatePtr PIsNull(uint32_t column) {
+  auto p = std::make_shared<Predicate>();
+  p->kind = Predicate::Kind::kIsNull;
+  p->column = column;
+  return p;
+}
+
+PredicatePtr PAnd(std::vector<PredicatePtr> children) {
+  auto p = std::make_shared<Predicate>();
+  p->kind = Predicate::Kind::kAnd;
+  p->children = std::move(children);
+  return p;
+}
+
+PredicatePtr POr(std::vector<PredicatePtr> children) {
+  auto p = std::make_shared<Predicate>();
+  p->kind = Predicate::Kind::kOr;
+  p->children = std::move(children);
+  return p;
+}
+
+PredicatePtr PNot(PredicatePtr child) {
+  auto p = std::make_shared<Predicate>();
+  p->kind = Predicate::Kind::kNot;
+  p->children.push_back(std::move(child));
+  return p;
+}
+
+}  // namespace txcache

@@ -1,0 +1,161 @@
+// Structured query representation.
+//
+// The engine exposes a relational-algebra query builder instead of a SQL parser: an access path
+// over a base table (sequential scan, index equality, or index range), residual predicates,
+// index-nested-loop joins, projection, aggregation with optional GROUP BY, ORDER BY and
+// LIMIT/OFFSET. This covers every query the RUBiS and wiki applications issue, while keeping the
+// executor small enough to reason about validity tracking precisely.
+//
+// Column references are *flat* indices into the row built so far: a query over A join B sees
+// A's columns first, then B's.
+#ifndef SRC_DB_QUERY_H_
+#define SRC_DB_QUERY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/db/value.h"
+
+namespace txcache {
+
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct Predicate;
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+struct Predicate {
+  enum class Kind : uint8_t { kTrue, kCmp, kAnd, kOr, kNot, kIsNull, kColumnCmp };
+
+  Kind kind = Kind::kTrue;
+  uint32_t column = 0;  // flat column index (kCmp, kIsNull, kColumnCmp lhs)
+  CmpOp op = CmpOp::kEq;
+  Value rhs;             // kCmp
+  uint32_t rhs_column = 0;  // kColumnCmp
+  std::vector<PredicatePtr> children;  // kAnd, kOr, kNot
+
+  bool Eval(const Row& row) const;
+};
+
+// --- predicate builders ---
+PredicatePtr PTrue();
+PredicatePtr PCmp(uint32_t column, CmpOp op, Value rhs);
+PredicatePtr PEq(uint32_t column, Value rhs);
+PredicatePtr PColumnCmp(uint32_t lhs_column, CmpOp op, uint32_t rhs_column);
+PredicatePtr PIsNull(uint32_t column);
+PredicatePtr PAnd(std::vector<PredicatePtr> children);
+PredicatePtr POr(std::vector<PredicatePtr> children);
+PredicatePtr PNot(PredicatePtr child);
+
+// How a table is accessed. The access method determines the invalidation tag the query receives
+// (paper §5.3): index equality => TABLE:INDEX=KEY, anything else => TABLE:? wildcard.
+struct AccessPath {
+  enum class Kind : uint8_t { kSeqScan, kIndexEq, kIndexRange };
+
+  Kind kind = Kind::kSeqScan;
+  std::string table;
+  std::string index;                // kIndexEq / kIndexRange
+  Row eq_key;                       // kIndexEq
+  std::optional<Row> range_lo;      // kIndexRange (inclusive)
+  std::optional<Row> range_hi;      // kIndexRange (inclusive)
+
+  static AccessPath SeqScan(std::string table) {
+    AccessPath p;
+    p.kind = Kind::kSeqScan;
+    p.table = std::move(table);
+    return p;
+  }
+  static AccessPath IndexEq(std::string table, std::string index, Row key) {
+    AccessPath p;
+    p.kind = Kind::kIndexEq;
+    p.table = std::move(table);
+    p.index = std::move(index);
+    p.eq_key = std::move(key);
+    return p;
+  }
+  static AccessPath IndexRange(std::string table, std::string index, std::optional<Row> lo,
+                               std::optional<Row> hi) {
+    AccessPath p;
+    p.kind = Kind::kIndexRange;
+    p.table = std::move(table);
+    p.index = std::move(index);
+    p.range_lo = std::move(lo);
+    p.range_hi = std::move(hi);
+    return p;
+  }
+};
+
+// Index-nested-loop join step: for each row built so far, probe `index` on `table` with the
+// key formed from `key_columns` (flat indices into the current row), append matching tuples.
+struct JoinStep {
+  std::string table;
+  std::string index;
+  std::vector<uint32_t> key_columns;
+  PredicatePtr residual;  // evaluated on the combined row, before the visibility check
+};
+
+enum class AggKind : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+struct Aggregate {
+  AggKind kind = AggKind::kCount;
+  uint32_t column = 0;  // ignored for kCount
+};
+
+struct OrderBy {
+  uint32_t column = 0;
+  bool descending = false;
+};
+
+struct Query {
+  AccessPath from;
+  PredicatePtr where;  // residual predicate on the outer table (may be null => true)
+  std::vector<JoinStep> joins;
+  std::vector<uint32_t> project;       // empty => all columns
+  std::optional<Aggregate> aggregate;  // with optional group_by
+  std::optional<uint32_t> group_by;    // flat column index; requires aggregate
+  std::vector<OrderBy> order_by;
+  size_t limit = 0;   // 0 => unlimited
+  size_t offset = 0;
+
+  // Fluent helpers for terse call sites.
+  Query& Where(PredicatePtr p) {
+    where = std::move(p);
+    return *this;
+  }
+  Query& Join(JoinStep j) {
+    joins.push_back(std::move(j));
+    return *this;
+  }
+  Query& Project(std::vector<uint32_t> cols) {
+    project = std::move(cols);
+    return *this;
+  }
+  Query& Agg(AggKind kind, uint32_t column = 0) {
+    aggregate = Aggregate{kind, column};
+    return *this;
+  }
+  Query& GroupBy(uint32_t column) {
+    group_by = column;
+    return *this;
+  }
+  Query& SortBy(uint32_t column, bool descending = false) {
+    order_by.push_back(OrderBy{column, descending});
+    return *this;
+  }
+  Query& Limit(size_t n, size_t off = 0) {
+    limit = n;
+    offset = off;
+    return *this;
+  }
+
+  static Query From(AccessPath path) {
+    Query q;
+    q.from = std::move(path);
+    return q;
+  }
+};
+
+}  // namespace txcache
+
+#endif  // SRC_DB_QUERY_H_

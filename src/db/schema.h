@@ -1,0 +1,45 @@
+// Table schemas and index definitions.
+#ifndef SRC_DB_SCHEMA_H_
+#define SRC_DB_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/db/value.h"
+
+namespace txcache {
+
+using ColumnId = uint32_t;
+
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  bool nullable = true;
+};
+
+struct TableSchema {
+  std::string name;
+  std::vector<Column> columns;
+
+  std::optional<ColumnId> ColumnIndex(const std::string& column_name) const {
+    for (ColumnId i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == column_name) {
+        return i;
+      }
+    }
+    return std::nullopt;
+  }
+};
+
+struct IndexSchema {
+  std::string name;
+  std::string table;
+  std::vector<ColumnId> columns;  // composite keys supported
+  bool unique = false;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_DB_SCHEMA_H_

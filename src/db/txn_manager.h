@@ -1,0 +1,134 @@
+// Transaction manager: transaction-id allocation, the commit log (CLOG), the commit-timestamp
+// counter, and the pinned-snapshot registry (paper §5.1).
+//
+// Commit timestamps are dense ordinals: the n-th committing read/write transaction gets
+// timestamp n. A snapshot is identified by the commit timestamp of the last transaction visible
+// to it; "pinning" a snapshot (the PIN command the paper adds to Postgres) increments a
+// reference count that prevents the vacuum horizon from advancing past it.
+#ifndef SRC_DB_TXN_MANAGER_H_
+#define SRC_DB_TXN_MANAGER_H_
+
+#include <map>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/types.h"
+
+namespace txcache {
+
+enum class TxnState : uint8_t { kInProgress, kCommitted, kAborted };
+
+struct TxnRecord {
+  TxnState state = TxnState::kInProgress;
+  Timestamp commit_ts = kTimestampZero;  // valid iff committed
+  WallClock commit_wallclock = 0;        // valid iff committed
+  Timestamp snapshot = kTimestampZero;   // snapshot the transaction ran against
+  bool read_only = false;
+};
+
+// Not thread-safe; the Database serializes access.
+class TxnManager {
+ public:
+  TxnId Begin(Timestamp snapshot, bool read_only) {
+    records_.push_back(TxnRecord{TxnState::kInProgress, kTimestampZero, 0, snapshot, read_only});
+    return static_cast<TxnId>(records_.size());  // ids are 1-based
+  }
+
+  // Assigns the next commit timestamp. Caller supplies the wall-clock time of the commit.
+  Timestamp Commit(TxnId id, WallClock now) {
+    TxnRecord& r = Record(id);
+    r.state = TxnState::kCommitted;
+    r.commit_ts = ++latest_commit_ts_;
+    r.commit_wallclock = now;
+    commit_wallclocks_[r.commit_ts] = now;
+    return r.commit_ts;
+  }
+
+  void Abort(TxnId id) { Record(id).state = TxnState::kAborted; }
+
+  // Finishes a transaction that performed no writes without consuming a commit timestamp.
+  // Such a transaction "ran at" its snapshot; it never appears as an xmin/xmax.
+  void FinishReadOnly(TxnId id) {
+    TxnRecord& r = Record(id);
+    r.state = TxnState::kCommitted;
+    r.commit_ts = kTimestampZero;
+  }
+
+  TxnState State(TxnId id) const { return Record(id).state; }
+  bool IsCommitted(TxnId id) const { return State(id) == TxnState::kCommitted; }
+  bool IsAborted(TxnId id) const { return State(id) == TxnState::kAborted; }
+  bool IsInProgress(TxnId id) const { return State(id) == TxnState::kInProgress; }
+  Timestamp CommitTs(TxnId id) const { return Record(id).commit_ts; }
+  const TxnRecord& Record(TxnId id) const { return records_.at(id - 1); }
+  TxnRecord& Record(TxnId id) { return records_.at(id - 1); }
+
+  Timestamp latest_commit_ts() const { return latest_commit_ts_; }
+  size_t transaction_count() const { return records_.size(); }
+
+  // Wall-clock time at which `ts` was assigned (kTimestampZero maps to the epoch). Used by the
+  // pincushion and staleness checks.
+  WallClock CommitWallClock(Timestamp ts) const {
+    auto it = commit_wallclocks_.find(ts);
+    return it == commit_wallclocks_.end() ? 0 : it->second;
+  }
+
+  // --- pinned snapshots (PIN / UNPIN) ---
+
+  // Pins the given snapshot (must be <= latest commit ts). Returns its refcount after pinning.
+  int Pin(Timestamp snapshot) { return ++pins_[snapshot]; }
+
+  Status Unpin(Timestamp snapshot) {
+    auto it = pins_.find(snapshot);
+    if (it == pins_.end()) {
+      return Status::NotFound("snapshot not pinned");
+    }
+    if (--it->second == 0) {
+      pins_.erase(it);
+    }
+    return Status::Ok();
+  }
+
+  bool IsPinned(Timestamp snapshot) const { return pins_.contains(snapshot); }
+  size_t pinned_count() const { return pins_.size(); }
+
+  // Oldest timestamp that any pinned snapshot or in-progress transaction may still read.
+  // Versions invisible at and after this horizon can be vacuumed.
+  Timestamp VacuumHorizon() const {
+    Timestamp horizon = latest_commit_ts_;
+    if (!pins_.empty()) {
+      horizon = std::min(horizon, pins_.begin()->first);
+    }
+    for (TxnId id = live_scan_floor_; id <= records_.size(); ++id) {
+      const TxnRecord& r = records_[id - 1];
+      if (r.state == TxnState::kInProgress) {
+        horizon = std::min(horizon, r.snapshot);
+      }
+    }
+    return horizon;
+  }
+
+  // Advances the floor below which all transactions are known finished, bounding the
+  // VacuumHorizon scan. Called opportunistically by the database.
+  void AdvanceLiveScanFloor() {
+    while (live_scan_floor_ <= records_.size() &&
+           records_[live_scan_floor_ - 1].state != TxnState::kInProgress) {
+      ++live_scan_floor_;
+    }
+  }
+
+  // Prunes commit-wallclock history older than the horizon (bounded memory).
+  void PruneWallClockHistory(Timestamp horizon) {
+    commit_wallclocks_.erase(commit_wallclocks_.begin(), commit_wallclocks_.lower_bound(horizon));
+  }
+
+ private:
+  std::vector<TxnRecord> records_;
+  Timestamp latest_commit_ts_ = kTimestampZero;
+  std::map<Timestamp, int> pins_;                   // snapshot ts -> refcount
+  std::map<Timestamp, WallClock> commit_wallclocks_;
+  TxnId live_scan_floor_ = 1;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_DB_TXN_MANAGER_H_

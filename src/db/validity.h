@@ -1,0 +1,80 @@
+// Validity-interval tracking for query execution (paper §5.2, Fig. 4).
+//
+// While a read-only query runs at snapshot S, two ranges are accumulated:
+//   * result-tuple validity: the intersection of the lifetime intervals of every tuple version
+//     that passed both the predicate and the visibility check (i.e. appears in the result);
+//   * invalidity mask: the union of the lifetime intervals of versions that matched the
+//     predicate but failed the visibility check — these are the phantoms: at timestamps inside
+//     their lifetimes the query would return something different.
+// The query's final validity interval is the maximal sub-interval of the result-tuple validity
+// that contains S and avoids the mask.
+#ifndef SRC_DB_VALIDITY_H_
+#define SRC_DB_VALIDITY_H_
+
+#include "src/db/heap.h"
+#include "src/db/txn_manager.h"
+#include "src/util/interval.h"
+
+namespace txcache {
+
+class ValidityTracker {
+ public:
+  // If `enabled` is false (read/write transactions, or "stock database" mode for the overhead
+  // benchmark) all observations are no-ops and Finalize returns the unbounded interval.
+  ValidityTracker(const TxnManager* clog, Timestamp snapshot, bool enabled)
+      : clog_(clog), snapshot_(snapshot), enabled_(enabled) {}
+
+  // Lifetime of a version whose xmin has committed: [commit(xmin), commit(xmax) or infinity).
+  // An xmax that is in progress or aborted does not bound the lifetime — if the deleter later
+  // commits, the invalidation stream truncates affected cache entries.
+  Interval Lifetime(const TupleVersion& v) const {
+    Interval iv;
+    iv.lower = clog_->CommitTs(v.xmin);
+    iv.upper = (v.xmax != kInvalidTxnId && clog_->IsCommitted(v.xmax)) ? clog_->CommitTs(v.xmax)
+                                                                       : kTimestampInfinity;
+    return iv;
+  }
+
+  void ObserveVisible(const TupleVersion& v) {
+    if (!enabled_) {
+      return;
+    }
+    result_validity_ = result_validity_.Intersect(Lifetime(v));
+  }
+
+  void ObserveInvisible(const TupleVersion& v) {
+    if (!enabled_) {
+      return;
+    }
+    // Versions whose creator never committed (in progress or aborted) are not valid at any
+    // committed timestamp <= latest, so they cannot constrain the interval.
+    if (!clog_->IsCommitted(v.xmin)) {
+      return;
+    }
+    mask_.Add(Lifetime(v));
+  }
+
+  // The final validity interval. Always contains the snapshot for well-formed executions: every
+  // visible tuple's lifetime contains S, and masked lifetimes never cover S.
+  Interval Finalize() const {
+    if (!enabled_) {
+      return Interval::All();
+    }
+    return mask_.MaximalGapAround(snapshot_, result_validity_);
+  }
+
+  const Interval& result_validity() const { return result_validity_; }
+  const IntervalSet& mask() const { return mask_; }
+  bool enabled() const { return enabled_; }
+
+ private:
+  const TxnManager* clog_;
+  Timestamp snapshot_;
+  bool enabled_;
+  Interval result_validity_ = Interval::All();
+  IntervalSet mask_;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_DB_VALIDITY_H_

@@ -1,0 +1,197 @@
+#include "src/db/value.h"
+
+#include <sstream>
+
+namespace txcache {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kBool:
+      return "BOOL";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& o) const {
+  if (v_.index() != o.v_.index()) {
+    return v_.index() < o.v_.index() ? -1 : 1;
+  }
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt: {
+      int64_t a = AsInt(), b = o.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueType::kDouble: {
+      double a = AsDouble(), b = o.AsDouble();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueType::kString: {
+      int c = AsString().compare(o.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case ValueType::kBool: {
+      bool a = AsBool(), b = o.AsBool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+  }
+  return 0;
+}
+
+size_t Value::ByteSize() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 9;
+    case ValueType::kBool:
+      return 2;
+    case ValueType::kString:
+      return 5 + AsString().size();
+  }
+  return 1;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+  }
+  return "?";
+}
+
+void Value::SerializeTo(Writer& w) const {
+  w.PutU8(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      w.PutI64(AsInt());
+      break;
+    case ValueType::kDouble:
+      w.PutDouble(AsDouble());
+      break;
+    case ValueType::kString:
+      w.PutString(AsString());
+      break;
+    case ValueType::kBool:
+      w.PutBool(AsBool());
+      break;
+  }
+}
+
+bool Value::DeserializeFrom(Reader& r, Value* out) {
+  uint8_t tag;
+  if (!r.GetU8(&tag)) {
+    return false;
+  }
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *out = Value::Null();
+      return true;
+    case ValueType::kInt: {
+      int64_t v;
+      if (!r.GetI64(&v)) {
+        return false;
+      }
+      *out = Value(v);
+      return true;
+    }
+    case ValueType::kDouble: {
+      double v;
+      if (!r.GetDouble(&v)) {
+        return false;
+      }
+      *out = Value(v);
+      return true;
+    }
+    case ValueType::kString: {
+      std::string v;
+      if (!r.GetString(&v)) {
+        return false;
+      }
+      *out = Value(std::move(v));
+      return true;
+    }
+    case ValueType::kBool: {
+      bool v;
+      if (!r.GetBool(&v)) {
+        return false;
+      }
+      *out = Value(v);
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t RowByteSize(const Row& row) {
+  size_t n = sizeof(Row);
+  for (const Value& v : row) {
+    n += v.ByteSize();
+  }
+  return n;
+}
+
+std::string RowToString(const Row& row) {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << row[i].ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string EncodeRow(const Row& row) {
+  Writer w;
+  w.PutU32(static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) {
+    v.SerializeTo(w);
+  }
+  return w.Take();
+}
+
+Result<Row> DecodeRow(std::string_view bytes) {
+  Reader r(bytes);
+  uint32_t n;
+  if (!r.GetU32(&n)) {
+    return Status::InvalidArgument("malformed row");
+  }
+  Row row;
+  row.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Value v;
+    if (!Value::DeserializeFrom(r, &v)) {
+      return Status::InvalidArgument("malformed row value");
+    }
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+}  // namespace txcache

@@ -1,0 +1,82 @@
+// Typed values and rows for the relational engine.
+#ifndef SRC_DB_VALUE_H_
+#define SRC_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/util/serde.h"
+
+namespace txcache {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+  kBool = 4,
+};
+
+const char* ValueTypeName(ValueType t);
+
+// A single column value. NULL is modeled as std::monostate. Values of different types compare by
+// type tag first (NULL sorts lowest), giving indexes a total order without implicit coercions.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  Value(int64_t v) : v_(v) {}            // NOLINT(google-explicit-constructor)
+  Value(int v) : v_(int64_t{v}) {}       // NOLINT(google-explicit-constructor)
+  Value(double v) : v_(v) {}             // NOLINT(google-explicit-constructor)
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(bool v) : v_(v) {}               // NOLINT(google-explicit-constructor)
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const { return static_cast<ValueType>(v_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  bool AsBool() const { return std::get<bool>(v_); }
+
+  // Total order: type tag, then value. Used by ordered indexes and ORDER BY.
+  int Compare(const Value& o) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+
+  // Approximate in-memory footprint, for cache/DB byte accounting.
+  size_t ByteSize() const;
+
+  std::string ToString() const;
+
+  void SerializeTo(Writer& w) const;
+  static bool DeserializeFrom(Reader& r, Value* out);
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, bool> v_;
+};
+
+using Row = std::vector<Value>;
+
+size_t RowByteSize(const Row& row);
+std::string RowToString(const Row& row);
+
+// Serialized form of a row, used as index keys in invalidation tags and for cache values.
+std::string EncodeRow(const Row& row);
+Result<Row> DecodeRow(std::string_view bytes);
+
+template <>
+struct Serde<Value> {
+  static void Write(Writer& w, const Value& v) { v.SerializeTo(w); }
+  static bool Read(Reader& r, Value* out) { return Value::DeserializeFrom(r, out); }
+};
+
+}  // namespace txcache
+
+#endif  // SRC_DB_VALUE_H_

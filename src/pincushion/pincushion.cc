@@ -1,0 +1,96 @@
+#include "src/pincushion/pincushion.h"
+
+namespace txcache {
+
+std::vector<PinInfo> Pincushion::AcquireFreshPins(WallClock staleness) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.fresh_requests;
+  const WallClock cutoff = clock_->Now() - staleness;
+  std::vector<PinInfo> out;
+  for (auto& [ts, entry] : pins_) {
+    if (entry.pinned_at >= cutoff) {
+      ++entry.in_use;
+      out.push_back(PinInfo{ts, entry.pinned_at});
+      ++stats_.pins_handed_out;
+    }
+  }
+  return out;
+}
+
+void Pincushion::Register(const PinInfo& pin) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = pins_[pin.ts];
+  if (entry.db_pin_count == 0) {
+    entry.pinned_at = pin.pinned_at;
+  }
+  ++entry.db_pin_count;
+  ++entry.in_use;
+  ++stats_.registrations;
+}
+
+void Pincushion::Release(const std::vector<PinInfo>& pins) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const PinInfo& pin : pins) {
+    auto it = pins_.find(pin.ts);
+    if (it != pins_.end() && it->second.in_use > 0) {
+      --it->second.in_use;
+    }
+  }
+}
+
+size_t Pincushion::Sweep() {
+  std::vector<std::pair<Timestamp, int>> to_unpin;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.sweeps;
+    const WallClock cutoff = clock_->Now() - options_.unpin_after;
+    for (auto it = pins_.begin(); it != pins_.end();) {
+      if (it->second.in_use == 0 && it->second.pinned_at < cutoff) {
+        to_unpin.emplace_back(it->first, it->second.db_pin_count);
+        it = pins_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    stats_.unpinned += to_unpin.size();
+  }
+  // UNPIN outside our lock; the database serializes internally.
+  size_t count = 0;
+  for (const auto& [ts, db_pins] : to_unpin) {
+    for (int i = 0; i < db_pins; ++i) {
+      db_->Unpin(ts);
+    }
+    ++count;
+  }
+  return count;
+}
+
+size_t Pincushion::pinned_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pins_.size();
+}
+
+std::vector<Pincushion::PinEntry> Pincushion::ExportState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PinEntry> out;
+  out.reserve(pins_.size());
+  for (const auto& [ts, entry] : pins_) {
+    out.push_back(PinEntry{ts, entry.pinned_at, entry.in_use, entry.db_pin_count});
+  }
+  return out;
+}
+
+void Pincushion::ImportState(const std::vector<PinEntry>& entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pins_.clear();
+  for (const PinEntry& e : entries) {
+    pins_[e.ts] = Entry{e.pinned_at, e.in_use, e.db_pin_count};
+  }
+}
+
+PincushionStats Pincushion::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace txcache

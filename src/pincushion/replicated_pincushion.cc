@@ -1,0 +1,155 @@
+#include "src/pincushion/replicated_pincushion.h"
+
+#include <cassert>
+
+namespace txcache {
+
+ReplicatedPincushion::ReplicatedPincushion(Database* db, const Clock* clock, size_t replicas,
+                                           Pincushion::Options options)
+    : db_(db), clock_(clock), options_(options) {
+  assert(replicas >= 1);
+  replicas_.reserve(replicas);
+  for (size_t i = 0; i < replicas; ++i) {
+    Replica r;
+    r.pincushion = std::make_unique<Pincushion>(db_, clock_, options_);
+    replicas_.push_back(std::move(r));
+  }
+}
+
+size_t ReplicatedPincushion::PrimaryLocked() const {
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (replicas_[i].live) {
+      return i;
+    }
+  }
+  return 0;  // unreachable while at least one replica is live
+}
+
+std::vector<PinInfo> ReplicatedPincushion::AcquireFreshPins(WallClock staleness) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The acquire marks pins in use: a write, applied to every live replica. With synchronized
+  // state, every replica computes the same answer; the primary's is returned.
+  std::vector<PinInfo> result;
+  const size_t primary = PrimaryLocked();
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (!replicas_[i].live) {
+      continue;
+    }
+    std::vector<PinInfo> pins = replicas_[i].pincushion->AcquireFreshPins(staleness);
+    if (i == primary) {
+      result = std::move(pins);
+    }
+  }
+  return result;
+}
+
+std::vector<PinInfo> ReplicatedPincushion::AcquireFreshPinsFrom(size_t index,
+                                                                WallClock staleness) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= replicas_.size() || !replicas_[index].live) {
+    return {};
+  }
+  std::vector<PinInfo> result;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (!replicas_[i].live) {
+      continue;
+    }
+    std::vector<PinInfo> pins = replicas_[i].pincushion->AcquireFreshPins(staleness);
+    if (i == index) {
+      result = std::move(pins);
+    }
+  }
+  return result;
+}
+
+void ReplicatedPincushion::Register(const PinInfo& pin) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Replica& r : replicas_) {
+    if (r.live) {
+      r.pincushion->Register(pin);
+    }
+  }
+}
+
+void ReplicatedPincushion::Release(const std::vector<PinInfo>& pins) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Replica& r : replicas_) {
+    if (r.live) {
+      r.pincushion->Release(pins);
+    }
+  }
+}
+
+size_t ReplicatedPincushion::Sweep() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Only the primary sweeps (it owns the database UNPINs); backups just drop the same entries
+  // from their tables by importing the primary's state afterwards.
+  const size_t primary = PrimaryLocked();
+  size_t swept = replicas_[primary].pincushion->Sweep();
+  if (swept > 0) {
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (i != primary && replicas_[i].live) {
+        ResyncLocked(primary, i);
+      }
+    }
+  }
+  return swept;
+}
+
+size_t ReplicatedPincushion::pinned_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replicas_[PrimaryLocked()].pincushion->pinned_count();
+}
+
+bool ReplicatedPincushion::FailReplica(size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= replicas_.size() || !replicas_[index].live) {
+    return false;
+  }
+  size_t live = 0;
+  for (const Replica& r : replicas_) {
+    live += r.live ? 1 : 0;
+  }
+  if (live <= 1) {
+    return false;  // refuse to lose the last copy
+  }
+  replicas_[index].live = false;
+  return true;
+}
+
+bool ReplicatedPincushion::RecoverReplica(size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= replicas_.size() || replicas_[index].live) {
+    return false;
+  }
+  // Resolve the state-transfer source BEFORE the replica rejoins: a recovering ex-primary has
+  // the lowest index and would otherwise "resync" from itself, resurrecting pins the group
+  // already swept (and double-unpinning them later).
+  const size_t source = PrimaryLocked();
+  replicas_[index].live = true;
+  ResyncLocked(source, index);
+  return true;
+}
+
+size_t ReplicatedPincushion::primary_index() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PrimaryLocked();
+}
+
+size_t ReplicatedPincushion::live_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t live = 0;
+  for (const Replica& r : replicas_) {
+    live += r.live ? 1 : 0;
+  }
+  return live;
+}
+
+void ReplicatedPincushion::ResyncLocked(size_t from, size_t to) {
+  if (from == to) {
+    return;
+  }
+  replicas_[to].pincushion->ImportState(replicas_[from].pincushion->ExportState());
+}
+
+}  // namespace txcache

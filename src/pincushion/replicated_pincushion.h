@@ -1,0 +1,74 @@
+// Replicated pincushion (paper §5.4: "We have also developed a protocol for replicating the
+// pincushion to increase its throughput, but it has yet to become necessary").
+//
+// A primary-backup group: all writes (Register / Acquire's in-use marks / Release) execute on
+// the primary and are applied synchronously to every live backup, so any backup can take over
+// with the exact pin table. Freshness reads can be served by any replica (they are safe to
+// serve slightly stale: handing out a pin that has just been unpinned only costs a failed
+// BEGIN SNAPSHOTID and a retry; the client library treats that as "no fresh pins").
+//
+// Failover: when the primary is marked failed, the lowest-indexed live replica becomes primary.
+// Sweeping (which issues UNPINs to the database) runs only on the primary, so a failed replica
+// can never unpin snapshots the new primary still tracks.
+#ifndef SRC_PINCUSHION_REPLICATED_PINCUSHION_H_
+#define SRC_PINCUSHION_REPLICATED_PINCUSHION_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/pincushion/pincushion.h"
+
+namespace txcache {
+
+class ReplicatedPincushion {
+ public:
+  // Creates a group of `replicas` pincushions over the same database.
+  ReplicatedPincushion(Database* db, const Clock* clock, size_t replicas,
+                       Pincushion::Options options = Pincushion::Options{});
+
+  // --- the Pincushion interface, routed through the group ---
+  std::vector<PinInfo> AcquireFreshPins(WallClock staleness);
+  void Register(const PinInfo& pin);
+  void Release(const std::vector<PinInfo>& pins);
+  size_t Sweep();
+  size_t pinned_count() const;
+
+  // --- fault injection (tests / demos) ---
+  // Marks a replica failed; its state is frozen and it stops receiving writes. Fails over if it
+  // was the primary. Returns false if it was already down or is the only live replica.
+  bool FailReplica(size_t index);
+  // Brings a failed replica back: its stale state is discarded and resynchronized from the
+  // primary before it rejoins.
+  bool RecoverReplica(size_t index);
+
+  size_t primary_index() const;
+  size_t live_count() const;
+  size_t replica_count() const { return replicas_.size(); }
+
+  // Reads served by a specific replica (any live one returns usable results).
+  std::vector<PinInfo> AcquireFreshPinsFrom(size_t index, WallClock staleness);
+
+ private:
+  struct Replica {
+    std::unique_ptr<Pincushion> pincushion;
+    bool live = true;
+  };
+
+  // All helpers assume mu_ is held.
+  size_t PrimaryLocked() const;
+  void ResyncLocked(size_t from, size_t to);
+
+  Database* db_;
+  const Clock* clock_;
+  Pincushion::Options options_;
+
+  mutable std::mutex mu_;
+  std::vector<Replica> replicas_;
+  size_t next_read_ = 0;  // round-robin for freshness reads
+};
+
+}  // namespace txcache
+
+#endif  // SRC_PINCUSHION_REPLICATED_PINCUSHION_H_

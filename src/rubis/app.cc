@@ -1,0 +1,466 @@
+#include "src/rubis/app.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/rubis/schema.h"
+
+namespace txcache::rubis {
+
+namespace {
+constexpr int64_t kPageSize = 20;
+}  // namespace
+
+RubisApp::RubisApp(TxCacheClient* client, RubisDataset* dataset, const Clock* clock)
+    : client_(client), dataset_(dataset), clock_(clock) {
+  get_item = client_->MakeCacheable<ItemInfo, int64_t>(
+      "rubis.get_item", [this](int64_t id) { return GetItemImpl(id); });
+  get_user = client_->MakeCacheable<UserInfo, int64_t>(
+      "rubis.get_user", [this](int64_t id) { return GetUserImpl(id); });
+  auth_user = client_->MakeCacheable<int64_t, std::string>(
+      "rubis.auth_user", [this](const std::string& nick) { return AuthUserImpl(nick); });
+  category_items = client_->MakeCacheable<std::vector<int64_t>, int64_t, int64_t>(
+      "rubis.category_items",
+      [this](int64_t cat, int64_t page) { return CategoryItemsImpl(cat, page); });
+  region_category_items =
+      client_->MakeCacheable<std::vector<int64_t>, int64_t, int64_t, int64_t>(
+          "rubis.region_category_items", [this](int64_t region, int64_t cat, int64_t page) {
+            return RegionCategoryItemsImpl(region, cat, page);
+          });
+  item_bids = client_->MakeCacheable<std::vector<BidInfo>, int64_t>(
+      "rubis.item_bids", [this](int64_t item) { return ItemBidsImpl(item); });
+
+  view_item_page = client_->MakeCacheable<Page, int64_t>(
+      "rubis.page.view_item", [this](int64_t id) { return ViewItemPageImpl(id); });
+  view_user_page = client_->MakeCacheable<Page, int64_t>(
+      "rubis.page.view_user", [this](int64_t id) { return ViewUserPageImpl(id); });
+  bid_history_page = client_->MakeCacheable<Page, int64_t>(
+      "rubis.page.bid_history", [this](int64_t id) { return BidHistoryPageImpl(id); });
+  search_category_page = client_->MakeCacheable<Page, int64_t, int64_t>(
+      "rubis.page.search_category",
+      [this](int64_t cat, int64_t page) { return SearchCategoryPageImpl(cat, page); });
+  search_region_page = client_->MakeCacheable<Page, int64_t, int64_t, int64_t>(
+      "rubis.page.search_region", [this](int64_t region, int64_t cat, int64_t page) {
+        return SearchRegionPageImpl(region, cat, page);
+      });
+  browse_categories_page = client_->MakeCacheable<Page>(
+      "rubis.page.browse_categories", [this]() { return BrowseCategoriesPageImpl(); });
+  browse_regions_page = client_->MakeCacheable<Page>(
+      "rubis.page.browse_regions", [this]() { return BrowseRegionsPageImpl(); });
+  about_me_page = client_->MakeCacheable<Page, int64_t>(
+      "rubis.page.about_me", [this](int64_t user) { return AboutMePageImpl(user); });
+}
+
+std::vector<Row> RubisApp::FetchItemRow(const char* table, const char* index, int64_t id) {
+  auto result =
+      client_->ExecuteQuery(Query::From(AccessPath::IndexEq(table, index, Row{Value(id)})));
+  if (!result.ok()) {
+    return {};
+  }
+  return std::move(result.value().rows);
+}
+
+ItemInfo RubisApp::GetItemImpl(int64_t id) {
+  // Looking up an item requires examining both the active and the completed auctions — the
+  // paper calls this out as a function that is "more complicated than an individual query".
+  ItemInfo info;
+  std::vector<Row> rows = FetchItemRow(kItems, kItemsPk, id);
+  bool closed = false;
+  if (rows.empty()) {
+    rows = FetchItemRow(kOldItems, kOldItemsPk, id);
+    closed = true;
+  }
+  if (rows.empty()) {
+    return info;  // found=false
+  }
+  const Row& r = rows[0];
+  info.id = r[ItemsCol::kId].AsInt();
+  info.name = r[ItemsCol::kName].AsString();
+  info.description = r[ItemsCol::kDescription].AsString();
+  info.initial_price = r[ItemsCol::kInitialPrice].AsDouble();
+  info.quantity = r[ItemsCol::kQuantity].AsInt();
+  info.buy_now = r[ItemsCol::kBuyNow].AsDouble();
+  info.nb_of_bids = r[ItemsCol::kNbOfBids].AsInt();
+  info.max_bid = r[ItemsCol::kMaxBid].AsDouble();
+  info.end_date = r[ItemsCol::kEndDate].AsInt();
+  info.seller = r[ItemsCol::kSeller].AsInt();
+  info.category = r[ItemsCol::kCategory].AsInt();
+  info.closed = closed;
+  info.found = true;
+  return info;
+}
+
+UserInfo RubisApp::GetUserImpl(int64_t id) {
+  UserInfo info;
+  auto result = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kUsers, kUsersPk, Row{Value(id)})));
+  if (!result.ok() || result.value().rows.empty()) {
+    return info;
+  }
+  const Row& r = result.value().rows[0];
+  info.id = r[UsersCol::kId].AsInt();
+  info.nickname = r[UsersCol::kNickname].AsString();
+  info.rating = r[UsersCol::kRating].AsInt();
+  info.region = r[UsersCol::kRegion].AsInt();
+  info.creation_date = r[UsersCol::kCreationDate].AsInt();
+  info.found = true;
+  return info;
+}
+
+int64_t RubisApp::AuthUserImpl(const std::string& nickname) {
+  auto result = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kUsers, kUsersByNickname, Row{Value(nickname)}))
+          .Project({UsersCol::kId}));
+  if (!result.ok() || result.value().rows.empty()) {
+    return -1;
+  }
+  return result.value().rows[0][0].AsInt();
+}
+
+std::vector<int64_t> RubisApp::CategoryItemsImpl(int64_t category, int64_t page) {
+  auto result = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kItems, kItemsByCategory, Row{Value(category)}))
+          .SortBy(ItemsCol::kEndDate)
+          .Limit(kPageSize, static_cast<size_t>(page) * kPageSize)
+          .Project({ItemsCol::kId}));
+  std::vector<int64_t> ids;
+  if (result.ok()) {
+    for (const Row& r : result.value().rows) {
+      ids.push_back(r[0].AsInt());
+    }
+  }
+  return ids;
+}
+
+std::vector<int64_t> RubisApp::RegionCategoryItemsImpl(int64_t region, int64_t category,
+                                                       int64_t page) {
+  // Uses the item_reg_cat table the paper adds: one composite-index lookup instead of a
+  // sequential scan over active auctions joined with users (§7.1).
+  auto result = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kItemRegCat, kItemRegCatByRegionCat,
+                                      Row{Value(region), Value(category)}))
+          .SortBy(ItemRegCatCol::kItemId)
+          .Limit(kPageSize, static_cast<size_t>(page) * kPageSize)
+          .Project({ItemRegCatCol::kItemId}));
+  std::vector<int64_t> ids;
+  if (result.ok()) {
+    for (const Row& r : result.value().rows) {
+      ids.push_back(r[0].AsInt());
+    }
+  }
+  return ids;
+}
+
+std::vector<BidInfo> RubisApp::ItemBidsImpl(int64_t item) {
+  // Bids for an item joined with bidder nicknames (index nested-loop join on users_pk).
+  constexpr uint32_t kNickCol = uint32_t{BidsCol::kCount} + uint32_t{UsersCol::kNickname};
+  auto result = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kBids, kBidsByItem, Row{Value(item)}))
+          .Join(JoinStep{kUsers, kUsersPk, {BidsCol::kUserId}, nullptr})
+          .SortBy(BidsCol::kDate, /*descending=*/true)
+          .Limit(kPageSize)
+          .Project({BidsCol::kUserId, kNickCol, BidsCol::kBid, BidsCol::kDate}));
+  std::vector<BidInfo> bids;
+  if (result.ok()) {
+    for (const Row& r : result.value().rows) {
+      BidInfo b;
+      b.bidder_id = r[0].AsInt();
+      b.bidder_nickname = r[1].AsString();
+      b.amount = r[2].AsDouble();
+      b.date = r[3].AsInt();
+      bids.push_back(std::move(b));
+    }
+  }
+  return bids;
+}
+
+Page RubisApp::ViewItemPageImpl(int64_t id) {
+  ItemInfo item = get_item(id);
+  std::ostringstream html;
+  html << "<h1>" << item.name << "</h1>";
+  if (!item.found) {
+    html << "<p>This item does not exist.</p>";
+    return Page{html.str()};
+  }
+  UserInfo seller = get_user(item.seller);
+  html << "<p>" << item.description << "</p>"
+       << "<table><tr><td>Current bid</td><td>" << item.max_bid << "</td></tr>"
+       << "<tr><td>Bids</td><td>" << item.nb_of_bids << "</td></tr>"
+       << "<tr><td>Quantity</td><td>" << item.quantity << "</td></tr>"
+       << "<tr><td>Buy now</td><td>" << item.buy_now << "</td></tr>"
+       << "<tr><td>Seller</td><td>" << seller.nickname << " (rating " << seller.rating
+       << ")</td></tr>"
+       << "<tr><td>Ends</td><td>" << item.end_date << "</td></tr></table>";
+  return Page{html.str()};
+}
+
+Page RubisApp::ViewUserPageImpl(int64_t id) {
+  UserInfo user = get_user(id);
+  std::ostringstream html;
+  if (!user.found) {
+    return Page{"<p>This user does not exist.</p>"};
+  }
+  html << "<h1>" << user.nickname << "</h1><p>rating " << user.rating << "</p><h2>Comments</h2>";
+  constexpr uint32_t kFromNick = uint32_t{CommentsCol::kCount} + uint32_t{UsersCol::kNickname};
+  auto result = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kComments, kCommentsByToUser, Row{Value(id)}))
+          .Join(JoinStep{kUsers, kUsersPk, {CommentsCol::kFromUserId}, nullptr})
+          .SortBy(CommentsCol::kDate, /*descending=*/true)
+          .Limit(kPageSize)
+          .Project({kFromNick, CommentsCol::kRating, CommentsCol::kComment}));
+  if (result.ok()) {
+    for (const Row& r : result.value().rows) {
+      html << "<p>" << r[0].AsString() << " (" << r[1].AsInt() << "): " << r[2].AsString()
+           << "</p>";
+    }
+  }
+  return Page{html.str()};
+}
+
+Page RubisApp::BidHistoryPageImpl(int64_t id) {
+  ItemInfo item = get_item(id);
+  std::ostringstream html;
+  html << "<h1>Bid history for " << item.name << "</h1><table>";
+  for (const BidInfo& b : item_bids(id)) {
+    html << "<tr><td>" << b.bidder_nickname << "</td><td>" << b.amount << "</td><td>" << b.date
+         << "</td></tr>";
+  }
+  html << "</table>";
+  return Page{html.str()};
+}
+
+Page RubisApp::SearchCategoryPageImpl(int64_t category, int64_t page) {
+  std::ostringstream html;
+  html << "<h1>Items in category " << category << " (page " << page << ")</h1><table>";
+  for (int64_t id : category_items(category, page)) {
+    ItemInfo item = get_item(id);
+    html << "<tr><td>" << item.name << "</td><td>" << item.max_bid << "</td><td>"
+         << item.nb_of_bids << " bids</td><td>ends " << item.end_date << "</td></tr>";
+  }
+  html << "</table>";
+  return Page{html.str()};
+}
+
+Page RubisApp::SearchRegionPageImpl(int64_t region, int64_t category, int64_t page) {
+  std::ostringstream html;
+  html << "<h1>Items in region " << region << ", category " << category << "</h1><table>";
+  for (int64_t id : region_category_items(region, category, page)) {
+    ItemInfo item = get_item(id);
+    html << "<tr><td>" << item.name << "</td><td>" << item.max_bid << "</td><td>"
+         << item.nb_of_bids << " bids</td></tr>";
+  }
+  html << "</table>";
+  return Page{html.str()};
+}
+
+Page RubisApp::BrowseCategoriesPageImpl() {
+  // Sequential scan over the (small) categories table: receives a wildcard invalidation tag,
+  // so the page is invalidated only when a category is added or renamed.
+  std::ostringstream html;
+  html << "<h1>Categories</h1><ul>";
+  auto result = client_->ExecuteQuery(
+      Query::From(AccessPath::SeqScan(kCategories)).SortBy(CategoriesCol::kId));
+  if (result.ok()) {
+    for (const Row& r : result.value().rows) {
+      html << "<li>" << r[CategoriesCol::kName].AsString() << "</li>";
+    }
+  }
+  html << "</ul>";
+  return Page{html.str()};
+}
+
+Page RubisApp::BrowseRegionsPageImpl() {
+  std::ostringstream html;
+  html << "<h1>Regions</h1><ul>";
+  auto result =
+      client_->ExecuteQuery(Query::From(AccessPath::SeqScan(kRegions)).SortBy(RegionsCol::kId));
+  if (result.ok()) {
+    for (const Row& r : result.value().rows) {
+      html << "<li>" << r[RegionsCol::kName].AsString() << "</li>";
+    }
+  }
+  html << "</ul>";
+  return Page{html.str()};
+}
+
+Page RubisApp::AboutMePageImpl(int64_t user) {
+  UserInfo me = get_user(user);
+  std::ostringstream html;
+  html << "<h1>About " << me.nickname << "</h1>";
+
+  html << "<h2>Items I am selling</h2>";
+  auto selling = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kItems, kItemsBySeller, Row{Value(user)}))
+          .SortBy(ItemsCol::kEndDate)
+          .Limit(kPageSize)
+          .Project({ItemsCol::kId, ItemsCol::kName, ItemsCol::kMaxBid}));
+  if (selling.ok()) {
+    for (const Row& r : selling.value().rows) {
+      html << "<p>" << r[1].AsString() << " — current bid " << r[2].AsDouble() << "</p>";
+    }
+  }
+
+  html << "<h2>Items I bid on</h2>";
+  constexpr uint32_t kItemName = uint32_t{BidsCol::kCount} + uint32_t{ItemsCol::kName};
+  auto bidding = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kBids, kBidsByUser, Row{Value(user)}))
+          .Join(JoinStep{kItems, kItemsPk, {BidsCol::kItemId}, nullptr})
+          .SortBy(BidsCol::kDate, /*descending=*/true)
+          .Limit(kPageSize)
+          .Project({kItemName, BidsCol::kBid}));
+  if (bidding.ok()) {
+    for (const Row& r : bidding.value().rows) {
+      html << "<p>" << r[0].AsString() << " — my bid " << r[1].AsDouble() << "</p>";
+    }
+  }
+
+  html << "<h2>Buy-now purchases</h2>";
+  auto purchases = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kBuyNow, kBuyNowByBuyer, Row{Value(user)}))
+          .SortBy(BuyNowCol::kDate, /*descending=*/true)
+          .Limit(kPageSize)
+          .Project({BuyNowCol::kItemId, BuyNowCol::kQty}));
+  if (purchases.ok()) {
+    for (const Row& r : purchases.value().rows) {
+      ItemInfo item = get_item(r[0].AsInt());
+      html << "<p>" << item.name << " ×" << r[1].AsInt() << "</p>";
+    }
+  }
+
+  html << "<h2>Comments about me</h2>";
+  auto comments = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kComments, kCommentsByToUser, Row{Value(user)}))
+          .Agg(AggKind::kCount));
+  if (comments.ok() && !comments.value().rows.empty()) {
+    html << "<p>" << comments.value().rows[0][0].AsInt() << " comments</p>";
+  }
+  return Page{html.str()};
+}
+
+Status RubisApp::StoreBid(int64_t user, int64_t item, double amount) {
+  auto current = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kItems, kItemsPk, Row{Value(item)}))
+          .Project({ItemsCol::kNbOfBids, ItemsCol::kMaxBid}));
+  if (!current.ok()) {
+    return current.status();
+  }
+  if (current.value().rows.empty()) {
+    return Status::NotFound("item is no longer active");
+  }
+  const int64_t nb = current.value().rows[0][0].AsInt();
+  const double max_bid = std::max(current.value().rows[0][1].AsDouble(), amount);
+  Status st = client_->Insert(
+      kBids, Row{Value(dataset_->NextBidId()), Value(user), Value(item), Value(int64_t{1}),
+                 Value(amount), Value(amount * 1.1),
+                 Value(static_cast<int64_t>(clock_->Now()))});
+  if (!st.ok()) {
+    return st;
+  }
+  auto updated = client_->Update(kItems, AccessPath::IndexEq(kItems, kItemsPk, Row{Value(item)}),
+                                 nullptr,
+                                 {{ItemsCol::kNbOfBids, Value(nb + 1)},
+                                  {ItemsCol::kMaxBid, Value(max_bid)}});
+  return updated.ok() ? Status::Ok() : updated.status();
+}
+
+Status RubisApp::StoreBuyNow(int64_t user, int64_t item, int64_t qty) {
+  auto current = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kItems, kItemsPk, Row{Value(item)})));
+  if (!current.ok()) {
+    return current.status();
+  }
+  if (current.value().rows.empty()) {
+    return Status::NotFound("item is no longer active");
+  }
+  Row row = current.value().rows[0];
+  const int64_t have = row[ItemsCol::kQuantity].AsInt();
+  const int64_t take = std::min(have, std::max<int64_t>(1, qty));
+  Status st = client_->Insert(
+      kBuyNow, Row{Value(dataset_->NextBuyNowId()), Value(user), Value(item), Value(take),
+                   Value(static_cast<int64_t>(clock_->Now()))});
+  if (!st.ok()) {
+    return st;
+  }
+  if (take < have) {
+    auto updated =
+        client_->Update(kItems, AccessPath::IndexEq(kItems, kItemsPk, Row{Value(item)}), nullptr,
+                        {{ItemsCol::kQuantity, Value(have - take)}});
+    return updated.ok() ? Status::Ok() : updated.status();
+  }
+  // Sold out: the auction closes — move it to old_items, like RUBiS does. This exercises
+  // delete-driven invalidations.
+  auto del = client_->Delete(kItems, AccessPath::IndexEq(kItems, kItemsPk, Row{Value(item)}),
+                             nullptr);
+  if (!del.ok()) {
+    return del.status();
+  }
+  auto del2 = client_->Delete(
+      kItemRegCat, AccessPath::IndexEq(kItemRegCat, kItemRegCatByItem, Row{Value(item)}),
+      nullptr);
+  if (!del2.ok()) {
+    return del2.status();
+  }
+  row[ItemsCol::kQuantity] = Value(int64_t{0});
+  return client_->Insert(kOldItems, std::move(row));
+}
+
+Status RubisApp::StoreComment(int64_t from_user, int64_t to_user, int64_t item, int64_t rating,
+                              const std::string& text) {
+  auto current = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kUsers, kUsersPk, Row{Value(to_user)}))
+          .Project({UsersCol::kRating}));
+  if (!current.ok()) {
+    return current.status();
+  }
+  if (current.value().rows.empty()) {
+    return Status::NotFound("no such user");
+  }
+  const int64_t new_rating = current.value().rows[0][0].AsInt() + rating - 3;
+  Status st = client_->Insert(
+      kComments, Row{Value(dataset_->NextCommentId()), Value(from_user), Value(to_user),
+                     Value(item), Value(rating), Value(static_cast<int64_t>(clock_->Now())),
+                     Value(text)});
+  if (!st.ok()) {
+    return st;
+  }
+  auto updated =
+      client_->Update(kUsers, AccessPath::IndexEq(kUsers, kUsersPk, Row{Value(to_user)}),
+                      nullptr, {{UsersCol::kRating, Value(new_rating)}});
+  return updated.ok() ? Status::Ok() : updated.status();
+}
+
+Result<int64_t> RubisApp::RegisterItem(int64_t seller, int64_t category, int64_t region,
+                                       const std::string& name, const std::string& description,
+                                       double initial_price) {
+  const int64_t id = dataset_->NextItemId();
+  const int64_t now = static_cast<int64_t>(clock_->Now());
+  Status st = client_->Insert(
+      kItems, Row{Value(id), Value(name), Value(description), Value(initial_price),
+                  Value(int64_t{1}), Value(initial_price * 1.2), Value(initial_price * 3.0),
+                  Value(int64_t{0}), Value(0.0), Value(now), Value(now + Seconds(7 * 86'400)),
+                  Value(seller), Value(category)});
+  if (!st.ok()) {
+    return st;
+  }
+  st = client_->Insert(kItemRegCat, Row{Value(id), Value(region), Value(category)});
+  if (!st.ok()) {
+    return st;
+  }
+  return id;
+}
+
+Result<int64_t> RubisApp::RegisterUser(int64_t region) {
+  const int64_t id = dataset_->NextUserId();
+  const std::string nick = "user_" + std::to_string(id);
+  Status st = client_->Insert(
+      kUsers, Row{Value(id), Value("First" + std::to_string(id)),
+                  Value("Last" + std::to_string(id)), Value(nick), Value("password"),
+                  Value(nick + "@rubis.example"), Value(int64_t{3}), Value(0.0),
+                  Value(static_cast<int64_t>(clock_->Now())), Value(region)});
+  if (!st.ok()) {
+    return st;
+  }
+  return id;
+}
+
+}  // namespace txcache::rubis

@@ -1,0 +1,84 @@
+// The RUBiS auction application, ported to TxCache the way the paper describes (§7.1):
+//
+//  * fine-grained cacheable functions for common lookups (item and user details, login
+//    authentication, category listings) shared across pages;
+//  * coarse-grained cacheable functions producing the HTML of whole pages, which call the
+//    fine-grained ones (nested cacheable calls, §6.3);
+//  * read/write interactions (placing bids, registering items/users, buy-now, comments) that
+//    run directly on the database and drive the invalidation stream.
+#ifndef SRC_RUBIS_APP_H_
+#define SRC_RUBIS_APP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/cacheable_function.h"
+#include "src/core/txcache_client.h"
+#include "src/rubis/data.h"
+#include "src/rubis/types.h"
+
+namespace txcache::rubis {
+
+class RubisApp {
+ public:
+  RubisApp(TxCacheClient* client, RubisDataset* dataset, const Clock* clock);
+
+  // --- fine-grained cacheable functions ---
+  CacheableFunction<ItemInfo, int64_t> get_item;        // looks in items, then old_items
+  CacheableFunction<UserInfo, int64_t> get_user;
+  CacheableFunction<int64_t, std::string> auth_user;    // nickname -> user id (-1 on failure)
+  CacheableFunction<std::vector<int64_t>, int64_t, int64_t> category_items;  // (cat, page)
+  CacheableFunction<std::vector<int64_t>, int64_t, int64_t, int64_t>
+      region_category_items;                            // (region, cat, page)
+  CacheableFunction<std::vector<BidInfo>, int64_t> item_bids;
+
+  // --- page-granularity cacheable functions ---
+  CacheableFunction<Page, int64_t> view_item_page;
+  CacheableFunction<Page, int64_t> view_user_page;
+  CacheableFunction<Page, int64_t> bid_history_page;
+  CacheableFunction<Page, int64_t, int64_t> search_category_page;       // (cat, page)
+  CacheableFunction<Page, int64_t, int64_t, int64_t> search_region_page;  // (region, cat, page)
+  CacheableFunction<Page> browse_categories_page;
+  CacheableFunction<Page> browse_regions_page;
+  CacheableFunction<Page, int64_t> about_me_page;
+
+  // --- read/write operations (must run inside a BEGIN-RW transaction) ---
+  Status StoreBid(int64_t user, int64_t item, double amount);
+  Status StoreBuyNow(int64_t user, int64_t item, int64_t qty);
+  Status StoreComment(int64_t from_user, int64_t to_user, int64_t item, int64_t rating,
+                      const std::string& text);
+  Result<int64_t> RegisterItem(int64_t seller, int64_t category, int64_t region,
+                               const std::string& name, const std::string& description,
+                               double initial_price);
+  Result<int64_t> RegisterUser(int64_t region);
+
+  TxCacheClient* client() { return client_; }
+
+ private:
+  // Uncached implementations (wrapped by the cacheable functions above).
+  ItemInfo GetItemImpl(int64_t id);
+  UserInfo GetUserImpl(int64_t id);
+  int64_t AuthUserImpl(const std::string& nickname);
+  std::vector<int64_t> CategoryItemsImpl(int64_t category, int64_t page);
+  std::vector<int64_t> RegionCategoryItemsImpl(int64_t region, int64_t category, int64_t page);
+  std::vector<BidInfo> ItemBidsImpl(int64_t item);
+  Page ViewItemPageImpl(int64_t id);
+  Page ViewUserPageImpl(int64_t id);
+  Page BidHistoryPageImpl(int64_t id);
+  Page SearchCategoryPageImpl(int64_t category, int64_t page);
+  Page SearchRegionPageImpl(int64_t region, int64_t category, int64_t page);
+  Page BrowseCategoriesPageImpl();
+  Page BrowseRegionsPageImpl();
+  Page AboutMePageImpl(int64_t user);
+
+  // Fetches one item row from `table` by primary key; empty if absent.
+  std::vector<Row> FetchItemRow(const char* table, const char* index, int64_t id);
+
+  TxCacheClient* client_;
+  RubisDataset* dataset_;
+  const Clock* clock_;
+};
+
+}  // namespace txcache::rubis
+
+#endif  // SRC_RUBIS_APP_H_

@@ -1,0 +1,184 @@
+#include "src/rubis/data.h"
+
+#include <string>
+
+#include "src/rubis/schema.h"
+
+namespace txcache::rubis {
+
+namespace {
+
+// Deterministic filler text for descriptions/comments.
+std::string Lorem(Rng& rng, size_t bytes) {
+  static constexpr const char* kWords[] = {"auction", "vintage", "rare",  "mint", "boxed",
+                                           "collector", "classic", "signed", "limited", "original"};
+  std::string s;
+  s.reserve(bytes + 12);
+  while (s.size() < bytes) {
+    s += kWords[rng.Uniform(0, 9)];
+    s += ' ';
+  }
+  s.resize(bytes);
+  return s;
+}
+
+Status CommitChunk(Database* db, TxnId* txn) {
+  auto info = db->Commit(*txn);
+  if (!info.ok()) {
+    return info.status();
+  }
+  *txn = db->BeginReadWrite();
+  return Status::Ok();
+}
+
+}  // namespace
+
+RubisScale RubisScale::InMemory(double scale) {
+  RubisScale s;
+  s.users = static_cast<int64_t>(160'000 * scale);
+  s.active_items = static_cast<int64_t>(35'000 * scale);
+  s.old_items = static_cast<int64_t>(50'000 * scale);
+  s.description_bytes = 256;
+  return s;
+}
+
+RubisScale RubisScale::DiskBound(double scale) {
+  RubisScale s;
+  s.users = static_cast<int64_t>(1'350'000 * scale);
+  s.active_items = static_cast<int64_t>(225'000 * scale);
+  s.old_items = static_cast<int64_t>(1'000'000 * scale);
+  s.description_bytes = 512;
+  return s;
+}
+
+Result<std::unique_ptr<RubisDataset>> LoadRubis(Database* db, const RubisScale& scale,
+                                                const Clock* clock, uint64_t seed) {
+  Status st = CreateRubisSchema(db);
+  if (!st.ok()) {
+    return st;
+  }
+  Rng rng(seed);
+  const WallClock now = clock->Now();
+  const int64_t now_i = static_cast<int64_t>(now);
+  constexpr size_t kChunk = 5000;  // rows per load transaction
+  size_t pending = 0;
+
+  TxnId txn = db->BeginReadWrite();
+  auto maybe_chunk = [&]() -> Status {
+    if (++pending % kChunk == 0) {
+      return CommitChunk(db, &txn);
+    }
+    return Status::Ok();
+  };
+
+  for (int64_t c = 0; c < scale.categories; ++c) {
+    st = db->Insert(txn, kCategories, Row{Value(c), Value("category-" + std::to_string(c))});
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  for (int64_t r = 0; r < scale.regions; ++r) {
+    st = db->Insert(txn, kRegions, Row{Value(r), Value("region-" + std::to_string(r))});
+    if (!st.ok()) {
+      return st;
+    }
+  }
+
+  for (int64_t u = 0; u < scale.users; ++u) {
+    std::string nick = "user_" + std::to_string(u);
+    st = db->Insert(txn, kUsers,
+                    Row{Value(u), Value("First" + std::to_string(u)),
+                        Value("Last" + std::to_string(u)), Value(nick), Value("password"),
+                        Value(nick + "@rubis.example"), Value(rng.Uniform(0, 5)),
+                        Value(rng.UniformReal(0, 1000.0)), Value(now_i),
+                        Value(rng.Uniform(0, scale.regions - 1))});
+    if (!st.ok()) {
+      return st;
+    }
+    st = maybe_chunk();
+    if (!st.ok()) {
+      return st;
+    }
+  }
+
+  int64_t bid_id = 0;
+  int64_t comment_id = 0;
+  const int64_t total_items = scale.active_items + scale.old_items;
+  for (int64_t i = 0; i < total_items; ++i) {
+    const bool active = i < scale.active_items;
+    const char* table = active ? kItems : kOldItems;
+    const int64_t category = rng.Uniform(0, scale.categories - 1);
+    const int64_t region = rng.Uniform(0, scale.regions - 1);
+    const int64_t seller = rng.Uniform(0, scale.users - 1);
+    const double initial = rng.UniformReal(1.0, 100.0);
+    const int64_t nbids = rng.Uniform(0, scale.max_bids_per_item);
+    const double max_bid = nbids == 0 ? 0.0 : initial + static_cast<double>(nbids);
+    // Active auctions end in the future, old ones ended in the past.
+    const int64_t end_date =
+        active ? now_i + Seconds(rng.Uniform(3600, 7 * 86'400))
+               : now_i - Seconds(rng.Uniform(3600, 30 * 86'400));
+    st = db->Insert(txn, table,
+                    Row{Value(i), Value("item-" + std::to_string(i)),
+                        Value(Lorem(rng, scale.description_bytes)), Value(initial),
+                        Value(rng.Uniform(1, 5)), Value(initial * 1.2), Value(initial * 3.0),
+                        Value(nbids), Value(max_bid), Value(now_i - Seconds(86'400)),
+                        Value(end_date), Value(seller), Value(category)});
+    if (!st.ok()) {
+      return st;
+    }
+    if (active) {
+      st = db->Insert(txn, kItemRegCat, Row{Value(i), Value(region), Value(category)});
+      if (!st.ok()) {
+        return st;
+      }
+    }
+    for (int64_t b = 0; b < nbids; ++b) {
+      st = db->Insert(txn, kBids,
+                      Row{Value(bid_id++), Value(rng.Uniform(0, scale.users - 1)), Value(i),
+                          Value(int64_t{1}), Value(initial + static_cast<double>(b + 1)),
+                          Value(initial + static_cast<double>(b + 1) * 1.1),
+                          Value(now_i - Seconds(rng.Uniform(60, 86'400)))});
+      if (!st.ok()) {
+        return st;
+      }
+      st = maybe_chunk();
+      if (!st.ok()) {
+        return st;
+      }
+    }
+    st = maybe_chunk();
+    if (!st.ok()) {
+      return st;
+    }
+  }
+
+  // A few comments per user pair to populate ViewUserInfo/AboutMe.
+  const int64_t comments = scale.users * scale.max_comments_per_user / 2;
+  for (int64_t c = 0; c < comments; ++c) {
+    st = db->Insert(txn, kComments,
+                    Row{Value(comment_id++), Value(rng.Uniform(0, scale.users - 1)),
+                        Value(rng.Uniform(0, scale.users - 1)),
+                        Value(rng.Uniform(0, total_items - 1)), Value(rng.Uniform(1, 5)),
+                        Value(now_i - Seconds(rng.Uniform(60, 86'400))),
+                        Value(Lorem(rng, 64))});
+    if (!st.ok()) {
+      return st;
+    }
+    st = maybe_chunk();
+    if (!st.ok()) {
+      return st;
+    }
+  }
+
+  auto info = db->Commit(txn);
+  if (!info.ok()) {
+    return info.status();
+  }
+
+  auto dataset = std::make_unique<RubisDataset>();
+  dataset->scale = scale;
+  dataset->InitCounters(total_items, bid_id, comment_id, 0, scale.users);
+  return dataset;
+}
+
+}  // namespace txcache::rubis

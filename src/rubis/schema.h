@@ -1,0 +1,112 @@
+// RUBiS auction-site schema (paper §7.1, §8).
+//
+// Mirrors the RUBiS benchmark's relational schema: users, active and completed auctions, bids,
+// comments, buy-now purchases, categories and regions — plus the item_reg_cat table the paper
+// adds so that region+category browsing uses an index instead of a sequential scan + join.
+#ifndef SRC_RUBIS_SCHEMA_H_
+#define SRC_RUBIS_SCHEMA_H_
+
+#include "src/db/database.h"
+
+namespace txcache::rubis {
+
+// Column indices per table. Keep in sync with CreateRubisSchema.
+struct UsersCol {
+  enum : ColumnId {
+    kId,
+    kFirstName,
+    kLastName,
+    kNickname,
+    kPassword,
+    kEmail,
+    kRating,
+    kBalance,
+    kCreationDate,
+    kRegion,
+    kCount
+  };
+};
+
+struct ItemsCol {
+  enum : ColumnId {
+    kId,
+    kName,
+    kDescription,
+    kInitialPrice,
+    kQuantity,
+    kReservePrice,
+    kBuyNow,
+    kNbOfBids,
+    kMaxBid,
+    kStartDate,
+    kEndDate,
+    kSeller,
+    kCategory,
+    kCount
+  };
+};
+
+struct BidsCol {
+  enum : ColumnId { kId, kUserId, kItemId, kQty, kBid, kMaxBid, kDate, kCount };
+};
+
+struct CommentsCol {
+  enum : ColumnId { kId, kFromUserId, kToUserId, kItemId, kRating, kDate, kComment, kCount };
+};
+
+struct BuyNowCol {
+  enum : ColumnId { kId, kBuyerId, kItemId, kQty, kDate, kCount };
+};
+
+struct CategoriesCol {
+  enum : ColumnId { kId, kName, kCount };
+};
+
+struct RegionsCol {
+  enum : ColumnId { kId, kName, kCount };
+};
+
+struct ItemRegCatCol {
+  enum : ColumnId { kItemId, kRegion, kCategory, kCount };
+};
+
+// Table names.
+inline constexpr const char* kUsers = "users";
+inline constexpr const char* kItems = "items";          // active auctions
+inline constexpr const char* kOldItems = "old_items";   // completed auctions
+inline constexpr const char* kBids = "bids";
+inline constexpr const char* kComments = "comments";
+inline constexpr const char* kBuyNow = "buy_now";
+inline constexpr const char* kCategories = "categories";
+inline constexpr const char* kRegions = "regions";
+inline constexpr const char* kItemRegCat = "item_reg_cat";
+
+// Index names.
+inline constexpr const char* kUsersPk = "users_pk";
+inline constexpr const char* kUsersByNickname = "users_by_nickname";
+inline constexpr const char* kUsersByRegion = "users_by_region";
+inline constexpr const char* kItemsPk = "items_pk";
+inline constexpr const char* kItemsByCategory = "items_by_category";
+inline constexpr const char* kItemsBySeller = "items_by_seller";
+inline constexpr const char* kOldItemsPk = "old_items_pk";
+inline constexpr const char* kOldItemsByCategory = "old_items_by_category";
+inline constexpr const char* kOldItemsBySeller = "old_items_by_seller";
+inline constexpr const char* kBidsPk = "bids_pk";
+inline constexpr const char* kBidsByItem = "bids_by_item";
+inline constexpr const char* kBidsByUser = "bids_by_user";
+inline constexpr const char* kCommentsPk = "comments_pk";
+inline constexpr const char* kCommentsByToUser = "comments_by_to_user";
+inline constexpr const char* kCommentsByItem = "comments_by_item";
+inline constexpr const char* kBuyNowPk = "buy_now_pk";
+inline constexpr const char* kBuyNowByBuyer = "buy_now_by_buyer";
+inline constexpr const char* kCategoriesPk = "categories_pk";
+inline constexpr const char* kRegionsPk = "regions_pk";
+inline constexpr const char* kItemRegCatByItem = "item_reg_cat_by_item";
+inline constexpr const char* kItemRegCatByRegionCat = "item_reg_cat_by_region_cat";
+
+// Creates all RUBiS tables and indexes on `db`.
+Status CreateRubisSchema(Database* db);
+
+}  // namespace txcache::rubis
+
+#endif  // SRC_RUBIS_SCHEMA_H_

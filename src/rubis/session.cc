@@ -1,0 +1,195 @@
+#include "src/rubis/session.h"
+
+namespace txcache::rubis {
+
+namespace {
+
+// Steady-state interaction frequencies approximating the RUBiS "bidding" mix: ~85% read-only
+// browsing, ~15% read/write (paper §8). Indexed by Interaction.
+constexpr double kBiddingMix[] = {
+    1.5,   // Home
+    0.4,   // Register (form)
+    1.1,   // RegisterUser            (RW)
+    4.0,   // Browse
+    7.0,   // BrowseCategories
+    17.0,  // SearchItemsInCategory
+    2.5,   // BrowseRegions
+    2.5,   // BrowseCategoriesInRegion
+    6.0,   // SearchItemsInRegion
+    19.0,  // ViewItem
+    3.5,   // ViewUserInfo
+    2.5,   // ViewBidHistory
+    1.0,   // BuyNowAuth
+    1.0,   // BuyNow
+    1.0,   // StoreBuyNow             (RW)
+    3.0,   // PutBidAuth
+    4.0,   // PutBid
+    8.0,   // StoreBid                (RW)
+    1.0,   // PutCommentAuth
+    1.0,   // PutComment
+    1.5,   // StoreComment            (RW)
+    1.0,   // Sell
+    1.0,   // SelectCategoryToSellItem
+    1.0,   // SellItemForm
+    2.4,   // RegisterItem            (RW)
+    2.0,   // AboutMe
+};
+static_assert(sizeof(kBiddingMix) / sizeof(double) == static_cast<size_t>(Interaction::kCount));
+
+}  // namespace
+
+const char* InteractionName(Interaction i) {
+  static constexpr const char* kNames[] = {
+      "Home",         "Register",     "RegisterUser",  "Browse",
+      "BrowseCategories", "SearchItemsInCategory", "BrowseRegions", "BrowseCategoriesInRegion",
+      "SearchItemsInRegion", "ViewItem", "ViewUserInfo", "ViewBidHistory",
+      "BuyNowAuth",   "BuyNow",       "StoreBuyNow",   "PutBidAuth",
+      "PutBid",       "StoreBid",     "PutCommentAuth", "PutComment",
+      "StoreComment", "Sell",         "SelectCategoryToSellItem", "SellItemForm",
+      "RegisterItem", "AboutMe",
+  };
+  return kNames[static_cast<size_t>(i)];
+}
+
+bool IsReadOnly(Interaction i) {
+  switch (i) {
+    case Interaction::kRegisterUser:
+    case Interaction::kStoreBuyNow:
+    case Interaction::kStoreBid:
+    case Interaction::kStoreComment:
+    case Interaction::kRegisterItem:
+      return false;
+    default:
+      return true;
+  }
+}
+
+RubisSession::RubisSession(TxCacheClient* client, RubisDataset* dataset, const Clock* clock,
+                           uint64_t seed)
+    : client_(client),
+      dataset_(dataset),
+      app_(client, dataset, clock),
+      rng_(seed),
+      mix_(std::vector<double>(kBiddingMix,
+                               kBiddingMix + static_cast<size_t>(Interaction::kCount))),
+      user_id_(dataset->PickUser(rng_)) {}
+
+Interaction RubisSession::Next() { return static_cast<Interaction>(mix_.Pick(rng_)); }
+
+Status RubisSession::Run(Interaction interaction) {
+  Status st =
+      IsReadOnly(interaction) ? RunReadOnly(interaction) : RunReadWrite(interaction);
+  if (st.ok()) {
+    ++stats_.completed;
+    ++(IsReadOnly(interaction) ? stats_.read_only : stats_.read_write);
+  } else {
+    ++stats_.failed;
+  }
+  return st;
+}
+
+Status RubisSession::RunReadOnly(Interaction interaction) {
+  Status st = client_->BeginRO();
+  if (!st.ok()) {
+    return st;
+  }
+  switch (interaction) {
+    case Interaction::kHome:
+    case Interaction::kBrowseCategories:
+    case Interaction::kBrowseCategoriesInRegion:
+    case Interaction::kSell:
+    case Interaction::kSelectCategoryToSellItem:
+      app_.browse_categories_page();
+      break;
+    case Interaction::kRegister:
+    case Interaction::kBrowseRegions:
+      app_.browse_regions_page();
+      break;
+    case Interaction::kBrowse:
+      app_.browse_categories_page();
+      app_.browse_regions_page();
+      break;
+    case Interaction::kSearchItemsInCategory:
+      app_.search_category_page(dataset_->PickCategory(rng_), rng_.Uniform(0, 2));
+      break;
+    case Interaction::kSearchItemsInRegion:
+      app_.search_region_page(dataset_->PickRegion(rng_), dataset_->PickCategory(rng_),
+                              rng_.Uniform(0, 1));
+      break;
+    case Interaction::kViewItem:
+    case Interaction::kBuyNowForm:
+      app_.view_item_page(dataset_->PickActiveItem(rng_));
+      break;
+    case Interaction::kViewUserInfo:
+    case Interaction::kPutComment:
+      app_.view_user_page(dataset_->PickUser(rng_));
+      break;
+    case Interaction::kViewBidHistory:
+      app_.bid_history_page(dataset_->PickActiveItem(rng_));
+      break;
+    case Interaction::kBuyNowAuth:
+    case Interaction::kPutBidAuth:
+    case Interaction::kPutCommentAuth:
+      app_.auth_user("user_" + std::to_string(user_id_));
+      break;
+    case Interaction::kPutBid:
+      app_.view_item_page(dataset_->PickActiveItem(rng_));
+      app_.item_bids(dataset_->PickActiveItem(rng_));
+      break;
+    case Interaction::kSellItemForm:
+      app_.get_user(user_id_);
+      break;
+    case Interaction::kAboutMe:
+      app_.auth_user("user_" + std::to_string(user_id_));
+      app_.about_me_page(user_id_);
+      break;
+    default:
+      break;
+  }
+  auto commit = client_->Commit();
+  return commit.ok() ? Status::Ok() : commit.status();
+}
+
+Status RubisSession::RunReadWrite(Interaction interaction) {
+  Status st = client_->BeginRW();
+  if (!st.ok()) {
+    return st;
+  }
+  Status op = Status::Ok();
+  switch (interaction) {
+    case Interaction::kRegisterUser: {
+      auto r = app_.RegisterUser(dataset_->PickRegion(rng_));
+      op = r.ok() ? Status::Ok() : r.status();
+      break;
+    }
+    case Interaction::kStoreBuyNow:
+      op = app_.StoreBuyNow(user_id_, dataset_->PickActiveItem(rng_), 1);
+      break;
+    case Interaction::kStoreBid:
+      op = app_.StoreBid(user_id_, dataset_->PickActiveItem(rng_),
+                         rng_.UniformReal(1.0, 300.0));
+      break;
+    case Interaction::kStoreComment:
+      op = app_.StoreComment(user_id_, dataset_->PickUser(rng_),
+                             dataset_->PickAnyItem(rng_), rng_.Uniform(1, 5),
+                             "great transaction");
+      break;
+    case Interaction::kRegisterItem: {
+      auto r = app_.RegisterItem(user_id_, dataset_->PickCategory(rng_),
+                                 dataset_->PickRegion(rng_), "new-item",
+                                 "freshly listed auction item", rng_.UniformReal(1.0, 100.0));
+      op = r.ok() ? Status::Ok() : r.status();
+      break;
+    }
+    default:
+      break;
+  }
+  if (!op.ok()) {
+    client_->Abort();
+    return op;
+  }
+  auto commit = client_->Commit();
+  return commit.ok() ? Status::Ok() : commit.status();
+}
+
+}  // namespace txcache::rubis

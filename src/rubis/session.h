@@ -1,0 +1,85 @@
+// One emulated RUBiS user session: picks interactions from the "bidding" mix (85% read-only
+// browsing, 15% read/write, paper §8) and runs each as a complete transaction.
+#ifndef SRC_RUBIS_SESSION_H_
+#define SRC_RUBIS_SESSION_H_
+
+#include <cstdint>
+
+#include "src/rubis/app.h"
+#include "src/util/rng.h"
+
+namespace txcache::rubis {
+
+// The 26 RUBiS user interactions.
+enum class Interaction : uint8_t {
+  kHome,
+  kRegister,
+  kRegisterUser,
+  kBrowse,
+  kBrowseCategories,
+  kSearchItemsInCategory,
+  kBrowseRegions,
+  kBrowseCategoriesInRegion,
+  kSearchItemsInRegion,
+  kViewItem,
+  kViewUserInfo,
+  kViewBidHistory,
+  kBuyNowAuth,
+  kBuyNowForm,
+  kStoreBuyNow,
+  kPutBidAuth,
+  kPutBid,
+  kStoreBid,
+  kPutCommentAuth,
+  kPutComment,
+  kStoreComment,
+  kSell,
+  kSelectCategoryToSellItem,
+  kSellItemForm,
+  kRegisterItem,
+  kAboutMe,
+  kCount
+};
+
+const char* InteractionName(Interaction i);
+bool IsReadOnly(Interaction i);
+
+struct SessionStats {
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t read_only = 0;
+  uint64_t read_write = 0;
+};
+
+class RubisSession {
+ public:
+  RubisSession(TxCacheClient* client, RubisDataset* dataset, const Clock* clock, uint64_t seed);
+
+  // Samples the next interaction from the bidding mix.
+  Interaction Next();
+
+  // Runs one interaction as a full transaction (BEGIN .. COMMIT/ABORT). A serialization
+  // conflict aborts the transaction and is counted as failed (the emulated user retries later
+  // with a fresh interaction, like the RUBiS client does).
+  Status Run(Interaction interaction);
+
+  RubisApp& app() { return app_; }
+  const SessionStats& stats() const { return stats_; }
+  TxCacheClient* client() { return client_; }
+
+ private:
+  Status RunReadOnly(Interaction interaction);
+  Status RunReadWrite(Interaction interaction);
+
+  TxCacheClient* client_;
+  RubisDataset* dataset_;
+  RubisApp app_;
+  Rng rng_;
+  WeightedChoice mix_;
+  int64_t user_id_;  // the logged-in user this session acts as
+  SessionStats stats_;
+};
+
+}  // namespace txcache::rubis
+
+#endif  // SRC_RUBIS_SESSION_H_

@@ -1,0 +1,94 @@
+// Application-level result types returned by RUBiS cacheable functions. These are exactly the
+// kinds of post-processed objects the paper argues are worth caching: database rows converted
+// to an internal representation, or generated HTML fragments.
+#ifndef SRC_RUBIS_TYPES_H_
+#define SRC_RUBIS_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/serde.h"
+#include "src/util/types.h"
+
+namespace txcache::rubis {
+
+struct ItemInfo {
+  int64_t id = 0;
+  std::string name;
+  std::string description;
+  double initial_price = 0;
+  int64_t quantity = 0;
+  double buy_now = 0;
+  int64_t nb_of_bids = 0;
+  double max_bid = 0;
+  int64_t end_date = 0;
+  int64_t seller = 0;
+  int64_t category = 0;
+  bool closed = false;  // true if found in old_items
+  bool found = false;
+
+  template <typename F>
+  void ForEachField(F&& f) {
+    f(id), f(name), f(description), f(initial_price), f(quantity), f(buy_now), f(nb_of_bids),
+        f(max_bid), f(end_date), f(seller), f(category), f(closed), f(found);
+  }
+  template <typename F>
+  void ForEachField(F&& f) const {
+    f(id), f(name), f(description), f(initial_price), f(quantity), f(buy_now), f(nb_of_bids),
+        f(max_bid), f(end_date), f(seller), f(category), f(closed), f(found);
+  }
+};
+
+struct UserInfo {
+  int64_t id = 0;
+  std::string nickname;
+  int64_t rating = 0;
+  int64_t region = 0;
+  int64_t creation_date = 0;
+  bool found = false;
+
+  template <typename F>
+  void ForEachField(F&& f) {
+    f(id), f(nickname), f(rating), f(region), f(creation_date), f(found);
+  }
+  template <typename F>
+  void ForEachField(F&& f) const {
+    f(id), f(nickname), f(rating), f(region), f(creation_date), f(found);
+  }
+};
+
+struct BidInfo {
+  int64_t bidder_id = 0;
+  std::string bidder_nickname;
+  double amount = 0;
+  int64_t date = 0;
+
+  template <typename F>
+  void ForEachField(F&& f) {
+    f(bidder_id), f(bidder_nickname), f(amount), f(date);
+  }
+  template <typename F>
+  void ForEachField(F&& f) const {
+    f(bidder_id), f(bidder_nickname), f(amount), f(date);
+  }
+};
+
+// A rendered page: the unit of coarse-grained caching (§7.1 caches "large portions of the
+// generated HTML output for each page").
+struct Page {
+  std::string html;
+
+  template <typename F>
+  void ForEachField(F&& f) {
+    f(html);
+  }
+  template <typename F>
+  void ForEachField(F&& f) const {
+    f(html);
+  }
+};
+
+}  // namespace txcache::rubis
+
+#endif  // SRC_RUBIS_TYPES_H_

@@ -1,0 +1,109 @@
+// Discrete-event simulation core: a time-ordered event queue and a Clock view of virtual time.
+//
+// The simulator executes application logic against the *real* database/cache/pincushion
+// components; the event queue only models time — client think times, network latency, and
+// queueing at the cluster's resources (web-server CPU, database CPU, disk, cache nodes).
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/clock.h"
+#include "src/util/types.h"
+
+namespace txcache::sim {
+
+class EventQueue {
+ public:
+  using Fn = std::function<void()>;
+
+  void Schedule(WallClock at, Fn fn) {
+    if (at < now_) {
+      at = now_;  // never schedule into the past
+    }
+    heap_.push(Event{at, next_seq_++, std::move(fn)});
+  }
+  void ScheduleAfter(WallClock delay, Fn fn) { Schedule(now_ + delay, std::move(fn)); }
+
+  // Runs the earliest event; returns false if the queue is empty.
+  bool RunNext() {
+    if (heap_.empty()) {
+      return false;
+    }
+    // Moving out of a priority_queue requires const_cast; the element is popped immediately.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.at;
+    ev.fn();
+    return true;
+  }
+
+  // Runs events until virtual time would exceed `until` (events at exactly `until` run).
+  void RunUntil(WallClock until) {
+    while (!heap_.empty() && heap_.top().at <= until) {
+      RunNext();
+    }
+    if (now_ < until) {
+      now_ = until;
+    }
+  }
+
+  WallClock now() const { return now_; }
+  size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    WallClock at;
+    uint64_t seq;  // FIFO tiebreaker for simultaneous events
+    Fn fn;
+    bool operator>(const Event& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  WallClock now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+// Clock adapter exposing the queue's virtual time to the production components.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(const EventQueue* queue) : queue_(queue) {}
+  WallClock Now() const override { return queue_->now(); }
+
+ private:
+  const EventQueue* queue_;
+};
+
+// A FIFO-queued resource with a single service center (M/G/1-style): requests arriving at a
+// busy resource wait for everything ahead of them. Models one CPU, one disk, or an aggregated
+// tier (service time divided by the number of members).
+class SimResource {
+ public:
+  explicit SimResource(double servers = 1.0) : servers_(servers) {}
+
+  // Serves `service` time of work arriving at `now`; returns the completion time.
+  WallClock Serve(WallClock now, WallClock service) {
+    const WallClock effective = static_cast<WallClock>(static_cast<double>(service) / servers_);
+    const WallClock start = std::max(now, busy_until_);
+    busy_until_ = start + effective;
+    busy_time_ += effective;
+    return busy_until_;
+  }
+
+  WallClock busy_time() const { return busy_time_; }
+  WallClock busy_until() const { return busy_until_; }
+
+ private:
+  double servers_;
+  WallClock busy_until_ = 0;
+  WallClock busy_time_ = 0;
+};
+
+}  // namespace txcache::sim
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

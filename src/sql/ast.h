@@ -1,0 +1,80 @@
+// SQL abstract syntax. The supported dialect (documented limitations in planner.h):
+//
+//   SELECT <* | col[, ...] | AGG(col)[, ...]> FROM table
+//     [WHERE <cond> [AND <cond>]...]
+//     [GROUP BY col] [ORDER BY col [ASC|DESC][, ...]] [LIMIT n [OFFSET m]]
+//   INSERT INTO table VALUES (v, ...)
+//   UPDATE table SET col = v [, ...] [WHERE ...]
+//   DELETE FROM table [WHERE ...]
+//
+// Conditions are comparisons `col <op> literal` (op: = != < <= > >=) or `col IS [NOT] NULL`,
+// combined with AND (OR is parsed inside parentheses as a residual predicate).
+#ifndef SRC_SQL_AST_H_
+#define SRC_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/db/query.h"
+#include "src/db/value.h"
+
+namespace txcache::sql {
+
+struct Condition;
+using ConditionPtr = std::shared_ptr<const Condition>;
+
+struct Condition {
+  enum class Kind : uint8_t { kCmp, kIsNull, kIsNotNull, kAnd, kOr };
+  Kind kind = Kind::kCmp;
+  std::string column;  // kCmp / kIsNull / kIsNotNull
+  CmpOp op = CmpOp::kEq;
+  Value literal;
+  std::vector<ConditionPtr> children;  // kAnd / kOr
+};
+
+struct SelectItem {
+  // Either a plain column, '*', or an aggregate over a column (column empty for COUNT(*)).
+  std::string column;
+  bool star = false;
+  std::optional<AggKind> aggregate;
+};
+
+struct OrderItem {
+  std::string column;
+  bool descending = false;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::string table;
+  ConditionPtr where;
+  std::optional<std::string> group_by;
+  std::vector<OrderItem> order_by;
+  size_t limit = 0;
+  size_t offset = 0;
+};
+
+struct InsertStmt {
+  std::string table;
+  Row values;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, Value>> sets;
+  ConditionPtr where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ConditionPtr where;
+};
+
+using Statement = std::variant<SelectStmt, InsertStmt, UpdateStmt, DeleteStmt>;
+
+}  // namespace txcache::sql
+
+#endif  // SRC_SQL_AST_H_

@@ -1,0 +1,114 @@
+#include "src/sql/lexer.h"
+
+#include <cctype>
+
+namespace txcache::sql {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentCont(char c) { return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentCont(input[j])) {
+        ++j;
+      }
+      tok.kind = TokenKind::kIdentifier;
+      tok.text = input.substr(i, j - i);
+      for (char& ch : tok.text) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i + 1;
+      bool saw_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       (input[j] == '.' && !saw_dot))) {
+        saw_dot |= input[j] == '.';
+        ++j;
+      }
+      tok.kind = TokenKind::kNumber;
+      tok.text = input.substr(i, j - i);
+      i = j;
+    } else if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {  // '' escapes a quote
+            value.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value.push_back(input[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(i));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(value);
+      i = j;
+    } else {
+      // Two-character operators first.
+      if (i + 1 < n) {
+        const std::string two = input.substr(i, 2);
+        if (two == "!=" || two == "<=" || two == ">=" || two == "<>") {
+          tok.kind = TokenKind::kSymbol;
+          tok.text = two == "<>" ? "!=" : two;
+          tokens.push_back(tok);
+          i += 2;
+          continue;
+        }
+      }
+      switch (c) {
+        case '=':
+        case '<':
+        case '>':
+        case '(':
+        case ')':
+        case ',':
+        case '*':
+        case '.':
+        case ';':
+          tok.kind = TokenKind::kSymbol;
+          tok.text = std::string(1, c);
+          ++i;
+          break;
+        default:
+          return Status::InvalidArgument("unexpected character '" + std::string(1, c) +
+                                         "' at offset " + std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace txcache::sql

@@ -1,0 +1,33 @@
+// SQL lexer for the engine's query surface.
+#ifndef SRC_SQL_LEXER_H_
+#define SRC_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace txcache::sql {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,  // table/column names and keywords (case-insensitive)
+  kNumber,      // integer or decimal literal
+  kString,      // '...' with '' escaping
+  kSymbol,      // = != < <= > >= ( ) , * . ;
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // identifiers upper-cased; symbols verbatim; strings unescaped
+  size_t offset = 0;  // byte offset in the input, for error messages
+
+  bool Is(TokenKind k, const char* t) const { return kind == k && text == t; }
+};
+
+// Tokenizes `input`. The final token is always kEnd.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace txcache::sql
+
+#endif  // SRC_SQL_LEXER_H_

@@ -1,0 +1,420 @@
+#include "src/sql/parser.h"
+
+#include <cstdlib>
+
+#include "src/sql/lexer.h"
+
+namespace txcache::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    Result<Statement> result = [&]() -> Result<Statement> {
+      if (AcceptKeyword("SELECT")) {
+        return ParseSelect();
+      }
+      if (AcceptKeyword("INSERT")) {
+        return ParseInsert();
+      }
+      if (AcceptKeyword("UPDATE")) {
+        return ParseUpdate();
+      }
+      if (AcceptKeyword("DELETE")) {
+        return ParseDelete();
+      }
+      return Error("expected SELECT, INSERT, UPDATE or DELETE");
+    }();
+    if (!result.ok()) {
+      return result;
+    }
+    AcceptSymbol(";");
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after statement");
+    }
+    return result;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().Is(TokenKind::kIdentifier, kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (Peek().Is(TokenKind::kSymbol, sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::InvalidArgument(std::string("expected ") + kw + " near offset " +
+                                     std::to_string(Peek().offset));
+    }
+    return Status::Ok();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::InvalidArgument(std::string("expected '") + sym + "' near offset " +
+                                     std::to_string(Peek().offset));
+    }
+    return Status::Ok();
+  }
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " near offset " + std::to_string(Peek().offset));
+  }
+
+  Result<std::string> ParseIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& tok = Peek();
+    if (tok.kind == TokenKind::kString) {
+      Advance();
+      return Value(tok.text);
+    }
+    if (tok.kind == TokenKind::kNumber) {
+      Advance();
+      if (tok.text.find('.') != std::string::npos) {
+        return Value(std::strtod(tok.text.c_str(), nullptr));
+      }
+      return Value(static_cast<int64_t>(std::strtoll(tok.text.c_str(), nullptr, 10)));
+    }
+    if (tok.Is(TokenKind::kIdentifier, "NULL")) {
+      Advance();
+      return Value::Null();
+    }
+    if (tok.Is(TokenKind::kIdentifier, "TRUE")) {
+      Advance();
+      return Value(true);
+    }
+    if (tok.Is(TokenKind::kIdentifier, "FALSE")) {
+      Advance();
+      return Value(false);
+    }
+    return Error("expected literal");
+  }
+
+  std::optional<CmpOp> ParseCmpOp() {
+    static constexpr std::pair<const char*, CmpOp> kOps[] = {
+        {"=", CmpOp::kEq},  {"!=", CmpOp::kNe}, {"<=", CmpOp::kLe},
+        {">=", CmpOp::kGe}, {"<", CmpOp::kLt},  {">", CmpOp::kGt},
+    };
+    for (const auto& [sym, op] : kOps) {
+      if (AcceptSymbol(sym)) {
+        return op;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // condition := primary (AND primary)*   — AND-chains stay flat so the planner can mine them.
+  Result<ConditionPtr> ParseCondition() {
+    auto first = ParseConditionPrimary();
+    if (!first.ok()) {
+      return first;
+    }
+    std::vector<ConditionPtr> conjuncts{first.value()};
+    while (AcceptKeyword("AND")) {
+      auto next = ParseConditionPrimary();
+      if (!next.ok()) {
+        return next;
+      }
+      conjuncts.push_back(next.value());
+    }
+    if (conjuncts.size() == 1) {
+      return conjuncts[0];
+    }
+    auto node = std::make_shared<Condition>();
+    node->kind = Condition::Kind::kAnd;
+    node->children = std::move(conjuncts);
+    return ConditionPtr(node);
+  }
+
+  // primary := '(' condition (OR condition)* ')' | column cmp literal | column IS [NOT] NULL
+  Result<ConditionPtr> ParseConditionPrimary() {
+    if (AcceptSymbol("(")) {
+      auto inner = ParseCondition();
+      if (!inner.ok()) {
+        return inner;
+      }
+      std::vector<ConditionPtr> disjuncts{inner.value()};
+      while (AcceptKeyword("OR")) {
+        auto next = ParseCondition();
+        if (!next.ok()) {
+          return next;
+        }
+        disjuncts.push_back(next.value());
+      }
+      Status st = ExpectSymbol(")");
+      if (!st.ok()) {
+        return st;
+      }
+      if (disjuncts.size() == 1) {
+        return disjuncts[0];
+      }
+      auto node = std::make_shared<Condition>();
+      node->kind = Condition::Kind::kOr;
+      node->children = std::move(disjuncts);
+      return ConditionPtr(node);
+    }
+    auto column = ParseIdentifier("column name");
+    if (!column.ok()) {
+      return column.status();
+    }
+    if (AcceptKeyword("IS")) {
+      const bool negated = AcceptKeyword("NOT");
+      Status st = ExpectKeyword("NULL");
+      if (!st.ok()) {
+        return st;
+      }
+      auto node = std::make_shared<Condition>();
+      node->kind = negated ? Condition::Kind::kIsNotNull : Condition::Kind::kIsNull;
+      node->column = column.value();
+      return ConditionPtr(node);
+    }
+    std::optional<CmpOp> op = ParseCmpOp();
+    if (!op.has_value()) {
+      return Error("expected comparison operator");
+    }
+    auto literal = ParseLiteral();
+    if (!literal.ok()) {
+      return literal.status();
+    }
+    auto node = std::make_shared<Condition>();
+    node->kind = Condition::Kind::kCmp;
+    node->column = column.value();
+    node->op = *op;
+    node->literal = literal.value();
+    return ConditionPtr(node);
+  }
+
+  std::optional<AggKind> AggFromName(const std::string& name) {
+    if (name == "COUNT") return AggKind::kCount;
+    if (name == "SUM") return AggKind::kSum;
+    if (name == "MIN") return AggKind::kMin;
+    if (name == "MAX") return AggKind::kMax;
+    if (name == "AVG") return AggKind::kAvg;
+    return std::nullopt;
+  }
+
+  Result<Statement> ParseSelect() {
+    SelectStmt stmt;
+    do {
+      SelectItem item;
+      if (AcceptSymbol("*")) {
+        item.star = true;
+      } else {
+        auto name = ParseIdentifier("column or aggregate");
+        if (!name.ok()) {
+          return name.status();
+        }
+        std::optional<AggKind> agg = AggFromName(name.value());
+        if (agg.has_value() && AcceptSymbol("(")) {
+          item.aggregate = agg;
+          if (AcceptSymbol("*")) {
+            if (*agg != AggKind::kCount) {
+              return Error("only COUNT(*) may aggregate over *");
+            }
+          } else {
+            auto col = ParseIdentifier("aggregate column");
+            if (!col.ok()) {
+              return col.status();
+            }
+            item.column = col.value();
+          }
+          Status st = ExpectSymbol(")");
+          if (!st.ok()) {
+            return st;
+          }
+        } else {
+          item.column = name.value();
+        }
+      }
+      stmt.items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+
+    Status st = ExpectKeyword("FROM");
+    if (!st.ok()) {
+      return st;
+    }
+    auto table = ParseIdentifier("table name");
+    if (!table.ok()) {
+      return table.status();
+    }
+    stmt.table = table.value();
+
+    if (AcceptKeyword("WHERE")) {
+      auto where = ParseCondition();
+      if (!where.ok()) {
+        return where.status();
+      }
+      stmt.where = where.value();
+    }
+    if (AcceptKeyword("GROUP")) {
+      st = ExpectKeyword("BY");
+      if (!st.ok()) {
+        return st;
+      }
+      auto col = ParseIdentifier("GROUP BY column");
+      if (!col.ok()) {
+        return col.status();
+      }
+      stmt.group_by = col.value();
+    }
+    if (AcceptKeyword("ORDER")) {
+      st = ExpectKeyword("BY");
+      if (!st.ok()) {
+        return st;
+      }
+      do {
+        auto col = ParseIdentifier("ORDER BY column");
+        if (!col.ok()) {
+          return col.status();
+        }
+        OrderItem item{col.value(), false};
+        if (AcceptKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      auto n = ParseLiteral();
+      if (!n.ok() || n.value().type() != ValueType::kInt || n.value().AsInt() < 0) {
+        return Error("LIMIT expects a non-negative integer");
+      }
+      stmt.limit = static_cast<size_t>(n.value().AsInt());
+      if (AcceptKeyword("OFFSET")) {
+        auto m = ParseLiteral();
+        if (!m.ok() || m.value().type() != ValueType::kInt || m.value().AsInt() < 0) {
+          return Error("OFFSET expects a non-negative integer");
+        }
+        stmt.offset = static_cast<size_t>(m.value().AsInt());
+      }
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseInsert() {
+    Status st = ExpectKeyword("INTO");
+    if (!st.ok()) {
+      return st;
+    }
+    InsertStmt stmt;
+    auto table = ParseIdentifier("table name");
+    if (!table.ok()) {
+      return table.status();
+    }
+    stmt.table = table.value();
+    st = ExpectKeyword("VALUES");
+    if (!st.ok()) {
+      return st;
+    }
+    st = ExpectSymbol("(");
+    if (!st.ok()) {
+      return st;
+    }
+    do {
+      auto v = ParseLiteral();
+      if (!v.ok()) {
+        return v.status();
+      }
+      stmt.values.push_back(v.value());
+    } while (AcceptSymbol(","));
+    st = ExpectSymbol(")");
+    if (!st.ok()) {
+      return st;
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseUpdate() {
+    UpdateStmt stmt;
+    auto table = ParseIdentifier("table name");
+    if (!table.ok()) {
+      return table.status();
+    }
+    stmt.table = table.value();
+    Status st = ExpectKeyword("SET");
+    if (!st.ok()) {
+      return st;
+    }
+    do {
+      auto col = ParseIdentifier("column name");
+      if (!col.ok()) {
+        return col.status();
+      }
+      st = ExpectSymbol("=");
+      if (!st.ok()) {
+        return st;
+      }
+      auto v = ParseLiteral();
+      if (!v.ok()) {
+        return v.status();
+      }
+      stmt.sets.emplace_back(col.value(), v.value());
+    } while (AcceptSymbol(","));
+    if (AcceptKeyword("WHERE")) {
+      auto where = ParseCondition();
+      if (!where.ok()) {
+        return where.status();
+      }
+      stmt.where = where.value();
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDelete() {
+    Status st = ExpectKeyword("FROM");
+    if (!st.ok()) {
+      return st;
+    }
+    DeleteStmt stmt;
+    auto table = ParseIdentifier("table name");
+    if (!table.ok()) {
+      return table.status();
+    }
+    stmt.table = table.value();
+    if (AcceptKeyword("WHERE")) {
+      auto where = ParseCondition();
+      if (!where.ok()) {
+        return where.status();
+      }
+      stmt.where = where.value();
+    }
+    return Statement(std::move(stmt));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> Parse(const std::string& sql) {
+  auto tokens = Lex(sql);
+  if (!tokens.ok()) {
+    return tokens.status();
+  }
+  Parser parser(tokens.take());
+  return parser.ParseStatement();
+}
+
+}  // namespace txcache::sql

@@ -1,0 +1,17 @@
+// Recursive-descent SQL parser.
+#ifndef SRC_SQL_PARSER_H_
+#define SRC_SQL_PARSER_H_
+
+#include <string>
+
+#include "src/sql/ast.h"
+#include "src/util/status.h"
+
+namespace txcache::sql {
+
+// Parses one statement (a trailing ';' is permitted).
+Result<Statement> Parse(const std::string& sql);
+
+}  // namespace txcache::sql
+
+#endif  // SRC_SQL_PARSER_H_

@@ -1,0 +1,301 @@
+#include "src/sql/planner.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+namespace txcache::sql {
+
+std::string CatalogName(const std::string& upper) {
+  std::string out = upper;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+Result<ColumnId> Planner::ResolveColumn(const TableSchema& schema,
+                                        const std::string& upper_name) const {
+  auto id = schema.ColumnIndex(CatalogName(upper_name));
+  if (!id.has_value()) {
+    return Status::InvalidArgument("no column " + CatalogName(upper_name) + " in table " +
+                                   schema.name);
+  }
+  return *id;
+}
+
+Result<PredicatePtr> Planner::TranslateCondition(const TableSchema& schema,
+                                                 const ConditionPtr& condition) const {
+  if (condition == nullptr) {
+    return PredicatePtr(nullptr);
+  }
+  switch (condition->kind) {
+    case Condition::Kind::kCmp: {
+      auto col = ResolveColumn(schema, condition->column);
+      if (!col.ok()) {
+        return col.status();
+      }
+      return PCmp(col.value(), condition->op, condition->literal);
+    }
+    case Condition::Kind::kIsNull: {
+      auto col = ResolveColumn(schema, condition->column);
+      if (!col.ok()) {
+        return col.status();
+      }
+      return PIsNull(col.value());
+    }
+    case Condition::Kind::kIsNotNull: {
+      auto col = ResolveColumn(schema, condition->column);
+      if (!col.ok()) {
+        return col.status();
+      }
+      return PNot(PIsNull(col.value()));
+    }
+    case Condition::Kind::kAnd:
+    case Condition::Kind::kOr: {
+      std::vector<PredicatePtr> children;
+      children.reserve(condition->children.size());
+      for (const ConditionPtr& child : condition->children) {
+        auto p = TranslateCondition(schema, child);
+        if (!p.ok()) {
+          return p;
+        }
+        children.push_back(p.value());
+      }
+      return condition->kind == Condition::Kind::kAnd ? PAnd(std::move(children))
+                                                      : POr(std::move(children));
+    }
+  }
+  return Status::Internal("unknown condition kind");
+}
+
+void Planner::CollectConjuncts(const ConditionPtr& condition,
+                               std::vector<const Condition*>* out) const {
+  if (condition == nullptr) {
+    return;
+  }
+  if (condition->kind == Condition::Kind::kAnd) {
+    for (const ConditionPtr& child : condition->children) {
+      CollectConjuncts(child, out);
+    }
+    return;
+  }
+  out->push_back(condition.get());
+}
+
+Result<PlannedTarget> Planner::PlanTarget(const std::string& table,
+                                          const ConditionPtr& where) const {
+  const TableSchema* schema = db_->FindTable(table);
+  if (schema == nullptr) {
+    return Status::InvalidArgument("no such table: " + table);
+  }
+  auto residual = TranslateCondition(*schema, where);
+  if (!residual.ok()) {
+    return residual.status();
+  }
+
+  // Mine top-level conjuncts for equality bindings and range bounds.
+  std::vector<const Condition*> conjuncts;
+  CollectConjuncts(where, &conjuncts);
+  std::map<ColumnId, Value> equalities;
+  struct Range {
+    std::optional<Value> lo, hi;
+  };
+  std::map<ColumnId, Range> ranges;
+  for (const Condition* c : conjuncts) {
+    if (c->kind != Condition::Kind::kCmp) {
+      continue;
+    }
+    auto col = ResolveColumn(*schema, c->column);
+    if (!col.ok()) {
+      return col.status();
+    }
+    switch (c->op) {
+      case CmpOp::kEq:
+        equalities.emplace(col.value(), c->literal);
+        break;
+      case CmpOp::kGe:
+      case CmpOp::kGt:  // conservative: treat as >= and let the residual do the exclusion
+        ranges[col.value()].lo = c->literal;
+        break;
+      case CmpOp::kLe:
+      case CmpOp::kLt:  // conservative: treat as <=
+        ranges[col.value()].hi = c->literal;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // 1. Fully-bound index => IndexEq. Prefer unique, then wider indexes.
+  const IndexSchema* best_eq = nullptr;
+  std::vector<IndexSchema> indexes = db_->ListIndexes(table);
+  for (const IndexSchema& index : indexes) {
+    const bool bound = std::all_of(index.columns.begin(), index.columns.end(),
+                                   [&](ColumnId c) { return equalities.contains(c); });
+    if (!bound) {
+      continue;
+    }
+    if (best_eq == nullptr || (index.unique && !best_eq->unique) ||
+        (index.unique == best_eq->unique && index.columns.size() > best_eq->columns.size())) {
+      best_eq = &index;
+    }
+  }
+  if (best_eq != nullptr) {
+    Row key;
+    key.reserve(best_eq->columns.size());
+    for (ColumnId c : best_eq->columns) {
+      key.push_back(equalities.at(c));
+    }
+    return PlannedTarget{AccessPath::IndexEq(table, best_eq->name, std::move(key)),
+                         residual.value()};
+  }
+
+  // 2. Single-column index with a range bound => IndexRange.
+  for (const IndexSchema& index : indexes) {
+    if (index.columns.size() != 1) {
+      continue;
+    }
+    auto it = ranges.find(index.columns[0]);
+    if (it == ranges.end()) {
+      continue;
+    }
+    std::optional<Row> lo, hi;
+    if (it->second.lo.has_value()) {
+      lo = Row{*it->second.lo};
+    }
+    if (it->second.hi.has_value()) {
+      hi = Row{*it->second.hi};
+    }
+    return PlannedTarget{AccessPath::IndexRange(table, index.name, std::move(lo), std::move(hi)),
+                         residual.value()};
+  }
+
+  // 3. Sequential scan.
+  return PlannedTarget{AccessPath::SeqScan(table), residual.value()};
+}
+
+Result<PlannedSelect> Planner::PlanSelect(const SelectStmt& stmt) const {
+  const std::string table = CatalogName(stmt.table);
+  const TableSchema* schema = db_->FindTable(table);
+  if (schema == nullptr) {
+    return Status::InvalidArgument("no such table: " + table);
+  }
+  auto target = PlanTarget(table, stmt.where);
+  if (!target.ok()) {
+    return target.status();
+  }
+  PlannedSelect plan;
+  plan.query = Query::From(target.value().path);
+  plan.query.Where(target.value().residual);
+
+  // Select list: exactly one aggregate allowed; otherwise columns / '*'.
+  const SelectItem* aggregate = nullptr;
+  std::vector<uint32_t> projection;
+  bool star = false;
+  for (const SelectItem& item : stmt.items) {
+    if (item.aggregate.has_value()) {
+      if (aggregate != nullptr) {
+        return Status::InvalidArgument("only one aggregate per SELECT is supported");
+      }
+      aggregate = &item;
+    } else if (item.star) {
+      star = true;
+    } else {
+      auto col = ResolveColumn(*schema, item.column);
+      if (!col.ok()) {
+        return col.status();
+      }
+      projection.push_back(col.value());
+      plan.column_names.push_back(CatalogName(item.column));
+    }
+  }
+
+  if (aggregate != nullptr) {
+    uint32_t agg_col = 0;
+    if (!aggregate->column.empty()) {
+      auto col = ResolveColumn(*schema, aggregate->column);
+      if (!col.ok()) {
+        return col.status();
+      }
+      agg_col = col.value();
+    } else if (*aggregate->aggregate != AggKind::kCount) {
+      return Status::InvalidArgument("this aggregate needs a column argument");
+    }
+    plan.query.Agg(*aggregate->aggregate, agg_col);
+    plan.column_names.clear();
+    if (stmt.group_by.has_value()) {
+      auto group = ResolveColumn(*schema, *stmt.group_by);
+      if (!group.ok()) {
+        return group.status();
+      }
+      plan.query.GroupBy(group.value());
+      // Non-aggregate select items must be the grouping column.
+      for (const SelectItem& item : stmt.items) {
+        if (!item.aggregate.has_value() && !item.star) {
+          auto col = ResolveColumn(*schema, item.column);
+          if (!col.ok() || col.value() != group.value()) {
+            return Status::InvalidArgument("selected column must be the GROUP BY column");
+          }
+        }
+      }
+      plan.column_names.push_back(CatalogName(*stmt.group_by));
+    }
+    plan.column_names.push_back("agg");
+    if (!stmt.order_by.empty()) {
+      if (!stmt.group_by.has_value()) {
+        return Status::InvalidArgument("ORDER BY with an ungrouped aggregate");
+      }
+      auto col = ResolveColumn(*schema, stmt.order_by[0].column);
+      if (!col.ok()) {
+        return col.status();
+      }
+      auto group = ResolveColumn(*schema, *stmt.group_by);
+      if (col.value() != group.value()) {
+        return Status::InvalidArgument("ORDER BY must use the GROUP BY column");
+      }
+      plan.query.SortBy(0, stmt.order_by[0].descending);
+    }
+  } else {
+    if (stmt.group_by.has_value()) {
+      return Status::InvalidArgument("GROUP BY requires an aggregate");
+    }
+    if (star) {
+      projection.clear();
+      plan.column_names.clear();
+      for (const Column& column : schema->columns) {
+        plan.column_names.push_back(column.name);
+      }
+    }
+    plan.query.Project(projection);
+    for (const OrderItem& item : stmt.order_by) {
+      auto col = ResolveColumn(*schema, item.column);
+      if (!col.ok()) {
+        return col.status();
+      }
+      plan.query.SortBy(col.value(), item.descending);
+    }
+  }
+  plan.query.Limit(stmt.limit, stmt.offset);
+  return plan;
+}
+
+Result<std::vector<std::pair<ColumnId, Value>>> Planner::PlanSets(
+    const std::string& table, const std::vector<std::pair<std::string, Value>>& sets) const {
+  const TableSchema* schema = db_->FindTable(table);
+  if (schema == nullptr) {
+    return Status::InvalidArgument("no such table: " + table);
+  }
+  std::vector<std::pair<ColumnId, Value>> out;
+  out.reserve(sets.size());
+  for (const auto& [name, value] : sets) {
+    auto col = ResolveColumn(*schema, name);
+    if (!col.ok()) {
+      return col.status();
+    }
+    out.emplace_back(col.value(), value);
+  }
+  return out;
+}
+
+}  // namespace txcache::sql

@@ -1,0 +1,63 @@
+// SQL planner: resolves names against the catalog and picks access paths.
+//
+// Access-path selection (in priority order):
+//   1. an index whose every column is bound by a top-level AND-ed equality => IndexEq
+//      (unique indexes and longer prefixes preferred);
+//   2. a single-column index whose column has range bounds (< <= > >=) => IndexRange;
+//   3. otherwise a sequential scan.
+// The full WHERE condition is always kept as the residual predicate — redundant re-checking of
+// index-consumed conjuncts is cheap and keeps the translation obviously sound.
+//
+// Dialect limitations (by design, documented): single-table statements (no joins — the engine's
+// Query AST supports index-nested-loop joins, but the SQL surface does not expose them yet),
+// one aggregate per SELECT, ORDER BY on the grouping column only when aggregating.
+#ifndef SRC_SQL_PLANNER_H_
+#define SRC_SQL_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/sql/ast.h"
+
+namespace txcache::sql {
+
+struct PlannedSelect {
+  Query query;
+  std::vector<std::string> column_names;  // output column labels
+};
+
+struct PlannedTarget {
+  AccessPath path;
+  PredicatePtr residual;
+};
+
+class Planner {
+ public:
+  explicit Planner(const Database* db) : db_(db) {}
+
+  Result<PlannedSelect> PlanSelect(const SelectStmt& stmt) const;
+  // Shared by UPDATE/DELETE: where to find the target rows.
+  Result<PlannedTarget> PlanTarget(const std::string& table, const ConditionPtr& where) const;
+  // Column updates for UPDATE.
+  Result<std::vector<std::pair<ColumnId, Value>>> PlanSets(
+      const std::string& table, const std::vector<std::pair<std::string, Value>>& sets) const;
+
+ private:
+  Result<ColumnId> ResolveColumn(const TableSchema& schema, const std::string& upper_name) const;
+  Result<PredicatePtr> TranslateCondition(const TableSchema& schema,
+                                          const ConditionPtr& condition) const;
+  // Collects top-level AND-ed `col = literal` / range conjuncts.
+  void CollectConjuncts(const ConditionPtr& condition,
+                        std::vector<const Condition*>* out) const;
+
+  const Database* db_;
+};
+
+// Lowercases a lexer-normalized (upper-case) identifier for catalog lookup; table and column
+// names in this codebase are lower-case by convention.
+std::string CatalogName(const std::string& upper);
+
+}  // namespace txcache::sql
+
+#endif  // SRC_SQL_PLANNER_H_

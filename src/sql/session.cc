@@ -1,0 +1,89 @@
+#include "src/sql/session.h"
+
+#include <sstream>
+
+namespace txcache::sql {
+
+std::string SqlResult::ToString() const {
+  std::ostringstream os;
+  if (!columns.empty()) {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      os << (i == 0 ? "" : " | ") << columns[i];
+    }
+    os << "\n";
+  }
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "" : " | ") << row[i].ToString();
+    }
+    os << "\n";
+  }
+  os << "(" << rows.size() << " rows";
+  if (affected > 0) {
+    os << ", " << affected << " affected";
+  }
+  os << ")";
+  return os.str();
+}
+
+Result<SqlResult> SqlSession::Execute(const std::string& sql_text) {
+  auto statement = Parse(sql_text);
+  if (!statement.ok()) {
+    return statement.status();
+  }
+  SqlResult out;
+  if (const auto* select = std::get_if<SelectStmt>(&statement.value())) {
+    SelectStmt normalized = *select;
+    auto plan = planner_.PlanSelect(normalized);
+    if (!plan.ok()) {
+      return plan.status();
+    }
+    auto result = client_->ExecuteQuery(plan.value().query);
+    if (!result.ok()) {
+      return result.status();
+    }
+    out.columns = plan.value().column_names;
+    out.rows = std::move(result.value().rows);
+    out.validity = result.value().validity;
+    return out;
+  }
+  if (const auto* insert = std::get_if<InsertStmt>(&statement.value())) {
+    Status st = client_->Insert(CatalogName(insert->table), insert->values);
+    if (!st.ok()) {
+      return st;
+    }
+    out.affected = 1;
+    return out;
+  }
+  if (const auto* update = std::get_if<UpdateStmt>(&statement.value())) {
+    const std::string table = CatalogName(update->table);
+    auto target = planner_.PlanTarget(table, update->where);
+    if (!target.ok()) {
+      return target.status();
+    }
+    auto sets = planner_.PlanSets(table, update->sets);
+    if (!sets.ok()) {
+      return sets.status();
+    }
+    auto n = client_->Update(table, target.value().path, target.value().residual, sets.value());
+    if (!n.ok()) {
+      return n.status();
+    }
+    out.affected = n.value();
+    return out;
+  }
+  const auto& del = std::get<DeleteStmt>(statement.value());
+  const std::string table = CatalogName(del.table);
+  auto target = planner_.PlanTarget(table, del.where);
+  if (!target.ok()) {
+    return target.status();
+  }
+  auto n = client_->Delete(table, target.value().path, target.value().residual);
+  if (!n.ok()) {
+    return n.status();
+  }
+  out.affected = n.value();
+  return out;
+}
+
+}  // namespace txcache::sql

@@ -1,0 +1,39 @@
+// SqlSession: executes SQL text through a TxCacheClient inside the client's current
+// transaction. SELECTs in read-only transactions flow through the full TxCache machinery —
+// they narrow the pin set and accumulate validity/tags for any enclosing cacheable function,
+// so SQL inside MAKE-CACHEABLE bodies "just works".
+#ifndef SRC_SQL_SESSION_H_
+#define SRC_SQL_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/txcache_client.h"
+#include "src/sql/parser.h"
+#include "src/sql/planner.h"
+
+namespace txcache::sql {
+
+struct SqlResult {
+  std::vector<std::string> columns;  // labels for SELECT output
+  std::vector<Row> rows;             // SELECT results
+  size_t affected = 0;               // rows touched by INSERT/UPDATE/DELETE
+  Interval validity;                 // SELECT validity interval (read-only transactions)
+
+  std::string ToString() const;  // ASCII table, for shells and demos
+};
+
+class SqlSession {
+ public:
+  SqlSession(TxCacheClient* client, Database* db) : client_(client), planner_(db) {}
+
+  Result<SqlResult> Execute(const std::string& sql_text);
+
+ private:
+  TxCacheClient* client_;
+  Planner planner_;
+};
+
+}  // namespace txcache::sql
+
+#endif  // SRC_SQL_SESSION_H_

@@ -1,0 +1,45 @@
+// Clock abstraction. Production components take a Clock* so the discrete-event simulator can
+// drive them on virtual time while examples and interactive use run on the system clock.
+#ifndef SRC_UTIL_CLOCK_H_
+#define SRC_UTIL_CLOCK_H_
+
+#include <chrono>
+
+#include "src/util/types.h"
+
+namespace txcache {
+
+// Interface for obtaining the current wall-clock time (microseconds).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual WallClock Now() const = 0;
+};
+
+// Real time, for examples and interactive use.
+class SystemClock final : public Clock {
+ public:
+  WallClock Now() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+// Manually advanced clock, for tests and the simulator.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(WallClock start = 0) : now_(start) {}
+
+  WallClock Now() const override { return now_; }
+
+  void Advance(WallClock delta) { now_ += delta; }
+  void Set(WallClock t) { now_ = t; }
+
+ private:
+  WallClock now_;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_UTIL_CLOCK_H_

@@ -1,0 +1,35 @@
+// Hashing utilities: a 64-bit FNV-1a for cache keys and the consistent-hashing ring.
+#ifndef SRC_UTIL_HASH_H_
+#define SRC_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace txcache {
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+constexpr uint64_t Fnv1a(std::string_view data, uint64_t seed = kFnvOffsetBasis) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// 64-bit finalizer (from MurmurHash3) to decorrelate sequential inputs; used to derive virtual
+// node positions on the consistent-hash ring.
+constexpr uint64_t Mix64(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace txcache
+
+#endif  // SRC_UTIL_HASH_H_

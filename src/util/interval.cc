@@ -1,0 +1,119 @@
+#include "src/util/interval.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace txcache {
+
+Interval Interval::Intersect(const Interval& o) const {
+  Interval r{std::max(lower, o.lower), std::min(upper, o.upper)};
+  if (r.lower >= r.upper) {
+    return Interval::Empty();
+  }
+  return r;
+}
+
+std::string Interval::ToString() const {
+  std::ostringstream os;
+  if (empty()) {
+    return "[empty)";
+  }
+  os << "[" << lower << ", ";
+  if (unbounded()) {
+    os << "inf";
+  } else {
+    os << upper;
+  }
+  os << ")";
+  return os.str();
+}
+
+void IntervalSet::Add(const Interval& iv) {
+  if (iv.empty()) {
+    return;
+  }
+  // Find the first interval whose upper bound reaches iv.lower (merge adjacency too).
+  auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), iv.lower,
+      [](const Interval& a, Timestamp t) { return a.upper < t; });
+  Interval merged = iv;
+  auto it = first;
+  while (it != intervals_.end() && it->lower <= merged.upper) {
+    merged.lower = std::min(merged.lower, it->lower);
+    merged.upper = std::max(merged.upper, it->upper);
+    ++it;
+  }
+  it = intervals_.erase(first, it);
+  intervals_.insert(it, merged);
+}
+
+void IntervalSet::AddAll(const IntervalSet& other) {
+  for (const Interval& iv : other.intervals_) {
+    Add(iv);
+  }
+}
+
+bool IntervalSet::Contains(Timestamp t) const {
+  auto it = std::upper_bound(intervals_.begin(), intervals_.end(), t,
+                             [](Timestamp v, const Interval& a) { return v < a.upper; });
+  return it != intervals_.end() && it->Contains(t);
+}
+
+bool IntervalSet::Overlaps(const Interval& iv) const {
+  if (iv.empty()) {
+    return false;
+  }
+  auto it = std::upper_bound(intervals_.begin(), intervals_.end(), iv.lower,
+                             [](Timestamp v, const Interval& a) { return v < a.upper; });
+  return it != intervals_.end() && it->Overlaps(iv);
+}
+
+Interval IntervalSet::MaximalGapAround(Timestamp t, const Interval& within) const {
+  if (!within.Contains(t) || Contains(t)) {
+    return Interval::Empty();
+  }
+  Interval gap = within;
+  // First interval strictly after t constrains the upper bound; last interval ending at or
+  // before t constrains the lower bound.
+  auto after = std::upper_bound(intervals_.begin(), intervals_.end(), t,
+                                [](Timestamp v, const Interval& a) { return v < a.lower; });
+  if (after != intervals_.end()) {
+    gap.upper = std::min(gap.upper, after->lower);
+  }
+  if (after != intervals_.begin()) {
+    auto before = std::prev(after);
+    // `before` starts at or before t; since t is uncovered, before->upper <= t.
+    gap.lower = std::max(gap.lower, before->upper);
+  }
+  return gap;
+}
+
+Timestamp IntervalSet::CoveredCount() const {
+  Timestamp total = 0;
+  for (const Interval& iv : intervals_) {
+    if (iv.unbounded()) {
+      return kTimestampInfinity;
+    }
+    Timestamp len = iv.upper - iv.lower;
+    if (total > kTimestampInfinity - len) {
+      return kTimestampInfinity;
+    }
+    total += len;
+  }
+  return total;
+}
+
+std::string IntervalSet::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << intervals_[i].ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace txcache

@@ -1,0 +1,80 @@
+// Validity-interval algebra (paper §4.1, §5.2).
+//
+// A validity interval is a half-open range [lower, upper) of commit timestamps over which some
+// value (a tuple, a query result, a cached object) is unchanged. upper == kTimestampInfinity
+// means the value is still valid. An IntervalSet is a sorted set of disjoint intervals; it is
+// used for the invalidity mask, which is a union of the lifetime intervals of tuples that
+// matched a query's predicate but failed its visibility check.
+#ifndef SRC_UTIL_INTERVAL_H_
+#define SRC_UTIL_INTERVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace txcache {
+
+struct Interval {
+  Timestamp lower = kTimestampZero;
+  Timestamp upper = kTimestampInfinity;  // exclusive; kTimestampInfinity => unbounded
+
+  static Interval All() { return Interval{kTimestampZero, kTimestampInfinity}; }
+  static Interval Empty() { return Interval{kTimestampZero, kTimestampZero}; }
+  // The degenerate interval containing exactly one timestamp.
+  static Interval Point(Timestamp t) { return Interval{t, t + 1}; }
+
+  bool empty() const { return lower >= upper; }
+  bool unbounded() const { return upper == kTimestampInfinity; }
+  bool Contains(Timestamp t) const { return t >= lower && t < upper; }
+  bool Overlaps(const Interval& o) const { return lower < o.upper && o.lower < upper; }
+
+  // Intersection of two intervals (possibly empty).
+  Interval Intersect(const Interval& o) const;
+
+  bool operator==(const Interval& o) const = default;
+
+  std::string ToString() const;
+};
+
+// A set of timestamps represented as sorted, disjoint, non-adjacent half-open intervals.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  explicit IntervalSet(Interval iv) { Add(iv); }
+
+  // Adds (unions) an interval into the set, merging as needed. Empty intervals are ignored.
+  void Add(const Interval& iv);
+
+  // Unions another set into this one.
+  void AddAll(const IntervalSet& other);
+
+  bool Contains(Timestamp t) const;
+  bool Overlaps(const Interval& iv) const;
+  bool empty() const { return intervals_.empty(); }
+  size_t size() const { return intervals_.size(); }
+  void Clear() { intervals_.clear(); }
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  // Returns the largest sub-interval of `within` that contains `t` and does not intersect this
+  // set. This is the final step of validity computation (paper Fig. 4): subtract the invalidity
+  // mask from the result-tuple validity, keeping the component around the query timestamp.
+  // Returns an empty interval if `t` is not in `within` or is covered by the set.
+  Interval MaximalGapAround(Timestamp t, const Interval& within) const;
+
+  // Total number of timestamps covered (saturating; unbounded intervals yield infinity).
+  // Exposed for tests and stats.
+  Timestamp CoveredCount() const;
+
+  std::string ToString() const;
+
+  bool operator==(const IntervalSet& o) const = default;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_UTIL_INTERVAL_H_

@@ -1,0 +1,57 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+
+namespace txcache {
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  assert(n >= 1);
+  if (n == 1) {
+    return 1;
+  }
+  // Rejection-inversion sampling (Hörmann & Derflinger). Good for repeated draws with varying n
+  // without precomputing harmonic tables.
+  const double b = std::pow(2.0, s - 1.0);
+  double x;
+  double t;
+  do {
+    const double u = UniformReal(0.0, 1.0);
+    const double v = UniformReal(0.0, 1.0);
+    x = std::floor(std::pow(static_cast<double>(n) + 1.0, u));
+    if (x < 1.0) {
+      x = 1.0;
+    }
+    t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      break;
+    }
+  } while (true);
+  return std::min<int64_t>(static_cast<int64_t>(x), n);
+}
+
+WeightedChoice::WeightedChoice(std::vector<double> weights) {
+  assert(!weights.empty());
+  cumulative_.resize(weights.size());
+  double total = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    assert(weights[i] >= 0);
+    total += weights[i];
+    cumulative_[i] = total;
+  }
+  assert(total > 0);
+  for (double& c : cumulative_) {
+    c /= total;
+  }
+  cumulative_.back() = 1.0;
+}
+
+size_t WeightedChoice::Pick(Rng& rng) const {
+  const double u = rng.UniformReal(0.0, 1.0);
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) {
+    return cumulative_.size() - 1;
+  }
+  return static_cast<size_t>(it - cumulative_.begin());
+}
+
+}  // namespace txcache

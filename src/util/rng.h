@@ -1,0 +1,64 @@
+// Deterministic random-number utilities for workload generation and the simulator.
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace txcache {
+
+// Wrapper around a seeded 64-bit Mersenne Twister with the distributions the RUBiS client
+// emulator needs (uniform picks, exponential think times, Zipf-like popularity skew).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  uint64_t NextU64() { return gen_(); }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+
+  double UniformReal(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  bool Bernoulli(double p) { return std::bernoulli_distribution(p)(gen_); }
+
+  // Exponentially distributed value with the given mean (RUBiS think time, paper §8).
+  double Exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(gen_);
+  }
+
+  // Zipf-distributed rank in [1, n] with exponent s, via rejection-inversion. Used to give item
+  // popularity a realistic skew in the workload generator.
+  int64_t Zipf(int64_t n, double s);
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+// Weighted categorical choice over a fixed table (the RUBiS interaction mix).
+class WeightedChoice {
+ public:
+  explicit WeightedChoice(std::vector<double> weights);
+
+  // Returns an index in [0, weights.size()).
+  size_t Pick(Rng& rng) const;
+
+  size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_UTIL_RNG_H_

@@ -1,0 +1,304 @@
+// Compact binary serialization used for cache keys and cached values.
+//
+// The TxCache library derives a cache key from a cacheable function's name and serialized
+// arguments, and stores the function's serialized result as the cache value (paper §6.1). The
+// format here is a simple, deterministic, length-prefixed binary encoding: identical logical
+// values always produce identical bytes, which is what makes the derived keys stable.
+//
+// Supported out of the box: integral types, bool, double, std::string, std::optional<T>,
+// std::pair<A,B>, std::tuple<...>, std::vector<T>. User-defined structs opt in by providing
+//   template <typename F> void ForEachField(F&& f) / ... const
+// or by specializing Serde<T>.
+#ifndef SRC_UTIL_SERDE_H_
+#define SRC_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace txcache {
+
+class Writer {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
+  void PutI64(int64_t v) { PutFixed(static_cast<uint64_t>(v)); }
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutFixed(bits);
+  }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutBytes(const void* data, size_t n) {
+    const char* p = static_cast<const char*>(data);
+    buf_.append(p, n);
+  }
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutBytes(s.data(), s.size());
+  }
+
+  const std::string& bytes() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    // Little-endian fixed-width encoding.
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* out) {
+    if (pos_ + 1 > data_.size()) {
+      return Fail();
+    }
+    *out = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool GetU32(uint32_t* out) { return GetFixed(out); }
+  bool GetU64(uint64_t* out) { return GetFixed(out); }
+  bool GetI64(int64_t* out) {
+    uint64_t u;
+    if (!GetFixed(&u)) {
+      return false;
+    }
+    *out = static_cast<int64_t>(u);
+    return true;
+  }
+  bool GetDouble(double* out) {
+    uint64_t bits;
+    if (!GetFixed(&bits)) {
+      return false;
+    }
+    std::memcpy(out, &bits, sizeof(*out));
+    return true;
+  }
+  bool GetBool(bool* out) {
+    uint8_t v;
+    if (!GetU8(&v)) {
+      return false;
+    }
+    *out = (v != 0);
+    return true;
+  }
+  bool GetString(std::string* out) {
+    uint32_t n;
+    if (!GetU32(&n) || pos_ + n > data_.size()) {
+      return Fail();
+    }
+    out->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool failed() const { return failed_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+
+  template <typename T>
+  bool GetFixed(T* out) {
+    if (pos_ + sizeof(T) > data_.size()) {
+      return Fail();
+    }
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    *out = v;
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// Primary serialization trait. Specialize for custom types, or provide ForEachField.
+template <typename T, typename Enable = void>
+struct Serde;
+
+template <typename T>
+void SerializeValue(Writer& w, const T& v) {
+  Serde<T>::Write(w, v);
+}
+
+template <typename T>
+bool DeserializeValue(Reader& r, T* out) {
+  return Serde<T>::Read(r, out);
+}
+
+// --- built-in specializations ---
+
+template <typename T>
+struct Serde<T, std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>>> {
+  static void Write(Writer& w, const T& v) { w.PutI64(static_cast<int64_t>(v)); }
+  static bool Read(Reader& r, T* out) {
+    int64_t v;
+    if (!r.GetI64(&v)) {
+      return false;
+    }
+    *out = static_cast<T>(v);
+    return true;
+  }
+};
+
+template <>
+struct Serde<bool> {
+  static void Write(Writer& w, const bool& v) { w.PutBool(v); }
+  static bool Read(Reader& r, bool* out) { return r.GetBool(out); }
+};
+
+template <>
+struct Serde<double> {
+  static void Write(Writer& w, const double& v) { w.PutDouble(v); }
+  static bool Read(Reader& r, double* out) { return r.GetDouble(out); }
+};
+
+template <>
+struct Serde<std::string> {
+  static void Write(Writer& w, const std::string& v) { w.PutString(v); }
+  static bool Read(Reader& r, std::string* out) { return r.GetString(out); }
+};
+
+template <typename T>
+struct Serde<std::optional<T>> {
+  static void Write(Writer& w, const std::optional<T>& v) {
+    w.PutBool(v.has_value());
+    if (v.has_value()) {
+      SerializeValue(w, *v);
+    }
+  }
+  static bool Read(Reader& r, std::optional<T>* out) {
+    bool has;
+    if (!r.GetBool(&has)) {
+      return false;
+    }
+    if (!has) {
+      out->reset();
+      return true;
+    }
+    T v;
+    if (!DeserializeValue(r, &v)) {
+      return false;
+    }
+    *out = std::move(v);
+    return true;
+  }
+};
+
+template <typename T>
+struct Serde<std::vector<T>> {
+  static void Write(Writer& w, const std::vector<T>& v) {
+    w.PutU32(static_cast<uint32_t>(v.size()));
+    for (const T& e : v) {
+      SerializeValue(w, e);
+    }
+  }
+  static bool Read(Reader& r, std::vector<T>* out) {
+    uint32_t n;
+    if (!r.GetU32(&n)) {
+      return false;
+    }
+    out->clear();
+    out->reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      T e;
+      if (!DeserializeValue(r, &e)) {
+        return false;
+      }
+      out->push_back(std::move(e));
+    }
+    return true;
+  }
+};
+
+template <typename A, typename B>
+struct Serde<std::pair<A, B>> {
+  static void Write(Writer& w, const std::pair<A, B>& v) {
+    SerializeValue(w, v.first);
+    SerializeValue(w, v.second);
+  }
+  static bool Read(Reader& r, std::pair<A, B>* out) {
+    return DeserializeValue(r, &out->first) && DeserializeValue(r, &out->second);
+  }
+};
+
+template <typename... Ts>
+struct Serde<std::tuple<Ts...>> {
+  static void Write(Writer& w, const std::tuple<Ts...>& v) {
+    std::apply([&w](const Ts&... es) { (SerializeValue(w, es), ...); }, v);
+  }
+  static bool Read(Reader& r, std::tuple<Ts...>* out) {
+    return std::apply([&r](Ts&... es) { return (DeserializeValue(r, &es) && ...); }, *out);
+  }
+};
+
+// Structs that expose `ForEachField(f)` (calling f on each member reference, in a fixed order)
+// get serialization for free.
+template <typename T>
+concept HasForEachField = requires(T t, const T ct) {
+  ct.ForEachField([](const auto&) {});
+  t.ForEachField([](auto&) {});
+};
+
+template <typename T>
+struct Serde<T, std::enable_if_t<HasForEachField<T>>> {
+  static void Write(Writer& w, const T& v) {
+    v.ForEachField([&w](const auto& field) { SerializeValue(w, field); });
+  }
+  static bool Read(Reader& r, T* out) {
+    bool ok = true;
+    out->ForEachField([&r, &ok](auto& field) {
+      if (ok) {
+        ok = DeserializeValue(r, &field);
+      }
+    });
+    return ok;
+  }
+};
+
+// Convenience: serialize a pack of values to one buffer (used for cache keys).
+template <typename... Ts>
+std::string SerializeToString(const Ts&... vs) {
+  Writer w;
+  (SerializeValue(w, vs), ...);
+  return w.Take();
+}
+
+template <typename T>
+Result<T> DeserializeFromString(std::string_view bytes) {
+  Reader r(bytes);
+  T v;
+  if (!DeserializeValue(r, &v) || r.failed() || !r.AtEnd()) {
+    return Status::InvalidArgument("malformed serialized value");
+  }
+  return v;
+}
+
+}  // namespace txcache
+
+#endif  // SRC_UTIL_SERDE_H_

@@ -1,0 +1,93 @@
+// Minimal Status / Result<T> error-handling vocabulary (no exceptions on normal control flow).
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace txcache {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,          // lookup missed (cache miss, unknown key, unknown snapshot)
+  kConflict,          // serialization failure: write-write conflict under snapshot isolation
+  kInvalidArgument,   // caller error (bad schema, malformed query, type mismatch)
+  kFailedPrecondition,  // operation not valid in current state (e.g. commit of aborted txn)
+  kUnavailable,       // component offline / partitioned (used in fault-injection tests)
+  kInternal,          // invariant violation; indicates a bug
+};
+
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on success (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = "not found") {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status Conflict(std::string m = "serialization conflict") {
+    return Status(StatusCode::kConflict, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Unavailable(std::string m = "unavailable") {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value or an error. `value()` asserts success; prefer checking `ok()` first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "use Result(T) for success");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& value_or(const T& fallback) const { return ok() ? *value_ : fallback; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_UTIL_STATUS_H_

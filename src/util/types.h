@@ -1,0 +1,44 @@
+// Core vocabulary types shared across all TxCache modules.
+#ifndef SRC_UTIL_TYPES_H_
+#define SRC_UTIL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace txcache {
+
+// A commit timestamp: a dense logical ordinal assigned to committed read/write transactions by
+// the database's transaction manager. Timestamp 0 is reserved ("before everything"); the first
+// commit receives timestamp 1. All validity intervals, pinned snapshots, and invalidation-stream
+// messages are expressed in this timestamp space (paper §4.1, §5.1).
+using Timestamp = uint64_t;
+
+// Sentinel meaning "unbounded" / "still valid" when used as an interval upper bound.
+inline constexpr Timestamp kTimestampInfinity = std::numeric_limits<Timestamp>::max();
+
+// Timestamp of the empty database before any transaction committed.
+inline constexpr Timestamp kTimestampZero = 0;
+
+// A transaction identifier, assigned at BEGIN time. Distinct from commit timestamps: a
+// transaction id is allocated when the transaction starts, its commit timestamp (if it commits)
+// when it commits. Id 0 is reserved as "no transaction" (e.g. an unset tuple xmax).
+using TxnId = uint64_t;
+
+inline constexpr TxnId kInvalidTxnId = 0;
+
+// Wall-clock time in microseconds since an arbitrary epoch. Staleness limits (paper §2.2) are
+// expressed in wall-clock time; the mapping from commit timestamps to wall-clock time is
+// maintained by the transaction manager and the pincushion.
+using WallClock = int64_t;
+
+inline constexpr WallClock kMicrosPerSecond = 1'000'000;
+
+constexpr WallClock Seconds(double s) { return static_cast<WallClock>(s * kMicrosPerSecond); }
+constexpr double ToSeconds(WallClock t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosPerSecond);
+}
+constexpr WallClock Millis(double ms) { return static_cast<WallClock>(ms * 1000.0); }
+
+}  // namespace txcache
+
+#endif  // SRC_UTIL_TYPES_H_

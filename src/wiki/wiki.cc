@@ -1,0 +1,261 @@
+#include "src/wiki/wiki.h"
+
+#include <sstream>
+
+namespace txcache::wiki {
+
+namespace {
+
+Column Int(const char* name) { return Column{name, ValueType::kInt, false}; }
+Column Str(const char* name) { return Column{name, ValueType::kString, false}; }
+
+}  // namespace
+
+Status CreateWikiSchema(Database* db) {
+  Status st = db->CreateTable(
+      TableSchema{kArticles, {Int("id"), Str("title"), Int("latest_rev")}});
+  if (!st.ok()) {
+    return st;
+  }
+  st = db->CreateIndex(IndexSchema{kArticlesPk, kArticles, {ArticlesCol::kId}, true});
+  if (!st.ok()) {
+    return st;
+  }
+  st = db->CreateIndex(IndexSchema{kArticlesByTitle, kArticles, {ArticlesCol::kTitle}, true});
+  if (!st.ok()) {
+    return st;
+  }
+  st = db->CreateTable(TableSchema{
+      kRevisions,
+      {Int("id"), Int("article_id"), Int("editor"), Int("timestamp"), Str("body"),
+       Str("comment")}});
+  if (!st.ok()) {
+    return st;
+  }
+  st = db->CreateIndex(IndexSchema{kRevisionsPk, kRevisions, {RevisionsCol::kId}, true});
+  if (!st.ok()) {
+    return st;
+  }
+  st = db->CreateIndex(
+      IndexSchema{kRevisionsByArticle, kRevisions, {RevisionsCol::kArticleId}, false});
+  if (!st.ok()) {
+    return st;
+  }
+  st = db->CreateTable(TableSchema{kUsers, {Int("id"), Str("name"), Int("edit_count")}});
+  if (!st.ok()) {
+    return st;
+  }
+  st = db->CreateIndex(IndexSchema{kUsersPk, kUsers, {UsersCol::kId}, true});
+  if (!st.ok()) {
+    return st;
+  }
+  st = db->CreateTable(TableSchema{kMessages, {Str("key"), Str("text")}});
+  if (!st.ok()) {
+    return st;
+  }
+  st = db->CreateIndex(IndexSchema{kMessagesPk, kMessages, {MessagesCol::kKey}, true});
+  if (!st.ok()) {
+    return st;
+  }
+  st = db->CreateTable(
+      TableSchema{kWatchlist, {Int("user_id"), Int("article_id"), Int("added_at")}});
+  if (!st.ok()) {
+    return st;
+  }
+  return db->CreateIndex(
+      IndexSchema{kWatchlistByUser, kWatchlist, {WatchlistCol::kUserId}, false});
+}
+
+WikiApp::WikiApp(TxCacheClient* client, const Clock* clock) : client_(client), clock_(clock) {
+  render_article = client_->MakeCacheable<RenderedArticle, std::string>(
+      "wiki.render", [this](const std::string& title) { return RenderArticleImpl(title); });
+  user_card = client_->MakeCacheable<UserCard, int64_t>(
+      "wiki.user_card", [this](int64_t id) { return UserCardImpl(id); });
+  article_history = client_->MakeCacheable<std::vector<HistoryEntry>, std::string, int64_t>(
+      "wiki.history",
+      [this](const std::string& title, int64_t limit) { return ArticleHistoryImpl(title, limit); });
+  watchlist = client_->MakeCacheable<std::vector<std::string>, int64_t, int64_t>(
+      "wiki.watchlist",
+      [this](int64_t user, int64_t days) { return WatchlistImpl(user, days); });
+  localization = client_->MakeCacheable<std::vector<std::string>, std::string>(
+      "wiki.messages", [this](const std::string& prefix) { return LocalizationImpl(prefix); });
+}
+
+RenderedArticle WikiApp::RenderArticleImpl(const std::string& title) {
+  RenderedArticle page;
+  page.title = title;
+  auto article = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kArticles, kArticlesByTitle, Row{Value(title)})));
+  if (!article.ok() || article.value().rows.empty()) {
+    page.html = "<h1>" + title + "</h1><p>(no such page)</p>";
+    return page;
+  }
+  const Row& a = article.value().rows[0];
+  const int64_t rev_id = a[ArticlesCol::kLatestRev].AsInt();
+  auto revision = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kRevisions, kRevisionsPk, Row{Value(rev_id)})));
+  if (!revision.ok() || revision.value().rows.empty()) {
+    page.html = "<h1>" + title + "</h1><p>(revision missing)</p>";
+    return page;
+  }
+  const Row& r = revision.value().rows[0];
+  UserCard editor = user_card(r[RevisionsCol::kEditor].AsInt());  // nested cacheable call
+  std::ostringstream html;
+  html << "<h1>" << title << "</h1><div>" << r[RevisionsCol::kBody].AsString()
+       << "</div><footer>rev " << rev_id << " by " << editor.name << " (" << editor.edit_count
+       << " edits)</footer>";
+  page.html = html.str();
+  page.revision = rev_id;
+  page.found = true;
+  return page;
+}
+
+UserCard WikiApp::UserCardImpl(int64_t id) {
+  UserCard card;
+  auto r = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kUsers, kUsersPk, Row{Value(id)})));
+  if (!r.ok() || r.value().rows.empty()) {
+    return card;
+  }
+  card.id = id;
+  card.name = r.value().rows[0][UsersCol::kName].AsString();
+  card.edit_count = r.value().rows[0][UsersCol::kEditCount].AsInt();
+  card.found = true;
+  return card;
+}
+
+std::vector<HistoryEntry> WikiApp::ArticleHistoryImpl(const std::string& title, int64_t limit) {
+  std::vector<HistoryEntry> history;
+  auto article = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kArticles, kArticlesByTitle, Row{Value(title)}))
+          .Project({ArticlesCol::kId}));
+  if (!article.ok() || article.value().rows.empty()) {
+    return history;
+  }
+  const int64_t article_id = article.value().rows[0][0].AsInt();
+  constexpr uint32_t kEditorName = uint32_t{RevisionsCol::kCount} + uint32_t{UsersCol::kName};
+  auto revisions = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kRevisions, kRevisionsByArticle, Row{Value(article_id)}))
+          .Join(JoinStep{kUsers, kUsersPk, {RevisionsCol::kEditor}, nullptr})
+          .SortBy(RevisionsCol::kId, /*descending=*/true)
+          .Limit(static_cast<size_t>(limit))
+          .Project({RevisionsCol::kId, kEditorName, RevisionsCol::kTimestamp,
+                    RevisionsCol::kComment}));
+  if (revisions.ok()) {
+    for (const Row& r : revisions.value().rows) {
+      history.push_back(HistoryEntry{r[0].AsInt(), r[1].AsString(), r[2].AsInt(),
+                                     r[3].AsString()});
+    }
+  }
+  return history;
+}
+
+std::vector<std::string> WikiApp::WatchlistImpl(int64_t user, int64_t days) {
+  // Both `user` and `days` flow into the cache key automatically (bug #7474 made these
+  // collide in MediaWiki by caching under a user-only key).
+  std::vector<std::string> titles;
+  const int64_t cutoff = static_cast<int64_t>(clock_->Now()) - days * 86'400 * kMicrosPerSecond;
+  constexpr uint32_t kTitleCol = uint32_t{WatchlistCol::kCount} + uint32_t{ArticlesCol::kTitle};
+  auto r = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kWatchlist, kWatchlistByUser, Row{Value(user)}))
+          .Where(PCmp(WatchlistCol::kAddedAt, CmpOp::kGe, Value(cutoff)))
+          .Join(JoinStep{kArticles, kArticlesPk, {WatchlistCol::kArticleId}, nullptr})
+          .SortBy(kTitleCol)
+          .Project({kTitleCol}));
+  if (r.ok()) {
+    for (const Row& row : r.value().rows) {
+      titles.push_back(row[0].AsString());
+    }
+  }
+  return titles;
+}
+
+std::vector<std::string> WikiApp::LocalizationImpl(const std::string& prefix) {
+  std::vector<std::string> messages;
+  auto r = client_->ExecuteQuery(
+      Query::From(AccessPath::SeqScan(kMessages)).SortBy(MessagesCol::kKey));
+  if (r.ok()) {
+    for (const Row& row : r.value().rows) {
+      if (row[MessagesCol::kKey].AsString().rfind(prefix, 0) == 0) {
+        messages.push_back(row[MessagesCol::kText].AsString());
+      }
+    }
+  }
+  return messages;
+}
+
+Result<int64_t> WikiApp::EditArticle(int64_t editor, const std::string& title,
+                                     const std::string& body, const std::string& comment) {
+  // Find or create the article row.
+  auto existing = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kArticles, kArticlesByTitle, Row{Value(title)})));
+  if (!existing.ok()) {
+    return existing.status();
+  }
+  int64_t article_id;
+  const int64_t rev_id = next_revision_id_++;
+  if (existing.value().rows.empty()) {
+    article_id = next_article_id_++;
+    Status st = client_->Insert(kArticles, Row{Value(article_id), Value(title), Value(rev_id)});
+    if (!st.ok()) {
+      return st;
+    }
+  } else {
+    article_id = existing.value().rows[0][ArticlesCol::kId].AsInt();
+    auto n = client_->Update(kArticles,
+                             AccessPath::IndexEq(kArticles, kArticlesPk, Row{Value(article_id)}),
+                             nullptr, {{ArticlesCol::kLatestRev, Value(rev_id)}});
+    if (!n.ok()) {
+      return n.status();
+    }
+  }
+  Status st = client_->Insert(
+      kRevisions, Row{Value(rev_id), Value(article_id), Value(editor),
+                      Value(static_cast<int64_t>(clock_->Now())), Value(body), Value(comment)});
+  if (!st.ok()) {
+    return st;
+  }
+  // The edit-count bump MediaWiki forgot to pair with an invalidation (bug #8391): here the
+  // update's tags invalidate the cached USER object — and, transitively, any article render
+  // that embedded it — with no application code at all.
+  auto current = client_->ExecuteQuery(
+      Query::From(AccessPath::IndexEq(kUsers, kUsersPk, Row{Value(editor)}))
+          .Project({UsersCol::kEditCount}));
+  if (!current.ok()) {
+    return current.status();
+  }
+  if (!current.value().rows.empty()) {
+    auto n = client_->Update(kUsers, AccessPath::IndexEq(kUsers, kUsersPk, Row{Value(editor)}),
+                             nullptr,
+                             {{UsersCol::kEditCount,
+                               Value(current.value().rows[0][0].AsInt() + 1)}});
+    if (!n.ok()) {
+      return n.status();
+    }
+  }
+  return rev_id;
+}
+
+Status WikiApp::RegisterUser(int64_t id, const std::string& name) {
+  return client_->Insert(kUsers, Row{Value(id), Value(name), Value(int64_t{0})});
+}
+
+Status WikiApp::Watch(int64_t user, int64_t article_id) {
+  return client_->Insert(kWatchlist, Row{Value(user), Value(article_id),
+                                         Value(static_cast<int64_t>(clock_->Now()))});
+}
+
+Status WikiApp::SetMessage(const std::string& key, const std::string& text) {
+  auto n = client_->Update(kMessages,
+                           AccessPath::IndexEq(kMessages, kMessagesPk, Row{Value(key)}), nullptr,
+                           {{MessagesCol::kText, Value(text)}});
+  if (!n.ok()) {
+    return n.status();
+  }
+  if (n.value() == 0) {
+    return client_->Insert(kMessages, Row{Value(key), Value(text)});
+  }
+  return Status::Ok();
+}
+
+}  // namespace txcache::wiki

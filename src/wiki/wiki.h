@@ -1,0 +1,148 @@
+// A MediaWiki-style application ported to TxCache following §7.2 of the paper.
+//
+// The port demonstrates the patterns the paper describes:
+//   * cache only pure, static-izable functions (everything here reads its arguments + DB);
+//   * object-granularity caching of "constructed objects" (article renders, user cards,
+//     revision histories) that fold post-processing cost into the cached value;
+//   * the localization cache (interface messages);
+//   * staleness-tolerant read transactions (MediaWiki already tolerates replication lag of
+//     1-30 s, which maps directly onto BEGIN-RO staleness limits).
+//
+// It also encodes the two MediaWiki bug classes the paper cites as motivation, now impossible
+// by construction:
+//   * bug #7474 family: a user's watchlist was cached under a key that ignored the "days"
+//     parameter, so different requests collided. Here keys are derived from ALL arguments.
+//   * bug #8391 family: the cached USER object carries an edit count, and invalidating it after
+//     edits was forgotten. Here the dependency is tracked by the database automatically.
+#ifndef SRC_WIKI_WIKI_H_
+#define SRC_WIKI_WIKI_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/cacheable_function.h"
+#include "src/core/txcache_client.h"
+
+namespace txcache::wiki {
+
+// --- schema ---
+
+struct ArticlesCol {
+  enum : ColumnId { kId, kTitle, kLatestRev, kCount };
+};
+struct RevisionsCol {
+  enum : ColumnId { kId, kArticleId, kEditor, kTimestamp, kBody, kComment, kCount };
+};
+struct UsersCol {
+  enum : ColumnId { kId, kName, kEditCount, kCount };
+};
+struct MessagesCol {
+  enum : ColumnId { kKey, kText, kCount };
+};
+struct WatchlistCol {
+  enum : ColumnId { kUserId, kArticleId, kAddedAt, kCount };
+};
+
+inline constexpr const char* kArticles = "wiki_articles";
+inline constexpr const char* kRevisions = "wiki_revisions";
+inline constexpr const char* kUsers = "wiki_users";
+inline constexpr const char* kMessages = "wiki_messages";
+inline constexpr const char* kWatchlist = "wiki_watchlist";
+
+inline constexpr const char* kArticlesPk = "wiki_articles_pk";
+inline constexpr const char* kArticlesByTitle = "wiki_articles_by_title";
+inline constexpr const char* kRevisionsPk = "wiki_revisions_pk";
+inline constexpr const char* kRevisionsByArticle = "wiki_revisions_by_article";
+inline constexpr const char* kUsersPk = "wiki_users_pk";
+inline constexpr const char* kMessagesPk = "wiki_messages_pk";
+inline constexpr const char* kWatchlistByUser = "wiki_watchlist_by_user";
+
+Status CreateWikiSchema(Database* db);
+
+// --- cached value types ---
+
+struct RenderedArticle {
+  std::string title;
+  std::string html;
+  int64_t revision = 0;
+  bool found = false;
+  template <typename F>
+  void ForEachField(F&& f) {
+    f(title), f(html), f(revision), f(found);
+  }
+  template <typename F>
+  void ForEachField(F&& f) const {
+    f(title), f(html), f(revision), f(found);
+  }
+};
+
+struct UserCard {
+  int64_t id = 0;
+  std::string name;
+  int64_t edit_count = 0;
+  bool found = false;
+  template <typename F>
+  void ForEachField(F&& f) {
+    f(id), f(name), f(edit_count), f(found);
+  }
+  template <typename F>
+  void ForEachField(F&& f) const {
+    f(id), f(name), f(edit_count), f(found);
+  }
+};
+
+struct HistoryEntry {
+  int64_t revision = 0;
+  std::string editor;
+  int64_t timestamp = 0;
+  std::string comment;
+  template <typename F>
+  void ForEachField(F&& f) {
+    f(revision), f(editor), f(timestamp), f(comment);
+  }
+  template <typename F>
+  void ForEachField(F&& f) const {
+    f(revision), f(editor), f(timestamp), f(comment);
+  }
+};
+
+// --- the application ---
+
+class WikiApp {
+ public:
+  WikiApp(TxCacheClient* client, const Clock* clock);
+
+  // Cacheable read paths (§7.2 patterns).
+  CacheableFunction<RenderedArticle, std::string> render_article;       // by title
+  CacheableFunction<UserCard, int64_t> user_card;                       // the bug-#8391 object
+  CacheableFunction<std::vector<HistoryEntry>, std::string, int64_t> article_history;
+  CacheableFunction<std::vector<std::string>, int64_t, int64_t> watchlist;  // (user, days):
+      // both arguments are in the key — the bug-#7474 collision cannot happen
+  CacheableFunction<std::vector<std::string>, std::string> localization;    // message prefix
+
+  // Write paths (BEGIN-RW transactions; invalidation is automatic).
+  // Creates the article if needed; appends a revision; bumps the editor's edit count.
+  Result<int64_t> EditArticle(int64_t editor, const std::string& title,
+                              const std::string& body, const std::string& comment);
+  Status RegisterUser(int64_t id, const std::string& name);
+  Status Watch(int64_t user, int64_t article_id);
+  Status SetMessage(const std::string& key, const std::string& text);
+
+  TxCacheClient* client() { return client_; }
+
+ private:
+  RenderedArticle RenderArticleImpl(const std::string& title);
+  UserCard UserCardImpl(int64_t id);
+  std::vector<HistoryEntry> ArticleHistoryImpl(const std::string& title, int64_t limit);
+  std::vector<std::string> WatchlistImpl(int64_t user, int64_t days);
+  std::vector<std::string> LocalizationImpl(const std::string& prefix);
+
+  TxCacheClient* client_;
+  const Clock* clock_;
+  int64_t next_article_id_ = 1;
+  int64_t next_revision_id_ = 1;
+};
+
+}  // namespace txcache::wiki
+
+#endif  // SRC_WIKI_WIKI_H_

@@ -1,0 +1,173 @@
+// Randomized property tests for the cache server:
+//   * versions of one key keep pairwise-disjoint validity intervals under any mix of inserts
+//     and invalidations;
+//   * the final cache state is independent of invalidation-stream delivery order (the reorder
+//     buffer restores sequence order);
+//   * a lookup never returns a value whose effective interval misses the requested bounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/cache/cache_server.h"
+#include "src/util/clock.h"
+#include "src/util/rng.h"
+
+namespace txcache {
+namespace {
+
+InvalidationTag TagFor(int64_t key_group) {
+  return InvalidationTag::Concrete("t", "idx", "g" + std::to_string(key_group));
+}
+
+class CachePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CachePropertyTest, VersionIntervalsStayDisjointAndLookupsAreSound) {
+  ManualClock clock;
+  CacheServer server("prop", &clock);
+  Rng rng(GetParam());
+
+  constexpr int kKeys = 8;
+  constexpr int kGroups = 4;
+  Timestamp now_ts = 1;
+  uint64_t seqno = 1;
+  // Reference model: for each key, every (interval, value) ever accepted must stay internally
+  // consistent — emulate by remembering the value inserted per (key, lower).
+  std::map<std::pair<int, Timestamp>, std::string> inserted;
+
+  for (int step = 0; step < 400; ++step) {
+    const int key = static_cast<int>(rng.Uniform(0, kKeys - 1));
+    const int group = key % kGroups;
+    clock.Advance(Millis(10));
+    if (rng.Bernoulli(0.55)) {
+      // Insert: a value that became valid at some recent timestamp.
+      Timestamp lower = static_cast<Timestamp>(rng.Uniform(
+          static_cast<int64_t>(now_ts > 20 ? now_ts - 20 : 1), static_cast<int64_t>(now_ts)));
+      InsertRequest req;
+      req.key = "k" + std::to_string(key);
+      req.value = "v" + std::to_string(key) + "@" + std::to_string(lower);
+      req.interval = {lower, rng.Bernoulli(0.5)
+                                 ? kTimestampInfinity
+                                 : lower + static_cast<Timestamp>(rng.Uniform(1, 15))};
+      req.computed_at = std::min(now_ts, std::max(lower, now_ts > 3 ? now_ts - 3 : lower));
+      req.tags = {TagFor(group)};
+      ASSERT_TRUE(server.Insert(req).ok());
+      inserted[std::make_pair(key, lower)] = req.value;
+    } else {
+      // Invalidate one or two groups at the next commit timestamp.
+      InvalidationMessage msg;
+      msg.seqno = seqno++;
+      msg.ts = ++now_ts;
+      msg.wallclock = clock.Now();
+      msg.tags.push_back(TagFor(static_cast<int64_t>(rng.Uniform(0, kGroups - 1))));
+      if (rng.Bernoulli(0.2)) {
+        msg.tags.push_back(InvalidationTag::Wildcard("t"));
+      }
+      server.Deliver(msg);
+    }
+
+    // Soundness of random lookups: any hit's effective interval must overlap the bounds, and
+    // the returned value must be one we inserted for that key.
+    const int probe = static_cast<int>(rng.Uniform(0, kKeys - 1));
+    Timestamp lo = static_cast<Timestamp>(rng.Uniform(0, static_cast<int64_t>(now_ts)));
+    Timestamp hi = lo + static_cast<Timestamp>(rng.Uniform(0, 30));
+    LookupRequest req;
+    req.key = "k" + std::to_string(probe);
+    req.bounds_lo = lo;
+    req.bounds_hi = hi;
+    LookupResponse resp = server.Lookup(req);
+    if (resp.hit) {
+      ASSERT_FALSE(resp.interval.empty());
+      ASSERT_TRUE(resp.interval.Overlaps(Interval{lo, hi + 1}))
+          << resp.interval.ToString() << " vs [" << lo << "," << hi << "]";
+      ASSERT_TRUE(inserted.contains(std::make_pair(probe, resp.interval.lower)))
+          << "returned a value never inserted for this key/lower";
+      ASSERT_EQ(resp.value, (inserted[std::make_pair(probe, resp.interval.lower)]));
+    }
+  }
+}
+
+TEST_P(CachePropertyTest, DeliveryOrderDoesNotMatter) {
+  Rng rng(GetParam() ^ 0xfeed);
+  // Build a batch of entries and a batch of invalidation messages; apply the messages in
+  // sequence order to one server and in a random permutation to another. Final visible state
+  // (every lookup outcome) must match.
+  std::vector<InsertRequest> inserts;
+  for (int k = 0; k < 10; ++k) {
+    InsertRequest req;
+    req.key = "k" + std::to_string(k);
+    req.value = "v" + std::to_string(k);
+    req.interval = {1, kTimestampInfinity};
+    req.computed_at = 1;
+    req.tags = {TagFor(k % 3)};
+    inserts.push_back(req);
+  }
+  std::vector<InvalidationMessage> messages;
+  for (uint64_t i = 0; i < 12; ++i) {
+    InvalidationMessage msg;
+    msg.seqno = i + 1;
+    msg.ts = 5 + i * 3;
+    msg.tags = {TagFor(static_cast<int64_t>(rng.Uniform(0, 2)))};
+    messages.push_back(msg);
+  }
+
+  ManualClock clock;
+  CacheServer in_order("in-order", &clock);
+  CacheServer shuffled("shuffled", &clock);
+  for (const InsertRequest& req : inserts) {
+    ASSERT_TRUE(in_order.Insert(req).ok());
+    ASSERT_TRUE(shuffled.Insert(req).ok());
+  }
+  for (const InvalidationMessage& msg : messages) {
+    in_order.Deliver(msg);
+  }
+  std::vector<InvalidationMessage> permuted = messages;
+  std::shuffle(permuted.begin(), permuted.end(), rng.engine());
+  for (const InvalidationMessage& msg : permuted) {
+    shuffled.Deliver(msg);
+  }
+  EXPECT_EQ(shuffled.last_invalidation_ts(), in_order.last_invalidation_ts());
+
+  for (int k = 0; k < 10; ++k) {
+    for (Timestamp lo = 0; lo < 45; lo += 5) {
+      LookupRequest req;
+      req.key = "k" + std::to_string(k);
+      req.bounds_lo = lo;
+      req.bounds_hi = lo + 4;
+      LookupResponse a = in_order.Lookup(req);
+      LookupResponse b = shuffled.Lookup(req);
+      ASSERT_EQ(a.hit, b.hit) << "key " << k << " bounds [" << lo << "," << lo + 4 << "]";
+      if (a.hit) {
+        ASSERT_EQ(a.interval, b.interval);
+        ASSERT_EQ(a.value, b.value);
+      }
+    }
+  }
+}
+
+TEST_P(CachePropertyTest, EvictionNeverBreaksAccounting) {
+  ManualClock clock;
+  CacheServer::Options options;
+  options.capacity_bytes = 4096;
+  CacheServer server("tiny", &clock, options);
+  Rng rng(GetParam() ^ 0xcafe);
+  for (int step = 0; step < 500; ++step) {
+    InsertRequest req;
+    req.key = "k" + std::to_string(rng.Uniform(0, 40));
+    req.value = std::string(static_cast<size_t>(rng.Uniform(10, 400)), 'x');
+    Timestamp lower = static_cast<Timestamp>(rng.Uniform(1, 1000));
+    req.interval = {lower, lower + static_cast<Timestamp>(rng.Uniform(1, 50))};
+    server.Insert(req);
+    ASSERT_LE(server.bytes_used(), options.capacity_bytes);
+  }
+  EXPECT_GT(server.stats().evictions_lru, 0u);
+  server.Flush();
+  EXPECT_EQ(server.bytes_used(), 0u);
+  EXPECT_EQ(server.version_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CachePropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace txcache

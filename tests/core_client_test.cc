@@ -1,0 +1,442 @@
+// TxCache client library tests (paper §2, §6): cacheable functions, lazy timestamp selection,
+// pin-set narrowing, nested calls, staleness, and the evaluation modes.
+#include <gtest/gtest.h>
+
+#include "src/core/cacheable_function.h"
+#include "src/core/txcache_client.h"
+#include "tests/test_support.h"
+
+namespace txcache {
+namespace {
+
+using namespace txcache::testing;
+
+class ClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Reset(TxCacheClient::Options{}); }
+
+  void Reset(TxCacheClient::Options options) {
+    client_.reset();
+    pincushion_.reset();
+    cluster_ = std::make_unique<CacheCluster>();
+    cache_ = std::make_unique<CacheServer>("node", &clock_);
+    db_ = std::make_unique<Database>(&clock_);
+    bus_ = std::make_unique<InvalidationBus>();
+    db_->set_invalidation_bus(bus_.get());
+    bus_->Subscribe(cache_.get());
+    cluster_->AddNode(cache_.get());
+    pincushion_ = std::make_unique<Pincushion>(db_.get(), &clock_);
+    CreateAccountsTable(db_.get());
+    client_ = std::make_unique<TxCacheClient>(db_.get(), pincushion_.get(), cluster_.get(),
+                                              &clock_, options);
+  }
+
+  // A cacheable function counting real executions.
+  CacheableFunction<int64_t, int64_t> MakeBalanceFn(int* executions) {
+    return client_->MakeCacheable<int64_t, int64_t>(
+        "balance", [this, executions](int64_t id) -> int64_t {
+          ++*executions;
+          auto r = client_->ExecuteQuery(AccountById(id));
+          if (!r.ok() || r.value().rows.empty()) {
+            return -1;
+          }
+          return r.value().rows[0][AccountsCol::kBalance].AsInt();
+        });
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<InvalidationBus> bus_;
+  std::unique_ptr<CacheServer> cache_;
+  std::unique_ptr<CacheCluster> cluster_;
+  std::unique_ptr<Pincushion> pincushion_;
+  std::unique_ptr<TxCacheClient> client_;
+};
+
+TEST_F(ClientTest, TransactionLifecycleErrors) {
+  EXPECT_FALSE(client_->Commit().ok());
+  EXPECT_FALSE(client_->Abort().ok());
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_FALSE(client_->BeginRO().ok()) << "no nested transactions";
+  EXPECT_FALSE(client_->BeginRW().ok());
+  ASSERT_TRUE(client_->Commit().ok());
+  ASSERT_TRUE(client_->BeginRW().ok());
+  ASSERT_TRUE(client_->Abort().ok());
+  EXPECT_FALSE(client_->in_transaction());
+}
+
+TEST_F(ClientTest, MissComputeInsertThenHit) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  int executions = 0;
+  auto balance = MakeBalanceFn(&executions);
+
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_EQ(balance(1), 100);
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(executions, 1);
+
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_EQ(balance(1), 100);
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(executions, 1) << "second call served from the cache";
+  EXPECT_EQ(client_->stats().cache_hits, 1u);
+  EXPECT_EQ(client_->stats().cache_inserts, 1u);
+}
+
+TEST_F(ClientTest, DistinctArgumentsGetDistinctEntries) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  InsertAccount(db_.get(), 2, "bob", 50);
+  int executions = 0;
+  auto balance = MakeBalanceFn(&executions);
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_EQ(balance(1), 100);
+  EXPECT_EQ(balance(2), 50);
+  EXPECT_EQ(balance(1), 100);
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(executions, 2);
+  EXPECT_EQ(client_->stats().cache_hits, 1u) << "repeat call within txn hits";
+}
+
+TEST_F(ClientTest, UpdateInvalidatesCachedResult) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  int executions = 0;
+  auto balance = MakeBalanceFn(&executions);
+  ASSERT_TRUE(client_->BeginRO().ok());
+  balance(1);
+  ASSERT_TRUE(client_->Commit().ok());
+
+  UpdateBalance(db_.get(), 1, 500);
+  clock_.Advance(Seconds(1));  // the old pin is now genuinely stale for a 0 s limit
+
+  ASSERT_TRUE(client_->BeginRO(/*staleness=*/0).ok());
+  EXPECT_EQ(balance(1), 500) << "fresh transaction sees the committed update";
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(executions, 2);
+}
+
+TEST_F(ClientTest, StaleTransactionMayUseInvalidatedEntry) {
+  // An invalidated entry stays useful within the staleness limit (§8.2).
+  InsertAccount(db_.get(), 1, "alice", 100);
+  int executions = 0;
+  auto balance = MakeBalanceFn(&executions);
+  ASSERT_TRUE(client_->BeginRO().ok());
+  balance(1);
+  ASSERT_TRUE(client_->Commit().ok());
+  UpdateBalance(db_.get(), 1, 500);
+  clock_.Advance(Seconds(1));
+
+  ASSERT_TRUE(client_->BeginRO(Seconds(30)).ok());
+  EXPECT_EQ(balance(1), 100) << "stale but consistent value acceptable within the limit";
+  auto ts = client_->Commit();
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(executions, 1);
+}
+
+TEST_F(ClientTest, CommitTimestampEnablesMonotonicReads) {
+  // The paper's session pattern: pass the last transaction's timestamp forward so a user never
+  // observes time moving backwards.
+  InsertAccount(db_.get(), 1, "alice", 100);
+  ASSERT_TRUE(client_->BeginRW().ok());
+  ASSERT_TRUE(client_
+                  ->Update(kAccounts, AccountById(1).from, nullptr,
+                           {{AccountsCol::kBalance, Value(int64_t{500})}})
+                  .ok());
+  auto w = client_->Commit();
+  ASSERT_TRUE(w.ok());
+
+  ASSERT_TRUE(client_->BeginRO(/*staleness=*/0).ok());
+  auto r = client_->ExecuteQuery(AccountById(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows[0][AccountsCol::kBalance].AsInt(), 500);
+  auto ts = client_->Commit();
+  ASSERT_TRUE(ts.ok());
+  EXPECT_GE(ts.value(), w.value());
+}
+
+TEST_F(ClientTest, RwTransactionsBypassCache) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  int executions = 0;
+  auto balance = MakeBalanceFn(&executions);
+  ASSERT_TRUE(client_->BeginRO().ok());
+  balance(1);
+  ASSERT_TRUE(client_->Commit().ok());
+  ASSERT_TRUE(client_->BeginRW().ok());
+  EXPECT_EQ(balance(1), 100);
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(executions, 2) << "RW transactions execute the implementation directly (§2.2)";
+  EXPECT_EQ(client_->stats().bypassed_calls, 1u);
+}
+
+TEST_F(ClientTest, WritesRequireRwTransaction) {
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_EQ(client_->Insert(kAccounts, Account(1, "x", 0)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(client_->Update(kAccounts, AccountById(1).from, nullptr, {}).ok());
+  EXPECT_FALSE(client_->Delete(kAccounts, AccountById(1).from, nullptr).ok());
+  client_->Commit();
+}
+
+TEST_F(ClientTest, CacheOnlyTransactionNeverTouchesDatabase) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  int executions = 0;
+  auto balance = MakeBalanceFn(&executions);
+  ASSERT_TRUE(client_->BeginRO().ok());
+  balance(1);
+  ASSERT_TRUE(client_->Commit().ok());
+  uint64_t queries_before = client_->stats().db_queries;
+
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_EQ(balance(1), 100);
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(client_->stats().db_queries, queries_before)
+      << "fully cached transaction issues no database queries (§6.1)";
+}
+
+TEST_F(ClientTest, LazyTimestampPrefersExistingPin) {
+  // Policy (§6.2): within the new-pin threshold, reuse the newest pinned snapshot rather than
+  // pinning a new one.
+  InsertAccount(db_.get(), 1, "alice", 100);
+  int executions = 0;
+  auto balance = MakeBalanceFn(&executions);
+  ASSERT_TRUE(client_->BeginRO().ok());
+  balance(1);  // pins a snapshot
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(client_->stats().pins_created, 1u);
+  UpdateBalance(db_.get(), 1, 500);
+  clock_.Advance(Seconds(1));  // within the 5 s threshold
+
+  ASSERT_TRUE(client_->BeginRO().ok());
+  auto r = client_->ExecuteQuery(AccountById(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows[0][AccountsCol::kBalance].AsInt(), 100)
+      << "query ran on the existing pinned snapshot, before the update";
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(client_->stats().pins_created, 1u) << "no new pin";
+}
+
+TEST_F(ClientTest, LazyTimestampPinsFreshAfterThreshold) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  int executions = 0;
+  auto balance = MakeBalanceFn(&executions);
+  ASSERT_TRUE(client_->BeginRO().ok());
+  balance(1);
+  ASSERT_TRUE(client_->Commit().ok());
+  UpdateBalance(db_.get(), 1, 500);
+  clock_.Advance(Seconds(10));  // beyond the 5 s threshold
+
+  ASSERT_TRUE(client_->BeginRO(Seconds(60)).ok());
+  auto r = client_->ExecuteQuery(AccountById(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows[0][AccountsCol::kBalance].AsInt(), 500)
+      << "the * choice pinned a fresh snapshot";
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(client_->stats().pins_created, 2u);
+}
+
+TEST_F(ClientTest, PinSetNarrowsOnObservations) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  int executions = 0;
+  auto balance = MakeBalanceFn(&executions);
+  // Create two pinned snapshots by running two transactions 6+ seconds apart.
+  ASSERT_TRUE(client_->BeginRO().ok());
+  balance(1);
+  ASSERT_TRUE(client_->Commit().ok());
+  Timestamp update_ts = UpdateBalance(db_.get(), 1, 500);
+  clock_.Advance(Seconds(6));
+  ASSERT_TRUE(client_->BeginRO().ok());
+  auto q = client_->ExecuteQuery(AccountById(1));
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(client_->Commit().ok());
+
+  // Now both pins are fresh. A new transaction starts with both in its pin set; observing the
+  // *new* version of account 1 must eliminate the older pin.
+  ASSERT_TRUE(client_->BeginRO(Seconds(60)).ok());
+  EXPECT_GE(client_->pin_set().pin_count(), 2u);
+  auto r = client_->ExecuteQuery(AccountById(1));
+  ASSERT_TRUE(r.ok());
+  if (r.value().rows[0][AccountsCol::kBalance].AsInt() == 500) {
+    for (const PinInfo& pin : client_->pin_set().pins()) {
+      EXPECT_GE(pin.ts, update_ts) << "pins inconsistent with the observation were removed";
+    }
+  }
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+TEST_F(ClientTest, ConsistencyAcrossCacheAndDatabase) {
+  // The core guarantee (§2.2, Invariant 1): cached values and database reads in one transaction
+  // reflect one snapshot, even when updates race between them.
+  InsertAccount(db_.get(), 1, "alice", 100);
+  InsertAccount(db_.get(), 2, "bob", 100);
+  int executions = 0;
+  auto balance = MakeBalanceFn(&executions);
+
+  // Warm the cache with both balances.
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_EQ(balance(1) + balance(2), 200);
+  ASSERT_TRUE(client_->Commit().ok());
+
+  // A transfer moves 50 from alice to bob (invariant: sum == 200).
+  {
+    TxnId txn = db_->BeginReadWrite();
+    ASSERT_TRUE(db_->Update(txn, kAccounts, AccountById(1).from, nullptr,
+                            {{AccountsCol::kBalance, Value(int64_t{50})}})
+                    .ok());
+    ASSERT_TRUE(db_->Update(txn, kAccounts, AccountById(2).from, nullptr,
+                            {{AccountsCol::kBalance, Value(int64_t{150})}})
+                    .ok());
+    ASSERT_TRUE(db_->Commit(txn).ok());
+  }
+
+  // Any later transaction — whatever mix of cache and database it reads — must see sum 200.
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(client_->BeginRO().ok());
+    int64_t sum = balance(1) + balance(2);
+    ASSERT_TRUE(client_->Commit().ok());
+    EXPECT_EQ(sum, 200) << "round " << round << ": mixed cache/db reads broke the invariant";
+    clock_.Advance(Seconds(2));
+  }
+}
+
+TEST_F(ClientTest, NestedCallsPropagateValidityAndTags) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  int inner_runs = 0, outer_runs = 0;
+  auto inner = MakeBalanceFn(&inner_runs);
+  auto outer = client_->MakeCacheable<std::string, int64_t>(
+      "page", [&](int64_t id) {
+        ++outer_runs;
+        return "balance=" + std::to_string(inner(id));
+      });
+
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_EQ(outer(1), "balance=100");
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(inner_runs, 1);
+  EXPECT_EQ(outer_runs, 1);
+
+  // An update must invalidate BOTH cached entries — the outer one inherited the inner's tags.
+  UpdateBalance(db_.get(), 1, 999);
+  clock_.Advance(Seconds(1));
+  ASSERT_TRUE(client_->BeginRO(/*staleness=*/0).ok());
+  EXPECT_EQ(outer(1), "balance=999");
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(outer_runs, 2);
+  EXPECT_EQ(inner_runs, 2);
+}
+
+TEST_F(ClientTest, NestedHitInsideOuterMiss) {
+  // Inner result cached from an earlier transaction; outer recomputes and must inherit the
+  // inner entry's validity/tags even though the inner call was a cache hit.
+  InsertAccount(db_.get(), 1, "alice", 100);
+  int inner_runs = 0, outer_runs = 0;
+  auto inner = MakeBalanceFn(&inner_runs);
+  ASSERT_TRUE(client_->BeginRO().ok());
+  inner(1);
+  ASSERT_TRUE(client_->Commit().ok());
+
+  auto outer = client_->MakeCacheable<std::string, int64_t>(
+      "page2", [&](int64_t id) {
+        ++outer_runs;
+        return "b=" + std::to_string(inner(id));
+      });
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_EQ(outer(1), "b=100");
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(inner_runs, 1) << "inner call hit the cache inside the outer miss";
+
+  // Invalidate: the outer entry (built from the cached inner value) must be invalidated too.
+  UpdateBalance(db_.get(), 1, 7);
+  clock_.Advance(Seconds(1));
+  ASSERT_TRUE(client_->BeginRO(/*staleness=*/0).ok());
+  EXPECT_EQ(outer(1), "b=7");
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(outer_runs, 2);
+}
+
+TEST_F(ClientTest, ThrowingCacheableFunctionLeavesCleanState) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  auto boom = client_->MakeCacheable<int64_t, int64_t>(
+      "boom", [](int64_t) -> int64_t { throw std::runtime_error("kaboom"); });
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_THROW(boom(1), std::runtime_error);
+  // The frame stack must be clean: other cacheable calls still work and cache correctly.
+  int executions = 0;
+  auto balance = MakeBalanceFn(&executions);
+  EXPECT_EQ(balance(1), 100);
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(client_->stats().cache_inserts, 1u);
+}
+
+TEST_F(ClientTest, PureFunctionCachedForever) {
+  int executions = 0;
+  auto pure = client_->MakeCacheable<int64_t, int64_t>("square", [&](int64_t x) {
+    ++executions;
+    return x * x;
+  });
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_EQ(pure(9), 81);
+  ASSERT_TRUE(client_->Commit().ok());
+  UpdateBalance(db_.get(), 999, 0);  // no-op update; just advances time
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_EQ(pure(9), 81);
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(executions, 1) << "no database dependency, never invalidated";
+}
+
+TEST_F(ClientTest, NoCacheModeAlwaysExecutes) {
+  TxCacheClient::Options options;
+  options.mode = ClientMode::kNoCache;
+  Reset(options);
+  InsertAccount(db_.get(), 1, "alice", 100);
+  int executions = 0;
+  auto balance = MakeBalanceFn(&executions);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client_->BeginRO().ok());
+    EXPECT_EQ(balance(1), 100);
+    ASSERT_TRUE(client_->Commit().ok());
+  }
+  EXPECT_EQ(executions, 3);
+  EXPECT_EQ(client_->stats().cache_hits, 0u);
+  EXPECT_EQ(cache_->stats().lookups, 0u);
+}
+
+TEST_F(ClientTest, NoConsistencyModeServesFreshEnoughData) {
+  TxCacheClient::Options options;
+  options.mode = ClientMode::kNoConsistency;
+  Reset(options);
+  InsertAccount(db_.get(), 1, "alice", 100);
+  int executions = 0;
+  auto balance = MakeBalanceFn(&executions);
+  ASSERT_TRUE(client_->BeginRO().ok());
+  balance(1);
+  ASSERT_TRUE(client_->Commit().ok());
+  UpdateBalance(db_.get(), 1, 500);
+  ASSERT_TRUE(client_->BeginRO(Seconds(30)).ok());
+  EXPECT_EQ(balance(1), 100) << "stale version within the window is fine here";
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(executions, 1);
+}
+
+TEST_F(ClientTest, DestructorAbortsOpenTransaction) {
+  InsertAccount(db_.get(), 1, "a", 1);
+  {
+    TxCacheClient doomed(db_.get(), pincushion_.get(), cluster_.get(), &clock_);
+    ASSERT_TRUE(doomed.BeginRW().ok());
+    ASSERT_TRUE(doomed.Insert(kAccounts, Account(2, "ghost", 0)).ok());
+  }
+  EXPECT_TRUE(ReadLatest(db_.get(), AccountById(2)).rows.empty()) << "insert rolled back";
+}
+
+TEST_F(ClientTest, PinsReleasedAtTransactionEnd) {
+  InsertAccount(db_.get(), 1, "a", 1);
+  ASSERT_TRUE(client_->BeginRO().ok());
+  auto r = client_->ExecuteQuery(AccountById(1));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(client_->Commit().ok());
+  // After release + long idle, the sweeper can unpin everything.
+  clock_.Advance(Seconds(600));
+  pincushion_->Sweep();
+  EXPECT_EQ(db_->pinned_snapshot_count(), 0u);
+}
+
+}  // namespace
+}  // namespace txcache

@@ -1,0 +1,136 @@
+// Focused tests for the post-choice lookup restriction (the protocol subtlety documented in
+// DESIGN.md §5): once a read-only transaction's database snapshot is chosen, cache hits must be
+// valid at exactly that timestamp.
+#include <gtest/gtest.h>
+
+#include "src/core/cacheable_function.h"
+#include "src/core/txcache_client.h"
+#include "tests/test_support.h"
+
+namespace txcache {
+namespace {
+
+using namespace txcache::testing;
+
+class LookupSemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(&clock_);
+    bus_ = std::make_unique<InvalidationBus>();
+    db_->set_invalidation_bus(bus_.get());
+    cache_ = std::make_unique<CacheServer>("node", &clock_);
+    bus_->Subscribe(cache_.get());
+    cluster_ = std::make_unique<CacheCluster>();
+    cluster_->AddNode(cache_.get());
+    pincushion_ = std::make_unique<Pincushion>(db_.get(), &clock_);
+    CreateAccountsTable(db_.get());
+    client_ = std::make_unique<TxCacheClient>(db_.get(), pincushion_.get(), cluster_.get(),
+                                              &clock_);
+  }
+
+  CacheableFunction<int64_t, int64_t> MakeBalanceFn() {
+    return client_->MakeCacheable<int64_t, int64_t>(
+        "balance", [this](int64_t id) -> int64_t {
+          auto r = client_->ExecuteQuery(AccountById(id));
+          return r.ok() && !r.value().rows.empty()
+                     ? r.value().rows[0][AccountsCol::kBalance].AsInt()
+                     : -1;
+        });
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<InvalidationBus> bus_;
+  std::unique_ptr<CacheServer> cache_;
+  std::unique_ptr<CacheCluster> cluster_;
+  std::unique_ptr<Pincushion> pincushion_;
+  std::unique_ptr<TxCacheClient> client_;
+};
+
+TEST_F(LookupSemanticsTest, PostChoiceHitMustContainChosenTimestamp) {
+  // Build two pinned snapshots with an entry valid ONLY at the older one, then force a
+  // transaction to choose the newer snapshot before looking that entry up. The protocol must
+  // reject the hit (consistency miss) rather than narrow the pin set past the chosen ts.
+  InsertAccount(db_.get(), 1, "alice", 100);
+  InsertAccount(db_.get(), 2, "bob", 200);
+  auto balance = MakeBalanceFn();
+
+  // Pin snapshot S1 and cache balance(1) there: the entry's validity will be truncated by the
+  // update below, leaving it valid only around S1.
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_EQ(balance(1), 100);
+  ASSERT_TRUE(client_->Commit().ok());
+  UpdateBalance(db_.get(), 1, 111);
+
+  // Make the S1 pin older than the new-pin threshold so the next transaction chooses * and
+  // pins a fresh snapshot S2 > update.
+  clock_.Advance(Seconds(10));
+  ASSERT_TRUE(client_->BeginRO(Seconds(60)).ok());
+  auto q = client_->ExecuteQuery(AccountById(2));  // forces the choice: chosen ts = S2
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(client_->chosen_timestamp().has_value());
+  const Timestamp chosen = *client_->chosen_timestamp();
+  EXPECT_EQ(chosen, db_->LatestCommitTs());
+
+  // The old cached entry (valid only before the update) must NOT be served now.
+  EXPECT_EQ(balance(1), 111) << "post-choice lookup must recompute, not serve the S1 entry";
+  EXPECT_TRUE(client_->pin_set().Contains(chosen))
+      << "the chosen timestamp stays in the pin set (Invariant 2 precondition)";
+  auto ts = client_->Commit();
+  ASSERT_TRUE(ts.ok());
+  EXPECT_GE(ts.value(), chosen);
+}
+
+TEST_F(LookupSemanticsTest, PreChoiceHitsStillUseFullPinSetBounds) {
+  // Before any database query, lookups use the full pin-set bounds and may serialize the
+  // transaction in the past — the lazy-selection payoff.
+  InsertAccount(db_.get(), 1, "alice", 100);
+  auto balance = MakeBalanceFn();
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_EQ(balance(1), 100);
+  ASSERT_TRUE(client_->Commit().ok());
+  UpdateBalance(db_.get(), 1, 111);
+  clock_.Advance(Seconds(1));
+
+  ASSERT_TRUE(client_->BeginRO(Seconds(30)).ok());
+  EXPECT_EQ(balance(1), 100) << "hit on the old-but-fresh-enough entry";
+  EXPECT_FALSE(client_->chosen_timestamp().has_value()) << "no database contact";
+  auto ts = client_->Commit();
+  ASSERT_TRUE(ts.ok());
+  EXPECT_LT(ts.value(), db_->LatestCommitTs()) << "serialized in the past, consistently";
+}
+
+TEST_F(LookupSemanticsTest, MixedHitThenQueryStaysConsistent) {
+  // Hit first (narrowing to the old pin), then a bare query: the query must run at a snapshot
+  // where the hit is still valid — i.e. the old pin, NOT the latest state.
+  InsertAccount(db_.get(), 1, "alice", 100);
+  InsertAccount(db_.get(), 2, "bob", 200);
+  auto balance = MakeBalanceFn();
+  ASSERT_TRUE(client_->BeginRO().ok());
+  balance(1);
+  ASSERT_TRUE(client_->Commit().ok());
+  {
+    TxnId txn = db_->BeginReadWrite();
+    ASSERT_TRUE(db_->Update(txn, kAccounts, AccountById(1).from, nullptr,
+                            {{AccountsCol::kBalance, Value(int64_t{111})}})
+                    .ok());
+    ASSERT_TRUE(db_->Update(txn, kAccounts, AccountById(2).from, nullptr,
+                            {{AccountsCol::kBalance, Value(int64_t{222})}})
+                    .ok());
+    ASSERT_TRUE(db_->Commit(txn).ok());
+  }
+  clock_.Advance(Seconds(1));
+
+  ASSERT_TRUE(client_->BeginRO(Seconds(30)).ok());
+  int64_t cached = balance(1);  // may hit the pre-update entry
+  auto fresh = client_->ExecuteQuery(AccountById(2));
+  ASSERT_TRUE(fresh.ok());
+  int64_t direct = fresh.value().rows[0][AccountsCol::kBalance].AsInt();
+  ASSERT_TRUE(client_->Commit().ok());
+  // Either both pre-update or both post-update; never mixed.
+  EXPECT_TRUE((cached == 100 && direct == 200) || (cached == 111 && direct == 222))
+      << "cached=" << cached << " direct=" << direct;
+}
+
+}  // namespace
+}  // namespace txcache

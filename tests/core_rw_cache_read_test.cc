@@ -1,0 +1,127 @@
+// The §2.2 extension: read/write transactions reading from the cache (opt-in), including the
+// own-writes anomaly the paper warns about.
+#include <gtest/gtest.h>
+
+#include "src/core/cacheable_function.h"
+#include "src/core/txcache_client.h"
+#include "tests/test_support.h"
+
+namespace txcache {
+namespace {
+
+using namespace txcache::testing;
+
+class RwCacheReadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(&clock_);
+    bus_ = std::make_unique<InvalidationBus>();
+    db_->set_invalidation_bus(bus_.get());
+    cache_ = std::make_unique<CacheServer>("node", &clock_);
+    bus_->Subscribe(cache_.get());
+    cluster_ = std::make_unique<CacheCluster>();
+    cluster_->AddNode(cache_.get());
+    pincushion_ = std::make_unique<Pincushion>(db_.get(), &clock_);
+    CreateAccountsTable(db_.get());
+    InsertAccount(db_.get(), 1, "alice", 100);
+
+    TxCacheClient::Options options;
+    options.allow_rw_cache_reads = true;
+    client_ = std::make_unique<TxCacheClient>(db_.get(), pincushion_.get(), cluster_.get(),
+                                              &clock_, options);
+    balance_ = client_->MakeCacheable<int64_t, int64_t>(
+        "balance", [this](int64_t id) -> int64_t {
+          ++executions_;
+          auto r = client_->ExecuteQuery(AccountById(id));
+          return r.ok() && !r.value().rows.empty()
+                     ? r.value().rows[0][AccountsCol::kBalance].AsInt()
+                     : -1;
+        });
+  }
+
+  void WarmCache() {
+    ASSERT_TRUE(client_->BeginRO().ok());
+    EXPECT_EQ(balance_(1), 100);
+    ASSERT_TRUE(client_->Commit().ok());
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<InvalidationBus> bus_;
+  std::unique_ptr<CacheServer> cache_;
+  std::unique_ptr<CacheCluster> cluster_;
+  std::unique_ptr<Pincushion> pincushion_;
+  std::unique_ptr<TxCacheClient> client_;
+  CacheableFunction<int64_t, int64_t> balance_;
+  int executions_ = 0;
+};
+
+TEST_F(RwCacheReadTest, RwTransactionServedFromCache) {
+  WarmCache();
+  ASSERT_TRUE(client_->BeginRW().ok());
+  EXPECT_EQ(balance_(1), 100);
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(executions_, 1) << "the RW call hit the cache";
+  EXPECT_EQ(client_->stats().cache_hits, 1u);
+}
+
+TEST_F(RwCacheReadTest, MissExecutesButNeverStores) {
+  uint64_t inserts_before = cache_->stats().inserts;
+  ASSERT_TRUE(client_->BeginRW().ok());
+  EXPECT_EQ(balance_(1), 100);  // cold cache: executes directly
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(executions_, 1);
+  EXPECT_EQ(cache_->stats().inserts, inserts_before)
+      << "RW results carry no validity interval and must not be cached";
+}
+
+TEST_F(RwCacheReadTest, OwnWritesAnomalyIsExactlyAsDocumented) {
+  WarmCache();
+  ASSERT_TRUE(client_->BeginRW().ok());
+  ASSERT_TRUE(client_
+                  ->Update(kAccounts, AccountById(1).from, nullptr,
+                           {{AccountsCol::kBalance, Value(int64_t{999})}})
+                  .ok());
+  // The cached value predates our uncommitted write: this is the anomaly the paper warns
+  // about ("read/write transactions typically expect to see the effects of their own
+  // updates"). The opt-in accepts it.
+  EXPECT_EQ(balance_(1), 100);
+  // A bare database query in the same transaction DOES see the own write.
+  auto direct = client_->ExecuteQuery(AccountById(1));
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct.value().rows[0][AccountsCol::kBalance].AsInt(), 999);
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+TEST_F(RwCacheReadTest, OthersCommittedWritesRespected) {
+  WarmCache();
+  UpdateBalance(db_.get(), 1, 500);  // commits and invalidates the cached entry
+  ASSERT_TRUE(client_->BeginRW().ok());
+  EXPECT_EQ(balance_(1), 500)
+      << "the entry was invalidated; the RW snapshot forces a recompute, not a stale read";
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(executions_, 2);
+}
+
+TEST_F(RwCacheReadTest, DisabledByDefault) {
+  TxCacheClient plain(db_.get(), pincushion_.get(), cluster_.get(), &clock_);
+  int executions = 0;
+  auto balance = plain.MakeCacheable<int64_t, int64_t>("b2", [&](int64_t id) -> int64_t {
+    ++executions;
+    auto r = plain.ExecuteQuery(AccountById(id));
+    return r.ok() && !r.value().rows.empty()
+               ? r.value().rows[0][AccountsCol::kBalance].AsInt()
+               : -1;
+  });
+  ASSERT_TRUE(plain.BeginRO().ok());
+  balance(1);
+  ASSERT_TRUE(plain.Commit().ok());
+  ASSERT_TRUE(plain.BeginRW().ok());
+  balance(1);
+  ASSERT_TRUE(plain.Commit().ok());
+  EXPECT_EQ(executions, 2) << "without the opt-in, RW calls always execute (§2.2)";
+  EXPECT_EQ(plain.stats().bypassed_calls, 1u);
+}
+
+}  // namespace
+}  // namespace txcache

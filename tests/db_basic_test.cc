@@ -1,0 +1,431 @@
+#include <gtest/gtest.h>
+
+#include "src/db/database.h"
+#include "src/util/clock.h"
+#include "tests/test_support.h"
+
+namespace txcache {
+namespace {
+
+using namespace txcache::testing;
+
+class DbBasicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(&clock_);
+    CreateAccountsTable(db_.get());
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DbBasicTest, CreateTableRejectsDuplicatesAndEmpty) {
+  EXPECT_FALSE(db_->CreateTable(TableSchema{kAccounts, {{"x", ValueType::kInt, false}}}).ok());
+  EXPECT_FALSE(db_->CreateTable(TableSchema{"", {{"x", ValueType::kInt, false}}}).ok());
+  EXPECT_FALSE(db_->CreateTable(TableSchema{"empty", {}}).ok());
+}
+
+TEST_F(DbBasicTest, CreateIndexValidation) {
+  EXPECT_FALSE(db_->CreateIndex(IndexSchema{"i", "nope", {0}, false}).ok());
+  EXPECT_FALSE(db_->CreateIndex(IndexSchema{"i", kAccounts, {}, false}).ok());
+  EXPECT_FALSE(db_->CreateIndex(IndexSchema{"i", kAccounts, {99}, false}).ok());
+  EXPECT_FALSE(db_->CreateIndex(IndexSchema{kAccountsPk, kAccounts, {0}, false}).ok());
+}
+
+TEST_F(DbBasicTest, ListAndFindTables) {
+  EXPECT_NE(db_->FindTable(kAccounts), nullptr);
+  EXPECT_EQ(db_->FindTable("nope"), nullptr);
+  auto names = db_->ListTables();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], kAccounts);
+}
+
+TEST_F(DbBasicTest, InsertAndReadBack) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  QueryResult r = ReadLatest(db_.get(), AccountById(1));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][AccountsCol::kOwner].AsString(), "alice");
+  EXPECT_EQ(r.rows[0][AccountsCol::kBalance].AsInt(), 100);
+}
+
+TEST_F(DbBasicTest, InsertValidatesArityAndTypes) {
+  TxnId txn = db_->BeginReadWrite();
+  EXPECT_FALSE(db_->Insert(txn, kAccounts, Row{Value(1)}).ok());
+  EXPECT_FALSE(
+      db_->Insert(txn, kAccounts, Row{Value("x"), Value("alice"), Value(1), Value(0)}).ok());
+  EXPECT_FALSE(
+      db_->Insert(txn, kAccounts, Row{Value::Null(), Value("a"), Value(1), Value(0)}).ok());
+  EXPECT_FALSE(db_->Insert(txn, "nope", Account(1, "a", 1)).ok());
+  db_->Abort(txn);
+}
+
+TEST_F(DbBasicTest, InsertInReadOnlyTxnFails) {
+  auto txn = db_->BeginReadOnly();
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(db_->Insert(txn.value(), kAccounts, Account(1, "a", 1)).code(),
+            StatusCode::kFailedPrecondition);
+  db_->Commit(txn.value());
+}
+
+TEST_F(DbBasicTest, SeqScanWithPredicate) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  InsertAccount(db_.get(), 2, "bob", 50);
+  InsertAccount(db_.get(), 3, "carol", 150);
+  QueryResult r = ReadLatest(
+      db_.get(), Query::From(AccessPath::SeqScan(kAccounts))
+                     .Where(PCmp(AccountsCol::kBalance, CmpOp::kGe, Value(int64_t{100})))
+                     .Project({AccountsCol::kId})
+                     .SortBy(0));
+  EXPECT_EQ(IntColumn(r), (std::vector<int64_t>{1, 3}));
+}
+
+TEST_F(DbBasicTest, IndexEqLookup) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  InsertAccount(db_.get(), 2, "alice", 70);
+  InsertAccount(db_.get(), 3, "bob", 50);
+  QueryResult r = ReadLatest(
+      db_.get(),
+      Query::From(AccessPath::IndexEq(kAccounts, kAccountsByOwner, Row{Value("alice")}))
+          .Project({AccountsCol::kId})
+          .SortBy(0));
+  EXPECT_EQ(IntColumn(r), (std::vector<int64_t>{1, 2}));
+  EXPECT_GE(r.stats.index_probes, 1u);
+  EXPECT_EQ(r.stats.seq_scanned, 0u);
+}
+
+TEST_F(DbBasicTest, IndexEqMissingIndexIsError) {
+  auto txn = db_->BeginReadOnly();
+  ASSERT_TRUE(txn.ok());
+  auto r = db_->Execute(txn.value(),
+                        Query::From(AccessPath::IndexEq(kAccounts, "nope", Row{Value(1)})));
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  db_->Commit(txn.value());
+}
+
+TEST_F(DbBasicTest, IndexRangeScan) {
+  for (int64_t i = 0; i < 10; ++i) {
+    InsertAccount(db_.get(), i, "o" + std::to_string(i), i * 10);
+  }
+  QueryResult r = ReadLatest(
+      db_.get(), Query::From(AccessPath::IndexRange(kAccounts, kAccountsPk,
+                                                    Row{Value(int64_t{3})}, Row{Value(int64_t{6})}))
+                     .Project({AccountsCol::kId}));
+  EXPECT_EQ(IntColumn(r), (std::vector<int64_t>{3, 4, 5, 6}));
+}
+
+TEST_F(DbBasicTest, IndexRangeOpenEnded) {
+  for (int64_t i = 0; i < 5; ++i) {
+    InsertAccount(db_.get(), i, "o", 0);
+  }
+  QueryResult lo = ReadLatest(
+      db_.get(), Query::From(AccessPath::IndexRange(kAccounts, kAccountsPk,
+                                                    Row{Value(int64_t{3})}, std::nullopt))
+                     .Project({AccountsCol::kId}));
+  EXPECT_EQ(IntColumn(lo), (std::vector<int64_t>{3, 4}));
+  QueryResult hi = ReadLatest(
+      db_.get(), Query::From(AccessPath::IndexRange(kAccounts, kAccountsPk, std::nullopt,
+                                                    Row{Value(int64_t{1})}))
+                     .Project({AccountsCol::kId}));
+  EXPECT_EQ(IntColumn(hi), (std::vector<int64_t>{0, 1}));
+}
+
+TEST_F(DbBasicTest, PredicateOperators) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  InsertAccount(db_.get(), 2, "bob", 200);
+  auto count = [&](PredicatePtr p) {
+    return ReadLatest(db_.get(), Query::From(AccessPath::SeqScan(kAccounts)).Where(std::move(p)))
+        .rows.size();
+  };
+  EXPECT_EQ(count(PEq(AccountsCol::kOwner, Value("bob"))), 1u);
+  EXPECT_EQ(count(PCmp(AccountsCol::kBalance, CmpOp::kNe, Value(int64_t{100}))), 1u);
+  EXPECT_EQ(count(PCmp(AccountsCol::kBalance, CmpOp::kLt, Value(int64_t{200}))), 1u);
+  EXPECT_EQ(count(PCmp(AccountsCol::kBalance, CmpOp::kLe, Value(int64_t{200}))), 2u);
+  EXPECT_EQ(count(PCmp(AccountsCol::kBalance, CmpOp::kGt, Value(int64_t{100}))), 1u);
+  EXPECT_EQ(count(PAnd({PEq(AccountsCol::kOwner, Value("alice")),
+                        PCmp(AccountsCol::kBalance, CmpOp::kGe, Value(int64_t{50}))})),
+            1u);
+  EXPECT_EQ(count(POr({PEq(AccountsCol::kOwner, Value("alice")),
+                       PEq(AccountsCol::kOwner, Value("bob"))})),
+            2u);
+  EXPECT_EQ(count(PNot(PEq(AccountsCol::kOwner, Value("alice")))), 1u);
+  EXPECT_EQ(count(PIsNull(AccountsCol::kOwner)), 0u);
+  EXPECT_EQ(count(PColumnCmp(AccountsCol::kId, CmpOp::kLt, AccountsCol::kBalance)), 2u);
+  EXPECT_EQ(count(PTrue()), 2u);
+}
+
+TEST_F(DbBasicTest, NullComparisonsNeverMatch) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  EXPECT_EQ(ReadLatest(db_.get(), Query::From(AccessPath::SeqScan(kAccounts))
+                                      .Where(PEq(AccountsCol::kOwner, Value::Null())))
+                .rows.size(),
+            0u);
+}
+
+TEST_F(DbBasicTest, Aggregates) {
+  InsertAccount(db_.get(), 1, "a", 10, 1);
+  InsertAccount(db_.get(), 2, "b", 30, 1);
+  InsertAccount(db_.get(), 3, "c", 20, 2);
+  auto agg = [&](AggKind kind) {
+    return ReadLatest(db_.get(), Query::From(AccessPath::SeqScan(kAccounts))
+                                     .Agg(kind, AccountsCol::kBalance))
+        .rows[0][0];
+  };
+  EXPECT_EQ(agg(AggKind::kCount), Value(int64_t{3}));
+  EXPECT_EQ(agg(AggKind::kSum), Value(int64_t{60}));
+  EXPECT_EQ(agg(AggKind::kMin), Value(int64_t{10}));
+  EXPECT_EQ(agg(AggKind::kMax), Value(int64_t{30}));
+  EXPECT_EQ(agg(AggKind::kAvg), Value(20.0));
+}
+
+TEST_F(DbBasicTest, AggregatesOnEmptyInput) {
+  auto agg = [&](AggKind kind) {
+    return ReadLatest(db_.get(), Query::From(AccessPath::SeqScan(kAccounts))
+                                     .Agg(kind, AccountsCol::kBalance))
+        .rows[0][0];
+  };
+  EXPECT_EQ(agg(AggKind::kCount), Value(int64_t{0}));
+  EXPECT_TRUE(agg(AggKind::kSum).is_null());
+  EXPECT_TRUE(agg(AggKind::kMin).is_null());
+  EXPECT_TRUE(agg(AggKind::kAvg).is_null());
+}
+
+TEST_F(DbBasicTest, GroupByAggregate) {
+  InsertAccount(db_.get(), 1, "a", 10, 1);
+  InsertAccount(db_.get(), 2, "b", 30, 1);
+  InsertAccount(db_.get(), 3, "c", 20, 2);
+  QueryResult r = ReadLatest(db_.get(), Query::From(AccessPath::SeqScan(kAccounts))
+                                            .Agg(AggKind::kSum, AccountsCol::kBalance)
+                                            .GroupBy(AccountsCol::kBranch));
+  ASSERT_EQ(r.rows.size(), 2u);  // groups come out in key order
+  EXPECT_EQ(r.rows[0], (Row{Value(int64_t{1}), Value(int64_t{40})}));
+  EXPECT_EQ(r.rows[1], (Row{Value(int64_t{2}), Value(int64_t{20})}));
+}
+
+TEST_F(DbBasicTest, OrderByLimitOffset) {
+  for (int64_t i = 0; i < 6; ++i) {
+    InsertAccount(db_.get(), i, "o", 100 - i);
+  }
+  QueryResult r = ReadLatest(db_.get(), Query::From(AccessPath::SeqScan(kAccounts))
+                                            .SortBy(AccountsCol::kBalance, /*descending=*/true)
+                                            .Limit(2, 1)
+                                            .Project({AccountsCol::kId}));
+  EXPECT_EQ(IntColumn(r), (std::vector<int64_t>{1, 2}));
+}
+
+TEST_F(DbBasicTest, OffsetPastEndYieldsEmpty) {
+  InsertAccount(db_.get(), 1, "a", 1);
+  QueryResult r = ReadLatest(
+      db_.get(), Query::From(AccessPath::SeqScan(kAccounts)).Limit(5, 100));
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(DbBasicTest, MultiKeyOrderBy) {
+  InsertAccount(db_.get(), 1, "a", 10, 2);
+  InsertAccount(db_.get(), 2, "b", 10, 1);
+  InsertAccount(db_.get(), 3, "c", 5, 9);
+  QueryResult r = ReadLatest(db_.get(), Query::From(AccessPath::SeqScan(kAccounts))
+                                            .SortBy(AccountsCol::kBalance)
+                                            .SortBy(AccountsCol::kBranch)
+                                            .Project({AccountsCol::kId}));
+  EXPECT_EQ(IntColumn(r), (std::vector<int64_t>{3, 2, 1}));
+}
+
+TEST_F(DbBasicTest, ProjectionOutOfRangeIsError) {
+  InsertAccount(db_.get(), 1, "a", 1);
+  auto txn = db_->BeginReadOnly();
+  ASSERT_TRUE(txn.ok());
+  auto r = db_->Execute(txn.value(),
+                        Query::From(AccessPath::SeqScan(kAccounts)).Project({99}));
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  db_->Commit(txn.value());
+}
+
+TEST_F(DbBasicTest, JoinViaIndex) {
+  ASSERT_TRUE(db_->CreateTable(TableSchema{"branches",
+                                           {{"id", ValueType::kInt, false},
+                                            {"city", ValueType::kString, false}}})
+                  .ok());
+  ASSERT_TRUE(db_->CreateIndex(IndexSchema{"branches_pk", "branches", {0}, true}).ok());
+  TxnId txn = db_->BeginReadWrite();
+  ASSERT_TRUE(db_->Insert(txn, "branches", Row{Value(int64_t{1}), Value("boston")}).ok());
+  ASSERT_TRUE(db_->Insert(txn, "branches", Row{Value(int64_t{2}), Value("nyc")}).ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  InsertAccount(db_.get(), 10, "alice", 100, 1);
+  InsertAccount(db_.get(), 11, "bob", 50, 2);
+  InsertAccount(db_.get(), 12, "carol", 70, 1);
+
+  constexpr uint32_t kCity = AccountsCol::kCount + 1;
+  QueryResult r = ReadLatest(db_.get(),
+                             Query::From(AccessPath::SeqScan(kAccounts))
+                                 .Join(JoinStep{"branches", "branches_pk",
+                                                {AccountsCol::kBranch}, nullptr})
+                                 .SortBy(AccountsCol::kId)
+                                 .Project({AccountsCol::kId, kCity}));
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][1].AsString(), "boston");
+  EXPECT_EQ(r.rows[1][1].AsString(), "nyc");
+  EXPECT_EQ(r.rows[2][1].AsString(), "boston");
+}
+
+TEST_F(DbBasicTest, JoinWithResidualPredicate) {
+  ASSERT_TRUE(db_->CreateTable(TableSchema{"branches",
+                                           {{"id", ValueType::kInt, false},
+                                            {"city", ValueType::kString, false}}})
+                  .ok());
+  ASSERT_TRUE(db_->CreateIndex(IndexSchema{"branches_pk", "branches", {0}, true}).ok());
+  TxnId txn = db_->BeginReadWrite();
+  ASSERT_TRUE(db_->Insert(txn, "branches", Row{Value(int64_t{1}), Value("boston")}).ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  InsertAccount(db_.get(), 10, "alice", 100, 1);
+  constexpr uint32_t kCity = AccountsCol::kCount + 1;
+  QueryResult r = ReadLatest(
+      db_.get(), Query::From(AccessPath::SeqScan(kAccounts))
+                     .Join(JoinStep{"branches", "branches_pk", {AccountsCol::kBranch},
+                                    PEq(kCity, Value("nowhere"))}));
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(DbBasicTest, JoinDanglingForeignKeyDropsRow) {
+  ASSERT_TRUE(db_->CreateTable(TableSchema{"branches",
+                                           {{"id", ValueType::kInt, false},
+                                            {"city", ValueType::kString, false}}})
+                  .ok());
+  ASSERT_TRUE(db_->CreateIndex(IndexSchema{"branches_pk", "branches", {0}, true}).ok());
+  InsertAccount(db_.get(), 10, "alice", 100, 77);  // branch 77 does not exist
+  QueryResult r = ReadLatest(
+      db_.get(),
+      Query::From(AccessPath::SeqScan(kAccounts))
+          .Join(JoinStep{"branches", "branches_pk", {AccountsCol::kBranch}, nullptr}));
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(DbBasicTest, UpdateChangesVisibleRow) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  UpdateBalance(db_.get(), 1, 250);
+  QueryResult r = ReadLatest(db_.get(), AccountById(1));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][AccountsCol::kBalance].AsInt(), 250);
+}
+
+TEST_F(DbBasicTest, UpdateValidatesColumnsAndTypes) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  TxnId txn = db_->BeginReadWrite();
+  EXPECT_FALSE(db_->Update(txn, kAccounts, AccountById(1).from, nullptr,
+                           {{99, Value(int64_t{1})}})
+                   .ok());
+  EXPECT_FALSE(db_->Update(txn, kAccounts, AccountById(1).from, nullptr,
+                           {{AccountsCol::kBalance, Value("not-an-int")}})
+                   .ok());
+  db_->Abort(txn);
+}
+
+TEST_F(DbBasicTest, DeleteRemovesRow) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  DeleteAccount(db_.get(), 1);
+  EXPECT_TRUE(ReadLatest(db_.get(), AccountById(1)).rows.empty());
+}
+
+TEST_F(DbBasicTest, UpdateIsVisibleThroughSecondaryIndexes) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  TxnId txn = db_->BeginReadWrite();
+  ASSERT_TRUE(db_->Update(txn, kAccounts, AccountById(1).from, nullptr,
+                          {{AccountsCol::kOwner, Value("renamed")}})
+                  .ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  QueryResult by_new = ReadLatest(
+      db_.get(),
+      Query::From(AccessPath::IndexEq(kAccounts, kAccountsByOwner, Row{Value("renamed")})));
+  EXPECT_EQ(by_new.rows.size(), 1u);
+  QueryResult by_old = ReadLatest(
+      db_.get(),
+      Query::From(AccessPath::IndexEq(kAccounts, kAccountsByOwner, Row{Value("alice")})));
+  EXPECT_TRUE(by_old.rows.empty());
+}
+
+TEST_F(DbBasicTest, UniqueConstraintEnforced) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  TxnId txn = db_->BeginReadWrite();
+  EXPECT_EQ(db_->Insert(txn, kAccounts, Account(1, "dup", 0)).code(), StatusCode::kConflict);
+  db_->Abort(txn);
+}
+
+TEST_F(DbBasicTest, UniqueSlotReusableAfterDelete) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  DeleteAccount(db_.get(), 1);
+  InsertAccount(db_.get(), 1, "alice-2", 5);
+  QueryResult r = ReadLatest(db_.get(), AccountById(1));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][AccountsCol::kOwner].AsString(), "alice-2");
+}
+
+TEST_F(DbBasicTest, DeleteThenReinsertInSameTxn) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  TxnId txn = db_->BeginReadWrite();
+  ASSERT_TRUE(db_->Delete(txn, kAccounts, AccountById(1).from, nullptr).ok());
+  ASSERT_TRUE(db_->Insert(txn, kAccounts, Account(1, "reborn", 1)).ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  QueryResult r = ReadLatest(db_.get(), AccountById(1));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][AccountsCol::kOwner].AsString(), "reborn");
+}
+
+TEST_F(DbBasicTest, ListIndexesReturnsCatalog) {
+  auto indexes = db_->ListIndexes(kAccounts);
+  ASSERT_EQ(indexes.size(), 3u);
+  EXPECT_EQ(indexes[0].name, kAccountsPk);
+  EXPECT_TRUE(indexes[0].unique);
+  EXPECT_FALSE(indexes[1].unique);
+  EXPECT_TRUE(db_->ListIndexes("no_such_table").empty());
+}
+
+TEST_F(DbBasicTest, UpdateWithEmptySetsIsHarmless) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  TxnId txn = db_->BeginReadWrite();
+  auto n = db_->Update(txn, kAccounts, AccountById(1).from, nullptr, {});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 1u) << "matched one row, changed nothing";
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  QueryResult r = ReadLatest(db_.get(), AccountById(1));
+  EXPECT_EQ(r.rows[0][AccountsCol::kBalance].AsInt(), 100);
+}
+
+TEST_F(DbBasicTest, UpdateMatchingNothingAffectsNothing) {
+  TxnId txn = db_->BeginReadWrite();
+  auto n = db_->Update(txn, kAccounts, AccountById(42).from, nullptr,
+                       {{AccountsCol::kBalance, Value(int64_t{1})}});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u);
+  // A write-free transaction commits without consuming a timestamp.
+  Timestamp before = db_->LatestCommitTs();
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  EXPECT_EQ(db_->LatestCommitTs(), before);
+}
+
+TEST_F(DbBasicTest, AggregateIgnoresProjection) {
+  InsertAccount(db_.get(), 1, "a", 10);
+  InsertAccount(db_.get(), 2, "b", 20);
+  QueryResult r = ReadLatest(db_.get(), Query::From(AccessPath::SeqScan(kAccounts))
+                                            .Project({AccountsCol::kOwner})
+                                            .Agg(AggKind::kSum, AccountsCol::kBalance));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 30) << "aggregates shape the output; projection is moot";
+}
+
+TEST_F(DbBasicTest, StatsAccumulate) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  ReadLatest(db_.get(), AccountById(1));
+  DatabaseStats s = db_->stats();
+  EXPECT_GE(s.inserts, 1u);
+  EXPECT_GE(s.queries, 1u);
+  EXPECT_GE(s.commits, 2u);
+}
+
+TEST_F(DbBasicTest, ApproximateDataBytesGrows) {
+  size_t before = db_->ApproximateDataBytes();
+  InsertAccount(db_.get(), 1, "alice", 100);
+  EXPECT_GT(db_->ApproximateDataBytes(), before);
+}
+
+}  // namespace
+}  // namespace txcache

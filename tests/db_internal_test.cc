@@ -1,0 +1,197 @@
+// Unit tests for the engine's internal building blocks: the transaction manager (CLOG), the
+// versioned heap, ordered indexes, and the validity tracker in isolation.
+#include <gtest/gtest.h>
+
+#include "src/db/heap.h"
+#include "src/db/index.h"
+#include "src/db/txn_manager.h"
+#include "src/db/validity.h"
+
+namespace txcache {
+namespace {
+
+TEST(TxnManager, IdsAreDenseAndOneBased) {
+  TxnManager clog;
+  EXPECT_EQ(clog.Begin(0, false), 1u);
+  EXPECT_EQ(clog.Begin(0, true), 2u);
+  EXPECT_EQ(clog.Begin(0, false), 3u);
+  EXPECT_EQ(clog.transaction_count(), 3u);
+}
+
+TEST(TxnManager, CommitAssignsDenseTimestamps) {
+  TxnManager clog;
+  TxnId a = clog.Begin(0, false);
+  TxnId b = clog.Begin(0, false);
+  EXPECT_EQ(clog.Commit(b, 100), 1u);
+  EXPECT_EQ(clog.Commit(a, 200), 2u);
+  EXPECT_EQ(clog.latest_commit_ts(), 2u);
+  EXPECT_EQ(clog.CommitWallClock(1), 100);
+  EXPECT_EQ(clog.CommitWallClock(2), 200);
+}
+
+TEST(TxnManager, StateTransitions) {
+  TxnManager clog;
+  TxnId a = clog.Begin(0, false);
+  EXPECT_TRUE(clog.IsInProgress(a));
+  clog.Commit(a, 1);
+  EXPECT_TRUE(clog.IsCommitted(a));
+  TxnId b = clog.Begin(1, false);
+  clog.Abort(b);
+  EXPECT_TRUE(clog.IsAborted(b));
+  TxnId c = clog.Begin(1, true);
+  clog.FinishReadOnly(c);
+  EXPECT_TRUE(clog.IsCommitted(c));
+  EXPECT_EQ(clog.CommitTs(c), kTimestampZero) << "read-only finish consumes no timestamp";
+}
+
+TEST(TxnManager, PinRefcounting) {
+  TxnManager clog;
+  EXPECT_EQ(clog.Pin(5), 1);
+  EXPECT_EQ(clog.Pin(5), 2);
+  EXPECT_TRUE(clog.IsPinned(5));
+  EXPECT_TRUE(clog.Unpin(5).ok());
+  EXPECT_TRUE(clog.IsPinned(5));
+  EXPECT_TRUE(clog.Unpin(5).ok());
+  EXPECT_FALSE(clog.IsPinned(5));
+  EXPECT_FALSE(clog.Unpin(5).ok());
+}
+
+TEST(TxnManager, VacuumHorizonMinOfPinsAndLiveTxns) {
+  TxnManager clog;
+  for (int i = 0; i < 5; ++i) {
+    TxnId t = clog.Begin(clog.latest_commit_ts(), false);
+    clog.Commit(t, i);
+  }
+  EXPECT_EQ(clog.VacuumHorizon(), 5u) << "nothing holds history back";
+  clog.Pin(2);
+  EXPECT_EQ(clog.VacuumHorizon(), 2u);
+  TxnId live = clog.Begin(/*snapshot=*/1, true);
+  EXPECT_EQ(clog.VacuumHorizon(), 1u) << "a running transaction's snapshot wins";
+  clog.FinishReadOnly(live);
+  clog.AdvanceLiveScanFloor();
+  EXPECT_EQ(clog.VacuumHorizon(), 2u);
+  clog.Unpin(2);
+  EXPECT_EQ(clog.VacuumHorizon(), 5u);
+}
+
+TEST(TxnManager, WallClockHistoryPruning) {
+  TxnManager clog;
+  for (int i = 0; i < 10; ++i) {
+    clog.Commit(clog.Begin(0, false), i * 100);
+  }
+  clog.PruneWallClockHistory(6);
+  EXPECT_EQ(clog.CommitWallClock(3), 0) << "pruned";
+  EXPECT_EQ(clog.CommitWallClock(7), 600) << "retained";
+}
+
+TEST(Heap, AppendAndVacuumAccounting) {
+  Heap heap;
+  TupleId a = heap.Append(Row{Value(int64_t{1}), Value("x")}, 1);
+  TupleId b = heap.Append(Row{Value(int64_t{2}), Value("y")}, 1);
+  EXPECT_EQ(heap.size(), 2u);
+  EXPECT_GT(heap.live_bytes(), 0u);
+  size_t before = heap.live_bytes();
+  heap.MarkVacuumed(a);
+  EXPECT_EQ(heap.vacuumed_count(), 1u);
+  EXPECT_LT(heap.live_bytes(), before);
+  EXPECT_TRUE(heap.Get(a).vacuumed);
+  EXPECT_TRUE(heap.Get(a).row.empty()) << "memory released";
+  heap.MarkVacuumed(a);  // idempotent
+  EXPECT_EQ(heap.vacuumed_count(), 1u);
+  EXPECT_FALSE(heap.Get(b).vacuumed);
+}
+
+TEST(Heap, ReferencesStableAcrossGrowth) {
+  Heap heap;
+  TupleId first = heap.Append(Row{Value(int64_t{0})}, 1);
+  const TupleVersion* p = &heap.Get(first);
+  for (int64_t i = 1; i < 4096; ++i) {
+    heap.Append(Row{Value(i)}, 1);
+  }
+  EXPECT_EQ(p, &heap.Get(first)) << "deque storage must not relocate";
+}
+
+TEST(OrderedIndex, InsertLookupRemove) {
+  OrderedIndex index(IndexSchema{"i", "t", {0}, false});
+  index.Insert(Row{Value(int64_t{5})}, 10);
+  index.Insert(Row{Value(int64_t{5})}, 11);
+  index.Insert(Row{Value(int64_t{7})}, 12);
+  ASSERT_NE(index.Lookup(Row{Value(int64_t{5})}), nullptr);
+  EXPECT_EQ(index.Lookup(Row{Value(int64_t{5})})->size(), 2u);
+  EXPECT_EQ(index.Lookup(Row{Value(int64_t{9})}), nullptr);
+  index.Remove(Row{Value(int64_t{5})}, 10);
+  EXPECT_EQ(index.Lookup(Row{Value(int64_t{5})})->size(), 1u);
+  index.Remove(Row{Value(int64_t{5})}, 11);
+  EXPECT_EQ(index.Lookup(Row{Value(int64_t{5})}), nullptr) << "empty bucket erased";
+  EXPECT_EQ(index.distinct_keys(), 1u);
+  index.Remove(Row{Value(int64_t{42})}, 99);  // removing absent entries is a no-op
+}
+
+TEST(OrderedIndex, CompositeKeysAndRange) {
+  OrderedIndex index(IndexSchema{"i", "t", {1, 0}, false});
+  Row row{Value(int64_t{7}), Value("b")};
+  EXPECT_EQ(index.ExtractKey(row), (Row{Value("b"), Value(int64_t{7})}));
+  for (int64_t i = 0; i < 10; ++i) {
+    index.Insert(Row{Value("k"), Value(i)}, static_cast<TupleId>(i));
+  }
+  std::vector<TupleId> seen;
+  index.Range(Row{Value("k"), Value(int64_t{3})}, Row{Value("k"), Value(int64_t{6})},
+              [&](const Row&, TupleId id) { seen.push_back(id); });
+  EXPECT_EQ(seen, (std::vector<TupleId>{3, 4, 5, 6}));
+}
+
+TEST(OrderedIndex, RangeOpenEnds) {
+  OrderedIndex index(IndexSchema{"i", "t", {0}, false});
+  for (int64_t i = 0; i < 5; ++i) {
+    index.Insert(Row{Value(i)}, static_cast<TupleId>(i));
+  }
+  size_t count = 0;
+  index.Range(std::nullopt, std::nullopt, [&](const Row&, TupleId) { ++count; });
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(ValidityTracker, DisabledTrackerIsFree) {
+  TxnManager clog;
+  ValidityTracker tracker(&clog, 0, /*enabled=*/false);
+  TupleVersion v;
+  v.xmin = 1;
+  tracker.ObserveVisible(v);
+  tracker.ObserveInvisible(v);
+  EXPECT_EQ(tracker.Finalize(), Interval::All());
+}
+
+TEST(ValidityTracker, LifetimeFromClog) {
+  TxnManager clog;
+  TxnId creator = clog.Begin(0, false);
+  clog.Commit(creator, 10);
+  TxnId deleter = clog.Begin(1, false);
+  TupleVersion v;
+  v.xmin = creator;
+  v.xmax = deleter;
+  ValidityTracker tracker(&clog, 1, true);
+  EXPECT_EQ(tracker.Lifetime(v), (Interval{1, kTimestampInfinity}))
+      << "uncommitted deleter does not bound the lifetime";
+  clog.Commit(deleter, 20);
+  EXPECT_EQ(tracker.Lifetime(v), (Interval{1, 2}));
+}
+
+TEST(ValidityTracker, UncommittedCreatorIgnoredInMask) {
+  TxnManager clog;
+  TxnId committed = clog.Begin(0, false);
+  clog.Commit(committed, 1);
+  TxnId pending = clog.Begin(1, false);
+  ValidityTracker tracker(&clog, 1, true);
+  TupleVersion ghost;
+  ghost.xmin = pending;  // in progress: cannot constrain any committed timestamp
+  tracker.ObserveInvisible(ghost);
+  EXPECT_TRUE(tracker.mask().empty());
+  TxnId aborted = clog.Begin(1, false);
+  clog.Abort(aborted);
+  TupleVersion dead;
+  dead.xmin = aborted;
+  tracker.ObserveInvisible(dead);
+  EXPECT_TRUE(tracker.mask().empty());
+}
+
+}  // namespace
+}  // namespace txcache

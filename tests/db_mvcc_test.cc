@@ -1,0 +1,241 @@
+// Snapshot isolation semantics: visibility, first-committer-wins, anomalies (paper §2.2, §5.1).
+#include <gtest/gtest.h>
+
+#include "src/db/database.h"
+#include "src/util/clock.h"
+#include "tests/test_support.h"
+
+namespace txcache {
+namespace {
+
+using namespace txcache::testing;
+
+class DbMvccTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(&clock_);
+    CreateAccountsTable(db_.get());
+  }
+
+  int64_t BalanceIn(TxnId txn, int64_t id) {
+    auto r = db_->Execute(txn, AccountById(id));
+    EXPECT_TRUE(r.ok());
+    if (!r.ok() || r.value().rows.empty()) {
+      return -1;
+    }
+    return r.value().rows[0][AccountsCol::kBalance].AsInt();
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DbMvccTest, UncommittedWritesInvisibleToOthers) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  TxnId writer = db_->BeginReadWrite();
+  ASSERT_TRUE(db_->Update(writer, kAccounts, AccountById(1).from, nullptr,
+                          {{AccountsCol::kBalance, Value(int64_t{999})}})
+                  .ok());
+  auto reader = db_->BeginReadOnly();
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(BalanceIn(reader.value(), 1), 100) << "no dirty reads";
+  db_->Commit(reader.value());
+  ASSERT_TRUE(db_->Commit(writer).ok());
+}
+
+TEST_F(DbMvccTest, TransactionSeesOwnWrites) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  TxnId txn = db_->BeginReadWrite();
+  ASSERT_TRUE(db_->Update(txn, kAccounts, AccountById(1).from, nullptr,
+                          {{AccountsCol::kBalance, Value(int64_t{42})}})
+                  .ok());
+  EXPECT_EQ(BalanceIn(txn, 1), 42);
+  ASSERT_TRUE(db_->Insert(txn, kAccounts, Account(2, "own", 7)).ok());
+  EXPECT_EQ(BalanceIn(txn, 2), 7);
+  ASSERT_TRUE(db_->Delete(txn, kAccounts, AccountById(2).from, nullptr).ok());
+  EXPECT_EQ(BalanceIn(txn, 2), -1) << "own delete visible";
+  ASSERT_TRUE(db_->Commit(txn).ok());
+}
+
+TEST_F(DbMvccTest, SnapshotReadsAreRepeatable) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  auto reader = db_->BeginReadOnly();
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(BalanceIn(reader.value(), 1), 100);
+  UpdateBalance(db_.get(), 1, 500);  // concurrent committed update
+  EXPECT_EQ(BalanceIn(reader.value(), 1), 100) << "repeatable read within snapshot";
+  db_->Commit(reader.value());
+  auto later = db_->BeginReadOnly();
+  ASSERT_TRUE(later.ok());
+  EXPECT_EQ(BalanceIn(later.value(), 1), 500);
+  db_->Commit(later.value());
+}
+
+TEST_F(DbMvccTest, RwTransactionSnapshotFixedAtBegin) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  TxnId t1 = db_->BeginReadWrite();
+  UpdateBalance(db_.get(), 1, 500);
+  EXPECT_EQ(BalanceIn(t1, 1), 100) << "RW snapshot taken at BEGIN";
+  ASSERT_TRUE(db_->Commit(t1).ok());
+}
+
+TEST_F(DbMvccTest, FirstCommitterWinsOnWriteWriteConflict) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  TxnId t1 = db_->BeginReadWrite();
+  TxnId t2 = db_->BeginReadWrite();
+  ASSERT_TRUE(db_->Update(t1, kAccounts, AccountById(1).from, nullptr,
+                          {{AccountsCol::kBalance, Value(int64_t{1})}})
+                  .ok());
+  // t2 targets the same row while t1's write is pending: conflict.
+  auto r = db_->Update(t2, kAccounts, AccountById(1).from, nullptr,
+                       {{AccountsCol::kBalance, Value(int64_t{2})}});
+  EXPECT_EQ(r.status().code(), StatusCode::kConflict);
+  db_->Abort(t2);
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  auto final_read = db_->BeginReadOnly();
+  ASSERT_TRUE(final_read.ok());
+  EXPECT_EQ(BalanceIn(final_read.value(), 1), 1);
+  db_->Commit(final_read.value());
+}
+
+TEST_F(DbMvccTest, CommittedConflictDetectedAfterTheFact) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  TxnId t2 = db_->BeginReadWrite();  // snapshot before t1 commits
+  UpdateBalance(db_.get(), 1, 111);  // t1 commits an update
+  auto r = db_->Update(t2, kAccounts, AccountById(1).from, nullptr,
+                       {{AccountsCol::kBalance, Value(int64_t{2})}});
+  EXPECT_EQ(r.status().code(), StatusCode::kConflict)
+      << "update of a row version superseded since our snapshot must fail";
+  db_->Abort(t2);
+}
+
+TEST_F(DbMvccTest, WriteSkewIsAllowed) {
+  // SI's classic anomaly: two transactions each read both rows and write different ones.
+  // TxCache must not change the database's isolation level (§2.2), so this must commit.
+  InsertAccount(db_.get(), 1, "alice", 60);
+  InsertAccount(db_.get(), 2, "bob", 60);
+  TxnId t1 = db_->BeginReadWrite();
+  TxnId t2 = db_->BeginReadWrite();
+  EXPECT_EQ(BalanceIn(t1, 1) + BalanceIn(t1, 2), 120);
+  EXPECT_EQ(BalanceIn(t2, 1) + BalanceIn(t2, 2), 120);
+  ASSERT_TRUE(db_->Update(t1, kAccounts, AccountById(1).from, nullptr,
+                          {{AccountsCol::kBalance, Value(int64_t{-40})}})
+                  .ok());
+  ASSERT_TRUE(db_->Update(t2, kAccounts, AccountById(2).from, nullptr,
+                          {{AccountsCol::kBalance, Value(int64_t{-40})}})
+                  .ok());
+  EXPECT_TRUE(db_->Commit(t1).ok());
+  EXPECT_TRUE(db_->Commit(t2).ok());
+}
+
+TEST_F(DbMvccTest, AbortUndoesEverything) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  TxnId txn = db_->BeginReadWrite();
+  ASSERT_TRUE(db_->Update(txn, kAccounts, AccountById(1).from, nullptr,
+                          {{AccountsCol::kBalance, Value(int64_t{1})}})
+                  .ok());
+  ASSERT_TRUE(db_->Insert(txn, kAccounts, Account(2, "temp", 0)).ok());
+  ASSERT_TRUE(db_->Delete(txn, kAccounts, AccountById(1).from, nullptr).ok());
+  ASSERT_TRUE(db_->Abort(txn).ok());
+  QueryResult r = ReadLatest(db_.get(), AccountById(1));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][AccountsCol::kBalance].AsInt(), 100);
+  EXPECT_TRUE(ReadLatest(db_.get(), AccountById(2)).rows.empty());
+}
+
+TEST_F(DbMvccTest, RowWritableAgainAfterAbort) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  TxnId t1 = db_->BeginReadWrite();
+  ASSERT_TRUE(db_->Update(t1, kAccounts, AccountById(1).from, nullptr,
+                          {{AccountsCol::kBalance, Value(int64_t{1})}})
+                  .ok());
+  ASSERT_TRUE(db_->Abort(t1).ok());
+  UpdateBalance(db_.get(), 1, 2);
+  QueryResult r = ReadLatest(db_.get(), AccountById(1));
+  EXPECT_EQ(r.rows[0][AccountsCol::kBalance].AsInt(), 2);
+}
+
+TEST_F(DbMvccTest, UniqueInsertRaceConflicts) {
+  TxnId t1 = db_->BeginReadWrite();
+  TxnId t2 = db_->BeginReadWrite();
+  ASSERT_TRUE(db_->Insert(t1, kAccounts, Account(7, "first", 0)).ok());
+  EXPECT_EQ(db_->Insert(t2, kAccounts, Account(7, "second", 0)).code(), StatusCode::kConflict);
+  db_->Abort(t2);
+  ASSERT_TRUE(db_->Commit(t1).ok());
+}
+
+TEST_F(DbMvccTest, UniqueSlotFreedByAbortedInsert) {
+  TxnId t1 = db_->BeginReadWrite();
+  ASSERT_TRUE(db_->Insert(t1, kAccounts, Account(7, "first", 0)).ok());
+  db_->Abort(t1);
+  InsertAccount(db_.get(), 7, "second", 0);
+  QueryResult r = ReadLatest(db_.get(), AccountById(7));
+  EXPECT_EQ(r.rows[0][AccountsCol::kOwner].AsString(), "second");
+}
+
+TEST_F(DbMvccTest, UpdateSameRowTwiceInOneTxn) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  TxnId txn = db_->BeginReadWrite();
+  ASSERT_TRUE(db_->Update(txn, kAccounts, AccountById(1).from, nullptr,
+                          {{AccountsCol::kBalance, Value(int64_t{200})}})
+                  .ok());
+  ASSERT_TRUE(db_->Update(txn, kAccounts, AccountById(1).from, nullptr,
+                          {{AccountsCol::kBalance, Value(int64_t{300})}})
+                  .ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  QueryResult r = ReadLatest(db_.get(), AccountById(1));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][AccountsCol::kBalance].AsInt(), 300);
+}
+
+TEST_F(DbMvccTest, CommitTimestampsAreDense) {
+  Timestamp t1 = InsertAccount(db_.get(), 1, "a", 1);
+  Timestamp t2 = InsertAccount(db_.get(), 2, "b", 2);
+  Timestamp t3 = UpdateBalance(db_.get(), 1, 9);
+  EXPECT_EQ(t2, t1 + 1);
+  EXPECT_EQ(t3, t2 + 1);
+}
+
+TEST_F(DbMvccTest, ReadOnlyCommitConsumesNoTimestamp) {
+  Timestamp t1 = InsertAccount(db_.get(), 1, "a", 1);
+  auto ro = db_->BeginReadOnly();
+  ASSERT_TRUE(ro.ok());
+  auto info = db_->Commit(ro.value());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().ts, t1) << "read-only commit reports its snapshot";
+  EXPECT_EQ(db_->LatestCommitTs(), t1);
+}
+
+TEST_F(DbMvccTest, EmptyRwCommitConsumesNoTimestamp) {
+  Timestamp t1 = InsertAccount(db_.get(), 1, "a", 1);
+  TxnId txn = db_->BeginReadWrite();
+  auto info = db_->Commit(txn);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(db_->LatestCommitTs(), t1);
+}
+
+TEST_F(DbMvccTest, OperationsOnFinishedTxnFail) {
+  TxnId txn = db_->BeginReadWrite();
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  EXPECT_FALSE(db_->Insert(txn, kAccounts, Account(1, "x", 0)).ok());
+  EXPECT_FALSE(db_->Commit(txn).ok());
+  EXPECT_FALSE(db_->Abort(txn).ok());
+  EXPECT_FALSE(db_->Execute(txn, AccountById(1)).ok());
+}
+
+TEST_F(DbMvccTest, ConflictCountsInStats) {
+  InsertAccount(db_.get(), 1, "a", 1);
+  TxnId t1 = db_->BeginReadWrite();
+  TxnId t2 = db_->BeginReadWrite();
+  ASSERT_TRUE(db_->Update(t1, kAccounts, AccountById(1).from, nullptr,
+                          {{AccountsCol::kBalance, Value(int64_t{5})}})
+                  .ok());
+  db_->Update(t2, kAccounts, AccountById(1).from, nullptr,
+              {{AccountsCol::kBalance, Value(int64_t{6})}});
+  EXPECT_GE(db_->stats().conflicts, 1u);
+  db_->Abort(t2);
+  db_->Commit(t1);
+}
+
+}  // namespace
+}  // namespace txcache

@@ -1,0 +1,196 @@
+// Pinned snapshots, time-travel reads (PIN / UNPIN / BEGIN SNAPSHOTID) and vacuum (paper §5.1).
+#include <gtest/gtest.h>
+
+#include "src/db/database.h"
+#include "src/util/clock.h"
+#include "tests/test_support.h"
+
+namespace txcache {
+namespace {
+
+using namespace txcache::testing;
+
+class DbSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(&clock_);
+    CreateAccountsTable(db_.get());
+  }
+
+  int64_t BalanceAt(Timestamp snapshot, int64_t id) {
+    auto txn = db_->BeginReadOnly(snapshot);
+    EXPECT_TRUE(txn.ok()) << txn.status().ToString();
+    auto r = db_->Execute(txn.value(), AccountById(id));
+    EXPECT_TRUE(r.ok());
+    db_->Commit(txn.value());
+    if (!r.ok() || r.value().rows.empty()) {
+      return -1;
+    }
+    return r.value().rows[0][AccountsCol::kBalance].AsInt();
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DbSnapshotTest, PinReturnsLatestCommitTs) {
+  Timestamp t = InsertAccount(db_.get(), 1, "a", 100);
+  clock_.Set(Seconds(5));
+  PinnedSnapshot pin = db_->Pin();
+  EXPECT_EQ(pin.ts, t);
+  EXPECT_EQ(pin.wallclock, Seconds(5));
+  EXPECT_EQ(db_->pinned_snapshot_count(), 1u);
+}
+
+TEST_F(DbSnapshotTest, ReadsAtPinnedSnapshotSeeThePast) {
+  InsertAccount(db_.get(), 1, "a", 100);
+  PinnedSnapshot pin = db_->Pin();
+  UpdateBalance(db_.get(), 1, 999);
+  EXPECT_EQ(BalanceAt(pin.ts, 1), 100);
+  EXPECT_EQ(BalanceAt(db_->LatestCommitTs(), 1), 999);
+}
+
+TEST_F(DbSnapshotTest, DeletedRowStillVisibleAtOldSnapshot) {
+  InsertAccount(db_.get(), 1, "a", 100);
+  PinnedSnapshot pin = db_->Pin();
+  DeleteAccount(db_.get(), 1);
+  EXPECT_EQ(BalanceAt(pin.ts, 1), 100);
+  EXPECT_EQ(BalanceAt(db_->LatestCommitTs(), 1), -1);
+}
+
+TEST_F(DbSnapshotTest, RowInsertedLaterInvisibleAtOldSnapshot) {
+  InsertAccount(db_.get(), 1, "a", 100);
+  PinnedSnapshot pin = db_->Pin();
+  InsertAccount(db_.get(), 2, "b", 50);
+  EXPECT_EQ(BalanceAt(pin.ts, 2), -1);
+}
+
+TEST_F(DbSnapshotTest, UnpinnedPastSnapshotIsRejected) {
+  InsertAccount(db_.get(), 1, "a", 100);
+  Timestamp old_ts = db_->LatestCommitTs();
+  UpdateBalance(db_.get(), 1, 200);
+  // old_ts was never pinned and is no longer the latest: not retained.
+  auto txn = db_->BeginReadOnly(old_ts);
+  EXPECT_EQ(txn.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(DbSnapshotTest, FutureSnapshotRejected) {
+  auto txn = db_->BeginReadOnly(Timestamp{1000});
+  EXPECT_FALSE(txn.ok());
+}
+
+TEST_F(DbSnapshotTest, UnpinUnknownSnapshotFails) {
+  EXPECT_EQ(db_->Unpin(Timestamp{5}).code(), StatusCode::kNotFound);
+}
+
+TEST_F(DbSnapshotTest, PinIsRefcounted) {
+  InsertAccount(db_.get(), 1, "a", 100);
+  PinnedSnapshot p1 = db_->Pin();
+  PinnedSnapshot p2 = db_->Pin();
+  EXPECT_EQ(p1.ts, p2.ts);
+  EXPECT_EQ(db_->pinned_snapshot_count(), 1u);
+  EXPECT_TRUE(db_->Unpin(p1.ts).ok());
+  EXPECT_EQ(db_->pinned_snapshot_count(), 1u) << "still pinned once";
+  EXPECT_TRUE(db_->Unpin(p1.ts).ok());
+  EXPECT_EQ(db_->pinned_snapshot_count(), 0u);
+}
+
+TEST_F(DbSnapshotTest, VacuumReclaimsDeadVersions) {
+  InsertAccount(db_.get(), 1, "a", 100);
+  for (int i = 0; i < 5; ++i) {
+    UpdateBalance(db_.get(), 1, 200 + i);
+  }
+  size_t reclaimed = db_->Vacuum();
+  EXPECT_EQ(reclaimed, 5u) << "five superseded versions";
+  // The live version must survive and still be readable.
+  QueryResult r = ReadLatest(db_.get(), AccountById(1));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][AccountsCol::kBalance].AsInt(), 204);
+}
+
+TEST_F(DbSnapshotTest, VacuumSparesVersionsVisibleToPins) {
+  InsertAccount(db_.get(), 1, "a", 100);
+  PinnedSnapshot pin = db_->Pin();
+  UpdateBalance(db_.get(), 1, 200);
+  EXPECT_EQ(db_->Vacuum(), 0u) << "old version still visible at the pin";
+  EXPECT_EQ(BalanceAt(pin.ts, 1), 100);
+  ASSERT_TRUE(db_->Unpin(pin.ts).ok());
+  EXPECT_EQ(db_->Vacuum(), 1u) << "reclaimable once unpinned";
+}
+
+TEST_F(DbSnapshotTest, VacuumSparesVersionsVisibleToRunningTxns) {
+  InsertAccount(db_.get(), 1, "a", 100);
+  auto reader = db_->BeginReadOnly();
+  ASSERT_TRUE(reader.ok());
+  UpdateBalance(db_.get(), 1, 200);
+  EXPECT_EQ(db_->Vacuum(), 0u);
+  auto r = db_->Execute(reader.value(), AccountById(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows[0][AccountsCol::kBalance].AsInt(), 100);
+  db_->Commit(reader.value());
+  EXPECT_EQ(db_->Vacuum(), 1u);
+}
+
+TEST_F(DbSnapshotTest, VacuumReclaimsAbortedInserts) {
+  TxnId txn = db_->BeginReadWrite();
+  ASSERT_TRUE(db_->Insert(txn, kAccounts, Account(1, "ghost", 0)).ok());
+  db_->Abort(txn);
+  EXPECT_EQ(db_->Vacuum(), 1u);
+  EXPECT_TRUE(ReadLatest(db_.get(), AccountById(1)).rows.empty());
+}
+
+TEST_F(DbSnapshotTest, VacuumedVersionsLeaveIndexes) {
+  InsertAccount(db_.get(), 1, "alice", 100);
+  TxnId txn = db_->BeginReadWrite();
+  ASSERT_TRUE(db_->Update(txn, kAccounts, AccountById(1).from, nullptr,
+                          {{AccountsCol::kOwner, Value("bob")}})
+                  .ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  ASSERT_EQ(db_->Vacuum(), 1u);
+  // The old index entry (owner=alice) must be gone; lookups see only the new row.
+  QueryResult by_alice = ReadLatest(
+      db_.get(),
+      Query::From(AccessPath::IndexEq(kAccounts, kAccountsByOwner, Row{Value("alice")})));
+  EXPECT_TRUE(by_alice.rows.empty());
+  QueryResult by_bob = ReadLatest(
+      db_.get(),
+      Query::From(AccessPath::IndexEq(kAccounts, kAccountsByOwner, Row{Value("bob")})));
+  EXPECT_EQ(by_bob.rows.size(), 1u);
+}
+
+TEST_F(DbSnapshotTest, VacuumIsIdempotent) {
+  InsertAccount(db_.get(), 1, "a", 100);
+  UpdateBalance(db_.get(), 1, 200);
+  EXPECT_EQ(db_->Vacuum(), 1u);
+  EXPECT_EQ(db_->Vacuum(), 0u);
+}
+
+TEST_F(DbSnapshotTest, MultipleDistinctPinsRetainHistoryChain) {
+  InsertAccount(db_.get(), 1, "a", 1);
+  PinnedSnapshot p1 = db_->Pin();
+  UpdateBalance(db_.get(), 1, 2);
+  PinnedSnapshot p2 = db_->Pin();
+  UpdateBalance(db_.get(), 1, 3);
+  EXPECT_EQ(BalanceAt(p1.ts, 1), 1);
+  EXPECT_EQ(BalanceAt(p2.ts, 1), 2);
+  EXPECT_EQ(BalanceAt(db_->LatestCommitTs(), 1), 3);
+  // Unpinning the older pin lets exactly its version go.
+  ASSERT_TRUE(db_->Unpin(p1.ts).ok());
+  EXPECT_EQ(db_->Vacuum(), 1u);
+  EXPECT_EQ(BalanceAt(p2.ts, 1), 2) << "later pin unaffected";
+  ASSERT_TRUE(db_->Unpin(p2.ts).ok());
+}
+
+TEST_F(DbSnapshotTest, SnapshotOfReportsTransactionSnapshot) {
+  Timestamp t = InsertAccount(db_.get(), 1, "a", 1);
+  auto ro = db_->BeginReadOnly();
+  ASSERT_TRUE(ro.ok());
+  auto snap = db_->SnapshotOf(ro.value());
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap.value(), t);
+  db_->Commit(ro.value());
+  EXPECT_FALSE(db_->SnapshotOf(ro.value()).ok());
+}
+
+}  // namespace
+}  // namespace txcache

@@ -1,0 +1,232 @@
+// Randomized soundness property for validity intervals (paper §5.2):
+//
+//   For any query executed at snapshot S returning validity interval I (with S in I), re-running
+//   the same query at ANY pinned snapshot inside I yields an identical result.
+//
+// The interval may be conservative (tighter than the truth) but must never be wrong. We build
+// random update histories, pin every commit point, and cross-check queries against every pinned
+// snapshot — including after vacuuming, mixed predicates, aggregates and joins.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/db/database.h"
+#include "src/util/clock.h"
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace txcache {
+namespace {
+
+using namespace txcache::testing;
+
+struct PropertyParam {
+  uint64_t seed;
+  bool predicate_first;
+};
+
+class ValidityPropertyTest : public ::testing::TestWithParam<PropertyParam> {};
+
+std::vector<Query> MakeQueries() {
+  std::vector<Query> queries;
+  // Point lookups for several ids.
+  for (int64_t id : {0, 3, 7, 11}) {
+    queries.push_back(AccountById(id));
+  }
+  // Secondary-index lookups.
+  for (const char* owner : {"o0", "o1", "o2", "ghost"}) {
+    queries.push_back(
+        Query::From(AccessPath::IndexEq(kAccounts, kAccountsByOwner, Row{Value(owner)})));
+  }
+  // Scans with predicates, aggregates, ordering.
+  queries.push_back(Query::From(AccessPath::SeqScan(kAccounts))
+                        .Where(PCmp(AccountsCol::kBalance, CmpOp::kGe, Value(int64_t{50})))
+                        .SortBy(AccountsCol::kId));
+  queries.push_back(Query::From(AccessPath::SeqScan(kAccounts))
+                        .Agg(AggKind::kSum, AccountsCol::kBalance));
+  queries.push_back(Query::From(AccessPath::IndexEq(kAccounts, kAccountsByBranch,
+                                                    Row{Value(int64_t{1})}))
+                        .Agg(AggKind::kCount));
+  queries.push_back(Query::From(AccessPath::IndexRange(kAccounts, kAccountsPk,
+                                                       Row{Value(int64_t{2})},
+                                                       Row{Value(int64_t{9})}))
+                        .SortBy(AccountsCol::kId)
+                        .Project({AccountsCol::kId, AccountsCol::kBalance}));
+  return queries;
+}
+
+TEST_P(ValidityPropertyTest, ReexecutionInsideIntervalIsIdentical) {
+  ManualClock clock;
+  Database::Options options;
+  options.predicate_before_visibility = GetParam().predicate_first;
+  Database db(&clock, options);
+  CreateAccountsTable(&db);
+  Rng rng(GetParam().seed);
+
+  constexpr int64_t kIds = 14;
+  std::vector<PinnedSnapshot> pins;
+  std::map<int64_t, bool> exists;
+
+  // Random history: insert/update/delete with interleaved pins.
+  pins.push_back(db.Pin());  // the empty database is a snapshot too
+  for (int step = 0; step < 60; ++step) {
+    clock.Advance(Millis(10));
+    const int64_t id = rng.Uniform(0, kIds - 1);
+    const int choice = static_cast<int>(rng.Uniform(0, 2));
+    TxnId txn = db.BeginReadWrite();
+    if (!exists[id]) {
+      EXPECT_TRUE(db.Insert(txn, kAccounts,
+                            Account(id, "o" + std::to_string(id % 3), rng.Uniform(0, 100),
+                                    rng.Uniform(0, 2)))
+                      .ok());
+      exists[id] = true;
+    } else if (choice == 0) {
+      auto n = db.Delete(txn, kAccounts, AccountById(id).from, nullptr);
+      EXPECT_TRUE(n.ok());
+      exists[id] = false;
+    } else {
+      auto n = db.Update(txn, kAccounts, AccountById(id).from, nullptr,
+                         {{AccountsCol::kBalance, Value(rng.Uniform(0, 100))},
+                          {AccountsCol::kBranch, Value(rng.Uniform(0, 2))}});
+      EXPECT_TRUE(n.ok());
+    }
+    ASSERT_TRUE(db.Commit(txn).ok());
+    pins.push_back(db.Pin());
+  }
+
+  // Occasionally vacuum mid-verification; pinned snapshots must keep everything reachable.
+  db.Vacuum();
+
+  const std::vector<Query> queries = MakeQueries();
+  for (const Query& query : queries) {
+    for (size_t i = 0; i < pins.size(); i += 3) {  // sample snapshots
+      auto txn = db.BeginReadOnly(pins[i].ts);
+      ASSERT_TRUE(txn.ok());
+      auto result = db.Execute(txn.value(), query);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      db.Commit(txn.value());
+      const QueryResult& ref = result.value();
+      ASSERT_TRUE(ref.validity.Contains(pins[i].ts))
+          << "interval " << ref.validity.ToString() << " must contain snapshot " << pins[i].ts;
+
+      for (const PinnedSnapshot& other : pins) {
+        if (!ref.validity.Contains(other.ts)) {
+          continue;
+        }
+        auto txn2 = db.BeginReadOnly(other.ts);
+        ASSERT_TRUE(txn2.ok());
+        auto again = db.Execute(txn2.value(), query);
+        ASSERT_TRUE(again.ok());
+        db.Commit(txn2.value());
+        ASSERT_EQ(again.value().rows, ref.rows)
+            << "query result differs at ts " << other.ts << " inside claimed interval "
+            << ref.validity.ToString() << " (computed at " << pins[i].ts << ")";
+      }
+    }
+  }
+  for (const PinnedSnapshot& pin : pins) {
+    db.Unpin(pin.ts);
+  }
+}
+
+TEST_P(ValidityPropertyTest, InvalidationCompletenessUnderRandomHistory) {
+  // Completeness: whenever consecutive snapshots disagree on a query's result, the update
+  // transaction between them must have published a tag matching the query's tag set.
+  ManualClock clock;
+  Database::Options options;
+  options.predicate_before_visibility = GetParam().predicate_first;
+  Database db(&clock, options);
+  RecordingSubscriber sub;
+  InvalidationBus bus;
+  bus.Subscribe(&sub);
+  db.set_invalidation_bus(&bus);
+  CreateAccountsTable(&db);
+  Rng rng(GetParam().seed ^ 0x5eed);
+
+  constexpr int64_t kIds = 8;
+  std::map<int64_t, bool> exists;
+  std::vector<PinnedSnapshot> pins;
+  pins.push_back(db.Pin());
+  for (int step = 0; step < 40; ++step) {
+    const int64_t id = rng.Uniform(0, kIds - 1);
+    TxnId txn = db.BeginReadWrite();
+    if (!exists[id]) {
+      EXPECT_TRUE(
+          db.Insert(txn, kAccounts,
+                    Account(id, "o" + std::to_string(id % 2), rng.Uniform(0, 9), id % 2))
+              .ok());
+      exists[id] = true;
+    } else if (rng.Bernoulli(0.4)) {
+      EXPECT_TRUE(db.Delete(txn, kAccounts, AccountById(id).from, nullptr).ok());
+      exists[id] = false;
+    } else {
+      EXPECT_TRUE(db.Update(txn, kAccounts, AccountById(id).from, nullptr,
+                            {{AccountsCol::kBalance, Value(rng.Uniform(0, 9))}})
+                      .ok());
+    }
+    ASSERT_TRUE(db.Commit(txn).ok());
+    pins.push_back(db.Pin());
+  }
+
+  // Map commit ts -> published tags.
+  std::map<Timestamp, std::vector<InvalidationTag>> published;
+  for (const InvalidationMessage& msg : sub.messages) {
+    published[msg.ts] = msg.tags;
+  }
+
+  auto matches = [](const std::vector<InvalidationTag>& update_tags,
+                    const std::vector<InvalidationTag>& query_tags) {
+    for (const InvalidationTag& u : update_tags) {
+      for (const InvalidationTag& q : query_tags) {
+        if (u == q) {
+          return true;
+        }
+        if (u.table == q.table && (u.wildcard || q.wildcard)) {
+          return true;  // wildcard on either side covers the whole table
+        }
+      }
+    }
+    return false;
+  };
+
+  for (const Query& query : MakeQueries()) {
+    for (size_t i = 0; i + 1 < pins.size(); ++i) {
+      auto t1 = db.BeginReadOnly(pins[i].ts);
+      auto t2 = db.BeginReadOnly(pins[i + 1].ts);
+      ASSERT_TRUE(t1.ok() && t2.ok());
+      auto r1 = db.Execute(t1.value(), query);
+      auto r2 = db.Execute(t2.value(), query);
+      ASSERT_TRUE(r1.ok() && r2.ok());
+      db.Commit(t1.value());
+      db.Commit(t2.value());
+      if (r1.value().rows == r2.value().rows) {
+        continue;
+      }
+      // The result changed between these adjacent snapshots; the responsible commit is the one
+      // with timestamp pins[i+1].ts.
+      auto it = published.find(pins[i + 1].ts);
+      ASSERT_NE(it, published.end())
+          << "result changed at ts " << pins[i + 1].ts << " with no invalidation message";
+      EXPECT_TRUE(matches(it->second, r1.value().tags))
+          << "tags of the update at ts " << pins[i + 1].ts
+          << " do not cover the query's dependencies";
+    }
+  }
+  for (const PinnedSnapshot& pin : pins) {
+    db.Unpin(pin.ts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ValidityPropertyTest,
+    ::testing::Values(PropertyParam{101, true}, PropertyParam{202, true},
+                      PropertyParam{303, true}, PropertyParam{404, true},
+                      PropertyParam{505, false}, PropertyParam{606, false},
+                      PropertyParam{707, true}, PropertyParam{808, false}),
+    [](const ::testing::TestParamInfo<PropertyParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) +
+             (param_info.param.predicate_first ? "_predfirst" : "_stock");
+    });
+
+}  // namespace
+}  // namespace txcache

@@ -1,0 +1,172 @@
+// Value semantics (typed comparison, NULL ordering, byte accounting) and additional query
+// shapes not covered elsewhere.
+#include <gtest/gtest.h>
+
+#include "src/db/database.h"
+#include "tests/test_support.h"
+
+namespace txcache {
+namespace {
+
+using namespace txcache::testing;
+
+TEST(Value, TypeTags) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_EQ(Value(int64_t{1}).type(), ValueType::kInt);
+  EXPECT_EQ(Value(1.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("s").type(), ValueType::kString);
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_FALSE(Value(int64_t{0}).is_null());
+}
+
+TEST(Value, SameTypeComparison) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_EQ(Value(int64_t{5}), Value(int64_t{5}));
+  EXPECT_LT(Value(1.0), Value(1.5));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_LT(Value(false), Value(true));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(Value, CrossTypeComparisonOrdersByTypeTag) {
+  // NULL < int < double < string < bool (variant index order): a total order for indexes, not
+  // SQL coercion semantics (the executor never compares across types in well-typed schemas).
+  EXPECT_LT(Value::Null(), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{999}), Value(0.0));
+  EXPECT_LT(Value(999.0), Value(""));
+  EXPECT_LT(Value("zzz"), Value(false));
+}
+
+TEST(Value, AccessorsReturnStoredValues) {
+  EXPECT_EQ(Value(int64_t{-7}).AsInt(), -7);
+  EXPECT_EQ(Value(2.25).AsDouble(), 2.25);
+  EXPECT_EQ(Value("x").AsString(), "x");
+  EXPECT_EQ(Value(true).AsBool(), true);
+}
+
+TEST(Value, ByteSizeTracksContent) {
+  EXPECT_LT(Value::Null().ByteSize(), Value(int64_t{1}).ByteSize());
+  EXPECT_LT(Value("ab").ByteSize(), Value("abcdefgh").ByteSize());
+}
+
+TEST(Value, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(false).ToString(), "false");
+}
+
+TEST(Value, RowHelpers) {
+  Row row{Value(int64_t{1}), Value("x")};
+  EXPECT_EQ(RowToString(row), "(1, 'x')");
+  EXPECT_GT(RowByteSize(row), 0u);
+}
+
+class QueryShapesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(&clock_);
+    CreateAccountsTable(db_.get());
+    for (int64_t i = 0; i < 12; ++i) {
+      InsertAccount(db_.get(), i, "o" + std::to_string(i % 4), i * 5, i % 3);
+    }
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(QueryShapesTest, GroupByWithOrderAndLimit) {
+  QueryResult r = ReadLatest(db_.get(), Query::From(AccessPath::SeqScan(kAccounts))
+                                            .Agg(AggKind::kCount)
+                                            .GroupBy(AccountsCol::kBranch)
+                                            .SortBy(1, /*descending=*/true)
+                                            .Limit(2));
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_GE(r.rows[0][1].AsInt(), r.rows[1][1].AsInt());
+}
+
+TEST_F(QueryShapesTest, AvgOverIndexSubset) {
+  QueryResult r = ReadLatest(
+      db_.get(), Query::From(AccessPath::IndexEq(kAccounts, kAccountsByOwner, Row{Value("o1")}))
+                     .Agg(AggKind::kAvg, AccountsCol::kBalance));
+  ASSERT_EQ(r.rows.size(), 1u);
+  // o1 owns ids 1, 5, 9 => balances 5, 25, 45 => avg 25.
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 25.0);
+}
+
+TEST_F(QueryShapesTest, UpdateViaSecondaryIndexPath) {
+  TxnId txn = db_->BeginReadWrite();
+  auto n = db_->Update(txn, kAccounts,
+                       AccessPath::IndexEq(kAccounts, kAccountsByOwner, Row{Value("o2")}),
+                       PCmp(AccountsCol::kBalance, CmpOp::kGe, Value(int64_t{30})),
+                       {{AccountsCol::kBalance, Value(int64_t{0})}});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 2u);  // ids 6 (30) and 10 (50)
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  QueryResult r = ReadLatest(db_.get(), Query::From(AccessPath::SeqScan(kAccounts))
+                                            .Where(PEq(AccountsCol::kBalance, Value(int64_t{0})))
+                                            .Project({AccountsCol::kId})
+                                            .SortBy(0));
+  EXPECT_EQ(IntColumn(r), (std::vector<int64_t>{0, 6, 10}));
+}
+
+TEST_F(QueryShapesTest, DeleteViaSeqScanWithPredicate) {
+  TxnId txn = db_->BeginReadWrite();
+  auto n = db_->Delete(txn, kAccounts, AccessPath::SeqScan(kAccounts),
+                       PCmp(AccountsCol::kBalance, CmpOp::kGt, Value(int64_t{40})));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 3u);  // balances 45, 50, 55
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  QueryResult count =
+      ReadLatest(db_.get(), Query::From(AccessPath::SeqScan(kAccounts)).Agg(AggKind::kCount));
+  EXPECT_EQ(count.rows[0][0].AsInt(), 9);
+}
+
+TEST_F(QueryShapesTest, IndexRangeOverCompositeIndex) {
+  ASSERT_TRUE(db_->CreateIndex(IndexSchema{"by_branch_id", kAccounts,
+                                           {AccountsCol::kBranch, AccountsCol::kId}, false})
+                  .ok());
+  QueryResult r = ReadLatest(
+      db_.get(), Query::From(AccessPath::IndexRange(
+                                 kAccounts, "by_branch_id",
+                                 Row{Value(int64_t{1}), Value(int64_t{0})},
+                                 Row{Value(int64_t{1}), Value(int64_t{99})}))
+                     .Project({AccountsCol::kId}));
+  EXPECT_EQ(IntColumn(r), (std::vector<int64_t>{1, 4, 7, 10}));
+}
+
+TEST_F(QueryShapesTest, LateIndexCreationBackfillsExistingRows) {
+  ASSERT_TRUE(db_->CreateIndex(
+                     IndexSchema{"by_balance", kAccounts, {AccountsCol::kBalance}, false})
+                  .ok());
+  QueryResult r = ReadLatest(
+      db_.get(),
+      Query::From(AccessPath::IndexEq(kAccounts, "by_balance", Row{Value(int64_t{25})})));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][AccountsCol::kId].AsInt(), 5);
+}
+
+TEST_F(QueryShapesTest, ProjectionWithDuplicatesAndReorder) {
+  QueryResult r = ReadLatest(db_.get(),
+                             Query::From(AccessPath::IndexEq(kAccounts, kAccountsPk,
+                                                             Row{Value(int64_t{3})}))
+                                 .Project({AccountsCol::kBalance, AccountsCol::kId,
+                                           AccountsCol::kBalance}));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0], (Row{Value(int64_t{15}), Value(int64_t{3}), Value(int64_t{15})}));
+}
+
+TEST_F(QueryShapesTest, QueryStatsPopulated) {
+  QueryResult scan = ReadLatest(db_.get(), Query::From(AccessPath::SeqScan(kAccounts)));
+  EXPECT_EQ(scan.stats.seq_scanned, 12u);
+  EXPECT_EQ(scan.stats.rows_returned, 12u);
+  QueryResult probe = ReadLatest(db_.get(), AccountById(1));
+  EXPECT_EQ(probe.stats.index_probes, 1u);
+  EXPECT_GE(probe.stats.tuples_examined, 1u);
+}
+
+}  // namespace
+}  // namespace txcache

@@ -1,0 +1,103 @@
+// Unit tests for the pin set (§6.2): bounds, narrowing, the * element, Invariant 2 protection.
+#include "src/core/pin_set.h"
+
+#include <gtest/gtest.h>
+
+namespace txcache {
+namespace {
+
+PinInfo P(Timestamp ts) { return PinInfo{ts, static_cast<WallClock>(ts) * 1000}; }
+
+TEST(PinSet, EmptyWithoutStarIsEmpty) {
+  PinSet set;
+  set.Reset({}, false);
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.has_pins());
+}
+
+TEST(PinSet, StarAloneIsNotEmpty) {
+  PinSet set;
+  set.Reset({}, true);
+  EXPECT_FALSE(set.empty());
+  EXPECT_TRUE(set.has_star());
+  EXPECT_EQ(set.BoundsHi(), kTimestampInfinity);
+}
+
+TEST(PinSet, ResetSortsPins) {
+  PinSet set;
+  set.Reset({P(30), P(10), P(20)}, false);
+  EXPECT_EQ(set.oldest().ts, 10u);
+  EXPECT_EQ(set.newest().ts, 30u);
+  EXPECT_EQ(set.BoundsLo(), 10u);
+  EXPECT_EQ(set.BoundsHi(), 30u);
+}
+
+TEST(PinSet, StarMakesUpperBoundUnbounded) {
+  PinSet set;
+  set.Reset({P(10), P(20)}, true);
+  EXPECT_EQ(set.BoundsLo(), 10u);
+  EXPECT_EQ(set.BoundsHi(), kTimestampInfinity);
+  set.DropStar();
+  EXPECT_EQ(set.BoundsHi(), 20u);
+}
+
+TEST(PinSet, AddPinKeepsOrderAndDeduplicates) {
+  PinSet set;
+  set.Reset({P(10), P(30)}, true);
+  set.AddPin(P(20));
+  set.AddPin(P(20));
+  EXPECT_EQ(set.pin_count(), 3u);
+  EXPECT_EQ(set.pins()[1].ts, 20u);
+}
+
+TEST(PinSet, NarrowToKeepsContainedPins) {
+  PinSet set;
+  set.Reset({P(10), P(20), P(30), P(40)}, true);
+  EXPECT_TRUE(set.NarrowTo(Interval{15, 35}));
+  EXPECT_EQ(set.pin_count(), 2u);
+  EXPECT_EQ(set.oldest().ts, 20u);
+  EXPECT_EQ(set.newest().ts, 30u);
+  EXPECT_FALSE(set.has_star()) << "observing cached data drops *";
+}
+
+TEST(PinSet, NarrowToRefusesEmptyResult) {
+  // Invariant 2 protection: a narrowing that would empty the set is rejected and the set is
+  // left unchanged (the caller treats the offending value as a cache miss).
+  PinSet set;
+  set.Reset({P(10), P(20)}, true);
+  EXPECT_FALSE(set.NarrowTo(Interval{50, 60}));
+  EXPECT_EQ(set.pin_count(), 2u);
+  EXPECT_TRUE(set.has_star()) << "failed narrowing must not consume *";
+}
+
+TEST(PinSet, NarrowToUnboundedInterval) {
+  PinSet set;
+  set.Reset({P(10), P(20)}, true);
+  EXPECT_TRUE(set.NarrowTo(Interval{15, kTimestampInfinity}));
+  EXPECT_EQ(set.pin_count(), 1u);
+  EXPECT_EQ(set.newest().ts, 20u);
+}
+
+TEST(PinSet, SequentialNarrowingsIntersect) {
+  PinSet set;
+  set.Reset({P(10), P(20), P(30)}, true);
+  EXPECT_TRUE(set.NarrowTo(Interval{10, 31}));
+  EXPECT_TRUE(set.NarrowTo(Interval{15, 31}));
+  EXPECT_TRUE(set.NarrowTo(Interval{15, 25}));
+  EXPECT_EQ(set.pin_count(), 1u);
+  EXPECT_EQ(set.newest().ts, 20u);
+  // Any further narrowing excluding ts 20 must fail, never empty the set.
+  EXPECT_FALSE(set.NarrowTo(Interval{21, 100}));
+  EXPECT_EQ(set.pin_count(), 1u);
+}
+
+TEST(PinSet, ContainsChecksExactTimestamps) {
+  PinSet set;
+  set.Reset({P(10), P(30)}, false);
+  EXPECT_TRUE(set.Contains(10));
+  EXPECT_FALSE(set.Contains(20));
+  EXPECT_TRUE(set.Contains(30));
+}
+
+}  // namespace
+}  // namespace txcache

@@ -1,0 +1,134 @@
+// Replicated pincushion (§5.4 extension): primary-backup state machine, failover, resync.
+#include "src/pincushion/replicated_pincushion.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_support.h"
+
+namespace txcache {
+namespace {
+
+using namespace txcache::testing;
+
+class ReplicatedPincushionTest : public ::testing::Test {
+ protected:
+  ReplicatedPincushionTest() : db_(&clock_), group_(&db_, &clock_, 3) {
+    CreateAccountsTable(&db_);
+    InsertAccount(&db_, 1, "a", 1);
+  }
+
+  PinInfo PinAndRegister() {
+    PinnedSnapshot snap = db_.Pin();
+    PinInfo pin{snap.ts, snap.wallclock};
+    group_.Register(pin);
+    return pin;
+  }
+
+  ManualClock clock_;
+  Database db_;
+  ReplicatedPincushion group_;
+};
+
+TEST_F(ReplicatedPincushionTest, StartsWithThreeLiveReplicas) {
+  EXPECT_EQ(group_.replica_count(), 3u);
+  EXPECT_EQ(group_.live_count(), 3u);
+  EXPECT_EQ(group_.primary_index(), 0u);
+}
+
+TEST_F(ReplicatedPincushionTest, WritesVisibleOnEveryReplica) {
+  PinAndRegister();
+  group_.Release(group_.AcquireFreshPins(Seconds(30)));
+  for (size_t i = 0; i < 3; ++i) {
+    auto pins = group_.AcquireFreshPinsFrom(i, Seconds(30));
+    EXPECT_EQ(pins.size(), 1u) << "replica " << i;
+    group_.Release(pins);
+  }
+}
+
+TEST_F(ReplicatedPincushionTest, FailoverPromotesNextReplica) {
+  PinAndRegister();
+  ASSERT_TRUE(group_.FailReplica(0));
+  EXPECT_EQ(group_.primary_index(), 1u);
+  EXPECT_EQ(group_.live_count(), 2u);
+  // The group keeps serving with identical state.
+  auto pins = group_.AcquireFreshPins(Seconds(30));
+  EXPECT_EQ(pins.size(), 1u);
+  group_.Release(pins);
+  EXPECT_EQ(group_.pinned_count(), 1u);
+}
+
+TEST_F(ReplicatedPincushionTest, RefusesToKillLastReplica) {
+  ASSERT_TRUE(group_.FailReplica(0));
+  ASSERT_TRUE(group_.FailReplica(1));
+  EXPECT_FALSE(group_.FailReplica(2)) << "the last live replica must survive";
+  EXPECT_EQ(group_.live_count(), 1u);
+}
+
+TEST_F(ReplicatedPincushionTest, FailedReplicaServesNothing) {
+  PinAndRegister();
+  ASSERT_TRUE(group_.FailReplica(1));
+  EXPECT_TRUE(group_.AcquireFreshPinsFrom(1, Seconds(30)).empty());
+  EXPECT_FALSE(group_.FailReplica(1)) << "double-fail rejected";
+}
+
+TEST_F(ReplicatedPincushionTest, RecoveryResyncsMissedWrites) {
+  ASSERT_TRUE(group_.FailReplica(2));
+  PinInfo pin = PinAndRegister();  // replica 2 misses this write
+  ASSERT_TRUE(group_.RecoverReplica(2));
+  auto pins = group_.AcquireFreshPinsFrom(2, Seconds(30));
+  ASSERT_EQ(pins.size(), 1u);
+  EXPECT_EQ(pins[0].ts, pin.ts) << "recovered replica caught up via state transfer";
+  group_.Release(pins);
+  EXPECT_FALSE(group_.RecoverReplica(2)) << "double-recover rejected";
+}
+
+TEST_F(ReplicatedPincushionTest, PrimaryFailsBackoverAfterRecovery) {
+  ASSERT_TRUE(group_.FailReplica(0));
+  EXPECT_EQ(group_.primary_index(), 1u);
+  ASSERT_TRUE(group_.RecoverReplica(0));
+  EXPECT_EQ(group_.primary_index(), 0u) << "lowest live index is primary again";
+}
+
+TEST_F(ReplicatedPincushionTest, SweepRunsOnPrimaryAndSyncsBackups) {
+  PinInfo pin = PinAndRegister();
+  group_.Release({pin});  // Register marked it in use once
+  clock_.Advance(Seconds(300));
+  EXPECT_EQ(group_.Sweep(), 1u);
+  EXPECT_EQ(db_.pinned_snapshot_count(), 0u) << "exactly one UNPIN reached the database";
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(group_.AcquireFreshPinsFrom(i, Seconds(600)).empty())
+        << "replica " << i << " kept a swept pin";
+  }
+}
+
+TEST_F(ReplicatedPincushionTest, SweepAfterFailoverDoesNotDoubleUnpin) {
+  PinInfo pin = PinAndRegister();
+  group_.Release({pin});
+  ASSERT_TRUE(group_.FailReplica(0));
+  clock_.Advance(Seconds(300));
+  EXPECT_EQ(group_.Sweep(), 1u);
+  EXPECT_EQ(db_.pinned_snapshot_count(), 0u);
+  // Recovering the old primary must not resurrect the swept pin.
+  ASSERT_TRUE(group_.RecoverReplica(0));
+  EXPECT_EQ(group_.pinned_count(), 0u);
+  EXPECT_EQ(group_.Sweep(), 0u) << "nothing left to unpin";
+}
+
+TEST_F(ReplicatedPincushionTest, SurvivesRollingFailures) {
+  for (int round = 0; round < 6; ++round) {
+    PinInfo pin = PinAndRegister();
+    size_t victim = static_cast<size_t>(round) % 3;
+    if (group_.live_count() > 1) {
+      group_.FailReplica(victim);
+    }
+    auto pins = group_.AcquireFreshPins(Seconds(60));
+    EXPECT_FALSE(pins.empty()) << "round " << round;
+    group_.Release(pins);
+    group_.Release({pin});
+    group_.RecoverReplica(victim);
+    EXPECT_EQ(group_.live_count(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace txcache

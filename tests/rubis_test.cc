@@ -1,0 +1,306 @@
+// RUBiS application tests: loader, interactions, read/write operations, cross-page consistency.
+#include <gtest/gtest.h>
+
+#include "src/rubis/app.h"
+#include "src/rubis/data.h"
+#include "src/rubis/schema.h"
+#include "src/rubis/session.h"
+#include "tests/test_support.h"
+
+namespace txcache::rubis {
+namespace {
+
+class RubisTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(&clock_);
+    bus_ = std::make_unique<InvalidationBus>();
+    db_->set_invalidation_bus(bus_.get());
+    cache_ = std::make_unique<CacheServer>("n", &clock_);
+    bus_->Subscribe(cache_.get());
+    cluster_ = std::make_unique<CacheCluster>();
+    cluster_->AddNode(cache_.get());
+    pincushion_ = std::make_unique<Pincushion>(db_.get(), &clock_);
+
+    RubisScale scale;
+    scale.users = 50;
+    scale.active_items = 60;
+    scale.old_items = 20;
+    scale.max_bids_per_item = 3;
+    scale.description_bytes = 32;
+    auto ds = LoadRubis(db_.get(), scale, &clock_, /*seed=*/42);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = std::move(ds.value());
+
+    client_ = std::make_unique<TxCacheClient>(db_.get(), pincushion_.get(), cluster_.get(),
+                                              &clock_);
+    app_ = std::make_unique<RubisApp>(client_.get(), dataset_.get(), &clock_);
+  }
+
+  int64_t CountRows(const char* table) {
+    auto txn = db_->BeginReadOnly();
+    EXPECT_TRUE(txn.ok());
+    auto r = db_->Execute(txn.value(),
+                          Query::From(AccessPath::SeqScan(table)).Agg(AggKind::kCount));
+    EXPECT_TRUE(r.ok());
+    db_->Commit(txn.value());
+    return r.value().rows[0][0].AsInt();
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<InvalidationBus> bus_;
+  std::unique_ptr<CacheServer> cache_;
+  std::unique_ptr<CacheCluster> cluster_;
+  std::unique_ptr<Pincushion> pincushion_;
+  std::unique_ptr<RubisDataset> dataset_;
+  std::unique_ptr<TxCacheClient> client_;
+  std::unique_ptr<RubisApp> app_;
+};
+
+TEST_F(RubisTest, LoaderPopulatesAllTables) {
+  EXPECT_EQ(CountRows(kUsers), 50);
+  EXPECT_EQ(CountRows(kItems), 60);
+  EXPECT_EQ(CountRows(kOldItems), 20);
+  EXPECT_EQ(CountRows(kCategories), 20);
+  EXPECT_EQ(CountRows(kRegions), 62);
+  EXPECT_EQ(CountRows(kItemRegCat), 60) << "one row per active item";
+  EXPECT_GT(CountRows(kBids), 0);
+  EXPECT_GT(CountRows(kComments), 0);
+}
+
+TEST_F(RubisTest, GetItemFindsActiveAndOldItems) {
+  ASSERT_TRUE(client_->BeginRO().ok());
+  ItemInfo active = app_->get_item(0);
+  EXPECT_TRUE(active.found);
+  EXPECT_FALSE(active.closed);
+  ItemInfo old_item = app_->get_item(60);  // old item ids start after active
+  EXPECT_TRUE(old_item.found);
+  EXPECT_TRUE(old_item.closed);
+  ItemInfo missing = app_->get_item(999'999);
+  EXPECT_FALSE(missing.found);
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+TEST_F(RubisTest, AuthUserResolvesNickname) {
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_EQ(app_->auth_user("user_7"), 7);
+  EXPECT_EQ(app_->auth_user("no_such_user"), -1);
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+TEST_F(RubisTest, PagesRenderNonEmpty) {
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_NE(app_->view_item_page(1).html.find("item-1"), std::string::npos);
+  EXPECT_NE(app_->view_user_page(3).html.find("user_3"), std::string::npos);
+  EXPECT_FALSE(app_->browse_categories_page().html.empty());
+  EXPECT_FALSE(app_->browse_regions_page().html.empty());
+  EXPECT_FALSE(app_->bid_history_page(1).html.empty());
+  EXPECT_FALSE(app_->about_me_page(5).html.empty());
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+TEST_F(RubisTest, CategoryListingPaginates) {
+  ASSERT_TRUE(client_->BeginRO().ok());
+  // With 60 items over 20 categories, page 0 should have a few items; pages must not overlap.
+  std::vector<int64_t> page0, page1;
+  for (int64_t cat = 0; cat < 20; ++cat) {
+    auto p0 = app_->category_items(cat, 0);
+    if (!p0.empty()) {
+      page0 = p0;
+      page1 = app_->category_items(cat, 1);
+      break;
+    }
+  }
+  EXPECT_FALSE(page0.empty());
+  for (int64_t id : page1) {
+    EXPECT_EQ(std::count(page0.begin(), page0.end(), id), 0) << "pages must not overlap";
+  }
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+TEST_F(RubisTest, StoreBidUpdatesItemAndInsertsBid) {
+  const int64_t bids_before = CountRows(kBids);
+  ASSERT_TRUE(client_->BeginRO().ok());
+  ItemInfo before = app_->get_item(1);
+  ASSERT_TRUE(client_->Commit().ok());
+
+  ASSERT_TRUE(client_->BeginRW().ok());
+  ASSERT_TRUE(app_->StoreBid(3, 1, before.max_bid + 50).ok());
+  ASSERT_TRUE(client_->Commit().ok());
+
+  EXPECT_EQ(CountRows(kBids), bids_before + 1);
+  clock_.Advance(Seconds(1));
+  ASSERT_TRUE(client_->BeginRO(/*staleness=*/0).ok());
+  ItemInfo after = app_->get_item(1);
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(after.nb_of_bids, before.nb_of_bids + 1);
+  EXPECT_EQ(after.max_bid, before.max_bid + 50);
+}
+
+TEST_F(RubisTest, StoreBidOnMissingItemFails) {
+  ASSERT_TRUE(client_->BeginRW().ok());
+  EXPECT_EQ(app_->StoreBid(3, 999'999, 10.0).code(), StatusCode::kNotFound);
+  client_->Abort();
+}
+
+TEST_F(RubisTest, BuyNowSellsOutAndClosesAuction) {
+  // Find the item's quantity, then buy it all: the auction must move to old_items.
+  ASSERT_TRUE(client_->BeginRO().ok());
+  ItemInfo item = app_->get_item(2);
+  ASSERT_TRUE(client_->Commit().ok());
+  ASSERT_GT(item.quantity, 0);
+
+  for (int64_t i = 0; i < item.quantity; ++i) {
+    ASSERT_TRUE(client_->BeginRW().ok());
+    ASSERT_TRUE(app_->StoreBuyNow(4, 2, 1).ok());
+    ASSERT_TRUE(client_->Commit().ok());
+  }
+  clock_.Advance(Seconds(1));
+  ASSERT_TRUE(client_->BeginRO(/*staleness=*/0).ok());
+  ItemInfo closed = app_->get_item(2);
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_TRUE(closed.found);
+  EXPECT_TRUE(closed.closed) << "sold-out auction moved to old_items";
+  EXPECT_EQ(closed.quantity, 0);
+}
+
+TEST_F(RubisTest, StoreCommentAdjustsRating) {
+  ASSERT_TRUE(client_->BeginRO().ok());
+  UserInfo before = app_->get_user(6);
+  ASSERT_TRUE(client_->Commit().ok());
+  ASSERT_TRUE(client_->BeginRW().ok());
+  ASSERT_TRUE(app_->StoreComment(7, 6, 1, 5, "excellent").ok());
+  ASSERT_TRUE(client_->Commit().ok());
+  clock_.Advance(Seconds(1));
+  ASSERT_TRUE(client_->BeginRO(/*staleness=*/0).ok());
+  UserInfo after = app_->get_user(6);
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(after.rating, before.rating + 2);  // rating 5 => +2
+}
+
+TEST_F(RubisTest, RegisterUserAndItemAllocateFreshIds) {
+  ASSERT_TRUE(client_->BeginRW().ok());
+  auto user = app_->RegisterUser(3);
+  ASSERT_TRUE(user.ok());
+  EXPECT_GE(user.value(), 50);
+  auto item = app_->RegisterItem(user.value(), 2, 3, "gizmo", "shiny", 9.5);
+  ASSERT_TRUE(item.ok());
+  EXPECT_GE(item.value(), 80);
+  ASSERT_TRUE(client_->Commit().ok());
+  clock_.Advance(Seconds(1));
+  ASSERT_TRUE(client_->BeginRO(/*staleness=*/0).ok());
+  EXPECT_TRUE(app_->get_item(item.value()).found);
+  EXPECT_TRUE(app_->get_user(user.value()).found);
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+TEST_F(RubisTest, CachedItemPageInvalidatedByBid) {
+  ASSERT_TRUE(client_->BeginRO().ok());
+  Page page1 = app_->view_item_page(5);
+  ASSERT_TRUE(client_->Commit().ok());
+
+  ASSERT_TRUE(client_->BeginRW().ok());
+  ASSERT_TRUE(app_->StoreBid(9, 5, 10'000.0).ok());
+  ASSERT_TRUE(client_->Commit().ok());
+  clock_.Advance(Seconds(1));
+
+  ASSERT_TRUE(client_->BeginRO(/*staleness=*/0).ok());
+  Page page2 = app_->view_item_page(5);
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_NE(page1.html, page2.html) << "bid must invalidate the cached page";
+  EXPECT_NE(page2.html.find("10000"), std::string::npos);
+}
+
+TEST_F(RubisTest, BrowsePageWildcardInvalidatedByNewCategory) {
+  // browse_categories_page is built from a sequential scan, so it carries a wildcard tag: ANY
+  // write to the categories table — even inserting a brand-new row no index lookup would have
+  // found — must invalidate it.
+  ASSERT_TRUE(client_->BeginRO().ok());
+  Page before = app_->browse_categories_page();
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(before.html.find("category-999"), std::string::npos);
+
+  TxnId txn = db_->BeginReadWrite();
+  ASSERT_TRUE(db_->Insert(txn, kCategories, Row{Value(int64_t{999}), Value("category-999")})
+                  .ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  clock_.Advance(Seconds(1));
+
+  ASSERT_TRUE(client_->BeginRO(/*staleness=*/0).ok());
+  Page after = app_->browse_categories_page();
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_NE(after.html.find("category-999"), std::string::npos)
+      << "wildcard invalidation must catch inserts of previously-unknown keys";
+}
+
+TEST_F(RubisTest, CacheNodeLossOnlyCostsMisses) {
+  // Removing a cache node remaps its keys; correctness is unaffected — subsequent reads
+  // recompute (compulsory misses on the surviving node) but stay consistent.
+  ASSERT_TRUE(client_->BeginRO().ok());
+  ItemInfo before = app_->get_item(3);
+  ASSERT_TRUE(client_->Commit().ok());
+  ASSERT_TRUE(cluster_->RemoveNode(cache_->name()));
+  // Install a fresh replacement node (a cold standby joining the ring).
+  CacheServer standby("standby", &clock_);
+  bus_->Subscribe(&standby);
+  ASSERT_TRUE(cluster_->AddNode(&standby));
+
+  ASSERT_TRUE(client_->BeginRO().ok());
+  ItemInfo after = app_->get_item(3);
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(after.name, before.name);
+  EXPECT_EQ(after.max_bid, before.max_bid);
+  EXPECT_GT(standby.stats().inserts, 0u) << "recomputed results landed on the new node";
+}
+
+TEST_F(RubisTest, InteractionNamesAndReadOnlyFlags) {
+  int rw = 0;
+  for (size_t i = 0; i < static_cast<size_t>(Interaction::kCount); ++i) {
+    auto interaction = static_cast<Interaction>(i);
+    EXPECT_STRNE(InteractionName(interaction), "");
+    if (!IsReadOnly(interaction)) {
+      ++rw;
+    }
+  }
+  EXPECT_EQ(rw, 5) << "five read/write interaction types";
+}
+
+TEST_F(RubisTest, SessionRunsEveryInteraction) {
+  RubisSession session(client_.get(), dataset_.get(), &clock_, /*seed=*/7);
+  for (size_t i = 0; i < static_cast<size_t>(Interaction::kCount); ++i) {
+    auto interaction = static_cast<Interaction>(i);
+    Status st = session.Run(interaction);
+    EXPECT_TRUE(st.ok() || st.code() == StatusCode::kNotFound ||
+                st.code() == StatusCode::kConflict)
+        << InteractionName(interaction) << ": " << st.ToString();
+    EXPECT_FALSE(client_->in_transaction()) << InteractionName(interaction);
+    clock_.Advance(Millis(200));
+  }
+  EXPECT_GT(session.stats().completed, 15u);
+}
+
+TEST_F(RubisTest, SessionMixIsRoughlyEightyFifteen) {
+  RubisSession session(client_.get(), dataset_.get(), &clock_, /*seed=*/11);
+  int ro = 0, rw = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    (IsReadOnly(session.Next()) ? ro : rw)++;
+  }
+  double rw_frac = static_cast<double>(rw) / (ro + rw);
+  EXPECT_NEAR(rw_frac, 0.15, 0.02) << "bidding mix is ~15% read/write";
+}
+
+TEST_F(RubisTest, SessionLoopMaintainsConsistency) {
+  RubisSession session(client_.get(), dataset_.get(), &clock_, /*seed=*/13);
+  for (int i = 0; i < 300; ++i) {
+    session.Run(session.Next());
+    clock_.Advance(Millis(137));
+  }
+  EXPECT_GT(session.stats().completed, 250u);
+  // Cache must have been exercised.
+  EXPECT_GT(client_->stats().cacheable_calls, 0u);
+  EXPECT_GT(client_->stats().cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace txcache::rubis

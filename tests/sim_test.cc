@@ -1,0 +1,219 @@
+// Discrete-event simulator tests: event queue ordering, resource queueing, end-to-end runs.
+#include <gtest/gtest.h>
+
+#include "src/sim/cluster_sim.h"
+#include "src/sim/event_queue.h"
+
+namespace txcache::sim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  while (q.RunNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(42, [&order, i] { order.push_back(i); });
+  }
+  while (q.RunNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) {
+      q.ScheduleAfter(10, chain);
+    }
+  };
+  q.Schedule(0, chain);
+  while (q.RunNext()) {
+  }
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(q.now(), 40);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(10, [&] { ++fired; });
+  q.Schedule(20, [&] { ++fired; });
+  q.Schedule(30, [&] { ++fired; });
+  q.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 20);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  EventQueue q;
+  q.Schedule(100, [] {});
+  q.RunNext();
+  bool ran = false;
+  q.Schedule(5, [&] { ran = true; });  // in the past: runs "now"
+  q.RunNext();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(q.now(), 100);
+}
+
+TEST(SimClock, TracksQueueTime) {
+  EventQueue q;
+  SimClock clock(&q);
+  EXPECT_EQ(clock.Now(), 0);
+  q.Schedule(123, [] {});
+  q.RunNext();
+  EXPECT_EQ(clock.Now(), 123);
+}
+
+TEST(SimResource, IdleResourceServesImmediately) {
+  SimResource r;
+  EXPECT_EQ(r.Serve(100, 10), 110);
+  EXPECT_EQ(r.busy_time(), 10);
+}
+
+TEST(SimResource, BusyResourceQueues) {
+  SimResource r;
+  EXPECT_EQ(r.Serve(100, 10), 110);
+  EXPECT_EQ(r.Serve(105, 10), 120) << "second request waits for the first";
+  EXPECT_EQ(r.Serve(200, 10), 210) << "idle gap resets";
+}
+
+TEST(SimResource, MultiServerDividesServiceTime) {
+  SimResource pool(4.0);
+  EXPECT_EQ(pool.Serve(0, 40), 10);
+}
+
+TEST(ClusterSim, SmallRunProducesSaneMetrics) {
+  SimConfig cfg;
+  cfg.scale = rubis::RubisScale::InMemory(0.005);
+  cfg.num_clients = 50;
+  cfg.warmup = Seconds(2);
+  cfg.measure = Seconds(4);
+  ClusterSim sim(cfg);
+  auto result = sim.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const SimResult& r = result.value();
+  EXPECT_GT(r.completed, 50u);
+  EXPECT_GT(r.throughput_rps, 10.0);
+  EXPECT_GT(r.avg_response_ms, 0.0);
+  EXPECT_GT(r.cache.lookups, 0u);
+  EXPECT_LE(r.db_cpu_utilization, 1.05);
+  EXPECT_GT(r.db_bytes, 0u);
+}
+
+TEST(ClusterSim, NoCacheModeNeverTouchesCache) {
+  SimConfig cfg;
+  cfg.scale = rubis::RubisScale::InMemory(0.005);
+  cfg.num_clients = 30;
+  cfg.warmup = Seconds(1);
+  cfg.measure = Seconds(3);
+  cfg.mode = ClientMode::kNoCache;
+  ClusterSim sim(cfg);
+  auto result = sim.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().cache.lookups, 0u);
+  EXPECT_EQ(result.value().cache_bytes_used, 0u);
+}
+
+TEST(ClusterSim, CachingReducesDatabaseLoad) {
+  SimConfig cfg;
+  cfg.scale = rubis::RubisScale::InMemory(0.005);
+  cfg.num_clients = 100;
+  cfg.warmup = Seconds(3);
+  cfg.measure = Seconds(5);
+
+  cfg.mode = ClientMode::kNoCache;
+  ClusterSim baseline(cfg);
+  auto base = baseline.Run();
+  ASSERT_TRUE(base.ok());
+
+  cfg.mode = ClientMode::kConsistent;
+  ClusterSim cached(cfg);
+  auto with_cache = cached.Run();
+  ASSERT_TRUE(with_cache.ok());
+
+  EXPECT_LT(with_cache.value().db_cpu_utilization, base.value().db_cpu_utilization)
+      << "cache hits must offload the database";
+  EXPECT_GT(with_cache.value().cache.hit_rate(), 0.3);
+}
+
+TEST(ClusterSim, DiskBoundConfigUsesDisk) {
+  SimConfig cfg;
+  cfg.scale = rubis::RubisScale::InMemory(0.005);
+  cfg.disk_bound = true;
+  cfg.num_clients = 30;
+  cfg.warmup = Seconds(1);
+  cfg.measure = Seconds(3);
+  cfg.mode = ClientMode::kNoCache;
+  ClusterSim sim(cfg);
+  auto result = sim.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().db_disk_utilization, 0.0);
+}
+
+TEST(ClusterSim, DeterministicForFixedSeed) {
+  SimConfig cfg;
+  cfg.scale = rubis::RubisScale::InMemory(0.005);
+  cfg.num_clients = 40;
+  cfg.warmup = Seconds(1);
+  cfg.measure = Seconds(3);
+  cfg.seed = 99;
+  ClusterSim a(cfg), b(cfg);
+  auto ra = a.Run();
+  auto rb = b.Run();
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra.value().completed, rb.value().completed);
+  EXPECT_EQ(ra.value().cache.hits, rb.value().cache.hits);
+}
+
+TEST(ClusterSim, OversaturationLeavesMeasurableBacklog) {
+  // With offered load far beyond capacity, queued work remains at window close; PeakThroughput
+  // uses this signal to reject transiently-inflated samples.
+  SimConfig cfg;
+  cfg.scale = rubis::RubisScale::InMemory(0.005);
+  cfg.disk_bound = true;  // tiny disk capacity saturates immediately
+  cfg.mode = ClientMode::kNoCache;
+  cfg.warmup = Seconds(2);
+  cfg.measure = Seconds(4);
+  cfg.num_clients = 40;
+  ClusterSim modest(cfg);
+  auto ok_run = modest.Run();
+  ASSERT_TRUE(ok_run.ok());
+  cfg.num_clients = 4000;
+  ClusterSim flooded(cfg);
+  auto flood_run = flooded.Run();
+  ASSERT_TRUE(flood_run.ok());
+  EXPECT_GT(flood_run.value().max_backlog_s, ok_run.value().max_backlog_s);
+  EXPECT_GT(flood_run.value().max_backlog_s, 2.0) << "unworked queue at window close";
+}
+
+TEST(ClusterSim, MoreClientsMoreThroughputUntilSaturation) {
+  SimConfig cfg;
+  cfg.scale = rubis::RubisScale::InMemory(0.005);
+  cfg.warmup = Seconds(2);
+  cfg.measure = Seconds(4);
+  cfg.mode = ClientMode::kNoCache;
+  cfg.num_clients = 25;
+  ClusterSim small(cfg);
+  auto r_small = small.Run();
+  cfg.num_clients = 100;
+  ClusterSim big(cfg);
+  auto r_big = big.Run();
+  ASSERT_TRUE(r_small.ok() && r_big.ok());
+  EXPECT_GT(r_big.value().throughput_rps, r_small.value().throughput_rps * 1.5);
+}
+
+}  // namespace
+}  // namespace txcache::sim

@@ -1,0 +1,260 @@
+// SQL front end: lexer, parser, planner access-path selection, end-to-end execution, and
+// integration with cacheable functions (SQL inside MAKE-CACHEABLE bodies).
+#include <gtest/gtest.h>
+
+#include "src/core/cacheable_function.h"
+#include "src/sql/lexer.h"
+#include "src/sql/session.h"
+#include "tests/test_support.h"
+
+namespace txcache::sql {
+namespace {
+
+using namespace txcache::testing;
+
+// --- lexer ---
+
+TEST(SqlLexer, TokenizesBasics) {
+  auto tokens = Lex("SELECT id, balance FROM accounts WHERE owner = 'a''b' LIMIT 5;");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = tokens.value();
+  EXPECT_EQ(t[0].text, "SELECT");
+  EXPECT_EQ(t[1].text, "ID");
+  EXPECT_EQ(t[2].text, ",");
+  EXPECT_EQ(t[8].text, "=");
+  EXPECT_EQ(t[9].kind, TokenKind::kString);
+  EXPECT_EQ(t[9].text, "a'b") << "'' unescapes to a single quote";
+  EXPECT_EQ(t.back().kind, TokenKind::kEnd);
+}
+
+TEST(SqlLexer, NumbersAndOperators) {
+  auto tokens = Lex("x >= -3.5 AND y <> 7");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[1].text, ">=");
+  EXPECT_EQ(tokens.value()[2].text, "-3.5");
+  EXPECT_EQ(tokens.value()[5].text, "!=") << "<> normalizes to !=";
+}
+
+TEST(SqlLexer, Errors) {
+  EXPECT_FALSE(Lex("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Lex("SELECT #").ok());
+}
+
+// --- parser ---
+
+TEST(SqlParser, SelectShapes) {
+  ASSERT_TRUE(Parse("SELECT * FROM accounts").ok());
+  ASSERT_TRUE(Parse("SELECT id FROM accounts WHERE id = 1 AND balance > 5").ok());
+  ASSERT_TRUE(Parse("SELECT COUNT(*) FROM accounts").ok());
+  ASSERT_TRUE(Parse("SELECT branch, SUM(balance) FROM accounts GROUP BY branch").ok());
+  ASSERT_TRUE(Parse("SELECT id FROM accounts ORDER BY balance DESC, id LIMIT 3 OFFSET 1").ok());
+  ASSERT_TRUE(Parse("SELECT id FROM accounts WHERE (owner = 'a' OR owner = 'b')").ok());
+  ASSERT_TRUE(Parse("SELECT id FROM accounts WHERE owner IS NOT NULL").ok());
+}
+
+TEST(SqlParser, WriteShapes) {
+  ASSERT_TRUE(Parse("INSERT INTO accounts VALUES (1, 'a', 10, 0)").ok());
+  ASSERT_TRUE(Parse("UPDATE accounts SET balance = 5, owner = 'x' WHERE id = 1").ok());
+  ASSERT_TRUE(Parse("DELETE FROM accounts WHERE id = 2").ok());
+}
+
+TEST(SqlParser, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("SELEKT * FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t WHERE x ==").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t LIMIT -1").ok());
+  EXPECT_FALSE(Parse("INSERT INTO t VALUES 1, 2").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t extra garbage").ok());
+}
+
+// --- planner + execution fixture ---
+
+class SqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(&clock_);
+    bus_ = std::make_unique<InvalidationBus>();
+    db_->set_invalidation_bus(bus_.get());
+    cache_ = std::make_unique<CacheServer>("node", &clock_);
+    bus_->Subscribe(cache_.get());
+    cluster_ = std::make_unique<CacheCluster>();
+    cluster_->AddNode(cache_.get());
+    pincushion_ = std::make_unique<Pincushion>(db_.get(), &clock_);
+    CreateAccountsTable(db_.get());
+    client_ = std::make_unique<TxCacheClient>(db_.get(), pincushion_.get(), cluster_.get(),
+                                              &clock_);
+    session_ = std::make_unique<SqlSession>(client_.get(), db_.get());
+    planner_ = std::make_unique<Planner>(db_.get());
+
+    ASSERT_TRUE(client_->BeginRW().ok());
+    for (int64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(session_
+                      ->Execute("INSERT INTO accounts VALUES (" + std::to_string(i) + ", 'o" +
+                                std::to_string(i % 3) + "', " + std::to_string(i * 10) + ", " +
+                                std::to_string(i % 2) + ")")
+                      .ok());
+    }
+    ASSERT_TRUE(client_->Commit().ok());
+  }
+
+  AccessPath::Kind PathFor(const std::string& sql_text) {
+    auto stmt = Parse(sql_text);
+    EXPECT_TRUE(stmt.ok());
+    auto plan = planner_->PlanSelect(std::get<SelectStmt>(stmt.value()));
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.value().query.from.kind;
+  }
+
+  SqlResult Run(const std::string& sql_text) {
+    auto r = session_->Execute(sql_text);
+    EXPECT_TRUE(r.ok()) << sql_text << ": " << r.status().ToString();
+    return r.ok() ? r.take() : SqlResult{};
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<InvalidationBus> bus_;
+  std::unique_ptr<CacheServer> cache_;
+  std::unique_ptr<CacheCluster> cluster_;
+  std::unique_ptr<Pincushion> pincushion_;
+  std::unique_ptr<TxCacheClient> client_;
+  std::unique_ptr<SqlSession> session_;
+  std::unique_ptr<Planner> planner_;
+};
+
+TEST_F(SqlTest, PlannerPicksIndexEqForUniqueKey) {
+  EXPECT_EQ(PathFor("SELECT * FROM accounts WHERE id = 3"), AccessPath::Kind::kIndexEq);
+  EXPECT_EQ(PathFor("SELECT * FROM accounts WHERE id = 3 AND balance > 5"),
+            AccessPath::Kind::kIndexEq);
+  EXPECT_EQ(PathFor("SELECT * FROM accounts WHERE owner = 'o1'"), AccessPath::Kind::kIndexEq);
+}
+
+TEST_F(SqlTest, PlannerPicksRangeForBoundedPk) {
+  EXPECT_EQ(PathFor("SELECT * FROM accounts WHERE id >= 2 AND id <= 5"),
+            AccessPath::Kind::kIndexRange);
+  EXPECT_EQ(PathFor("SELECT * FROM accounts WHERE id > 2"), AccessPath::Kind::kIndexRange);
+}
+
+TEST_F(SqlTest, PlannerFallsBackToSeqScan) {
+  EXPECT_EQ(PathFor("SELECT * FROM accounts"), AccessPath::Kind::kSeqScan);
+  EXPECT_EQ(PathFor("SELECT * FROM accounts WHERE balance = 50"), AccessPath::Kind::kSeqScan);
+  EXPECT_EQ(PathFor("SELECT * FROM accounts WHERE (owner = 'o1' OR owner = 'o2')"),
+            AccessPath::Kind::kSeqScan)
+      << "disjunctions cannot use the equality path";
+}
+
+TEST_F(SqlTest, SelectEndToEnd) {
+  ASSERT_TRUE(client_->BeginRO().ok());
+  SqlResult r = Run("SELECT id, balance FROM accounts WHERE owner = 'o1' ORDER BY id");
+  EXPECT_EQ(r.columns, (std::vector<std::string>{"id", "balance"}));
+  ASSERT_EQ(r.rows.size(), 3u);  // ids 1, 4, 7
+  EXPECT_EQ(r.rows[0], (Row{Value(int64_t{1}), Value(int64_t{10})}));
+  EXPECT_EQ(r.rows[2], (Row{Value(int64_t{7}), Value(int64_t{70})}));
+  EXPECT_TRUE(r.validity.Contains(db_->LatestCommitTs()));
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+TEST_F(SqlTest, SelectStarKeepsSchemaOrder) {
+  ASSERT_TRUE(client_->BeginRO().ok());
+  SqlResult r = Run("SELECT * FROM accounts WHERE id = 2");
+  EXPECT_EQ(r.columns, (std::vector<std::string>{"id", "owner", "balance", "branch"}));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].size(), 4u);
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+TEST_F(SqlTest, AggregatesAndGroupBy) {
+  ASSERT_TRUE(client_->BeginRO().ok());
+  SqlResult count = Run("SELECT COUNT(*) FROM accounts");
+  EXPECT_EQ(count.rows[0][0], Value(int64_t{10}));
+  SqlResult grouped = Run("SELECT branch, SUM(balance) FROM accounts GROUP BY branch");
+  ASSERT_EQ(grouped.rows.size(), 2u);
+  EXPECT_EQ(grouped.rows[0], (Row{Value(int64_t{0}), Value(int64_t{200})}));
+  EXPECT_EQ(grouped.rows[1], (Row{Value(int64_t{1}), Value(int64_t{250})}));
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+TEST_F(SqlTest, LimitOffsetAndOrder) {
+  ASSERT_TRUE(client_->BeginRO().ok());
+  SqlResult r = Run("SELECT id FROM accounts ORDER BY balance DESC LIMIT 2 OFFSET 1");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0], Value(int64_t{8}));
+  EXPECT_EQ(r.rows[1][0], Value(int64_t{7}));
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+TEST_F(SqlTest, UpdateAndDeleteThroughSql) {
+  ASSERT_TRUE(client_->BeginRW().ok());
+  SqlResult up = Run("UPDATE accounts SET balance = 999 WHERE id = 4");
+  EXPECT_EQ(up.affected, 1u);
+  SqlResult del = Run("DELETE FROM accounts WHERE owner = 'o2' AND balance < 30");
+  EXPECT_EQ(del.affected, 1u);  // id 2 (balance 20)
+  ASSERT_TRUE(client_->Commit().ok());
+
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_EQ(Run("SELECT balance FROM accounts WHERE id = 4").rows[0][0], Value(int64_t{999}));
+  EXPECT_TRUE(Run("SELECT * FROM accounts WHERE id = 2").rows.empty());
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+TEST_F(SqlTest, WritesRequireRwTransaction) {
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_FALSE(session_->Execute("INSERT INTO accounts VALUES (99,'x',0,0)").ok());
+  EXPECT_FALSE(session_->Execute("UPDATE accounts SET balance = 1 WHERE id = 1").ok());
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+TEST_F(SqlTest, SemanticErrors) {
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_FALSE(session_->Execute("SELECT * FROM nope").ok());
+  EXPECT_FALSE(session_->Execute("SELECT ghost FROM accounts").ok());
+  EXPECT_FALSE(session_->Execute("SELECT branch FROM accounts GROUP BY branch").ok())
+      << "GROUP BY without aggregate";
+  EXPECT_FALSE(session_->Execute("SELECT SUM(balance), COUNT(*) FROM accounts").ok())
+      << "one aggregate per query";
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+TEST_F(SqlTest, SqlInsideCacheableFunction) {
+  // SQL issued inside MAKE-CACHEABLE bodies participates fully: the cached page is invalidated
+  // when a SQL UPDATE touches its dependency.
+  int executions = 0;
+  auto owner_report = client_->MakeCacheable<std::string, std::string>(
+      "owner_report", [&](const std::string& owner) {
+        ++executions;
+        auto r = session_->Execute("SELECT SUM(balance) FROM accounts WHERE owner = '" + owner +
+                                   "'");
+        return r.ok() && !r.value().rows.empty() ? r.value().rows[0][0].ToString()
+                                                 : std::string("?");
+      });
+  ASSERT_TRUE(client_->BeginRO().ok());
+  std::string before = owner_report("o1");
+  ASSERT_TRUE(client_->Commit().ok());
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_EQ(owner_report("o1"), before);
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(executions, 1) << "second call was a cache hit";
+
+  ASSERT_TRUE(client_->BeginRW().ok());
+  ASSERT_TRUE(session_->Execute("UPDATE accounts SET balance = 0 WHERE id = 1").ok());
+  ASSERT_TRUE(client_->Commit().ok());
+  clock_.Advance(Seconds(1));
+
+  ASSERT_TRUE(client_->BeginRO(/*staleness=*/0).ok());
+  EXPECT_NE(owner_report("o1"), before) << "SQL update invalidated the cached report";
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(executions, 2);
+}
+
+TEST_F(SqlTest, ResultToStringRenders) {
+  ASSERT_TRUE(client_->BeginRO().ok());
+  SqlResult r = Run("SELECT id FROM accounts WHERE id = 1");
+  EXPECT_NE(r.ToString().find("id"), std::string::npos);
+  EXPECT_NE(r.ToString().find("(1 rows"), std::string::npos);
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+}  // namespace
+}  // namespace txcache::sql

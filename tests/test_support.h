@@ -1,0 +1,110 @@
+// Shared fixtures and helpers for the test suite.
+#ifndef TESTS_TEST_SUPPORT_H_
+#define TESTS_TEST_SUPPORT_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bus/bus.h"
+#include "src/db/database.h"
+#include "src/util/clock.h"
+
+namespace txcache::testing {
+
+// A tiny accounts(id, owner, balance, branch) table used across database tests.
+struct AccountsCol {
+  enum : ColumnId { kId, kOwner, kBalance, kBranch, kCount };
+};
+
+inline constexpr const char* kAccounts = "accounts";
+inline constexpr const char* kAccountsPk = "accounts_pk";
+inline constexpr const char* kAccountsByOwner = "accounts_by_owner";
+inline constexpr const char* kAccountsByBranch = "accounts_by_branch";
+
+inline void CreateAccountsTable(Database* db) {
+  ASSERT_TRUE(db->CreateTable(TableSchema{kAccounts,
+                                          {{"id", ValueType::kInt, false},
+                                           {"owner", ValueType::kString, false},
+                                           {"balance", ValueType::kInt, false},
+                                           {"branch", ValueType::kInt, false}}})
+                  .ok());
+  ASSERT_TRUE(db->CreateIndex(IndexSchema{kAccountsPk, kAccounts, {AccountsCol::kId}, true}).ok());
+  ASSERT_TRUE(
+      db->CreateIndex(IndexSchema{kAccountsByOwner, kAccounts, {AccountsCol::kOwner}, false})
+          .ok());
+  ASSERT_TRUE(
+      db->CreateIndex(IndexSchema{kAccountsByBranch, kAccounts, {AccountsCol::kBranch}, false})
+          .ok());
+}
+
+inline Row Account(int64_t id, const std::string& owner, int64_t balance, int64_t branch = 0) {
+  return Row{Value(id), Value(owner), Value(balance), Value(branch)};
+}
+
+// Commits a single-statement write transaction; returns its commit timestamp.
+inline Timestamp InsertAccount(Database* db, int64_t id, const std::string& owner,
+                               int64_t balance, int64_t branch = 0) {
+  TxnId txn = db->BeginReadWrite();
+  EXPECT_TRUE(db->Insert(txn, kAccounts, Account(id, owner, balance, branch)).ok());
+  auto info = db->Commit(txn);
+  EXPECT_TRUE(info.ok());
+  return info.value().ts;
+}
+
+inline Timestamp UpdateBalance(Database* db, int64_t id, int64_t balance) {
+  TxnId txn = db->BeginReadWrite();
+  auto n = db->Update(txn, kAccounts, AccessPath::IndexEq(kAccounts, kAccountsPk, Row{Value(id)}),
+                      nullptr, {{AccountsCol::kBalance, Value(balance)}});
+  EXPECT_TRUE(n.ok()) << n.status().ToString();
+  auto info = db->Commit(txn);
+  EXPECT_TRUE(info.ok());
+  return info.value().ts;
+}
+
+inline Timestamp DeleteAccount(Database* db, int64_t id) {
+  TxnId txn = db->BeginReadWrite();
+  auto n = db->Delete(txn, kAccounts, AccessPath::IndexEq(kAccounts, kAccountsPk, Row{Value(id)}),
+                      nullptr);
+  EXPECT_TRUE(n.ok());
+  auto info = db->Commit(txn);
+  EXPECT_TRUE(info.ok());
+  return info.value().ts;
+}
+
+// Runs a read-only query at the database's latest snapshot and returns the result.
+inline QueryResult ReadLatest(Database* db, const Query& query) {
+  auto txn = db->BeginReadOnly();
+  EXPECT_TRUE(txn.ok());
+  auto result = db->Execute(txn.value(), query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  db->Commit(txn.value());
+  return result.ok() ? result.take() : QueryResult{};
+}
+
+// Query for one account by primary key.
+inline Query AccountById(int64_t id) {
+  return Query::From(AccessPath::IndexEq(kAccounts, kAccountsPk, Row{Value(id)}));
+}
+
+// Collects one int column from result rows.
+inline std::vector<int64_t> IntColumn(const QueryResult& result, size_t col = 0) {
+  std::vector<int64_t> out;
+  for (const Row& r : result.rows) {
+    out.push_back(r[col].AsInt());
+  }
+  return out;
+}
+
+// An invalidation subscriber that records every delivered message.
+class RecordingSubscriber : public InvalidationSubscriber {
+ public:
+  void Deliver(const InvalidationMessage& msg) override { messages.push_back(msg); }
+  std::vector<InvalidationMessage> messages;
+};
+
+}  // namespace txcache::testing
+
+#endif  // TESTS_TEST_SUPPORT_H_

@@ -1,0 +1,266 @@
+#include "src/util/interval.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace txcache {
+namespace {
+
+TEST(Interval, DefaultIsAll) {
+  Interval iv;
+  EXPECT_EQ(iv.lower, kTimestampZero);
+  EXPECT_TRUE(iv.unbounded());
+  EXPECT_FALSE(iv.empty());
+}
+
+TEST(Interval, EmptyDetection) {
+  EXPECT_TRUE(Interval::Empty().empty());
+  EXPECT_TRUE((Interval{5, 5}).empty());
+  EXPECT_TRUE((Interval{7, 3}).empty());
+  EXPECT_FALSE((Interval{3, 4}).empty());
+}
+
+TEST(Interval, PointContainsExactlyOne) {
+  Interval p = Interval::Point(10);
+  EXPECT_FALSE(p.Contains(9));
+  EXPECT_TRUE(p.Contains(10));
+  EXPECT_FALSE(p.Contains(11));
+}
+
+TEST(Interval, ContainsHalfOpenSemantics) {
+  Interval iv{10, 20};
+  EXPECT_FALSE(iv.Contains(9));
+  EXPECT_TRUE(iv.Contains(10));
+  EXPECT_TRUE(iv.Contains(19));
+  EXPECT_FALSE(iv.Contains(20));
+}
+
+TEST(Interval, UnboundedContainsLargeTimestamps) {
+  Interval iv{10, kTimestampInfinity};
+  EXPECT_TRUE(iv.Contains(1'000'000'000ull));
+  EXPECT_TRUE(iv.unbounded());
+}
+
+TEST(Interval, IntersectOverlapping) {
+  Interval a{5, 15}, b{10, 20};
+  EXPECT_EQ(a.Intersect(b), (Interval{10, 15}));
+  EXPECT_EQ(b.Intersect(a), (Interval{10, 15}));
+}
+
+TEST(Interval, IntersectDisjointIsEmpty) {
+  Interval a{5, 10}, b{10, 20};  // touching: half-open => disjoint
+  EXPECT_TRUE(a.Intersect(b).empty());
+}
+
+TEST(Interval, IntersectNested) {
+  Interval a{0, 100}, b{40, 60};
+  EXPECT_EQ(a.Intersect(b), b);
+}
+
+TEST(Interval, IntersectWithUnbounded) {
+  Interval a{10, kTimestampInfinity}, b{5, 50};
+  EXPECT_EQ(a.Intersect(b), (Interval{10, 50}));
+}
+
+TEST(Interval, OverlapsIsSymmetricAndHalfOpen) {
+  Interval a{5, 10}, b{9, 12}, c{10, 12};
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  EXPECT_FALSE(a.Overlaps(c));
+  EXPECT_FALSE(c.Overlaps(a));
+}
+
+TEST(Interval, ToStringForms) {
+  EXPECT_EQ((Interval{3, 7}).ToString(), "[3, 7)");
+  EXPECT_EQ((Interval{3, kTimestampInfinity}).ToString(), "[3, inf)");
+  EXPECT_EQ(Interval::Empty().ToString(), "[empty)");
+}
+
+TEST(IntervalSet, StartsEmpty) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(IntervalSet, AddIgnoresEmpty) {
+  IntervalSet s;
+  s.Add(Interval::Empty());
+  s.Add(Interval{5, 5});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, AddDisjointKeepsBoth) {
+  IntervalSet s;
+  s.Add({10, 20});
+  s.Add({30, 40});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(15));
+  EXPECT_FALSE(s.Contains(25));
+  EXPECT_TRUE(s.Contains(35));
+}
+
+TEST(IntervalSet, AddMergesOverlapping) {
+  IntervalSet s;
+  s.Add({10, 20});
+  s.Add({15, 30});
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{10, 30}));
+}
+
+TEST(IntervalSet, AddMergesAdjacent) {
+  IntervalSet s;
+  s.Add({10, 20});
+  s.Add({20, 30});
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{10, 30}));
+}
+
+TEST(IntervalSet, AddBridgesMultiple) {
+  IntervalSet s;
+  s.Add({10, 20});
+  s.Add({30, 40});
+  s.Add({50, 60});
+  s.Add({15, 55});  // swallows everything
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{10, 60}));
+}
+
+TEST(IntervalSet, AddInsertionOrderIrrelevant) {
+  IntervalSet a, b;
+  a.Add({10, 20});
+  a.Add({5, 8});
+  a.Add({30, 35});
+  b.Add({30, 35});
+  b.Add({10, 20});
+  b.Add({5, 8});
+  EXPECT_EQ(a, b);
+}
+
+TEST(IntervalSet, OverlapsQueries) {
+  IntervalSet s;
+  s.Add({10, 20});
+  s.Add({30, 40});
+  EXPECT_TRUE(s.Overlaps({15, 16}));
+  EXPECT_TRUE(s.Overlaps({19, 31}));
+  EXPECT_FALSE(s.Overlaps({20, 30}));
+  EXPECT_FALSE(s.Overlaps({0, 10}));
+  EXPECT_FALSE(s.Overlaps(Interval::Empty()));
+}
+
+TEST(IntervalSet, MaximalGapAroundNoMask) {
+  IntervalSet s;
+  EXPECT_EQ(s.MaximalGapAround(50, {10, 100}), (Interval{10, 100}));
+}
+
+TEST(IntervalSet, MaximalGapAroundOutsideWithin) {
+  IntervalSet s;
+  EXPECT_TRUE(s.MaximalGapAround(5, {10, 100}).empty());
+}
+
+TEST(IntervalSet, MaximalGapAroundCoveredPoint) {
+  IntervalSet s;
+  s.Add({40, 60});
+  EXPECT_TRUE(s.MaximalGapAround(50, {10, 100}).empty());
+}
+
+TEST(IntervalSet, MaximalGapAroundBothSides) {
+  // Mask intervals on both sides of t: the gap is the open region between them (paper Fig. 4:
+  // result validity minus invalidity mask, component containing the query timestamp).
+  IntervalSet s;
+  s.Add({10, 20});
+  s.Add({60, 70});
+  EXPECT_EQ(s.MaximalGapAround(40, {0, 100}), (Interval{20, 60}));
+}
+
+TEST(IntervalSet, MaximalGapAroundClampsToWithin) {
+  IntervalSet s;
+  s.Add({10, 20});
+  EXPECT_EQ(s.MaximalGapAround(50, {30, 90}), (Interval{30, 90}));
+  s.Add({80, 85});
+  EXPECT_EQ(s.MaximalGapAround(50, {30, 90}), (Interval{30, 80}));
+}
+
+TEST(IntervalSet, MaximalGapAroundUnbounded) {
+  IntervalSet s;
+  s.Add({10, 20});
+  Interval gap = s.MaximalGapAround(25, Interval::All());
+  EXPECT_EQ(gap.lower, 20u);
+  EXPECT_TRUE(gap.unbounded());
+}
+
+TEST(IntervalSet, CoveredCount) {
+  IntervalSet s;
+  s.Add({10, 20});
+  s.Add({30, 35});
+  EXPECT_EQ(s.CoveredCount(), 15u);
+  s.Add({100, kTimestampInfinity});
+  EXPECT_EQ(s.CoveredCount(), kTimestampInfinity);
+}
+
+// --- randomized property tests: IntervalSet vs a brute-force bitmap over a small domain ---
+
+class IntervalSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalSetPropertyTest, MatchesBruteForceBitmap) {
+  constexpr Timestamp kDomain = 128;
+  std::mt19937_64 rng(GetParam());
+  IntervalSet s;
+  std::vector<bool> bitmap(kDomain, false);
+  for (int op = 0; op < 40; ++op) {
+    Timestamp lo = rng() % kDomain;
+    Timestamp hi = lo + rng() % (kDomain - lo + 1);
+    s.Add({lo, hi});
+    for (Timestamp t = lo; t < hi; ++t) {
+      bitmap[t] = true;
+    }
+    for (Timestamp t = 0; t < kDomain; ++t) {
+      ASSERT_EQ(s.Contains(t), bitmap[t]) << "t=" << t << " after adding [" << lo << "," << hi
+                                          << ") set=" << s.ToString();
+    }
+  }
+  // Disjointness + ordering structural invariants.
+  const auto& ivs = s.intervals();
+  for (size_t i = 0; i + 1 < ivs.size(); ++i) {
+    ASSERT_LT(ivs[i].upper, ivs[i + 1].lower) << s.ToString();
+  }
+}
+
+TEST_P(IntervalSetPropertyTest, MaximalGapMatchesBruteForce) {
+  constexpr Timestamp kDomain = 96;
+  std::mt19937_64 rng(GetParam() ^ 0xabcdef);
+  IntervalSet s;
+  std::vector<bool> bitmap(kDomain, false);
+  for (int op = 0; op < 12; ++op) {
+    Timestamp lo = rng() % kDomain;
+    Timestamp hi = lo + rng() % (kDomain - lo + 1);
+    s.Add({lo, hi});
+    for (Timestamp t = lo; t < hi; ++t) {
+      bitmap[t] = true;
+    }
+  }
+  Interval within{rng() % 20, kDomain - rng() % 20};
+  for (Timestamp t = 0; t < kDomain; ++t) {
+    Interval gap = s.MaximalGapAround(t, within);
+    if (!within.Contains(t) || bitmap[t]) {
+      EXPECT_TRUE(gap.empty()) << "t=" << t;
+      continue;
+    }
+    // Brute force: expand left/right from t through uncovered cells inside `within`.
+    Timestamp lo = t;
+    while (lo > within.lower && !bitmap[lo - 1]) {
+      --lo;
+    }
+    Timestamp hi = t + 1;
+    while (hi < within.upper && !bitmap[hi]) {
+      ++hi;
+    }
+    EXPECT_EQ(gap, (Interval{lo, hi})) << "t=" << t << " set=" << s.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace txcache

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "src/util/clock.h"
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace txcache {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Conflict("row locked");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kConflict);
+  EXPECT_EQ(s.ToString(), "CONFLICT: row locked");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (StatusCode c : {StatusCode::kOk, StatusCode::kNotFound, StatusCode::kConflict,
+                       StatusCode::kInvalidArgument, StatusCode::kFailedPrecondition,
+                       StatusCode::kUnavailable, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(c), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, TakeMovesOut) {
+  Result<std::string> r = std::string("payload");
+  std::string v = r.take();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(Clock, ManualClockAdvances) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.Advance(Seconds(2));
+  EXPECT_EQ(clock.Now(), 100 + 2 * kMicrosPerSecond);
+  clock.Set(5);
+  EXPECT_EQ(clock.Now(), 5);
+}
+
+TEST(Clock, SystemClockMonotonic) {
+  SystemClock clock;
+  WallClock a = clock.Now();
+  WallClock b = clock.Now();
+  EXPECT_LE(a, b);
+}
+
+TEST(Clock, UnitHelpers) {
+  EXPECT_EQ(Seconds(1.5), 1'500'000);
+  EXPECT_EQ(Millis(2.0), 2'000);
+  EXPECT_DOUBLE_EQ(ToSeconds(2'500'000), 2.5);
+}
+
+TEST(Hash, Fnv1aStableAndSensitive) {
+  EXPECT_EQ(Fnv1a("abc"), Fnv1a("abc"));
+  EXPECT_NE(Fnv1a("abc"), Fnv1a("abd"));
+  EXPECT_NE(Fnv1a(""), Fnv1a(std::string_view("\0", 1)));
+}
+
+TEST(Hash, Mix64Decorrelates) {
+  // Sequential inputs should not map to sequential outputs (Mix64(0) == 0 by construction).
+  EXPECT_NE(Mix64(1) + 1, Mix64(2));
+  EXPECT_NE(Mix64(1), 1u);
+  EXPECT_NE(Mix64(2), 2u);
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.Uniform(5, 5), 5);
+}
+
+TEST(Rng, ExponentialHasRoughlyRightMean) {
+  Rng rng(11);
+  double total = 0;
+  constexpr int kN = 20'000;
+  for (int i = 0; i < kN; ++i) {
+    total += rng.Exponential(7.0);
+  }
+  EXPECT_NEAR(total / kN, 7.0, 0.25);
+}
+
+TEST(Rng, ZipfWithinBoundsAndSkewed) {
+  Rng rng(13);
+  constexpr int64_t kN = 1000;
+  int64_t rank1 = 0, total = 50'000;
+  for (int64_t i = 0; i < total; ++i) {
+    int64_t v = rng.Zipf(kN, 1.1);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, kN);
+    if (v == 1) {
+      ++rank1;
+    }
+  }
+  // Rank 1 should be far more popular than uniform (1/1000 of draws).
+  EXPECT_GT(rank1, total / 200);
+}
+
+TEST(Rng, ZipfSingleElement) {
+  Rng rng(17);
+  EXPECT_EQ(rng.Zipf(1, 1.2), 1);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(WeightedChoice, RespectsWeights) {
+  Rng rng(19);
+  WeightedChoice wc({1.0, 0.0, 3.0});
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40'000; ++i) {
+    ++counts[wc.Pick(rng)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(WeightedChoice, SingleOption) {
+  Rng rng(23);
+  WeightedChoice wc({5.0});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(wc.Pick(rng), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace txcache

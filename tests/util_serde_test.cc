@@ -1,0 +1,147 @@
+#include "src/util/serde.h"
+
+#include <gtest/gtest.h>
+
+#include "src/db/value.h"
+
+namespace txcache {
+namespace {
+
+template <typename T>
+T Roundtrip(const T& v) {
+  std::string bytes = SerializeToString(v);
+  auto out = DeserializeFromString<T>(bytes);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out.take();
+}
+
+TEST(Serde, Integers) {
+  EXPECT_EQ(Roundtrip<int64_t>(0), 0);
+  EXPECT_EQ(Roundtrip<int64_t>(-1), -1);
+  EXPECT_EQ(Roundtrip<int64_t>(INT64_MAX), INT64_MAX);
+  EXPECT_EQ(Roundtrip<int64_t>(INT64_MIN), INT64_MIN);
+  EXPECT_EQ(Roundtrip<int32_t>(-42), -42);
+  EXPECT_EQ(Roundtrip<uint64_t>(~0ull), ~0ull);
+}
+
+TEST(Serde, Bool) {
+  EXPECT_EQ(Roundtrip(true), true);
+  EXPECT_EQ(Roundtrip(false), false);
+}
+
+TEST(Serde, Double) {
+  EXPECT_EQ(Roundtrip(3.25), 3.25);
+  EXPECT_EQ(Roundtrip(-0.0), -0.0);
+  EXPECT_EQ(Roundtrip(1e300), 1e300);
+}
+
+TEST(Serde, Strings) {
+  EXPECT_EQ(Roundtrip<std::string>(""), "");
+  EXPECT_EQ(Roundtrip<std::string>("hello"), "hello");
+  std::string binary("\x00\x01\xff\x7f", 4);
+  EXPECT_EQ(Roundtrip(binary), binary);
+  EXPECT_EQ(Roundtrip(std::string(100'000, 'x')).size(), 100'000u);
+}
+
+TEST(Serde, Optional) {
+  EXPECT_EQ(Roundtrip(std::optional<int64_t>{}), std::nullopt);
+  EXPECT_EQ(Roundtrip(std::optional<int64_t>{7}), std::optional<int64_t>{7});
+  EXPECT_EQ(Roundtrip(std::optional<std::string>{"x"}), std::optional<std::string>{"x"});
+}
+
+TEST(Serde, Vector) {
+  EXPECT_EQ(Roundtrip(std::vector<int64_t>{}), (std::vector<int64_t>{}));
+  EXPECT_EQ(Roundtrip(std::vector<int64_t>{1, 2, 3}), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(Roundtrip(std::vector<std::string>{"a", "", "c"}),
+            (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(Serde, NestedContainers) {
+  std::vector<std::vector<std::optional<int64_t>>> v{{1, std::nullopt}, {}, {3}};
+  EXPECT_EQ(Roundtrip(v), v);
+}
+
+TEST(Serde, PairAndTuple) {
+  auto p = std::make_pair(std::string("k"), int64_t{9});
+  EXPECT_EQ(Roundtrip(p), p);
+  auto t = std::make_tuple(int64_t{1}, std::string("two"), 3.0);
+  EXPECT_EQ(Roundtrip(t), t);
+}
+
+struct Point {
+  int64_t x = 0;
+  int64_t y = 0;
+  std::string label;
+  template <typename F>
+  void ForEachField(F&& f) {
+    f(x), f(y), f(label);
+  }
+  template <typename F>
+  void ForEachField(F&& f) const {
+    f(x), f(y), f(label);
+  }
+  bool operator==(const Point&) const = default;
+};
+
+TEST(Serde, StructViaForEachField) {
+  Point p{3, -4, "origin-ish"};
+  EXPECT_EQ(Roundtrip(p), p);
+}
+
+TEST(Serde, StructInVector) {
+  std::vector<Point> v{{1, 2, "a"}, {3, 4, "b"}};
+  EXPECT_EQ(Roundtrip(v), v);
+}
+
+TEST(Serde, DeterministicBytes) {
+  // Cache keys rely on identical values producing identical bytes.
+  EXPECT_EQ(SerializeToString(int64_t{42}, std::string("x")),
+            SerializeToString(int64_t{42}, std::string("x")));
+  EXPECT_NE(SerializeToString(int64_t{42}, std::string("x")),
+            SerializeToString(int64_t{43}, std::string("x")));
+  EXPECT_NE(SerializeToString(std::string("ab"), std::string("c")),
+            SerializeToString(std::string("a"), std::string("bc")))
+      << "length prefixes must prevent concatenation ambiguity";
+}
+
+TEST(Serde, MalformedInputFailsCleanly) {
+  EXPECT_FALSE(DeserializeFromString<int64_t>("").ok());
+  EXPECT_FALSE(DeserializeFromString<int64_t>("abc").ok());
+  EXPECT_FALSE(DeserializeFromString<std::string>("\xff\xff\xff\xff").ok());
+  // A vector claiming a huge element count but no payload.
+  Writer w;
+  w.PutU32(1'000'000);
+  EXPECT_FALSE(DeserializeFromString<std::vector<int64_t>>(w.bytes()).ok());
+}
+
+TEST(Serde, TrailingGarbageRejected) {
+  std::string bytes = SerializeToString(int64_t{1});
+  bytes += "extra";
+  EXPECT_FALSE(DeserializeFromString<int64_t>(bytes).ok());
+}
+
+TEST(Serde, ValueRoundtrips) {
+  for (const Value& v : {Value::Null(), Value(int64_t{-7}), Value(2.5), Value("str"),
+                         Value(true), Value(false), Value("")}) {
+    Writer w;
+    SerializeValue(w, v);
+    Reader r(w.bytes());
+    Value out;
+    ASSERT_TRUE(DeserializeValue(r, &out));
+    EXPECT_EQ(out, v) << v.ToString();
+  }
+}
+
+TEST(Serde, RowEncodingRoundtrips) {
+  Row row{Value(int64_t{1}), Value("nick"), Value(3.5), Value::Null(), Value(true)};
+  auto decoded = DecodeRow(EncodeRow(row));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), row);
+}
+
+TEST(Serde, RowEncodingIsInjectiveAcrossArity) {
+  EXPECT_NE(EncodeRow(Row{Value(int64_t{1})}), EncodeRow(Row{Value(int64_t{1}), Value(int64_t{0})}));
+}
+
+}  // namespace
+}  // namespace txcache

@@ -1,0 +1,174 @@
+// The MediaWiki-style port (§7.2): porting patterns, and the two MediaWiki bug classes the
+// paper cites — now impossible by construction.
+#include "src/wiki/wiki.h"
+
+#include <gtest/gtest.h>
+
+namespace txcache::wiki {
+namespace {
+
+class WikiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(&clock_);
+    bus_ = std::make_unique<InvalidationBus>();
+    db_->set_invalidation_bus(bus_.get());
+    cache_ = std::make_unique<CacheServer>("node", &clock_);
+    bus_->Subscribe(cache_.get());
+    cluster_ = std::make_unique<CacheCluster>();
+    cluster_->AddNode(cache_.get());
+    pincushion_ = std::make_unique<Pincushion>(db_.get(), &clock_);
+    ASSERT_TRUE(CreateWikiSchema(db_.get()).ok());
+    client_ = std::make_unique<TxCacheClient>(db_.get(), pincushion_.get(), cluster_.get(),
+                                              &clock_);
+    app_ = std::make_unique<WikiApp>(client_.get(), &clock_);
+
+    ASSERT_TRUE(client_->BeginRW().ok());
+    ASSERT_TRUE(app_->RegisterUser(1, "Alice").ok());
+    ASSERT_TRUE(app_->RegisterUser(2, "Bob").ok());
+    ASSERT_TRUE(app_->SetMessage("sidebar.main", "Main page").ok());
+    ASSERT_TRUE(app_->SetMessage("sidebar.help", "Help").ok());
+    ASSERT_TRUE(app_->SetMessage("footer.license", "CC BY-SA").ok());
+    auto rev = app_->EditArticle(1, "TxCache", "A transactional cache.", "created");
+    ASSERT_TRUE(rev.ok());
+    ASSERT_TRUE(client_->Commit().ok());
+  }
+
+  // Runs one read-only transaction around `fn` with the given staleness.
+  template <typename Fn>
+  auto InRo(Fn&& fn, WallClock staleness = Seconds(30)) {
+    EXPECT_TRUE(client_->BeginRO(staleness).ok());
+    auto result = fn();
+    EXPECT_TRUE(client_->Commit().ok());
+    return result;
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<InvalidationBus> bus_;
+  std::unique_ptr<CacheServer> cache_;
+  std::unique_ptr<CacheCluster> cluster_;
+  std::unique_ptr<Pincushion> pincushion_;
+  std::unique_ptr<TxCacheClient> client_;
+  std::unique_ptr<WikiApp> app_;
+};
+
+TEST_F(WikiTest, RenderArticleCachesAndHits) {
+  RenderedArticle first = InRo([&] { return app_->render_article("TxCache"); });
+  EXPECT_TRUE(first.found);
+  EXPECT_NE(first.html.find("A transactional cache."), std::string::npos);
+  uint64_t queries = client_->stats().db_queries;
+  RenderedArticle second = InRo([&] { return app_->render_article("TxCache"); });
+  EXPECT_EQ(second.html, first.html);
+  EXPECT_EQ(client_->stats().db_queries, queries) << "second render fully cached";
+}
+
+TEST_F(WikiTest, MissingArticleRendersPlaceholderAndCachesNegativeResult) {
+  RenderedArticle missing = InRo([&] { return app_->render_article("Ghost"); });
+  EXPECT_FALSE(missing.found);
+  uint64_t queries = client_->stats().db_queries;
+  InRo([&] { return app_->render_article("Ghost"); });
+  EXPECT_EQ(client_->stats().db_queries, queries) << "negative results cache too";
+
+  // Creating the page must invalidate the cached negative result (the stale-negative-result
+  // race from §4.2 that made MediaWiki refuse to cache failed lookups).
+  ASSERT_TRUE(client_->BeginRW().ok());
+  ASSERT_TRUE(app_->EditArticle(2, "Ghost", "Now it exists.", "created").ok());
+  ASSERT_TRUE(client_->Commit().ok());
+  clock_.Advance(Seconds(1));
+  RenderedArticle created = InRo([&] { return app_->render_article("Ghost"); },
+                                 /*staleness=*/0);
+  EXPECT_TRUE(created.found);
+}
+
+TEST_F(WikiTest, EditInvalidatesRenderAndUserCardTransitively) {
+  // Warm both the page and the user card; the page embeds the card (nested cacheable call).
+  RenderedArticle before = InRo([&] { return app_->render_article("TxCache"); });
+  UserCard alice_before = InRo([&] { return app_->user_card(1); });
+  EXPECT_EQ(alice_before.edit_count, 1);
+  EXPECT_NE(before.html.find("(1 edits)"), std::string::npos);
+
+  // Bug #8391 scenario: the edit bumps Alice's edit count. No invalidation code exists
+  // anywhere in WikiApp — the database's tags must invalidate the USER object AND the page.
+  ASSERT_TRUE(client_->BeginRW().ok());
+  ASSERT_TRUE(app_->EditArticle(1, "TxCache", "A transactional, tested cache.", "edit").ok());
+  ASSERT_TRUE(client_->Commit().ok());
+  clock_.Advance(Seconds(1));
+
+  UserCard alice_after = InRo([&] { return app_->user_card(1); }, /*staleness=*/0);
+  EXPECT_EQ(alice_after.edit_count, 2);
+  RenderedArticle after = InRo([&] { return app_->render_article("TxCache"); },
+                               /*staleness=*/0);
+  EXPECT_NE(after.html.find("A transactional, tested cache."), std::string::npos);
+  EXPECT_NE(after.html.find("(2 edits)"), std::string::npos)
+      << "the embedded user card must be fresh in the re-rendered page";
+}
+
+TEST_F(WikiTest, WatchlistKeysIncludeEveryArgument) {
+  // Bug #7474 scenario: MediaWiki cached the watchlist under a user-only key, so requests with
+  // different "days" windows returned each other's results. Keys here derive from all args.
+  ASSERT_TRUE(client_->BeginRW().ok());
+  ASSERT_TRUE(app_->Watch(1, 1).ok());  // watched long ago
+  ASSERT_TRUE(client_->Commit().ok());
+  clock_.Advance(Seconds(3 * 86'400));  // three days pass
+  ASSERT_TRUE(client_->BeginRW().ok());
+  auto rev = app_->EditArticle(2, "Recent", "fresh page", "created");
+  ASSERT_TRUE(rev.ok());
+  ASSERT_TRUE(app_->Watch(1, 2).ok());  // watched today (article id 2)
+  ASSERT_TRUE(client_->Commit().ok());
+  clock_.Advance(Seconds(1));
+
+  auto last_day = InRo([&] { return app_->watchlist(1, 1); }, /*staleness=*/0);
+  auto last_week = InRo([&] { return app_->watchlist(1, 7); }, /*staleness=*/0);
+  EXPECT_EQ(last_day.size(), 1u);
+  EXPECT_EQ(last_week.size(), 2u) << "different 'days' arguments are different cache entries";
+  // Both entries are independently cached.
+  uint64_t queries = client_->stats().db_queries;
+  InRo([&] { return app_->watchlist(1, 1); });
+  InRo([&] { return app_->watchlist(1, 7); });
+  EXPECT_EQ(client_->stats().db_queries, queries);
+}
+
+TEST_F(WikiTest, HistoryJoinsEditorNames) {
+  ASSERT_TRUE(client_->BeginRW().ok());
+  ASSERT_TRUE(app_->EditArticle(2, "TxCache", "v2", "tweak").ok());
+  ASSERT_TRUE(client_->Commit().ok());
+  clock_.Advance(Seconds(1));
+  auto history = InRo([&] { return app_->article_history("TxCache", 10); }, /*staleness=*/0);
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].editor, "Bob") << "most recent first";
+  EXPECT_EQ(history[1].editor, "Alice");
+  EXPECT_GT(history[0].revision, history[1].revision);
+}
+
+TEST_F(WikiTest, LocalizationInvalidatedByMessageChange) {
+  auto sidebar = InRo([&] { return app_->localization("sidebar."); });
+  EXPECT_EQ(sidebar.size(), 2u);
+  ASSERT_TRUE(client_->BeginRW().ok());
+  ASSERT_TRUE(app_->SetMessage("sidebar.random", "Random page").ok());
+  ASSERT_TRUE(client_->Commit().ok());
+  clock_.Advance(Seconds(1));
+  auto updated = InRo([&] { return app_->localization("sidebar."); }, /*staleness=*/0);
+  EXPECT_EQ(updated.size(), 3u) << "seq-scan wildcard tag caught the new message";
+}
+
+TEST_F(WikiTest, StalenessMirrorsReplicationLagTolerance) {
+  // §7.2: MediaWiki distinguishes transactions that must see the latest state from those that
+  // tolerate 1-30 s of replication lag. The same split maps onto staleness limits.
+  InRo([&] { return app_->render_article("TxCache"); });
+  ASSERT_TRUE(client_->BeginRW().ok());
+  ASSERT_TRUE(app_->EditArticle(2, "TxCache", "fresher text", "edit").ok());
+  ASSERT_TRUE(client_->Commit().ok());
+  clock_.Advance(Seconds(2));
+
+  RenderedArticle lagged = InRo([&] { return app_->render_article("TxCache"); }, Seconds(30));
+  EXPECT_EQ(lagged.html.find("fresher text"), std::string::npos)
+      << "lag-tolerant read may serve the pre-edit render";
+  RenderedArticle strict = InRo([&] { return app_->render_article("TxCache"); },
+                                /*staleness=*/0);
+  EXPECT_NE(strict.html.find("fresher text"), std::string::npos)
+      << "latest-state read must recompute";
+}
+
+}  // namespace
+}  // namespace txcache::wiki
