@@ -1,0 +1,232 @@
+// micro_shard_scaling — intra-node lookup throughput vs. shard count, under a concurrent
+// invalidation feed.
+//
+// What it measures: the node-internal sharding refactor (cache_shard.{h,cc}). A single
+// CacheServer is configured with 1, 4 and 16 lock-striped shards; a closed-loop client
+// population hammers Lookup (re-inserting on miss, as a cacheable function would), while an
+// invalidation feed publishes real messages through the bus the whole time.
+//
+// Methodology: like every benchmark in this repo, a *hybrid* simulation. Every operation runs
+// the REAL cache-server code — real shard routing, real tag-index truncation, real sequencer
+// fan-out, real insert-time history replay — and its service demand is then charged to
+// discrete-event FIFO resources: one resource per shard for the lock-serialized share of each
+// op, and one multi-server resource for the node's parse/marshal worker pool. Shard counts
+// change only which shard resource an op queues on (taken from the server's actual routing),
+// so throughput differences reflect the architecture, not a synthetic model. Wall-clock
+// thread scaling cannot be observed on a single-core CI host, which is exactly why the
+// repo's benchmarks report simulated time (see bench_common.h).
+//
+// Service demands come from the calibrated CostModel: cache_op per LOOKUP/PUT, split by
+// cache_lock_fraction into a serialized share (queued on the op's shard) and a parallel share
+// (queued on the worker pool). The real measured per-op CPU time on the host is printed for
+// reference.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "src/bus/bus.h"
+#include "src/cache/cache_server.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/event_queue.h"
+#include "src/util/rng.h"
+
+namespace txcache {
+namespace {
+
+constexpr size_t kKeys = 4096;
+constexpr size_t kGroups = 256;
+constexpr size_t kClients = 64;
+constexpr double kWorkerPool = 8.0;          // parse/marshal workers per node
+constexpr WallClock kFeedInterval = Millis(0.5);  // one invalidation message per 0.5 ms
+constexpr WallClock kWarmup = Millis(200);
+constexpr WallClock kMeasure = Seconds(2);
+
+InvalidationTag GroupTag(size_t group) {
+  return InvalidationTag::Concrete("items", "idx", "g" + std::to_string(group));
+}
+
+std::string KeyName(size_t k) { return "key-" + std::to_string(k); }
+
+struct RunResult {
+  double lookups_per_s = 0;
+  double hit_rate = 0;
+  uint64_t truncations = 0;
+  uint64_t messages = 0;
+  double measured_op_us = 0;  // real per-op CPU on this host, for calibration reference
+};
+
+RunResult RunOne(size_t num_shards, const sim::CostModel& cost) {
+  sim::EventQueue queue;
+  sim::SimClock clock(&queue);
+
+  CacheOptions options;
+  options.num_shards = num_shards;
+  options.capacity_bytes = 256 << 20;  // capacity is not the subject here
+  CacheServer server("shard-bench", &clock, options);
+  InvalidationBus bus;
+  bus.Subscribe(&server);
+
+  // Prefill: every key still-valid, tagged with its group.
+  for (size_t k = 0; k < kKeys; ++k) {
+    InsertRequest req;
+    req.key = KeyName(k);
+    req.value = std::string(64, 'v');
+    req.interval = {1, kTimestampInfinity};
+    req.computed_at = 1;
+    req.tags = {GroupTag(k % kGroups)};
+    server.Insert(req);
+  }
+
+  // Calibration reference: real per-op CPU for a lookup on this host.
+  Rng calib_rng(7);
+  const auto t0 = std::chrono::steady_clock::now();
+  constexpr int kCalibOps = 20000;
+  for (int i = 0; i < kCalibOps; ++i) {
+    LookupRequest req;
+    req.key = KeyName(static_cast<size_t>(calib_rng.Uniform(0, kKeys - 1)));
+    req.bounds_lo = 1;
+    req.bounds_hi = kTimestampInfinity;
+    server.Lookup(req);
+  }
+  const double measured_op_us =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0).count() /
+      kCalibOps;
+  server.ResetStats();
+
+  // Service demands from the calibrated model: the lock-serialized share of an op queues on
+  // the op's shard; the parallel share queues on the worker pool.
+  const WallClock lock_cost =
+      static_cast<WallClock>(static_cast<double>(cost.cache_op) * cost.cache_lock_fraction);
+  const WallClock parse_cost = cost.cache_op - lock_cost;
+  // Applying one invalidation message inside a shard is cheaper than a full lookup: hash
+  // probes into the tag index plus the occasional truncation.
+  const WallClock apply_cost = lock_cost / 2;
+
+  std::vector<sim::SimResource> shard_res;
+  for (size_t i = 0; i < num_shards; ++i) {
+    shard_res.emplace_back(1.0);
+  }
+  sim::SimResource workers(kWorkerPool);
+
+  Rng rng(42);
+  Timestamp feed_ts = 1;
+  uint64_t completed = 0;
+  bool measuring = false;
+
+  // Invalidation feed: real messages through the real bus/sequencer, with the per-shard
+  // fan-out charged to every shard's resource (the sequencer applies each message to each
+  // shard under that shard's lock).
+  std::function<void()> feed = [&] {
+    InvalidationMessage msg;
+    msg.ts = ++feed_ts;
+    msg.wallclock = clock.Now();
+    msg.tags = {GroupTag(static_cast<size_t>(rng.Uniform(0, kGroups - 1))),
+                GroupTag(static_cast<size_t>(rng.Uniform(0, kGroups - 1)))};
+    bus.Publish(msg);
+    const WallClock now = queue.now();
+    for (sim::SimResource& r : shard_res) {
+      r.Serve(now, apply_cost);
+    }
+    queue.ScheduleAfter(kFeedInterval, feed);
+  };
+  queue.ScheduleAfter(kFeedInterval, feed);
+
+  // Closed-loop clients: lookup; on miss recompute + PUT (one more op through the same
+  // resources), zero think time — the node runs saturated. Each resource round runs in its
+  // own event so Serve() arrivals stay in sim-time order (a round chained with a future
+  // arrival time would spuriously delay every later-arriving op on the shared resources).
+  std::function<void(size_t)> client = [&](size_t idx) {
+    const WallClock t_arrive = queue.now();
+    const size_t k = static_cast<size_t>(rng.Uniform(0, kKeys - 1));
+    LookupRequest req;
+    req.key = KeyName(k);
+    // A fresh transaction's pin-set bounds: anything valid since shortly before "now".
+    req.bounds_lo = feed_ts > 50 ? feed_ts - 50 : 1;
+    req.bounds_hi = kTimestampInfinity;
+    req.fresh_lo = req.bounds_lo;
+    LookupResponse resp = server.Lookup(req);
+
+    const size_t shard = server.ShardIndexForKey(req.key);
+    WallClock t = workers.Serve(t_arrive, parse_cost);
+    t = shard_res[shard].Serve(t, lock_cost);
+    if (resp.hit) {
+      if (measuring) {
+        ++completed;
+      }
+      queue.Schedule(t, [&client, idx] { client(idx); });
+      return;
+    }
+    // Recompute and PUT, like a cacheable-function miss — as a second round at its own time.
+    queue.Schedule(t, [&, idx, k] {
+      InsertRequest ins;
+      ins.key = KeyName(k);
+      ins.value = std::string(64, 'v');
+      ins.interval = {feed_ts, kTimestampInfinity};
+      ins.computed_at = feed_ts;
+      ins.tags = {GroupTag(k % kGroups)};
+      server.Insert(ins);
+      WallClock t2 = workers.Serve(queue.now(), parse_cost);
+      t2 = shard_res[server.ShardIndexForKey(ins.key)].Serve(t2, lock_cost);
+      if (measuring) {
+        ++completed;
+      }
+      queue.Schedule(t2, [&client, idx] { client(idx); });
+    });
+  };
+  for (size_t i = 0; i < kClients; ++i) {
+    queue.Schedule(queue.now(), [&client, i] { client(i); });
+  }
+
+  queue.Schedule(kWarmup, [&] {
+    measuring = true;
+    completed = 0;
+    server.ResetStats();
+  });
+  queue.RunUntil(kWarmup + kMeasure);
+
+  CacheStats stats = server.stats();
+  RunResult result;
+  result.lookups_per_s = static_cast<double>(completed) / ToSeconds(kMeasure);
+  result.hit_rate = stats.hit_rate();
+  result.truncations = stats.invalidation_truncations;
+  result.messages = stats.invalidation_messages;
+  result.measured_op_us = measured_op_us;
+  return result;
+}
+
+}  // namespace
+}  // namespace txcache
+
+int main() {
+  using namespace txcache;
+  sim::CostModel cost;
+
+  std::printf("================================================================\n");
+  std::printf("micro_shard_scaling: intra-node lookup throughput vs. shard count\n");
+  std::printf("hybrid simulation: real CacheServer ops, per-shard queued resources\n");
+  std::printf("cache_op=%.0fus lock_fraction=%.2f workers=%.0f clients=%zu feed=1msg/%.1fms\n",
+              static_cast<double>(cost.cache_op), cost.cache_lock_fraction, kWorkerPool,
+              kClients, ToSeconds(kFeedInterval) * 1000.0);
+  std::printf("================================================================\n");
+  std::printf("%8s %14s %9s %7s %13s %11s\n", "shards", "lookups/s", "speedup", "hit%",
+              "truncations", "real us/op");
+
+  double base = 0;
+  double best_speedup = 0;
+  for (size_t shards : {size_t{1}, size_t{4}, size_t{16}}) {
+    RunResult r = RunOne(shards, cost);
+    if (shards == 1) {
+      base = r.lookups_per_s;
+    }
+    const double speedup = base > 0 ? r.lookups_per_s / base : 0;
+    if (shards == 16) {
+      best_speedup = speedup;
+    }
+    std::printf("%8zu %14.0f %8.2fx %6.1f%% %13llu %11.3f\n", shards, r.lookups_per_s, speedup,
+                r.hit_rate * 100.0, static_cast<unsigned long long>(r.truncations),
+                r.measured_op_us);
+  }
+  std::printf("\n16-shard speedup over 1 shard: %.2fx (target >= 3.00x): %s\n", best_speedup,
+              best_speedup >= 3.0 ? "PASS" : "FAIL");
+  return best_speedup >= 3.0 ? 0 : 1;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a ThreadSanitizer pass over the concurrency-sensitive tests.
+#
+#   scripts/check.sh           # configure, build, ctest, then TSan concurrency tests
+#   SKIP_TSAN=1 scripts/check.sh   # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# --- tier-1 verify ---
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+# --- ThreadSanitizer build of the concurrency tests ---
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  cmake -B build-tsan -S . -DTXCACHE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$JOBS" --target concurrency_stress_test cache_shard_test
+  (cd build-tsan && ctest --output-on-failure -R 'concurrency_stress_test|cache_shard_test')
+fi
+
+echo "check.sh: all green"

@@ -1,0 +1,100 @@
+// Per-node invalidation-stream sequencer (paper §4.2).
+//
+// The invalidation stream must be applied in strict sequence-number order, but the transport
+// (the bus in tests, Census-style multicast in the paper) may deliver out of order. The
+// sequencer owns the node's stream position: duplicates are dropped, gaps are held in a
+// reorder buffer, and each message is released to the sink exactly once, in order, under the
+// sequencer's lock — so the sink observes a totally ordered stream no matter how many threads
+// call Deliver concurrently.
+//
+// Extracted from CacheServer so the sharded cache node can stamp each message once and fan it
+// out to its shards: the sink runs before Deliver returns, and no two sink invocations
+// overlap, which is what preserves the per-shard seqno-order guarantee.
+#ifndef SRC_BUS_SEQUENCER_H_
+#define SRC_BUS_SEQUENCER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "src/bus/invalidation.h"
+
+namespace txcache {
+
+class StreamSequencer {
+ public:
+  // fn(msg): invoked in strict seqno order, serialized under the sequencer's lock.
+  using Sink = std::function<void(const InvalidationMessage&)>;
+
+  explicit StreamSequencer(Sink sink) : sink_(std::move(sink)) {}
+
+  StreamSequencer(const StreamSequencer&) = delete;
+  StreamSequencer& operator=(const StreamSequencer&) = delete;
+
+  // Feeds one (possibly out-of-order, possibly duplicate) message. Releases every in-order
+  // message — this one and any buffered successors it unblocks — to the sink before returning.
+  void Deliver(const InvalidationMessage& msg) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (msg.seqno < next_expected_seqno_) {
+      return;  // duplicate
+    }
+    if (msg.seqno > next_expected_seqno_) {
+      buffer_.emplace(msg.seqno, msg);
+      ++reorder_buffered_;
+      return;
+    }
+    sink_(msg);
+    ++next_expected_seqno_;
+    auto it = buffer_.begin();
+    while (it != buffer_.end() && it->first == next_expected_seqno_) {
+      sink_(it->second);
+      ++next_expected_seqno_;
+      it = buffer_.erase(it);
+    }
+  }
+
+  // Fast-forwards the stream position (cache snapshot import): adopts `next_seqno` if it is
+  // ahead of ours and drops buffered messages the new position has already covered.
+  void AdoptPosition(uint64_t next_seqno) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (next_seqno <= next_expected_seqno_) {
+      return;
+    }
+    next_expected_seqno_ = next_seqno;
+    buffer_.erase(buffer_.begin(), buffer_.lower_bound(next_seqno));
+  }
+
+  uint64_t next_expected_seqno() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_expected_seqno_;
+  }
+
+  // Stat: messages that arrived out of order and had to wait (cumulative).
+  uint64_t reorder_buffered() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reorder_buffered_;
+  }
+
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    reorder_buffered_ = 0;
+  }
+
+  size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buffer_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_expected_seqno_ = 1;
+  uint64_t reorder_buffered_ = 0;
+  std::map<uint64_t, InvalidationMessage> buffer_;
+  Sink sink_;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_BUS_SEQUENCER_H_

@@ -45,6 +45,32 @@ class CacheCluster {
     return it->second;
   }
 
+  // Batched lookups across the fleet: groups the batch per owning node (consistent hashing on
+  // each key), issues one MultiLookup per node touched, and reassembles responses in request
+  // order — one round-trip per node instead of one per key.
+  Result<MultiLookupResponse> MultiLookup(const MultiLookupRequest& req) const {
+    MultiLookupResponse resp;
+    resp.responses.resize(req.lookups.size());
+    std::vector<std::string_view> keys;
+    keys.reserve(req.lookups.size());
+    for (const LookupRequest& lookup : req.lookups) {
+      keys.push_back(lookup.key);
+    }
+    auto groups_or = ring_.GroupByNode(keys);
+    if (!groups_or.ok()) {
+      return groups_or.status();
+    }
+    for (auto& [name, indices] : groups_or.value()) {
+      auto it = servers_.find(name);
+      if (it == servers_.end()) {
+        return Status::Internal("ring references unknown node");
+      }
+      // Scatter form: each node answers its positions straight into the shared response.
+      it->second->MultiLookup(req, indices, &resp);
+    }
+    return resp;
+  }
+
   size_t node_count() const { return servers_.size(); }
 
   std::vector<CacheServer*> Nodes() const {
@@ -59,21 +85,7 @@ class CacheCluster {
   CacheStats TotalStats() const {
     CacheStats total;
     for (const auto& [_, server] : servers_) {
-      CacheStats s = server->stats();
-      total.lookups += s.lookups;
-      total.hits += s.hits;
-      total.miss_compulsory += s.miss_compulsory;
-      total.miss_staleness += s.miss_staleness;
-      total.miss_capacity += s.miss_capacity;
-      total.miss_consistency += s.miss_consistency;
-      total.inserts += s.inserts;
-      total.duplicate_inserts += s.duplicate_inserts;
-      total.invalidation_messages += s.invalidation_messages;
-      total.invalidation_truncations += s.invalidation_truncations;
-      total.insert_time_truncations += s.insert_time_truncations;
-      total.evictions_lru += s.evictions_lru;
-      total.evictions_stale += s.evictions_stale;
-      total.reorder_buffered += s.reorder_buffered;
+      total += server->stats();
     }
     return total;
   }

@@ -2,35 +2,18 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
+#include "src/util/hash.h"
 #include "src/util/serde.h"
 
 namespace txcache {
 
 namespace {
 
-// Fixed per-version bookkeeping overhead charged against the byte budget.
-constexpr size_t kVersionOverhead = 96;
-
-size_t TagBytes(const std::vector<InvalidationTag>& tags) {
-  size_t n = 0;
-  for (const InvalidationTag& t : tags) {
-    n += t.table.size() + t.index.size() + t.key.size() + 8;
-  }
-  return n;
-}
-
-void InsertSorted(std::vector<Timestamp>& history, Timestamp ts) {
-  auto it = std::lower_bound(history.begin(), history.end(), ts);
-  if (it == history.end() || *it != ts) {
-    history.insert(it, ts);
-  }
-}
-
-Timestamp FirstAfter(const std::vector<Timestamp>& history, Timestamp after) {
-  auto it = std::upper_bound(history.begin(), history.end(), after);
-  return it == history.end() ? kTimestampInfinity : *it;
-}
+// Decorrelates shard routing from the consistent-hash ring (which also hashes the key): a
+// node must not see all its keys land on one shard because the ring already filtered them.
+constexpr uint64_t kShardSeed = 0x7c15'cafe'f00d'9e37ull;
 
 }  // namespace
 
@@ -51,394 +34,143 @@ const char* MissKindName(MissKind kind) {
 }
 
 CacheServer::CacheServer(std::string name, const Clock* clock, Options options)
-    : name_(std::move(name)), clock_(clock), options_(options) {}
+    : name_(std::move(name)),
+      clock_(clock),
+      options_(options),
+      sequencer_([this](const InvalidationMessage& msg) { ApplySequenced(msg); }) {
+  const size_t n = std::max<size_t>(options_.num_shards, 1);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(
+        std::make_unique<CacheShard>(clock_, options_, &bytes_used_, &touch_ticker_));
+  }
+}
 
 CacheServer::~CacheServer() = default;
 
-Timestamp CacheServer::EffectiveUpperLocked(const Version& v) const {
-  if (!v.still_valid) {
-    return v.interval.upper;
-  }
-  // A still-valid entry is known valid through the later of (a) the snapshot it was computed
-  // from (the database vouches for it) and (b) the last invalidation applied by this node (the
-  // stream would have truncated it otherwise). +1 converts an inclusive timestamp to the
-  // exclusive upper bound.
-  return std::max(v.known_valid_through, last_invalidation_ts_) + 1;
+size_t CacheServer::ShardIndexForKey(const std::string& key) const {
+  return static_cast<size_t>(Mix64(Fnv1a(key) ^ kShardSeed) % shards_.size());
+}
+
+CacheShard* CacheServer::ShardForKey(const std::string& key) const {
+  return shards_[ShardIndexForKey(key)].get();
 }
 
 LookupResponse CacheServer::Lookup(const LookupRequest& req) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.lookups;
-  LookupResponse resp;
+  return ShardForKey(req.key)->Lookup(req);
+}
 
-  auto it = map_.find(req.key);
-  const KeyEntry* entry = it == map_.end() ? nullptr : &it->second;
-  if (entry == nullptr || !entry->ever_inserted) {
-    resp.miss = MissKind::kCompulsory;
-    ++stats_.miss_compulsory;
-    return resp;
+MultiLookupResponse CacheServer::MultiLookup(const MultiLookupRequest& req) {
+  MultiLookupResponse resp;
+  resp.responses.resize(req.lookups.size());
+  std::vector<uint32_t> all(req.lookups.size());
+  for (uint32_t i = 0; i < all.size(); ++i) {
+    all[i] = i;
   }
-
-  const Interval want{req.bounds_lo,
-                      req.bounds_hi == kTimestampInfinity ? kTimestampInfinity
-                                                          : req.bounds_hi + 1};
-  Version* best = nullptr;
-  Interval best_effective;
-  bool any_fresh = false;  // some version intersects [fresh_lo, last_inval]: staleness is fine
-  for (const auto& v : entry->versions) {
-    Interval effective = v->interval;
-    effective.upper = EffectiveUpperLocked(*v);
-    const Interval fresh_want{req.fresh_lo, std::max(req.fresh_lo, last_invalidation_ts_) + 1};
-    if (effective.Overlaps(fresh_want)) {
-      any_fresh = true;
-    }
-    if (!effective.Overlaps(want)) {
-      continue;
-    }
-    if (best == nullptr || effective.lower > best_effective.lower) {
-      best = v.get();
-      best_effective = effective;
-    }
-  }
-  if (best != nullptr) {
-    ++stats_.hits;
-    TouchLocked(best);
-    resp.hit = true;
-    resp.value = best->value;
-    resp.interval = best_effective;
-    resp.still_valid = best->still_valid;
-    if (best->still_valid) {
-      resp.tags = best->tags;
-    }
-    return resp;
-  }
-  if (any_fresh) {
-    // Something fresh enough existed, just not consistent with the caller's pin set.
-    resp.miss = MissKind::kConsistency;
-    ++stats_.miss_consistency;
-  } else if (entry->versions.empty()) {
-    resp.miss = MissKind::kCapacity;
-    ++stats_.miss_capacity;
-  } else {
-    resp.miss = MissKind::kStaleness;
-    ++stats_.miss_staleness;
-  }
+  MultiLookup(req, all, &resp);
   return resp;
 }
 
+void CacheServer::MultiLookup(const MultiLookupRequest& req, const std::vector<uint32_t>& indices,
+                              MultiLookupResponse* out) {
+  // Group request positions per shard, then take each shard lock once for its whole group.
+  std::vector<std::vector<uint32_t>> by_shard(shards_.size());
+  for (uint32_t i : indices) {
+    by_shard[ShardIndexForKey(req.lookups[i].key)].push_back(i);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!by_shard[s].empty()) {
+      shards_[s]->LookupBatch(req, by_shard[s], out);
+    }
+  }
+}
+
 Status CacheServer::Insert(const InsertRequest& req) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (req.interval.empty()) {
-    return Status::InvalidArgument("empty validity interval");
+  bool sweep_due = false;
+  Status st = ShardForKey(req.key)->Insert(req, &sweep_due);
+  if (!st.ok()) {
+    return st;
   }
-  KeyEntry& entry = map_[req.key];
-  entry.ever_inserted = true;
-
-  Interval interval = req.interval;
-  Timestamp known_through = std::max(interval.lower, req.computed_at);
-  bool still_valid = interval.unbounded();
-  WallClock invalidated_at = 0;
-
-  if (still_valid) {
-    // Replay invalidations that arrived before this insert (§4.2): anything later than the
-    // snapshot the value was computed at may have changed the result.
-    if (known_through < history_floor_) {
-      // History no longer covers the gap; conservatively bound validity at what the database
-      // vouched for rather than risking a stale still-valid entry.
-      interval.upper = known_through + 1;
-      still_valid = false;
-      invalidated_at = clock_->Now();
-      ++stats_.insert_time_truncations;
-    } else {
-      Timestamp first = EarliestInvalidationAfterLocked(req.tags, known_through);
-      if (first != kTimestampInfinity) {
-        interval.upper = first;
-        still_valid = false;
-        invalidated_at = clock_->Now();
-        ++stats_.insert_time_truncations;
-        if (interval.empty()) {
-          // Invalidated at or before it became valid; nothing worth storing.
-          ++stats_.inserts;
-          return Status::Ok();
-        }
-      }
-    }
+  // Sweep and evict with no shard lock held (both take shard locks one at a time).
+  if (sweep_due) {
+    SweepAllShards();
   }
-
-  // Preserve the disjointness invariant: if any stored version already covers part of this
-  // interval, keep the existing one (same key + overlapping validity implies equal value).
-  for (const auto& v : entry.versions) {
-    Interval effective = v->interval;
-    effective.upper = EffectiveUpperLocked(*v);
-    if (effective.Overlaps(interval) || v->interval.Overlaps(interval)) {
-      ++stats_.duplicate_inserts;
-      return Status::Ok();
-    }
-  }
-
-  auto version = std::make_unique<Version>();
-  version->interval = interval;
-  version->known_valid_through = known_through;
-  version->still_valid = still_valid;
-  version->value = req.value;
-  version->tags = req.tags;
-  version->invalidated_wallclock = invalidated_at;
-  version->bytes = kVersionOverhead + req.key.size() + req.value.size() + TagBytes(req.tags);
-
-  auto map_it = map_.find(req.key);
-  version->key = &map_it->first;
-  lru_.push_front(version.get());
-  version->lru_it = lru_.begin();
-  bytes_used_ += version->bytes;
-  ++version_count_;
-  if (still_valid) {
-    RegisterTagsLocked(version.get());
-  }
-
-  auto pos = std::lower_bound(
-      entry.versions.begin(), entry.versions.end(), version->interval.lower,
-      [](const std::unique_ptr<Version>& a, Timestamp t) { return a->interval.lower < t; });
-  entry.versions.insert(pos, std::move(version));
-  ++stats_.inserts;
-
-  if (++ops_since_sweep_ >= options_.sweep_interval_ops) {
-    SweepStaleLocked();
-    ops_since_sweep_ = 0;
-  }
-  EvictToFitLocked();
+  EvictToFit();
   return Status::Ok();
 }
 
 void CacheServer::Deliver(const InvalidationMessage& msg) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (msg.seqno < next_expected_seqno_) {
-    return;  // duplicate
-  }
-  if (msg.seqno > next_expected_seqno_) {
-    reorder_buffer_.emplace(msg.seqno, msg);
-    ++stats_.reorder_buffered;
-    return;
-  }
-  ApplyLocked(msg);
-  ++next_expected_seqno_;
-  // Drain any buffered successors.
-  auto it = reorder_buffer_.begin();
-  while (it != reorder_buffer_.end() && it->first == next_expected_seqno_) {
-    ApplyLocked(it->second);
-    ++next_expected_seqno_;
-    it = reorder_buffer_.erase(it);
+  sequencer_.Deliver(msg);
+  // Sweep outside the sequencer's critical section: a full-node sweep inside the sink would
+  // stall every concurrent Deliver for its whole duration.
+  if (sweep_pending_.exchange(false, std::memory_order_relaxed)) {
+    SweepAllShards();
   }
 }
 
-void CacheServer::ApplyLocked(const InvalidationMessage& msg) {
-  ++stats_.invalidation_messages;
-  const WallClock now = clock_->Now();
-  std::vector<Version*> affected;
-  for (const InvalidationTag& tag : msg.tags) {
-    if (tag.wildcard) {
-      auto it = table_index_.find(tag.table);
-      if (it != table_index_.end()) {
-        affected.insert(affected.end(), it->second.begin(), it->second.end());
-      }
-    } else {
-      auto it = tag_index_.find(tag);
-      if (it != tag_index_.end()) {
-        affected.insert(affected.end(), it->second.begin(), it->second.end());
-      }
-      // Entries that carry a wildcard tag on this table depend on everything in it.
-      auto wit = wildcard_holders_.find(tag.table);
-      if (wit != wildcard_holders_.end()) {
-        affected.insert(affected.end(), wit->second.begin(), wit->second.end());
-      }
-    }
-  }
-  std::sort(affected.begin(), affected.end());
-  affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
-  for (Version* v : affected) {
-    TruncateLocked(v, msg.ts, now);
-  }
-  RecordHistoryLocked(msg);
-  last_invalidation_ts_ = std::max(last_invalidation_ts_, msg.ts);
-}
-
-void CacheServer::TruncateLocked(Version* v, Timestamp ts, WallClock wallclock) {
-  if (!v->still_valid) {
-    return;
-  }
-  // The database accounted for everything up to known_valid_through when it computed the
-  // interval; a coarser-granularity tag match in that range does not bound this value.
-  if (ts <= v->known_valid_through) {
-    return;
-  }
-  UnregisterTagsLocked(v);
-  v->still_valid = false;
-  v->interval.upper = ts;
-  v->invalidated_wallclock = wallclock;
-  ++stats_.invalidation_truncations;
-}
-
-void CacheServer::RegisterTagsLocked(Version* v) {
-  for (const InvalidationTag& tag : v->tags) {
-    if (tag.wildcard) {
-      wildcard_holders_[tag.table].insert(v);
-    } else {
-      tag_index_[tag].insert(v);
-    }
-    table_index_[tag.table].insert(v);
-  }
-}
-
-void CacheServer::UnregisterTagsLocked(Version* v) {
-  for (const InvalidationTag& tag : v->tags) {
-    if (tag.wildcard) {
-      auto it = wildcard_holders_.find(tag.table);
-      if (it != wildcard_holders_.end()) {
-        it->second.erase(v);
-        if (it->second.empty()) {
-          wildcard_holders_.erase(it);
-        }
-      }
-    } else {
-      auto it = tag_index_.find(tag);
-      if (it != tag_index_.end()) {
-        it->second.erase(v);
-        if (it->second.empty()) {
-          tag_index_.erase(it);
-        }
-      }
-    }
-    auto tit = table_index_.find(tag.table);
-    if (tit != table_index_.end()) {
-      tit->second.erase(v);
-      if (tit->second.empty()) {
-        table_index_.erase(tit);
-      }
+void CacheServer::ApplySequenced(const InvalidationMessage& msg) {
+  invalidation_messages_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& shard : shards_) {
+    bool due = false;
+    shard->ApplyInvalidation(msg, &due);
+    if (due) {
+      sweep_pending_.store(true, std::memory_order_relaxed);
     }
   }
 }
 
-void CacheServer::RemoveVersionLocked(Version* v) {
-  if (v->still_valid) {
-    UnregisterTagsLocked(v);
-  }
-  lru_.erase(v->lru_it);
-  bytes_used_ -= v->bytes;
-  --version_count_;
-  auto it = map_.find(*v->key);
-  assert(it != map_.end());
-  KeyEntry& entry = it->second;
-  auto pos = std::find_if(entry.versions.begin(), entry.versions.end(),
-                          [v](const std::unique_ptr<Version>& p) { return p.get() == v; });
-  assert(pos != entry.versions.end());
-  entry.versions.erase(pos);  // destroys v
-  // Keep the KeyEntry itself (ever_inserted distinguishes capacity from compulsory misses).
-}
-
-void CacheServer::TouchLocked(Version* v) {
-  lru_.erase(v->lru_it);
-  lru_.push_front(v);
-  v->lru_it = lru_.begin();
-}
-
-void CacheServer::EvictToFitLocked() {
-  while (bytes_used_ > options_.capacity_bytes && !lru_.empty()) {
-    Version* victim = lru_.back();
-    RemoveVersionLocked(victim);
-    ++stats_.evictions_lru;
+void CacheServer::SweepAllShards() {
+  // The trigger is a per-shard op counter (so skewed traffic still fires), but the sweep
+  // itself covers every shard: stale garbage parked in a cold shard would otherwise never be
+  // collected, since cold shards by definition see no ops of their own.
+  for (auto& shard : shards_) {
+    shard->SweepStale();
   }
 }
 
-void CacheServer::SweepStaleLocked() {
-  const WallClock cutoff = clock_->Now() - options_.max_staleness;
-  std::vector<Version*> victims;
-  for (Version* v : lru_) {
-    if (!v->still_valid && v->invalidated_wallclock > 0 && v->invalidated_wallclock < cutoff) {
-      victims.push_back(v);
-    }
-  }
-  for (Version* v : victims) {
-    RemoveVersionLocked(v);
-    ++stats_.evictions_stale;
-  }
-}
-
-void CacheServer::RecordHistoryLocked(const InvalidationMessage& msg) {
-  for (const InvalidationTag& tag : msg.tags) {
-    if (tag.wildcard) {
-      InsertSorted(table_wildcard_history_[tag.table], msg.ts);
-    } else {
-      InsertSorted(tag_history_[tag], msg.ts);
-    }
-    InsertSorted(table_any_history_[tag.table], msg.ts);
-  }
-  // Prune old history so memory stays bounded.
-  if (msg.ts > options_.history_retention &&
-      msg.ts - options_.history_retention > history_floor_) {
-    history_floor_ = msg.ts - options_.history_retention;
-    auto prune = [floor = history_floor_](auto& map) {
-      for (auto it = map.begin(); it != map.end();) {
-        auto& vec = it->second;
-        vec.erase(vec.begin(), std::lower_bound(vec.begin(), vec.end(), floor));
-        if (vec.empty()) {
-          it = map.erase(it);
-        } else {
-          ++it;
-        }
-      }
-    };
-    prune(tag_history_);
-    prune(table_wildcard_history_);
-    prune(table_any_history_);
-  }
-}
-
-Timestamp CacheServer::EarliestInvalidationAfterLocked(const std::vector<InvalidationTag>& tags,
-                                                       Timestamp after) const {
-  Timestamp earliest = kTimestampInfinity;
-  for (const InvalidationTag& tag : tags) {
-    if (tag.wildcard) {
-      // An entry depending on the whole table is invalidated by any message touching it.
-      auto it = table_any_history_.find(tag.table);
-      if (it != table_any_history_.end()) {
-        earliest = std::min(earliest, FirstAfter(it->second, after));
-      }
-    } else {
-      auto it = tag_history_.find(tag);
-      if (it != tag_history_.end()) {
-        earliest = std::min(earliest, FirstAfter(it->second, after));
-      }
-      auto wit = table_wildcard_history_.find(tag.table);
-      if (wit != table_wildcard_history_.end()) {
-        earliest = std::min(earliest, FirstAfter(wit->second, after));
+void CacheServer::EvictToFit() {
+  while (bytes_used_.load(std::memory_order_relaxed) > options_.capacity_bytes) {
+    // Find the shard whose LRU tail is globally least recently used. Ticks come from one
+    // monotone node-wide counter, so comparing tails reconstructs the monolithic LRU order
+    // (approximately, under concurrent touches — eviction is best-effort LRU anyway).
+    size_t victim = shards_.size();
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      auto tick = shards_[i]->OldestTick();
+      if (tick.has_value() && *tick < oldest) {
+        oldest = *tick;
+        victim = i;
       }
     }
+    if (victim == shards_.size() || !shards_[victim]->EvictOne()) {
+      break;  // nothing resident (accounting drift is impossible; avoid spinning regardless)
+    }
   }
-  return earliest;
 }
 
 std::string CacheServer::ExportSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Writer w;
-  w.PutU64(next_expected_seqno_);
-  w.PutU64(last_invalidation_ts_);
-  w.PutU64(version_count_);
-  for (const auto& [key, entry] : map_) {
-    for (const auto& v : entry.versions) {
-      w.PutString(key);
-      w.PutString(v->value);
-      w.PutU64(v->interval.lower);
-      w.PutU64(v->still_valid ? kTimestampInfinity : v->interval.upper);
-      w.PutU64(v->known_valid_through);
-      w.PutU32(static_cast<uint32_t>(v->tags.size()));
-      for (const InvalidationTag& tag : v->tags) {
-        w.PutString(tag.table);
-        w.PutString(tag.index);
-        w.PutString(tag.key);
-        w.PutBool(tag.wildcard);
-      }
-    }
+  // Read the stream position BEFORE exporting shard entries: a message applied mid-export
+  // may then be absent from some exported entry, but the importer — whose adopted position
+  // predates that message — will receive and re-apply it, truncating the entry normally.
+  // The reverse order would let an entry exported as still-valid escape the message forever.
+  const uint64_t header_seqno = sequencer_.next_expected_seqno();
+  const Timestamp header_last_ts = last_invalidation_ts();
+  std::vector<std::pair<uint64_t, std::string>> parts;
+  parts.reserve(shards_.size());
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    parts.push_back(shard->ExportEntries());
+    total += parts.back().first;
   }
-  return w.Take();
+  Writer w;
+  w.PutU64(header_seqno);
+  w.PutU64(header_last_ts);
+  w.PutU64(total);
+  std::string out = w.Take();
+  for (auto& [count, bytes] : parts) {
+    out += bytes;
+  }
+  return out;
 }
 
 Status CacheServer::ImportSnapshot(const std::string& snapshot) {
@@ -449,12 +181,11 @@ Status CacheServer::ImportSnapshot(const std::string& snapshot) {
   if (!r.GetU64(&seqno) || !r.GetU64(&last_ts) || !r.GetU64(&count)) {
     return Status::InvalidArgument("malformed cache snapshot header");
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    // Adopt the snapshot's stream position only if it is ahead of ours; replaying an older
-    // position would make us miss invalidations we already applied.
-    next_expected_seqno_ = std::max(next_expected_seqno_, seqno);
-    last_invalidation_ts_ = std::max<Timestamp>(last_invalidation_ts_, last_ts);
+  // Adopt the snapshot's stream position only if it is ahead of ours; replaying an older
+  // position would make us miss invalidations we already applied.
+  sequencer_.AdoptPosition(seqno);
+  for (auto& shard : shards_) {
+    shard->AdoptStreamPosition(last_ts);
   }
   for (uint64_t i = 0; i < count; ++i) {
     InsertRequest req;
@@ -484,44 +215,53 @@ Status CacheServer::ImportSnapshot(const std::string& snapshot) {
 }
 
 void CacheServer::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  map_.clear();
-  lru_.clear();
-  tag_index_.clear();
-  table_index_.clear();
-  wildcard_holders_.clear();
-  bytes_used_ = 0;
-  version_count_ = 0;
+  for (auto& shard : shards_) {
+    shard->Flush();
+  }
 }
 
 CacheStats CacheServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    total += shard->stats();  // shard partials leave the node-level counters at zero
+  }
+  total.invalidation_messages = invalidation_messages_.load(std::memory_order_relaxed);
+  total.reorder_buffered = sequencer_.reorder_buffered();
+  return total;
 }
 
 void CacheServer::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_ = CacheStats{};
+  for (auto& shard : shards_) {
+    shard->ResetStats();
+  }
+  invalidation_messages_.store(0, std::memory_order_relaxed);
+  sequencer_.ResetStats();
 }
 
-size_t CacheServer::bytes_used() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return bytes_used_;
-}
+size_t CacheServer::bytes_used() const { return bytes_used_.load(std::memory_order_relaxed); }
 
 size_t CacheServer::version_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return version_count_;
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard->version_count();
+  }
+  return n;
 }
 
 size_t CacheServer::key_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard->key_count();
+  }
+  return n;
 }
 
 Timestamp CacheServer::last_invalidation_ts() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return last_invalidation_ts_;
+  Timestamp ts = kTimestampZero;
+  for (const auto& shard : shards_) {
+    ts = std::max(ts, shard->last_invalidation_ts());
+  }
+  return ts;
 }
 
 }  // namespace txcache

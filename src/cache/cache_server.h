@@ -1,4 +1,4 @@
-// The versioned cache server (paper §4).
+// The versioned cache server (paper §4) — a thin frontend over lock-striped shards.
 //
 // Each key maps to a chain of versions with pairwise-disjoint validity intervals. A version
 // whose interval is unbounded is "still valid": it is registered in the tag index and will be
@@ -6,28 +6,30 @@
 // range (the caller's pin-set bounds) and return the most recent version whose interval
 // intersects it.
 //
-// Invalidation stream: messages are applied strictly in sequence-number order; out-of-order
-// deliveries wait in a reorder buffer. For still-valid entries, the effective upper bound at
-// lookup time is the timestamp of the last applied invalidation, which closes the
-// insert/invalidate race the paper describes (§4.2). A bounded history of recent invalidations
-// per tag lets late inserts (value computed before an invalidation was applied) be truncated
-// correctly at insert time.
+// Node-internal architecture (see docs/architecture.md): keys are partitioned over
+// Options::num_shards CacheShards by hash(key) % N; each shard owns its version chains, tag
+// index, LRU slice, invalidation history and stats behind its own mutex, so operations on
+// different shards never contend. The invalidation stream is sequenced once per node by a
+// StreamSequencer (duplicates dropped, gaps held in a reorder buffer) and fanned out to every
+// shard in strict seqno order, preserving the §4.2 ordering and insert/invalidate-race
+// guarantees per shard. Eviction is node-global: shards share an atomic byte counter and a
+// monotone touch tick, and the frontend evicts the globally least-recently-used version, so
+// capacity behavior matches the old single-mutex server.
 //
-// Eviction: least-recently-used across versions, plus eager eviction of versions whose
-// invalidation happened longer ago than the maximum staleness any transaction could accept.
+// MultiLookup answers a batch of lookups in one call, grouping the batch per shard and taking
+// each shard lock once; responses are positionally aligned with the request and byte-identical
+// to issuing the lookups one at a time.
 #ifndef SRC_CACHE_CACHE_SERVER_H_
 #define SRC_CACHE_CACHE_SERVER_H_
 
-#include <list>
-#include <map>
+#include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/bus/bus.h"
+#include "src/bus/sequencer.h"
+#include "src/cache/cache_shard.h"
 #include "src/cache/cache_types.h"
 #include "src/util/clock.h"
 #include "src/util/status.h"
@@ -36,18 +38,7 @@ namespace txcache {
 
 class CacheServer : public InvalidationSubscriber {
  public:
-  struct Options {
-    size_t capacity_bytes = 64 << 20;
-    // Versions invalidated more than this long ago (wall clock) cannot satisfy any transaction
-    // and are eagerly evicted. Matches the largest staleness limit the deployment uses.
-    WallClock max_staleness = Seconds(120);
-    // How many commit timestamps of per-tag invalidation history to retain for insert-time
-    // replay. Inserts whose computed_at is older than the retained floor have their still-valid
-    // claim truncated conservatively.
-    Timestamp history_retention = 100'000;
-    // Run the staleness sweep every this many mutating operations.
-    uint64_t sweep_interval_ops = 2048;
-  };
+  using Options = CacheOptions;
 
   CacheServer(std::string name, const Clock* clock) : CacheServer(std::move(name), clock, Options{}) {}
   CacheServer(std::string name, const Clock* clock, Options options);
@@ -57,6 +48,14 @@ class CacheServer : public InvalidationSubscriber {
   CacheServer& operator=(const CacheServer&) = delete;
 
   LookupResponse Lookup(const LookupRequest& req);
+  // Batched lookups: one shard-lock acquisition per shard touched. responses[i] answers
+  // lookups[i].
+  MultiLookupResponse MultiLookup(const MultiLookupRequest& req);
+  // Scatter form used by cluster routing: answers only req.lookups[i] for i in `indices`,
+  // writing each result to out->responses[i] (which must be pre-sized). Avoids copying
+  // sub-batches on the hot path.
+  void MultiLookup(const MultiLookupRequest& req, const std::vector<uint32_t>& indices,
+                   MultiLookupResponse* out);
   Status Insert(const InsertRequest& req);
 
   // InvalidationSubscriber: called by the bus (possibly out of order in tests/simulation).
@@ -69,82 +68,52 @@ class CacheServer : public InvalidationSubscriber {
   // contents from a snapshot"). The snapshot serializes every resident version (values,
   // intervals, tags, computed_at) plus the stream position; importing replays each entry
   // through the normal Insert path so invalidation-history checks still apply.
+  //
+  // Caveat (pre-existing, inherited from the monolithic server): importing into a NON-empty
+  // cache that lags the snapshot's stream position fast-forwards past messages this node
+  // never applied — the importer's own pre-existing still-valid entries skip those
+  // truncations, because the snapshot carries the exporter's data but not its replay
+  // history. The §8 deployment pattern (restore into a fresh node before serving) is safe.
   std::string ExportSnapshot() const;
   Status ImportSnapshot(const std::string& snapshot);
 
   const std::string& name() const { return name_; }
-  CacheStats stats() const;
+  CacheStats stats() const;  // aggregated over shards; safe under concurrent load
   void ResetStats();
   size_t bytes_used() const;
   size_t version_count() const;
   size_t key_count() const;
   Timestamp last_invalidation_ts() const;
 
+  size_t num_shards() const { return shards_.size(); }
+  // Which shard a key routes to. Exposed for tests and for benchmarks that model per-shard
+  // queueing.
+  size_t ShardIndexForKey(const std::string& key) const;
+
  private:
-  struct Version {
-    Interval interval;                      // truncated in place by invalidations
-    Timestamp known_valid_through = kTimestampZero;  // max(lower, computed_at)
-    bool still_valid = false;
-    std::string value;
-    std::vector<InvalidationTag> tags;      // registered in tag index iff still_valid
-    WallClock invalidated_wallclock = 0;    // set when truncated
-    size_t bytes = 0;
-    const std::string* key = nullptr;       // points at the map node's key (stable)
-    std::list<Version*>::iterator lru_it;   // position in lru_
-  };
-
-  struct KeyEntry {
-    // Sorted by interval.lower; intervals pairwise disjoint.
-    std::vector<std::unique_ptr<Version>> versions;
-    bool ever_inserted = false;
-  };
-
-  // All helpers assume mu_ is held.
-  void ApplyLocked(const InvalidationMessage& msg);
-  void TruncateLocked(Version* v, Timestamp ts, WallClock wallclock);
-  void RegisterTagsLocked(Version* v);
-  void UnregisterTagsLocked(Version* v);
-  void RemoveVersionLocked(Version* v);
-  void TouchLocked(Version* v);
-  void EvictToFitLocked();
-  void SweepStaleLocked();
-  void RecordHistoryLocked(const InvalidationMessage& msg);
-  // Earliest invalidation affecting `tags` with timestamp > after; kTimestampInfinity if none.
-  Timestamp EarliestInvalidationAfterLocked(const std::vector<InvalidationTag>& tags,
-                                            Timestamp after) const;
-  Timestamp EffectiveUpperLocked(const Version& v) const;
+  CacheShard* ShardForKey(const std::string& key) const;
+  // Applies one in-order message: fan out to every shard (strict order is guaranteed by the
+  // sequencer serializing this sink).
+  void ApplySequenced(const InvalidationMessage& msg);
+  void SweepAllShards();
+  // Node-global LRU eviction: evicts the globally least-recently-used version (comparing
+  // shard LRU tails by touch tick) until the node fits its byte budget.
+  void EvictToFit();
 
   const std::string name_;
   const Clock* clock_;
   const Options options_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, KeyEntry> map_;
-  std::list<Version*> lru_;  // front = most recently used
-  size_t bytes_used_ = 0;
-  size_t version_count_ = 0;
+  std::atomic<size_t> bytes_used_{0};     // shared with shards
+  std::atomic<uint64_t> touch_ticker_{1};  // node-global LRU clock, shared with shards
+  std::vector<std::unique_ptr<CacheShard>> shards_;
+  StreamSequencer sequencer_;
 
-  // Still-valid version registry: concrete tag -> versions carrying it; table -> versions
-  // carrying any tag of that table (serves wildcard invalidation messages); table -> versions
-  // holding a wildcard tag on that table (invalidated by any message touching the table).
-  std::unordered_map<InvalidationTag, std::unordered_set<Version*>, TagHasher> tag_index_;
-  std::unordered_map<std::string, std::unordered_set<Version*>> table_index_;
-  std::unordered_map<std::string, std::unordered_set<Version*>> wildcard_holders_;
-
-  // Invalidation stream state.
-  uint64_t next_expected_seqno_ = 1;
-  std::map<uint64_t, InvalidationMessage> reorder_buffer_;
-  Timestamp last_invalidation_ts_ = kTimestampZero;
-
-  // Recent invalidation history for insert-time replay: per concrete tag, per table (wildcard
-  // messages), and per table (any message touching the table).
-  std::unordered_map<InvalidationTag, std::vector<Timestamp>, TagHasher> tag_history_;
-  std::unordered_map<std::string, std::vector<Timestamp>> table_wildcard_history_;
-  std::unordered_map<std::string, std::vector<Timestamp>> table_any_history_;
-  Timestamp history_floor_ = kTimestampZero;  // history below this has been pruned
-
-  uint64_t ops_since_sweep_ = 0;
-  CacheStats stats_;
+  // Messages applied in order (counted once per message, not per shard).
+  std::atomic<uint64_t> invalidation_messages_{0};
+  // Set by the sequencer sink when a shard's op counter fires; the sweep itself runs in
+  // Deliver, outside the sequencer's critical section.
+  std::atomic<bool> sweep_pending_{false};
 };
 
 }  // namespace txcache

@@ -1,0 +1,483 @@
+#include "src/cache/cache_shard.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace txcache {
+
+namespace {
+
+// Fixed per-version bookkeeping overhead charged against the byte budget.
+constexpr size_t kVersionOverhead = 96;
+
+size_t TagBytes(const std::vector<InvalidationTag>& tags) {
+  size_t n = 0;
+  for (const InvalidationTag& t : tags) {
+    n += t.table.size() + t.index.size() + t.key.size() + 8;
+  }
+  return n;
+}
+
+void InsertSorted(std::vector<Timestamp>& history, Timestamp ts) {
+  auto it = std::lower_bound(history.begin(), history.end(), ts);
+  if (it == history.end() || *it != ts) {
+    history.insert(it, ts);
+  }
+}
+
+Timestamp FirstAfter(const std::vector<Timestamp>& history, Timestamp after) {
+  auto it = std::upper_bound(history.begin(), history.end(), after);
+  return it == history.end() ? kTimestampInfinity : *it;
+}
+
+}  // namespace
+
+CacheShard::CacheShard(const Clock* clock, const CacheOptions& options,
+                       std::atomic<size_t>* global_bytes, std::atomic<uint64_t>* touch_ticker)
+    : clock_(clock), options_(options), global_bytes_(global_bytes), touch_ticker_(touch_ticker) {}
+
+CacheShard::~CacheShard() = default;
+
+Timestamp CacheShard::EffectiveUpperLocked(const Version& v) const {
+  if (!v.still_valid) {
+    return v.interval.upper;
+  }
+  // A still-valid entry is known valid through the later of (a) the snapshot it was computed
+  // from (the database vouches for it) and (b) the last invalidation applied by this shard (the
+  // stream would have truncated it otherwise). +1 converts an inclusive timestamp to the
+  // exclusive upper bound.
+  return std::max(v.known_valid_through, last_invalidation_ts_) + 1;
+}
+
+LookupResponse CacheShard::Lookup(const LookupRequest& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return LookupLocked(req);
+}
+
+void CacheShard::LookupBatch(const MultiLookupRequest& req, const std::vector<uint32_t>& indices,
+                             MultiLookupResponse* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t i : indices) {
+    out->responses[i] = LookupLocked(req.lookups[i]);
+  }
+}
+
+LookupResponse CacheShard::LookupLocked(const LookupRequest& req) {
+  ++stats_.lookups;
+  LookupResponse resp;
+
+  auto it = map_.find(req.key);
+  const KeyEntry* entry = it == map_.end() ? nullptr : &it->second;
+  if (entry == nullptr || !entry->ever_inserted) {
+    resp.miss = MissKind::kCompulsory;
+    ++stats_.miss_compulsory;
+    return resp;
+  }
+
+  const Interval want{req.bounds_lo,
+                      req.bounds_hi == kTimestampInfinity ? kTimestampInfinity
+                                                          : req.bounds_hi + 1};
+  Version* best = nullptr;
+  Interval best_effective;
+  bool any_fresh = false;  // some version intersects [fresh_lo, last_inval]: staleness is fine
+  for (const auto& v : entry->versions) {
+    Interval effective = v->interval;
+    effective.upper = EffectiveUpperLocked(*v);
+    const Interval fresh_want{req.fresh_lo, std::max(req.fresh_lo, last_invalidation_ts_) + 1};
+    if (effective.Overlaps(fresh_want)) {
+      any_fresh = true;
+    }
+    if (!effective.Overlaps(want)) {
+      continue;
+    }
+    if (best == nullptr || effective.lower > best_effective.lower) {
+      best = v.get();
+      best_effective = effective;
+    }
+  }
+  if (best != nullptr) {
+    ++stats_.hits;
+    TouchLocked(best);
+    resp.hit = true;
+    resp.value = best->value;
+    resp.interval = best_effective;
+    resp.still_valid = best->still_valid;
+    if (best->still_valid) {
+      resp.tags = best->tags;
+    }
+    return resp;
+  }
+  if (any_fresh) {
+    // Something fresh enough existed, just not consistent with the caller's pin set.
+    resp.miss = MissKind::kConsistency;
+    ++stats_.miss_consistency;
+  } else if (entry->versions.empty()) {
+    resp.miss = MissKind::kCapacity;
+    ++stats_.miss_capacity;
+  } else {
+    resp.miss = MissKind::kStaleness;
+    ++stats_.miss_staleness;
+  }
+  return resp;
+}
+
+bool CacheShard::CountOpLocked() {
+  if (++ops_since_sweep_ >= options_.sweep_interval_ops) {
+    ops_since_sweep_ = 0;
+    return true;
+  }
+  return false;
+}
+
+Status CacheShard::Insert(const InsertRequest& req, bool* sweep_due) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (req.interval.empty()) {
+    return Status::InvalidArgument("empty validity interval");
+  }
+  KeyEntry& entry = map_[req.key];
+  entry.ever_inserted = true;
+
+  Interval interval = req.interval;
+  Timestamp known_through = std::max(interval.lower, req.computed_at);
+  bool still_valid = interval.unbounded();
+  WallClock invalidated_at = 0;
+
+  if (still_valid) {
+    // Replay invalidations that arrived before this insert (§4.2): anything later than the
+    // snapshot the value was computed at may have changed the result.
+    if (known_through < history_floor_) {
+      // History no longer covers the gap; conservatively bound validity at what the database
+      // vouched for rather than risking a stale still-valid entry.
+      interval.upper = known_through + 1;
+      still_valid = false;
+      invalidated_at = clock_->Now();
+      ++stats_.insert_time_truncations;
+    } else {
+      Timestamp first = EarliestInvalidationAfterLocked(req.tags, known_through);
+      if (first != kTimestampInfinity) {
+        interval.upper = first;
+        still_valid = false;
+        invalidated_at = clock_->Now();
+        ++stats_.insert_time_truncations;
+        if (interval.empty()) {
+          // Invalidated at or before it became valid; nothing worth storing.
+          ++stats_.inserts;
+          *sweep_due = CountOpLocked();
+          return Status::Ok();
+        }
+      }
+    }
+  }
+
+  // Preserve the disjointness invariant: if any stored version already covers part of this
+  // interval, keep the existing one (same key + overlapping validity implies equal value).
+  for (const auto& v : entry.versions) {
+    Interval effective = v->interval;
+    effective.upper = EffectiveUpperLocked(*v);
+    if (effective.Overlaps(interval) || v->interval.Overlaps(interval)) {
+      ++stats_.duplicate_inserts;
+      return Status::Ok();
+    }
+  }
+
+  auto version = std::make_unique<Version>();
+  version->interval = interval;
+  version->known_valid_through = known_through;
+  version->still_valid = still_valid;
+  version->value = req.value;
+  version->tags = req.tags;
+  version->invalidated_wallclock = invalidated_at;
+  version->bytes = kVersionOverhead + req.key.size() + req.value.size() + TagBytes(req.tags);
+  version->touch_tick = touch_ticker_->fetch_add(1, std::memory_order_relaxed);
+
+  auto map_it = map_.find(req.key);
+  version->key = &map_it->first;
+  lru_.push_front(version.get());
+  version->lru_it = lru_.begin();
+  global_bytes_->fetch_add(version->bytes, std::memory_order_relaxed);
+  ++version_count_;
+  if (still_valid) {
+    RegisterTagsLocked(version.get());
+  }
+
+  auto pos = std::lower_bound(
+      entry.versions.begin(), entry.versions.end(), version->interval.lower,
+      [](const std::unique_ptr<Version>& a, Timestamp t) { return a->interval.lower < t; });
+  entry.versions.insert(pos, std::move(version));
+  ++stats_.inserts;
+
+  *sweep_due = CountOpLocked();
+  return Status::Ok();
+}
+
+void CacheShard::ApplyInvalidation(const InvalidationMessage& msg, bool* sweep_due) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const WallClock now = clock_->Now();
+  std::vector<Version*> affected;
+  for (const InvalidationTag& tag : msg.tags) {
+    if (tag.wildcard) {
+      auto it = table_index_.find(tag.table);
+      if (it != table_index_.end()) {
+        affected.insert(affected.end(), it->second.begin(), it->second.end());
+      }
+    } else {
+      auto it = tag_index_.find(tag);
+      if (it != tag_index_.end()) {
+        affected.insert(affected.end(), it->second.begin(), it->second.end());
+      }
+      // Entries that carry a wildcard tag on this table depend on everything in it.
+      auto wit = wildcard_holders_.find(tag.table);
+      if (wit != wildcard_holders_.end()) {
+        affected.insert(affected.end(), wit->second.begin(), wit->second.end());
+      }
+    }
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+  for (Version* v : affected) {
+    TruncateLocked(v, msg.ts, now);
+  }
+  RecordHistoryLocked(msg);
+  last_invalidation_ts_ = std::max(last_invalidation_ts_, msg.ts);
+  *sweep_due = CountOpLocked();
+}
+
+void CacheShard::TruncateLocked(Version* v, Timestamp ts, WallClock wallclock) {
+  if (!v->still_valid) {
+    return;
+  }
+  // The database accounted for everything up to known_valid_through when it computed the
+  // interval; a coarser-granularity tag match in that range does not bound this value.
+  if (ts <= v->known_valid_through) {
+    return;
+  }
+  UnregisterTagsLocked(v);
+  v->still_valid = false;
+  v->interval.upper = ts;
+  v->invalidated_wallclock = wallclock;
+  ++stats_.invalidation_truncations;
+}
+
+void CacheShard::RegisterTagsLocked(Version* v) {
+  for (const InvalidationTag& tag : v->tags) {
+    if (tag.wildcard) {
+      wildcard_holders_[tag.table].insert(v);
+    } else {
+      tag_index_[tag].insert(v);
+    }
+    table_index_[tag.table].insert(v);
+  }
+}
+
+void CacheShard::UnregisterTagsLocked(Version* v) {
+  for (const InvalidationTag& tag : v->tags) {
+    if (tag.wildcard) {
+      auto it = wildcard_holders_.find(tag.table);
+      if (it != wildcard_holders_.end()) {
+        it->second.erase(v);
+        if (it->second.empty()) {
+          wildcard_holders_.erase(it);
+        }
+      }
+    } else {
+      auto it = tag_index_.find(tag);
+      if (it != tag_index_.end()) {
+        it->second.erase(v);
+        if (it->second.empty()) {
+          tag_index_.erase(it);
+        }
+      }
+    }
+    auto tit = table_index_.find(tag.table);
+    if (tit != table_index_.end()) {
+      tit->second.erase(v);
+      if (tit->second.empty()) {
+        table_index_.erase(tit);
+      }
+    }
+  }
+}
+
+void CacheShard::RemoveVersionLocked(Version* v) {
+  if (v->still_valid) {
+    UnregisterTagsLocked(v);
+  }
+  lru_.erase(v->lru_it);
+  global_bytes_->fetch_sub(v->bytes, std::memory_order_relaxed);
+  --version_count_;
+  auto it = map_.find(*v->key);
+  assert(it != map_.end());
+  KeyEntry& entry = it->second;
+  auto pos = std::find_if(entry.versions.begin(), entry.versions.end(),
+                          [v](const std::unique_ptr<Version>& p) { return p.get() == v; });
+  assert(pos != entry.versions.end());
+  entry.versions.erase(pos);  // destroys v
+  // Keep the KeyEntry itself (ever_inserted distinguishes capacity from compulsory misses).
+}
+
+void CacheShard::TouchLocked(Version* v) {
+  lru_.erase(v->lru_it);
+  lru_.push_front(v);
+  v->lru_it = lru_.begin();
+  v->touch_tick = touch_ticker_->fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<uint64_t> CacheShard::OldestTick() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lru_.empty()) {
+    return std::nullopt;
+  }
+  return lru_.back()->touch_tick;
+}
+
+bool CacheShard::EvictOne() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lru_.empty()) {
+    return false;
+  }
+  RemoveVersionLocked(lru_.back());
+  ++stats_.evictions_lru;
+  return true;
+}
+
+void CacheShard::SweepStale() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SweepStaleLocked();
+}
+
+void CacheShard::SweepStaleLocked() {
+  const WallClock cutoff = clock_->Now() - options_.max_staleness;
+  std::vector<Version*> victims;
+  for (Version* v : lru_) {
+    if (!v->still_valid && v->invalidated_wallclock > 0 && v->invalidated_wallclock < cutoff) {
+      victims.push_back(v);
+    }
+  }
+  for (Version* v : victims) {
+    RemoveVersionLocked(v);
+    ++stats_.evictions_stale;
+  }
+}
+
+void CacheShard::RecordHistoryLocked(const InvalidationMessage& msg) {
+  for (const InvalidationTag& tag : msg.tags) {
+    if (tag.wildcard) {
+      InsertSorted(table_wildcard_history_[tag.table], msg.ts);
+    } else {
+      InsertSorted(tag_history_[tag], msg.ts);
+    }
+    InsertSorted(table_any_history_[tag.table], msg.ts);
+  }
+  // Prune old history so memory stays bounded.
+  if (msg.ts > options_.history_retention &&
+      msg.ts - options_.history_retention > history_floor_) {
+    history_floor_ = msg.ts - options_.history_retention;
+    auto prune = [floor = history_floor_](auto& map) {
+      for (auto it = map.begin(); it != map.end();) {
+        auto& vec = it->second;
+        vec.erase(vec.begin(), std::lower_bound(vec.begin(), vec.end(), floor));
+        if (vec.empty()) {
+          it = map.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+    prune(tag_history_);
+    prune(table_wildcard_history_);
+    prune(table_any_history_);
+  }
+}
+
+Timestamp CacheShard::EarliestInvalidationAfterLocked(const std::vector<InvalidationTag>& tags,
+                                                      Timestamp after) const {
+  Timestamp earliest = kTimestampInfinity;
+  for (const InvalidationTag& tag : tags) {
+    if (tag.wildcard) {
+      // An entry depending on the whole table is invalidated by any message touching it.
+      auto it = table_any_history_.find(tag.table);
+      if (it != table_any_history_.end()) {
+        earliest = std::min(earliest, FirstAfter(it->second, after));
+      }
+    } else {
+      auto it = tag_history_.find(tag);
+      if (it != tag_history_.end()) {
+        earliest = std::min(earliest, FirstAfter(it->second, after));
+      }
+      auto wit = table_wildcard_history_.find(tag.table);
+      if (wit != table_wildcard_history_.end()) {
+        earliest = std::min(earliest, FirstAfter(wit->second, after));
+      }
+    }
+  }
+  return earliest;
+}
+
+std::pair<uint64_t, std::string> CacheShard::ExportEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Writer w;
+  for (const auto& [key, entry] : map_) {
+    for (const auto& v : entry.versions) {
+      w.PutString(key);
+      w.PutString(v->value);
+      w.PutU64(v->interval.lower);
+      w.PutU64(v->still_valid ? kTimestampInfinity : v->interval.upper);
+      w.PutU64(v->known_valid_through);
+      w.PutU32(static_cast<uint32_t>(v->tags.size()));
+      for (const InvalidationTag& tag : v->tags) {
+        w.PutString(tag.table);
+        w.PutString(tag.index);
+        w.PutString(tag.key);
+        w.PutBool(tag.wildcard);
+      }
+    }
+  }
+  return {version_count_, w.Take()};
+}
+
+void CacheShard::AdoptStreamPosition(Timestamp last_invalidation_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_invalidation_ts_ = std::max(last_invalidation_ts_, last_invalidation_ts);
+}
+
+void CacheShard::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t freed = 0;
+  for (const Version* v : lru_) {
+    freed += v->bytes;
+  }
+  map_.clear();
+  lru_.clear();
+  tag_index_.clear();
+  table_index_.clear();
+  wildcard_holders_.clear();
+  global_bytes_->fetch_sub(freed, std::memory_order_relaxed);
+  version_count_ = 0;
+}
+
+CacheStats CacheShard::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void CacheShard::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = CacheStats{};
+}
+
+size_t CacheShard::version_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_count_;
+}
+
+size_t CacheShard::key_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+Timestamp CacheShard::last_invalidation_ts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_invalidation_ts_;
+}
+
+}  // namespace txcache

@@ -1,0 +1,156 @@
+// One lock-striped partition of a cache node (paper §4, sharded).
+//
+// A shard owns every mutable structure for the keys that hash to it: the version chains, the
+// still-valid tag index, its slice of the LRU order, the per-tag invalidation history used for
+// insert-time replay, and its own stats counters — all guarded by one shard mutex. Nothing in
+// a shard ever takes another shard's lock, so lookups and inserts on different shards never
+// contend.
+//
+// Cross-shard concerns live in the CacheServer frontend:
+//   * the invalidation stream is sequenced once per node (StreamSequencer) and fanned out to
+//     every shard in strict seqno order, so each shard observes the same totally ordered
+//     stream the paper's single-structure node does — the §4.2 insert/invalidate-race argument
+//     then holds per shard verbatim;
+//   * eviction is node-global: shards share an atomic byte counter and a monotonically
+//     increasing touch tick, and the frontend evicts from whichever shard holds the globally
+//     least-recently-used tail, preserving the monolithic server's LRU behavior;
+//   * the staleness sweep fires from any one shard's op counter but sweeps all shards, so
+//     garbage in cold shards is still collected when traffic is skewed.
+#ifndef SRC_CACHE_CACHE_SHARD_H_
+#define SRC_CACHE_CACHE_SHARD_H_
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/bus/invalidation.h"
+#include "src/cache/cache_types.h"
+#include "src/util/clock.h"
+#include "src/util/serde.h"
+#include "src/util/status.h"
+
+namespace txcache {
+
+class CacheShard {
+ public:
+  CacheShard(const Clock* clock, const CacheOptions& options,
+             std::atomic<size_t>* global_bytes, std::atomic<uint64_t>* touch_ticker);
+  ~CacheShard();
+
+  CacheShard(const CacheShard&) = delete;
+  CacheShard& operator=(const CacheShard&) = delete;
+
+  LookupResponse Lookup(const LookupRequest& req);
+  // Answers req.lookups[i] for every i in `indices` under a single lock acquisition, writing
+  // each result to out->responses[i]. Byte-identical to issuing the lookups one at a time.
+  void LookupBatch(const MultiLookupRequest& req, const std::vector<uint32_t>& indices,
+                   MultiLookupResponse* out);
+  // `*sweep_due` is set when this shard's mutating-op counter crossed the sweep interval; the
+  // caller (frontend) then sweeps all shards without any shard lock held.
+  Status Insert(const InsertRequest& req, bool* sweep_due);
+
+  // Applies one invalidation message. The caller (the node's sequencer sink) guarantees
+  // strict seqno order and no concurrent invocations.
+  void ApplyInvalidation(const InvalidationMessage& msg, bool* sweep_due);
+
+  // Eager eviction of versions invalidated longer ago than any staleness limit accepts.
+  void SweepStale();
+
+  // Node-global LRU support: the frontend compares OldestTick across shards and evicts one
+  // version from the globally least-recently-used tail until the node fits its budget.
+  std::optional<uint64_t> OldestTick() const;
+  bool EvictOne();
+
+  void Flush();  // drops cached data; keeps invalidation history and stream position
+
+  // Snapshot support. ExportEntries serializes this shard's resident versions (same record
+  // format the monolithic server used); AdoptStreamPosition fast-forwards the shard's view of
+  // the last applied invalidation timestamp on snapshot import.
+  std::pair<uint64_t, std::string> ExportEntries() const;
+  void AdoptStreamPosition(Timestamp last_invalidation_ts);
+
+  CacheStats stats() const;  // this shard's partial counters
+  void ResetStats();
+  size_t version_count() const;
+  size_t key_count() const;
+  Timestamp last_invalidation_ts() const;
+
+ private:
+  struct Version {
+    Interval interval;                      // truncated in place by invalidations
+    Timestamp known_valid_through = kTimestampZero;  // max(lower, computed_at)
+    bool still_valid = false;
+    std::string value;
+    std::vector<InvalidationTag> tags;      // registered in tag index iff still_valid
+    WallClock invalidated_wallclock = 0;    // set when truncated
+    size_t bytes = 0;
+    uint64_t touch_tick = 0;                // node-global LRU ordinal (last touch)
+    const std::string* key = nullptr;       // points at the map node's key (stable)
+    std::list<Version*>::iterator lru_it;   // position in lru_
+  };
+
+  struct KeyEntry {
+    // Sorted by interval.lower; intervals pairwise disjoint.
+    std::vector<std::unique_ptr<Version>> versions;
+    bool ever_inserted = false;
+  };
+
+  // All helpers assume mu_ is held.
+  LookupResponse LookupLocked(const LookupRequest& req);
+  void TruncateLocked(Version* v, Timestamp ts, WallClock wallclock);
+  void RegisterTagsLocked(Version* v);
+  void UnregisterTagsLocked(Version* v);
+  void RemoveVersionLocked(Version* v);
+  void TouchLocked(Version* v);
+  void SweepStaleLocked();
+  void RecordHistoryLocked(const InvalidationMessage& msg);
+  // Earliest invalidation affecting `tags` with timestamp > after; kTimestampInfinity if none.
+  Timestamp EarliestInvalidationAfterLocked(const std::vector<InvalidationTag>& tags,
+                                            Timestamp after) const;
+  Timestamp EffectiveUpperLocked(const Version& v) const;
+  bool CountOpLocked();  // bumps the mutating-op counter; true when a sweep is due
+
+  const Clock* clock_;
+  const CacheOptions options_;
+  std::atomic<size_t>* const global_bytes_;    // shared across the node's shards
+  std::atomic<uint64_t>* const touch_ticker_;  // shared monotone LRU clock
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, KeyEntry> map_;
+  std::list<Version*> lru_;  // front = most recently used within this shard
+  size_t version_count_ = 0;
+
+  // Still-valid version registry: concrete tag -> versions carrying it; table -> versions
+  // carrying any tag of that table (serves wildcard invalidation messages); table -> versions
+  // holding a wildcard tag on that table (invalidated by any message touching the table).
+  std::unordered_map<InvalidationTag, std::unordered_set<Version*>, TagHasher> tag_index_;
+  std::unordered_map<std::string, std::unordered_set<Version*>> table_index_;
+  std::unordered_map<std::string, std::unordered_set<Version*>> wildcard_holders_;
+
+  // Timestamp of the last invalidation fanned out to this shard. Every shard receives every
+  // message, so after a Deliver completes all shards agree; mid-fan-out a shard may briefly
+  // lag, which only makes its effective upper bounds more conservative.
+  Timestamp last_invalidation_ts_ = kTimestampZero;
+
+  // Recent invalidation history for insert-time replay: per concrete tag, per table (wildcard
+  // messages), and per table (any message touching the table). Each shard keeps the full
+  // history because an insert carrying any tag can hash to any shard.
+  std::unordered_map<InvalidationTag, std::vector<Timestamp>, TagHasher> tag_history_;
+  std::unordered_map<std::string, std::vector<Timestamp>> table_wildcard_history_;
+  std::unordered_map<std::string, std::vector<Timestamp>> table_any_history_;
+  Timestamp history_floor_ = kTimestampZero;  // history below this has been pruned
+
+  uint64_t ops_since_sweep_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_CACHE_CACHE_SHARD_H_

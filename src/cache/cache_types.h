@@ -47,6 +47,18 @@ struct LookupResponse {
   std::vector<InvalidationTag> tags;
 };
 
+// MULTILOOKUP: a batch of lookups resolved in one round-trip. The server partitions the batch
+// across its shards and answers each entry exactly as a standalone LOOKUP would; responses are
+// returned in request order. Cluster routing groups entries per owning node before dispatch,
+// so a cacheable call fanning out to many keys costs one round-trip per node, not per key.
+struct MultiLookupRequest {
+  std::vector<LookupRequest> lookups;
+};
+
+struct MultiLookupResponse {
+  std::vector<LookupResponse> responses;
+};
+
 // PUT: store the result of a cacheable-function call. `computed_at` is the snapshot the value
 // was computed from; the database vouches for validity through that timestamp, so the server
 // only needs to replay invalidations later than it when the entry claims to be still valid.
@@ -56,6 +68,25 @@ struct InsertRequest {
   Interval interval;  // unbounded upper => still valid, subscribe to invalidations
   Timestamp computed_at = kTimestampZero;
   std::vector<InvalidationTag> tags;
+};
+
+// Tuning knobs for a cache node. Shared by the thin CacheServer frontend and its shards.
+struct CacheOptions {
+  size_t capacity_bytes = 64 << 20;
+  // Versions invalidated more than this long ago (wall clock) cannot satisfy any transaction
+  // and are eagerly evicted. Matches the largest staleness limit the deployment uses.
+  WallClock max_staleness = Seconds(120);
+  // How many commit timestamps of per-tag invalidation history to retain for insert-time
+  // replay. Inserts whose computed_at is older than the retained floor have their still-valid
+  // claim truncated conservatively.
+  Timestamp history_retention = 100'000;
+  // Run the staleness sweep after any one shard has seen this many mutating operations. The
+  // counter is per shard (not global) so skewed traffic concentrated on one shard still
+  // triggers eager eviction promptly.
+  uint64_t sweep_interval_ops = 2048;
+  // Lock stripes inside one cache node. Each shard owns its own version chains, tag index,
+  // LRU list and invalidation history, keyed by hash(key) % num_shards.
+  size_t num_shards = 8;
 };
 
 struct CacheStats {
@@ -73,6 +104,24 @@ struct CacheStats {
   uint64_t evictions_lru = 0;
   uint64_t evictions_stale = 0;
   uint64_t reorder_buffered = 0;  // out-of-order stream messages held back
+
+  CacheStats& operator+=(const CacheStats& o) {
+    lookups += o.lookups;
+    hits += o.hits;
+    miss_compulsory += o.miss_compulsory;
+    miss_staleness += o.miss_staleness;
+    miss_capacity += o.miss_capacity;
+    miss_consistency += o.miss_consistency;
+    inserts += o.inserts;
+    duplicate_inserts += o.duplicate_inserts;
+    invalidation_messages += o.invalidation_messages;
+    invalidation_truncations += o.invalidation_truncations;
+    insert_time_truncations += o.insert_time_truncations;
+    evictions_lru += o.evictions_lru;
+    evictions_stale += o.evictions_stale;
+    reorder_buffered += o.reorder_buffered;
+    return *this;
+  }
 
   uint64_t misses() const {
     return miss_compulsory + miss_staleness + miss_capacity + miss_consistency;

@@ -47,6 +47,22 @@ Result<std::string> ConsistentHashRing::NodeForKey(uint64_t key_hash) const {
   return it->second;
 }
 
+Result<std::map<std::string, std::vector<uint32_t>>> ConsistentHashRing::GroupByNode(
+    const std::vector<std::string_view>& keys) const {
+  if (ring_.empty()) {
+    return Status::Unavailable("no cache nodes in ring");
+  }
+  std::map<std::string, std::vector<uint32_t>> groups;
+  for (uint32_t i = 0; i < keys.size(); ++i) {
+    auto node_or = NodeForKey(Fnv1a(keys[i]));
+    if (!node_or.ok()) {
+      return node_or.status();
+    }
+    groups[node_or.value()].push_back(i);
+  }
+  return groups;
+}
+
 std::vector<std::string> ConsistentHashRing::Nodes() const {
   std::vector<std::string> out;
   out.reserve(nodes_.size());

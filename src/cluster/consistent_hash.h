@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/util/hash.h"
@@ -32,6 +33,13 @@ class ConsistentHashRing {
   Result<std::string> NodeForKey(const std::string& key) const {
     return NodeForKey(Fnv1a(key));
   }
+
+  // Batch routing for the batched lookup pipeline: maps every key to its owning node in one
+  // pass, returning request positions grouped per node (preserving per-node request order).
+  // Takes views so callers on the hot path need not materialize key copies. Empty ring =>
+  // error.
+  Result<std::map<std::string, std::vector<uint32_t>>> GroupByNode(
+      const std::vector<std::string_view>& keys) const;
 
   size_t node_count() const { return nodes_.size(); }
   size_t ring_size() const { return ring_.size(); }

@@ -9,7 +9,9 @@
 
 #include <functional>
 #include <string>
+#include <tuple>
 #include <utility>
+#include <vector>
 
 #include "src/core/txcache_client.h"
 #include "src/util/serde.h"
@@ -93,6 +95,47 @@ class CacheableFunction {
     FrameOutcome outcome = guard.Finish();
     client_->CacheStore(key, SerializeToString(ret), outcome);
     return ret;
+  }
+
+  // Batched call: when one logical operation fans out to many keys (a page rendering N items,
+  // a feed resolving N users), resolve every argument tuple through a single MULTILOOKUP
+  // round-trip per cache node instead of one per key. Misses are recomputed and stored
+  // individually, and pin-set narrowing threads through the batched responses in order, so
+  // the transactional-consistency guarantees are identical to sequential calls. Results are
+  // positionally aligned with `calls`.
+  std::vector<Ret> Batch(const std::vector<std::tuple<Args...>>& calls) const {
+    std::vector<Ret> out;
+    out.reserve(calls.size());
+    if (client_ == nullptr || !client_->ShouldUseCache()) {
+      // Degenerate to per-element calls, which keep the RW-bypass / no-cache semantics.
+      for (const auto& call : calls) {
+        out.push_back(std::apply(*this, call));
+      }
+      return out;
+    }
+    std::vector<std::string> keys;
+    keys.reserve(calls.size());
+    for (const auto& call : calls) {
+      client_->CountCacheableCall();
+      keys.push_back(std::apply(
+          [this](const Args&... args) { return MakeCacheKey(name_, args...); }, call));
+    }
+    std::vector<Result<std::string>> hits = client_->CacheMultiLookup(keys);
+    for (size_t i = 0; i < calls.size(); ++i) {
+      if (hits[i].ok()) {
+        auto decoded = DeserializeFromString<Ret>(hits[i].value());
+        if (decoded.ok()) {
+          out.push_back(decoded.take());
+          continue;
+        }
+      }
+      FrameGuard guard(client_);
+      Ret ret = std::apply(fn_, calls[i]);
+      FrameOutcome outcome = guard.Finish();
+      client_->CacheStore(keys[i], SerializeToString(ret), outcome);
+      out.push_back(std::move(ret));
+    }
+    return out;
   }
 
   const std::string& name() const { return name_; }

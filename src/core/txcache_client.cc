@@ -238,6 +238,40 @@ Result<size_t> TxCacheClient::Delete(const std::string& table, const AccessPath&
   return db_->Delete(*db_txn_, table, path, where);
 }
 
+void TxCacheClient::LookupBounds(Timestamp* lo, Timestamp* hi) const {
+  if (chosen_ts_.has_value() && options_.mode == ClientMode::kConsistent) {
+    // The serialization timestamp is already fixed (a database query ran at it). Invariant 2's
+    // proof (§6.2.1) relies on the chosen timestamp remaining in the pin set — a later query
+    // executes at that snapshot and narrows the pin set to its validity interval — so a cached
+    // value is only usable if it was valid at exactly that timestamp.
+    *lo = *chosen_ts_;
+    *hi = *chosen_ts_;
+  } else {
+    *lo = pin_set_.BoundsLo();
+    *hi = pin_set_.BoundsHi();
+  }
+}
+
+void TxCacheClient::RecordMiss(MissKind kind) {
+  ++stats_.cache_misses;
+  switch (kind) {
+    case MissKind::kCompulsory:
+      ++stats_.miss_compulsory;
+      break;
+    case MissKind::kStaleness:
+      ++stats_.miss_staleness;
+      break;
+    case MissKind::kCapacity:
+      ++stats_.miss_capacity;
+      break;
+    case MissKind::kConsistency:
+      ++stats_.miss_consistency;
+      break;
+    case MissKind::kNone:
+      break;
+  }
+}
+
 Result<std::string> TxCacheClient::CacheLookup(const std::string& key) {
   assert(ShouldUseCache());
   Status st = EnsurePinnedSnapshot();
@@ -250,37 +284,11 @@ Result<std::string> TxCacheClient::CacheLookup(const std::string& key) {
   }
   LookupRequest req;
   req.key = key;
-  if (chosen_ts_.has_value() && options_.mode == ClientMode::kConsistent) {
-    // The serialization timestamp is already fixed (a database query ran at it). Invariant 2's
-    // proof (§6.2.1) relies on the chosen timestamp remaining in the pin set — a later query
-    // executes at that snapshot and narrows the pin set to its validity interval — so a cached
-    // value is only usable if it was valid at exactly that timestamp.
-    req.bounds_lo = *chosen_ts_;
-    req.bounds_hi = *chosen_ts_;
-  } else {
-    req.bounds_lo = pin_set_.BoundsLo();
-    req.bounds_hi = pin_set_.BoundsHi();
-  }
+  LookupBounds(&req.bounds_lo, &req.bounds_hi);
   req.fresh_lo = pin_set_.BoundsLo();
   LookupResponse resp = node_or.value()->Lookup(req);
   if (!resp.hit) {
-    ++stats_.cache_misses;
-    switch (resp.miss) {
-      case MissKind::kCompulsory:
-        ++stats_.miss_compulsory;
-        break;
-      case MissKind::kStaleness:
-        ++stats_.miss_staleness;
-        break;
-      case MissKind::kCapacity:
-        ++stats_.miss_capacity;
-        break;
-      case MissKind::kConsistency:
-        ++stats_.miss_consistency;
-        break;
-      case MissKind::kNone:
-        break;
-    }
+    RecordMiss(resp.miss);
     return Status::NotFound("cache miss");
   }
   if (options_.mode == ClientMode::kConsistent) {
@@ -288,14 +296,64 @@ Result<std::string> TxCacheClient::CacheLookup(const std::string& key) {
     // intersection means using this value could break serializability: treat it as a miss.
     if (!pin_set_.NarrowTo(resp.interval)) {
       ++stats_.pin_set_rejects;
-      ++stats_.cache_misses;
-      ++stats_.miss_consistency;
+      RecordMiss(MissKind::kConsistency);
       return Status::NotFound("cache hit rejected by pin set");
     }
   }
   PropagateToFrames(resp.interval, resp.tags);
   ++stats_.cache_hits;
   return resp.value;
+}
+
+std::vector<Result<std::string>> TxCacheClient::CacheMultiLookup(
+    const std::vector<std::string>& keys) {
+  assert(ShouldUseCache());
+  std::vector<Result<std::string>> out;
+  out.reserve(keys.size());
+  Status st = EnsurePinnedSnapshot();
+  if (!st.ok()) {
+    out.assign(keys.size(), Result<std::string>(st));
+    return out;
+  }
+  MultiLookupRequest req;
+  req.lookups.resize(keys.size());
+  // Every entry probes with the bounds the pin set has *now*; the authoritative per-hit
+  // narrowing below handles the entries whose server-side check went stale mid-batch.
+  Timestamp lo, hi;
+  LookupBounds(&lo, &hi);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    req.lookups[i].key = keys[i];
+    req.lookups[i].bounds_lo = lo;
+    req.lookups[i].bounds_hi = hi;
+    req.lookups[i].fresh_lo = pin_set_.BoundsLo();
+  }
+  ++stats_.multi_lookup_batches;
+  stats_.multi_lookup_keys += keys.size();
+  auto resp_or = cache_->MultiLookup(req);
+  if (!resp_or.ok()) {
+    out.assign(keys.size(), Result<std::string>(resp_or.status()));
+    return out;
+  }
+  // Thread the pin-set intersection through the batch in request order: each accepted hit
+  // narrows the pin set, and later hits must intersect the already-narrowed set — exactly the
+  // serializability rule sequential lookups enforce (§6.2).
+  for (LookupResponse& resp : resp_or.value().responses) {
+    if (!resp.hit) {
+      RecordMiss(resp.miss);
+      out.push_back(Result<std::string>(Status::NotFound("cache miss")));
+      continue;
+    }
+    if (options_.mode == ClientMode::kConsistent && !pin_set_.NarrowTo(resp.interval)) {
+      ++stats_.pin_set_rejects;
+      RecordMiss(MissKind::kConsistency);
+      out.push_back(Result<std::string>(Status::NotFound("cache hit rejected by pin set")));
+      continue;
+    }
+    PropagateToFrames(resp.interval, resp.tags);
+    ++stats_.cache_hits;
+    out.push_back(Result<std::string>(std::move(resp.value)));
+  }
+  return out;
 }
 
 Result<std::string> TxCacheClient::RwCacheLookup(const std::string& key) {

@@ -20,6 +20,7 @@
 #ifndef SRC_CORE_TXCACHE_CLIENT_H_
 #define SRC_CORE_TXCACHE_CLIENT_H_
 
+#include <atomic>
 #include <optional>
 #include <set>
 #include <string>
@@ -63,6 +64,77 @@ struct ClientStats {
   uint64_t db_index_probes = 0;
   uint64_t db_writes = 0;  // INSERT/UPDATE/DELETE statements issued
   uint64_t pins_created = 0;
+  uint64_t multi_lookup_batches = 0;  // batched cache round-trips issued
+  uint64_t multi_lookup_keys = 0;     // keys resolved through batched round-trips
+};
+
+// Atomic mirror of ClientStats. A client session is single-threaded, but its counters are
+// routinely read while the session is running (benchmarks, the simulator's monitors, the
+// stress tests) — plain uint64_t fields would make that a data race once the cache fleet is
+// under real concurrent load. Increment sites use the atomics' built-in operators (seq_cst;
+// the session thread is the only writer, readers need only atomicity); Snapshot/Reset read
+// and clear with relaxed ordering.
+struct AtomicClientStats {
+  std::atomic<uint64_t> ro_txns{0};
+  std::atomic<uint64_t> rw_txns{0};
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> aborts{0};
+  std::atomic<uint64_t> cacheable_calls{0};
+  std::atomic<uint64_t> bypassed_calls{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> miss_compulsory{0};
+  std::atomic<uint64_t> miss_staleness{0};
+  std::atomic<uint64_t> miss_capacity{0};
+  std::atomic<uint64_t> miss_consistency{0};
+  std::atomic<uint64_t> pin_set_rejects{0};
+  std::atomic<uint64_t> cache_inserts{0};
+  std::atomic<uint64_t> inserts_skipped{0};
+  std::atomic<uint64_t> db_queries{0};
+  std::atomic<uint64_t> db_tuples_examined{0};
+  std::atomic<uint64_t> db_index_probes{0};
+  std::atomic<uint64_t> db_writes{0};
+  std::atomic<uint64_t> pins_created{0};
+  std::atomic<uint64_t> multi_lookup_batches{0};
+  std::atomic<uint64_t> multi_lookup_keys{0};
+
+  ClientStats Snapshot() const {
+    ClientStats s;
+    s.ro_txns = ro_txns.load(std::memory_order_relaxed);
+    s.rw_txns = rw_txns.load(std::memory_order_relaxed);
+    s.commits = commits.load(std::memory_order_relaxed);
+    s.aborts = aborts.load(std::memory_order_relaxed);
+    s.cacheable_calls = cacheable_calls.load(std::memory_order_relaxed);
+    s.bypassed_calls = bypassed_calls.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+    s.cache_misses = cache_misses.load(std::memory_order_relaxed);
+    s.miss_compulsory = miss_compulsory.load(std::memory_order_relaxed);
+    s.miss_staleness = miss_staleness.load(std::memory_order_relaxed);
+    s.miss_capacity = miss_capacity.load(std::memory_order_relaxed);
+    s.miss_consistency = miss_consistency.load(std::memory_order_relaxed);
+    s.pin_set_rejects = pin_set_rejects.load(std::memory_order_relaxed);
+    s.cache_inserts = cache_inserts.load(std::memory_order_relaxed);
+    s.inserts_skipped = inserts_skipped.load(std::memory_order_relaxed);
+    s.db_queries = db_queries.load(std::memory_order_relaxed);
+    s.db_tuples_examined = db_tuples_examined.load(std::memory_order_relaxed);
+    s.db_index_probes = db_index_probes.load(std::memory_order_relaxed);
+    s.db_writes = db_writes.load(std::memory_order_relaxed);
+    s.pins_created = pins_created.load(std::memory_order_relaxed);
+    s.multi_lookup_batches = multi_lookup_batches.load(std::memory_order_relaxed);
+    s.multi_lookup_keys = multi_lookup_keys.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    for (std::atomic<uint64_t>* c :
+         {&ro_txns, &rw_txns, &commits, &aborts, &cacheable_calls, &bypassed_calls,
+          &cache_hits, &cache_misses, &miss_compulsory, &miss_staleness, &miss_capacity,
+          &miss_consistency, &pin_set_rejects, &cache_inserts, &inserts_skipped, &db_queries,
+          &db_tuples_examined, &db_index_probes, &db_writes, &pins_created,
+          &multi_lookup_batches, &multi_lookup_keys}) {
+      c->store(0, std::memory_order_relaxed);
+    }
+  }
 };
 
 // Validity/tag accumulation for one cacheable function on the call stack (§6.3).
@@ -138,6 +210,16 @@ class TxCacheClient {
            options_.mode != ClientMode::kNoCache;
   }
   Result<std::string> CacheLookup(const std::string& key);
+  // Batched variant: resolves `keys` in one MULTILOOKUP round-trip per cache node (the
+  // cluster groups keys per owning node). Results are positionally aligned with `keys`.
+  // Pin-set narrowing is threaded through the responses in order: each hit narrows the pin
+  // set exactly as a standalone lookup would, and a hit whose interval no longer intersects
+  // the (already narrowed) pin set is demoted to a consistency miss. Because every entry is
+  // probed with the bounds the pin set had when the batch was issued, a batch can classify a
+  // borderline entry as a miss where sequential lookups (whose later probes carry narrower
+  // bounds) might have found an older compatible version — never the reverse, so consistency
+  // is unaffected; only the hit rate can differ marginally.
+  std::vector<Result<std::string>> CacheMultiLookup(const std::vector<std::string>& keys);
   // Lookup restricted to values valid at the read/write transaction's snapshot (§2.2
   // extension). Never narrows any pin set; never inserts.
   Result<std::string> RwCacheLookup(const std::string& key);
@@ -148,8 +230,8 @@ class TxCacheClient {
   void CountCacheableCall() { ++stats_.cacheable_calls; }
   void CountBypassedCall() { ++stats_.bypassed_calls; }
 
-  const ClientStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ClientStats{}; }
+  ClientStats stats() const { return stats_.Snapshot(); }  // safe under concurrent load
+  void ResetStats() { stats_.Reset(); }
   const PinSet& pin_set() const { return pin_set_; }  // exposed for invariant tests
   std::optional<Timestamp> chosen_timestamp() const { return chosen_ts_; }
   const Options& options() const { return options_; }
@@ -160,6 +242,9 @@ class TxCacheClient {
   // Makes sure the pin set holds at least one concrete pin (pinning a fresh snapshot if the
   // pincushion had nothing fresh enough), so cache lookups have usable bounds (§5.4).
   Status EnsurePinnedSnapshot();
+  // Bounds a cache lookup probes, derived from the pin set / chosen timestamp (§6.2).
+  void LookupBounds(Timestamp* lo, Timestamp* hi) const;
+  void RecordMiss(MissKind kind);
   // Lazily begins the underlying database transaction, choosing the serialization timestamp
   // from the pin set per the §6.2 policy.
   Status EnsureDbTxn();
@@ -181,7 +266,7 @@ class TxCacheClient {
   std::optional<Timestamp> chosen_ts_;
   std::vector<Frame> frames_;
 
-  ClientStats stats_;
+  AtomicClientStats stats_;
 };
 
 }  // namespace txcache

@@ -29,6 +29,7 @@ Result<SimResult> ClusterSim::Run() {
   CacheServer::Options cache_options;
   cache_options.capacity_bytes = config_.cache_bytes_per_node;
   cache_options.max_staleness = std::max<WallClock>(config_.staleness * 4, Seconds(10));
+  cache_options.num_shards = std::max<size_t>(config_.cost.cache_shards_per_node, 1);
   for (size_t i = 0; i < config_.num_cache_nodes; ++i) {
     cache_nodes_.push_back(std::make_unique<CacheServer>("cache-" + std::to_string(i),
                                                          clock_.get(), cache_options));
@@ -270,7 +271,13 @@ void ClusterSim::RunClientInteraction(size_t idx) {
     disk_cost = static_cast<WallClock>(page_touches * miss_prob *
                                        static_cast<double>(c.disk_access));
   }
-  const WallClock cache_cost = c.cache_op * cache_ops;
+  // Per-shard contention term: the lock-serialized share of each cache op is amortized
+  // across the node's shards (see CostModel::cache_lock_fraction).
+  const double shard_factor =
+      1.0 - c.cache_lock_fraction +
+      c.cache_lock_fraction / static_cast<double>(std::max<size_t>(c.cache_shards_per_node, 1));
+  const WallClock cache_cost =
+      static_cast<WallClock>(static_cast<double>(c.cache_op) * shard_factor) * cache_ops;
   const WallClock pincushion_cost = c.pincushion_op * pincushion_ops;
 
   // --- charge the resource chain: web -> pincushion -> cache tier -> db cpu -> db disk ---

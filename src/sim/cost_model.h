@@ -38,6 +38,16 @@ struct CostModel {
 
   // Cache server: per LOOKUP/PUT, including the kernel/TCP overhead the paper observed.
   WallClock cache_op = Millis(0.06);
+  // Per-shard contention term. A cache node stripes its state over `cache_shards_per_node`
+  // lock shards (CacheOptions::num_shards); `cache_lock_fraction` is the share of cache_op
+  // spent inside a shard's critical section. That serialized share is amortized across the
+  // stripes, so the effective service demand per op is
+  //   cache_op * ((1 - f) + f / shards)
+  // — one shard reproduces the old single-mutex node, more shards asymptotically strip the
+  // lock out of the op cost. The parallel share is unchanged: it scales with the node count
+  // already modeled by the tier resource.
+  double cache_lock_fraction = 0.6;
+  size_t cache_shards_per_node = 8;
 
   // Web/application server CPU.
   WallClock web_base = Millis(1.0);             // per interaction: dispatch + page assembly

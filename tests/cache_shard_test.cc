@@ -1,0 +1,366 @@
+// Tests for the sharded cache node: the stream sequencer, shard routing invariance, the
+// batched MultiLookup path (server, cluster and client layers), and the per-shard-counter
+// staleness sweep.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/bus/sequencer.h"
+#include "src/cache/cache_cluster.h"
+#include "src/cache/cache_server.h"
+#include "src/core/cacheable_function.h"
+#include "src/core/txcache_client.h"
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace txcache {
+namespace {
+
+using namespace txcache::testing;
+
+InvalidationTag GroupTag(int64_t group) {
+  return InvalidationTag::Concrete("t", "idx", "g" + std::to_string(group));
+}
+
+InvalidationMessage MakeMsg(uint64_t seqno, Timestamp ts, std::vector<InvalidationTag> tags) {
+  InvalidationMessage msg;
+  msg.seqno = seqno;
+  msg.ts = ts;
+  msg.tags = std::move(tags);
+  return msg;
+}
+
+void ExpectSameResponse(const LookupResponse& a, const LookupResponse& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.hit, b.hit) << context;
+  EXPECT_EQ(a.miss, b.miss) << context;
+  EXPECT_EQ(a.value, b.value) << context;
+  EXPECT_EQ(a.interval, b.interval) << context;
+  EXPECT_EQ(a.still_valid, b.still_valid) << context;
+  EXPECT_EQ(a.tags, b.tags) << context;
+}
+
+// --- StreamSequencer ---------------------------------------------------------
+
+TEST(StreamSequencer, DeliversInOrderAndBuffersGaps) {
+  std::vector<uint64_t> applied;
+  StreamSequencer seq([&](const InvalidationMessage& msg) { applied.push_back(msg.seqno); });
+  seq.Deliver(MakeMsg(3, 30, {}));
+  seq.Deliver(MakeMsg(2, 20, {}));
+  EXPECT_TRUE(applied.empty());
+  EXPECT_EQ(seq.reorder_buffered(), 2u);
+  EXPECT_EQ(seq.pending(), 2u);
+  seq.Deliver(MakeMsg(1, 10, {}));
+  EXPECT_EQ(applied, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(seq.pending(), 0u);
+  EXPECT_EQ(seq.next_expected_seqno(), 4u);
+}
+
+TEST(StreamSequencer, DropsDuplicates) {
+  int applied = 0;
+  StreamSequencer seq([&](const InvalidationMessage&) { ++applied; });
+  seq.Deliver(MakeMsg(1, 10, {}));
+  seq.Deliver(MakeMsg(1, 10, {}));
+  seq.Deliver(MakeMsg(2, 20, {}));
+  seq.Deliver(MakeMsg(2, 20, {}));
+  EXPECT_EQ(applied, 2);
+}
+
+TEST(StreamSequencer, AdoptPositionSkipsForwardAndPrunesBuffer) {
+  std::vector<uint64_t> applied;
+  StreamSequencer seq([&](const InvalidationMessage& msg) { applied.push_back(msg.seqno); });
+  seq.Deliver(MakeMsg(3, 30, {}));
+  seq.Deliver(MakeMsg(5, 50, {}));
+  seq.AdoptPosition(4);  // 3 is now stale; 5 still waits for 4
+  EXPECT_EQ(seq.pending(), 1u);
+  seq.Deliver(MakeMsg(4, 40, {}));
+  EXPECT_EQ(applied, (std::vector<uint64_t>{4, 5}));
+  seq.AdoptPosition(2);  // going backwards is ignored
+  EXPECT_EQ(seq.next_expected_seqno(), 6u);
+}
+
+// --- MultiLookup equivalence -------------------------------------------------
+
+TEST(CacheShard, MultiLookupMatchesSequentialLookups) {
+  ManualClock clock;
+  CacheOptions options;
+  options.num_shards = 8;
+  CacheServer server("sharded", &clock, options);
+  Rng rng(99);
+
+  // A random population: some bounded, some still-valid, some invalidated afterwards.
+  constexpr int kKeys = 64;
+  uint64_t seqno = 1;
+  for (int k = 0; k < kKeys; ++k) {
+    InsertRequest req;
+    req.key = "key" + std::to_string(k);
+    req.value = "v" + std::to_string(k);
+    Timestamp lower = static_cast<Timestamp>(rng.Uniform(1, 40));
+    req.interval = {lower, rng.Bernoulli(0.5) ? kTimestampInfinity : lower + 10};
+    req.computed_at = lower;
+    req.tags = {GroupTag(k % 7)};
+    ASSERT_TRUE(server.Insert(req).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    server.Deliver(MakeMsg(seqno, 50 + seqno, {GroupTag(rng.Uniform(0, 6))}));
+    ++seqno;
+  }
+
+  // Batched responses must be byte-identical to issuing the same lookups one at a time.
+  MultiLookupRequest batch;
+  for (int probe = 0; probe < 200; ++probe) {
+    LookupRequest req;
+    req.key = "key" + std::to_string(rng.Uniform(0, kKeys + 5));  // includes unknown keys
+    req.bounds_lo = static_cast<Timestamp>(rng.Uniform(0, 70));
+    req.bounds_hi = rng.Bernoulli(0.3) ? kTimestampInfinity : req.bounds_lo + 15;
+    req.fresh_lo = req.bounds_lo / 2;
+    batch.lookups.push_back(req);
+  }
+  MultiLookupResponse batched = server.MultiLookup(batch);
+  ASSERT_EQ(batched.responses.size(), batch.lookups.size());
+  for (size_t i = 0; i < batch.lookups.size(); ++i) {
+    LookupResponse single = server.Lookup(batch.lookups[i]);
+    ExpectSameResponse(batched.responses[i], single,
+                       "entry " + std::to_string(i) + " key=" + batch.lookups[i].key);
+  }
+  // The batch counted exactly one lookup per entry, like sequential calls would.
+  EXPECT_EQ(server.stats().lookups, 2 * batch.lookups.size());
+}
+
+TEST(CacheShard, ShardCountDoesNotChangeVisibleState) {
+  // The same operation sequence applied to nodes with 1, 3 and 16 shards must produce
+  // identical lookup results everywhere: sharding is an internal concern.
+  ManualClock clock;
+  std::vector<std::unique_ptr<CacheServer>> servers;
+  for (size_t shards : {size_t{1}, size_t{3}, size_t{16}}) {
+    CacheOptions options;
+    options.num_shards = shards;
+    servers.push_back(
+        std::make_unique<CacheServer>("s" + std::to_string(shards), &clock, options));
+  }
+  Rng rng(1234);
+  uint64_t seqno = 1;
+  Timestamp now_ts = 1;
+  for (int step = 0; step < 500; ++step) {
+    if (rng.Bernoulli(0.6)) {
+      InsertRequest req;
+      req.key = "k" + std::to_string(rng.Uniform(0, 30));
+      req.value = "v" + std::to_string(step);
+      Timestamp lower = static_cast<Timestamp>(rng.Uniform(
+          static_cast<int64_t>(now_ts > 15 ? now_ts - 15 : 1), static_cast<int64_t>(now_ts)));
+      req.interval = {lower, rng.Bernoulli(0.5) ? kTimestampInfinity : lower + 8};
+      req.computed_at = lower;
+      req.tags = {GroupTag(rng.Uniform(0, 4))};
+      for (auto& server : servers) {
+        ASSERT_TRUE(server->Insert(req).ok());
+      }
+    } else {
+      InvalidationMessage msg = MakeMsg(seqno++, ++now_ts, {GroupTag(rng.Uniform(0, 4))});
+      if (rng.Bernoulli(0.15)) {
+        msg.tags.push_back(InvalidationTag::Wildcard("t"));
+      }
+      for (auto& server : servers) {
+        server->Deliver(msg);
+      }
+    }
+  }
+  for (int k = 0; k < 31; ++k) {
+    for (Timestamp lo = 0; lo < now_ts + 5; lo += 3) {
+      LookupRequest req;
+      req.key = "k" + std::to_string(k);
+      req.bounds_lo = lo;
+      req.bounds_hi = lo + 2;
+      LookupResponse base = servers[0]->Lookup(req);
+      for (size_t s = 1; s < servers.size(); ++s) {
+        LookupResponse other = servers[s]->Lookup(req);
+        ExpectSameResponse(base, other,
+                           "key k" + std::to_string(k) + " lo=" + std::to_string(lo) +
+                               " shards=" + servers[s]->name());
+      }
+    }
+  }
+  EXPECT_EQ(servers[0]->version_count(), servers[2]->version_count());
+  EXPECT_EQ(servers[0]->bytes_used(), servers[2]->bytes_used());
+}
+
+// --- staleness sweep across shards -------------------------------------------
+
+TEST(CacheShard, SkewedTrafficStillSweepsColdShards) {
+  // Stale garbage parked in a cold shard must be collected even when every subsequent op
+  // lands on other shards: the per-shard op counter fires, and the sweep covers all shards.
+  ManualClock clock;
+  CacheOptions options;
+  options.num_shards = 8;
+  options.max_staleness = Seconds(30);
+  options.sweep_interval_ops = 16;
+  CacheServer server("sweeper", &clock, options);
+
+  clock.Set(Seconds(100));
+  // Place an entry, invalidate it (making it garbage), then drive traffic exclusively at
+  // keys on *other* shards.
+  const std::string cold_key = "cold";
+  const size_t cold_shard = server.ShardIndexForKey(cold_key);
+  InsertRequest req;
+  req.key = cold_key;
+  req.value = "v";
+  req.interval = {5, kTimestampInfinity};
+  req.computed_at = 5;
+  req.tags = {GroupTag(1)};
+  ASSERT_TRUE(server.Insert(req).ok());
+  server.Deliver(MakeMsg(1, 40, {GroupTag(1)}));  // invalidated at wallclock 100 s
+
+  clock.Set(Seconds(200));  // far beyond any staleness limit
+  // Perfectly skewed traffic: every subsequent op lands on one single hot shard.
+  const size_t hot_shard = (cold_shard + 1) % options.num_shards;
+  int sent = 0;
+  for (int i = 0; sent < 64; ++i) {
+    std::string key = "hot" + std::to_string(i);
+    if (server.ShardIndexForKey(key) != hot_shard) {
+      continue;
+    }
+    InsertRequest hot;
+    hot.key = key;
+    hot.value = "h";
+    hot.interval = {50, 60};
+    ASSERT_TRUE(server.Insert(hot).ok());
+    ++sent;
+  }
+  EXPECT_GE(server.stats().evictions_stale, 1u);
+  LookupRequest probe;
+  probe.key = cold_key;
+  probe.bounds_lo = 10;
+  probe.bounds_hi = 39;
+  EXPECT_FALSE(server.Lookup(probe).hit) << "cold-shard garbage survived the sweep";
+}
+
+// --- cluster routing ----------------------------------------------------------
+
+TEST(CacheCluster, MultiLookupRoutesAndReassembles) {
+  ManualClock clock;
+  CacheServer a("node-a", &clock), b("node-b", &clock), c("node-c", &clock);
+  CacheCluster cluster;
+  cluster.AddNode(&a);
+  cluster.AddNode(&b);
+  cluster.AddNode(&c);
+
+  constexpr int kKeys = 40;
+  for (int k = 0; k < kKeys; ++k) {
+    InsertRequest req;
+    req.key = "item" + std::to_string(k);
+    req.value = "val" + std::to_string(k);
+    req.interval = {1, kTimestampInfinity};
+    req.computed_at = 1;
+    auto node_or = cluster.NodeForKey(req.key);
+    ASSERT_TRUE(node_or.ok());
+    ASSERT_TRUE(node_or.value()->Insert(req).ok());
+  }
+
+  MultiLookupRequest batch;
+  for (int k = 0; k < kKeys; ++k) {
+    LookupRequest req;
+    req.key = "item" + std::to_string(k);
+    req.bounds_lo = 1;
+    req.bounds_hi = kTimestampInfinity;
+    batch.lookups.push_back(req);
+  }
+  auto resp_or = cluster.MultiLookup(batch);
+  ASSERT_TRUE(resp_or.ok());
+  ASSERT_EQ(resp_or.value().responses.size(), batch.lookups.size());
+  for (int k = 0; k < kKeys; ++k) {
+    const LookupResponse& resp = resp_or.value().responses[k];
+    ASSERT_TRUE(resp.hit) << "item" << k;
+    EXPECT_EQ(resp.value, "val" + std::to_string(k));
+    // Same answer as routing the key individually.
+    auto node_or = cluster.NodeForKey(batch.lookups[k].key);
+    ASSERT_TRUE(node_or.ok());
+    ExpectSameResponse(resp, node_or.value()->Lookup(batch.lookups[k]),
+                       "item" + std::to_string(k));
+  }
+  // Every node served its own keys; the batch did not funnel through one node.
+  EXPECT_EQ(cluster.TotalStats().lookups, 2u * kKeys);
+
+  CacheCluster empty;
+  EXPECT_FALSE(empty.MultiLookup(batch).ok());
+}
+
+// --- client batched path -------------------------------------------------------
+
+TEST(CacheShard, ClientBatchMatchesSequentialCallsAndBatchesRoundTrips) {
+  SystemClock clock;
+  Database db(&clock);
+  InvalidationBus bus;
+  db.set_invalidation_bus(&bus);
+  CacheServer node("cache", &clock);
+  bus.Subscribe(&node);
+  CacheCluster cluster;
+  cluster.AddNode(&node);
+  Pincushion pincushion(&db, &clock);
+  CreateAccountsTable(&db);
+  constexpr int64_t kNumAccounts = 12;
+  for (int64_t i = 0; i < kNumAccounts; ++i) {
+    InsertAccount(&db, i, "o" + std::to_string(i), 100 + i);
+  }
+
+  TxCacheClient client(&db, &pincushion, &cluster, &clock);
+  auto balance = client.MakeCacheable<int64_t, int64_t>("bal", [&client](int64_t id) -> int64_t {
+    auto r = client.ExecuteQuery(AccountById(id));
+    return r.ok() && !r.value().rows.empty() ? r.value().rows[0][AccountsCol::kBalance].AsInt()
+                                             : -1;
+  });
+
+  // Warm the cache with sequential calls in one transaction.
+  ASSERT_TRUE(client.BeginRO().ok());
+  for (int64_t i = 0; i < kNumAccounts; ++i) {
+    EXPECT_EQ(balance(i), 100 + i);
+  }
+  ASSERT_TRUE(client.Commit().ok());
+
+  // A batched call in a fresh transaction: one MULTILOOKUP round-trip, same values.
+  client.ResetStats();
+  ASSERT_TRUE(client.BeginRO().ok());
+  std::vector<std::tuple<int64_t>> calls;
+  for (int64_t i = 0; i < kNumAccounts; ++i) {
+    calls.emplace_back(i);
+  }
+  std::vector<int64_t> values = balance.Batch(calls);
+  ASSERT_TRUE(client.Commit().ok());
+  ASSERT_EQ(values.size(), static_cast<size_t>(kNumAccounts));
+  for (int64_t i = 0; i < kNumAccounts; ++i) {
+    EXPECT_EQ(values[i], 100 + i);
+  }
+  ClientStats stats = client.stats();
+  EXPECT_EQ(stats.multi_lookup_batches, 1u);
+  EXPECT_EQ(stats.multi_lookup_keys, static_cast<uint64_t>(kNumAccounts));
+  EXPECT_EQ(stats.cache_hits, static_cast<uint64_t>(kNumAccounts));
+  EXPECT_EQ(stats.cacheable_calls, static_cast<uint64_t>(kNumAccounts));
+  EXPECT_EQ(stats.db_queries, 0u) << "a fully warm batch never touches the database";
+
+  // Batched and sequential calls agree after a write invalidates part of the batch.
+  ASSERT_TRUE(client.BeginRW().ok());
+  ASSERT_TRUE(client
+                  .Update(kAccounts, AccountById(3).from, nullptr,
+                          {{AccountsCol::kBalance, Value(int64_t{999})}})
+                  .ok());
+  ASSERT_TRUE(client.Commit().ok());
+
+  ASSERT_TRUE(client.BeginRO(Seconds(0)).ok());
+  std::vector<int64_t> after = balance.Batch(calls);
+  ASSERT_TRUE(client.Commit().ok());
+  EXPECT_EQ(after[3], 999);
+  for (int64_t i = 0; i < kNumAccounts; ++i) {
+    if (i != 3) {
+      EXPECT_EQ(after[i], 100 + i);
+    }
+  }
+
+  // Outside a read-only transaction the batch degenerates to direct execution.
+  ASSERT_TRUE(client.BeginRW().ok());
+  std::vector<int64_t> rw = balance.Batch(calls);
+  ASSERT_TRUE(client.Commit().ok());
+  EXPECT_EQ(rw[3], 999);
+}
+
+}  // namespace
+}  // namespace txcache

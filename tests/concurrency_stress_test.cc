@@ -49,6 +49,9 @@ TEST(ConcurrencyStress, DatabaseParallelTransfersConserveTotal) {
         };
         const int64_t from_balance = read(from);
         const int64_t to_balance = read(to);
+        // Widen the read-modify-write race window: on a single-core host the scheduler can
+        // otherwise run entire transactions back to back and never produce a conflict.
+        std::this_thread::yield();
         auto u1 = db.Update(txn, kAccounts, AccountById(from).from, nullptr,
                             {{AccountsCol::kBalance, Value(from_balance - amount)}});
         if (!u1.ok()) {
@@ -230,6 +233,113 @@ TEST(ConcurrencyStress, FullStackReadersAndWriters) {
   EXPECT_EQ(violations.load(), 0)
       << "a read-only transaction observed a torn transfer across cache/database";
   EXPECT_GE(reads_done.load(), 900);
+}
+
+TEST(ConcurrencyStress, InvalidationRacingInsertsLeavesNoStaleStillValidVersion) {
+  // The §4.2 race, cross-shard edition: writers insert still-valid versions on every shard
+  // while the invalidation stream truncates them. Whatever the interleaving, after a final
+  // fence invalidation covering every tag, no version may claim validity at the fence
+  // timestamp: a version was either truncated when its shard applied the message (it was
+  // registered first) or bounded at insert time by the shard's invalidation history (the
+  // message was recorded first). Batched MultiLookups run throughout to stress the grouped
+  // per-shard locking.
+  SystemClock clock;
+  CacheServer::Options options;
+  options.num_shards = 8;
+  CacheServer server("race", &clock, options);
+  constexpr int kWriters = 3;
+  constexpr int kKeysPerWriter = 400;
+  constexpr int kGroups = 16;
+  constexpr uint64_t kMessages = 600;
+  std::atomic<Timestamp> published_ts{1000};
+  std::atomic<bool> stop_readers{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&server, &published_ts, w] {
+      for (int i = 0; i < kKeysPerWriter; ++i) {
+        // Claim validity from the newest commit timestamp this writer has observed — the
+        // racy approximation an application node would have.
+        const Timestamp computed_at = published_ts.load(std::memory_order_relaxed);
+        InsertRequest req;
+        req.key = "w" + std::to_string(w) + "-" + std::to_string(i);
+        req.value = std::to_string(computed_at);
+        req.interval = {computed_at, kTimestampInfinity};
+        req.computed_at = computed_at;
+        req.tags = {InvalidationTag::Concrete("t", "i", std::to_string(i % kGroups))};
+        ASSERT_TRUE(server.Insert(req).ok());
+      }
+    });
+  }
+  std::thread invalidator([&server, &published_ts] {
+    Rng rng(3);
+    for (uint64_t seq = 1; seq <= kMessages; ++seq) {
+      InvalidationMessage msg;
+      msg.seqno = seq;
+      msg.ts = published_ts.fetch_add(1, std::memory_order_relaxed) + 1;
+      msg.tags = {InvalidationTag::Concrete("t", "i", std::to_string(rng.Uniform(0, 15))),
+                  InvalidationTag::Concrete("t", "i", std::to_string(rng.Uniform(0, 15)))};
+      if (rng.Bernoulli(0.1)) {
+        msg.tags.push_back(InvalidationTag::Wildcard("t"));
+      }
+      server.Deliver(msg);
+    }
+  });
+  std::thread reader([&server, &stop_readers] {
+    Rng rng(17);
+    while (!stop_readers.load()) {
+      MultiLookupRequest batch;
+      for (int i = 0; i < 16; ++i) {
+        LookupRequest req;
+        req.key = "w" + std::to_string(rng.Uniform(0, kWriters - 1)) + "-" +
+                  std::to_string(rng.Uniform(0, kKeysPerWriter - 1));
+        req.bounds_lo = static_cast<Timestamp>(rng.Uniform(900, 1700));
+        req.bounds_hi = req.bounds_lo + 40;
+        batch.lookups.push_back(req);
+      }
+      MultiLookupResponse resp = server.MultiLookup(batch);
+      for (size_t i = 0; i < batch.lookups.size(); ++i) {
+        if (resp.responses[i].hit) {
+          ASSERT_TRUE(resp.responses[i].interval.Overlaps(
+              Interval{batch.lookups[i].bounds_lo, batch.lookups[i].bounds_hi + 1}));
+        }
+      }
+    }
+  });
+  for (std::thread& t : writers) {
+    t.join();
+  }
+  invalidator.join();
+  stop_readers.store(true);
+  reader.join();
+
+  // Fence: one final message covering everything, at a timestamp beyond every insert.
+  const Timestamp fence_ts = published_ts.load() + 10;
+  InvalidationMessage fence;
+  fence.seqno = kMessages + 1;
+  fence.ts = fence_ts;
+  fence.tags = {InvalidationTag::Wildcard("t")};
+  server.Deliver(fence);
+
+  // Nothing was computed at or after the fence, so nothing may claim validity there. A
+  // version that slipped through the insert/invalidate race would surface here as a
+  // still-valid hit whose value (its computed_at) predates the fence. Misses must be of the
+  // "versions exist but none qualify" kinds — a compulsory miss would mean the key was never
+  // actually inserted and the probe proved nothing.
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kKeysPerWriter; ++i) {
+      LookupRequest req;
+      req.key = "w" + std::to_string(w) + "-" + std::to_string(i);
+      req.bounds_lo = fence_ts;
+      req.bounds_hi = kTimestampInfinity;
+      LookupResponse resp = server.Lookup(req);
+      ASSERT_FALSE(resp.hit) << "stale still-valid version survived the fence: key " << req.key
+                             << " computed_at=" << resp.value << " fence=" << fence_ts;
+      ASSERT_NE(resp.miss, MissKind::kCompulsory) << "key was never inserted: " << req.key;
+    }
+  }
+  // The stream was fully applied in order (no gaps left behind).
+  EXPECT_EQ(server.stats().invalidation_messages, kMessages + 1);
 }
 
 TEST(ConcurrencyStress, PincushionParallelAcquireRelease) {
