@@ -1,23 +1,52 @@
 #!/usr/bin/env bash
 # Tier-1 verify plus a ThreadSanitizer pass over the concurrency-sensitive tests.
 #
-#   scripts/check.sh           # configure, build, ctest, then TSan concurrency tests
-#   SKIP_TSAN=1 scripts/check.sh   # tier-1 only
+#   scripts/check.sh                   # configure, build, ctest, then TSan concurrency tests
+#   scripts/check.sh --labels eviction # ctest filtered to a label (regex), e.g. the cost-aware
+#                                      # policy suite; the TSan pass narrows to the same label
+#   SKIP_TSAN=1 scripts/check.sh       # tier-1 only
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+LABELS=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --labels)
+      [[ $# -ge 2 ]] || { echo "check.sh: --labels needs an argument" >&2; exit 2; }
+      LABELS="$2"
+      shift 2
+      ;;
+    --labels=*)
+      LABELS="${1#*=}"
+      shift
+      ;;
+    *)
+      echo "check.sh: unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+done
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 # --- tier-1 verify ---
 cmake -B build -S .
 cmake --build build -j "$JOBS"
-(cd build && ctest --output-on-failure -j "$JOBS")
+(cd build && ctest --output-on-failure -j "$JOBS" ${LABELS:+-L "$LABELS"})
 
-# --- ThreadSanitizer build of the concurrency tests ---
+# --- ThreadSanitizer build of the concurrency-sensitive tests ---
+# cache_eviction_test and cache_property_test ride along: the eviction/admission suite must be
+# deterministic AND data-race-free (its stats are read concurrently by the stress tests).
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  TSAN_TARGETS=(concurrency_stress_test cache_shard_test cache_eviction_test cache_property_test)
   cmake -B build-tsan -S . -DTXCACHE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j "$JOBS" --target concurrency_stress_test cache_shard_test
-  (cd build-tsan && ctest --output-on-failure -R 'concurrency_stress_test|cache_shard_test')
+  cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
+  if [[ -n "$LABELS" ]]; then
+    (cd build-tsan && ctest --output-on-failure -L "$LABELS" \
+        -R "$(IFS='|'; echo "${TSAN_TARGETS[*]}")")
+  else
+    (cd build-tsan && ctest --output-on-failure -R "$(IFS='|'; echo "${TSAN_TARGETS[*]}")")
+  fi
 fi
 
 echo "check.sh: all green"

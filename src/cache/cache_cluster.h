@@ -3,6 +3,7 @@
 #ifndef SRC_CACHE_CACHE_CLUSTER_H_
 #define SRC_CACHE_CACHE_CLUSTER_H_
 
+#include <algorithm>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -88,6 +89,45 @@ class CacheCluster {
       total += server->stats();
     }
     return total;
+  }
+
+  // Fleet-wide per-function cost/benefit profiles: each function's fills/hits/rejects summed
+  // across the nodes that own its keys, with the EWMA benefit-per-byte averaged weighted by
+  // fills. Sorted by function name.
+  std::vector<FunctionStatsEntry> TotalFunctionStats() const {
+    std::unordered_map<std::string, FunctionStatsEntry> merged;
+    for (const auto& [_, server] : servers_) {
+      for (FunctionStatsEntry& e : server->FunctionStats()) {
+        auto it = merged.find(e.function);
+        if (it == merged.end()) {
+          merged.emplace(e.function, std::move(e));
+          continue;
+        }
+        FunctionStatsEntry& m = it->second;
+        const uint64_t total_fills = m.fills + e.fills;
+        if (total_fills > 0) {
+          m.ewma_benefit_per_byte =
+              (m.ewma_benefit_per_byte * static_cast<double>(m.fills) +
+               e.ewma_benefit_per_byte * static_cast<double>(e.fills)) /
+              static_cast<double>(total_fills);
+        }
+        m.fills = total_fills;
+        m.admission_rejects += e.admission_rejects;
+        m.hits += e.hits;
+        m.bytes_inserted += e.bytes_inserted;
+        m.fill_cost_total_us += e.fill_cost_total_us;
+      }
+    }
+    std::vector<FunctionStatsEntry> out;
+    out.reserve(merged.size());
+    for (auto& [_, e] : merged) {
+      out.push_back(std::move(e));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FunctionStatsEntry& a, const FunctionStatsEntry& b) {
+                return a.function < b.function;
+              });
+    return out;
   }
 
   void FlushAll() {

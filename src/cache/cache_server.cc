@@ -15,7 +15,21 @@ namespace {
 // node must not see all its keys land on one shard because the ring already filtered them.
 constexpr uint64_t kShardSeed = 0x7c15'cafe'f00d'9e37ull;
 
+// Snapshot wire format. v2 added fill_cost_us to each entry record; the explicit version
+// field makes a cross-build snapshot handoff fail loudly instead of misparsing.
+constexpr uint32_t kSnapshotFormatVersion = 2;
+
 }  // namespace
+
+std::string CacheKeyFunction(const std::string& key) {
+  // Keys built by MakeCacheKey start with the function name as a length-prefixed serde string.
+  Reader r(key);
+  std::string name;
+  if (r.GetString(&name) && !name.empty()) {
+    return name;
+  }
+  return key;  // raw key (tests/tools): the key is its own cost-accounting bucket
+}
 
 const char* MissKindName(MissKind kind) {
   switch (kind) {
@@ -41,8 +55,8 @@ CacheServer::CacheServer(std::string name, const Clock* clock, Options options)
   const size_t n = std::max<size_t>(options_.num_shards, 1);
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    shards_.push_back(
-        std::make_unique<CacheShard>(clock_, options_, &bytes_used_, &touch_ticker_));
+    shards_.push_back(std::make_unique<CacheShard>(clock_, options_, &bytes_used_,
+                                                   &touch_ticker_, &aging_floor_));
   }
 }
 
@@ -85,7 +99,58 @@ void CacheServer::MultiLookup(const MultiLookupRequest& req, const std::vector<u
   }
 }
 
+Status CacheServer::AdmitInsert(const InsertRequest& req) {
+  if (options_.policy != EvictionPolicy::kCostAware) {
+    // Plain LRU keeps the PR-1 insert path untouched: no node-global lock, no profiling.
+    return Status::Ok();
+  }
+  const size_t est_bytes = CacheShard::EstimateBytes(req);
+  const double bpb = est_bytes == 0 ? 0.0
+                                    : static_cast<double>(req.fill_cost_us) /
+                                          static_cast<double>(est_bytes);
+  std::lock_guard<std::mutex> lock(fn_mu_);
+  std::string function = CacheKeyFunction(req.key);
+  auto it = fn_profiles_.find(function);
+  if (it == fn_profiles_.end()) {
+    if (fn_profiles_.size() >= options_.max_function_profiles) {
+      return Status::Ok();  // over the profile cap: unprofiled functions are always admitted
+    }
+    it = fn_profiles_.emplace(std::move(function), FunctionProfile{}).first;
+    it->second.ewma_benefit_per_byte = bpb;  // optimistic prior: assume one hit per fill
+  }
+  FunctionProfile& p = it->second;
+  ++p.fills;
+  p.bytes_inserted += est_bytes;
+  p.fill_cost_total_us += req.fill_cost_us;
+  // Decline only when (a) the node is under byte pressure (this insert forces an eviction),
+  // (b) the function has been observed enough to trust its profile, and (c) its realized
+  // benefit-per-byte sits below the watermark — a fraction of the aging floor, i.e. of the
+  // score entries are currently being evicted at. Such an entry would be evicted almost
+  // immediately, so storing it only displaces more valuable bytes.
+  const double floor = aging_floor_.load(std::memory_order_relaxed);
+  const bool pressure =
+      bytes_used_.load(std::memory_order_relaxed) + est_bytes > options_.capacity_bytes;
+  if (floor > 0.0 && pressure && p.fills > options_.admission_min_samples &&
+      p.ewma_benefit_per_byte < floor * options_.admission_watermark_fraction) {
+    ++p.rejects;
+    if (options_.admission_probe_interval != 0 &&
+        p.rejects % options_.admission_probe_interval == 0) {
+      // Periodic probe: admit anyway so a function whose workload turned hot can re-earn
+      // admission through the realized hits of this entry.
+      admission_probes_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Ok();
+    }
+    admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Declined("benefit-per-byte below admission watermark");
+  }
+  return Status::Ok();
+}
+
 Status CacheServer::Insert(const InsertRequest& req) {
+  Status admitted = AdmitInsert(req);
+  if (!admitted.ok()) {
+    return admitted;
+  }
   bool sweep_due = false;
   Status st = ShardForKey(req.key)->Insert(req, &sweep_due);
   if (!st.ok()) {
@@ -130,20 +195,73 @@ void CacheServer::SweepAllShards() {
 
 void CacheServer::EvictToFit() {
   while (bytes_used_.load(std::memory_order_relaxed) > options_.capacity_bytes) {
-    // Find the shard whose LRU tail is globally least recently used. Ticks come from one
-    // monotone node-wide counter, so comparing tails reconstructs the monolithic LRU order
-    // (approximately, under concurrent touches — eviction is best-effort LRU anyway).
     size_t victim = shards_.size();
-    uint64_t oldest = std::numeric_limits<uint64_t>::max();
-    for (size_t i = 0; i < shards_.size(); ++i) {
-      auto tick = shards_[i]->OldestTick();
-      if (tick.has_value() && *tick < oldest) {
-        oldest = *tick;
-        victim = i;
+    if (options_.policy == EvictionPolicy::kCostAware) {
+      // Node-global policy order: any stale (closed-interval) version goes before any
+      // still-valid one, oldest-stale first; otherwise the globally lowest benefit-per-byte
+      // score, ties broken by oldest touch. Candidates are re-peeked each iteration, so
+      // concurrent mutation only costs a retry, never a wrong-policy eviction.
+      uint64_t best_stale_seq = std::numeric_limits<uint64_t>::max();
+      double best_score = std::numeric_limits<double>::infinity();
+      uint64_t best_tick = std::numeric_limits<uint64_t>::max();
+      size_t stale_victim = shards_.size();
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        auto c = shards_[i]->PeekVictim();
+        if (!c.has_value()) {
+          continue;
+        }
+        if (c->has_stale && c->stale_seq < best_stale_seq) {
+          best_stale_seq = c->stale_seq;
+          stale_victim = i;
+        }
+        if (c->has_scored &&
+            (c->score < best_score || (c->score == best_score && c->tick < best_tick))) {
+          best_score = c->score;
+          best_tick = c->tick;
+          victim = i;
+        }
+      }
+      if (stale_victim != shards_.size()) {
+        victim = stale_victim;
+      }
+    } else {
+      // Find the shard whose LRU tail is globally least recently used. Ticks come from one
+      // monotone node-wide counter, so comparing tails reconstructs the monolithic LRU order
+      // (approximately, under concurrent touches — eviction is best-effort LRU anyway).
+      uint64_t oldest = std::numeric_limits<uint64_t>::max();
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        auto tick = shards_[i]->OldestTick();
+        if (tick.has_value() && *tick < oldest) {
+          oldest = *tick;
+          victim = i;
+        }
       }
     }
-    if (victim == shards_.size() || !shards_[victim]->EvictOne()) {
+    if (victim == shards_.size()) {
       break;  // nothing resident (accounting drift is impossible; avoid spinning regardless)
+    }
+    auto evicted = shards_[victim]->EvictOne();
+    if (!evicted.has_value()) {
+      break;
+    }
+    capacity_evictions_.fetch_add(1, std::memory_order_relaxed);
+    eviction_bytes_reclaimed_.fetch_add(evicted->bytes, std::memory_order_relaxed);
+    if (options_.policy == EvictionPolicy::kCostAware) {
+      // Fold the victim's realized benefit-per-byte (what its residency actually earned) back
+      // into its function's admission profile: functions whose entries die unhit drift below
+      // the watermark; functions whose entries earn hits stay admitted.
+      const double realized =
+          evicted->bytes == 0
+              ? 0.0
+              : static_cast<double>(evicted->hits) * static_cast<double>(evicted->fill_cost_us) /
+                    static_cast<double>(evicted->bytes);
+      std::lock_guard<std::mutex> lock(fn_mu_);
+      auto it = fn_profiles_.find(evicted->function);
+      if (it != fn_profiles_.end()) {  // unprofiled (over the cap): nothing to update
+        const double a = options_.benefit_ewma_alpha;
+        it->second.ewma_benefit_per_byte =
+            a * realized + (1.0 - a) * it->second.ewma_benefit_per_byte;
+      }
     }
   }
 }
@@ -163,6 +281,7 @@ std::string CacheServer::ExportSnapshot() const {
     total += parts.back().first;
   }
   Writer w;
+  w.PutU32(kSnapshotFormatVersion);
   w.PutU64(header_seqno);
   w.PutU64(header_last_ts);
   w.PutU64(total);
@@ -175,9 +294,17 @@ std::string CacheServer::ExportSnapshot() const {
 
 Status CacheServer::ImportSnapshot(const std::string& snapshot) {
   Reader r(snapshot);
+  uint32_t version = 0;
   uint64_t seqno = 0;
   uint64_t last_ts = 0;
   uint64_t count = 0;
+  if (!r.GetU32(&version)) {
+    return Status::InvalidArgument("malformed cache snapshot header");
+  }
+  if (version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument("unsupported cache snapshot format version " +
+                                   std::to_string(version));
+  }
   if (!r.GetU64(&seqno) || !r.GetU64(&last_ts) || !r.GetU64(&count)) {
     return Status::InvalidArgument("malformed cache snapshot header");
   }
@@ -189,14 +316,16 @@ Status CacheServer::ImportSnapshot(const std::string& snapshot) {
   }
   for (uint64_t i = 0; i < count; ++i) {
     InsertRequest req;
-    uint64_t lower = 0, upper = 0, known = 0;
+    uint64_t lower = 0, upper = 0, known = 0, fill_cost = 0;
     uint32_t tag_count = 0;
     if (!r.GetString(&req.key) || !r.GetString(&req.value) || !r.GetU64(&lower) ||
-        !r.GetU64(&upper) || !r.GetU64(&known) || !r.GetU32(&tag_count)) {
+        !r.GetU64(&upper) || !r.GetU64(&known) || !r.GetU64(&fill_cost) ||
+        !r.GetU32(&tag_count)) {
       return Status::InvalidArgument("malformed cache snapshot entry");
     }
     req.interval = Interval{lower, upper};
     req.computed_at = known;
+    req.fill_cost_us = fill_cost;
     req.tags.reserve(tag_count);
     for (uint32_t t = 0; t < tag_count; ++t) {
       InvalidationTag tag;
@@ -207,7 +336,8 @@ Status CacheServer::ImportSnapshot(const std::string& snapshot) {
       req.tags.push_back(std::move(tag));
     }
     Status st = Insert(req);
-    if (!st.ok()) {
+    if (!st.ok() && st.code() != StatusCode::kDeclined) {
+      // An admission decline is a policy outcome, not a malformed snapshot: skip the entry.
       return st;
     }
   }
@@ -227,7 +357,49 @@ CacheStats CacheServer::stats() const {
   }
   total.invalidation_messages = invalidation_messages_.load(std::memory_order_relaxed);
   total.reorder_buffered = sequencer_.reorder_buffered();
+  total.eviction_bytes_reclaimed = eviction_bytes_reclaimed_.load(std::memory_order_relaxed);
+  total.admission_rejects = admission_rejects_.load(std::memory_order_relaxed);
+  total.admission_probes = admission_probes_.load(std::memory_order_relaxed);
   return total;
+}
+
+std::vector<FunctionStatsEntry> CacheServer::FunctionStats() const {
+  std::unordered_map<std::string, FunctionStatsEntry> merged;
+  {
+    std::lock_guard<std::mutex> lock(fn_mu_);
+    merged.reserve(fn_profiles_.size());
+    for (const auto& [name, p] : fn_profiles_) {
+      FunctionStatsEntry e;
+      e.function = name;
+      e.fills = p.fills;
+      e.admission_rejects = p.rejects;
+      e.bytes_inserted = p.bytes_inserted;
+      e.fill_cost_total_us = p.fill_cost_total_us;
+      e.ewma_benefit_per_byte = p.ewma_benefit_per_byte;
+      merged.emplace(name, std::move(e));
+    }
+  }
+  for (const auto& shard : shards_) {
+    for (const auto& [name, hits] : shard->FunctionHits()) {
+      auto it = merged.find(name);
+      if (it == merged.end()) {
+        FunctionStatsEntry e;
+        e.function = name;
+        it = merged.emplace(name, std::move(e)).first;
+      }
+      it->second.hits += hits;
+    }
+  }
+  std::vector<FunctionStatsEntry> out;
+  out.reserve(merged.size());
+  for (auto& [_, e] : merged) {
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FunctionStatsEntry& a, const FunctionStatsEntry& b) {
+              return a.function < b.function;
+            });
+  return out;
 }
 
 void CacheServer::ResetStats() {
@@ -235,6 +407,12 @@ void CacheServer::ResetStats() {
     shard->ResetStats();
   }
   invalidation_messages_.store(0, std::memory_order_relaxed);
+  capacity_evictions_.store(0, std::memory_order_relaxed);
+  eviction_bytes_reclaimed_.store(0, std::memory_order_relaxed);
+  admission_rejects_.store(0, std::memory_order_relaxed);
+  admission_probes_.store(0, std::memory_order_relaxed);
+  // Function profiles are policy state, not counters: they survive a stats reset so the
+  // admission gate keeps its learned benefit history between measurement windows.
   sequencer_.ResetStats();
 }
 

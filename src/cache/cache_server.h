@@ -24,7 +24,9 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/bus/bus.h"
@@ -56,6 +58,10 @@ class CacheServer : public InvalidationSubscriber {
   // sub-batches on the hot path.
   void MultiLookup(const MultiLookupRequest& req, const std::vector<uint32_t>& indices,
                    MultiLookupResponse* out);
+  // Stores one filled result. Under the cost-aware policy an insert may be refused by the
+  // admission gate (StatusCode::kDeclined): the node is at capacity and the owning function's
+  // observed benefit-per-byte sits below the adaptive watermark, so caching it would only
+  // displace more valuable bytes. Declined is a policy outcome, not an error.
   Status Insert(const InsertRequest& req);
 
   // InvalidationSubscriber: called by the bus (possibly out of order in tests/simulation).
@@ -79,6 +85,17 @@ class CacheServer : public InvalidationSubscriber {
 
   const std::string& name() const { return name_; }
   CacheStats stats() const;  // aggregated over shards; safe under concurrent load
+  // Per-function cost/benefit profiles (fills, hits, rejects, EWMA benefit-per-byte), sorted
+  // by function name; hits are merged from the shards' counters. Safe under concurrent load.
+  std::vector<FunctionStatsEntry> FunctionStats() const;
+  // Current GreedyDual aging floor: the highest benefit score evicted so far. The admission
+  // watermark is a fraction of this. Zero until the first still-valid entry is evicted.
+  double aging_floor() const { return aging_floor_.load(std::memory_order_relaxed); }
+  // Lock-free total of capacity evictions (all policies). At rest it equals the shard-derived
+  // CacheStats::capacity_evictions(); under load it is safe to poll without touching a shard.
+  uint64_t capacity_eviction_count() const {
+    return capacity_evictions_.load(std::memory_order_relaxed);
+  }
   void ResetStats();
   size_t bytes_used() const;
   size_t version_count() const;
@@ -91,14 +108,28 @@ class CacheServer : public InvalidationSubscriber {
   size_t ShardIndexForKey(const std::string& key) const;
 
  private:
+  // Admission bookkeeping per function. `hits` lives shard-side; everything else here.
+  struct FunctionProfile {
+    uint64_t fills = 0;
+    uint64_t rejects = 0;  // watermark triggers (a probe still counts as a trigger)
+    uint64_t bytes_inserted = 0;
+    uint64_t fill_cost_total_us = 0;
+    double ewma_benefit_per_byte = 0.0;
+  };
+
   CacheShard* ShardForKey(const std::string& key) const;
   // Applies one in-order message: fan out to every shard (strict order is guaranteed by the
   // sequencer serializing this sink).
   void ApplySequenced(const InvalidationMessage& msg);
   void SweepAllShards();
-  // Node-global LRU eviction: evicts the globally least-recently-used version (comparing
-  // shard LRU tails by touch tick) until the node fits its byte budget.
+  // Capacity eviction until the node fits its byte budget. Under kLru: the globally
+  // least-recently-used version (comparing shard LRU tails by touch tick). Under kCostAware:
+  // stale (closed-interval) versions first in the order they went stale, then the still-valid
+  // version with the globally lowest benefit-per-byte score; each eviction folds the victim's
+  // realized benefit back into its function's admission profile.
   void EvictToFit();
+  // Returns kDeclined when the admission gate refuses this fill; Ok to proceed.
+  Status AdmitInsert(const InsertRequest& req);
 
   const std::string name_;
   const Clock* clock_;
@@ -106,8 +137,19 @@ class CacheServer : public InvalidationSubscriber {
 
   std::atomic<size_t> bytes_used_{0};     // shared with shards
   std::atomic<uint64_t> touch_ticker_{1};  // node-global LRU clock, shared with shards
+  std::atomic<double> aging_floor_{0.0};   // shared GreedyDual aging value
   std::vector<std::unique_ptr<CacheShard>> shards_;
   StreamSequencer sequencer_;
+
+  // Eviction/admission counters are node-level atomics (not per-shard, mutex-guarded partials)
+  // so stats() stays safe to call while the stress tests hammer Insert/EvictToFit.
+  std::atomic<uint64_t> capacity_evictions_{0};
+  std::atomic<uint64_t> eviction_bytes_reclaimed_{0};
+  std::atomic<uint64_t> admission_rejects_{0};
+  std::atomic<uint64_t> admission_probes_{0};
+
+  mutable std::mutex fn_mu_;
+  std::unordered_map<std::string, FunctionProfile> fn_profiles_;
 
   // Messages applied in order (counted once per message, not per shard).
   std::atomic<uint64_t> invalidation_messages_{0};

@@ -33,10 +33,57 @@ Timestamp FirstAfter(const std::vector<Timestamp>& history, Timestamp after) {
 }  // namespace
 
 CacheShard::CacheShard(const Clock* clock, const CacheOptions& options,
-                       std::atomic<size_t>* global_bytes, std::atomic<uint64_t>* touch_ticker)
-    : clock_(clock), options_(options), global_bytes_(global_bytes), touch_ticker_(touch_ticker) {}
+                       std::atomic<size_t>* global_bytes, std::atomic<uint64_t>* touch_ticker,
+                       std::atomic<double>* aging_floor)
+    : clock_(clock),
+      options_(options),
+      global_bytes_(global_bytes),
+      touch_ticker_(touch_ticker),
+      aging_floor_(aging_floor) {}
 
 CacheShard::~CacheShard() = default;
+
+size_t CacheShard::EstimateBytes(const InsertRequest& req) {
+  return kVersionOverhead + req.key.size() + req.value.size() + TagBytes(req.tags);
+}
+
+void CacheShard::AddToScoreIndexLocked(Version* v) {
+  // GreedyDual-Size score: the node's aging floor (score of the most valuable entry evicted so
+  // far) plus this entry's benefit-per-byte. Refreshed to the current floor on every hit, so
+  // entries that stop earning hits sink back toward the floor and get evicted.
+  const double bpb =
+      v->bytes == 0 ? 0.0 : static_cast<double>(v->fill_cost_us) / static_cast<double>(v->bytes);
+  v->score = aging_floor_->load(std::memory_order_relaxed) + bpb;
+  v->score_it = score_index_.emplace(v->score, v);
+  v->in_score_index = true;
+}
+
+void CacheShard::AddToStaleListLocked(Version* v) {
+  v->stale_seq = touch_ticker_->fetch_add(1, std::memory_order_relaxed);
+  stale_lru_.push_back(v);
+  v->stale_it = std::prev(stale_lru_.end());
+  v->in_stale_list = true;
+}
+
+void CacheShard::DetachPolicyStateLocked(Version* v) {
+  if (v->in_score_index) {
+    score_index_.erase(v->score_it);
+    v->in_score_index = false;
+  }
+  if (v->in_stale_list) {
+    stale_lru_.erase(v->stale_it);
+    v->in_stale_list = false;
+  }
+}
+
+EvictedVersion CacheShard::MakeEvictedLocked(const Version& v) const {
+  EvictedVersion out;
+  out.bytes = v.bytes;
+  out.fill_cost_us = v.fill_cost_us;
+  out.hits = v.hit_count;
+  out.function = CacheKeyFunction(*v.key);
+  return out;
+}
 
 Timestamp CacheShard::EffectiveUpperLocked(const Version& v) const {
   if (!v.still_valid) {
@@ -97,9 +144,21 @@ LookupResponse CacheShard::LookupLocked(const LookupRequest& req) {
   }
   if (best != nullptr) {
     ++stats_.hits;
+    if (cost_aware()) {
+      // Per-function hit attribution (bounded like the frontend's profile map). Plain LRU
+      // skips the parse + map touch entirely: its hit path is byte-identical to PR 1.
+      std::string function = CacheKeyFunction(req.key);
+      auto fit = fn_hits_.find(function);
+      if (fit != fn_hits_.end()) {
+        ++fit->second;
+      } else if (fn_hits_.size() < options_.max_function_profiles) {
+        fn_hits_.emplace(std::move(function), 1);
+      }
+    }
     TouchLocked(best);
     resp.hit = true;
     resp.value = best->value;
+    resp.fill_cost_us = best->fill_cost_us;
     resp.interval = best_effective;
     resp.still_valid = best->still_valid;
     if (best->still_valid) {
@@ -187,8 +246,9 @@ Status CacheShard::Insert(const InsertRequest& req, bool* sweep_due) {
   version->value = req.value;
   version->tags = req.tags;
   version->invalidated_wallclock = invalidated_at;
-  version->bytes = kVersionOverhead + req.key.size() + req.value.size() + TagBytes(req.tags);
+  version->bytes = EstimateBytes(req);
   version->touch_tick = touch_ticker_->fetch_add(1, std::memory_order_relaxed);
+  version->fill_cost_us = req.fill_cost_us;
 
   auto map_it = map_.find(req.key);
   version->key = &map_it->first;
@@ -198,6 +258,13 @@ Status CacheShard::Insert(const InsertRequest& req, bool* sweep_due) {
   ++version_count_;
   if (still_valid) {
     RegisterTagsLocked(version.get());
+  }
+  if (cost_aware()) {
+    if (still_valid) {
+      AddToScoreIndexLocked(version.get());
+    } else {
+      AddToStaleListLocked(version.get());
+    }
   }
 
   auto pos = std::lower_bound(
@@ -255,6 +322,12 @@ void CacheShard::TruncateLocked(Version* v, Timestamp ts, WallClock wallclock) {
   v->still_valid = false;
   v->interval.upper = ts;
   v->invalidated_wallclock = wallclock;
+  if (cost_aware()) {
+    // The version can now only serve pinned old snapshots: demote it from the score index to
+    // the stale list, where the capacity policy evicts it before any still-valid entry.
+    DetachPolicyStateLocked(v);
+    AddToStaleListLocked(v);
+  }
   ++stats_.invalidation_truncations;
 }
 
@@ -302,6 +375,7 @@ void CacheShard::RemoveVersionLocked(Version* v) {
   if (v->still_valid) {
     UnregisterTagsLocked(v);
   }
+  DetachPolicyStateLocked(v);
   lru_.erase(v->lru_it);
   global_bytes_->fetch_sub(v->bytes, std::memory_order_relaxed);
   --version_count_;
@@ -320,6 +394,13 @@ void CacheShard::TouchLocked(Version* v) {
   lru_.push_front(v);
   v->lru_it = lru_.begin();
   v->touch_tick = touch_ticker_->fetch_add(1, std::memory_order_relaxed);
+  ++v->hit_count;
+  if (v->in_score_index) {
+    // Refresh the GreedyDual score to the current aging floor: a hit re-earns the entry its
+    // benefit-per-byte margin above whatever is being evicted right now.
+    score_index_.erase(v->score_it);
+    AddToScoreIndexLocked(v);
+  }
 }
 
 std::optional<uint64_t> CacheShard::OldestTick() const {
@@ -330,14 +411,65 @@ std::optional<uint64_t> CacheShard::OldestTick() const {
   return lru_.back()->touch_tick;
 }
 
-bool CacheShard::EvictOne() {
+std::optional<EvictionCandidate> CacheShard::PeekVictim() const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (lru_.empty()) {
-    return false;
+  if (stale_lru_.empty() && score_index_.empty()) {
+    return std::nullopt;
   }
-  RemoveVersionLocked(lru_.back());
-  ++stats_.evictions_lru;
-  return true;
+  EvictionCandidate c;
+  if (!stale_lru_.empty()) {
+    c.has_stale = true;
+    c.stale_seq = stale_lru_.front()->stale_seq;
+  }
+  if (!score_index_.empty()) {
+    c.has_scored = true;
+    c.score = score_index_.begin()->first;
+    c.tick = score_index_.begin()->second->touch_tick;
+  }
+  return c;
+}
+
+std::optional<EvictedVersion> CacheShard::EvictOne() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!cost_aware()) {
+    if (lru_.empty()) {
+      return std::nullopt;
+    }
+    EvictedVersion out = MakeEvictedLocked(*lru_.back());
+    RemoveVersionLocked(lru_.back());
+    ++stats_.evictions_lru;
+    return out;
+  }
+  // Stale-first: a closed-interval version can only serve pinned old snapshots, so it always
+  // goes before any still-valid entry; among stale versions, the longest-stale goes first.
+  if (!stale_lru_.empty()) {
+    Version* v = stale_lru_.front();
+    EvictedVersion out = MakeEvictedLocked(*v);
+    RemoveVersionLocked(v);
+    ++stats_.evictions_capacity_stale;
+    return out;
+  }
+  if (score_index_.empty()) {
+    return std::nullopt;
+  }
+  // Lowest benefit-per-byte score goes first (equal scores evict in insertion order, which is
+  // oldest-touched first since every hit reinserts). Evicting at score s raises the node's
+  // aging floor to s: surviving entries must re-earn their margin through hits.
+  Version* v = score_index_.begin()->second;
+  const double evicted_score = v->score;
+  double cur = aging_floor_->load(std::memory_order_relaxed);
+  while (cur < evicted_score &&
+         !aging_floor_->compare_exchange_weak(cur, evicted_score, std::memory_order_relaxed)) {
+  }
+  EvictedVersion out = MakeEvictedLocked(*v);
+  RemoveVersionLocked(v);
+  ++stats_.evictions_cost;
+  return out;
+}
+
+std::unordered_map<std::string, uint64_t> CacheShard::FunctionHits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fn_hits_;
 }
 
 void CacheShard::SweepStale() {
@@ -423,6 +555,7 @@ std::pair<uint64_t, std::string> CacheShard::ExportEntries() const {
       w.PutU64(v->interval.lower);
       w.PutU64(v->still_valid ? kTimestampInfinity : v->interval.upper);
       w.PutU64(v->known_valid_through);
+      w.PutU64(v->fill_cost_us);
       w.PutU32(static_cast<uint32_t>(v->tags.size()));
       for (const InvalidationTag& tag : v->tags) {
         w.PutString(tag.table);
@@ -448,6 +581,8 @@ void CacheShard::Flush() {
   }
   map_.clear();
   lru_.clear();
+  score_index_.clear();
+  stale_lru_.clear();
   tag_index_.clear();
   table_index_.clear();
   wildcard_holders_.clear();
@@ -463,6 +598,7 @@ CacheStats CacheShard::stats() const {
 void CacheShard::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_ = CacheStats{};
+  fn_hits_.clear();
 }
 
 size_t CacheShard::version_count() const {

@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -38,11 +39,36 @@
 
 namespace txcache {
 
+// What a capacity eviction freed. The frontend uses it to maintain the node-level atomic
+// eviction stats and to fold the entry's realized benefit-per-byte (hits * fill_cost / bytes
+// over its lifetime) back into the owning function's admission profile.
+struct EvictedVersion {
+  size_t bytes = 0;
+  uint64_t fill_cost_us = 0;
+  uint64_t hits = 0;
+  std::string function;  // CacheKeyFunction of the evicted key
+};
+
+// Cheapest victim this shard could offer right now; the frontend compares candidates across
+// shards to reconstruct a node-global eviction order (stale-first, then lowest score).
+struct EvictionCandidate {
+  bool has_stale = false;
+  uint64_t stale_seq = 0;  // node-global ordinal assigned when the version went stale
+  bool has_scored = false;
+  double score = 0.0;
+  uint64_t tick = 0;  // tie-break: older touch evicted first
+};
+
 class CacheShard {
  public:
   CacheShard(const Clock* clock, const CacheOptions& options,
-             std::atomic<size_t>* global_bytes, std::atomic<uint64_t>* touch_ticker);
+             std::atomic<size_t>* global_bytes, std::atomic<uint64_t>* touch_ticker,
+             std::atomic<double>* aging_floor);
   ~CacheShard();
+
+  // Byte cost a version created from `req` would be charged against the node budget. Public so
+  // the frontend's admission gate and the tests price entries with the same formula.
+  static size_t EstimateBytes(const InsertRequest& req);
 
   CacheShard(const CacheShard&) = delete;
   CacheShard& operator=(const CacheShard&) = delete;
@@ -63,10 +89,17 @@ class CacheShard {
   // Eager eviction of versions invalidated longer ago than any staleness limit accepts.
   void SweepStale();
 
-  // Node-global LRU support: the frontend compares OldestTick across shards and evicts one
-  // version from the globally least-recently-used tail until the node fits its budget.
+  // Node-global eviction support. Under kLru the frontend compares OldestTick across shards
+  // and evicts from the globally least-recently-used tail; under kCostAware it compares
+  // PeekVictim candidates (stale-first, then lowest benefit-per-byte score). EvictOne evicts
+  // this shard's cheapest victim per the configured policy and reports what was freed.
   std::optional<uint64_t> OldestTick() const;
-  bool EvictOne();
+  std::optional<EvictionCandidate> PeekVictim() const;
+  std::optional<EvictedVersion> EvictOne();
+
+  // Per-function hit counters (key prefix parsed via CacheKeyFunction), merged by the
+  // frontend into FunctionStats().
+  std::unordered_map<std::string, uint64_t> FunctionHits() const;
 
   void Flush();  // drops cached data; keeps invalidation history and stream position
 
@@ -94,6 +127,19 @@ class CacheShard {
     uint64_t touch_tick = 0;                // node-global LRU ordinal (last touch)
     const std::string* key = nullptr;       // points at the map node's key (stable)
     std::list<Version*>::iterator lru_it;   // position in lru_
+
+    // Cost-aware policy state. A resident version is in exactly one of the two structures:
+    // still-valid versions carry a GreedyDual-style score (aging floor + fill_cost/bytes,
+    // refreshed on every hit) in score_index_; closed-interval versions sit in stale_lru_ in
+    // the order they went stale and are evicted first.
+    uint64_t fill_cost_us = 0;
+    uint64_t hit_count = 0;
+    double score = 0.0;
+    std::multimap<double, Version*>::iterator score_it;  // valid iff in_score_index
+    std::list<Version*>::iterator stale_it;              // valid iff in_stale_list
+    bool in_score_index = false;
+    bool in_stale_list = false;
+    uint64_t stale_seq = 0;  // node-global ordinal taken when listed stale
   };
 
   struct KeyEntry {
@@ -116,15 +162,25 @@ class CacheShard {
                                             Timestamp after) const;
   Timestamp EffectiveUpperLocked(const Version& v) const;
   bool CountOpLocked();  // bumps the mutating-op counter; true when a sweep is due
+  bool cost_aware() const { return options_.policy == EvictionPolicy::kCostAware; }
+  void AddToScoreIndexLocked(Version* v);
+  void AddToStaleListLocked(Version* v);
+  void DetachPolicyStateLocked(Version* v);
+  EvictedVersion MakeEvictedLocked(const Version& v) const;
 
   const Clock* clock_;
   const CacheOptions options_;
   std::atomic<size_t>* const global_bytes_;    // shared across the node's shards
   std::atomic<uint64_t>* const touch_ticker_;  // shared monotone LRU clock
+  std::atomic<double>* const aging_floor_;     // shared GreedyDual aging value (max evicted score)
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, KeyEntry> map_;
   std::list<Version*> lru_;  // front = most recently used within this shard
+  // Cost-aware structures (maintained only under EvictionPolicy::kCostAware).
+  std::multimap<double, Version*> score_index_;  // still-valid versions by benefit score
+  std::list<Version*> stale_lru_;                // closed-interval versions, oldest-stale first
+  std::unordered_map<std::string, uint64_t> fn_hits_;  // per-function hit counters
   size_t version_count_ = 0;
 
   // Still-valid version registry: concrete tag -> versions carrying it; table -> versions

@@ -37,6 +37,10 @@ struct LookupResponse {
   bool hit = false;
   MissKind miss = MissKind::kNone;
   std::string value;
+  // Fill cost (µs of compute/DB time) the caller reported when this entry was inserted; on a
+  // hit this is the recomputation the cache just saved. Clients aggregate it into
+  // ClientStats::saved_recompute_cost_us.
+  uint64_t fill_cost_us = 0;
   // Effective validity interval of the returned version. For still-valid entries the upper
   // bound is the timestamp of the last invalidation applied before this lookup (§4.2), so the
   // interval is always concrete and race-free.
@@ -68,6 +72,26 @@ struct InsertRequest {
   Interval interval;  // unbounded upper => still valid, subscribe to invalidations
   Timestamp computed_at = kTimestampZero;
   std::vector<InvalidationTag> tags;
+  // Wall-clock compute/DB time (µs) the client spent producing this value at miss-fill time.
+  // The cost-aware policy keys admission and eviction off benefit-per-byte derived from it;
+  // zero (legacy callers) is always safe — it can never trigger an admission reject on its own
+  // because the adaptive watermark stays at zero until priced entries start being evicted.
+  uint64_t fill_cost_us = 0;
+};
+
+// The function-name prefix of a cache key built by MakeCacheKey (length-prefixed serde
+// string). Falls back to the whole key when the prefix does not parse (raw keys used by tests
+// and tools), so every key always maps to exactly one "function" for cost accounting.
+std::string CacheKeyFunction(const std::string& key);
+
+// Capacity replacement policy for a cache node.
+enum class EvictionPolicy : uint8_t {
+  kLru,       // classic least-recently-used (the pre-cost-aware behavior)
+  // Automatic management (paper title, §7 of the roadmap): evict versions whose validity
+  // interval is already closed first (they can only serve pinned old snapshots), then the
+  // still-valid entry with the lowest benefit-per-byte score; admission declines functions
+  // whose observed benefit-per-byte sits below an adaptive watermark.
+  kCostAware,
 };
 
 // Tuning knobs for a cache node. Shared by the thin CacheServer frontend and its shards.
@@ -87,6 +111,43 @@ struct CacheOptions {
   // Lock stripes inside one cache node. Each shard owns its own version chains, tag index,
   // LRU list and invalidation history, keyed by hash(key) % num_shards.
   size_t num_shards = 8;
+
+  // --- automatic management (cost-aware admission + eviction) ---
+  EvictionPolicy policy = EvictionPolicy::kCostAware;
+  // EWMA smoothing for the per-function realized benefit-per-byte, updated when an entry of
+  // that function is evicted (realized = hits * fill_cost / bytes over the entry's lifetime).
+  double benefit_ewma_alpha = 0.3;
+  // Admission gate: a function is declined only once it has been observed at least this many
+  // times (optimistic start for new functions)...
+  uint64_t admission_min_samples = 16;
+  // ...and its EWMA benefit-per-byte has fallen below this fraction of the node's aging floor
+  // (the score at which entries are currently being evicted — entries below it would be
+  // evicted almost immediately, so storing them is wasted work).
+  double admission_watermark_fraction = 0.5;
+  // Every Nth fill of a rejected function is admitted anyway as a probe, so a function whose
+  // workload turned hot can re-earn admission through realized hits. 0 disables probing.
+  uint64_t admission_probe_interval = 16;
+  // Upper bound on tracked function profiles (and per-shard hit counters). Real deployments
+  // have a fixed set of MAKE-CACHEABLE registrations, far below this; the cap exists so raw
+  // ad-hoc keys (each its own accounting bucket) cannot grow the side maps without bound.
+  // Functions beyond the cap are simply not profiled — and never declined.
+  size_t max_function_profiles = 4096;
+};
+
+// Per-function cost/benefit profile surfaced through CacheServer::FunctionStats(). `hits` is
+// merged from the shards' per-function hit counters; the rest is maintained by the frontend's
+// admission bookkeeping.
+struct FunctionStatsEntry {
+  std::string function;
+  uint64_t fills = 0;            // insert attempts observed (accepted or declined)
+  // Watermark triggers for this function, INCLUDING the every-Nth triggers admitted as
+  // probes. The node-level CacheStats::admission_rejects counts only actual declines, so the
+  // two differ by exactly the probe count.
+  uint64_t admission_rejects = 0;
+  uint64_t hits = 0;
+  uint64_t bytes_inserted = 0;   // estimated bytes of all attempted fills
+  uint64_t fill_cost_total_us = 0;
+  double ewma_benefit_per_byte = 0.0;  // µs of recompute saved per byte-lifetime, smoothed
 };
 
 struct CacheStats {
@@ -103,6 +164,13 @@ struct CacheStats {
   uint64_t insert_time_truncations = 0;  // still-valid claims cut by replayed history
   uint64_t evictions_lru = 0;
   uint64_t evictions_stale = 0;
+  // Cost-aware capacity evictions: a closed-interval version evicted by the stale-first
+  // preference, and a still-valid version evicted for having the lowest benefit-per-byte.
+  uint64_t evictions_capacity_stale = 0;
+  uint64_t evictions_cost = 0;
+  uint64_t eviction_bytes_reclaimed = 0;  // bytes freed by capacity evictions (all policies)
+  uint64_t admission_rejects = 0;  // fills declined by the benefit-per-byte watermark
+  uint64_t admission_probes = 0;   // fills of rejected functions admitted as re-measurement probes
   uint64_t reorder_buffered = 0;  // out-of-order stream messages held back
 
   CacheStats& operator+=(const CacheStats& o) {
@@ -119,8 +187,17 @@ struct CacheStats {
     insert_time_truncations += o.insert_time_truncations;
     evictions_lru += o.evictions_lru;
     evictions_stale += o.evictions_stale;
+    evictions_capacity_stale += o.evictions_capacity_stale;
+    evictions_cost += o.evictions_cost;
+    eviction_bytes_reclaimed += o.eviction_bytes_reclaimed;
+    admission_rejects += o.admission_rejects;
+    admission_probes += o.admission_probes;
     reorder_buffered += o.reorder_buffered;
     return *this;
+  }
+
+  uint64_t capacity_evictions() const {
+    return evictions_lru + evictions_capacity_stale + evictions_cost;
   }
 
   uint64_t misses() const {

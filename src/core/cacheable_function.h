@@ -4,6 +4,13 @@
 // The cache key is derived from the function's registered name plus the deterministic binary
 // serialization of its arguments — the application never chooses keys (a documented source of
 // MediaWiki bugs the paper cites). The result type must be Serde-serializable.
+//
+// Automatic management: every miss fill runs inside a frame (FrameGuard below), and the frame
+// meters what the fill cost — wall-clock elapsed plus weighted database work. The measured
+// cost ships with the insert, where the cache's cost-aware policy uses benefit-per-byte to
+// decide admission and eviction; the application never annotates anything. The function name
+// is the cost-accounting bucket (CacheKeyFunction parses it back out of the key), so per-
+// function profiles in CacheServer::FunctionStats() line up 1:1 with MakeCacheable calls.
 #ifndef SRC_CORE_CACHEABLE_FUNCTION_H_
 #define SRC_CORE_CACHEABLE_FUNCTION_H_
 

@@ -1,5 +1,6 @@
 #include "src/core/txcache_client.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace txcache {
@@ -302,6 +303,7 @@ Result<std::string> TxCacheClient::CacheLookup(const std::string& key) {
   }
   PropagateToFrames(resp.interval, resp.tags);
   ++stats_.cache_hits;
+  stats_.saved_recompute_cost_us += resp.fill_cost_us;
   return resp.value;
 }
 
@@ -351,6 +353,7 @@ std::vector<Result<std::string>> TxCacheClient::CacheMultiLookup(
     }
     PropagateToFrames(resp.interval, resp.tags);
     ++stats_.cache_hits;
+    stats_.saved_recompute_cost_us += resp.fill_cost_us;
     out.push_back(Result<std::string>(std::move(resp.value)));
   }
   return out;
@@ -377,10 +380,18 @@ Result<std::string> TxCacheClient::RwCacheLookup(const std::string& key) {
     return Status::NotFound("cache miss");
   }
   ++stats_.cache_hits;
+  stats_.saved_recompute_cost_us += resp.fill_cost_us;
   return resp.value;
 }
 
-void TxCacheClient::FrameBegin() { frames_.emplace_back(); }
+void TxCacheClient::FrameBegin() {
+  Frame frame;
+  frame.started_wall = clock_->Now();
+  frame.start_db_queries = stats_.db_queries.load(std::memory_order_relaxed);
+  frame.start_db_tuples = stats_.db_tuples_examined.load(std::memory_order_relaxed);
+  frame.start_db_probes = stats_.db_index_probes.load(std::memory_order_relaxed);
+  frames_.push_back(std::move(frame));
+}
 
 FrameOutcome TxCacheClient::FrameEnd() {
   assert(!frames_.empty());
@@ -389,6 +400,20 @@ FrameOutcome TxCacheClient::FrameEnd() {
   FrameOutcome outcome;
   outcome.validity = frame.validity;
   outcome.tags.assign(frame.tags.begin(), frame.tags.end());
+  // Fill-cost meter: wall-clock elapsed plus weighted database work performed inside the
+  // frame. A nested frame's work is deliberately included in its parent — recomputing the
+  // parent really does redo the child's work (or re-fetch it, which the weights approximate).
+  const WallClock elapsed = clock_->Now() - frame.started_wall;
+  const uint64_t dq = stats_.db_queries.load(std::memory_order_relaxed) - frame.start_db_queries;
+  const uint64_t dt =
+      stats_.db_tuples_examined.load(std::memory_order_relaxed) - frame.start_db_tuples;
+  const uint64_t dp =
+      stats_.db_index_probes.load(std::memory_order_relaxed) - frame.start_db_probes;
+  outcome.fill_cost_us =
+      static_cast<uint64_t>(std::max<WallClock>(elapsed, 0)) +
+      dq * static_cast<uint64_t>(options_.fill_cost_per_query) +
+      dt * static_cast<uint64_t>(options_.fill_cost_per_tuple) +
+      dp * static_cast<uint64_t>(options_.fill_cost_per_probe);
   if (chosen_ts_.has_value()) {
     outcome.computed_at = *chosen_ts_;
   } else if (pin_set_.has_pins()) {
@@ -408,6 +433,8 @@ void TxCacheClient::FrameAbandon() {
 
 void TxCacheClient::CacheStore(const std::string& key, std::string value,
                                const FrameOutcome& outcome) {
+  // Every stored-or-not fill was a recompute this client actually paid for.
+  stats_.recompute_cost_us += outcome.fill_cost_us;
   if (outcome.validity.empty()) {
     // Possible under kNoConsistency, where observations are not forced to stay consistent.
     ++stats_.inserts_skipped;
@@ -423,8 +450,14 @@ void TxCacheClient::CacheStore(const std::string& key, std::string value,
   req.interval = outcome.validity;
   req.computed_at = outcome.computed_at;
   req.tags = outcome.tags;
-  if (node_or.value()->Insert(req).ok()) {
+  req.fill_cost_us = outcome.fill_cost_us;
+  Status st = node_or.value()->Insert(req);
+  if (st.ok()) {
     ++stats_.cache_inserts;
+  } else if (st.code() == StatusCode::kDeclined) {
+    // The admission gate judged this function not worth its bytes right now; the recompute
+    // already happened, only the store was refused.
+    ++stats_.inserts_declined;
   }
 }
 

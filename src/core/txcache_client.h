@@ -66,6 +66,13 @@ struct ClientStats {
   uint64_t pins_created = 0;
   uint64_t multi_lookup_batches = 0;  // batched cache round-trips issued
   uint64_t multi_lookup_keys = 0;     // keys resolved through batched round-trips
+  // Cost pipeline (automatic management): recompute_cost_us is the measured fill cost of every
+  // cacheable-function miss this client had to recompute; saved_recompute_cost_us is the
+  // stored fill cost of every hit (the recompute the cache saved); inserts_declined counts
+  // fills the server's admission gate refused to store.
+  uint64_t recompute_cost_us = 0;
+  uint64_t saved_recompute_cost_us = 0;
+  uint64_t inserts_declined = 0;
 };
 
 // Atomic mirror of ClientStats. A client session is single-threaded, but its counters are
@@ -97,6 +104,9 @@ struct AtomicClientStats {
   std::atomic<uint64_t> pins_created{0};
   std::atomic<uint64_t> multi_lookup_batches{0};
   std::atomic<uint64_t> multi_lookup_keys{0};
+  std::atomic<uint64_t> recompute_cost_us{0};
+  std::atomic<uint64_t> saved_recompute_cost_us{0};
+  std::atomic<uint64_t> inserts_declined{0};
 
   ClientStats Snapshot() const {
     ClientStats s;
@@ -122,6 +132,9 @@ struct AtomicClientStats {
     s.pins_created = pins_created.load(std::memory_order_relaxed);
     s.multi_lookup_batches = multi_lookup_batches.load(std::memory_order_relaxed);
     s.multi_lookup_keys = multi_lookup_keys.load(std::memory_order_relaxed);
+    s.recompute_cost_us = recompute_cost_us.load(std::memory_order_relaxed);
+    s.saved_recompute_cost_us = saved_recompute_cost_us.load(std::memory_order_relaxed);
+    s.inserts_declined = inserts_declined.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -131,16 +144,24 @@ struct AtomicClientStats {
           &cache_hits, &cache_misses, &miss_compulsory, &miss_staleness, &miss_capacity,
           &miss_consistency, &pin_set_rejects, &cache_inserts, &inserts_skipped, &db_queries,
           &db_tuples_examined, &db_index_probes, &db_writes, &pins_created,
-          &multi_lookup_batches, &multi_lookup_keys}) {
+          &multi_lookup_batches, &multi_lookup_keys, &recompute_cost_us,
+          &saved_recompute_cost_us, &inserts_declined}) {
       c->store(0, std::memory_order_relaxed);
     }
   }
 };
 
-// Validity/tag accumulation for one cacheable function on the call stack (§6.3).
+// Validity/tag accumulation for one cacheable function on the call stack (§6.3), plus the
+// fill-cost meter: FrameBegin stamps the wall clock and the database work counters, FrameEnd
+// converts the deltas into the µs of compute/DB time this fill cost — the benefit a future
+// cache hit on it would deliver.
 struct Frame {
   Interval validity = Interval::All();
   std::set<InvalidationTag> tags;
+  WallClock started_wall = 0;
+  uint64_t start_db_queries = 0;
+  uint64_t start_db_tuples = 0;
+  uint64_t start_db_probes = 0;
 };
 
 // What a finished frame learned; passed to CacheStore.
@@ -148,6 +169,7 @@ struct FrameOutcome {
   Interval validity = Interval::All();
   std::vector<InvalidationTag> tags;
   Timestamp computed_at = kTimestampZero;
+  uint64_t fill_cost_us = 0;  // measured cost of producing this value (wall + weighted DB work)
 };
 
 class TxCacheClient {
@@ -163,6 +185,13 @@ class TxCacheClient {
     // may return a value that predates the transaction's own uncommitted writes. Results of
     // cacheable functions executed inside RW transactions are still never stored.
     bool allow_rw_cache_reads = false;
+    // Fill-cost weights: a frame's cost is its wall-clock elapsed time plus these per-unit
+    // charges for the database work it performed. The wall term captures real deployments; the
+    // weighted term keeps costs meaningful under the simulator, whose virtual clock does not
+    // advance while application code runs. Defaults mirror sim::CostModel.
+    WallClock fill_cost_per_query = Millis(0.12);
+    WallClock fill_cost_per_tuple = Millis(0.004);
+    WallClock fill_cost_per_probe = Millis(0.015);
   };
 
   TxCacheClient(Database* db, Pincushion* pincushion, CacheCluster* cache, const Clock* clock)

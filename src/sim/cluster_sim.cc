@@ -30,6 +30,7 @@ Result<SimResult> ClusterSim::Run() {
   cache_options.capacity_bytes = config_.cache_bytes_per_node;
   cache_options.max_staleness = std::max<WallClock>(config_.staleness * 4, Seconds(10));
   cache_options.num_shards = std::max<size_t>(config_.cost.cache_shards_per_node, 1);
+  cache_options.policy = config_.cache_policy;
   for (size_t i = 0; i < config_.num_cache_nodes; ++i) {
     cache_nodes_.push_back(std::make_unique<CacheServer>("cache-" + std::to_string(i),
                                                          clock_.get(), cache_options));
@@ -58,6 +59,11 @@ Result<SimResult> ClusterSim::Run() {
   TxCacheClient::Options client_options;
   client_options.default_staleness = config_.staleness;
   client_options.mode = config_.mode;
+  // Fill costs shipped with inserts must be priced in the same currency the simulator charges,
+  // so the cost-aware policy optimizes exactly the resource the bottleneck is measured in.
+  client_options.fill_cost_per_query = config_.cost.db_query_base;
+  client_options.fill_cost_per_tuple = config_.cost.db_per_tuple;
+  client_options.fill_cost_per_probe = config_.cost.db_per_probe;
   clients_.reserve(config_.num_clients);
   sessions_.reserve(config_.num_clients);
   for (size_t i = 0; i < config_.num_clients; ++i) {
@@ -121,6 +127,11 @@ Result<SimResult> ClusterSim::Run() {
     d.insert_time_truncations = a.insert_time_truncations - b.insert_time_truncations;
     d.evictions_lru = a.evictions_lru - b.evictions_lru;
     d.evictions_stale = a.evictions_stale - b.evictions_stale;
+    d.evictions_capacity_stale = a.evictions_capacity_stale - b.evictions_capacity_stale;
+    d.evictions_cost = a.evictions_cost - b.evictions_cost;
+    d.eviction_bytes_reclaimed = a.eviction_bytes_reclaimed - b.eviction_bytes_reclaimed;
+    d.admission_rejects = a.admission_rejects - b.admission_rejects;
+    d.admission_probes = a.admission_probes - b.admission_probes;
     d.reorder_buffered = a.reorder_buffered - b.reorder_buffered;
     return d;
   };
@@ -146,6 +157,9 @@ Result<SimResult> ClusterSim::Run() {
     d.db_index_probes = a.db_index_probes - b.db_index_probes;
     d.db_writes = a.db_writes - b.db_writes;
     d.pins_created = a.pins_created - b.pins_created;
+    d.recompute_cost_us = a.recompute_cost_us - b.recompute_cost_us;
+    d.saved_recompute_cost_us = a.saved_recompute_cost_us - b.saved_recompute_cost_us;
+    d.inserts_declined = a.inserts_declined - b.inserts_declined;
     return d;
   };
 
@@ -211,6 +225,9 @@ ClientStats ClusterSim::AggregateClientStats() const {
     total.db_index_probes += s.db_index_probes;
     total.db_writes += s.db_writes;
     total.pins_created += s.pins_created;
+    total.recompute_cost_us += s.recompute_cost_us;
+    total.saved_recompute_cost_us += s.saved_recompute_cost_us;
+    total.inserts_declined += s.inserts_declined;
   }
   return total;
 }
@@ -238,7 +255,8 @@ void ClusterSim::RunClientInteraction(size_t idx) {
   const uint64_t cacheable = after.cacheable_calls - before.cacheable_calls;
   const uint64_t cache_ops = (after.cache_hits - before.cache_hits) +
                              (after.cache_misses - before.cache_misses) +
-                             (after.cache_inserts - before.cache_inserts);
+                             (after.cache_inserts - before.cache_inserts) +
+                             (after.inserts_declined - before.inserts_declined);
   const uint64_t pincushion_ops =
       (after.ro_txns - before.ro_txns) + (after.pins_created - before.pins_created);
   const bool used_db = queries + writes > 0;
@@ -276,8 +294,14 @@ void ClusterSim::RunClientInteraction(size_t idx) {
   const double shard_factor =
       1.0 - c.cache_lock_fraction +
       c.cache_lock_fraction / static_cast<double>(std::max<size_t>(c.cache_shards_per_node, 1));
-  const WallClock cache_cost =
+  WallClock cache_cost =
       static_cast<WallClock>(static_cast<double>(c.cache_op) * shard_factor) * cache_ops;
+  if (config_.cache_policy == EvictionPolicy::kCostAware) {
+    // Eviction-policy term: admission bookkeeping + amortized score maintenance per PUT.
+    const uint64_t cache_puts = (after.cache_inserts - before.cache_inserts) +
+                                (after.inserts_declined - before.inserts_declined);
+    cache_cost += c.cache_insert_policy_op * cache_puts;
+  }
   const WallClock pincushion_cost = c.pincushion_op * pincushion_ops;
 
   // --- charge the resource chain: web -> pincushion -> cache tier -> db cpu -> db disk ---

@@ -43,6 +43,9 @@ struct SimConfig {
   WallClock think_time_mean = Seconds(0.7);
   WallClock staleness = Seconds(30);
   ClientMode mode = ClientMode::kConsistent;
+  // Capacity management policy of the cache fleet (automatic management). Cost-aware is the
+  // default, matching CacheOptions; benchmarks flip this to compare against plain LRU.
+  EvictionPolicy cache_policy = EvictionPolicy::kCostAware;
 
   WallClock warmup = Seconds(6);
   WallClock measure = Seconds(15);

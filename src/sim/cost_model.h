@@ -48,6 +48,12 @@ struct CostModel {
   // already modeled by the tier resource.
   double cache_lock_fraction = 0.6;
   size_t cache_shards_per_node = 8;
+  // Eviction-policy term: extra service demand per PUT under the cost-aware policy — the
+  // admission-gate profile update (one small mutex-protected map touch) plus the amortized
+  // score-index maintenance and victim selection an insert-triggered eviction performs.
+  // Charged only when the simulated fleet runs EvictionPolicy::kCostAware; plain LRU keeps
+  // the unadorned cache_op cost.
+  WallClock cache_insert_policy_op = Millis(0.004);
 
   // Web/application server CPU.
   WallClock web_base = Millis(1.0);             // per interaction: dispatch + page assembly

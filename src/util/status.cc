@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kDeclined:
+      return "DECLINED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }

@@ -16,6 +16,7 @@ enum class StatusCode {
   kInvalidArgument,   // caller error (bad schema, malformed query, type mismatch)
   kFailedPrecondition,  // operation not valid in current state (e.g. commit of aborted txn)
   kUnavailable,       // component offline / partitioned (used in fault-injection tests)
+  kDeclined,          // request refused by policy (e.g. cache admission gate), not an error
   kInternal,          // invariant violation; indicates a bug
 };
 
@@ -42,6 +43,9 @@ class Status {
   }
   static Status Unavailable(std::string m = "unavailable") {
     return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Declined(std::string m = "declined by policy") {
+    return Status(StatusCode::kDeclined, std::move(m));
   }
   static Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
 

@@ -1,0 +1,289 @@
+// Deterministic tests for the cost-aware automatic-management subsystem: stale-first capacity
+// eviction, benefit-per-byte ordering (GreedyDual score with the node-global aging floor),
+// the adaptive admission watermark (reject, probe, re-accept), byte-budget accounting across
+// shards, and the end-to-end fill-cost pipeline from TxCacheClient frames to per-function
+// server stats. Everything runs on a fixed ManualClock with fixed seeds.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/cache/cache_cluster.h"
+#include "src/cache/cache_server.h"
+#include "src/core/cacheable_function.h"
+#include "src/core/txcache_client.h"
+#include "src/pincushion/pincushion.h"
+#include "src/util/clock.h"
+#include "src/util/serde.h"
+#include "tests/test_support.h"
+
+namespace txcache {
+namespace {
+
+using namespace txcache::testing;
+
+// A MakeCacheKey-shaped key: the function name is recoverable via CacheKeyFunction, so fills
+// of the same function share one admission profile no matter which argument they carry.
+std::string FnKey(const std::string& function, uint64_t arg) {
+  Writer w;
+  w.PutString(function);
+  w.PutU64(arg);
+  return w.Take();
+}
+
+InsertRequest StillValid(const std::string& key, size_t value_bytes, uint64_t fill_cost_us,
+                         std::vector<InvalidationTag> tags = {}) {
+  InsertRequest req;
+  req.key = key;
+  req.value = std::string(value_bytes, 'v');
+  req.interval = {1, kTimestampInfinity};
+  req.computed_at = 1;
+  req.tags = std::move(tags);
+  req.fill_cost_us = fill_cost_us;
+  return req;
+}
+
+LookupRequest Probe(const std::string& key) {
+  LookupRequest req;
+  req.key = key;
+  req.bounds_lo = 1;
+  req.bounds_hi = kTimestampInfinity;
+  return req;
+}
+
+CacheServer::Options OneShardOptions(size_t capacity_bytes) {
+  CacheServer::Options options;
+  options.capacity_bytes = capacity_bytes;
+  options.num_shards = 1;  // single shard: eviction order is exact, not a cross-shard merge
+  options.policy = EvictionPolicy::kCostAware;
+  return options;
+}
+
+TEST(CacheEviction, StaleVersionsEvictedBeforeAnyStillValidEntry) {
+  ManualClock clock;
+  clock.Set(Seconds(100));
+  // Budget fits three ~600-byte entries; the fourth insert forces one eviction.
+  CacheServer server("stale-first", &clock, OneShardOptions(2000));
+  auto tag = InvalidationTag::Concrete("t", "i", "a");
+
+  // "expensive" has by far the best benefit-per-byte, but its interval gets closed by an
+  // invalidation — the stale-first preference must evict it before either cheap still-valid
+  // entry, benefit notwithstanding.
+  ASSERT_TRUE(server.Insert(StillValid(FnKey("expensive", 1), 500, 1'000'000, {tag})).ok());
+  ASSERT_TRUE(server.Insert(StillValid(FnKey("cheap", 1), 500, 10)).ok());
+  ASSERT_TRUE(server.Insert(StillValid(FnKey("cheap", 2), 500, 10)).ok());
+  InvalidationMessage msg;
+  msg.seqno = 1;
+  msg.ts = 50;
+  msg.wallclock = clock.Now();
+  msg.tags = {tag};
+  server.Deliver(msg);
+
+  ASSERT_TRUE(server.Insert(StillValid(FnKey("cheap", 3), 500, 10)).ok());
+
+  CacheStats stats = server.stats();
+  EXPECT_EQ(stats.evictions_capacity_stale, 1u);
+  EXPECT_EQ(stats.evictions_cost, 0u);
+  EXPECT_EQ(stats.evictions_lru, 0u);
+  LookupRequest old_probe = Probe(FnKey("expensive", 1));
+  old_probe.bounds_hi = 49;  // the closed interval [1, 50) would still have matched this
+  EXPECT_FALSE(server.Lookup(old_probe).hit) << "stale version must be the first victim";
+  EXPECT_TRUE(server.Lookup(Probe(FnKey("cheap", 1))).hit);
+  EXPECT_TRUE(server.Lookup(Probe(FnKey("cheap", 2))).hit);
+  EXPECT_TRUE(server.Lookup(Probe(FnKey("cheap", 3))).hit);
+}
+
+TEST(CacheEviction, LowestBenefitPerByteEvictedFirst) {
+  ManualClock clock;
+  clock.Set(Seconds(100));
+  CacheServer server("bpb-order", &clock, OneShardOptions(2000));
+
+  // Equal sizes, strictly increasing fill cost: the eviction order must be cost order, not
+  // insertion or recency order (note the cheapest entry is inserted LAST and is still the
+  // first victim).
+  ASSERT_TRUE(server.Insert(StillValid(FnKey("cost300", 1), 500, 300)).ok());
+  ASSERT_TRUE(server.Insert(StillValid(FnKey("cost900", 1), 500, 900)).ok());
+  ASSERT_TRUE(server.Insert(StillValid(FnKey("cost100", 1), 500, 100)).ok());
+
+  ASSERT_TRUE(server.Insert(StillValid(FnKey("cost600", 1), 500, 600)).ok());
+  EXPECT_FALSE(server.Lookup(Probe(FnKey("cost100", 1))).hit);
+  EXPECT_TRUE(server.Lookup(Probe(FnKey("cost300", 1))).hit);
+
+  ASSERT_TRUE(server.Insert(StillValid(FnKey("cost800", 1), 500, 800)).ok());
+  EXPECT_FALSE(server.Lookup(Probe(FnKey("cost300", 1))).hit);
+  EXPECT_TRUE(server.Lookup(Probe(FnKey("cost900", 1))).hit);
+  EXPECT_TRUE(server.Lookup(Probe(FnKey("cost600", 1))).hit);
+  EXPECT_TRUE(server.Lookup(Probe(FnKey("cost800", 1))).hit);
+
+  CacheStats stats = server.stats();
+  EXPECT_EQ(stats.evictions_cost, 2u);
+  EXPECT_GT(server.aging_floor(), 0.0) << "evicting scored entries must raise the aging floor";
+}
+
+TEST(CacheEviction, EqualScoresEvictLeastRecentlyTouchedFirst) {
+  ManualClock clock;
+  clock.Set(Seconds(100));
+  CacheServer server("tie-break", &clock, OneShardOptions(2000));
+
+  // Identical cost and size => identical score. A hit refreshes the touched entry's position,
+  // so the untouched one is the victim: LRU order among equals.
+  ASSERT_TRUE(server.Insert(StillValid(FnKey("fn", 1), 500, 400)).ok());
+  ASSERT_TRUE(server.Insert(StillValid(FnKey("fn", 2), 500, 400)).ok());
+  ASSERT_TRUE(server.Insert(StillValid(FnKey("fn", 3), 500, 400)).ok());
+  ASSERT_TRUE(server.Lookup(Probe(FnKey("fn", 1))).hit);  // refresh 1: victim becomes 2
+
+  ASSERT_TRUE(server.Insert(StillValid(FnKey("fn", 4), 500, 400)).ok());
+  EXPECT_TRUE(server.Lookup(Probe(FnKey("fn", 1))).hit);
+  EXPECT_FALSE(server.Lookup(Probe(FnKey("fn", 2))).hit);
+  EXPECT_TRUE(server.Lookup(Probe(FnKey("fn", 3))).hit);
+  EXPECT_TRUE(server.Lookup(Probe(FnKey("fn", 4))).hit);
+}
+
+TEST(CacheEviction, AdmissionWatermarkRejectsColdFunctionAndProbesPeriodically) {
+  ManualClock clock;
+  clock.Set(Seconds(100));
+  CacheServer::Options options = OneShardOptions(2000);
+  options.admission_min_samples = 4;
+  options.admission_probe_interval = 4;
+  options.admission_watermark_fraction = 0.5;
+  options.benefit_ewma_alpha = 0.5;
+  CacheServer server("admission", &clock, options);
+
+  // "good": high benefit-per-byte, and its entries earn hits. Keep three resident.
+  for (uint64_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(server.Insert(StillValid(FnKey("good", i), 400, 500'000)).ok());
+  }
+  // "junk": modest cost, never hit. Each fill forces an eviction; with all "good" entries
+  // carrying vastly higher scores, the victim is always the junk entry itself, so junk's
+  // realized benefit (0 hits) halves its EWMA while the aging floor ratchets upward.
+  uint64_t declined = 0;
+  uint64_t accepted = 0;
+  for (uint64_t i = 1; i <= 40; ++i) {
+    // Keep "good" hot so refreshed scores stay above the floor.
+    ASSERT_TRUE(server.Lookup(Probe(FnKey("good", 1 + (i % 3)))).hit);
+    Status st = server.Insert(StillValid(FnKey("junk", i), 400, 2'000));
+    if (st.ok()) {
+      ++accepted;
+    } else {
+      ASSERT_EQ(st.code(), StatusCode::kDeclined) << st.ToString();
+      ++declined;
+    }
+  }
+  // Deterministic sequence: fills 1-4 are accepted below min_samples (each evicted unhit, so
+  // the EWMA halves while the floor ratchets); fills 5-40 all trigger the watermark — 36
+  // triggers, every 4th admitted as a probe. 4 + 9 accepted, 27 declined.
+  EXPECT_EQ(declined, 27u);
+  EXPECT_EQ(accepted, 13u);
+  CacheStats stats = server.stats();
+  EXPECT_EQ(stats.admission_rejects, declined);
+  EXPECT_EQ(stats.admission_probes, 9u) << "every 4th watermark trigger is admitted as a probe";
+  // "good" is never declined: its EWMA prior stays far above the watermark.
+  ASSERT_TRUE(server.Insert(StillValid(FnKey("good", 9), 400, 500'000)).ok());
+
+  // Per-function profiles surface the story: junk has rejects and a collapsed EWMA, good
+  // has hits and none.
+  bool saw_good = false, saw_junk = false;
+  for (const FunctionStatsEntry& e : server.FunctionStats()) {
+    if (e.function == "good") {
+      saw_good = true;
+      EXPECT_EQ(e.admission_rejects, 0u);
+      EXPECT_GT(e.hits, 0u);
+    } else if (e.function == "junk") {
+      saw_junk = true;
+      EXPECT_GT(e.admission_rejects, 0u);
+      EXPECT_LT(e.ewma_benefit_per_byte, server.aging_floor());
+    }
+  }
+  EXPECT_TRUE(saw_good);
+  EXPECT_TRUE(saw_junk);
+}
+
+TEST(CacheEviction, ByteBudgetAccountingAcrossShards) {
+  ManualClock clock;
+  clock.Set(Seconds(100));
+  CacheServer::Options options;
+  options.capacity_bytes = 16 * 1024;
+  options.num_shards = 8;
+  options.policy = EvictionPolicy::kCostAware;
+  CacheServer server("budget", &clock, options);
+
+  // Unique keys (no duplicate-insert drops), deterministic sizes/costs, entries landing on
+  // all shards. Every accepted byte is either resident or was reclaimed by eviction.
+  size_t accepted_bytes = 0;
+  uint64_t accepted = 0;
+  for (uint64_t i = 0; i < 400; ++i) {
+    InsertRequest req =
+        StillValid(FnKey("fn" + std::to_string(i % 7), i), 100 + (i * 37) % 900, 50 + i % 400);
+    Status st = server.Insert(req);
+    ASSERT_TRUE(st.ok() || st.code() == StatusCode::kDeclined) << st.ToString();
+    if (st.ok()) {
+      accepted_bytes += CacheShard::EstimateBytes(req);
+      ++accepted;
+    }
+    ASSERT_LE(server.bytes_used(), options.capacity_bytes) << "budget overshoot at insert " << i;
+  }
+  CacheStats stats = server.stats();
+  EXPECT_EQ(stats.inserts, accepted);
+  EXPECT_GT(stats.capacity_evictions(), 0u);
+  EXPECT_EQ(accepted_bytes - server.bytes_used(), stats.eviction_bytes_reclaimed)
+      << "every accepted byte must be resident or reclaimed";
+  EXPECT_EQ(server.version_count(),
+            accepted - stats.capacity_evictions());
+  server.Flush();
+  EXPECT_EQ(server.bytes_used(), 0u);
+}
+
+TEST(CacheEviction, ClientMeasuresFillCostAndServerTracksItPerFunction) {
+  // End-to-end cost pipeline: a miss fill's frame meters the database work it performed, the
+  // cost ships with the insert, the server profiles it per function, and a later hit reports
+  // the same cost back as recomputation saved.
+  ManualClock clock;
+  clock.Set(Seconds(10));
+  Database db(&clock);
+  InvalidationBus bus;
+  db.set_invalidation_bus(&bus);
+  CacheServer node("cache", &clock);
+  bus.Subscribe(&node);
+  CacheCluster cluster;
+  cluster.AddNode(&node);
+  Pincushion pincushion(&db, &clock);
+  CreateAccountsTable(&db);
+  InsertAccount(&db, 1, "o", 100);
+
+  TxCacheClient client(&db, &pincushion, &cluster, &clock);
+  auto balance = client.MakeCacheable<int64_t, int64_t>("bal", [&client](int64_t id) -> int64_t {
+    auto r = client.ExecuteQuery(AccountById(id));
+    return r.ok() && !r.value().rows.empty() ? r.value().rows[0][AccountsCol::kBalance].AsInt()
+                                             : -1;
+  });
+
+  ASSERT_TRUE(client.BeginRO().ok());
+  EXPECT_EQ(balance(1), 100);  // miss: recompute, measure, insert
+  ASSERT_TRUE(client.Commit().ok());
+  ClientStats after_miss = client.stats();
+  EXPECT_GT(after_miss.recompute_cost_us, 0u) << "the frame must have metered the DB work";
+  EXPECT_EQ(after_miss.saved_recompute_cost_us, 0u);
+
+  ASSERT_TRUE(client.BeginRO().ok());
+  EXPECT_EQ(balance(1), 100);  // hit: the stored fill cost comes back as savings
+  ASSERT_TRUE(client.Commit().ok());
+  ClientStats after_hit = client.stats();
+  EXPECT_EQ(after_hit.recompute_cost_us, after_miss.recompute_cost_us);
+  EXPECT_EQ(after_hit.saved_recompute_cost_us, after_miss.recompute_cost_us)
+      << "a hit saves exactly the cost the fill reported";
+
+  bool saw_bal = false;
+  for (const FunctionStatsEntry& e : node.FunctionStats()) {
+    if (e.function == "bal") {
+      saw_bal = true;
+      EXPECT_EQ(e.fills, 1u);
+      EXPECT_EQ(e.hits, 1u);
+      EXPECT_EQ(e.fill_cost_total_us, after_miss.recompute_cost_us);
+      EXPECT_GT(e.ewma_benefit_per_byte, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_bal) << "the cacheable function must appear in the per-function profiles";
+}
+
+}  // namespace
+}  // namespace txcache

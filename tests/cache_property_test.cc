@@ -147,23 +147,142 @@ TEST_P(CachePropertyTest, DeliveryOrderDoesNotMatter) {
 
 TEST_P(CachePropertyTest, EvictionNeverBreaksAccounting) {
   ManualClock clock;
-  CacheServer::Options options;
-  options.capacity_bytes = 4096;
-  CacheServer server("tiny", &clock, options);
-  Rng rng(GetParam() ^ 0xcafe);
-  for (int step = 0; step < 500; ++step) {
-    InsertRequest req;
-    req.key = "k" + std::to_string(rng.Uniform(0, 40));
-    req.value = std::string(static_cast<size_t>(rng.Uniform(10, 400)), 'x');
-    Timestamp lower = static_cast<Timestamp>(rng.Uniform(1, 1000));
-    req.interval = {lower, lower + static_cast<Timestamp>(rng.Uniform(1, 50))};
-    server.Insert(req);
-    ASSERT_LE(server.bytes_used(), options.capacity_bytes);
+  for (EvictionPolicy policy : {EvictionPolicy::kLru, EvictionPolicy::kCostAware}) {
+    CacheServer::Options options;
+    options.capacity_bytes = 4096;
+    options.policy = policy;
+    CacheServer server("tiny", &clock, options);
+    Rng rng(GetParam() ^ 0xcafe);
+    for (int step = 0; step < 500; ++step) {
+      InsertRequest req;
+      req.key = "k" + std::to_string(rng.Uniform(0, 40));
+      req.value = std::string(static_cast<size_t>(rng.Uniform(10, 400)), 'x');
+      Timestamp lower = static_cast<Timestamp>(rng.Uniform(1, 1000));
+      req.interval = {lower, lower + static_cast<Timestamp>(rng.Uniform(1, 50))};
+      req.fill_cost_us = static_cast<uint64_t>(rng.Uniform(0, 5000));
+      server.Insert(req);
+      ASSERT_LE(server.bytes_used(), options.capacity_bytes);
+    }
+    const CacheStats stats = server.stats();
+    EXPECT_GT(stats.capacity_evictions(), 0u);
+    EXPECT_GT(stats.eviction_bytes_reclaimed, 0u);
+    server.Flush();
+    EXPECT_EQ(server.bytes_used(), 0u);
+    EXPECT_EQ(server.version_count(), 0u);
   }
-  EXPECT_GT(server.stats().evictions_lru, 0u);
-  server.Flush();
-  EXPECT_EQ(server.bytes_used(), 0u);
-  EXPECT_EQ(server.version_count(), 0u);
+}
+
+TEST_P(CachePropertyTest, EvictionNeverResurrectsOrWidensValidity) {
+  // Under random insert / invalidate / capacity-evict interleavings (the tiny budget keeps the
+  // cost-aware eviction policy continuously active), no lookup may ever return a version
+  // outside its true validity interval: the value must be one actually inserted for that
+  // (key, lower), and its reported upper bound may never exceed the earliest invalidation of
+  // the version's tag group after its computed_at (nor the inserted upper for closed
+  // intervals). Eviction may only lose entries, never resurrect or widen them.
+  ManualClock clock;
+  clock.Set(Seconds(100));
+  CacheServer::Options options;
+  options.capacity_bytes = 8192;
+  options.policy = EvictionPolicy::kCostAware;
+  CacheServer server("evict-prop", &clock, options);
+  Rng rng(GetParam() ^ 0xbeef);
+
+  constexpr int kKeys = 12;
+  constexpr int kGroups = 4;
+  Timestamp now_ts = 1;
+  uint64_t seqno = 1;
+  // Model: value inserted per (key, lower), the interval upper claimed at insert time
+  // (kTimestampInfinity for still-valid inserts), its computed_at and group.
+  struct Inserted {
+    std::string value;
+    Timestamp upper;
+    Timestamp computed_at;
+    int group;
+  };
+  std::map<std::pair<int, Timestamp>, Inserted> model;
+  // Every invalidation: (group, ts); wildcard messages recorded as group -1 (hits all).
+  std::vector<std::pair<int, Timestamp>> invals;
+  auto first_invalidation_after = [&invals](int group, Timestamp after) {
+    Timestamp first = kTimestampInfinity;
+    for (const auto& [g, ts] : invals) {
+      if ((g == group || g == -1) && ts > after) {
+        first = std::min(first, ts);
+      }
+    }
+    return first;
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    const int key = static_cast<int>(rng.Uniform(0, kKeys - 1));
+    const int group = key % kGroups;
+    clock.Advance(Millis(5));
+    if (rng.Bernoulli(0.6)) {
+      const Timestamp lower = static_cast<Timestamp>(rng.Uniform(
+          static_cast<int64_t>(now_ts > 12 ? now_ts - 12 : 1), static_cast<int64_t>(now_ts)));
+      // Everything about the version is a pure function of (key, lower): re-inserting after
+      // an eviction reproduces the identical request, so the model never goes stale no matter
+      // which of the colliding inserts ended up resident.
+      const uint64_t mix = static_cast<uint64_t>(key) * 37 + lower * 13;
+      const bool open = mix % 2 == 0;
+      InsertRequest req;
+      req.key = "k" + std::to_string(key);
+      req.value = "v" + std::to_string(key) + "@" + std::to_string(lower) +
+                  std::string(static_cast<size_t>(mix % 300), 'p');
+      req.interval = {lower, open ? kTimestampInfinity : lower + 1 + (mix % 9)};
+      req.computed_at = lower;
+      req.tags = {TagFor(group)};
+      req.fill_cost_us = mix % 10000;
+      Status st = server.Insert(req);
+      ASSERT_TRUE(st.ok() || st.code() == StatusCode::kDeclined) << st.ToString();
+      model[std::make_pair(key, lower)] =
+          Inserted{req.value, req.interval.upper, req.computed_at, group};
+    } else {
+      InvalidationMessage msg;
+      msg.seqno = seqno++;
+      msg.ts = ++now_ts;
+      msg.wallclock = clock.Now();
+      const int g = static_cast<int>(rng.Uniform(0, kGroups - 1));
+      msg.tags.push_back(TagFor(g));
+      invals.emplace_back(g, msg.ts);
+      if (rng.Bernoulli(0.15)) {
+        msg.tags.push_back(InvalidationTag::Wildcard("t"));
+        invals.emplace_back(-1, msg.ts);
+      }
+      server.Deliver(msg);
+    }
+    ASSERT_LE(server.bytes_used(), options.capacity_bytes);
+
+    // Probe a random key: any hit must be explainable by the model.
+    const int probe = static_cast<int>(rng.Uniform(0, kKeys - 1));
+    Timestamp lo = static_cast<Timestamp>(rng.Uniform(0, static_cast<int64_t>(now_ts)));
+    Timestamp hi = lo + static_cast<Timestamp>(rng.Uniform(0, 20));
+    LookupRequest req;
+    req.key = "k" + std::to_string(probe);
+    req.bounds_lo = lo;
+    req.bounds_hi = hi;
+    LookupResponse resp = server.Lookup(req);
+    if (!resp.hit) {
+      continue;
+    }
+    ASSERT_TRUE(resp.interval.Overlaps(Interval{lo, hi + 1}))
+        << resp.interval.ToString() << " vs [" << lo << "," << hi << "]";
+    auto it = model.find(std::make_pair(probe, resp.interval.lower));
+    ASSERT_NE(it, model.end()) << "hit on a version never inserted: k" << probe << " lower="
+                               << resp.interval.lower;
+    ASSERT_EQ(resp.value, it->second.value);
+    // No widening: the reported upper bound may never exceed what insert-time truncation and
+    // the invalidation stream allow for this version.
+    const Inserted& ins = it->second;
+    Timestamp allowed_upper = ins.upper;
+    if (ins.upper == kTimestampInfinity) {
+      const Timestamp first = first_invalidation_after(ins.group, ins.computed_at);
+      if (first != kTimestampInfinity) {
+        allowed_upper = first;
+      }
+    }
+    ASSERT_LE(resp.interval.upper, allowed_upper)
+        << "validity widened beyond the stream: k" << probe << " lower=" << resp.interval.lower;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CachePropertyTest,

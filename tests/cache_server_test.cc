@@ -272,6 +272,7 @@ TEST_F(CacheServerTest, InvalidationIdempotentOnTruncatedEntry) {
 TEST_F(CacheServerTest, LruEvictionUnderPressure) {
   CacheServer::Options options;
   options.capacity_bytes = 1000;  // each ~300-byte entry: three fit, the fourth must evict
+  options.policy = EvictionPolicy::kLru;  // this test pins the classic LRU policy
   CacheServer small("small", &clock_, options);
   std::string big(200, 'x');
   ASSERT_TRUE(small.Insert(MakeInsert("a", big, {1, 2})).ok());
@@ -291,6 +292,7 @@ TEST_F(CacheServerTest, LruEvictionUnderPressure) {
 TEST_F(CacheServerTest, EvictedStillValidEntryLeavesTagIndex) {
   CacheServer::Options options;
   options.capacity_bytes = 700;
+  options.policy = EvictionPolicy::kLru;
   CacheServer small("small", &clock_, options);
   auto tag = InvalidationTag::Concrete("users", "pk", "\x01");
   std::string big(400, 'x');

@@ -91,9 +91,12 @@ TEST(ConcurrencyStress, DatabaseParallelTransfersConserveTotal) {
 TEST(ConcurrencyStress, CacheServerParallelOpsKeepAccounting) {
   SystemClock clock;
   CacheServer::Options options;
-  options.capacity_bytes = 256 * 1024;
+  // Small enough that the ~200-key working set cannot fit even one version per key, so
+  // capacity evictions are guaranteed regardless of how interval dedup falls out.
+  options.capacity_bytes = 32 * 1024;
   CacheServer server("stress", &clock, options);
   std::atomic<uint64_t> seqno{1};
+  std::atomic<bool> stop_stats{false};
   constexpr int kThreads = 4;
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
@@ -109,6 +112,7 @@ TEST(ConcurrencyStress, CacheServerParallelOpsKeepAccounting) {
           req.interval = {lower, rng.Bernoulli(0.5) ? kTimestampInfinity : lower + 10};
           req.computed_at = lower;
           req.tags = {InvalidationTag::Concrete("t", "i", std::to_string(rng.Uniform(0, 20)))};
+          req.fill_cost_us = static_cast<uint64_t>(rng.Uniform(0, 3000));
           server.Insert(req);
         } else if (op == 1) {
           LookupRequest req;
@@ -130,10 +134,33 @@ TEST(ConcurrencyStress, CacheServerParallelOpsKeepAccounting) {
       }
     });
   }
+  // Stats reader: the eviction/admission counters are node-level atomics and the per-function
+  // profiles sit behind their own mutex precisely so this thread is race-free (TSan-checked)
+  // while the workers hammer Insert/EvictToFit.
+  std::thread stats_reader([&server, &stop_stats] {
+    uint64_t last_reclaimed = 0;
+    while (!stop_stats.load()) {
+      CacheStats s = server.stats();
+      ASSERT_GE(s.eviction_bytes_reclaimed, last_reclaimed) << "reclaimed bytes are monotone";
+      last_reclaimed = s.eviction_bytes_reclaimed;
+      ASSERT_GE(s.hits + s.misses(), s.hits);
+      for (const FunctionStatsEntry& e : server.FunctionStats()) {
+        ASSERT_FALSE(e.function.empty());
+      }
+      std::this_thread::yield();
+    }
+  });
   for (std::thread& t : threads) {
     t.join();
   }
+  stop_stats.store(true);
+  stats_reader.join();
   EXPECT_LE(server.bytes_used(), options.capacity_bytes);
+  const CacheStats stats = server.stats();
+  EXPECT_GT(stats.capacity_evictions(), 0u);
+  EXPECT_GT(stats.eviction_bytes_reclaimed, 0u);
+  // The lock-free node counter and the shard-derived per-kind counts agree at rest.
+  EXPECT_EQ(server.capacity_eviction_count(), stats.capacity_evictions());
   server.Flush();
   EXPECT_EQ(server.bytes_used(), 0u);
   EXPECT_EQ(server.version_count(), 0u);
