@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 verify plus a ThreadSanitizer pass over the concurrency-sensitive tests.
 #
-#   scripts/check.sh                   # configure, build, ctest, then TSan concurrency tests
-#   scripts/check.sh --labels eviction # ctest filtered to a label (regex), e.g. the cost-aware
-#                                      # policy suite; the TSan pass narrows to the same label
-#   SKIP_TSAN=1 scripts/check.sh       # tier-1 only
+#   scripts/check.sh                     # configure, build, ctest, then TSan concurrency tests
+#   scripts/check.sh --labels eviction   # ctest filtered to a label (regex), e.g. the
+#                                        # cost-aware policy suite; the TSan pass narrows to
+#                                        # the same label
+#   scripts/check.sh --labels membership # the elastic-membership/churn suite
+#   SKIP_TSAN=1 scripts/check.sh         # tier-1 only
+#
+# Also fails fast if any tests/*_test.cc is missing from the registered ctest targets, so a
+# new suite can never silently not build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,14 +36,35 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 # --- tier-1 verify ---
 cmake -B build -S .
+
+# Guard: every tests/*_test.cc must be a registered ctest target. The test list is built by a
+# CMake GLOB, so a stale configure (or a future move away from globbing) could silently drop a
+# suite — fail fast instead of green-lighting a build that never ran it.
+registered="$(cd build && ctest -N)"
+missing=0
+for src in tests/*_test.cc; do
+  name="$(basename "$src" .cc)"
+  if ! grep -Eq "Test +#[0-9]+: ${name}\$" <<< "$registered"; then
+    echo "check.sh: test suite '$name' (from $src) is not a registered ctest target" >&2
+    missing=1
+  fi
+done
+if [[ "$missing" != "0" ]]; then
+  echo "check.sh: refusing to continue with unbuilt test suites" >&2
+  exit 1
+fi
+
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS" ${LABELS:+-L "$LABELS"})
 
 # --- ThreadSanitizer build of the concurrency-sensitive tests ---
 # cache_eviction_test and cache_property_test ride along: the eviction/admission suite must be
 # deterministic AND data-race-free (its stats are read concurrently by the stress tests).
+# membership_test rides along too: the join protocol and cluster membership mutex must stay
+# race-free against the churn thread in concurrency_stress_test.
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
-  TSAN_TARGETS=(concurrency_stress_test cache_shard_test cache_eviction_test cache_property_test)
+  TSAN_TARGETS=(concurrency_stress_test cache_shard_test cache_eviction_test cache_property_test
+                membership_test)
   cmake -B build-tsan -S . -DTXCACHE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
   if [[ -n "$LABELS" ]]; then

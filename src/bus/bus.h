@@ -7,14 +7,23 @@
 // delivery hook that routes each (subscriber, message) pair through the event queue with
 // per-link latency — including out-of-order delivery in fault-injection tests, which the cache
 // node's reorder buffer must absorb.
+//
+// Membership support: the bus retains a bounded history of recently published messages. A
+// cache node rejoining after a crash or partition asks ReplayFrom(position) to re-deliver the
+// messages it missed; when the bounded history no longer reaches back that far, the call fails
+// and the node must flush instead (see CacheServer::Join for the decision rule).
 #ifndef SRC_BUS_BUS_H_
 #define SRC_BUS_BUS_H_
 
+#include <algorithm>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <vector>
 
 #include "src/bus/invalidation.h"
+#include "src/util/status.h"
+#include "src/util/types.h"
 
 namespace txcache {
 
@@ -26,13 +35,30 @@ class InvalidationSubscriber {
 
 class InvalidationBus {
  public:
+  InvalidationBus() = default;
+  // How many recently published messages to retain for rejoin catch-up. The bound caps the
+  // memory the stream source spends on departed nodes: a node that was down longer than the
+  // history covers has to rebuild from scratch instead.
+  explicit InvalidationBus(size_t history_limit) : history_limit_(history_limit) {}
+
   // fn(subscriber, msg): responsible for eventually calling subscriber->Deliver(msg).
   using DeliveryHook =
       std::function<void(InvalidationSubscriber* subscriber, const InvalidationMessage& msg)>;
 
+  // Idempotent: re-subscribing an already-registered node (a rejoin) is a no-op.
   void Subscribe(InvalidationSubscriber* subscriber) {
     std::lock_guard<std::mutex> lock(mu_);
-    subscribers_.push_back(subscriber);
+    if (std::find(subscribers_.begin(), subscribers_.end(), subscriber) == subscribers_.end()) {
+      subscribers_.push_back(subscriber);
+    }
+  }
+
+  // Permanent departure (a decommissioned node, or a test tearing one down while the bus
+  // lives on). A crashed node stays subscribed: it drops deliveries itself while down.
+  void Unsubscribe(InvalidationSubscriber* subscriber) {
+    std::lock_guard<std::mutex> lock(mu_);
+    subscribers_.erase(std::remove(subscribers_.begin(), subscribers_.end(), subscriber),
+                       subscribers_.end());
   }
 
   void SetDeliveryHook(DeliveryHook hook) {
@@ -48,6 +74,11 @@ class InvalidationBus {
     {
       std::lock_guard<std::mutex> lock(mu_);
       msg.seqno = next_seqno_++;
+      last_published_ts_ = std::max(last_published_ts_, msg.ts);
+      history_.push_back(msg);
+      while (history_.size() > history_limit_) {
+        history_.pop_front();
+      }
       subs = subscribers_;
       hook = hook_;
     }
@@ -61,14 +92,64 @@ class InvalidationBus {
     return msg.seqno;
   }
 
+  // Re-delivers every retained message with seqno >= from_seqno to one subscriber (rejoin
+  // catch-up). Messages flow through the delivery hook exactly like live traffic, so the
+  // simulator's latency (and a test's holding hook) applies — the joining node stays behind
+  // its barrier until they actually arrive. Fails with kUnavailable when the bounded history
+  // has been truncated past from_seqno; the caller must flush instead of catching up.
+  Status ReplayFrom(InvalidationSubscriber* subscriber, uint64_t from_seqno) {
+    std::vector<InvalidationMessage> missed;
+    DeliveryHook hook;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (from_seqno < history_floor_seqno_locked()) {
+        return Status::Unavailable("invalidation history truncated before requested position");
+      }
+      for (const InvalidationMessage& msg : history_) {
+        if (msg.seqno >= from_seqno) {
+          missed.push_back(msg);
+        }
+      }
+      hook = hook_;
+    }
+    for (const InvalidationMessage& msg : missed) {
+      if (hook) {
+        hook(subscriber, msg);
+      } else {
+        subscriber->Deliver(msg);
+      }
+    }
+    return Status::Ok();
+  }
+
   uint64_t next_seqno() const {
     std::lock_guard<std::mutex> lock(mu_);
     return next_seqno_;
   }
 
+  // Oldest seqno the bounded history still covers (== next_seqno when nothing is retained).
+  uint64_t history_floor_seqno() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return history_floor_seqno_locked();
+  }
+
+  // Commit timestamp of the newest published message; a flushing joiner adopts it as the
+  // conservative bound on what it may have missed.
+  Timestamp last_published_ts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_published_ts_;
+  }
+
  private:
+  uint64_t history_floor_seqno_locked() const {
+    return history_.empty() ? next_seqno_ : history_.front().seqno;
+  }
+
   mutable std::mutex mu_;
   uint64_t next_seqno_ = 1;
+  size_t history_limit_ = 4096;
+  std::deque<InvalidationMessage> history_;
+  Timestamp last_published_ts_ = kTimestampZero;
   std::vector<InvalidationSubscriber*> subscribers_;
   DeliveryHook hook_;
 };

@@ -55,8 +55,12 @@ class StreamSequencer {
     }
   }
 
-  // Fast-forwards the stream position (cache snapshot import): adopts `next_seqno` if it is
-  // ahead of ours and drops buffered messages the new position has already covered.
+  // Fast-forwards the stream position (cache snapshot import, flush-rejoin): adopts
+  // `next_seqno` if it is ahead of ours and drops buffered messages the new position has
+  // already covered. Buffered messages at or after the adopted position are released to the
+  // sink immediately: they arrived live while the position was being adopted, nothing will
+  // ever re-deliver them, and leaving the one at exactly `next_seqno` behind would stall the
+  // stream forever (every later message would wait on a gap that can no longer fill).
   void AdoptPosition(uint64_t next_seqno) {
     std::lock_guard<std::mutex> lock(mu_);
     if (next_seqno <= next_expected_seqno_) {
@@ -64,6 +68,12 @@ class StreamSequencer {
     }
     next_expected_seqno_ = next_seqno;
     buffer_.erase(buffer_.begin(), buffer_.lower_bound(next_seqno));
+    auto it = buffer_.begin();
+    while (it != buffer_.end() && it->first == next_expected_seqno_) {
+      sink_(it->second);
+      ++next_expected_seqno_;
+      it = buffer_.erase(it);
+    }
   }
 
   uint64_t next_expected_seqno() const {

@@ -1,9 +1,21 @@
 // A fleet of cache servers addressed through consistent hashing (paper §4): every application
 // node holds the full node list and maps keys directly to the owning server.
+//
+// Membership is dynamic (docs/architecture.md §"Membership and recovery"): AddNode/RemoveNode
+// may race with lookups from application threads, so the ring and server map live behind a
+// shared mutex, and every successful change bumps the ring's membership epoch. Cluster-level
+// Lookup/Insert/MultiLookup stamp that epoch on their responses so clients can detect stale
+// routing and refresh it. Churn is never an error: a key whose owner is departed or unroutable
+// degrades to a kNodeUnavailable miss (counted in CacheStats::nodes_unavailable), and a down
+// or joining node answers its own positions as misses — the caller recomputes, exactly as the
+// paper's "a vanished node is just misses" failure model prescribes.
 #ifndef SRC_CACHE_CACHE_CLUSTER_H_
 #define SRC_CACHE_CACHE_CLUSTER_H_
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +31,7 @@ class CacheCluster {
 
   // The cluster does not own servers; callers keep them alive.
   bool AddNode(CacheServer* server) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     if (!ring_.AddNode(server->name())) {
       return false;
     }
@@ -27,6 +40,7 @@ class CacheCluster {
   }
 
   bool RemoveNode(const std::string& name) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     if (!ring_.RemoveNode(name)) {
       return false;
     }
@@ -34,47 +48,121 @@ class CacheCluster {
     return true;
   }
 
+  // Current membership epoch (bumped on every successful AddNode/RemoveNode).
+  uint64_t epoch() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return ring_.epoch();
+  }
+
+  // Routes a key to its owning server. Unroutable (empty ring, or — defensively — a ring
+  // entry with no registered server) is kUnavailable, never kInternal: under churn that key
+  // is a miss, not a bug.
   Result<CacheServer*> NodeForKey(const std::string& key) const {
-    auto name_or = ring_.NodeForKey(key);
-    if (!name_or.ok()) {
-      return name_or.status();
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return NodeForKeyLocked(key);
+  }
+
+  // Single lookup through cluster routing. An unroutable key answers a kNodeUnavailable miss
+  // (a down/joining owner answers the same itself). The response carries the membership
+  // epoch the routing decision was made at. The shared lock covers only the routing
+  // decision, never the server call: the lock-striped shards stay the unit of contention,
+  // and membership writes never wait behind slow cache work. A server resolved just before
+  // its RemoveNode is still safe to call — servers are caller-owned and outlive the cluster,
+  // so the request simply completes under the routing view it was issued at (its epoch).
+  LookupResponse Lookup(const LookupRequest& req) const {
+    CacheServer* server = nullptr;
+    uint64_t epoch = 0;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      epoch = ring_.epoch();
+      auto node_or = NodeForKeyLocked(req.key);
+      if (node_or.ok()) {
+        server = node_or.value();
+      }
     }
-    auto it = servers_.find(name_or.value());
-    if (it == servers_.end()) {
-      return Status::Internal("ring references unknown node");
+    LookupResponse resp;
+    if (server == nullptr) {
+      resp.miss = MissKind::kNodeUnavailable;
+      nodes_unavailable_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      resp = server->Lookup(req);
     }
-    return it->second;
+    resp.ring_epoch = epoch;
+    return resp;
+  }
+
+  // Stores one fill on the owning node. kUnavailable (unroutable key, down/joining owner)
+  // means the fill is simply not cached; kDeclined is the admission gate's policy outcome.
+  InsertResponse Insert(const InsertRequest& req) const {
+    CacheServer* server = nullptr;
+    Status route = Status::Ok();
+    InsertResponse resp;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      resp.ring_epoch = ring_.epoch();
+      auto node_or = NodeForKeyLocked(req.key);
+      if (node_or.ok()) {
+        server = node_or.value();
+      } else {
+        route = node_or.status();
+      }
+    }
+    resp.status = server != nullptr ? server->Insert(req) : route;
+    return resp;
   }
 
   // Batched lookups across the fleet: groups the batch per owning node (consistent hashing on
   // each key), issues one MultiLookup per node touched, and reassembles responses in request
-  // order — one round-trip per node instead of one per key.
+  // order — one round-trip per node instead of one per key. A position whose owner departed
+  // mid-batch degrades to a kNodeUnavailable miss at its request-order slot; only an entirely
+  // empty ring fails the call.
   Result<MultiLookupResponse> MultiLookup(const MultiLookupRequest& req) const {
     MultiLookupResponse resp;
     resp.responses.resize(req.lookups.size());
-    std::vector<std::string_view> keys;
-    keys.reserve(req.lookups.size());
-    for (const LookupRequest& lookup : req.lookups) {
-      keys.push_back(lookup.key);
-    }
-    auto groups_or = ring_.GroupByNode(keys);
-    if (!groups_or.ok()) {
-      return groups_or.status();
-    }
-    for (auto& [name, indices] : groups_or.value()) {
-      auto it = servers_.find(name);
-      if (it == servers_.end()) {
-        return Status::Internal("ring references unknown node");
+    // Route the whole batch under the shared lock, then dispatch to the owning servers with
+    // the lock released (see Lookup above for why that is safe).
+    std::vector<std::pair<CacheServer*, std::vector<uint32_t>>> dispatch;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      resp.ring_epoch = ring_.epoch();
+      std::vector<std::string_view> keys;
+      keys.reserve(req.lookups.size());
+      for (const LookupRequest& lookup : req.lookups) {
+        keys.push_back(lookup.key);
       }
+      auto groups_or = ring_.GroupByNode(keys);
+      if (!groups_or.ok()) {
+        return groups_or.status();  // empty ring: the whole fleet is gone
+      }
+      dispatch.reserve(groups_or.value().size());
+      for (auto& [name, indices] : groups_or.value()) {
+        auto it = servers_.find(name);
+        if (it == servers_.end()) {
+          // The ring names a node with no live server (departed under our feet): those
+          // positions become misses with correct request-order reassembly, never an error.
+          for (uint32_t i : indices) {
+            resp.responses[i].miss = MissKind::kNodeUnavailable;
+          }
+          nodes_unavailable_.fetch_add(indices.size(), std::memory_order_relaxed);
+          continue;
+        }
+        dispatch.emplace_back(it->second, std::move(indices));
+      }
+    }
+    for (auto& [server, indices] : dispatch) {
       // Scatter form: each node answers its positions straight into the shared response.
-      it->second->MultiLookup(req, indices, &resp);
+      server->MultiLookup(req, indices, &resp);
     }
     return resp;
   }
 
-  size_t node_count() const { return servers_.size(); }
+  size_t node_count() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return servers_.size();
+  }
 
   std::vector<CacheServer*> Nodes() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     std::vector<CacheServer*> out;
     out.reserve(servers_.size());
     for (const auto& [_, server] : servers_) {
@@ -84,10 +172,16 @@ class CacheCluster {
   }
 
   CacheStats TotalStats() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     CacheStats total;
     for (const auto& [_, server] : servers_) {
       total += server->stats();
     }
+    // Routing failures the cluster answered itself (no server to charge them to). They count
+    // as lookups too, so fleet hit_rate() reflects the traffic churn turned away.
+    const uint64_t unroutable = nodes_unavailable_.load(std::memory_order_relaxed);
+    total.lookups += unroutable;
+    total.nodes_unavailable += unroutable;
     return total;
   }
 
@@ -95,6 +189,7 @@ class CacheCluster {
   // across the nodes that own its keys, with the EWMA benefit-per-byte averaged weighted by
   // fills. Sorted by function name.
   std::vector<FunctionStatsEntry> TotalFunctionStats() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     std::unordered_map<std::string, FunctionStatsEntry> merged;
     for (const auto& [_, server] : servers_) {
       for (FunctionStatsEntry& e : server->FunctionStats()) {
@@ -131,18 +226,22 @@ class CacheCluster {
   }
 
   void FlushAll() {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     for (const auto& [_, server] : servers_) {
       server->Flush();
     }
   }
 
   void ResetStatsAll() {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     for (const auto& [_, server] : servers_) {
       server->ResetStats();
     }
+    nodes_unavailable_.store(0, std::memory_order_relaxed);
   }
 
   size_t TotalBytesUsed() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     size_t n = 0;
     for (const auto& [_, server] : servers_) {
       n += server->bytes_used();
@@ -151,8 +250,24 @@ class CacheCluster {
   }
 
  private:
+  Result<CacheServer*> NodeForKeyLocked(const std::string& key) const {
+    auto name_or = ring_.NodeForKey(key);
+    if (!name_or.ok()) {
+      return name_or.status();
+    }
+    auto it = servers_.find(name_or.value());
+    if (it == servers_.end()) {
+      return Status::Unavailable("ring references a departed node");
+    }
+    return it->second;
+  }
+
+  // Guards ring_ and servers_ against membership changes racing application traffic. Reads
+  // (routing, stats) share; AddNode/RemoveNode are exclusive and brief.
+  mutable std::shared_mutex mu_;
   ConsistentHashRing ring_;
   std::unordered_map<std::string, CacheServer*> servers_;
+  mutable std::atomic<uint64_t> nodes_unavailable_{0};
 };
 
 }  // namespace txcache

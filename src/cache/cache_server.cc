@@ -43,6 +43,8 @@ const char* MissKindName(MissKind kind) {
       return "capacity";
     case MissKind::kConsistency:
       return "consistency";
+    case MissKind::kNodeUnavailable:
+      return "node_unavailable";
   }
   return "?";
 }
@@ -70,7 +72,77 @@ CacheShard* CacheServer::ShardForKey(const std::string& key) const {
   return shards_[ShardIndexForKey(key)].get();
 }
 
+bool CacheServer::CheckServing() {
+  NodeState s = state_.load(std::memory_order_acquire);
+  if (s == NodeState::kServing) {
+    return true;
+  }
+  if (s == NodeState::kDown) {
+    return false;
+  }
+  // Joining: the barrier drops itself once the sequencer has caught up to the join target.
+  if (sequencer_.next_expected_seqno() >= join_target_.load(std::memory_order_acquire)) {
+    NodeState expected = NodeState::kJoining;
+    state_.compare_exchange_strong(expected, NodeState::kServing, std::memory_order_acq_rel);
+    return state_.load(std::memory_order_acquire) == NodeState::kServing;
+  }
+  return false;
+}
+
+void CacheServer::FillUnavailable(LookupResponse* resp) {
+  *resp = LookupResponse{};
+  resp->miss = MissKind::kNodeUnavailable;
+  unavailable_misses_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CacheServer::Crash() { state_.store(NodeState::kDown, std::memory_order_release); }
+
+Status CacheServer::Join(InvalidationBus* bus) {
+  // Raise the barrier before touching the stream: nothing may be served until the node has
+  // seen every invalidation it missed. The sentinel target makes the barrier unconditional —
+  // a concurrent request's CheckServing must not promote us against a stale (or zero) target
+  // before the catch-up/flush work below has finished; the real target is published last.
+  join_target_.store(std::numeric_limits<uint64_t>::max(), std::memory_order_release);
+  state_.store(NodeState::kJoining, std::memory_order_release);
+  // Subscribe BEFORE reading the join target: a message published in between is then either
+  // inside the replayed range or delivered live (and held by the sequencer's reorder buffer
+  // until replay fills the gap) — never lost.
+  bus->Subscribe(this);
+  const uint64_t target = bus->next_seqno();
+  const uint64_t position = sequencer_.next_expected_seqno();
+  if (position < target) {
+    Status replay = bus->ReplayFrom(this, position);
+    if (!replay.ok()) {
+      // Catch-up impossible: the bounded history no longer reaches back to our position.
+      // Discard everything rather than risk serving an entry whose invalidation fell in the
+      // gap, and adopt the live position (draining any live-delivered messages the reorder
+      // buffer already holds at/after it). Raising the shards' history floor makes later
+      // inserts computed inside the gap truncate conservatively instead of claiming
+      // still-valid (the no-stale-read analogue of the snapshot-import caveat).
+      Flush();
+      sequencer_.AdoptPosition(target);
+      const Timestamp adopted_ts = bus->last_published_ts();
+      for (auto& shard : shards_) {
+        shard->AdoptStreamPosition(adopted_ts, /*raise_history_floor=*/true);
+      }
+      join_flushes_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      join_catchups_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // Only now may the barrier drop: every flush/floor side effect above is complete, so a
+  // concurrent CheckServing that observes this target cannot expose partial join state.
+  join_target_.store(target, std::memory_order_release);
+  CheckServing();
+  return Status::Ok();
+}
+
 LookupResponse CacheServer::Lookup(const LookupRequest& req) {
+  if (!CheckServing()) {
+    LookupResponse resp;
+    FillUnavailable(&resp);
+    return resp;
+  }
   return ShardForKey(req.key)->Lookup(req);
 }
 
@@ -87,6 +159,14 @@ MultiLookupResponse CacheServer::MultiLookup(const MultiLookupRequest& req) {
 
 void CacheServer::MultiLookup(const MultiLookupRequest& req, const std::vector<uint32_t>& indices,
                               MultiLookupResponse* out) {
+  if (!CheckServing()) {
+    // A down/joining node degrades its batch positions to misses; the rest of the batch (on
+    // other nodes) is unaffected and request-order reassembly still holds.
+    for (uint32_t i : indices) {
+      FillUnavailable(&out->responses[i]);
+    }
+    return;
+  }
   // Group request positions per shard, then take each shard lock once for its whole group.
   std::vector<std::vector<uint32_t>> by_shard(shards_.size());
   for (uint32_t i : indices) {
@@ -147,6 +227,11 @@ Status CacheServer::AdmitInsert(const InsertRequest& req) {
 }
 
 Status CacheServer::Insert(const InsertRequest& req) {
+  if (!CheckServing()) {
+    // Refusing fills while down/joining keeps the join barrier simple: nothing enters the
+    // cache until the node provably holds the complete invalidation history behind it.
+    return Status::Unavailable("cache node not serving (down or joining)");
+  }
   Status admitted = AdmitInsert(req);
   if (!admitted.ok()) {
     return admitted;
@@ -165,7 +250,13 @@ Status CacheServer::Insert(const InsertRequest& req) {
 }
 
 void CacheServer::Deliver(const InvalidationMessage& msg) {
+  if (state_.load(std::memory_order_acquire) == NodeState::kDown) {
+    return;  // a crashed process loses stream traffic; Join() closes the gap on rejoin
+  }
   sequencer_.Deliver(msg);
+  // Join barrier: this message may have been the one that brings the stream position up to
+  // the join target, in which case the node may start serving.
+  CheckServing();
   // Sweep outside the sequencer's critical section: a full-node sweep inside the sink would
   // stall every concurrent Deliver for its whole duration.
   if (sweep_pending_.exchange(false, std::memory_order_relaxed)) {
@@ -360,6 +451,13 @@ CacheStats CacheServer::stats() const {
   total.eviction_bytes_reclaimed = eviction_bytes_reclaimed_.load(std::memory_order_relaxed);
   total.admission_rejects = admission_rejects_.load(std::memory_order_relaxed);
   total.admission_probes = admission_probes_.load(std::memory_order_relaxed);
+  // Lookups refused while down/joining count as lookups too, so hit_rate() reflects the
+  // traffic the node turned away and hits + misses() still equals lookups.
+  const uint64_t unavailable = unavailable_misses_.load(std::memory_order_relaxed);
+  total.lookups += unavailable;
+  total.nodes_unavailable += unavailable;
+  total.join_catchups = join_catchups_.load(std::memory_order_relaxed);
+  total.join_flushes = join_flushes_.load(std::memory_order_relaxed);
   return total;
 }
 
@@ -411,6 +509,9 @@ void CacheServer::ResetStats() {
   eviction_bytes_reclaimed_.store(0, std::memory_order_relaxed);
   admission_rejects_.store(0, std::memory_order_relaxed);
   admission_probes_.store(0, std::memory_order_relaxed);
+  unavailable_misses_.store(0, std::memory_order_relaxed);
+  join_catchups_.store(0, std::memory_order_relaxed);
+  join_flushes_.store(0, std::memory_order_relaxed);
   // Function profiles are policy state, not counters: they survive a stats reset so the
   // admission gate keeps its learned benefit history between measurement windows.
   sequencer_.ResetStats();

@@ -19,6 +19,16 @@
 // MultiLookup answers a batch of lookups in one call, grouping the batch per shard and taking
 // each shard lock once; responses are positionally aligned with the request and byte-identical
 // to issuing the lookups one at a time.
+//
+// Membership lifecycle (docs/architecture.md §"Membership and recovery"): a node is kServing,
+// kJoining, or kDown. Crash() models a failure or partition — the node answers every request
+// with a kNodeUnavailable miss and loses stream deliveries. Join() is the rejoin barrier: the
+// node re-subscribes, reads the stream's current position as its join target, and either
+// catch-up-replays the missed messages from the bus's bounded history (cached data survives,
+// properly truncated) or — when the history no longer reaches back — flushes everything and
+// adopts the live position (raising the shards' history floor so late inserts computed inside
+// the gap are conservatively truncated). It serves only once its sequencer reaches the join
+// target, so a rejoined node can never answer with state that missed an invalidation.
 #ifndef SRC_CACHE_CACHE_SERVER_H_
 #define SRC_CACHE_CACHE_SERVER_H_
 
@@ -37,6 +47,14 @@
 #include "src/util/status.h"
 
 namespace txcache {
+
+// Lifecycle of a cache node under dynamic membership. A freshly constructed server is
+// kServing (fixed-membership deployments never touch the state machine).
+enum class NodeState : uint8_t {
+  kServing,  // caught up with the invalidation stream; answering normally
+  kJoining,  // join barrier: catching up; every request answers kNodeUnavailable
+  kDown,     // crashed/partitioned: requests answer kNodeUnavailable, deliveries are lost
+};
 
 class CacheServer : public InvalidationSubscriber {
  public:
@@ -65,7 +83,27 @@ class CacheServer : public InvalidationSubscriber {
   Status Insert(const InsertRequest& req);
 
   // InvalidationSubscriber: called by the bus (possibly out of order in tests/simulation).
+  // Messages are dropped while the node is kDown — a crashed process loses them, which is
+  // exactly the gap Join() must close before the node may serve again.
   void Deliver(const InvalidationMessage& msg) override;
+
+  // --- dynamic membership ---
+  // Models a crash or partition: stop serving and stop consuming the stream. Cached data and
+  // the stream position are deliberately kept — the worst case Join() must handle is a node
+  // that comes back with pre-crash state (warm restart, healed partition).
+  void Crash();
+  // Rejoin barrier. Re-subscribes to the stream, records the current publish position as the
+  // join target, then closes the gap between our sequencer position and the target: replay
+  // the missed messages from the bus's bounded history if it still covers them (cached
+  // entries survive, truncated exactly as live delivery would have), otherwise flush all
+  // cached data and adopt the live position. The node starts serving only once its sequencer
+  // reaches the join target — with the simulator's delivery hook, replayed messages arrive
+  // with latency and the barrier stays up until they do.
+  Status Join(InvalidationBus* bus);
+  NodeState state() const { return state_.load(std::memory_order_acquire); }
+  bool serving() const { return state() == NodeState::kServing; }
+  // Next invalidation seqno this node expects (its position in the stream).
+  uint64_t stream_position() const { return sequencer_.next_expected_seqno(); }
 
   // Drops all cached data (not the stream position). Used between benchmark runs.
   void Flush();
@@ -130,6 +168,11 @@ class CacheServer : public InvalidationSubscriber {
   void EvictToFit();
   // Returns kDeclined when the admission gate refuses this fill; Ok to proceed.
   Status AdmitInsert(const InsertRequest& req);
+  // True iff the node may answer requests. Promotes kJoining to kServing when the sequencer
+  // has reached the join target (the barrier drops itself as catch-up completes).
+  bool CheckServing();
+  // Answers one refused lookup position: kNodeUnavailable miss, counted.
+  void FillUnavailable(LookupResponse* resp);
 
   const std::string name_;
   const Clock* clock_;
@@ -140,6 +183,14 @@ class CacheServer : public InvalidationSubscriber {
   std::atomic<double> aging_floor_{0.0};   // shared GreedyDual aging value
   std::vector<std::unique_ptr<CacheShard>> shards_;
   StreamSequencer sequencer_;
+
+  // Membership state. join_target_ is the stream position read at Join() time; serving is
+  // allowed only once the sequencer catches up to it.
+  std::atomic<NodeState> state_{NodeState::kServing};
+  std::atomic<uint64_t> join_target_{0};
+  std::atomic<uint64_t> unavailable_misses_{0};
+  std::atomic<uint64_t> join_catchups_{0};
+  std::atomic<uint64_t> join_flushes_{0};
 
   // Eviction/admission counters are node-level atomics (not per-shard, mutex-guarded partials)
   // so stats() stays safe to call while the stress tests hammer Insert/EvictToFit.

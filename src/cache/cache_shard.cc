@@ -568,9 +568,15 @@ std::pair<uint64_t, std::string> CacheShard::ExportEntries() const {
   return {version_count_, w.Take()};
 }
 
-void CacheShard::AdoptStreamPosition(Timestamp last_invalidation_ts) {
+void CacheShard::AdoptStreamPosition(Timestamp last_invalidation_ts, bool raise_history_floor) {
   std::lock_guard<std::mutex> lock(mu_);
   last_invalidation_ts_ = std::max(last_invalidation_ts_, last_invalidation_ts);
+  if (raise_history_floor && last_invalidation_ts > history_floor_) {
+    // The messages up to the adopted position were never applied here, so the retained
+    // history has a gap. Raising the floor makes Insert's replay path bound any still-valid
+    // claim computed before the gap at known_through + 1 instead of trusting it.
+    history_floor_ = last_invalidation_ts;
+  }
 }
 
 void CacheShard::Flush() {

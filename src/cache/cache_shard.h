@@ -103,11 +103,14 @@ class CacheShard {
 
   void Flush();  // drops cached data; keeps invalidation history and stream position
 
-  // Snapshot support. ExportEntries serializes this shard's resident versions (same record
-  // format the monolithic server used); AdoptStreamPosition fast-forwards the shard's view of
-  // the last applied invalidation timestamp on snapshot import.
+  // Snapshot/rejoin support. ExportEntries serializes this shard's resident versions (same
+  // record format the monolithic server used); AdoptStreamPosition fast-forwards the shard's
+  // view of the last applied invalidation timestamp (snapshot import, flush-rejoin). With
+  // raise_history_floor the per-tag invalidation history floor is lifted to the same
+  // timestamp: the shard never saw the messages in the adopted gap, so inserts computed
+  // before it must be conservatively truncated rather than trusted as still valid.
   std::pair<uint64_t, std::string> ExportEntries() const;
-  void AdoptStreamPosition(Timestamp last_invalidation_ts);
+  void AdoptStreamPosition(Timestamp last_invalidation_ts, bool raise_history_floor = false);
 
   CacheStats stats() const;  // this shard's partial counters
   void ResetStats();

@@ -8,6 +8,7 @@
 
 #include "src/bus/invalidation.h"
 #include "src/util/interval.h"
+#include "src/util/status.h"
 #include "src/util/types.h"
 
 namespace txcache {
@@ -29,6 +30,10 @@ enum class MissKind : uint8_t {
   kStaleness,    // versions exist but all are older than the staleness limit
   kCapacity,     // key was present but every version has been evicted
   kConsistency,  // a sufficiently fresh version exists but is inconsistent with the pin set
+  // The owning node is down, joining (not yet caught up with the invalidation stream), or the
+  // ring could not route the key. Under churn a vanished node is just misses (paper §4) — the
+  // caller recomputes; it is never an error that fails a whole batch.
+  kNodeUnavailable,
 };
 
 const char* MissKindName(MissKind kind);
@@ -36,6 +41,10 @@ const char* MissKindName(MissKind kind);
 struct LookupResponse {
   bool hit = false;
   MissKind miss = MissKind::kNone;
+  // Membership epoch the routing decision was made at (stamped by cluster-level routing; zero
+  // when the server was addressed directly). A client seeing it change knows its cached view
+  // of the fleet is stale and refreshes routing state instead of treating churn as an error.
+  uint64_t ring_epoch = 0;
   std::string value;
   // Fill cost (µs of compute/DB time) the caller reported when this entry was inserted; on a
   // hit this is the recomputation the cache just saved. Clients aggregate it into
@@ -61,6 +70,7 @@ struct MultiLookupRequest {
 
 struct MultiLookupResponse {
   std::vector<LookupResponse> responses;
+  uint64_t ring_epoch = 0;  // membership epoch the batch was routed at
 };
 
 // PUT: store the result of a cacheable-function call. `computed_at` is the snapshot the value
@@ -77,6 +87,14 @@ struct InsertRequest {
   // zero (legacy callers) is always safe — it can never trigger an admission reject on its own
   // because the adaptive watermark stays at zero until priced entries start being evicted.
   uint64_t fill_cost_us = 0;
+};
+
+// PUT acknowledgement from cluster-level routing: the storage/admission outcome plus the
+// membership epoch the routing decision was made at. kUnavailable means the owning node is
+// down/joining or the key was unroutable — the fill is simply not stored, never an error.
+struct InsertResponse {
+  Status status;
+  uint64_t ring_epoch = 0;
 };
 
 // The function-name prefix of a cache key built by MakeCacheKey (length-prefixed serde
@@ -172,27 +190,23 @@ struct CacheStats {
   uint64_t admission_rejects = 0;  // fills declined by the benefit-per-byte watermark
   uint64_t admission_probes = 0;   // fills of rejected functions admitted as re-measurement probes
   uint64_t reorder_buffered = 0;  // out-of-order stream messages held back
+  // Membership churn: lookups answered as misses because the owning node was down, joining,
+  // or unroutable (counted by the refusing node and by cluster routing), plus how each rejoin
+  // resolved — catch-up replay from the bus history vs. flush-and-adopt.
+  uint64_t nodes_unavailable = 0;
+  uint64_t join_catchups = 0;
+  uint64_t join_flushes = 0;
 
+  // Counter-wise accumulation (fleet aggregation) and difference (measurement-window deltas:
+  // end snapshot minus start snapshot). Both walk the single field list below, so a counter
+  // added to the struct but missed there is one local omission — not a silently wrong window
+  // delta hand-maintained in some distant benchmark.
   CacheStats& operator+=(const CacheStats& o) {
-    lookups += o.lookups;
-    hits += o.hits;
-    miss_compulsory += o.miss_compulsory;
-    miss_staleness += o.miss_staleness;
-    miss_capacity += o.miss_capacity;
-    miss_consistency += o.miss_consistency;
-    inserts += o.inserts;
-    duplicate_inserts += o.duplicate_inserts;
-    invalidation_messages += o.invalidation_messages;
-    invalidation_truncations += o.invalidation_truncations;
-    insert_time_truncations += o.insert_time_truncations;
-    evictions_lru += o.evictions_lru;
-    evictions_stale += o.evictions_stale;
-    evictions_capacity_stale += o.evictions_capacity_stale;
-    evictions_cost += o.evictions_cost;
-    eviction_bytes_reclaimed += o.eviction_bytes_reclaimed;
-    admission_rejects += o.admission_rejects;
-    admission_probes += o.admission_probes;
-    reorder_buffered += o.reorder_buffered;
+    ForEachPair(o, [](uint64_t& a, uint64_t b) { a += b; });
+    return *this;
+  }
+  CacheStats& operator-=(const CacheStats& o) {
+    ForEachPair(o, [](uint64_t& a, uint64_t b) { a -= b; });
     return *this;
   }
 
@@ -201,10 +215,30 @@ struct CacheStats {
   }
 
   uint64_t misses() const {
-    return miss_compulsory + miss_staleness + miss_capacity + miss_consistency;
+    return miss_compulsory + miss_staleness + miss_capacity + miss_consistency +
+           nodes_unavailable;
   }
   double hit_rate() const {
     return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+
+ private:
+  template <typename Fn>
+  void ForEachPair(const CacheStats& o, Fn fn) {
+    uint64_t CacheStats::*fields[] = {
+        &CacheStats::lookups, &CacheStats::hits, &CacheStats::miss_compulsory,
+        &CacheStats::miss_staleness, &CacheStats::miss_capacity, &CacheStats::miss_consistency,
+        &CacheStats::inserts, &CacheStats::duplicate_inserts,
+        &CacheStats::invalidation_messages, &CacheStats::invalidation_truncations,
+        &CacheStats::insert_time_truncations, &CacheStats::evictions_lru,
+        &CacheStats::evictions_stale, &CacheStats::evictions_capacity_stale,
+        &CacheStats::evictions_cost, &CacheStats::eviction_bytes_reclaimed,
+        &CacheStats::admission_rejects, &CacheStats::admission_probes,
+        &CacheStats::reorder_buffered, &CacheStats::nodes_unavailable,
+        &CacheStats::join_catchups, &CacheStats::join_flushes};
+    for (auto field : fields) {
+      fn(this->*field, o.*field);
+    }
   }
 };
 

@@ -19,6 +19,7 @@ bool ConsistentHashRing::AddNode(const std::string& name) {
     ring_.emplace(pos, name);
     positions.push_back(pos);
   }
+  ++epoch_;
   return true;
 }
 
@@ -31,6 +32,7 @@ bool ConsistentHashRing::RemoveNode(const std::string& name) {
     ring_.erase(pos);
   }
   nodes_.erase(it);
+  ++epoch_;
   return true;
 }
 

@@ -1,9 +1,11 @@
-// Consistent hashing over cache nodes (paper §4).
+// Consistent hashing over cache nodes (paper §4), with dynamic membership.
 //
-// Keys are partitioned among cache nodes with a fixed-membership consistent-hash ring: every
-// application node knows the full node list and maps a key to its node directly. Virtual nodes
-// smooth the distribution; adding or removing a node remaps only ~1/n of the key space, which
-// tests verify.
+// Keys are partitioned among cache nodes with a consistent-hash ring: every application node
+// knows the full node list and maps a key to its node directly. Virtual nodes smooth the
+// distribution; adding or removing a node remaps only ~1/n of the key space, which tests
+// verify. Every successful membership change bumps a monotone **epoch**; the cluster stamps
+// the epoch on lookup/insert responses so clients can detect that their routing state went
+// stale and refresh it instead of erroring.
 #ifndef SRC_CLUSTER_CONSISTENT_HASH_H_
 #define SRC_CLUSTER_CONSISTENT_HASH_H_
 
@@ -23,10 +25,15 @@ class ConsistentHashRing {
   explicit ConsistentHashRing(size_t virtual_nodes_per_node = 64)
       : virtual_nodes_(virtual_nodes_per_node) {}
 
-  // Adds a node identified by name. Returns false if already present.
+  // Adds a node identified by name. Returns false if already present. Successful add/remove
+  // calls bump the membership epoch.
   bool AddNode(const std::string& name);
   bool RemoveNode(const std::string& name);
   bool HasNode(const std::string& name) const;
+
+  // Monotone membership-change counter: 0 for an empty never-touched ring, +1 per successful
+  // AddNode/RemoveNode. Two ring instances that saw the same sequence of changes agree on it.
+  uint64_t epoch() const { return epoch_; }
 
   // Maps a key (by 64-bit hash) to the owning node. Empty ring => error.
   Result<std::string> NodeForKey(uint64_t key_hash) const;
@@ -47,6 +54,7 @@ class ConsistentHashRing {
 
  private:
   size_t virtual_nodes_;
+  uint64_t epoch_ = 0;
   std::map<uint64_t, std::string> ring_;  // position -> node name
   std::map<std::string, std::vector<uint64_t>> nodes_;  // node -> its ring positions
 };

@@ -268,8 +268,24 @@ void TxCacheClient::RecordMiss(MissKind kind) {
     case MissKind::kConsistency:
       ++stats_.miss_consistency;
       break;
+    case MissKind::kNodeUnavailable:
+      ++stats_.miss_node_unavailable;
+      break;
     case MissKind::kNone:
       break;
+  }
+}
+
+void TxCacheClient::ObserveRingEpoch(uint64_t epoch) {
+  if (epoch == 0) {
+    return;  // response was not routed through the cluster
+  }
+  const uint64_t prev = ring_epoch_.exchange(epoch, std::memory_order_relaxed);
+  if (prev != 0 && prev != epoch) {
+    // Membership moved under us: the next keys may route to different nodes. In-process the
+    // refresh is implicit (routing always reads the live ring); the counter records that the
+    // client re-routed instead of erroring.
+    ++stats_.ring_epoch_changes;
   }
 }
 
@@ -279,15 +295,14 @@ Result<std::string> TxCacheClient::CacheLookup(const std::string& key) {
   if (!st.ok()) {
     return st;
   }
-  auto node_or = cache_->NodeForKey(key);
-  if (!node_or.ok()) {
-    return node_or.status();
-  }
   LookupRequest req;
   req.key = key;
   LookupBounds(&req.bounds_lo, &req.bounds_hi);
   req.fresh_lo = pin_set_.BoundsLo();
-  LookupResponse resp = node_or.value()->Lookup(req);
+  // Routed through the cluster: a down/departed owner degrades to a miss (recompute), never
+  // an error (§4 failure model), and the response's epoch refreshes our routing view.
+  LookupResponse resp = cache_->Lookup(req);
+  ObserveRingEpoch(resp.ring_epoch);
   if (!resp.hit) {
     RecordMiss(resp.miss);
     return Status::NotFound("cache miss");
@@ -333,9 +348,15 @@ std::vector<Result<std::string>> TxCacheClient::CacheMultiLookup(
   stats_.multi_lookup_keys += keys.size();
   auto resp_or = cache_->MultiLookup(req);
   if (!resp_or.ok()) {
-    out.assign(keys.size(), Result<std::string>(resp_or.status()));
+    // Whole-fleet outage (empty ring): every position degrades to a miss and the caller
+    // recomputes — churn never fails a batch.
+    for (size_t i = 0; i < keys.size(); ++i) {
+      RecordMiss(MissKind::kNodeUnavailable);
+      out.push_back(Result<std::string>(Status::NotFound("cache unavailable")));
+    }
     return out;
   }
+  ObserveRingEpoch(resp_or.value().ring_epoch);
   // Thread the pin-set intersection through the batch in request order: each accepted hit
   // narrows the pin set, and later hits must intersect the already-narrowed set — exactly the
   // serializability rule sequential lookups enforce (§6.2).
@@ -365,16 +386,13 @@ Result<std::string> TxCacheClient::RwCacheLookup(const std::string& key) {
   if (!snap_or.ok()) {
     return snap_or.status();
   }
-  auto node_or = cache_->NodeForKey(key);
-  if (!node_or.ok()) {
-    return node_or.status();
-  }
   LookupRequest req;
   req.key = key;
   req.bounds_lo = snap_or.value();
   req.bounds_hi = snap_or.value();
   req.fresh_lo = snap_or.value();
-  LookupResponse resp = node_or.value()->Lookup(req);
+  LookupResponse resp = cache_->Lookup(req);
+  ObserveRingEpoch(resp.ring_epoch);
   if (!resp.hit) {
     ++stats_.cache_misses;
     return Status::NotFound("cache miss");
@@ -440,10 +458,6 @@ void TxCacheClient::CacheStore(const std::string& key, std::string value,
     ++stats_.inserts_skipped;
     return;
   }
-  auto node_or = cache_->NodeForKey(key);
-  if (!node_or.ok()) {
-    return;
-  }
   InsertRequest req;
   req.key = key;
   req.value = std::move(value);
@@ -451,13 +465,18 @@ void TxCacheClient::CacheStore(const std::string& key, std::string value,
   req.computed_at = outcome.computed_at;
   req.tags = outcome.tags;
   req.fill_cost_us = outcome.fill_cost_us;
-  Status st = node_or.value()->Insert(req);
-  if (st.ok()) {
+  InsertResponse resp = cache_->Insert(req);
+  ObserveRingEpoch(resp.ring_epoch);
+  if (resp.status.ok()) {
     ++stats_.cache_inserts;
-  } else if (st.code() == StatusCode::kDeclined) {
+  } else if (resp.status.code() == StatusCode::kDeclined) {
     // The admission gate judged this function not worth its bytes right now; the recompute
     // already happened, only the store was refused.
     ++stats_.inserts_declined;
+  } else if (resp.status.code() == StatusCode::kUnavailable) {
+    // The owning node is down/joining or the key was unroutable: the fill simply is not
+    // cached this time (churn is a hit-rate event, not an error).
+    ++stats_.inserts_unavailable;
   }
 }
 

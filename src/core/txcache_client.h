@@ -54,6 +54,9 @@ struct ClientStats {
   uint64_t miss_staleness = 0;
   uint64_t miss_capacity = 0;
   uint64_t miss_consistency = 0;
+  // The owning cache node was down, joining, or unroutable (membership churn): the call
+  // degraded to a recompute instead of failing (paper §4's failure model).
+  uint64_t miss_node_unavailable = 0;
   // Server-side bounds matched but the exact pin-set intersection was empty; treated as a
   // consistency miss (see PinSet::NarrowTo).
   uint64_t pin_set_rejects = 0;
@@ -73,6 +76,44 @@ struct ClientStats {
   uint64_t recompute_cost_us = 0;
   uint64_t saved_recompute_cost_us = 0;
   uint64_t inserts_declined = 0;
+  uint64_t inserts_unavailable = 0;  // fills not stored because the owning node was down/joining
+  // Times a cluster response carried a different membership epoch than the last one observed:
+  // the client refreshed its routing view instead of erroring (re-route events under churn).
+  uint64_t ring_epoch_changes = 0;
+
+  // Counter-wise accumulation and difference (fleet aggregation, measurement-window deltas).
+  // Kept here so the compiler owns the field list: a counter added to the struct but missed
+  // below is a local asymmetry, not a silently wrong aggregate in some distant benchmark.
+  ClientStats& operator+=(const ClientStats& o) {
+    ForEachPair(o, [](uint64_t& a, uint64_t b) { a += b; });
+    return *this;
+  }
+  ClientStats& operator-=(const ClientStats& o) {
+    ForEachPair(o, [](uint64_t& a, uint64_t b) { a -= b; });
+    return *this;
+  }
+
+ private:
+  template <typename Fn>
+  void ForEachPair(const ClientStats& o, Fn fn) {
+    uint64_t ClientStats::*fields[] = {
+        &ClientStats::ro_txns, &ClientStats::rw_txns, &ClientStats::commits,
+        &ClientStats::aborts, &ClientStats::cacheable_calls, &ClientStats::bypassed_calls,
+        &ClientStats::cache_hits, &ClientStats::cache_misses, &ClientStats::miss_compulsory,
+        &ClientStats::miss_staleness, &ClientStats::miss_capacity,
+        &ClientStats::miss_consistency, &ClientStats::miss_node_unavailable,
+        &ClientStats::pin_set_rejects, &ClientStats::cache_inserts,
+        &ClientStats::inserts_skipped, &ClientStats::db_queries,
+        &ClientStats::db_tuples_examined, &ClientStats::db_index_probes,
+        &ClientStats::db_writes, &ClientStats::pins_created,
+        &ClientStats::multi_lookup_batches, &ClientStats::multi_lookup_keys,
+        &ClientStats::recompute_cost_us, &ClientStats::saved_recompute_cost_us,
+        &ClientStats::inserts_declined, &ClientStats::inserts_unavailable,
+        &ClientStats::ring_epoch_changes};
+    for (auto field : fields) {
+      fn(this->*field, o.*field);
+    }
+  }
 };
 
 // Atomic mirror of ClientStats. A client session is single-threaded, but its counters are
@@ -94,6 +135,7 @@ struct AtomicClientStats {
   std::atomic<uint64_t> miss_staleness{0};
   std::atomic<uint64_t> miss_capacity{0};
   std::atomic<uint64_t> miss_consistency{0};
+  std::atomic<uint64_t> miss_node_unavailable{0};
   std::atomic<uint64_t> pin_set_rejects{0};
   std::atomic<uint64_t> cache_inserts{0};
   std::atomic<uint64_t> inserts_skipped{0};
@@ -107,6 +149,8 @@ struct AtomicClientStats {
   std::atomic<uint64_t> recompute_cost_us{0};
   std::atomic<uint64_t> saved_recompute_cost_us{0};
   std::atomic<uint64_t> inserts_declined{0};
+  std::atomic<uint64_t> inserts_unavailable{0};
+  std::atomic<uint64_t> ring_epoch_changes{0};
 
   ClientStats Snapshot() const {
     ClientStats s;
@@ -122,6 +166,7 @@ struct AtomicClientStats {
     s.miss_staleness = miss_staleness.load(std::memory_order_relaxed);
     s.miss_capacity = miss_capacity.load(std::memory_order_relaxed);
     s.miss_consistency = miss_consistency.load(std::memory_order_relaxed);
+    s.miss_node_unavailable = miss_node_unavailable.load(std::memory_order_relaxed);
     s.pin_set_rejects = pin_set_rejects.load(std::memory_order_relaxed);
     s.cache_inserts = cache_inserts.load(std::memory_order_relaxed);
     s.inserts_skipped = inserts_skipped.load(std::memory_order_relaxed);
@@ -135,6 +180,8 @@ struct AtomicClientStats {
     s.recompute_cost_us = recompute_cost_us.load(std::memory_order_relaxed);
     s.saved_recompute_cost_us = saved_recompute_cost_us.load(std::memory_order_relaxed);
     s.inserts_declined = inserts_declined.load(std::memory_order_relaxed);
+    s.inserts_unavailable = inserts_unavailable.load(std::memory_order_relaxed);
+    s.ring_epoch_changes = ring_epoch_changes.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -142,10 +189,11 @@ struct AtomicClientStats {
     for (std::atomic<uint64_t>* c :
          {&ro_txns, &rw_txns, &commits, &aborts, &cacheable_calls, &bypassed_calls,
           &cache_hits, &cache_misses, &miss_compulsory, &miss_staleness, &miss_capacity,
-          &miss_consistency, &pin_set_rejects, &cache_inserts, &inserts_skipped, &db_queries,
-          &db_tuples_examined, &db_index_probes, &db_writes, &pins_created,
-          &multi_lookup_batches, &multi_lookup_keys, &recompute_cost_us,
-          &saved_recompute_cost_us, &inserts_declined}) {
+          &miss_consistency, &miss_node_unavailable, &pin_set_rejects, &cache_inserts,
+          &inserts_skipped, &db_queries, &db_tuples_examined, &db_index_probes, &db_writes,
+          &pins_created, &multi_lookup_batches, &multi_lookup_keys, &recompute_cost_us,
+          &saved_recompute_cost_us, &inserts_declined, &inserts_unavailable,
+          &ring_epoch_changes}) {
       c->store(0, std::memory_order_relaxed);
     }
   }
@@ -264,6 +312,9 @@ class TxCacheClient {
   const PinSet& pin_set() const { return pin_set_; }  // exposed for invariant tests
   std::optional<Timestamp> chosen_timestamp() const { return chosen_ts_; }
   const Options& options() const { return options_; }
+  // Newest membership epoch observed on any cluster response — the client's view of the
+  // fleet; ClientStats::ring_epoch_changes counts how often it moved (re-route events).
+  uint64_t ring_epoch() const { return ring_epoch_.load(std::memory_order_relaxed); }
 
  private:
   enum class TxnState : uint8_t { kNone, kReadOnly, kReadWrite };
@@ -274,6 +325,8 @@ class TxCacheClient {
   // Bounds a cache lookup probes, derived from the pin set / chosen timestamp (§6.2).
   void LookupBounds(Timestamp* lo, Timestamp* hi) const;
   void RecordMiss(MissKind kind);
+  // Folds a response's membership epoch into our routing view; a change is a re-route event.
+  void ObserveRingEpoch(uint64_t epoch);
   // Lazily begins the underlying database transaction, choosing the serialization timestamp
   // from the pin set per the §6.2 policy.
   Status EnsureDbTxn();
@@ -296,6 +349,7 @@ class TxCacheClient {
   std::vector<Frame> frames_;
 
   AtomicClientStats stats_;
+  std::atomic<uint64_t> ring_epoch_{0};  // newest membership epoch observed (0 = none yet)
 };
 
 }  // namespace txcache

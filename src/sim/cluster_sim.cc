@@ -6,6 +6,7 @@ namespace txcache::sim {
 
 ClusterSim::ClusterSim(SimConfig config)
     : config_(config),
+      bus_(config.churn_history_limit),
       db_cpu_(1.0),
       db_disk_(1.0),
       cache_tier_(static_cast<double>(config.num_cache_nodes)),
@@ -50,6 +51,13 @@ Result<SimResult> ClusterSim::Run() {
     return dataset_or.status();
   }
   dataset_ = std::move(dataset_or.value());
+  // Wire the database's commit-time invalidation publishing to the bus only now: the bulk
+  // load above is not application traffic, and the cache is still empty. From here on every
+  // update transaction feeds the live stream the nodes (and the churn rejoin protocol)
+  // depend on. Before this fix the sim ran with no invalidation stream at all — cache nodes
+  // never saw a truncation, so churn catch-up had nothing to replay and consistency under
+  // writes was unexercised.
+  db_->set_invalidation_bus(&bus_);
   dataset_bytes_ = db_->ApproximateDataBytes();
   buffer_bytes_ = config_.cost.buffer_cache_bytes != 0
                       ? config_.cost.buffer_cache_bytes
@@ -80,6 +88,43 @@ Result<SimResult> ClusterSim::Run() {
     queue_.ScheduleAfter(config_.maintenance_interval, maintenance);
   };
   queue_.ScheduleAfter(config_.maintenance_interval, maintenance);
+
+  // --- membership churn (fault injection) ---
+  // kill: the victim crashes (and leaves the ring under kLeaveRejoin) — in-flight and future
+  // traffic to it degrades to misses. rejoin: the victim runs the join protocol against the
+  // bus (catch-up from bounded history, or flush when the stream moved too far) and, once
+  // back, re-enters the ring. The cycle optionally repeats every churn_period. The callable
+  // owns itself through a shared_ptr so an event left in the queue past the end of this
+  // scope (a periodic cycle cut off by the run boundary) never dangles.
+  auto churn_cycle = std::make_shared<std::function<void(bool)>>();
+  *churn_cycle = [this, churn_cycle](bool kill) {
+    CacheServer* victim = cache_nodes_[config_.churn_victim % cache_nodes_.size()].get();
+    if (kill) {
+      if (config_.churn == ChurnKind::kLeaveRejoin) {
+        cluster_.RemoveNode(victim->name());
+      }
+      victim->Crash();
+      ++churn_kills_;
+      queue_.ScheduleAfter(config_.churn_down_time, [churn_cycle] { (*churn_cycle)(false); });
+      return;
+    }
+    victim->Join(&bus_);  // barrier first: no serving until caught up
+    if (config_.churn == ChurnKind::kLeaveRejoin) {
+      cluster_.AddNode(victim);
+    }
+    ++churn_rejoins_;
+    if (config_.churn_period > 0) {
+      // Next kill fires one period after the previous one; a period shorter than the down
+      // time degenerates to killing again immediately after the rejoin.
+      const WallClock wait = config_.churn_period > config_.churn_down_time
+                                 ? config_.churn_period - config_.churn_down_time
+                                 : WallClock{0};
+      queue_.ScheduleAfter(wait, [churn_cycle] { (*churn_cycle)(true); });
+    }
+  };
+  if (config_.churn != ChurnKind::kNone && !cache_nodes_.empty()) {
+    queue_.Schedule(queue_.now() + config_.churn_start, [churn_cycle] { (*churn_cycle)(true); });
+  }
 
   // --- clients start staggered across one think time ---
   for (size_t i = 0; i < config_.num_clients; ++i) {
@@ -112,57 +157,6 @@ Result<SimResult> ClusterSim::Run() {
   measuring_ = false;
 
   // --- collect metrics over the measurement window ---
-  auto sub = [](const CacheStats& a, const CacheStats& b) {
-    CacheStats d;
-    d.lookups = a.lookups - b.lookups;
-    d.hits = a.hits - b.hits;
-    d.miss_compulsory = a.miss_compulsory - b.miss_compulsory;
-    d.miss_staleness = a.miss_staleness - b.miss_staleness;
-    d.miss_capacity = a.miss_capacity - b.miss_capacity;
-    d.miss_consistency = a.miss_consistency - b.miss_consistency;
-    d.inserts = a.inserts - b.inserts;
-    d.duplicate_inserts = a.duplicate_inserts - b.duplicate_inserts;
-    d.invalidation_messages = a.invalidation_messages - b.invalidation_messages;
-    d.invalidation_truncations = a.invalidation_truncations - b.invalidation_truncations;
-    d.insert_time_truncations = a.insert_time_truncations - b.insert_time_truncations;
-    d.evictions_lru = a.evictions_lru - b.evictions_lru;
-    d.evictions_stale = a.evictions_stale - b.evictions_stale;
-    d.evictions_capacity_stale = a.evictions_capacity_stale - b.evictions_capacity_stale;
-    d.evictions_cost = a.evictions_cost - b.evictions_cost;
-    d.eviction_bytes_reclaimed = a.eviction_bytes_reclaimed - b.eviction_bytes_reclaimed;
-    d.admission_rejects = a.admission_rejects - b.admission_rejects;
-    d.admission_probes = a.admission_probes - b.admission_probes;
-    d.reorder_buffered = a.reorder_buffered - b.reorder_buffered;
-    return d;
-  };
-  auto sub_clients = [](const ClientStats& a, const ClientStats& b) {
-    ClientStats d;
-    d.ro_txns = a.ro_txns - b.ro_txns;
-    d.rw_txns = a.rw_txns - b.rw_txns;
-    d.commits = a.commits - b.commits;
-    d.aborts = a.aborts - b.aborts;
-    d.cacheable_calls = a.cacheable_calls - b.cacheable_calls;
-    d.bypassed_calls = a.bypassed_calls - b.bypassed_calls;
-    d.cache_hits = a.cache_hits - b.cache_hits;
-    d.cache_misses = a.cache_misses - b.cache_misses;
-    d.miss_compulsory = a.miss_compulsory - b.miss_compulsory;
-    d.miss_staleness = a.miss_staleness - b.miss_staleness;
-    d.miss_capacity = a.miss_capacity - b.miss_capacity;
-    d.miss_consistency = a.miss_consistency - b.miss_consistency;
-    d.pin_set_rejects = a.pin_set_rejects - b.pin_set_rejects;
-    d.cache_inserts = a.cache_inserts - b.cache_inserts;
-    d.inserts_skipped = a.inserts_skipped - b.inserts_skipped;
-    d.db_queries = a.db_queries - b.db_queries;
-    d.db_tuples_examined = a.db_tuples_examined - b.db_tuples_examined;
-    d.db_index_probes = a.db_index_probes - b.db_index_probes;
-    d.db_writes = a.db_writes - b.db_writes;
-    d.pins_created = a.pins_created - b.pins_created;
-    d.recompute_cost_us = a.recompute_cost_us - b.recompute_cost_us;
-    d.saved_recompute_cost_us = a.saved_recompute_cost_us - b.saved_recompute_cost_us;
-    d.inserts_declined = a.inserts_declined - b.inserts_declined;
-    return d;
-  };
-
   SimResult result;
   const double window_s = ToSeconds(config_.measure);
   result.completed = completed_;
@@ -172,8 +166,10 @@ Result<SimResult> ClusterSim::Run() {
       completed_ == 0 ? 0
                       : static_cast<double>(response_total_) / 1000.0 /
                             static_cast<double>(completed_);
-  result.cache = sub(cluster_.TotalStats(), cache_at_warmup);
-  result.clients = sub_clients(AggregateClientStats(), clients_at_warmup);
+  result.cache = cluster_.TotalStats();
+  result.cache -= cache_at_warmup;
+  result.clients = AggregateClientStats();
+  result.clients -= clients_at_warmup;
   const double window = static_cast<double>(config_.measure);
   result.db_cpu_utilization =
       static_cast<double>(db_cpu_.busy_time() - db_cpu_busy_at_warmup) / window;
@@ -198,36 +194,15 @@ Result<SimResult> ClusterSim::Run() {
     backlog = std::max(backlog, w.busy_until() - window_end);
   }
   result.max_backlog_s = ToSeconds(backlog);
+  result.churn_kills = churn_kills_;
+  result.churn_rejoins = churn_rejoins_;
   return result;
 }
 
 ClientStats ClusterSim::AggregateClientStats() const {
   ClientStats total;
   for (const auto& c : clients_) {
-    const ClientStats& s = c->stats();
-    total.ro_txns += s.ro_txns;
-    total.rw_txns += s.rw_txns;
-    total.commits += s.commits;
-    total.aborts += s.aborts;
-    total.cacheable_calls += s.cacheable_calls;
-    total.bypassed_calls += s.bypassed_calls;
-    total.cache_hits += s.cache_hits;
-    total.cache_misses += s.cache_misses;
-    total.miss_compulsory += s.miss_compulsory;
-    total.miss_staleness += s.miss_staleness;
-    total.miss_capacity += s.miss_capacity;
-    total.miss_consistency += s.miss_consistency;
-    total.pin_set_rejects += s.pin_set_rejects;
-    total.cache_inserts += s.cache_inserts;
-    total.inserts_skipped += s.inserts_skipped;
-    total.db_queries += s.db_queries;
-    total.db_tuples_examined += s.db_tuples_examined;
-    total.db_index_probes += s.db_index_probes;
-    total.db_writes += s.db_writes;
-    total.pins_created += s.pins_created;
-    total.recompute_cost_us += s.recompute_cost_us;
-    total.saved_recompute_cost_us += s.saved_recompute_cost_us;
-    total.inserts_declined += s.inserts_declined;
+    total += c->stats();
   }
   return total;
 }

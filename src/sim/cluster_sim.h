@@ -28,6 +28,14 @@
 
 namespace txcache::sim {
 
+// Membership fault injection: what happens to the churn victim when its event fires.
+enum class ChurnKind : uint8_t {
+  kNone,         // no churn (the default)
+  kCrashRejoin,  // node crashes but stays in the ring: its key range degrades to misses
+  kLeaveRejoin,  // node is removed from the ring while down (planned decommission / ring
+                 // resize): its arc remaps to the survivors, ~1/n of keys
+};
+
 struct SimConfig {
   rubis::RubisScale scale = rubis::RubisScale::InMemory(0.05);
   bool disk_bound = false;  // buffer cache smaller than the dataset
@@ -50,6 +58,18 @@ struct SimConfig {
   WallClock warmup = Seconds(6);
   WallClock measure = Seconds(15);
   WallClock maintenance_interval = Seconds(5);  // pincushion sweep + vacuum cadence
+
+  // --- membership churn (fault injection) ---
+  // At churn_start the victim node fails (and leaves the ring under kLeaveRejoin); after
+  // churn_down_time it rejoins through the join protocol — catch-up from the bus's bounded
+  // history or flush, decided by how far the stream moved while it was down (bounded by
+  // churn_history_limit). churn_period > 0 repeats the kill/rejoin cycle.
+  ChurnKind churn = ChurnKind::kNone;
+  size_t churn_victim = 0;
+  WallClock churn_start = Seconds(8);
+  WallClock churn_down_time = Seconds(2);
+  WallClock churn_period = 0;            // 0 = one-shot
+  size_t churn_history_limit = 4096;     // invalidation-bus history retained for catch-up
 
   CostModel cost;
   uint64_t seed = 1;
@@ -75,6 +95,9 @@ struct SimResult {
   // large value means offered load exceeded capacity unsustainably: completions measured in
   // the window overstate what the system can sustain. PeakThroughput rejects such runs.
   double max_backlog_s = 0;
+  // Membership churn events that fired during the whole run (warmup included).
+  uint64_t churn_kills = 0;
+  uint64_t churn_rejoins = 0;
 };
 
 class ClusterSim {
@@ -119,6 +142,10 @@ class ClusterSim {
   WallClock response_total_ = 0;
   size_t dataset_bytes_ = 0;
   size_t buffer_bytes_ = 0;
+
+  // Membership churn.
+  uint64_t churn_kills_ = 0;
+  uint64_t churn_rejoins_ = 0;
 };
 
 // Convenience: runs configurations with increasing client counts until throughput stops

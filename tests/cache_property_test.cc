@@ -3,12 +3,17 @@
 //     and invalidations;
 //   * the final cache state is independent of invalidation-stream delivery order (the reorder
 //     buffer restores sequence order);
-//   * a lookup never returns a value whose effective interval misses the requested bounds.
+//   * a lookup never returns a value whose effective interval misses the requested bounds;
+//   * under membership churn (node kill/rejoin, ring resize) racing inserts and invalidations,
+//     no lookup ever returns a version whose validity interval was invalidated while its node
+//     was down — the no-stale-read analogue of EvictionNeverResurrectsOrWidensValidity.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <map>
 
+#include "src/bus/bus.h"
+#include "src/cache/cache_cluster.h"
 #include "src/cache/cache_server.h"
 #include "src/util/clock.h"
 #include "src/util/rng.h"
@@ -282,6 +287,180 @@ TEST_P(CachePropertyTest, EvictionNeverResurrectsOrWidensValidity) {
     }
     ASSERT_LE(resp.interval.upper, allowed_upper)
         << "validity widened beyond the stream: k" << probe << " lower=" << resp.interval.lower;
+  }
+}
+
+TEST_P(CachePropertyTest, ChurnNeverServesVersionsInvalidatedWhileDown) {
+  // Model-checked interleavings of lookups, inserts and invalidations racing node kill,
+  // rejoin and ring resize. The invariant is the crash/rejoin analogue of
+  // EvictionNeverResurrectsOrWidensValidity: whatever a node missed while down, no lookup may
+  // ever return a version whose reported validity extends past the first invalidation of its
+  // tag group after its computed_at — i.e. a rejoined node never serves entries it missed
+  // invalidations for. The small bus history forces both rejoin paths (catch-up replay for
+  // short outages, flush-and-adopt for long ones).
+  ManualClock clock;
+  clock.Set(Seconds(100));
+  InvalidationBus bus(/*history_limit=*/24);
+  CacheServer::Options options;
+  options.num_shards = 4;
+  CacheServer n0("n0", &clock, options), n1("n1", &clock, options);
+  CacheServer* nodes[2] = {&n0, &n1};
+  bus.Subscribe(&n0);
+  bus.Subscribe(&n1);
+  CacheCluster cluster;
+  cluster.AddNode(&n0);
+  cluster.AddNode(&n1);
+  bool down[2] = {false, false};
+  bool in_ring[2] = {true, true};
+  Rng rng(GetParam() ^ 0x5ca1ab1e);
+
+  constexpr int kKeys = 16;
+  constexpr int kGroups = 4;
+  Timestamp now_ts = 1;
+  struct Inserted {
+    std::string value;
+    Timestamp upper;
+    Timestamp computed_at;
+    int group;
+  };
+  std::map<std::pair<int, Timestamp>, Inserted> model;
+  std::vector<std::pair<int, Timestamp>> invals;  // (group, ts); -1 = wildcard
+  auto first_invalidation_after = [&invals](int group, Timestamp after) {
+    Timestamp first = kTimestampInfinity;
+    for (const auto& [g, ts] : invals) {
+      if ((g == group || g == -1) && ts > after) {
+        first = std::min(first, ts);
+      }
+    }
+    return first;
+  };
+
+  for (int step = 0; step < 900; ++step) {
+    clock.Advance(Millis(5));
+    const double roll = rng.UniformReal(0, 1);
+    if (roll < 0.40) {
+      // Insert through cluster routing. Everything about the version is a pure function of
+      // (key, lower), so re-inserting after churn reproduces the identical request and the
+      // model stays valid no matter which incarnation ended up resident. Refused inserts
+      // (down/joining owner) still enter the model: it only bounds what a hit may claim.
+      const int key = static_cast<int>(rng.Uniform(0, kKeys - 1));
+      const int group = key % kGroups;
+      const Timestamp lower = static_cast<Timestamp>(rng.Uniform(
+          static_cast<int64_t>(now_ts > 12 ? now_ts - 12 : 1), static_cast<int64_t>(now_ts)));
+      const uint64_t mix = static_cast<uint64_t>(key) * 41 + lower * 17;
+      InsertRequest req;
+      req.key = "k" + std::to_string(key);
+      req.value = "v" + std::to_string(key) + "@" + std::to_string(lower);
+      req.interval = {lower, mix % 2 == 0 ? kTimestampInfinity : lower + 1 + (mix % 9)};
+      req.computed_at = lower;
+      req.tags = {TagFor(group)};
+      InsertResponse resp = cluster.Insert(req);
+      ASSERT_TRUE(resp.status.ok() || resp.status.code() == StatusCode::kDeclined ||
+                  resp.status.code() == StatusCode::kUnavailable)
+          << resp.status.ToString();
+      model[std::make_pair(key, lower)] =
+          Inserted{req.value, req.interval.upper, req.computed_at, group};
+    } else if (roll < 0.65) {
+      // Invalidate through the bus: live nodes apply it, down nodes lose it — exactly the gap
+      // the join protocol must close.
+      InvalidationMessage msg;
+      msg.ts = ++now_ts;
+      msg.wallclock = clock.Now();
+      const int g = static_cast<int>(rng.Uniform(0, kGroups - 1));
+      msg.tags.push_back(TagFor(g));
+      invals.emplace_back(g, msg.ts);
+      if (rng.Bernoulli(0.1)) {
+        msg.tags.push_back(InvalidationTag::Wildcard("t"));
+        invals.emplace_back(-1, msg.ts);
+      }
+      bus.Publish(msg);
+    } else if (roll < 0.75) {
+      // Kill or rejoin a node.
+      const size_t i = rng.Uniform(0, 1);
+      if (down[i]) {
+        ASSERT_TRUE(nodes[i]->Join(&bus).ok());
+        ASSERT_TRUE(nodes[i]->serving()) << "synchronous join catches up before returning";
+        down[i] = false;
+      } else {
+        nodes[i]->Crash();
+        down[i] = true;
+      }
+    } else if (roll < 0.80) {
+      // Ring resize: remove or re-add a node independently of its up/down state.
+      const size_t i = rng.Uniform(0, 1);
+      if (in_ring[i]) {
+        cluster.RemoveNode(nodes[i]->name());
+        in_ring[i] = false;
+      } else {
+        cluster.AddNode(nodes[i]);
+        in_ring[i] = true;
+      }
+    }
+
+    // Probe a random key through cluster routing: any hit must be explainable by the model.
+    const int probe = static_cast<int>(rng.Uniform(0, kKeys - 1));
+    const Timestamp lo = static_cast<Timestamp>(rng.Uniform(0, static_cast<int64_t>(now_ts)));
+    const Timestamp hi = lo + static_cast<Timestamp>(rng.Uniform(0, 20));
+    LookupRequest req;
+    req.key = "k" + std::to_string(probe);
+    req.bounds_lo = lo;
+    req.bounds_hi = hi;
+    LookupResponse resp = cluster.Lookup(req);
+    if (!resp.hit) {
+      continue;
+    }
+    ASSERT_TRUE(resp.interval.Overlaps(Interval{lo, hi + 1}));
+    auto it = model.find(std::make_pair(probe, resp.interval.lower));
+    ASSERT_NE(it, model.end()) << "hit on a version never inserted: k" << probe;
+    ASSERT_EQ(resp.value, it->second.value);
+    const Inserted& ins = it->second;
+    Timestamp allowed_upper = ins.upper;
+    if (ins.upper == kTimestampInfinity) {
+      const Timestamp first = first_invalidation_after(ins.group, ins.computed_at);
+      if (first != kTimestampInfinity) {
+        allowed_upper = first;
+      }
+    }
+    ASSERT_LE(resp.interval.upper, allowed_upper)
+        << "stale read: k" << probe << " lower=" << resp.interval.lower
+        << " claims validity past an invalidation its node must have missed";
+  }
+
+  // Quiesce: rejoin and re-add everything, then fence with a wildcard beyond every insert.
+  // Nothing was computed at the fence timestamp, so no key may claim validity there — a
+  // version that slipped through a crash/rejoin gap would surface exactly here.
+  for (size_t i = 0; i < 2; ++i) {
+    if (down[i]) {
+      ASSERT_TRUE(nodes[i]->Join(&bus).ok());
+      down[i] = false;
+    }
+    if (!in_ring[i]) {
+      cluster.AddNode(nodes[i]);
+      in_ring[i] = true;
+    }
+  }
+  InvalidationMessage fence;
+  fence.ts = ++now_ts;
+  fence.wallclock = clock.Now();
+  fence.tags = {InvalidationTag::Wildcard("t")};
+  bus.Publish(fence);
+  for (int key = 0; key < kKeys; ++key) {
+    LookupRequest req;
+    req.key = "k" + std::to_string(key);
+    req.bounds_lo = fence.ts;
+    req.bounds_hi = kTimestampInfinity;
+    LookupResponse resp = cluster.Lookup(req);
+    if (!resp.hit) {
+      continue;
+    }
+    // A closed-interval insert whose declared upper extends past the fence may legitimately
+    // hit (invalidations only truncate still-valid entries). What must be impossible is a
+    // version still claiming open-ended validity — the wildcard fence reached every serving
+    // node, so a surviving still-valid claim means a node served state from its gap.
+    ASSERT_FALSE(resp.still_valid) << "still-valid version survived the fence on k" << key;
+    auto it = model.find(std::make_pair(key, resp.interval.lower));
+    ASSERT_NE(it, model.end());
+    ASSERT_LE(resp.interval.upper, it->second.upper);
   }
 }
 

@@ -369,6 +369,130 @@ TEST(ConcurrencyStress, InvalidationRacingInsertsLeavesNoStaleStillValidVersion)
   EXPECT_EQ(server.stats().invalidation_messages, kMessages + 1);
 }
 
+TEST(ConcurrencyStress, MembershipChurnUnderLoadStaysSoundAndRaceFree) {
+  // Batched lookups, inserts and a live invalidation stream racing a churn thread that
+  // crashes/rejoins nodes and resizes the ring in a loop. Run under TSan by scripts/check.sh:
+  // the cluster's shared-mutex membership, the node-state machine and the join protocol must
+  // be data-race-free, and every answered hit must still satisfy the bounds it was asked for.
+  SystemClock clock;
+  CacheServer::Options options;
+  options.capacity_bytes = 256 * 1024;
+  options.num_shards = 4;
+  CacheServer n0("c0", &clock, options), n1("c1", &clock, options), n2("c2", &clock, options);
+  CacheServer* nodes[3] = {&n0, &n1, &n2};
+  InvalidationBus bus;
+  CacheCluster cluster;
+  for (CacheServer* n : nodes) {
+    bus.Subscribe(n);
+    cluster.AddNode(n);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<Timestamp> published_ts{1000};
+
+  constexpr int kWorkers = 3;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&cluster, &published_ts, w] {
+      Rng rng(900 + w);
+      for (int i = 0; i < 1500; ++i) {
+        if (rng.Bernoulli(0.45)) {
+          MultiLookupRequest batch;
+          for (int k = 0; k < 8; ++k) {
+            LookupRequest req;
+            req.key = "k" + std::to_string(rng.Uniform(0, 150));
+            req.bounds_lo = static_cast<Timestamp>(rng.Uniform(900, 1800));
+            req.bounds_hi = req.bounds_lo + 40;
+            batch.lookups.push_back(req);
+          }
+          auto resp_or = cluster.MultiLookup(batch);
+          if (!resp_or.ok()) {
+            continue;  // the churn thread emptied the ring for an instant
+          }
+          ASSERT_EQ(resp_or.value().responses.size(), batch.lookups.size());
+          for (size_t k = 0; k < batch.lookups.size(); ++k) {
+            const LookupResponse& r = resp_or.value().responses[k];
+            if (r.hit) {
+              ASSERT_TRUE(r.interval.Overlaps(
+                  Interval{batch.lookups[k].bounds_lo, batch.lookups[k].bounds_hi + 1}));
+            }
+          }
+        } else if (rng.Bernoulli(0.7)) {
+          const Timestamp computed_at = published_ts.load(std::memory_order_relaxed);
+          InsertRequest req;
+          req.key = "k" + std::to_string(rng.Uniform(0, 150));
+          req.value = std::string(static_cast<size_t>(rng.Uniform(16, 128)), 'v');
+          req.interval = {computed_at, kTimestampInfinity};
+          req.computed_at = computed_at;
+          req.tags = {InvalidationTag::Concrete("t", "i", std::to_string(rng.Uniform(0, 15)))};
+          InsertResponse resp = cluster.Insert(req);
+          // Ok, declined (admission) and unavailable (churn) are all legitimate outcomes;
+          // anything else is a bug surfaced by churn.
+          ASSERT_TRUE(resp.status.ok() || resp.status.code() == StatusCode::kDeclined ||
+                      resp.status.code() == StatusCode::kUnavailable)
+              << resp.status.ToString();
+        } else {
+          LookupRequest req;
+          req.key = "k" + std::to_string(rng.Uniform(0, 150));
+          req.bounds_lo = static_cast<Timestamp>(rng.Uniform(900, 1800));
+          req.bounds_hi = req.bounds_lo + 40;
+          LookupResponse r = cluster.Lookup(req);
+          if (r.hit) {
+            ASSERT_TRUE(r.interval.Overlaps(Interval{req.bounds_lo, req.bounds_hi + 1}));
+          }
+        }
+      }
+    });
+  }
+  std::thread invalidator([&bus, &published_ts, &stop] {
+    Rng rng(31);
+    while (!stop.load()) {
+      InvalidationMessage msg;
+      msg.ts = published_ts.fetch_add(1, std::memory_order_relaxed) + 1;
+      msg.tags = {InvalidationTag::Concrete("t", "i", std::to_string(rng.Uniform(0, 15)))};
+      bus.Publish(msg);
+      std::this_thread::yield();
+    }
+  });
+  std::thread churn([&cluster, &bus, &nodes, &stop] {
+    Rng rng(47);
+    for (int round = 0; !stop.load() && round < 200; ++round) {
+      CacheServer* victim = nodes[round % 3];
+      if (rng.Bernoulli(0.5)) {
+        // Crash + rejoin: the node stays in the ring, its keys degrade to misses meanwhile.
+        victim->Crash();
+        std::this_thread::yield();
+        ASSERT_TRUE(victim->Join(&bus).ok());
+      } else {
+        // Ring resize: leave, then rejoin through the join barrier and re-enter the ring.
+        cluster.RemoveNode(victim->name());
+        victim->Crash();
+        std::this_thread::yield();
+        ASSERT_TRUE(victim->Join(&bus).ok());
+        cluster.AddNode(victim);
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  stop.store(true);
+  churn.join();
+  invalidator.join();
+
+  // Quiesce: every node rejoined and serving, membership restored, accounting intact.
+  for (CacheServer* n : nodes) {
+    ASSERT_TRUE(n->Join(&bus).ok());
+    EXPECT_TRUE(n->serving());
+    cluster.AddNode(n);  // no-op when still present
+    EXPECT_LE(n->bytes_used(), options.capacity_bytes);
+  }
+  EXPECT_EQ(cluster.node_count(), 3u);
+  const CacheStats total = cluster.TotalStats();
+  EXPECT_EQ(total.hits + total.misses(), total.lookups)
+      << "unavailable misses must stay consistent with the lookup count";
+}
+
 TEST(ConcurrencyStress, PincushionParallelAcquireRelease) {
   SystemClock clock;
   Database db(&clock);

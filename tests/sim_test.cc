@@ -113,6 +113,43 @@ TEST(ClusterSim, SmallRunProducesSaneMetrics) {
   EXPECT_GT(r.db_bytes, 0u);
 }
 
+TEST(ClusterSim, MembershipChurnDegradesToMissesAndRecovers) {
+  // Fault injection through the new churn knobs: a cache node crashes mid-run and rejoins
+  // while the RUBiS closed loop keeps going. The run must stay healthy (no failed
+  // interactions beyond the baseline), churn must be visible as unavailable misses — never
+  // errors — and the victim must be serving again at the end.
+  SimConfig cfg;
+  cfg.scale = rubis::RubisScale::InMemory(0.005);
+  cfg.num_clients = 50;
+  cfg.warmup = Seconds(2);
+  cfg.measure = Seconds(6);
+  cfg.churn = ChurnKind::kCrashRejoin;
+  cfg.churn_victim = 0;
+  cfg.churn_start = Seconds(3);  // inside the measurement window
+  cfg.churn_down_time = Seconds(2);
+  ClusterSim sim(cfg);
+  auto result = sim.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const SimResult& r = result.value();
+  EXPECT_EQ(r.churn_kills, 1u);
+  EXPECT_EQ(r.churn_rejoins, 1u);
+  EXPECT_GT(r.completed, 50u) << "the closed loop survived the outage";
+  EXPECT_GT(r.cache.nodes_unavailable, 0u) << "the outage surfaced as misses";
+  EXPECT_EQ(r.cache.join_catchups + r.cache.join_flushes, 1u);
+  EXPECT_GT(r.cache.hits, 0u);
+
+  // Ring resize flavor: the victim leaves the ring while down, so its arc remaps and the
+  // batch path sees a membership epoch change instead of unavailable misses.
+  cfg.churn = ChurnKind::kLeaveRejoin;
+  ClusterSim resize_sim(cfg);
+  auto resize = resize_sim.Run();
+  ASSERT_TRUE(resize.ok());
+  EXPECT_EQ(resize.value().churn_rejoins, 1u);
+  EXPECT_GT(resize.value().clients.ring_epoch_changes, 0u)
+      << "clients observed the resize through response epochs";
+  EXPECT_GT(resize.value().completed, 50u);
+}
+
 TEST(ClusterSim, NoCacheModeNeverTouchesCache) {
   SimConfig cfg;
   cfg.scale = rubis::RubisScale::InMemory(0.005);
