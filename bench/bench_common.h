@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/sim/cluster_sim.h"
 
@@ -79,6 +81,50 @@ inline size_t ProbeDatasetBytes(const sim::SimConfig& base) {
   auto r = sim.Run();
   return r.ok() ? r.value().db_bytes : 0;
 }
+
+// Pass/fail gates can be disabled (TXCACHE_BENCH_GATE=0) for smoke runs — scripts/check.sh
+// --bench-smoke only verifies that every benchmark still builds and runs end to end; a 0.2 s
+// run is not expected to clear a throughput bar.
+inline bool GateEnabled() {
+  const char* s = std::getenv("TXCACHE_BENCH_GATE");
+  return s == nullptr || std::atoi(s) != 0;
+}
+
+// Machine-readable benchmark results: one flat JSON object per file, written as
+// BENCH_<name>.json so the perf trajectory is diffable across PRs.
+//
+//   BenchJson out("lookup_hotpath");
+//   out.Add("single_shard_zero_copy_mops", 3.2);
+//   out.Write();   // -> BENCH_lookup_hotpath.json (in $TXCACHE_BENCH_JSON_DIR or the CWD)
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& key, double value) { metrics_.emplace_back(key, value); }
+
+  bool Write() const {
+    const char* dir = std::getenv("TXCACHE_BENCH_JSON_DIR");
+    const std::string path =
+        (dir != nullptr ? std::string(dir) + "/" : std::string()) + "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\"", name_.c_str());
+    for (const auto& [key, value] : metrics_) {
+      std::fprintf(f, ",\n  \"%s\": %.6g", key.c_str(), value);
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 inline void PrintHeader(const char* title, const char* paper_ref) {
   std::printf("================================================================\n");

@@ -6,6 +6,9 @@
 #                                        # cost-aware policy suite; the TSan pass narrows to
 #                                        # the same label
 #   scripts/check.sh --labels membership # the elastic-membership/churn suite
+#   scripts/check.sh --bench-smoke       # additionally Release-build every bench/micro_*
+#                                        # binary and run it with tiny iteration counts, so
+#                                        # benchmarks cannot bit-rot between perf PRs
 #   SKIP_TSAN=1 scripts/check.sh         # tier-1 only
 #
 # Also fails fast if any tests/*_test.cc is missing from the registered ctest targets, so a
@@ -14,6 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 LABELS=""
+BENCH_SMOKE=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --labels)
@@ -23,6 +27,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --labels=*)
       LABELS="${1#*=}"
+      shift
+      ;;
+    --bench-smoke)
+      BENCH_SMOKE=1
       shift
       ;;
     *)
@@ -64,7 +72,7 @@ cmake --build build -j "$JOBS"
 # race-free against the churn thread in concurrency_stress_test.
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_TARGETS=(concurrency_stress_test cache_shard_test cache_eviction_test cache_property_test
-                membership_test)
+                membership_test cache_readpath_test)
   cmake -B build-tsan -S . -DTXCACHE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
   if [[ -n "$LABELS" ]]; then
@@ -73,6 +81,30 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   else
     (cd build-tsan && ctest --output-on-failure -R "$(IFS='|'; echo "${TSAN_TARGETS[*]}")")
   fi
+fi
+
+# --- benchmark smoke (opt-in) -------------------------------------------------
+# Release-builds every bench/micro_* binary and runs it with tiny iteration counts. Gates are
+# disabled (TXCACHE_BENCH_GATE=0): the point is that the binaries still build and run end to
+# end, not that a 0.2 s run clears a throughput bar. BENCH_*.json artifacts land in the repo
+# root so the perf trajectory stays diffable across PRs.
+if [[ "$BENCH_SMOKE" == "1" ]]; then
+  micro_targets=()
+  for src in bench/micro_*.cc; do
+    micro_targets+=("bench_$(basename "$src" .cc)")
+  done
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-bench -j "$JOBS" --target "${micro_targets[@]}"
+  for target in "${micro_targets[@]}"; do
+    echo "check.sh: bench smoke: $target"
+    if [[ "$target" == "bench_micro_components" ]]; then
+      # google-benchmark binary: bound wall time through its own flag.
+      ./build-bench/"$target" --benchmark_min_time=0.01 >/dev/null
+    else
+      TXCACHE_BENCH_SCALE=0.005 TXCACHE_BENCH_MEASURE_S=0.2 TXCACHE_BENCH_GATE=0 \
+      TXCACHE_BENCH_OPS=2000 ./build-bench/"$target" >/dev/null
+    fi
+  done
 fi
 
 echo "check.sh: all green"

@@ -22,6 +22,7 @@
 
 #include "src/cache/cache_server.h"
 #include "src/cluster/consistent_hash.h"
+#include "src/util/hash.h"
 
 namespace txcache {
 
@@ -59,7 +60,7 @@ class CacheCluster {
   // is a miss, not a bug.
   Result<CacheServer*> NodeForKey(const std::string& key) const {
     std::shared_lock<std::shared_mutex> lock(mu_);
-    return NodeForKeyLocked(key);
+    return NodeForHashLocked(Fnv1a(key));
   }
 
   // Single lookup through cluster routing. An unroutable key answers a kNodeUnavailable miss
@@ -75,7 +76,9 @@ class CacheCluster {
     {
       std::shared_lock<std::shared_mutex> lock(mu_);
       epoch = ring_.epoch();
-      auto node_or = NodeForKeyLocked(req.key);
+      // Hash-once: the client's carried key hash routes the ring here and the shard probe
+      // below; the key is never rehashed.
+      auto node_or = NodeForHashLocked(RequestKeyHash(req));
       if (node_or.ok()) {
         server = node_or.value();
       }
@@ -100,7 +103,7 @@ class CacheCluster {
     {
       std::shared_lock<std::shared_mutex> lock(mu_);
       resp.ring_epoch = ring_.epoch();
-      auto node_or = NodeForKeyLocked(req.key);
+      auto node_or = NodeForHashLocked(RequestKeyHash(req));
       if (node_or.ok()) {
         server = node_or.value();
       } else {
@@ -125,12 +128,13 @@ class CacheCluster {
     {
       std::shared_lock<std::shared_mutex> lock(mu_);
       resp.ring_epoch = ring_.epoch();
-      std::vector<std::string_view> keys;
-      keys.reserve(req.lookups.size());
+      // Hash-once batch routing: reuse each entry's carried key hash for the whole ring pass.
+      std::vector<uint64_t> hashes;
+      hashes.reserve(req.lookups.size());
       for (const LookupRequest& lookup : req.lookups) {
-        keys.push_back(lookup.key);
+        hashes.push_back(RequestKeyHash(lookup));
       }
-      auto groups_or = ring_.GroupByNode(keys);
+      auto groups_or = ring_.GroupByNode(hashes);
       if (!groups_or.ok()) {
         return groups_or.status();  // empty ring: the whole fleet is gone
       }
@@ -250,8 +254,8 @@ class CacheCluster {
   }
 
  private:
-  Result<CacheServer*> NodeForKeyLocked(const std::string& key) const {
-    auto name_or = ring_.NodeForKey(key);
+  Result<CacheServer*> NodeForHashLocked(uint64_t key_hash) const {
+    auto name_or = ring_.NodeForKey(key_hash);
     if (!name_or.ok()) {
       return name_or.status();
     }

@@ -64,12 +64,24 @@ CacheServer::CacheServer(std::string name, const Clock* clock, Options options)
 
 CacheServer::~CacheServer() = default;
 
-size_t CacheServer::ShardIndexForKey(const std::string& key) const {
-  return static_cast<size_t>(Mix64(Fnv1a(key) ^ kShardSeed) % shards_.size());
+size_t CacheServer::ShardIndexForHash(uint64_t key_hash) const {
+  return static_cast<size_t>(Mix64(key_hash ^ kShardSeed) % shards_.size());
 }
 
-CacheShard* CacheServer::ShardForKey(const std::string& key) const {
-  return shards_[ShardIndexForKey(key)].get();
+size_t CacheServer::ShardIndexForKey(const std::string& key) const {
+  return ShardIndexForHash(Fnv1a(key));
+}
+
+CacheShard* CacheServer::ShardForHash(uint64_t key_hash) const {
+  return shards_[ShardIndexForHash(key_hash)].get();
+}
+
+uint64_t CacheServer::exclusive_lock_acquisitions() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard->exclusive_lock_acquisitions();
+  }
+  return n;
 }
 
 bool CacheServer::CheckServing() {
@@ -143,7 +155,10 @@ LookupResponse CacheServer::Lookup(const LookupRequest& req) {
     FillUnavailable(&resp);
     return resp;
   }
-  return ShardForKey(req.key)->Lookup(req);
+  // Hash-once: the client-carried hash routes the shard AND probes its map; nothing below
+  // this point rehashes the key.
+  const uint64_t key_hash = RequestKeyHash(req);
+  return ShardForHash(key_hash)->Lookup(req, key_hash);
 }
 
 MultiLookupResponse CacheServer::MultiLookup(const MultiLookupRequest& req) {
@@ -168,9 +183,15 @@ void CacheServer::MultiLookup(const MultiLookupRequest& req, const std::vector<u
     return;
   }
   // Group request positions per shard, then take each shard lock once for its whole group.
+  // Buckets reserve an even-split hint up front so skew only costs one regrow, not many.
   std::vector<std::vector<uint32_t>> by_shard(shards_.size());
+  const size_t per_shard_hint = indices.size() / shards_.size() + 1;
   for (uint32_t i : indices) {
-    by_shard[ShardIndexForKey(req.lookups[i].key)].push_back(i);
+    auto& bucket = by_shard[ShardIndexForHash(RequestKeyHash(req.lookups[i]))];
+    if (bucket.empty()) {
+      bucket.reserve(per_shard_hint + 3);
+    }
+    bucket.push_back(i);
   }
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (!by_shard[s].empty()) {
@@ -179,7 +200,7 @@ void CacheServer::MultiLookup(const MultiLookupRequest& req, const std::vector<u
   }
 }
 
-Status CacheServer::AdmitInsert(const InsertRequest& req) {
+Status CacheServer::AdmitInsert(const InsertRequest& req, const std::string& function) {
   if (options_.policy != EvictionPolicy::kCostAware) {
     // Plain LRU keeps the PR-1 insert path untouched: no node-global lock, no profiling.
     return Status::Ok();
@@ -189,13 +210,12 @@ Status CacheServer::AdmitInsert(const InsertRequest& req) {
                                     : static_cast<double>(req.fill_cost_us) /
                                           static_cast<double>(est_bytes);
   std::lock_guard<std::mutex> lock(fn_mu_);
-  std::string function = CacheKeyFunction(req.key);
   auto it = fn_profiles_.find(function);
   if (it == fn_profiles_.end()) {
     if (fn_profiles_.size() >= options_.max_function_profiles) {
       return Status::Ok();  // over the profile cap: unprofiled functions are always admitted
     }
-    it = fn_profiles_.emplace(std::move(function), FunctionProfile{}).first;
+    it = fn_profiles_.emplace(function, FunctionProfile{}).first;
     it->second.ewma_benefit_per_byte = bpb;  // optimistic prior: assume one hit per fill
   }
   FunctionProfile& p = it->second;
@@ -232,12 +252,19 @@ Status CacheServer::Insert(const InsertRequest& req) {
     // cache until the node provably holds the complete invalidation history behind it.
     return Status::Unavailable("cache node not serving (down or joining)");
   }
-  Status admitted = AdmitInsert(req);
+  // Hash and parse once per insert: the key hash routes the shard and probes its map; the
+  // function prefix feeds the admission gate, the shard's per-function hit bookkeeping and
+  // the eviction fold-back. Plain LRU never uses the function, so it skips the parse.
+  const uint64_t key_hash = RequestKeyHash(req);
+  std::string function = options_.policy == EvictionPolicy::kCostAware
+                             ? CacheKeyFunction(req.key)
+                             : std::string();
+  Status admitted = AdmitInsert(req, function);
   if (!admitted.ok()) {
     return admitted;
   }
   bool sweep_due = false;
-  Status st = ShardForKey(req.key)->Insert(req, &sweep_due);
+  Status st = ShardForHash(key_hash)->Insert(req, key_hash, std::move(function), &sweep_due);
   if (!st.ok()) {
     return st;
   }

@@ -141,9 +141,14 @@ class CacheServer : public InvalidationSubscriber {
   Timestamp last_invalidation_ts() const;
 
   size_t num_shards() const { return shards_.size(); }
-  // Which shard a key routes to. Exposed for tests and for benchmarks that model per-shard
-  // queueing.
+  // Which shard a key (hash) routes to. Exposed for tests and for benchmarks that model
+  // per-shard queueing. The hash form is the hot path: the carried Fnv1a key hash is reused,
+  // never recomputed.
+  size_t ShardIndexForHash(uint64_t key_hash) const;
   size_t ShardIndexForKey(const std::string& key) const;
+  // Lifetime total of exclusive shard-lock acquisitions across the node. Tests assert the
+  // read fast path's "a hit takes no exclusive lock" claim against this.
+  uint64_t exclusive_lock_acquisitions() const;
 
  private:
   // Admission bookkeeping per function. `hits` lives shard-side; everything else here.
@@ -155,7 +160,7 @@ class CacheServer : public InvalidationSubscriber {
     double ewma_benefit_per_byte = 0.0;
   };
 
-  CacheShard* ShardForKey(const std::string& key) const;
+  CacheShard* ShardForHash(uint64_t key_hash) const;
   // Applies one in-order message: fan out to every shard (strict order is guaranteed by the
   // sequencer serializing this sink).
   void ApplySequenced(const InvalidationMessage& msg);
@@ -166,8 +171,9 @@ class CacheServer : public InvalidationSubscriber {
   // version with the globally lowest benefit-per-byte score; each eviction folds the victim's
   // realized benefit back into its function's admission profile.
   void EvictToFit();
-  // Returns kDeclined when the admission gate refuses this fill; Ok to proceed.
-  Status AdmitInsert(const InsertRequest& req);
+  // Returns kDeclined when the admission gate refuses this fill; Ok to proceed. `function` is
+  // CacheKeyFunction(req.key), parsed once by Insert and reused here and shard-side.
+  Status AdmitInsert(const InsertRequest& req, const std::string& function);
   // True iff the node may answer requests. Promotes kJoining to kServing when the sequencer
   // has reached the join target (the barrier drops itself as catch-up completes).
   bool CheckServing();

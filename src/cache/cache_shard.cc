@@ -39,7 +39,8 @@ CacheShard::CacheShard(const Clock* clock, const CacheOptions& options,
       options_(options),
       global_bytes_(global_bytes),
       touch_ticker_(touch_ticker),
-      aging_floor_(aging_floor) {}
+      aging_floor_(aging_floor),
+      touch_buffer_(options.touch_buffer_capacity) {}
 
 CacheShard::~CacheShard() = default;
 
@@ -49,8 +50,8 @@ size_t CacheShard::EstimateBytes(const InsertRequest& req) {
 
 void CacheShard::AddToScoreIndexLocked(Version* v) {
   // GreedyDual-Size score: the node's aging floor (score of the most valuable entry evicted so
-  // far) plus this entry's benefit-per-byte. Refreshed to the current floor on every hit, so
-  // entries that stop earning hits sink back toward the floor and get evicted.
+  // far) plus this entry's benefit-per-byte. Refreshed to the current floor when a hit batch
+  // drains, so entries that stop earning hits sink back toward the floor and get evicted.
   const double bpb =
       v->bytes == 0 ? 0.0 : static_cast<double>(v->fill_cost_us) / static_cast<double>(v->bytes);
   v->score = aging_floor_->load(std::memory_order_relaxed) + bpb;
@@ -76,12 +77,84 @@ void CacheShard::DetachPolicyStateLocked(Version* v) {
   }
 }
 
+void CacheShard::AttributeHitsLocked(Version* v) {
+  if (!cost_aware() || v->function.empty()) {
+    return;
+  }
+  const uint64_t total = v->hit_count.load(std::memory_order_relaxed);
+  if (total == v->attributed_hits) {
+    return;
+  }
+  // Per-function hit attribution, bounded like the frontend's profile map.
+  auto it = fn_hits_.find(v->function);
+  if (it != fn_hits_.end()) {
+    it->second += total - v->attributed_hits;
+  } else if (fn_hits_.size() < options_.max_function_profiles) {
+    fn_hits_.emplace(v->function, total - v->attributed_hits);
+  }
+  v->attributed_hits = total;
+}
+
+void CacheShard::DrainTouchesLocked() {
+  const size_t n = touch_buffer_.pending();
+  const bool overflowed = touch_overflow_.exchange(false, std::memory_order_relaxed);
+  if (n == 0 && !overflowed) {
+    return;
+  }
+  drain_scratch_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    drain_scratch_.push_back(touch_buffer_.slot(i));
+  }
+  touch_buffer_.Reset();
+  // Unique versions, oldest current tick first: splicing to the front in ascending-tick order
+  // leaves lru_ fully sorted by last touch. This is exact because nothing can still be in
+  // flight — a producer holds the shared lock across both its tick assignment and its Record,
+  // so by the time the exclusive side is held every assigned tick is in the buffer.
+  std::sort(drain_scratch_.begin(), drain_scratch_.end());
+  drain_scratch_.erase(std::unique(drain_scratch_.begin(), drain_scratch_.end()),
+                       drain_scratch_.end());
+  std::sort(drain_scratch_.begin(), drain_scratch_.end(), [](Version* a, Version* b) {
+    return a->touch_tick.load(std::memory_order_relaxed) <
+           b->touch_tick.load(std::memory_order_relaxed);
+  });
+  for (Version* v : drain_scratch_) {
+    lru_.erase(v->lru_it);
+    lru_.push_front(v);
+    v->lru_it = lru_.begin();
+    if (v->in_score_index) {
+      // One refresh per hit batch instead of one per hit; the resulting score (current floor
+      // + benefit-per-byte) is identical either way.
+      score_index_.erase(v->score_it);
+      AddToScoreIndexLocked(v);
+    }
+    AttributeHitsLocked(v);
+  }
+  if (overflowed) {
+    // Some touches never made it into the buffer; their recency lives only in the per-version
+    // ticks. Re-sort the whole list so LRU monotonicity (never evict a more recently touched
+    // version while a less recently touched one stays resident) survives the overflow.
+    // std::list::sort relinks nodes, so every Version::lru_it stays valid.
+    lru_.sort([](const Version* a, const Version* b) {
+      return a->touch_tick.load(std::memory_order_relaxed) >
+             b->touch_tick.load(std::memory_order_relaxed);
+    });
+    if (cost_aware()) {
+      // Dropped records also skipped their per-function attribution; the hit_count deltas
+      // still know about those hits, so a full fold keeps the profiles lossless.
+      for (Version* v : lru_) {
+        AttributeHitsLocked(v);
+      }
+    }
+  }
+  drain_scratch_.clear();
+}
+
 EvictedVersion CacheShard::MakeEvictedLocked(const Version& v) const {
   EvictedVersion out;
   out.bytes = v.bytes;
   out.fill_cost_us = v.fill_cost_us;
-  out.hits = v.hit_count;
-  out.function = CacheKeyFunction(*v.key);
+  out.hits = v.hit_count.load(std::memory_order_relaxed);
+  out.function = v.function;  // parsed once at insert; no re-parse on the eviction path
   return out;
 }
 
@@ -96,29 +169,37 @@ Timestamp CacheShard::EffectiveUpperLocked(const Version& v) const {
   return std::max(v.known_valid_through, last_invalidation_ts_) + 1;
 }
 
-LookupResponse CacheShard::Lookup(const LookupRequest& req) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return LookupLocked(req);
+LookupResponse CacheShard::Lookup(const LookupRequest& req, uint64_t key_hash) {
+  if (options_.read_path == ReadPath::kExclusiveCopy) {
+    std::unique_lock<InstrumentedSharedMutex> lock(mu_);
+    return LookupExclusive(req, key_hash);
+  }
+  std::shared_lock<InstrumentedSharedMutex> lock(mu_);
+  return LookupShared(req, key_hash);
 }
 
 void CacheShard::LookupBatch(const MultiLookupRequest& req, const std::vector<uint32_t>& indices,
                              MultiLookupResponse* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.read_path == ReadPath::kExclusiveCopy) {
+    std::unique_lock<InstrumentedSharedMutex> lock(mu_);
+    for (uint32_t i : indices) {
+      out->responses[i] = LookupExclusive(req.lookups[i], RequestKeyHash(req.lookups[i]));
+    }
+    return;
+  }
+  std::shared_lock<InstrumentedSharedMutex> lock(mu_);
   for (uint32_t i : indices) {
-    out->responses[i] = LookupLocked(req.lookups[i]);
+    out->responses[i] = LookupShared(req.lookups[i], RequestKeyHash(req.lookups[i]));
   }
 }
 
-LookupResponse CacheShard::LookupLocked(const LookupRequest& req) {
-  ++stats_.lookups;
-  LookupResponse resp;
-
-  auto it = map_.find(req.key);
+CacheShard::Version* CacheShard::MatchLocked(const LookupRequest& req, uint64_t key_hash,
+                                             LookupResponse* resp) {
+  auto it = map_.find(HashedKey{req.key, key_hash});
   const KeyEntry* entry = it == map_.end() ? nullptr : &it->second;
   if (entry == nullptr || !entry->ever_inserted) {
-    resp.miss = MissKind::kCompulsory;
-    ++stats_.miss_compulsory;
-    return resp;
+    resp->miss = MissKind::kCompulsory;
+    return nullptr;
   }
 
   const Interval want{req.bounds_lo,
@@ -143,39 +224,95 @@ LookupResponse CacheShard::LookupLocked(const LookupRequest& req) {
     }
   }
   if (best != nullptr) {
-    ++stats_.hits;
-    if (cost_aware()) {
-      // Per-function hit attribution (bounded like the frontend's profile map). Plain LRU
-      // skips the parse + map touch entirely: its hit path is byte-identical to PR 1.
-      std::string function = CacheKeyFunction(req.key);
-      auto fit = fn_hits_.find(function);
-      if (fit != fn_hits_.end()) {
-        ++fit->second;
-      } else if (fn_hits_.size() < options_.max_function_profiles) {
-        fn_hits_.emplace(std::move(function), 1);
-      }
-    }
-    TouchLocked(best);
-    resp.hit = true;
-    resp.value = best->value;
-    resp.fill_cost_us = best->fill_cost_us;
-    resp.interval = best_effective;
-    resp.still_valid = best->still_valid;
-    if (best->still_valid) {
-      resp.tags = best->tags;
-    }
-    return resp;
+    resp->interval = best_effective;
+    return best;
   }
   if (any_fresh) {
     // Something fresh enough existed, just not consistent with the caller's pin set.
-    resp.miss = MissKind::kConsistency;
-    ++stats_.miss_consistency;
+    resp->miss = MissKind::kConsistency;
   } else if (entry->versions.empty()) {
-    resp.miss = MissKind::kCapacity;
-    ++stats_.miss_capacity;
+    resp->miss = MissKind::kCapacity;
   } else {
-    resp.miss = MissKind::kStaleness;
-    ++stats_.miss_staleness;
+    resp->miss = MissKind::kStaleness;
+  }
+  return nullptr;
+}
+
+void CacheShard::CountMissShared(MissKind kind) {
+  switch (kind) {
+    case MissKind::kCompulsory:
+      miss_compulsory_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case MissKind::kConsistency:
+      miss_consistency_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case MissKind::kCapacity:
+      miss_capacity_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case MissKind::kStaleness:
+      miss_staleness_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
+}
+
+LookupResponse CacheShard::LookupShared(const LookupRequest& req, uint64_t key_hash) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  LookupResponse resp;
+  Version* best = MatchLocked(req, key_hash, &resp);
+  if (best == nullptr) {
+    CountMissShared(resp.miss);
+    return resp;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  // Deferred touch: recency is published immediately through the atomic tick; the LRU splice,
+  // score refresh and per-function attribution are queued for the next exclusive drain. When
+  // the buffer is full the tick alone carries the recency and the drain repairs the order.
+  best->touch_tick.store(touch_ticker_->fetch_add(1, std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  best->hit_count.fetch_add(1, std::memory_order_relaxed);
+  if (!touch_buffer_.Record(best)) {
+    touch_overflow_.store(true, std::memory_order_relaxed);
+  }
+  resp.hit = true;
+  resp.value = best->value;  // aliases the resident buffer: refcount bump, zero byte copies
+  resp.fill_cost_us = best->fill_cost_us;
+  resp.still_valid = best->still_valid;
+  if (best->still_valid) {
+    resp.tags = best->tags;
+  }
+  return resp;
+}
+
+LookupResponse CacheShard::LookupExclusive(const LookupRequest& req, uint64_t key_hash) {
+  // Benchmark baseline (ReadPath::kExclusiveCopy): the pre-fast-path cost profile — inline
+  // LRU/score/profile maintenance and deep-copied payloads under the exclusive lock.
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  LookupResponse resp;
+  Version* best = MatchLocked(req, key_hash, &resp);
+  if (best == nullptr) {
+    CountMissShared(resp.miss);
+    return resp;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  lru_.erase(best->lru_it);
+  lru_.push_front(best);
+  best->lru_it = lru_.begin();
+  best->touch_tick.store(touch_ticker_->fetch_add(1, std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  best->hit_count.fetch_add(1, std::memory_order_relaxed);
+  AttributeHitsLocked(best);
+  if (best->in_score_index) {
+    score_index_.erase(best->score_it);
+    AddToScoreIndexLocked(best);
+  }
+  resp.hit = true;
+  resp.value = std::make_shared<const std::string>(*best->value);
+  resp.fill_cost_us = best->fill_cost_us;
+  resp.still_valid = best->still_valid;
+  if (best->still_valid) {
+    resp.tags = std::make_shared<const std::vector<InvalidationTag>>(*best->tags);
   }
   return resp;
 }
@@ -188,12 +325,18 @@ bool CacheShard::CountOpLocked() {
   return false;
 }
 
-Status CacheShard::Insert(const InsertRequest& req, bool* sweep_due) {
-  std::lock_guard<std::mutex> lock(mu_);
+Status CacheShard::Insert(const InsertRequest& req, uint64_t key_hash, std::string function,
+                          bool* sweep_due) {
+  std::unique_lock<InstrumentedSharedMutex> lock(mu_);
+  DrainTouchesLocked();
   if (req.interval.empty()) {
     return Status::InvalidArgument("empty validity interval");
   }
-  KeyEntry& entry = map_[req.key];
+  auto map_it = map_.find(HashedKey{req.key, key_hash});
+  if (map_it == map_.end()) {
+    map_it = map_.try_emplace(req.key).first;
+  }
+  KeyEntry& entry = map_it->second;
   entry.ever_inserted = true;
 
   Interval interval = req.interval;
@@ -243,14 +386,15 @@ Status CacheShard::Insert(const InsertRequest& req, bool* sweep_due) {
   version->interval = interval;
   version->known_valid_through = known_through;
   version->still_valid = still_valid;
-  version->value = req.value;
-  version->tags = req.tags;
+  version->value = std::make_shared<const std::string>(req.value);
+  version->tags = std::make_shared<const std::vector<InvalidationTag>>(req.tags);
   version->invalidated_wallclock = invalidated_at;
   version->bytes = EstimateBytes(req);
-  version->touch_tick = touch_ticker_->fetch_add(1, std::memory_order_relaxed);
+  version->touch_tick.store(touch_ticker_->fetch_add(1, std::memory_order_relaxed),
+                            std::memory_order_relaxed);
   version->fill_cost_us = req.fill_cost_us;
+  version->function = std::move(function);
 
-  auto map_it = map_.find(req.key);
   version->key = &map_it->first;
   lru_.push_front(version.get());
   version->lru_it = lru_.begin();
@@ -278,7 +422,8 @@ Status CacheShard::Insert(const InsertRequest& req, bool* sweep_due) {
 }
 
 void CacheShard::ApplyInvalidation(const InvalidationMessage& msg, bool* sweep_due) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<InstrumentedSharedMutex> lock(mu_);
+  DrainTouchesLocked();
   const WallClock now = clock_->Now();
   std::vector<Version*> affected;
   for (const InvalidationTag& tag : msg.tags) {
@@ -332,7 +477,7 @@ void CacheShard::TruncateLocked(Version* v, Timestamp ts, WallClock wallclock) {
 }
 
 void CacheShard::RegisterTagsLocked(Version* v) {
-  for (const InvalidationTag& tag : v->tags) {
+  for (const InvalidationTag& tag : *v->tags) {
     if (tag.wildcard) {
       wildcard_holders_[tag.table].insert(v);
     } else {
@@ -343,7 +488,7 @@ void CacheShard::RegisterTagsLocked(Version* v) {
 }
 
 void CacheShard::UnregisterTagsLocked(Version* v) {
-  for (const InvalidationTag& tag : v->tags) {
+  for (const InvalidationTag& tag : *v->tags) {
     if (tag.wildcard) {
       auto it = wildcard_holders_.find(tag.table);
       if (it != wildcard_holders_.end()) {
@@ -385,34 +530,20 @@ void CacheShard::RemoveVersionLocked(Version* v) {
   auto pos = std::find_if(entry.versions.begin(), entry.versions.end(),
                           [v](const std::unique_ptr<Version>& p) { return p.get() == v; });
   assert(pos != entry.versions.end());
-  entry.versions.erase(pos);  // destroys v
+  entry.versions.erase(pos);  // destroys v (readers holding its buffers keep them alive)
   // Keep the KeyEntry itself (ever_inserted distinguishes capacity from compulsory misses).
 }
 
-void CacheShard::TouchLocked(Version* v) {
-  lru_.erase(v->lru_it);
-  lru_.push_front(v);
-  v->lru_it = lru_.begin();
-  v->touch_tick = touch_ticker_->fetch_add(1, std::memory_order_relaxed);
-  ++v->hit_count;
-  if (v->in_score_index) {
-    // Refresh the GreedyDual score to the current aging floor: a hit re-earns the entry its
-    // benefit-per-byte margin above whatever is being evicted right now.
-    score_index_.erase(v->score_it);
-    AddToScoreIndexLocked(v);
-  }
-}
-
 std::optional<uint64_t> CacheShard::OldestTick() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<InstrumentedSharedMutex> lock(mu_);
   if (lru_.empty()) {
     return std::nullopt;
   }
-  return lru_.back()->touch_tick;
+  return lru_.back()->touch_tick.load(std::memory_order_relaxed);
 }
 
 std::optional<EvictionCandidate> CacheShard::PeekVictim() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<InstrumentedSharedMutex> lock(mu_);
   if (stale_lru_.empty() && score_index_.empty()) {
     return std::nullopt;
   }
@@ -424,13 +555,16 @@ std::optional<EvictionCandidate> CacheShard::PeekVictim() const {
   if (!score_index_.empty()) {
     c.has_scored = true;
     c.score = score_index_.begin()->first;
-    c.tick = score_index_.begin()->second->touch_tick;
+    c.tick = score_index_.begin()->second->touch_tick.load(std::memory_order_relaxed);
   }
   return c;
 }
 
 std::optional<EvictedVersion> CacheShard::EvictOne() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<InstrumentedSharedMutex> lock(mu_);
+  // Apply pending touches first: within this shard the eviction decision is then exact with
+  // respect to every hit that completed before the lock was acquired.
+  DrainTouchesLocked();
   if (!cost_aware()) {
     if (lru_.empty()) {
       return std::nullopt;
@@ -453,8 +587,8 @@ std::optional<EvictedVersion> CacheShard::EvictOne() {
     return std::nullopt;
   }
   // Lowest benefit-per-byte score goes first (equal scores evict in insertion order, which is
-  // oldest-touched first since every hit reinserts). Evicting at score s raises the node's
-  // aging floor to s: surviving entries must re-earn their margin through hits.
+  // oldest-touched first since every drained hit batch reinserts). Evicting at score s raises
+  // the node's aging floor to s: surviving entries must re-earn their margin through hits.
   Version* v = score_index_.begin()->second;
   const double evicted_score = v->score;
   double cur = aging_floor_->load(std::memory_order_relaxed);
@@ -467,13 +601,17 @@ std::optional<EvictedVersion> CacheShard::EvictOne() {
   return out;
 }
 
-std::unordered_map<std::string, uint64_t> CacheShard::FunctionHits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+std::unordered_map<std::string, uint64_t> CacheShard::FunctionHits() {
+  std::unique_lock<InstrumentedSharedMutex> lock(mu_);
+  // Fold pending touches in first so profiles reflect every completed hit (the overflow
+  // repair folds the whole LRU list, so dropped touch records cannot lose attribution).
+  DrainTouchesLocked();
   return fn_hits_;
 }
 
 void CacheShard::SweepStale() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<InstrumentedSharedMutex> lock(mu_);
+  DrainTouchesLocked();
   SweepStaleLocked();
 }
 
@@ -546,18 +684,18 @@ Timestamp CacheShard::EarliestInvalidationAfterLocked(const std::vector<Invalida
 }
 
 std::pair<uint64_t, std::string> CacheShard::ExportEntries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<InstrumentedSharedMutex> lock(mu_);
   Writer w;
   for (const auto& [key, entry] : map_) {
     for (const auto& v : entry.versions) {
       w.PutString(key);
-      w.PutString(v->value);
+      w.PutString(*v->value);
       w.PutU64(v->interval.lower);
       w.PutU64(v->still_valid ? kTimestampInfinity : v->interval.upper);
       w.PutU64(v->known_valid_through);
       w.PutU64(v->fill_cost_us);
-      w.PutU32(static_cast<uint32_t>(v->tags.size()));
-      for (const InvalidationTag& tag : v->tags) {
+      w.PutU32(static_cast<uint32_t>(v->tags->size()));
+      for (const InvalidationTag& tag : *v->tags) {
         w.PutString(tag.table);
         w.PutString(tag.index);
         w.PutString(tag.key);
@@ -569,7 +707,7 @@ std::pair<uint64_t, std::string> CacheShard::ExportEntries() const {
 }
 
 void CacheShard::AdoptStreamPosition(Timestamp last_invalidation_ts, bool raise_history_floor) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<InstrumentedSharedMutex> lock(mu_);
   last_invalidation_ts_ = std::max(last_invalidation_ts_, last_invalidation_ts);
   if (raise_history_floor && last_invalidation_ts > history_floor_) {
     // The messages up to the adopted position were never applied here, so the retained
@@ -580,7 +718,11 @@ void CacheShard::AdoptStreamPosition(Timestamp last_invalidation_ts, bool raise_
 }
 
 void CacheShard::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<InstrumentedSharedMutex> lock(mu_);
+  // Everything the touch buffer points at dies below; discard the records rather than apply
+  // them (readers that already hold value aliases keep their buffers via the shared_ptrs).
+  touch_buffer_.Reset();
+  touch_overflow_.store(false, std::memory_order_relaxed);
   size_t freed = 0;
   for (const Version* v : lru_) {
     freed += v->bytes;
@@ -597,28 +739,47 @@ void CacheShard::Flush() {
 }
 
 CacheStats CacheShard::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  std::shared_lock<InstrumentedSharedMutex> lock(mu_);
+  CacheStats s = stats_;
+  s.lookups += lookups_.load(std::memory_order_relaxed);
+  s.hits += hits_.load(std::memory_order_relaxed);
+  s.miss_compulsory += miss_compulsory_.load(std::memory_order_relaxed);
+  s.miss_staleness += miss_staleness_.load(std::memory_order_relaxed);
+  s.miss_capacity += miss_capacity_.load(std::memory_order_relaxed);
+  s.miss_consistency += miss_consistency_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void CacheShard::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<InstrumentedSharedMutex> lock(mu_);
+  // Drain so pending per-function attribution lands before the profile map is cleared, then
+  // mark every resident version fully attributed — pre-reset hits must not leak into the
+  // next window's profiles at a later drain.
+  DrainTouchesLocked();
   stats_ = CacheStats{};
+  for (std::atomic<uint64_t>* c :
+       {&lookups_, &hits_, &miss_compulsory_, &miss_staleness_, &miss_capacity_,
+        &miss_consistency_}) {
+    c->store(0, std::memory_order_relaxed);
+  }
   fn_hits_.clear();
+  for (Version* v : lru_) {
+    v->attributed_hits = v->hit_count.load(std::memory_order_relaxed);
+  }
 }
 
 size_t CacheShard::version_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<InstrumentedSharedMutex> lock(mu_);
   return version_count_;
 }
 
 size_t CacheShard::key_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<InstrumentedSharedMutex> lock(mu_);
   return map_.size();
 }
 
 Timestamp CacheShard::last_invalidation_ts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<InstrumentedSharedMutex> lock(mu_);
   return last_invalidation_ts_;
 }
 

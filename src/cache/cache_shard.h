@@ -2,9 +2,19 @@
 //
 // A shard owns every mutable structure for the keys that hash to it: the version chains, the
 // still-valid tag index, its slice of the LRU order, the per-tag invalidation history used for
-// insert-time replay, and its own stats counters — all guarded by one shard mutex. Nothing in
+// insert-time replay, and its own stats counters — all guarded by one shard lock. Nothing in
 // a shard ever takes another shard's lock, so lookups and inserts on different shards never
 // contend.
+//
+// Read fast path (docs/architecture.md §"Read fast path"): the shard lock is a shared mutex.
+// Lookups (and the other read-only accessors) take only the SHARED side and perform zero
+// deep copies — a hit aliases the resident value/tag buffers through shared_ptrs, which also
+// keep the bytes alive after the version is evicted or truncated. The LRU/score/profile
+// bookkeeping a hit owes is deferred: the hit stores a fresh recency tick on the version
+// atomically and records the version in a bounded multi-producer touch buffer; the next
+// operation that holds the exclusive lock (insert, invalidation, sweep, eviction) drains the
+// buffer and applies the accumulated maintenance in one pass. Every exclusive section that
+// can destroy a version drains first, so the buffer never holds a dangling pointer.
 //
 // Cross-shard concerns live in the CacheServer frontend:
 //   * the invalidation stream is sequenced once per node (StreamSequencer) and fanned out to
@@ -25,7 +35,9 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -34,7 +46,9 @@
 #include "src/bus/invalidation.h"
 #include "src/cache/cache_types.h"
 #include "src/util/clock.h"
+#include "src/util/hash.h"
 #include "src/util/serde.h"
+#include "src/util/shared_mutex.h"
 #include "src/util/status.h"
 
 namespace txcache {
@@ -46,7 +60,7 @@ struct EvictedVersion {
   size_t bytes = 0;
   uint64_t fill_cost_us = 0;
   uint64_t hits = 0;
-  std::string function;  // CacheKeyFunction of the evicted key
+  std::string function;  // CacheKeyFunction of the evicted key (parsed once, at insert)
 };
 
 // Cheapest victim this shard could offer right now; the frontend compares candidates across
@@ -73,14 +87,19 @@ class CacheShard {
   CacheShard(const CacheShard&) = delete;
   CacheShard& operator=(const CacheShard&) = delete;
 
-  LookupResponse Lookup(const LookupRequest& req);
+  // `key_hash` is the request's carried (or frontend-computed) Fnv1a key hash; the shard
+  // reuses it for the map probe, so a hit never rehashes nor materializes a key copy.
+  LookupResponse Lookup(const LookupRequest& req, uint64_t key_hash);
   // Answers req.lookups[i] for every i in `indices` under a single lock acquisition, writing
   // each result to out->responses[i]. Byte-identical to issuing the lookups one at a time.
   void LookupBatch(const MultiLookupRequest& req, const std::vector<uint32_t>& indices,
                    MultiLookupResponse* out);
-  // `*sweep_due` is set when this shard's mutating-op counter crossed the sweep interval; the
-  // caller (frontend) then sweeps all shards without any shard lock held.
-  Status Insert(const InsertRequest& req, bool* sweep_due);
+  // `function` is CacheKeyFunction(req.key), parsed once by the frontend (empty under plain
+  // LRU, which never uses it). `*sweep_due` is set when this shard's mutating-op counter
+  // crossed the sweep interval; the caller (frontend) then sweeps all shards without any
+  // shard lock held.
+  Status Insert(const InsertRequest& req, uint64_t key_hash, std::string function,
+                bool* sweep_due);
 
   // Applies one invalidation message. The caller (the node's sequencer sink) guarantees
   // strict seqno order and no concurrent invocations.
@@ -92,14 +111,18 @@ class CacheShard {
   // Node-global eviction support. Under kLru the frontend compares OldestTick across shards
   // and evicts from the globally least-recently-used tail; under kCostAware it compares
   // PeekVictim candidates (stale-first, then lowest benefit-per-byte score). EvictOne evicts
-  // this shard's cheapest victim per the configured policy and reports what was freed.
+  // this shard's cheapest victim per the configured policy and reports what was freed. The
+  // peeks read under the shared lock against possibly-undrained touches, so the cross-shard
+  // choice is best-effort; EvictOne drains first, so within the chosen shard the policy
+  // order is exact.
   std::optional<uint64_t> OldestTick() const;
   std::optional<EvictionCandidate> PeekVictim() const;
   std::optional<EvictedVersion> EvictOne();
 
-  // Per-function hit counters (key prefix parsed via CacheKeyFunction), merged by the
-  // frontend into FunctionStats().
-  std::unordered_map<std::string, uint64_t> FunctionHits() const;
+  // Per-function hit counters (attributed at touch-buffer drain time from the function name
+  // stored on each version), merged by the frontend into FunctionStats(). Drains pending
+  // touches so the profile is current as of this call.
+  std::unordered_map<std::string, uint64_t> FunctionHits();
 
   void Flush();  // drops cached data; keeps invalidation history and stream position
 
@@ -118,25 +141,41 @@ class CacheShard {
   size_t key_count() const;
   Timestamp last_invalidation_ts() const;
 
+  // Lifetime count of exclusive acquisitions of this shard's lock. The read fast path's "a
+  // hit takes no exclusive lock" claim is asserted against this by tests and benchmarks.
+  uint64_t exclusive_lock_acquisitions() const { return mu_.exclusive_acquisitions(); }
+  uint64_t shared_lock_acquisitions() const { return mu_.shared_acquisitions(); }
+  // True when the touch buffer has overflowed since the last drain (diagnostic; tests use it
+  // to force-cover the overflow repair path).
+  bool touch_buffer_overflowed() const {
+    return touch_overflow_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Version {
     Interval interval;                      // truncated in place by invalidations
     Timestamp known_valid_through = kTimestampZero;  // max(lower, computed_at)
     bool still_valid = false;
-    std::string value;
-    std::vector<InvalidationTag> tags;      // registered in tag index iff still_valid
+    // Immutable once inserted; hits hand out aliases, so the buffers must never be mutated
+    // in place (truncation narrows `interval`, never rewrites the payload).
+    std::shared_ptr<const std::string> value;
+    std::shared_ptr<const std::vector<InvalidationTag>> tags;  // in tag index iff still_valid
     WallClock invalidated_wallclock = 0;    // set when truncated
     size_t bytes = 0;
-    uint64_t touch_tick = 0;                // node-global LRU ordinal (last touch)
+    // Node-global LRU ordinal of the last touch. Written by hits under the SHARED lock
+    // (relaxed store), so it is atomic; all other Version state is exclusive-lock-only.
+    std::atomic<uint64_t> touch_tick{0};
+    std::atomic<uint64_t> hit_count{0};     // bumped by hits under the shared lock
     const std::string* key = nullptr;       // points at the map node's key (stable)
+    std::string function;                   // CacheKeyFunction(key); empty under kLru
     std::list<Version*>::iterator lru_it;   // position in lru_
 
     // Cost-aware policy state. A resident version is in exactly one of the two structures:
     // still-valid versions carry a GreedyDual-style score (aging floor + fill_cost/bytes,
-    // refreshed on every hit) in score_index_; closed-interval versions sit in stale_lru_ in
-    // the order they went stale and are evicted first.
+    // refreshed at drain time for every hit batch) in score_index_; closed-interval versions
+    // sit in stale_lru_ in the order they went stale and are evicted first.
     uint64_t fill_cost_us = 0;
-    uint64_t hit_count = 0;
+    uint64_t attributed_hits = 0;  // hit_count already folded into fn_hits_ (drain-side)
     double score = 0.0;
     std::multimap<double, Version*>::iterator score_it;  // valid iff in_score_index
     std::list<Version*>::iterator stale_it;              // valid iff in_stale_list
@@ -151,13 +190,78 @@ class CacheShard {
     bool ever_inserted = false;
   };
 
-  // All helpers assume mu_ is held.
-  LookupResponse LookupLocked(const LookupRequest& req);
+  // Heterogeneous probe for map_: carries the key view plus its precomputed Fnv1a hash, so
+  // the read path neither rehashes nor materializes a temporary std::string key.
+  struct HashedKey {
+    std::string_view key;
+    uint64_t hash;  // must equal Fnv1a(key)
+  };
+  struct KeyHasher {
+    using is_transparent = void;
+    size_t operator()(const HashedKey& k) const { return static_cast<size_t>(k.hash); }
+    size_t operator()(const std::string& k) const { return static_cast<size_t>(Fnv1a(k)); }
+  };
+  struct KeyEqual {
+    using is_transparent = void;
+    bool operator()(const std::string& a, const std::string& b) const { return a == b; }
+    bool operator()(const HashedKey& a, const std::string& b) const { return a.key == b; }
+    bool operator()(const std::string& a, const HashedKey& b) const { return a == b.key; }
+  };
+
+  // Bounded multi-producer touch queue. Producers (hits) run under the SHARED lock and claim
+  // slots with an atomic ticket; the single consumer (DrainTouchesLocked) runs under the
+  // EXCLUSIVE lock, so production and consumption are never concurrent — the shared/exclusive
+  // handoff of the shard lock is the synchronization point.
+  class TouchBuffer {
+   public:
+    explicit TouchBuffer(size_t capacity)
+        : capacity_(capacity < 1 ? 1 : capacity),
+          slots_(std::make_unique<std::atomic<Version*>[]>(capacity_)) {}
+
+    // Returns false (and leaves the buffer untouched) when full.
+    bool Record(Version* v) {
+      const uint64_t ticket = tickets_.fetch_add(1, std::memory_order_relaxed);
+      if (ticket >= capacity_) {
+        // Over-claimed: hand the ticket back. Tickets below capacity_ are still unique —
+        // the counter can only drop back toward capacity_, never below the claimed count.
+        tickets_.fetch_sub(1, std::memory_order_relaxed);
+        return false;
+      }
+      slots_[ticket].store(v, std::memory_order_release);
+      return true;
+    }
+
+    // Consumer side (exclusive lock held; no concurrent Record calls by construction).
+    size_t pending() const {
+      const uint64_t n = tickets_.load(std::memory_order_acquire);
+      return n < capacity_ ? static_cast<size_t>(n) : capacity_;
+    }
+    Version* slot(size_t i) const { return slots_[i].load(std::memory_order_acquire); }
+    void Reset() { tickets_.store(0, std::memory_order_relaxed); }
+
+   private:
+    const size_t capacity_;
+    std::unique_ptr<std::atomic<Version*>[]> slots_;
+    std::atomic<uint64_t> tickets_{0};
+  };
+
+  // Mutating *Locked helpers assume the EXCLUSIVE side of mu_ is held; the const ones only
+  // require some side of it (the shared read path runs them under the shared side).
+  //
+  // Matching core shared by both read paths: classifies the miss (resp->miss) or returns the
+  // winning version with resp->interval filled. Pure read; safe under the shared lock.
+  Version* MatchLocked(const LookupRequest& req, uint64_t key_hash, LookupResponse* resp);
+  void CountMissShared(MissKind kind);  // atomic miss counters (shared-lock safe)
+  LookupResponse LookupShared(const LookupRequest& req, uint64_t key_hash);
+  LookupResponse LookupExclusive(const LookupRequest& req, uint64_t key_hash);
   void TruncateLocked(Version* v, Timestamp ts, WallClock wallclock);
   void RegisterTagsLocked(Version* v);
   void UnregisterTagsLocked(Version* v);
   void RemoveVersionLocked(Version* v);
-  void TouchLocked(Version* v);
+  // Applies every deferred hit: LRU front-moves in touch order, score refreshes, and
+  // per-function hit attribution. MUST run at the top of any exclusive section that may
+  // remove a version (the buffer holds raw Version pointers).
+  void DrainTouchesLocked();
   void SweepStaleLocked();
   void RecordHistoryLocked(const InvalidationMessage& msg);
   // Earliest invalidation affecting `tags` with timestamp > after; kTimestampInfinity if none.
@@ -169,6 +273,7 @@ class CacheShard {
   void AddToScoreIndexLocked(Version* v);
   void AddToStaleListLocked(Version* v);
   void DetachPolicyStateLocked(Version* v);
+  void AttributeHitsLocked(Version* v);
   EvictedVersion MakeEvictedLocked(const Version& v) const;
 
   const Clock* clock_;
@@ -177,14 +282,33 @@ class CacheShard {
   std::atomic<uint64_t>* const touch_ticker_;  // shared monotone LRU clock
   std::atomic<double>* const aging_floor_;     // shared GreedyDual aging value (max evicted score)
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, KeyEntry> map_;
+  // Readers (Lookup, LookupBatch, PeekVictim, OldestTick, stats, ExportEntries, counters)
+  // take the shared side; every mutation takes the exclusive side. The instrumentation backs
+  // the "a hit acquires no exclusive lock" acceptance test.
+  mutable InstrumentedSharedMutex mu_;
+  std::unordered_map<std::string, KeyEntry, KeyHasher, KeyEqual> map_;
   std::list<Version*> lru_;  // front = most recently used within this shard
   // Cost-aware structures (maintained only under EvictionPolicy::kCostAware).
   std::multimap<double, Version*> score_index_;  // still-valid versions by benefit score
   std::list<Version*> stale_lru_;                // closed-interval versions, oldest-stale first
   std::unordered_map<std::string, uint64_t> fn_hits_;  // per-function hit counters
   size_t version_count_ = 0;
+
+  // Deferred hit maintenance (see class comment). touch_overflow_ marks that at least one
+  // hit could not be recorded since the last drain; the drain then repairs the full LRU
+  // order from the per-version ticks instead of trusting the (incomplete) queue.
+  TouchBuffer touch_buffer_;
+  std::atomic<bool> touch_overflow_{false};
+  std::vector<Version*> drain_scratch_;  // reused across drains; exclusive-lock-only
+
+  // Lookup-path counters, bumped under the shared lock — hence atomic. The remaining fields
+  // of stats_ are mutated only under the exclusive lock and folded together in stats().
+  std::atomic<uint64_t> lookups_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> miss_compulsory_{0};
+  std::atomic<uint64_t> miss_staleness_{0};
+  std::atomic<uint64_t> miss_capacity_{0};
+  std::atomic<uint64_t> miss_consistency_{0};
 
   // Still-valid version registry: concrete tag -> versions carrying it; table -> versions
   // carrying any tag of that table (serves wildcard invalidation messages); table -> versions

@@ -3,10 +3,12 @@
 #define SRC_CACHE_CACHE_TYPES_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/bus/invalidation.h"
+#include "src/util/hash.h"
 #include "src/util/interval.h"
 #include "src/util/status.h"
 #include "src/util/types.h"
@@ -19,6 +21,12 @@ namespace txcache {
 // (consistency vs staleness, §8.3), never to widen matches.
 struct LookupRequest {
   std::string key;
+  // Hash-once contract: Fnv1a(key), computed by the outermost caller (TxCacheClient) and
+  // reused unchanged for ring routing, node grouping, shard selection and the shard's map
+  // probe — the layers below never rehash the key. Zero means "not computed" (raw callers,
+  // tests): each layer then derives it on demand via RequestKeyHash. A wrong hash can only
+  // misroute the key into a miss, never violate consistency, so carriers may trust it.
+  uint64_t key_hash = 0;
   Timestamp bounds_lo = kTimestampZero;
   Timestamp bounds_hi = kTimestampInfinity;  // kTimestampInfinity when * is in the pin set
   Timestamp fresh_lo = kTimestampZero;
@@ -45,7 +53,11 @@ struct LookupResponse {
   // when the server was addressed directly). A client seeing it change knows its cached view
   // of the fleet is stale and refreshes routing state instead of treating churn as an error.
   uint64_t ring_epoch = 0;
-  std::string value;
+  // Zero-copy payload: on a hit this aliases the shard-resident buffer — never a copy. The
+  // shared_ptr keeps the bytes alive and bitwise stable even after the version is evicted,
+  // truncated, flushed or the owning node is destroyed; readers therefore never observe a
+  // value changing under them. Null on a miss.
+  std::shared_ptr<const std::string> value;
   // Fill cost (µs of compute/DB time) the caller reported when this entry was inserted; on a
   // hit this is the recomputation the cache just saved. Clients aggregate it into
   // ClientStats::saved_recompute_cost_us.
@@ -55,9 +67,20 @@ struct LookupResponse {
   // interval is always concrete and race-free.
   Interval interval;
   bool still_valid = false;
-  // Dependency tags of a still-valid hit. A cacheable function that consumed this value
-  // inherits them, so its own cached result is invalidated when this one would be (§6.3).
-  std::vector<InvalidationTag> tags;
+  // Dependency tags of a still-valid hit, aliasing the resident tag block (same lifetime
+  // rules as `value`). A cacheable function that consumed this value inherits them, so its
+  // own cached result is invalidated when this one would be (§6.3). Null when absent.
+  std::shared_ptr<const std::vector<InvalidationTag>> tags;
+
+  // Borrow-style accessors for callers that just want to read the payload.
+  const std::string& value_ref() const {
+    static const std::string kEmpty;
+    return value ? *value : kEmpty;
+  }
+  const std::vector<InvalidationTag>& tags_ref() const {
+    static const std::vector<InvalidationTag> kNone;
+    return tags ? *tags : kNone;
+  }
 };
 
 // MULTILOOKUP: a batch of lookups resolved in one round-trip. The server partitions the batch
@@ -78,6 +101,8 @@ struct MultiLookupResponse {
 // only needs to replay invalidations later than it when the entry claims to be still valid.
 struct InsertRequest {
   std::string key;
+  // Fnv1a(key); same hash-once contract as LookupRequest::key_hash (zero = not computed).
+  uint64_t key_hash = 0;
   std::string value;
   Interval interval;  // unbounded upper => still valid, subscribe to invalidations
   Timestamp computed_at = kTimestampZero;
@@ -102,6 +127,16 @@ struct InsertResponse {
 // and tools), so every key always maps to exactly one "function" for cost accounting.
 std::string CacheKeyFunction(const std::string& key);
 
+// The request's carried key hash, or a freshly computed one when the caller did not fill it
+// (see LookupRequest::key_hash for the contract). On the production hot path the client
+// computes the hash exactly once and every layer below lands here on the carried value.
+inline uint64_t RequestKeyHash(const LookupRequest& req) {
+  return req.key_hash != 0 ? req.key_hash : Fnv1a(req.key);
+}
+inline uint64_t RequestKeyHash(const InsertRequest& req) {
+  return req.key_hash != 0 ? req.key_hash : Fnv1a(req.key);
+}
+
 // Capacity replacement policy for a cache node.
 enum class EvictionPolicy : uint8_t {
   kLru,       // classic least-recently-used (the pre-cost-aware behavior)
@@ -110,6 +145,18 @@ enum class EvictionPolicy : uint8_t {
   // still-valid entry with the lowest benefit-per-byte score; admission declines functions
   // whose observed benefit-per-byte sits below an adaptive watermark.
   kCostAware,
+};
+
+// How lookups traverse a shard. kSharedZeroCopy is the production path; kExclusiveCopy
+// reproduces the pre-fast-path behavior and exists so benchmarks can measure the difference
+// inside one binary.
+enum class ReadPath : uint8_t {
+  // Hits take the shard lock's SHARED side, alias the resident value/tag buffers (no deep
+  // copy) and defer all LRU/score/profile bookkeeping into a bounded per-shard touch buffer
+  // drained by the next exclusive-section operation.
+  kSharedZeroCopy,
+  // Baseline: exclusive lock per lookup, deep-copied payloads, inline LRU/score maintenance.
+  kExclusiveCopy,
 };
 
 // Tuning knobs for a cache node. Shared by the thin CacheServer frontend and its shards.
@@ -129,6 +176,14 @@ struct CacheOptions {
   // Lock stripes inside one cache node. Each shard owns its own version chains, tag index,
   // LRU list and invalidation history, keyed by hash(key) % num_shards.
   size_t num_shards = 8;
+
+  // --- read fast path ---
+  ReadPath read_path = ReadPath::kSharedZeroCopy;
+  // Per-shard capacity of the deferred-touch buffer. A hit whose record does not fit still
+  // refreshes the version's recency tick atomically; the dropped policy refresh is repaired
+  // at the next drain, which re-sorts the LRU order from the ticks (see docs/architecture.md
+  // §"Read fast path").
+  size_t touch_buffer_capacity = 1024;
 
   // --- automatic management (cost-aware admission + eviction) ---
   EvictionPolicy policy = EvictionPolicy::kCostAware;

@@ -43,8 +43,11 @@ class ConsistentHashRing {
 
   // Batch routing for the batched lookup pipeline: maps every key to its owning node in one
   // pass, returning request positions grouped per node (preserving per-node request order).
-  // Takes views so callers on the hot path need not materialize key copies. Empty ring =>
-  // error.
+  // The hash form is the hot path — callers carry each key's Fnv1a hash (hash-once contract,
+  // see LookupRequest::key_hash) so routing neither rehashes nor materializes key copies; the
+  // view form is the convenience wrapper that hashes for you. Empty ring => error.
+  Result<std::map<std::string, std::vector<uint32_t>>> GroupByNode(
+      const std::vector<uint64_t>& key_hashes) const;
   Result<std::map<std::string, std::vector<uint32_t>>> GroupByNode(
       const std::vector<std::string_view>& keys) const;
 

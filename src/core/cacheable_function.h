@@ -74,7 +74,8 @@ class CacheableFunction {
           client_->CountCacheableCall();
           auto hit = client_->RwCacheLookup(MakeCacheKey(name_, args...));
           if (hit.ok()) {
-            auto decoded = DeserializeFromString<Ret>(hit.value());
+            // Deserialize straight out of the zero-copy alias of the cache-resident buffer.
+            auto decoded = DeserializeFromString<Ret>(*hit.value());
             if (decoded.ok()) {
               return decoded.take();
             }
@@ -89,7 +90,7 @@ class CacheableFunction {
     const std::string key = MakeCacheKey(name_, args...);
     auto hit = client_->CacheLookup(key);
     if (hit.ok()) {
-      auto decoded = DeserializeFromString<Ret>(hit.value());
+      auto decoded = DeserializeFromString<Ret>(*hit.value());
       if (decoded.ok()) {
         return decoded.take();
       }
@@ -127,10 +128,10 @@ class CacheableFunction {
       keys.push_back(std::apply(
           [this](const Args&... args) { return MakeCacheKey(name_, args...); }, call));
     }
-    std::vector<Result<std::string>> hits = client_->CacheMultiLookup(keys);
+    std::vector<Result<TxCacheClient::CachedValue>> hits = client_->CacheMultiLookup(keys);
     for (size_t i = 0; i < calls.size(); ++i) {
       if (hits[i].ok()) {
-        auto decoded = DeserializeFromString<Ret>(hits[i].value());
+        auto decoded = DeserializeFromString<Ret>(*hits[i].value());
         if (decoded.ok()) {
           out.push_back(decoded.take());
           continue;

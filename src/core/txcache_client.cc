@@ -289,7 +289,7 @@ void TxCacheClient::ObserveRingEpoch(uint64_t epoch) {
   }
 }
 
-Result<std::string> TxCacheClient::CacheLookup(const std::string& key) {
+Result<TxCacheClient::CachedValue> TxCacheClient::CacheLookup(const std::string& key) {
   assert(ShouldUseCache());
   Status st = EnsurePinnedSnapshot();
   if (!st.ok()) {
@@ -297,6 +297,9 @@ Result<std::string> TxCacheClient::CacheLookup(const std::string& key) {
   }
   LookupRequest req;
   req.key = key;
+  // Hash-once: computed here, reused by ring routing, shard selection and the shard's map
+  // probe — no layer below rehashes the key.
+  req.key_hash = Fnv1a(key);
   LookupBounds(&req.bounds_lo, &req.bounds_hi);
   req.fresh_lo = pin_set_.BoundsLo();
   // Routed through the cluster: a down/departed owner degrades to a miss (recompute), never
@@ -316,20 +319,20 @@ Result<std::string> TxCacheClient::CacheLookup(const std::string& key) {
       return Status::NotFound("cache hit rejected by pin set");
     }
   }
-  PropagateToFrames(resp.interval, resp.tags);
+  PropagateToFrames(resp.interval, resp.tags_ref());
   ++stats_.cache_hits;
   stats_.saved_recompute_cost_us += resp.fill_cost_us;
-  return resp.value;
+  return std::move(resp.value);  // zero-copy: hand the resident-buffer alias to the caller
 }
 
-std::vector<Result<std::string>> TxCacheClient::CacheMultiLookup(
+std::vector<Result<TxCacheClient::CachedValue>> TxCacheClient::CacheMultiLookup(
     const std::vector<std::string>& keys) {
   assert(ShouldUseCache());
-  std::vector<Result<std::string>> out;
+  std::vector<Result<CachedValue>> out;
   out.reserve(keys.size());
   Status st = EnsurePinnedSnapshot();
   if (!st.ok()) {
-    out.assign(keys.size(), Result<std::string>(st));
+    out.assign(keys.size(), Result<CachedValue>(st));
     return out;
   }
   MultiLookupRequest req;
@@ -340,6 +343,7 @@ std::vector<Result<std::string>> TxCacheClient::CacheMultiLookup(
   LookupBounds(&lo, &hi);
   for (size_t i = 0; i < keys.size(); ++i) {
     req.lookups[i].key = keys[i];
+    req.lookups[i].key_hash = Fnv1a(keys[i]);  // hash-once for the whole batch pipeline
     req.lookups[i].bounds_lo = lo;
     req.lookups[i].bounds_hi = hi;
     req.lookups[i].fresh_lo = pin_set_.BoundsLo();
@@ -352,7 +356,7 @@ std::vector<Result<std::string>> TxCacheClient::CacheMultiLookup(
     // recomputes — churn never fails a batch.
     for (size_t i = 0; i < keys.size(); ++i) {
       RecordMiss(MissKind::kNodeUnavailable);
-      out.push_back(Result<std::string>(Status::NotFound("cache unavailable")));
+      out.push_back(Result<CachedValue>(Status::NotFound("cache unavailable")));
     }
     return out;
   }
@@ -363,24 +367,24 @@ std::vector<Result<std::string>> TxCacheClient::CacheMultiLookup(
   for (LookupResponse& resp : resp_or.value().responses) {
     if (!resp.hit) {
       RecordMiss(resp.miss);
-      out.push_back(Result<std::string>(Status::NotFound("cache miss")));
+      out.push_back(Result<CachedValue>(Status::NotFound("cache miss")));
       continue;
     }
     if (options_.mode == ClientMode::kConsistent && !pin_set_.NarrowTo(resp.interval)) {
       ++stats_.pin_set_rejects;
       RecordMiss(MissKind::kConsistency);
-      out.push_back(Result<std::string>(Status::NotFound("cache hit rejected by pin set")));
+      out.push_back(Result<CachedValue>(Status::NotFound("cache hit rejected by pin set")));
       continue;
     }
-    PropagateToFrames(resp.interval, resp.tags);
+    PropagateToFrames(resp.interval, resp.tags_ref());
     ++stats_.cache_hits;
     stats_.saved_recompute_cost_us += resp.fill_cost_us;
-    out.push_back(Result<std::string>(std::move(resp.value)));
+    out.push_back(Result<CachedValue>(std::move(resp.value)));
   }
   return out;
 }
 
-Result<std::string> TxCacheClient::RwCacheLookup(const std::string& key) {
+Result<TxCacheClient::CachedValue> TxCacheClient::RwCacheLookup(const std::string& key) {
   assert(ShouldTryRwCacheRead());
   auto snap_or = db_->SnapshotOf(*db_txn_);
   if (!snap_or.ok()) {
@@ -388,6 +392,7 @@ Result<std::string> TxCacheClient::RwCacheLookup(const std::string& key) {
   }
   LookupRequest req;
   req.key = key;
+  req.key_hash = Fnv1a(key);
   req.bounds_lo = snap_or.value();
   req.bounds_hi = snap_or.value();
   req.fresh_lo = snap_or.value();
@@ -399,7 +404,7 @@ Result<std::string> TxCacheClient::RwCacheLookup(const std::string& key) {
   }
   ++stats_.cache_hits;
   stats_.saved_recompute_cost_us += resp.fill_cost_us;
-  return resp.value;
+  return std::move(resp.value);
 }
 
 void TxCacheClient::FrameBegin() {
@@ -460,6 +465,7 @@ void TxCacheClient::CacheStore(const std::string& key, std::string value,
   }
   InsertRequest req;
   req.key = key;
+  req.key_hash = Fnv1a(key);  // hash-once: ring routing and shard probe reuse it
   req.value = std::move(value);
   req.interval = outcome.validity;
   req.computed_at = outcome.computed_at;

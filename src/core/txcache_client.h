@@ -21,6 +21,7 @@
 #define SRC_CORE_TXCACHE_CLIENT_H_
 
 #include <atomic>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -281,12 +282,17 @@ class TxCacheClient {
   auto MakeCacheable(std::string name, Fn&& fn);
 
   // --- cacheable-call plumbing (used by CacheableFunction; not application-facing) ---
+  // A cached payload handed back by the lookup path. Zero-copy: it aliases the buffer
+  // resident in the cache node (see LookupResponse::value); holding it keeps the bytes alive
+  // and bitwise stable regardless of later evictions or invalidations.
+  using CachedValue = std::shared_ptr<const std::string>;
+
   bool ShouldUseCache() const { return state_ == TxnState::kReadOnly && options_.mode != ClientMode::kNoCache; }
   bool ShouldTryRwCacheRead() const {
     return state_ == TxnState::kReadWrite && options_.allow_rw_cache_reads &&
            options_.mode != ClientMode::kNoCache;
   }
-  Result<std::string> CacheLookup(const std::string& key);
+  Result<CachedValue> CacheLookup(const std::string& key);
   // Batched variant: resolves `keys` in one MULTILOOKUP round-trip per cache node (the
   // cluster groups keys per owning node). Results are positionally aligned with `keys`.
   // Pin-set narrowing is threaded through the responses in order: each hit narrows the pin
@@ -296,10 +302,10 @@ class TxCacheClient {
   // borderline entry as a miss where sequential lookups (whose later probes carry narrower
   // bounds) might have found an older compatible version — never the reverse, so consistency
   // is unaffected; only the hit rate can differ marginally.
-  std::vector<Result<std::string>> CacheMultiLookup(const std::vector<std::string>& keys);
+  std::vector<Result<CachedValue>> CacheMultiLookup(const std::vector<std::string>& keys);
   // Lookup restricted to values valid at the read/write transaction's snapshot (§2.2
   // extension). Never narrows any pin set; never inserts.
-  Result<std::string> RwCacheLookup(const std::string& key);
+  Result<CachedValue> RwCacheLookup(const std::string& key);
   void FrameBegin();
   FrameOutcome FrameEnd();
   void FrameAbandon();

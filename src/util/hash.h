@@ -1,4 +1,10 @@
 // Hashing utilities: a 64-bit FNV-1a for cache keys and the consistent-hashing ring.
+//
+// Fnv1a(key) is THE key hash of the system (the hash-once contract, see
+// LookupRequest::key_hash): the client computes it once per request and every layer below —
+// ring routing, per-node batch grouping, shard selection, the shard's map probe — reuses the
+// carried value. Consumers that need decorrelated placements derive them by mixing (Mix64,
+// optionally with a seed), never by rehashing the key bytes.
 #ifndef SRC_UTIL_HASH_H_
 #define SRC_UTIL_HASH_H_
 

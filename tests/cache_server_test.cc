@@ -59,7 +59,7 @@ TEST_F(CacheServerTest, InsertThenHit) {
   ASSERT_TRUE(server_.Insert(MakeInsert("k", "v", {10, 20})).ok());
   LookupResponse resp = server_.Lookup(MakeLookup("k", 12, 15));
   ASSERT_TRUE(resp.hit);
-  EXPECT_EQ(resp.value, "v");
+  EXPECT_EQ(resp.value_ref(), "v");
   EXPECT_EQ(resp.interval, (Interval{10, 20}));
   EXPECT_FALSE(resp.still_valid);
 }
@@ -81,10 +81,10 @@ TEST_F(CacheServerTest, MultipleVersionsMostRecentWins) {
   ASSERT_TRUE(server_.Insert(MakeInsert("k", "new", {20, 30})).ok());
   LookupResponse resp = server_.Lookup(MakeLookup("k", 0, 100));
   ASSERT_TRUE(resp.hit);
-  EXPECT_EQ(resp.value, "new") << "most recent matching version preferred";
+  EXPECT_EQ(resp.value_ref(), "new") << "most recent matching version preferred";
   LookupResponse old = server_.Lookup(MakeLookup("k", 12, 15));
   ASSERT_TRUE(old.hit);
-  EXPECT_EQ(old.value, "old");
+  EXPECT_EQ(old.value_ref(), "old");
 }
 
 TEST_F(CacheServerTest, OverlappingInsertIsDroppedAsDuplicate) {
@@ -108,7 +108,7 @@ TEST_F(CacheServerTest, StillValidEntryBoundedByLastInvalidation) {
   ASSERT_TRUE(resp.hit);
   EXPECT_EQ(resp.interval, (Interval{5, 51}));
   EXPECT_TRUE(resp.still_valid);
-  EXPECT_EQ(resp.tags.size(), 1u);
+  EXPECT_EQ(resp.tags_ref().size(), 1u);
 }
 
 TEST_F(CacheServerTest, InvalidationTruncatesMatchingEntry) {
@@ -365,7 +365,7 @@ TEST_F(CacheServerTest, SnapshotRoundtripPreservesEverything) {
   EXPECT_EQ(restored.last_invalidation_ts(), 30u);
   LookupResponse bounded = restored.Lookup(MakeLookup("bounded", 12, 15));
   ASSERT_TRUE(bounded.hit);
-  EXPECT_EQ(bounded.value, "v1");
+  EXPECT_EQ(bounded.value_ref(), "v1");
   LookupResponse live = restored.Lookup(MakeLookup("live", 10, 100));
   ASSERT_TRUE(live.hit);
   EXPECT_TRUE(live.still_valid);

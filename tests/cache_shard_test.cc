@@ -36,10 +36,10 @@ void ExpectSameResponse(const LookupResponse& a, const LookupResponse& b,
                         const std::string& context) {
   ASSERT_EQ(a.hit, b.hit) << context;
   EXPECT_EQ(a.miss, b.miss) << context;
-  EXPECT_EQ(a.value, b.value) << context;
+  EXPECT_EQ(a.value_ref(), b.value_ref()) << context;
   EXPECT_EQ(a.interval, b.interval) << context;
   EXPECT_EQ(a.still_valid, b.still_valid) << context;
-  EXPECT_EQ(a.tags, b.tags) << context;
+  EXPECT_EQ(a.tags_ref(), b.tags_ref()) << context;
 }
 
 // --- StreamSequencer ---------------------------------------------------------
@@ -271,7 +271,7 @@ TEST(CacheCluster, MultiLookupRoutesAndReassembles) {
   for (int k = 0; k < kKeys; ++k) {
     const LookupResponse& resp = resp_or.value().responses[k];
     ASSERT_TRUE(resp.hit) << "item" << k;
-    EXPECT_EQ(resp.value, "val" + std::to_string(k));
+    EXPECT_EQ(resp.value_ref(), "val" + std::to_string(k));
     // Same answer as routing the key individually.
     auto node_or = cluster.NodeForKey(batch.lookups[k].key);
     ASSERT_TRUE(node_or.ok());
@@ -402,7 +402,7 @@ TEST(CacheShard, MultiLookupAllMissBatchClassifiesEveryEntry) {
   for (const LookupResponse& r : resp.responses) {
     EXPECT_FALSE(r.hit);
     EXPECT_EQ(r.miss, MissKind::kCompulsory);
-    EXPECT_TRUE(r.value.empty());
+    EXPECT_TRUE(r.value_ref().empty());
   }
   EXPECT_EQ(server.stats().miss_compulsory, batch.lookups.size());
 }
@@ -453,7 +453,7 @@ TEST(CacheCluster, MultiLookupWithOneNodeDownReroutesAndMisses) {
     const LookupResponse& r = resp_or.value().responses[k];
     if (r.hit) {
       ++hits;
-      EXPECT_EQ(r.value, "val" + std::to_string(k));
+      EXPECT_EQ(r.value_ref(), "val" + std::to_string(k));
     } else {
       ++misses;
       EXPECT_EQ(r.miss, MissKind::kCompulsory) << "rerouted key must miss compulsory on a";

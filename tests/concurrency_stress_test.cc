@@ -361,7 +361,7 @@ TEST(ConcurrencyStress, InvalidationRacingInsertsLeavesNoStaleStillValidVersion)
       req.bounds_hi = kTimestampInfinity;
       LookupResponse resp = server.Lookup(req);
       ASSERT_FALSE(resp.hit) << "stale still-valid version survived the fence: key " << req.key
-                             << " computed_at=" << resp.value << " fence=" << fence_ts;
+                             << " computed_at=" << resp.value_ref() << " fence=" << fence_ts;
       ASSERT_NE(resp.miss, MissKind::kCompulsory) << "key was never inserted: " << req.key;
     }
   }
@@ -520,6 +520,108 @@ TEST(ConcurrencyStress, PincushionParallelAcquireRelease) {
   }
   // (SystemClock time barely advanced, so pins may be too young to sweep; force via count.)
   SUCCEED();
+}
+
+TEST(ConcurrencyStress, ZeroCopyReadersStayStableUnderInvalidationEvictionAndDrain) {
+  // The read fast path under fire (TSan-checked via scripts/check.sh): reader threads hammer
+  // shared-lock lookups and hold on to the zero-copy aliases they get back, while a writer
+  // forces capacity evictions, an invalidator truncates entries through the bus path, and a
+  // stats thread drains the touch buffers via FunctionStats. Every held alias must stay
+  // bitwise stable no matter what happened to its version after the hit — each key's value is
+  // derived from the key, so any torn/recycled buffer is caught by content comparison.
+  SystemClock clock;
+  CacheServer::Options options;
+  // Tight budget: the working set cannot fit, so evictions run continuously.
+  options.capacity_bytes = 48 * 1024;
+  options.num_shards = 4;
+  options.touch_buffer_capacity = 32;  // overflow repeatedly: the drain repair path races too
+  CacheServer server("zerocopy", &clock, options);
+  std::atomic<uint64_t> seqno{1};
+  std::atomic<bool> stop{false};
+
+  constexpr int kKeys = 160;
+  auto value_for = [](int key) {
+    return "VAL(" + std::to_string(key) + ")" + std::string(240, static_cast<char>('a' + key % 23));
+  };
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&server, &value_for, t] {
+      Rng rng(500 + t);
+      // Held aliases deliberately outlive evictions of their versions.
+      std::vector<std::pair<int, std::shared_ptr<const std::string>>> held;
+      for (int i = 0; i < 4000; ++i) {
+        const int key = static_cast<int>(rng.Uniform(0, kKeys - 1));
+        LookupRequest req;
+        req.key = "k" + std::to_string(key);
+        req.bounds_lo = 1;
+        req.bounds_hi = kTimestampInfinity;
+        LookupResponse resp = server.Lookup(req);
+        if (resp.hit) {
+          ASSERT_EQ(*resp.value, value_for(key)) << "hit returned a foreign/torn buffer";
+          if (held.size() < 64) {
+            held.emplace_back(key, resp.value);
+          }
+        }
+        if (held.size() >= 64 || (i % 512 == 511 && !held.empty())) {
+          // Long after the hits (many evictions later), the aliases must be unchanged.
+          for (const auto& [k, v] : held) {
+            ASSERT_EQ(*v, value_for(k)) << "held alias mutated after eviction/invalidation";
+          }
+          held.clear();
+        }
+      }
+    });
+  }
+  std::thread writer([&server, &value_for] {
+    Rng rng(91);
+    for (int i = 0; i < 6000; ++i) {
+      const int key = static_cast<int>(rng.Uniform(0, kKeys - 1));
+      InsertRequest req;
+      req.key = "k" + std::to_string(key);
+      req.value = value_for(key);
+      req.interval = {1, kTimestampInfinity};
+      req.computed_at = 1;
+      req.tags = {InvalidationTag::Concrete("t", "i", std::to_string(key % 12))};
+      req.fill_cost_us = static_cast<uint64_t>(rng.Uniform(0, 2000));
+      Status st = server.Insert(req);
+      ASSERT_TRUE(st.ok() || st.code() == StatusCode::kDeclined) << st.ToString();
+    }
+  });
+  std::thread invalidator([&server, &seqno, &stop] {
+    Rng rng(13);
+    while (!stop.load()) {
+      InvalidationMessage msg;
+      msg.seqno = seqno.fetch_add(1);
+      // Timestamps below every insert's computed_at: truncation machinery runs (tag index,
+      // policy demotion) but values stay servable, keeping the readers' hit rate high.
+      msg.ts = msg.seqno;
+      msg.tags = {InvalidationTag::Concrete("t", "i", std::to_string(rng.Uniform(0, 11)))};
+      server.Deliver(msg);
+      std::this_thread::yield();
+    }
+  });
+  std::thread stats_poller([&server, &stop] {
+    while (!stop.load()) {
+      CacheStats s = server.stats();
+      ASSERT_LE(s.hits, s.lookups);
+      (void)server.FunctionStats();  // exclusive-side drain racing the shared-side readers
+      std::this_thread::yield();
+    }
+  });
+
+  for (std::thread& t : readers) {
+    t.join();
+  }
+  writer.join();
+  stop.store(true);
+  invalidator.join();
+  stats_poller.join();
+
+  // The byte budget held throughout and the accounting did not drift.
+  EXPECT_LE(server.bytes_used(), options.capacity_bytes);
+  const CacheStats s = server.stats();
+  EXPECT_EQ(s.hits + s.misses(), s.lookups);
 }
 
 }  // namespace

@@ -383,7 +383,7 @@ TEST(Membership, MultiLookupDegradesDownNodePositionsToMissesInRequestOrder) {
       EXPECT_EQ(r.miss, MissKind::kNodeUnavailable) << "item" << k;
     } else {
       ASSERT_TRUE(r.hit) << "item" << k;
-      EXPECT_EQ(r.value, "val" + std::to_string(k)) << "request-order reassembly broke";
+      EXPECT_EQ(r.value_ref(), "val" + std::to_string(k)) << "request-order reassembly broke";
     }
   }
   EXPECT_EQ(cluster.TotalStats().nodes_unavailable, static_cast<uint64_t>(b_count));
