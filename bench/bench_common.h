@@ -27,6 +27,14 @@ inline WallClock EnvMeasure(double fallback_s = 8.0) {
   return Seconds(s != nullptr ? std::atof(s) : fallback_s);
 }
 
+// Operation count for the micro benchmarks that iterate a fixed op budget rather than a
+// simulated time window (micro_lookup_hotpath, micro_large_values). check.sh --bench-smoke
+// sets it tiny so every binary still runs end to end in CI time.
+inline uint64_t EnvOps(uint64_t fallback) {
+  const char* s = std::getenv("TXCACHE_BENCH_OPS");
+  return s != nullptr ? static_cast<uint64_t>(std::atoll(s)) : fallback;
+}
+
 // Global time-scale factor: the paper's 7 s think time and 1-120 s staleness axes are scaled
 // down together (default 10x) so short simulated windows exercise the same ratios of staleness
 // to update rate. All printed axis labels are in PAPER seconds; the scaled value actually runs.

@@ -6,6 +6,8 @@
 // 0.2 ms") and the DESIGN.md ablation of bounds-only vs exact pin-set filtering.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+
 #include "src/cache/cache_server.h"
 #include "src/cluster/consistent_hash.h"
 #include "src/core/pin_set.h"
@@ -286,4 +288,48 @@ BENCHMARK(BM_PinSetBoundsOnly)->Arg(4)->Arg(64);
 }  // namespace
 }  // namespace txcache
 
-BENCHMARK_MAIN();
+namespace txcache {
+namespace {
+
+// Console output as usual, plus every run's per-iteration real time captured into
+// BENCH_components.json so the component micro-benchmarks join the cross-PR perf trajectory
+// like the other bench/micro_* binaries.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(bench::BenchJson* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      std::string key = run.benchmark_name() + "_ns";
+      for (char& c : key) {
+        if (c == '/' || c == ':' || c == '"') {
+          c = '_';
+        }
+      }
+      json_->Add(key, run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchJson* json_;
+};
+
+}  // namespace
+}  // namespace txcache
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  txcache::bench::BenchJson json("components");
+  txcache::JsonCapturingReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  json.Write();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,327 @@
+// micro_large_values — size-aware admission + advisory-hint feedback + learned-TTL expiry on
+// a mixed-size workload, against the PR-2 cost-aware baseline at an equal byte budget.
+//
+//  (1) Size-aware admission with the feedback loop (GATED). The workload mixes 256 B page
+//      fragments, 64 KiB listings and rare 4 MB report pages (skewed popularity). Under PR-2
+//      a 4 MB fill is judged only by its function's EWMA benefit-per-byte — the gate has no
+//      concept of per-entry size — so the reports keep getting stored (and churned out),
+//      displacing resident small entries, and the application keeps paying their full
+//      recompute cost on every request. Under PR-5 the max_entry_fraction guard and the
+//      displacement comparison decline them with kDeclinedTooLarge, and the advisory hints
+//      on the decline responses tell the call site its fills are being refused
+//      (decline_rate -> 1); the call site then adapts its fill sizing — rendering the
+//      compact variant of the report, which caches fine — exactly the MAKE-CACHEABLE
+//      feedback loop of the tentpole. GATE: the PR-5 system (size-aware admission + hint
+//      adaptation) pays >= 25% less total recompute cost than PR-2 over the identical
+//      request stream. The admission-only delta (no adaptation on either side) is reported
+//      alongside, un-gated: GreedyDual eviction already self-protects against much of the
+//      large-entry damage, so admission alone is worth ~10-15% here — the feedback loop is
+//      where the tentpole earns its keep.
+//
+//  (2) Learned-TTL expiry (reported, non-gated). A write-hot "volatile" class competes with
+//      a stable class for bytes; the stream truncates volatile entries after ~learned
+//      lifetime. With TTL expiry on, entries resident past slack x learned lifetime are
+//      demoted to stale-first victims and recycled before the invalidation lands, which
+//      trims the truncated-but-resident window that answers present-time probes with
+//      consistency misses. Reported: consistency misses with TTL on vs off (and the hit-rate
+//      cost of the earlier recycling, which is the knob's tradeoff).
+//
+// Results land in BENCH_large_values.json via bench::BenchJson.
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/cache/cache_server.h"
+#include "src/util/clock.h"
+#include "src/util/rng.h"
+#include "src/util/serde.h"
+
+namespace txcache {
+namespace {
+
+// MakeCacheKey-shaped keys so CacheKeyFunction recovers the class name as the profile.
+std::string FnKey(const std::string& function, uint64_t arg) {
+  Writer w;
+  w.PutString(function);
+  w.PutU64(arg);
+  return w.Take();
+}
+
+constexpr size_t kBudget = 8u << 20;  // equal byte budget on both sides
+
+struct MixResult {
+  uint64_t recompute_cost_us = 0;
+  uint64_t hits = 0;
+  uint64_t lookups = 0;
+  uint64_t declined_too_large = 0;
+  uint64_t declined_watermark = 0;
+  uint64_t adapted_fills = 0;  // report requests downgraded to the compact variant
+};
+
+// Runs the identical skewed request stream against `options`, recomputing (and attempting to
+// insert) on every miss, exactly as a TxCacheClient fill loop would. With `adapt` the report
+// call site reads the advisory hints observed on its responses and, once the cache reports
+// declining its fills (decline_rate > 0.5), renders the compact variant instead — the
+// MAKE-CACHEABLE fill-sizing feedback loop.
+MixResult RunMix(CacheServer::Options options, bool adapt, uint64_t ops, uint64_t seed) {
+  ManualClock clock;
+  clock.Set(Seconds(100));
+  options.capacity_bytes = kBudget;
+  options.num_shards = 8;
+  options.policy = EvictionPolicy::kCostAware;
+  CacheServer server("large-values", &clock, options);
+  Rng rng(seed);
+  MixResult out;
+  std::shared_ptr<const AdvisoryHints> report_hints;  // as a client would track per function
+  for (uint64_t i = 0; i < ops; ++i) {
+    clock.Advance(Millis(1));
+    const double roll = rng.UniformReal(0, 1);
+    std::string fn;
+    uint64_t key, cost;
+    size_t bytes;
+    if (roll < 0.02) {
+      // 4 MB report page, rare and rarely repeated: per-byte it can never earn its slice.
+      // An adapted call site renders the compact summary instead (different function,
+      // different cache entry — the page's own choice of fidelity).
+      if (adapt && report_hints != nullptr && report_hints->decline_rate > 0.5) {
+        ++out.adapted_fills;
+        fn = "report_lite";
+        key = rng.Zipf(300, 0.9) - 1;
+        bytes = 4 << 10;
+        cost = 8'000;
+      } else {
+        fn = "report";
+        key = rng.Zipf(300, 0.9) - 1;
+        bytes = 4u << 20;
+        cost = 150'000;
+      }
+    } else if (roll < 0.22) {
+      fn = "listing";
+      key = rng.Zipf(100, 0.9) - 1;
+      bytes = 64 << 10;
+      cost = 5'000;
+    } else {
+      // Near-uniform fragment popularity: residency translates linearly into hit rate, so
+      // bytes wasted on doomed 4 MB fills show up as fragment recomputes.
+      fn = "page_frag";
+      key = static_cast<uint64_t>(rng.Uniform(0, 3599));
+      bytes = 256;
+      cost = 400;
+    }
+    LookupRequest req;
+    req.key = FnKey(fn, key);
+    req.key_hash = Fnv1a(req.key);
+    req.bounds_lo = 1;
+    req.bounds_hi = kTimestampInfinity;
+    ++out.lookups;
+    LookupResponse resp = server.Lookup(req);
+    if (resp.hit) {
+      ++out.hits;
+      if (fn == "report" && resp.hints != nullptr) {
+        report_hints = resp.hints;
+      }
+      continue;
+    }
+    // Miss: pay the recompute, offer the fill. Declines are policy outcomes — the recompute
+    // is already paid either way, which is exactly the cost this benchmark totals.
+    out.recompute_cost_us += cost;
+    InsertRequest ins;
+    ins.key = std::move(req.key);
+    ins.key_hash = req.key_hash;
+    ins.value = std::string(bytes, 'v');
+    ins.interval = {1, kTimestampInfinity};
+    ins.computed_at = 1;
+    ins.fill_cost_us = cost;
+    std::shared_ptr<const AdvisoryHints> hints;
+    Status st = server.Insert(ins, &hints);
+    if (fn == "report" && hints != nullptr) {
+      report_hints = std::move(hints);  // the feedback loop: declines teach the call site
+    }
+    if (st.code() == StatusCode::kDeclinedTooLarge) {
+      ++out.declined_too_large;
+    } else if (st.code() == StatusCode::kDeclined) {
+      ++out.declined_watermark;
+    } else if (!st.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n", st.ToString().c_str());
+      std::exit(2);
+    }
+  }
+  return out;
+}
+
+struct TtlResult {
+  uint64_t miss_consistency = 0;
+  uint64_t hits = 0;
+  uint64_t lookups = 0;
+  uint64_t ttl_demotions = 0;
+};
+
+// TTL experiment: a write-hot "volatile" class (tag groups invalidated on a fixed cadence,
+// ~200 ms realized lifetimes) competes with a never-invalidated "stable" class for a tight
+// budget. Probes run at the present with a trailing staleness window, so a truncated entry
+// still resident classifies as a consistency miss until evicted.
+TtlResult RunTtl(double ttl_expiry_slack, uint64_t ops, uint64_t seed) {
+  ManualClock clock;
+  clock.Set(Seconds(100));
+  CacheServer::Options options;
+  options.capacity_bytes = 2u << 20;
+  options.num_shards = 2;
+  options.policy = EvictionPolicy::kCostAware;
+  options.admission_min_samples = std::numeric_limits<uint64_t>::max();  // isolate TTL
+  options.displacement_check_bytes = std::numeric_limits<size_t>::max();
+  options.lifetime_min_samples = 4;
+  options.ttl_expiry_slack = ttl_expiry_slack;
+  options.sweep_interval_ops = 16;
+  CacheServer server("ttl", &clock, options);
+  Rng rng(seed);
+
+  constexpr uint64_t kStableKeys = 2500;
+  constexpr uint64_t kVolatileKeys = 600;
+  constexpr uint64_t kGroups = 8;
+  constexpr uint64_t kInvalidateEvery = 40;  // group period: 320 ops (= 320 ms)
+  Timestamp now_ts = 1;
+  uint64_t seqno = 1;
+  uint64_t next_group = 0;
+  TtlResult out;
+  for (uint64_t i = 0; i < ops; ++i) {
+    clock.Advance(Millis(1));
+    if (i % kInvalidateEvery == 0) {
+      InvalidationMessage msg;
+      msg.seqno = seqno++;
+      msg.ts = ++now_ts;
+      msg.wallclock = clock.Now();
+      msg.tags = {InvalidationTag::Concrete("t", "i", "g" + std::to_string(next_group))};
+      next_group = (next_group + 1) % kGroups;
+      server.Deliver(msg);
+    }
+    const bool volatile_class = rng.Bernoulli(0.25);
+    const uint64_t key =
+        rng.Zipf(static_cast<int64_t>(volatile_class ? kVolatileKeys : kStableKeys), 0.8) - 1;
+    LookupRequest req;
+    req.key = FnKey(volatile_class ? "volatile" : "stable", key);
+    req.key_hash = Fnv1a(req.key);
+    req.bounds_lo = now_ts;  // present-time probe...
+    req.bounds_hi = kTimestampInfinity;
+    req.fresh_lo = now_ts > 100 ? now_ts - 100 : 0;  // ...with a trailing staleness window
+    ++out.lookups;
+    LookupResponse resp = server.Lookup(req);
+    if (resp.hit) {
+      ++out.hits;
+      continue;
+    }
+    if (resp.miss == MissKind::kConsistency) {
+      ++out.miss_consistency;
+    }
+    InsertRequest ins;
+    ins.key = std::move(req.key);
+    ins.key_hash = req.key_hash;
+    ins.value = std::string(1024, 'v');
+    ins.interval = {now_ts, kTimestampInfinity};
+    ins.computed_at = now_ts;
+    if (volatile_class) {
+      ins.tags = {InvalidationTag::Concrete("t", "i", "g" + std::to_string(key % kGroups))};
+    }
+    ins.fill_cost_us = volatile_class ? 3000 : 1000;
+    Status st = server.Insert(ins);
+    if (!st.ok() && st.code() != StatusCode::kDeclined &&
+        st.code() != StatusCode::kDeclinedTooLarge) {
+      std::fprintf(stderr, "insert failed: %s\n", st.ToString().c_str());
+      std::exit(2);
+    }
+  }
+  out.ttl_demotions = server.stats().ttl_demotions;
+  return out;
+}
+
+}  // namespace
+}  // namespace txcache
+
+int main() {
+  using namespace txcache;
+  const uint64_t ops = bench::EnvOps(60'000);
+
+  std::printf("================================================================\n");
+  std::printf("micro_large_values: size-aware admission + hint feedback + learned TTLs\n");
+  std::printf("mixed 256B/64KiB/4MB skewed mix, %llu ops (TXCACHE_BENCH_OPS), 8 MiB budget\n",
+              static_cast<unsigned long long>(ops));
+  std::printf("================================================================\n");
+
+  // PR-2 baseline: cost-aware watermark only, no size gate, no hints to act on.
+  CacheServer::Options pr2;
+  pr2.max_entry_fraction = 0;
+  pr2.displacement_check_bytes = std::numeric_limits<size_t>::max();
+  // PR-5: the defaults (guard + displacement comparison), with and without the call-site
+  // adaptation the advisory hints enable.
+  CacheServer::Options size_aware;  // defaults
+
+  const MixResult base = RunMix(pr2, /*adapt=*/false, ops, 42);
+  const MixResult aware = RunMix(size_aware, /*adapt=*/false, ops, 42);
+  const MixResult full = RunMix(size_aware, /*adapt=*/true, ops, 42);
+  auto saved_vs_base = [&base](const MixResult& r) {
+    return base.recompute_cost_us == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(r.recompute_cost_us) /
+                           static_cast<double>(base.recompute_cost_us);
+  };
+  auto row = [](const char* name, const MixResult& r) {
+    std::printf("%-34s %10.1f %8.1f%% %9llu %9llu %9llu\n", name,
+                static_cast<double>(r.recompute_cost_us) / 1e6,
+                100.0 * static_cast<double>(r.hits) / static_cast<double>(r.lookups),
+                static_cast<unsigned long long>(r.declined_too_large),
+                static_cast<unsigned long long>(r.declined_watermark),
+                static_cast<unsigned long long>(r.adapted_fills));
+  };
+  std::printf("%-34s %10s %9s %9s %9s %9s\n", "", "rec(s)", "hit", "too-large", "watermark",
+              "adapted");
+  row("PR-2 cost-aware", base);
+  row("PR-5 size-aware (admission only)", aware);
+  row("PR-5 size-aware + hint feedback", full);
+  const double saved_admission = saved_vs_base(aware);
+  const double saved_full = saved_vs_base(full);
+  std::printf("recompute cost saved: admission only %.1f%%, with hint feedback %.1f%%\n",
+              saved_admission * 100.0, saved_full * 100.0);
+
+  // Learned-TTL expiry: consistency misses with the expiry pass on vs off (reported margin,
+  // non-gated), plus the hit-rate cost of recycling entries early.
+  const TtlResult no_ttl = RunTtl(/*ttl_expiry_slack=*/0, ops, 7);
+  const TtlResult ttl = RunTtl(/*ttl_expiry_slack=*/1.0, ops, 7);
+  const double consistency_margin =
+      no_ttl.miss_consistency == 0
+          ? 0
+          : 1.0 - static_cast<double>(ttl.miss_consistency) /
+                      static_cast<double>(no_ttl.miss_consistency);
+  std::printf("\nlearned-TTL expiry: consistency misses %llu -> %llu (%.1f%% fewer), "
+              "%llu demotions, hit rate %.1f%% -> %.1f%%\n",
+              static_cast<unsigned long long>(no_ttl.miss_consistency),
+              static_cast<unsigned long long>(ttl.miss_consistency),
+              consistency_margin * 100.0,
+              static_cast<unsigned long long>(ttl.ttl_demotions),
+              100.0 * static_cast<double>(no_ttl.hits) / static_cast<double>(no_ttl.lookups),
+              100.0 * static_cast<double>(ttl.hits) / static_cast<double>(ttl.lookups));
+
+  bench::BenchJson json("large_values");
+  json.Add("pr2_recompute_cost_s", static_cast<double>(base.recompute_cost_us) / 1e6);
+  json.Add("size_aware_recompute_cost_s",
+           static_cast<double>(aware.recompute_cost_us) / 1e6);
+  json.Add("size_aware_feedback_recompute_cost_s",
+           static_cast<double>(full.recompute_cost_us) / 1e6);
+  json.Add("recompute_saved_admission_only", saved_admission);
+  json.Add("recompute_saved_with_feedback", saved_full);
+  json.Add("pr2_hit_rate", static_cast<double>(base.hits) / static_cast<double>(base.lookups));
+  json.Add("feedback_hit_rate",
+           static_cast<double>(full.hits) / static_cast<double>(full.lookups));
+  json.Add("feedback_adapted_fills", static_cast<double>(full.adapted_fills));
+  json.Add("size_aware_declined_too_large", static_cast<double>(aware.declined_too_large));
+  json.Add("ttl_off_consistency_misses", static_cast<double>(no_ttl.miss_consistency));
+  json.Add("ttl_on_consistency_misses", static_cast<double>(ttl.miss_consistency));
+  json.Add("ttl_consistency_miss_reduction", consistency_margin);
+  json.Add("ttl_demotions", static_cast<double>(ttl.ttl_demotions));
+  json.Write();
+
+  std::printf("\nPR-5 vs PR-2 recompute saving: %.1f%% (target >= 25%%): %s\n",
+              saved_full * 100.0, saved_full >= 0.25 ? "PASS" : "FAIL");
+  return saved_full >= 0.25 || !bench::GateEnabled() ? 0 : 1;
+}

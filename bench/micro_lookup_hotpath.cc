@@ -37,11 +37,6 @@ constexpr size_t kKeys = 2048;
 
 std::string KeyName(size_t k) { return "key-" + std::to_string(k); }
 
-uint64_t EnvOps(uint64_t fallback) {
-  const char* s = std::getenv("TXCACHE_BENCH_OPS");
-  return s != nullptr ? static_cast<uint64_t>(std::atoll(s)) : fallback;
-}
-
 std::unique_ptr<CacheServer> MakeServer(const Clock* clock, size_t shards, ReadPath path,
                                         size_t value_bytes) {
   CacheOptions options;
@@ -132,7 +127,7 @@ double RunThreaded(size_t shards, ReadPath path, size_t value_bytes, uint64_t op
 
 int main() {
   using namespace txcache;
-  const uint64_t ops = EnvOps(400'000);
+  const uint64_t ops = bench::EnvOps(400'000);
 
   std::printf("================================================================\n");
   std::printf("micro_lookup_hotpath: zero-copy shared-lock reads vs copy/exclusive\n");

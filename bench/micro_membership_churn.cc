@@ -214,6 +214,17 @@ int main() {
               static_cast<unsigned long long>(run.join_flushes),
               static_cast<unsigned long long>(run.join_catchups));
 
+  bench::BenchJson json("membership_churn");
+  json.Add("leave_remapped_fraction", remap.fraction);
+  json.Add("leave_remap_bound", 2.0 / kRingNodes);
+  json.Add("steady_hit_rate", steady);
+  json.Add("outage_hit_rate", during);
+  json.Add("recovered_hit_rate", recovered);
+  json.Add("recovered_fraction_of_steady", steady > 0 ? recovered / steady : 0);
+  json.Add("join_flushes", static_cast<double>(run.join_flushes));
+  json.Add("join_catchups", static_cast<double>(run.join_catchups));
+  json.Write();
+
   const bool remap_ok = remap.fraction <= 2.0 / kRingNodes && remap.only_victim_moved;
   const bool degraded = during < steady;  // the outage must actually have cost something
   const bool recovered_ok = recovered >= 0.9 * steady;

@@ -212,6 +212,7 @@ int main() {
   std::printf("%8s %14s %9s %7s %13s %11s\n", "shards", "lookups/s", "speedup", "hit%",
               "truncations", "real us/op");
 
+  bench::BenchJson json("shard_scaling");
   double base = 0;
   double best_speedup = 0;
   for (size_t shards : {size_t{1}, size_t{4}, size_t{16}}) {
@@ -226,7 +227,12 @@ int main() {
     std::printf("%8zu %14.0f %8.2fx %6.1f%% %13llu %11.3f\n", shards, r.lookups_per_s, speedup,
                 r.hit_rate * 100.0, static_cast<unsigned long long>(r.truncations),
                 r.measured_op_us);
+    const std::string cell = "s" + std::to_string(shards);
+    json.Add(cell + "_lookups_per_s", r.lookups_per_s);
+    json.Add(cell + "_hit_rate", r.hit_rate);
   }
+  json.Add("gate_16_shard_speedup", best_speedup);
+  json.Write();
   std::printf("\n16-shard speedup over 1 shard: %.2fx (target >= 3.00x): %s\n", best_speedup,
               best_speedup >= 3.0 ? "PASS" : "FAIL");
   return best_speedup >= 3.0 || !bench::GateEnabled() ? 0 : 1;

@@ -9,6 +9,9 @@
 #   scripts/check.sh --bench-smoke       # additionally Release-build every bench/micro_*
 #                                        # binary and run it with tiny iteration counts, so
 #                                        # benchmarks cannot bit-rot between perf PRs
+#   scripts/check.sh --asan              # additionally build the whole tier-1 suite under
+#                                        # AddressSanitizer+UBSan and run it (alongside the
+#                                        # existing TSan set, which stays thread-focused)
 #   SKIP_TSAN=1 scripts/check.sh         # tier-1 only
 #
 # Also fails fast if any tests/*_test.cc is missing from the registered ctest targets, so a
@@ -18,6 +21,7 @@ cd "$(dirname "$0")/.."
 
 LABELS=""
 BENCH_SMOKE=0
+ASAN=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --labels)
@@ -31,6 +35,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --bench-smoke)
       BENCH_SMOKE=1
+      shift
+      ;;
+    --asan)
+      ASAN=1
       shift
       ;;
     *)
@@ -72,7 +80,7 @@ cmake --build build -j "$JOBS"
 # race-free against the churn thread in concurrency_stress_test.
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_TARGETS=(concurrency_stress_test cache_shard_test cache_eviction_test cache_property_test
-                membership_test cache_readpath_test)
+                membership_test cache_readpath_test cache_admission_sizing_test)
   cmake -B build-tsan -S . -DTXCACHE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
   if [[ -n "$LABELS" ]]; then
@@ -81,6 +89,18 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   else
     (cd build-tsan && ctest --output-on-failure -R "$(IFS='|'; echo "${TSAN_TARGETS[*]}")")
   fi
+fi
+
+# --- AddressSanitizer + UndefinedBehaviorSanitizer pass (opt-in) --------------
+# The full tier-1 test suite, rebuilt with -fsanitize=address,undefined. Complements the
+# TSan pass above: TSan finds races, ASan/UBSan find the lifetime and arithmetic bugs the
+# zero-copy aliasing and multi-MB buffer paths could hide. detect_leaks stays on (default);
+# halt_on_error makes UBSan findings fail the run instead of scrolling past.
+if [[ "$ASAN" == "1" ]]; then
+  cmake -B build-asan -S . -DTXCACHE_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$JOBS"
+  (cd build-asan && UBSAN_OPTIONS=halt_on_error=1 \
+      ctest --output-on-failure -j "$JOBS" ${LABELS:+-L "$LABELS"})
 fi
 
 # --- benchmark smoke (opt-in) -------------------------------------------------

@@ -95,7 +95,9 @@ class CacheCluster {
   }
 
   // Stores one fill on the owning node. kUnavailable (unroutable key, down/joining owner)
-  // means the fill is simply not cached; kDeclined is the admission gate's policy outcome.
+  // means the fill is simply not cached; kDeclined / kDeclinedTooLarge are the admission
+  // gate's policy outcomes. The response carries the owning node's fresh advisory snapshot
+  // for the function (accepts and declines alike).
   InsertResponse Insert(const InsertRequest& req) const {
     CacheServer* server = nullptr;
     Status route = Status::Ok();
@@ -110,7 +112,7 @@ class CacheCluster {
         route = node_or.status();
       }
     }
-    resp.status = server != nullptr ? server->Insert(req) : route;
+    resp.status = server != nullptr ? server->Insert(req, &resp.hints) : route;
     return resp;
   }
 
@@ -210,8 +212,17 @@ class CacheCluster {
                e.ewma_benefit_per_byte * static_cast<double>(e.fills)) /
               static_cast<double>(total_fills);
         }
+        // Learned lifetimes merge weighted by the truncation counts that taught them.
+        const uint64_t total_truncations = m.truncations + e.truncations;
+        if (total_truncations > 0) {
+          m.ewma_lifetime_us = (m.ewma_lifetime_us * static_cast<double>(m.truncations) +
+                                e.ewma_lifetime_us * static_cast<double>(e.truncations)) /
+                               static_cast<double>(total_truncations);
+        }
+        m.truncations = total_truncations;
         m.fills = total_fills;
         m.admission_rejects += e.admission_rejects;
+        m.declined_too_large += e.declined_too_large;
         m.hits += e.hits;
         m.bytes_inserted += e.bytes_inserted;
         m.fill_cost_total_us += e.fill_cost_total_us;

@@ -53,12 +53,14 @@ CacheServer::CacheServer(std::string name, const Clock* clock, Options options)
     : name_(std::move(name)),
       clock_(clock),
       options_(options),
-      sequencer_([this](const InvalidationMessage& msg) { ApplySequenced(msg); }) {
+      sequencer_([this](const InvalidationMessage& msg) { ApplySequenced(msg); }),
+      advisor_(options.lifetime_ewma_alpha, options.lifetime_min_samples,
+               options.max_function_profiles) {
   const size_t n = std::max<size_t>(options_.num_shards, 1);
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<CacheShard>(clock_, options_, &bytes_used_,
-                                                   &touch_ticker_, &aging_floor_));
+                                                   &touch_ticker_, &aging_floor_, &advisor_));
   }
 }
 
@@ -200,7 +202,49 @@ void CacheServer::MultiLookup(const MultiLookupRequest& req, const std::vector<u
   }
 }
 
-Status CacheServer::AdmitInsert(const InsertRequest& req, const std::string& function) {
+double CacheServer::DisplacementCost(size_t bytes_needed) const {
+  // Global eviction order: every stale-listed victim (free) goes before any scored one;
+  // scored victims then charge cheapest-score first. Previews read shards under shared
+  // locks one at a time — best-effort against concurrent mutation, like eviction itself.
+  size_t covered = 0;
+  std::vector<VictimPreview> scored;
+  for (const auto& shard : shards_) {
+    for (VictimPreview& p : shard->PreviewVictims(bytes_needed)) {
+      if (p.stale) {
+        covered += p.bytes;
+      } else {
+        scored.push_back(p);
+      }
+    }
+  }
+  if (covered >= bytes_needed) {
+    return 0.0;  // the fill can be absorbed by evicting already-worthless bytes
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const VictimPreview& a, const VictimPreview& b) { return a.score < b.score; });
+  double cost = 0.0;
+  for (const VictimPreview& p : scored) {
+    if (covered >= bytes_needed) {
+      break;
+    }
+    covered += p.bytes;
+    cost += p.benefit_us;
+  }
+  return cost;
+}
+
+std::shared_ptr<const AdvisoryHints> CacheServer::PublishHintsLocked(
+    const std::string& function, const FunctionProfile& p) {
+  // One advisor lock hop: the learned lifetime is read and the snapshot swapped (only when
+  // something changed) inside a single Publish call.
+  return advisor_.Publish(function, p.ewma_benefit_per_byte,
+                          p.fills == 0 ? 0.0
+                                       : static_cast<double>(p.rejects + p.too_large) /
+                                             static_cast<double>(p.fills));
+}
+
+Status CacheServer::AdmitInsert(const InsertRequest& req, const std::string& function,
+                                std::shared_ptr<const AdvisoryHints>* hints) {
   if (options_.policy != EvictionPolicy::kCostAware) {
     // Plain LRU keeps the PR-1 insert path untouched: no node-global lock, no profiling.
     return Status::Ok();
@@ -209,11 +253,46 @@ Status CacheServer::AdmitInsert(const InsertRequest& req, const std::string& fun
   const double bpb = est_bytes == 0 ? 0.0
                                     : static_cast<double>(req.fill_cost_us) /
                                           static_cast<double>(est_bytes);
+  // One snapshot of the byte usage for the whole decision: pressure and the displacement
+  // `need` below must come from the same load, or a concurrent eviction between two loads
+  // could underflow `need` into a near-2^64 full-cache victim scan and a spurious decline.
+  const size_t used = bytes_used_.load(std::memory_order_relaxed);
+  const bool pressure = used + est_bytes > options_.capacity_bytes;
+
+  // Size-aware gate, judged per entry before the per-function bookkeeping (a declined fill
+  // still updates the profile, so decline_rate hints and EWMAs keep learning).
+  Status size_gate = Status::Ok();
+  const size_t shard_slice = options_.capacity_bytes / std::max<size_t>(shards_.size(), 1);
+  if (options_.max_entry_fraction > 0.0 &&
+      static_cast<double>(est_bytes) >
+          options_.max_entry_fraction * static_cast<double>(shard_slice)) {
+    // The guard: one entry may never monopolize its shard's slice of the byte budget,
+    // benefit notwithstanding — a 4 MB value on an 8 MB slice would make the shard's
+    // residency a coin flip between it and everything else.
+    size_gate = Status::DeclinedTooLarge("entry exceeds max_entry_fraction of a shard slice");
+  } else if (pressure && est_bytes >= options_.displacement_check_bytes) {
+    // Displacement comparison: what this fill would earn (its fill cost — the recompute one
+    // future hit saves) against the summed remaining benefit of the victims its bytes would
+    // displace. The aging floor approximates this for small fills (they displace ~one
+    // victim); a multi-MB fill displaces thousands of entries whose summed benefit the
+    // floor never sees, which is exactly the comparison run here.
+    const size_t need = used + est_bytes - options_.capacity_bytes;
+    const double displaced = DisplacementCost(need);
+    if (displaced > static_cast<double>(req.fill_cost_us)) {
+      size_gate = Status::DeclinedTooLarge("fill benefit below displacement cost");
+    }
+  }
+
   std::lock_guard<std::mutex> lock(fn_mu_);
   auto it = fn_profiles_.find(function);
   if (it == fn_profiles_.end()) {
     if (fn_profiles_.size() >= options_.max_function_profiles) {
-      return Status::Ok();  // over the profile cap: unprofiled functions are always admitted
+      // Over the profile cap: unprofiled functions are never watermark-declined, but the
+      // per-entry size gate still applies (it needs no profile).
+      if (!size_gate.ok()) {
+        admission_rejects_too_large_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return size_gate;
     }
     it = fn_profiles_.emplace(function, FunctionProfile{}).first;
     it->second.ewma_benefit_per_byte = bpb;  // optimistic prior: assume one hit per fill
@@ -222,14 +301,18 @@ Status CacheServer::AdmitInsert(const InsertRequest& req, const std::string& fun
   ++p.fills;
   p.bytes_inserted += est_bytes;
   p.fill_cost_total_us += req.fill_cost_us;
+  if (!size_gate.ok()) {
+    ++p.too_large;
+    admission_rejects_too_large_.fetch_add(1, std::memory_order_relaxed);
+    *hints = PublishHintsLocked(function, p);
+    return size_gate;
+  }
   // Decline only when (a) the node is under byte pressure (this insert forces an eviction),
   // (b) the function has been observed enough to trust its profile, and (c) its realized
   // benefit-per-byte sits below the watermark — a fraction of the aging floor, i.e. of the
   // score entries are currently being evicted at. Such an entry would be evicted almost
   // immediately, so storing it only displaces more valuable bytes.
   const double floor = aging_floor_.load(std::memory_order_relaxed);
-  const bool pressure =
-      bytes_used_.load(std::memory_order_relaxed) + est_bytes > options_.capacity_bytes;
   if (floor > 0.0 && pressure && p.fills > options_.admission_min_samples &&
       p.ewma_benefit_per_byte < floor * options_.admission_watermark_fraction) {
     ++p.rejects;
@@ -238,15 +321,19 @@ Status CacheServer::AdmitInsert(const InsertRequest& req, const std::string& fun
       // Periodic probe: admit anyway so a function whose workload turned hot can re-earn
       // admission through the realized hits of this entry.
       admission_probes_.fetch_add(1, std::memory_order_relaxed);
+      *hints = PublishHintsLocked(function, p);
       return Status::Ok();
     }
     admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+    *hints = PublishHintsLocked(function, p);
     return Status::Declined("benefit-per-byte below admission watermark");
   }
+  *hints = PublishHintsLocked(function, p);
   return Status::Ok();
 }
 
-Status CacheServer::Insert(const InsertRequest& req) {
+Status CacheServer::Insert(const InsertRequest& req,
+                           std::shared_ptr<const AdvisoryHints>* hints_out) {
   if (!CheckServing()) {
     // Refusing fills while down/joining keeps the join barrier simple: nothing enters the
     // cache until the node provably holds the complete invalidation history behind it.
@@ -259,12 +346,17 @@ Status CacheServer::Insert(const InsertRequest& req) {
   std::string function = options_.policy == EvictionPolicy::kCostAware
                              ? CacheKeyFunction(req.key)
                              : std::string();
-  Status admitted = AdmitInsert(req, function);
+  std::shared_ptr<const AdvisoryHints> hints;
+  Status admitted = AdmitInsert(req, function, &hints);
+  if (hints_out != nullptr) {
+    *hints_out = hints;
+  }
   if (!admitted.ok()) {
     return admitted;
   }
   bool sweep_due = false;
-  Status st = ShardForHash(key_hash)->Insert(req, key_hash, std::move(function), &sweep_due);
+  Status st = ShardForHash(key_hash)->Insert(req, key_hash, std::move(function),
+                                             std::move(hints), &sweep_due);
   if (!st.ok()) {
     return st;
   }
@@ -305,9 +397,14 @@ void CacheServer::ApplySequenced(const InvalidationMessage& msg) {
 void CacheServer::SweepAllShards() {
   // The trigger is a per-shard op counter (so skewed traffic still fires), but the sweep
   // itself covers every shard: stale garbage parked in a cold shard would otherwise never be
-  // collected, since cold shards by definition see no ops of their own.
+  // collected, since cold shards by definition see no ops of their own. The learned-lifetime
+  // snapshot for the TTL-expiry pass is taken once here and shared by every shard.
+  CacheShard::LifetimeSnapshot learned;
+  if (options_.policy == EvictionPolicy::kCostAware && options_.ttl_expiry_slack > 0.0) {
+    learned = advisor_.LifetimeSnapshot();
+  }
   for (auto& shard : shards_) {
-    shard->SweepStale();
+    shard->SweepStale(&learned);
   }
 }
 
@@ -379,6 +476,9 @@ void CacheServer::EvictToFit() {
         const double a = options_.benefit_ewma_alpha;
         it->second.ewma_benefit_per_byte =
             a * realized + (1.0 - a) * it->second.ewma_benefit_per_byte;
+        // Keep the published advisory snapshot tracking the fold-back, so clients observing
+        // hints see the same EWMA the admission gate will judge their next fill by.
+        PublishHintsLocked(evicted->function, it->second);
       }
     }
   }
@@ -454,8 +554,10 @@ Status CacheServer::ImportSnapshot(const std::string& snapshot) {
       req.tags.push_back(std::move(tag));
     }
     Status st = Insert(req);
-    if (!st.ok() && st.code() != StatusCode::kDeclined) {
-      // An admission decline is a policy outcome, not a malformed snapshot: skip the entry.
+    if (!st.ok() && st.code() != StatusCode::kDeclined &&
+        st.code() != StatusCode::kDeclinedTooLarge) {
+      // An admission decline (watermark or size gate) is a policy outcome, not a malformed
+      // snapshot: skip the entry.
       return st;
     }
   }
@@ -478,6 +580,8 @@ CacheStats CacheServer::stats() const {
   total.eviction_bytes_reclaimed = eviction_bytes_reclaimed_.load(std::memory_order_relaxed);
   total.admission_rejects = admission_rejects_.load(std::memory_order_relaxed);
   total.admission_probes = admission_probes_.load(std::memory_order_relaxed);
+  total.admission_rejects_too_large =
+      admission_rejects_too_large_.load(std::memory_order_relaxed);
   // Lookups refused while down/joining count as lookups too, so hit_rate() reflects the
   // traffic the node turned away and hits + misses() still equals lookups.
   const uint64_t unavailable = unavailable_misses_.load(std::memory_order_relaxed);
@@ -498,11 +602,22 @@ std::vector<FunctionStatsEntry> CacheServer::FunctionStats() const {
       e.function = name;
       e.fills = p.fills;
       e.admission_rejects = p.rejects;
+      e.declined_too_large = p.too_large;
       e.bytes_inserted = p.bytes_inserted;
       e.fill_cost_total_us = p.fill_cost_total_us;
       e.ewma_benefit_per_byte = p.ewma_benefit_per_byte;
       merged.emplace(name, std::move(e));
     }
+  }
+  for (const auto& [name, lt] : advisor_.LifetimeSnapshot()) {
+    auto it = merged.find(name);
+    if (it == merged.end()) {
+      FunctionStatsEntry e;
+      e.function = name;
+      it = merged.emplace(name, std::move(e)).first;
+    }
+    it->second.truncations = lt.truncations;
+    it->second.ewma_lifetime_us = lt.ewma_lifetime_us;
   }
   for (const auto& shard : shards_) {
     for (const auto& [name, hits] : shard->FunctionHits()) {
@@ -536,6 +651,7 @@ void CacheServer::ResetStats() {
   eviction_bytes_reclaimed_.store(0, std::memory_order_relaxed);
   admission_rejects_.store(0, std::memory_order_relaxed);
   admission_probes_.store(0, std::memory_order_relaxed);
+  admission_rejects_too_large_.store(0, std::memory_order_relaxed);
   unavailable_misses_.store(0, std::memory_order_relaxed);
   join_catchups_.store(0, std::memory_order_relaxed);
   join_flushes_.store(0, std::memory_order_relaxed);

@@ -77,10 +77,14 @@ class CacheServer : public InvalidationSubscriber {
   void MultiLookup(const MultiLookupRequest& req, const std::vector<uint32_t>& indices,
                    MultiLookupResponse* out);
   // Stores one filled result. Under the cost-aware policy an insert may be refused by the
-  // admission gate (StatusCode::kDeclined): the node is at capacity and the owning function's
-  // observed benefit-per-byte sits below the adaptive watermark, so caching it would only
-  // displace more valuable bytes. Declined is a policy outcome, not an error.
-  Status Insert(const InsertRequest& req);
+  // admission gate: kDeclined when the owning function's observed benefit-per-byte sits below
+  // the adaptive watermark, kDeclinedTooLarge when the entry fails the size-aware gate (it
+  // exceeds its shard's max_entry_fraction slice, or — at byte pressure, for fills >=
+  // displacement_check_bytes — its benefit loses to the summed benefit of the victims its
+  // bytes would displace). Both are policy outcomes, not errors. `hints_out`, when non-null,
+  // receives the function's fresh advisory snapshot (accepts and declines alike).
+  Status Insert(const InsertRequest& req) { return Insert(req, nullptr); }
+  Status Insert(const InsertRequest& req, std::shared_ptr<const AdvisoryHints>* hints_out);
 
   // InvalidationSubscriber: called by the bus (possibly out of order in tests/simulation).
   // Messages are dropped while the node is kDown — a crashed process loses them, which is
@@ -154,7 +158,8 @@ class CacheServer : public InvalidationSubscriber {
   // Admission bookkeeping per function. `hits` lives shard-side; everything else here.
   struct FunctionProfile {
     uint64_t fills = 0;
-    uint64_t rejects = 0;  // watermark triggers (a probe still counts as a trigger)
+    uint64_t rejects = 0;    // watermark triggers (a probe still counts as a trigger)
+    uint64_t too_large = 0;  // size-aware declines (guard or lost displacement comparison)
     uint64_t bytes_inserted = 0;
     uint64_t fill_cost_total_us = 0;
     double ewma_benefit_per_byte = 0.0;
@@ -171,9 +176,18 @@ class CacheServer : public InvalidationSubscriber {
   // version with the globally lowest benefit-per-byte score; each eviction folds the victim's
   // realized benefit back into its function's admission profile.
   void EvictToFit();
-  // Returns kDeclined when the admission gate refuses this fill; Ok to proceed. `function` is
-  // CacheKeyFunction(req.key), parsed once by Insert and reused here and shard-side.
-  Status AdmitInsert(const InsertRequest& req, const std::string& function);
+  // Returns kDeclined / kDeclinedTooLarge when the admission gate refuses this fill; Ok to
+  // proceed. `function` is CacheKeyFunction(req.key), parsed once by Insert and reused here
+  // and shard-side. `*hints` receives the function's freshly published advisory snapshot.
+  Status AdmitInsert(const InsertRequest& req, const std::string& function,
+                     std::shared_ptr<const AdvisoryHints>* hints);
+  // Summed remaining benefit (µs) of the victims the policy would evict to free
+  // `bytes_needed`: every stale-listed victim is free; scored victims charge
+  // max(0, score - aging floor) x bytes, cheapest first across all shards.
+  double DisplacementCost(size_t bytes_needed) const;
+  // Builds and publishes the function's advisory snapshot from its profile (fn_mu_ held).
+  std::shared_ptr<const AdvisoryHints> PublishHintsLocked(const std::string& function,
+                                                          const FunctionProfile& p);
   // True iff the node may answer requests. Promotes kJoining to kServing when the sequencer
   // has reached the join target (the barrier drops itself as catch-up completes).
   bool CheckServing();
@@ -204,9 +218,14 @@ class CacheServer : public InvalidationSubscriber {
   std::atomic<uint64_t> eviction_bytes_reclaimed_{0};
   std::atomic<uint64_t> admission_rejects_{0};
   std::atomic<uint64_t> admission_probes_{0};
+  std::atomic<uint64_t> admission_rejects_too_large_{0};
 
   mutable std::mutex fn_mu_;
   std::unordered_map<std::string, FunctionProfile> fn_profiles_;
+  // Node-global TTL learning and advisory-hint snapshots, shared with the shards. Declared
+  // after the profile map only for grouping; it guards itself with a leaf mutex (lock order:
+  // fn_mu_ or a shard lock may be held when calling in, never the reverse).
+  FunctionAdvisor advisor_;
 
   // Messages applied in order (counted once per message, not per shard).
   std::atomic<uint64_t> invalidation_messages_{0};

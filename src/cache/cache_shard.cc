@@ -34,12 +34,13 @@ Timestamp FirstAfter(const std::vector<Timestamp>& history, Timestamp after) {
 
 CacheShard::CacheShard(const Clock* clock, const CacheOptions& options,
                        std::atomic<size_t>* global_bytes, std::atomic<uint64_t>* touch_ticker,
-                       std::atomic<double>* aging_floor)
+                       std::atomic<double>* aging_floor, FunctionAdvisor* advisor)
     : clock_(clock),
       options_(options),
       global_bytes_(global_bytes),
       touch_ticker_(touch_ticker),
       aging_floor_(aging_floor),
+      advisor_(advisor),
       touch_buffer_(options.touch_buffer_capacity) {}
 
 CacheShard::~CacheShard() = default;
@@ -106,6 +107,10 @@ void CacheShard::DrainTouchesLocked() {
     drain_scratch_.push_back(touch_buffer_.slot(i));
   }
   touch_buffer_.Reset();
+  // Advisory-hint refresh, one advisor probe per DISTINCT function in the batch (a hot batch
+  // is typically many versions of few functions — per-version probes would serialize every
+  // shard's drains on the advisor's node-global mutex).
+  std::unordered_map<std::string_view, std::shared_ptr<const AdvisoryHints>> hint_batch;
   // Unique versions, oldest current tick first: splicing to the front in ascending-tick order
   // leaves lru_ fully sorted by last touch. This is exact because nothing can still be in
   // flight — a producer holds the shared lock across both its tick assignment and its Record,
@@ -126,6 +131,15 @@ void CacheShard::DrainTouchesLocked() {
       // + benefit-per-byte) is identical either way.
       score_index_.erase(v->score_it);
       AddToScoreIndexLocked(v);
+    }
+    if (cost_aware() && advisor_ != nullptr && !v->function.empty()) {
+      // Refresh the advisory snapshot a hit hands out; the shared-lock hit path itself
+      // stays probe-free (it only copies the shared_ptr stamped here).
+      auto it = hint_batch.find(v->function);
+      if (it == hint_batch.end()) {
+        it = hint_batch.emplace(v->function, advisor_->Hints(v->function)).first;
+      }
+      v->hints = it->second;
     }
     AttributeHitsLocked(v);
   }
@@ -277,6 +291,7 @@ LookupResponse CacheShard::LookupShared(const LookupRequest& req, uint64_t key_h
   }
   resp.hit = true;
   resp.value = best->value;  // aliases the resident buffer: refcount bump, zero byte copies
+  resp.hints = best->hints;  // advisory snapshot, same aliasing discipline
   resp.fill_cost_us = best->fill_cost_us;
   resp.still_valid = best->still_valid;
   if (best->still_valid) {
@@ -309,6 +324,7 @@ LookupResponse CacheShard::LookupExclusive(const LookupRequest& req, uint64_t ke
   }
   resp.hit = true;
   resp.value = std::make_shared<const std::string>(*best->value);
+  resp.hints = best->hints;
   resp.fill_cost_us = best->fill_cost_us;
   resp.still_valid = best->still_valid;
   if (best->still_valid) {
@@ -326,7 +342,7 @@ bool CacheShard::CountOpLocked() {
 }
 
 Status CacheShard::Insert(const InsertRequest& req, uint64_t key_hash, std::string function,
-                          bool* sweep_due) {
+                          std::shared_ptr<const AdvisoryHints> hints, bool* sweep_due) {
   std::unique_lock<InstrumentedSharedMutex> lock(mu_);
   DrainTouchesLocked();
   if (req.interval.empty()) {
@@ -394,6 +410,8 @@ Status CacheShard::Insert(const InsertRequest& req, uint64_t key_hash, std::stri
                             std::memory_order_relaxed);
   version->fill_cost_us = req.fill_cost_us;
   version->function = std::move(function);
+  version->inserted_wallclock = clock_->Now();
+  version->hints = std::move(hints);
 
   version->key = &map_it->first;
   lru_.push_front(version.get());
@@ -468,10 +486,25 @@ void CacheShard::TruncateLocked(Version* v, Timestamp ts, WallClock wallclock) {
   v->interval.upper = ts;
   v->invalidated_wallclock = wallclock;
   if (cost_aware()) {
-    // The version can now only serve pinned old snapshots: demote it from the score index to
-    // the stale list, where the capacity policy evicts it before any still-valid entry.
-    DetachPolicyStateLocked(v);
-    AddToStaleListLocked(v);
+    if (advisor_ != nullptr && !v->function.empty()) {
+      // TTL learning: the stream just revealed how long this function's result actually
+      // stayed valid while resident. (Insert-time truncations never reach here — they carry
+      // no residency interval worth learning from.)
+      const WallClock lived = wallclock > v->inserted_wallclock
+                                  ? wallclock - v->inserted_wallclock
+                                  : WallClock{0};
+      advisor_->ObserveLifetime(v->function, static_cast<uint64_t>(lived));
+    }
+    if (v->ttl_demoted) {
+      // Already parked in the stale list by learned-TTL expiry — the prediction just came
+      // true. Keep its (earlier) stale position; it is now genuinely stale.
+      v->ttl_demoted = false;
+    } else {
+      // The version can now only serve pinned old snapshots: demote it from the score index
+      // to the stale list, where the capacity policy evicts it before any still-valid entry.
+      DetachPolicyStateLocked(v);
+      AddToStaleListLocked(v);
+    }
   }
   ++stats_.invalidation_truncations;
 }
@@ -560,6 +593,37 @@ std::optional<EvictionCandidate> CacheShard::PeekVictim() const {
   return c;
 }
 
+std::vector<VictimPreview> CacheShard::PreviewVictims(size_t bytes_needed) const {
+  std::shared_lock<InstrumentedSharedMutex> lock(mu_);
+  std::vector<VictimPreview> out;
+  const double floor = aging_floor_->load(std::memory_order_relaxed);
+  size_t covered = 0;
+  // This shard's own eviction order: the stale list front-to-back (all stale victims
+  // precede all scored ones node-globally), then the score index ascending.
+  for (const Version* v : stale_lru_) {
+    if (covered >= bytes_needed) {
+      return out;
+    }
+    VictimPreview p;
+    p.stale = true;
+    p.bytes = v->bytes;
+    out.push_back(p);  // benefit 0: stale-listed bytes are free to displace
+    covered += v->bytes;
+  }
+  for (const auto& [score, v] : score_index_) {
+    if (covered >= bytes_needed) {
+      break;
+    }
+    VictimPreview p;
+    p.score = score;
+    p.bytes = v->bytes;
+    p.benefit_us = std::max(0.0, score - floor) * static_cast<double>(v->bytes);
+    out.push_back(p);
+    covered += v->bytes;
+  }
+  return out;
+}
+
 std::optional<EvictedVersion> CacheShard::EvictOne() {
   std::unique_lock<InstrumentedSharedMutex> lock(mu_);
   // Apply pending touches first: within this shard the eviction decision is then exact with
@@ -609,10 +673,54 @@ std::unordered_map<std::string, uint64_t> CacheShard::FunctionHits() {
   return fn_hits_;
 }
 
-void CacheShard::SweepStale() {
+void CacheShard::SweepStale(const LifetimeSnapshot* learned) {
+  const bool ttl_enabled =
+      cost_aware() && advisor_ != nullptr && options_.ttl_expiry_slack > 0.0;
+  // Snapshot (when the caller did not) BEFORE taking the exclusive lock: the advisor is a
+  // node-global mutex, and the all-shards sweep passes one shared snapshot precisely so the
+  // copy is not re-made under every shard's lock.
+  LifetimeSnapshot own;
+  if (ttl_enabled && learned == nullptr) {
+    own = advisor_->LifetimeSnapshot();
+    learned = &own;
+  }
   std::unique_lock<InstrumentedSharedMutex> lock(mu_);
   DrainTouchesLocked();
   SweepStaleLocked();
+  if (ttl_enabled) {
+    DemoteTtlExpiredLocked(*learned);
+  }
+}
+
+void CacheShard::DemoteTtlExpiredLocked(const LifetimeSnapshot& learned) {
+  // Scan the score index: only still-valid, score-indexed versions are demotion candidates.
+  if (learned.empty()) {
+    return;
+  }
+  const WallClock now = clock_->Now();
+  std::vector<Version*> expired;
+  for (const auto& [_, v] : score_index_) {
+    if (v->function.empty()) {
+      continue;
+    }
+    auto it = learned.find(v->function);
+    if (it == learned.end() || it->second.truncations < options_.lifetime_min_samples) {
+      continue;  // lifetime not learned yet: never demote on guesswork
+    }
+    const double limit = options_.ttl_expiry_slack * it->second.ewma_lifetime_us;
+    if (static_cast<double>(now - v->inserted_wallclock) > limit) {
+      expired.push_back(v);
+    }
+  }
+  for (Version* v : expired) {
+    // Eviction preference only: the version stays registered in the tag index and keeps
+    // serving hits with its true validity until genuinely truncated or evicted. Demotion is
+    // sticky — later hits do not re-promote it (monotone, like real staleness).
+    DetachPolicyStateLocked(v);
+    AddToStaleListLocked(v);
+    v->ttl_demoted = true;
+    ++stats_.ttl_demotions;
+  }
 }
 
 void CacheShard::SweepStaleLocked() {

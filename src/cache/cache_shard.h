@@ -45,6 +45,7 @@
 
 #include "src/bus/invalidation.h"
 #include "src/cache/cache_types.h"
+#include "src/cache/function_advisor.h"
 #include "src/util/clock.h"
 #include "src/util/hash.h"
 #include "src/util/serde.h"
@@ -73,11 +74,26 @@ struct EvictionCandidate {
   uint64_t tick = 0;  // tie-break: older touch evicted first
 };
 
+// One victim of a hypothetical eviction, as previewed by the size-aware admission gate. The
+// frontend pools stale previews (their relative order cannot change the sum of zero-benefit
+// bytes), then merges scored previews cheapest-score first, summing `benefit_us` until the
+// candidate fill's bytes are covered — the fill's displacement cost.
+struct VictimPreview {
+  bool stale = false;      // listed stale (closed interval or TTL-demoted): evicted first
+  double score = 0.0;      // eviction order among scored victims
+  size_t bytes = 0;
+  // Remaining benefit: max(0, score - aging floor) * bytes for scored victims — the µs of
+  // recompute the entry is still expected to save beyond what the policy would already evict
+  // at. Stale-listed victims are worthless by definition (they can only serve pinned old
+  // snapshots), so displacing them is free.
+  double benefit_us = 0.0;
+};
+
 class CacheShard {
  public:
   CacheShard(const Clock* clock, const CacheOptions& options,
              std::atomic<size_t>* global_bytes, std::atomic<uint64_t>* touch_ticker,
-             std::atomic<double>* aging_floor);
+             std::atomic<double>* aging_floor, FunctionAdvisor* advisor);
   ~CacheShard();
 
   // Byte cost a version created from `req` would be charged against the node budget. Public so
@@ -95,18 +111,25 @@ class CacheShard {
   void LookupBatch(const MultiLookupRequest& req, const std::vector<uint32_t>& indices,
                    MultiLookupResponse* out);
   // `function` is CacheKeyFunction(req.key), parsed once by the frontend (empty under plain
-  // LRU, which never uses it). `*sweep_due` is set when this shard's mutating-op counter
-  // crossed the sweep interval; the caller (frontend) then sweeps all shards without any
-  // shard lock held.
+  // LRU, which never uses it); `hints` is the function's current advisory snapshot, stamped
+  // on the stored version so the zero-copy hit path can serve it without a map probe.
+  // `*sweep_due` is set when this shard's mutating-op counter crossed the sweep interval;
+  // the caller (frontend) then sweeps all shards without any shard lock held.
   Status Insert(const InsertRequest& req, uint64_t key_hash, std::string function,
-                bool* sweep_due);
+                std::shared_ptr<const AdvisoryHints> hints, bool* sweep_due);
 
   // Applies one invalidation message. The caller (the node's sequencer sink) guarantees
   // strict seqno order and no concurrent invocations.
   void ApplyInvalidation(const InvalidationMessage& msg, bool* sweep_due);
 
-  // Eager eviction of versions invalidated longer ago than any staleness limit accepts.
-  void SweepStale();
+  // Per-function learned-lifetime snapshot, shared across one sweep pass.
+  using LifetimeSnapshot = std::unordered_map<std::string, FunctionAdvisor::LifetimeEntry>;
+
+  // Eager eviction of versions invalidated longer ago than any staleness limit accepts,
+  // followed by the TTL-expiry demotion pass. `learned` is the advisor snapshot the caller
+  // took once for the whole all-shards sweep (null: this shard snapshots for itself —
+  // standalone callers, tests).
+  void SweepStale(const LifetimeSnapshot* learned = nullptr);
 
   // Node-global eviction support. Under kLru the frontend compares OldestTick across shards
   // and evicts from the globally least-recently-used tail; under kCostAware it compares
@@ -118,6 +141,12 @@ class CacheShard {
   std::optional<uint64_t> OldestTick() const;
   std::optional<EvictionCandidate> PeekVictim() const;
   std::optional<EvictedVersion> EvictOne();
+  // Size-aware admission support: the victims this shard would offer, in its own eviction
+  // order (stale list front-to-back, then score index ascending), until their summed bytes
+  // reach `bytes_needed` or the shard runs out. Shared-lock read against possibly-undrained
+  // touches — best-effort, like PeekVictim; the admission decision it feeds is a policy
+  // heuristic, never a correctness question.
+  std::vector<VictimPreview> PreviewVictims(size_t bytes_needed) const;
 
   // Per-function hit counters (attributed at touch-buffer drain time from the function name
   // stored on each version), merged by the frontend into FunctionStats(). Drains pending
@@ -169,11 +198,16 @@ class CacheShard {
     const std::string* key = nullptr;       // points at the map node's key (stable)
     std::string function;                   // CacheKeyFunction(key); empty under kLru
     std::list<Version*>::iterator lru_it;   // position in lru_
+    WallClock inserted_wallclock = 0;       // TTL learning: residency start
+    // Advisory snapshot of the function's hints, stamped at insert and refreshed at drain
+    // (exclusive-lock writes only; the shared-lock hit path copies the shared_ptr).
+    std::shared_ptr<const AdvisoryHints> hints;
 
     // Cost-aware policy state. A resident version is in exactly one of the two structures:
     // still-valid versions carry a GreedyDual-style score (aging floor + fill_cost/bytes,
     // refreshed at drain time for every hit batch) in score_index_; closed-interval versions
-    // sit in stale_lru_ in the order they went stale and are evicted first.
+    // — plus still-valid versions demoted for outliving their function's learned lifetime
+    // (ttl_demoted) — sit in stale_lru_ in the order they went stale and are evicted first.
     uint64_t fill_cost_us = 0;
     uint64_t attributed_hits = 0;  // hit_count already folded into fn_hits_ (drain-side)
     double score = 0.0;
@@ -181,6 +215,7 @@ class CacheShard {
     std::list<Version*>::iterator stale_it;              // valid iff in_stale_list
     bool in_score_index = false;
     bool in_stale_list = false;
+    bool ttl_demoted = false;  // in stale_lru_ while still_valid (learned-TTL expiry)
     uint64_t stale_seq = 0;  // node-global ordinal taken when listed stale
   };
 
@@ -263,6 +298,11 @@ class CacheShard {
   // remove a version (the buffer holds raw Version pointers).
   void DrainTouchesLocked();
   void SweepStaleLocked();
+  // TTL-expiry pass (cost-aware only): demotes still-valid versions that outlived
+  // slack x their function's learned lifetime from the score index to the stale list.
+  // Validity is untouched — this is an eviction preference, so the no-resurrect/no-widen
+  // property holds trivially across demotions.
+  void DemoteTtlExpiredLocked(const LifetimeSnapshot& learned);
   void RecordHistoryLocked(const InvalidationMessage& msg);
   // Earliest invalidation affecting `tags` with timestamp > after; kTimestampInfinity if none.
   Timestamp EarliestInvalidationAfterLocked(const std::vector<InvalidationTag>& tags,
@@ -281,6 +321,7 @@ class CacheShard {
   std::atomic<size_t>* const global_bytes_;    // shared across the node's shards
   std::atomic<uint64_t>* const touch_ticker_;  // shared monotone LRU clock
   std::atomic<double>* const aging_floor_;     // shared GreedyDual aging value (max evicted score)
+  FunctionAdvisor* const advisor_;             // node-global TTL learning + hint snapshots
 
   // Readers (Lookup, LookupBatch, PeekVictim, OldestTick, stats, ExportEntries, counters)
   // take the shared side; every mutation takes the exclusive side. The instrumentation backs

@@ -46,6 +46,27 @@ enum class MissKind : uint8_t {
 
 const char* MissKindName(MissKind kind);
 
+// Advisory per-function feedback the cache attaches to its responses (automatic-management
+// feedback loop). Strictly advisory: a client may use hints to size fills, skip fills it
+// expects to be declined, or pace re-fetches of short-lived results — but it must NOT derive
+// validity from them. Consistency comes only from validity intervals and the invalidation
+// stream; hints are allowed to be stale, partial, or absent at any time, and a client that
+// ignores them is always correct.
+struct AdvisoryHints {
+  // EWMA of the function's realized lifetime (wall-clock µs from insert until the
+  // invalidation stream truncated the entry). Zero until the serving node has observed
+  // enough truncations to trust the estimate. A caller re-fetching faster than this is
+  // mostly refreshing bytes the stream is about to kill anyway.
+  uint64_t learned_lifetime_us = 0;
+  // The function's EWMA benefit-per-byte at the serving node (µs of recompute saved per
+  // byte), the same quantity the admission watermark judges.
+  double observed_bpb = 0.0;
+  // Fraction of this function's fills the node refused to store (watermark declines plus
+  // size-aware declines, probes included). A rate near 1 means fills of this shape are
+  // wasted work: shrink them or stop offering them.
+  double decline_rate = 0.0;
+};
+
 struct LookupResponse {
   bool hit = false;
   MissKind miss = MissKind::kNone;
@@ -71,6 +92,11 @@ struct LookupResponse {
   // rules as `value`). A cacheable function that consumed this value inherits them, so its
   // own cached result is invalidated when this one would be (§6.3). Null when absent.
   std::shared_ptr<const std::vector<InvalidationTag>> tags;
+  // Advisory hints for the hit entry's function, aliasing the node's latest published
+  // snapshot (refreshed on the entry's next deferred-touch drain, so a hot hit may carry a
+  // slightly stale snapshot — hints are advisory, see AdvisoryHints). Null on misses, under
+  // plain LRU, and for unprofiled functions.
+  std::shared_ptr<const AdvisoryHints> hints;
 
   // Borrow-style accessors for callers that just want to read the payload.
   const std::string& value_ref() const {
@@ -120,6 +146,10 @@ struct InsertRequest {
 struct InsertResponse {
   Status status;
   uint64_t ring_epoch = 0;
+  // Advisory hints for the inserted function, fresh as of this admission decision (attached
+  // to accepts AND declines — a declined caller is exactly the one that should adapt its
+  // fill sizing). Null when the node keeps no profile for the function.
+  std::shared_ptr<const AdvisoryHints> hints;
 };
 
 // The function-name prefix of a cache key built by MakeCacheKey (length-prefixed serde
@@ -205,6 +235,33 @@ struct CacheOptions {
   // ad-hoc keys (each its own accounting bucket) cannot grow the side maps without bound.
   // Functions beyond the cap are simply not profiled — and never declined.
   size_t max_function_profiles = 4096;
+
+  // --- size-aware admission ---
+  // No single entry may exceed this fraction of one shard's slice of the byte budget
+  // (capacity_bytes / num_shards): a multi-MB value that would monopolize its shard is
+  // declined kDeclinedTooLarge regardless of benefit. <= 0 disables the guard.
+  double max_entry_fraction = 0.5;
+  // Fills at least this large additionally run the displacement comparison when the node is
+  // at byte pressure: the fill's benefit (its fill cost — what a future hit would save) is
+  // compared against the summed remaining benefit of the victims its bytes would displace,
+  // and a fill that loses is declined kDeclinedTooLarge. Small fills keep the cheaper
+  // watermark-only gate (they displace at most ~one victim, which the aging floor already
+  // approximates); SIZE_MAX disables the comparison entirely (the PR-2 behavior).
+  size_t displacement_check_bytes = 16 << 10;
+
+  // --- per-function TTL learning ---
+  // EWMA smoothing for realized lifetimes (wall clock from insert until the invalidation
+  // stream truncates the entry), learned per CacheKeyFunction.
+  double lifetime_ewma_alpha = 0.3;
+  // A function's learned lifetime is advisory-only (zero) until this many truncations have
+  // been observed — young functions must not be TTL-demoted off one unlucky sample.
+  uint64_t lifetime_min_samples = 4;
+  // A still-valid entry resident longer than slack x its function's learned lifetime is
+  // demoted (at the next staleness sweep) to a stale-first eviction candidate: the stream
+  // will almost certainly kill it soon, so under capacity pressure it goes before younger
+  // entries. Demotion never touches the entry's validity — it still serves hits with its
+  // true interval until genuinely invalidated or evicted. <= 0 disables TTL demotion.
+  double ttl_expiry_slack = 1.5;
 };
 
 // Per-function cost/benefit profile surfaced through CacheServer::FunctionStats(). `hits` is
@@ -217,10 +274,17 @@ struct FunctionStatsEntry {
   // probes. The node-level CacheStats::admission_rejects counts only actual declines, so the
   // two differ by exactly the probe count.
   uint64_t admission_rejects = 0;
+  // Size-aware declines (max_entry_fraction guard or lost displacement comparison).
+  uint64_t declined_too_large = 0;
   uint64_t hits = 0;
   uint64_t bytes_inserted = 0;   // estimated bytes of all attempted fills
   uint64_t fill_cost_total_us = 0;
   double ewma_benefit_per_byte = 0.0;  // µs of recompute saved per byte-lifetime, smoothed
+  // TTL learning: stream truncations observed for this function and the EWMA of the
+  // realized lifetimes they revealed (wall-clock µs from insert to truncation). Zero
+  // truncations means the function has never been invalidated while resident.
+  uint64_t truncations = 0;
+  double ewma_lifetime_us = 0.0;
 };
 
 struct CacheStats {
@@ -244,6 +308,13 @@ struct CacheStats {
   uint64_t eviction_bytes_reclaimed = 0;  // bytes freed by capacity evictions (all policies)
   uint64_t admission_rejects = 0;  // fills declined by the benefit-per-byte watermark
   uint64_t admission_probes = 0;   // fills of rejected functions admitted as re-measurement probes
+  // Size-aware admission declines (kDeclinedTooLarge): the entry exceeded its shard's
+  // max_entry_fraction slice, or its benefit lost the displacement comparison against the
+  // victims it would evict. Counted separately from the watermark's admission_rejects.
+  uint64_t admission_rejects_too_large = 0;
+  // Still-valid versions demoted to stale-first eviction candidates because they outlived
+  // their function's learned lifetime (validity untouched; eviction preference only).
+  uint64_t ttl_demotions = 0;
   uint64_t reorder_buffered = 0;  // out-of-order stream messages held back
   // Membership churn: lookups answered as misses because the owning node was down, joining,
   // or unroutable (counted by the refusing node and by cluster routing), plus how each rejoin
@@ -289,6 +360,7 @@ struct CacheStats {
         &CacheStats::evictions_stale, &CacheStats::evictions_capacity_stale,
         &CacheStats::evictions_cost, &CacheStats::eviction_bytes_reclaimed,
         &CacheStats::admission_rejects, &CacheStats::admission_probes,
+        &CacheStats::admission_rejects_too_large, &CacheStats::ttl_demotions,
         &CacheStats::reorder_buffered, &CacheStats::nodes_unavailable,
         &CacheStats::join_catchups, &CacheStats::join_flushes};
     for (auto field : fields) {

@@ -1,0 +1,141 @@
+// Node-level per-function learning shared between the CacheServer frontend and its shards:
+// realized-lifetime EWMAs (TTL learning) and the latest published AdvisoryHints snapshot per
+// CacheKeyFunction.
+//
+// Shards report a realized lifetime whenever the invalidation stream truncates a still-valid
+// entry (wall clock from insert to truncation); the staleness sweep asks for the learned value
+// to demote entries that outlived it to stale-first eviction candidates. The frontend publishes
+// an AdvisoryHints snapshot on every admission decision and eviction fold-back; shards stamp
+// the current snapshot onto versions at insert and refresh it at deferred-touch drains, so the
+// zero-copy hit path serves hints with one shared_ptr copy and zero map probes.
+//
+// Locking: one leaf mutex. Callers may hold a shard lock or the frontend's profile mutex when
+// calling in; the advisor never calls out, so no ordering cycle is possible. All methods are
+// off the lookup hot path (truncation, sweep, insert, drain, stats).
+#ifndef SRC_CACHE_FUNCTION_ADVISOR_H_
+#define SRC_CACHE_FUNCTION_ADVISOR_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/cache/cache_types.h"
+
+namespace txcache {
+
+class FunctionAdvisor {
+ public:
+  struct LifetimeEntry {
+    uint64_t truncations = 0;    // stream truncations observed (EWMA sample count)
+    double ewma_lifetime_us = 0.0;
+  };
+
+  FunctionAdvisor(double ewma_alpha, uint64_t min_samples, size_t max_entries)
+      : alpha_(ewma_alpha), min_samples_(min_samples), max_entries_(max_entries) {}
+
+  FunctionAdvisor(const FunctionAdvisor&) = delete;
+  FunctionAdvisor& operator=(const FunctionAdvisor&) = delete;
+
+  // One realized lifetime observation: the invalidation stream truncated a still-valid entry
+  // of `fn` that had been resident for `lifetime_us` of wall-clock time.
+  void ObserveLifetime(const std::string& fn, uint64_t lifetime_us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry* e = FindOrCreateLocked(fn);
+    if (e == nullptr) {
+      return;  // over the cap: unprofiled functions learn nothing (and are never demoted)
+    }
+    ++e->lifetime.truncations;
+    e->lifetime.ewma_lifetime_us =
+        e->lifetime.truncations == 1
+            ? static_cast<double>(lifetime_us)
+            : alpha_ * static_cast<double>(lifetime_us) +
+                  (1.0 - alpha_) * e->lifetime.ewma_lifetime_us;
+  }
+
+  // The function's learned lifetime in µs, or 0 while unknown (never observed, or fewer than
+  // min_samples truncations — young functions must not be TTL-demoted off one sample).
+  uint64_t LearnedLifetimeUs(const std::string& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(fn);
+    if (it == map_.end() || it->second.lifetime.truncations < min_samples_) {
+      return 0;
+    }
+    return static_cast<uint64_t>(it->second.lifetime.ewma_lifetime_us);
+  }
+
+  // Every function's lifetime profile (stats merge, and the sweep's one-snapshot-per-pass
+  // demotion scan — one lock hop per sweep instead of one per resident version).
+  std::unordered_map<std::string, LifetimeEntry> LifetimeSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unordered_map<std::string, LifetimeEntry> out;
+    out.reserve(map_.size());
+    for (const auto& [fn, e] : map_) {
+      out.emplace(fn, e.lifetime);
+    }
+    return out;
+  }
+
+  // Publishes the latest advisory snapshot for `fn` from the frontend's profile numbers,
+  // folding in the learned lifetime under the same single lock acquisition. Replaces the
+  // previous snapshot only when a field actually changed (readers holding the old
+  // shared_ptr keep a stable view either way, exactly like the zero-copy value aliases);
+  // an unchanged republish costs no allocation. Returns the current snapshot, or null when
+  // the function is over the profile cap.
+  std::shared_ptr<const AdvisoryHints> Publish(const std::string& fn, double observed_bpb,
+                                               double decline_rate) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry* e = FindOrCreateLocked(fn);
+    if (e == nullptr) {
+      return nullptr;
+    }
+    const uint64_t learned =
+        e->lifetime.truncations >= min_samples_
+            ? static_cast<uint64_t>(e->lifetime.ewma_lifetime_us)
+            : 0;
+    if (e->hints == nullptr || e->hints->learned_lifetime_us != learned ||
+        e->hints->observed_bpb != observed_bpb || e->hints->decline_rate != decline_rate) {
+      AdvisoryHints h;
+      h.learned_lifetime_us = learned;
+      h.observed_bpb = observed_bpb;
+      h.decline_rate = decline_rate;
+      e->hints = std::make_shared<const AdvisoryHints>(h);
+    }
+    return e->hints;
+  }
+
+  // Latest published snapshot, or null when none exists.
+  std::shared_ptr<const AdvisoryHints> Hints(const std::string& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(fn);
+    return it == map_.end() ? nullptr : it->second.hints;
+  }
+
+ private:
+  struct Entry {
+    LifetimeEntry lifetime;
+    std::shared_ptr<const AdvisoryHints> hints;
+  };
+
+  Entry* FindOrCreateLocked(const std::string& fn) {
+    auto it = map_.find(fn);
+    if (it != map_.end()) {
+      return &it->second;
+    }
+    if (map_.size() >= max_entries_) {
+      return nullptr;  // bounded like the frontend's profile map (max_function_profiles)
+    }
+    return &map_.try_emplace(fn).first->second;
+  }
+
+  const double alpha_;
+  const uint64_t min_samples_;
+  const size_t max_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> map_;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_CACHE_FUNCTION_ADVISOR_H_

@@ -15,6 +15,7 @@
 #define SRC_CORE_CACHEABLE_FUNCTION_H_
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -72,7 +73,7 @@ class CacheableFunction {
       if (client_ != nullptr) {
         if (client_->ShouldTryRwCacheRead()) {
           client_->CountCacheableCall();
-          auto hit = client_->RwCacheLookup(MakeCacheKey(name_, args...));
+          auto hit = client_->RwCacheLookup(MakeCacheKey(name_, args...), &name_);
           if (hit.ok()) {
             // Deserialize straight out of the zero-copy alias of the cache-resident buffer.
             auto decoded = DeserializeFromString<Ret>(*hit.value());
@@ -88,7 +89,7 @@ class CacheableFunction {
     }
     client_->CountCacheableCall();
     const std::string key = MakeCacheKey(name_, args...);
-    auto hit = client_->CacheLookup(key);
+    auto hit = client_->CacheLookup(key, &name_);
     if (hit.ok()) {
       auto decoded = DeserializeFromString<Ret>(*hit.value());
       if (decoded.ok()) {
@@ -101,7 +102,7 @@ class CacheableFunction {
     FrameGuard guard(client_);
     Ret ret = fn_(args...);
     FrameOutcome outcome = guard.Finish();
-    client_->CacheStore(key, SerializeToString(ret), outcome);
+    client_->CacheStore(key, SerializeToString(ret), outcome, &name_);
     return ret;
   }
 
@@ -128,7 +129,8 @@ class CacheableFunction {
       keys.push_back(std::apply(
           [this](const Args&... args) { return MakeCacheKey(name_, args...); }, call));
     }
-    std::vector<Result<TxCacheClient::CachedValue>> hits = client_->CacheMultiLookup(keys);
+    std::vector<Result<TxCacheClient::CachedValue>> hits =
+        client_->CacheMultiLookup(keys, &name_);
     for (size_t i = 0; i < calls.size(); ++i) {
       if (hits[i].ok()) {
         auto decoded = DeserializeFromString<Ret>(*hits[i].value());
@@ -140,13 +142,22 @@ class CacheableFunction {
       FrameGuard guard(client_);
       Ret ret = std::apply(fn_, calls[i]);
       FrameOutcome outcome = guard.Finish();
-      client_->CacheStore(keys[i], SerializeToString(ret), outcome);
+      client_->CacheStore(keys[i], SerializeToString(ret), outcome, &name_);
       out.push_back(std::move(ret));
     }
     return out;
   }
 
   const std::string& name() const { return name_; }
+
+  // Latest advisory hints the cache fleet published for this function, as observed on this
+  // client's lookup/insert responses (automatic-management feedback loop). Call sites may use
+  // them to adapt fill sizing (shrink results whose decline_rate says the cache refuses
+  // them) or re-fetch pacing (learned_lifetime_us says how long results actually live) —
+  // never to reason about validity; see AdvisoryHints in cache_types.h for the contract.
+  std::optional<AdvisoryHints> hints() const {
+    return client_ == nullptr ? std::nullopt : client_->AdvisoryHintsFor(name_);
+  }
 
  private:
   TxCacheClient* client_ = nullptr;

@@ -276,6 +276,38 @@ void TxCacheClient::RecordMiss(MissKind kind) {
   }
 }
 
+void TxCacheClient::ObserveHints(const std::string& key, const std::string* function,
+                                 const std::shared_ptr<const AdvisoryHints>& hints) {
+  if (hints == nullptr) {
+    return;
+  }
+  // The function name is the hint bucket. CacheableFunction passes its own name down, so
+  // the hot path never re-parses the key; raw callers fall back to the MakeCacheKey prefix,
+  // exactly as the server's cost accounting does — either way hints line up 1:1 with
+  // MAKE-CACHEABLE names.
+  std::string parsed;
+  if (function == nullptr) {
+    parsed = CacheKeyFunction(key);
+    function = &parsed;
+  }
+  std::lock_guard<std::mutex> lock(hints_mu_);
+  auto it = observed_hints_.find(*function);
+  if (it != observed_hints_.end()) {
+    it->second = *hints;
+  } else if (observed_hints_.size() < kMaxHintFunctions) {
+    observed_hints_.emplace(*function, *hints);
+  }
+}
+
+std::optional<AdvisoryHints> TxCacheClient::AdvisoryHintsFor(const std::string& function) const {
+  std::lock_guard<std::mutex> lock(hints_mu_);
+  auto it = observed_hints_.find(function);
+  if (it == observed_hints_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
 void TxCacheClient::ObserveRingEpoch(uint64_t epoch) {
   if (epoch == 0) {
     return;  // response was not routed through the cluster
@@ -289,7 +321,8 @@ void TxCacheClient::ObserveRingEpoch(uint64_t epoch) {
   }
 }
 
-Result<TxCacheClient::CachedValue> TxCacheClient::CacheLookup(const std::string& key) {
+Result<TxCacheClient::CachedValue> TxCacheClient::CacheLookup(const std::string& key,
+                                                              const std::string* function) {
   assert(ShouldUseCache());
   Status st = EnsurePinnedSnapshot();
   if (!st.ok()) {
@@ -306,6 +339,7 @@ Result<TxCacheClient::CachedValue> TxCacheClient::CacheLookup(const std::string&
   // an error (§4 failure model), and the response's epoch refreshes our routing view.
   LookupResponse resp = cache_->Lookup(req);
   ObserveRingEpoch(resp.ring_epoch);
+  ObserveHints(key, function, resp.hints);
   if (!resp.hit) {
     RecordMiss(resp.miss);
     return Status::NotFound("cache miss");
@@ -326,7 +360,7 @@ Result<TxCacheClient::CachedValue> TxCacheClient::CacheLookup(const std::string&
 }
 
 std::vector<Result<TxCacheClient::CachedValue>> TxCacheClient::CacheMultiLookup(
-    const std::vector<std::string>& keys) {
+    const std::vector<std::string>& keys, const std::string* function) {
   assert(ShouldUseCache());
   std::vector<Result<CachedValue>> out;
   out.reserve(keys.size());
@@ -364,7 +398,9 @@ std::vector<Result<TxCacheClient::CachedValue>> TxCacheClient::CacheMultiLookup(
   // Thread the pin-set intersection through the batch in request order: each accepted hit
   // narrows the pin set, and later hits must intersect the already-narrowed set — exactly the
   // serializability rule sequential lookups enforce (§6.2).
-  for (LookupResponse& resp : resp_or.value().responses) {
+  for (size_t i = 0; i < resp_or.value().responses.size(); ++i) {
+    LookupResponse& resp = resp_or.value().responses[i];
+    ObserveHints(keys[i], function, resp.hints);
     if (!resp.hit) {
       RecordMiss(resp.miss);
       out.push_back(Result<CachedValue>(Status::NotFound("cache miss")));
@@ -384,7 +420,8 @@ std::vector<Result<TxCacheClient::CachedValue>> TxCacheClient::CacheMultiLookup(
   return out;
 }
 
-Result<TxCacheClient::CachedValue> TxCacheClient::RwCacheLookup(const std::string& key) {
+Result<TxCacheClient::CachedValue> TxCacheClient::RwCacheLookup(const std::string& key,
+                                                                const std::string* function) {
   assert(ShouldTryRwCacheRead());
   auto snap_or = db_->SnapshotOf(*db_txn_);
   if (!snap_or.ok()) {
@@ -398,6 +435,7 @@ Result<TxCacheClient::CachedValue> TxCacheClient::RwCacheLookup(const std::strin
   req.fresh_lo = snap_or.value();
   LookupResponse resp = cache_->Lookup(req);
   ObserveRingEpoch(resp.ring_epoch);
+  ObserveHints(key, function, resp.hints);
   if (!resp.hit) {
     ++stats_.cache_misses;
     return Status::NotFound("cache miss");
@@ -455,7 +493,7 @@ void TxCacheClient::FrameAbandon() {
 }
 
 void TxCacheClient::CacheStore(const std::string& key, std::string value,
-                               const FrameOutcome& outcome) {
+                               const FrameOutcome& outcome, const std::string* function) {
   // Every stored-or-not fill was a recompute this client actually paid for.
   stats_.recompute_cost_us += outcome.fill_cost_us;
   if (outcome.validity.empty()) {
@@ -473,12 +511,18 @@ void TxCacheClient::CacheStore(const std::string& key, std::string value,
   req.fill_cost_us = outcome.fill_cost_us;
   InsertResponse resp = cache_->Insert(req);
   ObserveRingEpoch(resp.ring_epoch);
+  ObserveHints(key, function, resp.hints);
   if (resp.status.ok()) {
     ++stats_.cache_inserts;
   } else if (resp.status.code() == StatusCode::kDeclined) {
     // The admission gate judged this function not worth its bytes right now; the recompute
     // already happened, only the store was refused.
     ++stats_.inserts_declined;
+  } else if (resp.status.code() == StatusCode::kDeclinedTooLarge) {
+    // Size-aware refusal: the value is too big for its shard slice or lost the displacement
+    // comparison. Counted separately so call sites (and their hints) can adapt fill sizing.
+    // Nothing is retried — the caller already has its computed result.
+    ++stats_.inserts_declined_too_large;
   } else if (resp.status.code() == StatusCode::kUnavailable) {
     // The owning node is down/joining or the key was unroutable: the fill simply is not
     // cached this time (churn is a hit-rate event, not an error).

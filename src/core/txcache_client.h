@@ -22,9 +22,11 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -77,6 +79,10 @@ struct ClientStats {
   uint64_t recompute_cost_us = 0;
   uint64_t saved_recompute_cost_us = 0;
   uint64_t inserts_declined = 0;
+  // Size-aware declines (kDeclinedTooLarge), counted separately from the watermark's
+  // inserts_declined: the value was too big for its shard slice or lost the displacement
+  // comparison — the signal MAKE-CACHEABLE call sites adapt fill sizing to.
+  uint64_t inserts_declined_too_large = 0;
   uint64_t inserts_unavailable = 0;  // fills not stored because the owning node was down/joining
   // Times a cluster response carried a different membership epoch than the last one observed:
   // the client refreshed its routing view instead of erroring (re-route events under churn).
@@ -109,8 +115,8 @@ struct ClientStats {
         &ClientStats::db_writes, &ClientStats::pins_created,
         &ClientStats::multi_lookup_batches, &ClientStats::multi_lookup_keys,
         &ClientStats::recompute_cost_us, &ClientStats::saved_recompute_cost_us,
-        &ClientStats::inserts_declined, &ClientStats::inserts_unavailable,
-        &ClientStats::ring_epoch_changes};
+        &ClientStats::inserts_declined, &ClientStats::inserts_declined_too_large,
+        &ClientStats::inserts_unavailable, &ClientStats::ring_epoch_changes};
     for (auto field : fields) {
       fn(this->*field, o.*field);
     }
@@ -150,6 +156,7 @@ struct AtomicClientStats {
   std::atomic<uint64_t> recompute_cost_us{0};
   std::atomic<uint64_t> saved_recompute_cost_us{0};
   std::atomic<uint64_t> inserts_declined{0};
+  std::atomic<uint64_t> inserts_declined_too_large{0};
   std::atomic<uint64_t> inserts_unavailable{0};
   std::atomic<uint64_t> ring_epoch_changes{0};
 
@@ -181,6 +188,8 @@ struct AtomicClientStats {
     s.recompute_cost_us = recompute_cost_us.load(std::memory_order_relaxed);
     s.saved_recompute_cost_us = saved_recompute_cost_us.load(std::memory_order_relaxed);
     s.inserts_declined = inserts_declined.load(std::memory_order_relaxed);
+    s.inserts_declined_too_large =
+        inserts_declined_too_large.load(std::memory_order_relaxed);
     s.inserts_unavailable = inserts_unavailable.load(std::memory_order_relaxed);
     s.ring_epoch_changes = ring_epoch_changes.load(std::memory_order_relaxed);
     return s;
@@ -193,8 +202,8 @@ struct AtomicClientStats {
           &miss_consistency, &miss_node_unavailable, &pin_set_rejects, &cache_inserts,
           &inserts_skipped, &db_queries, &db_tuples_examined, &db_index_probes, &db_writes,
           &pins_created, &multi_lookup_batches, &multi_lookup_keys, &recompute_cost_us,
-          &saved_recompute_cost_us, &inserts_declined, &inserts_unavailable,
-          &ring_epoch_changes}) {
+          &saved_recompute_cost_us, &inserts_declined, &inserts_declined_too_large,
+          &inserts_unavailable, &ring_epoch_changes}) {
       c->store(0, std::memory_order_relaxed);
     }
   }
@@ -292,7 +301,11 @@ class TxCacheClient {
     return state_ == TxnState::kReadWrite && options_.allow_rw_cache_reads &&
            options_.mode != ClientMode::kNoCache;
   }
-  Result<CachedValue> CacheLookup(const std::string& key);
+  // `function` is the MAKE-CACHEABLE name the key was built from, when the caller has it
+  // (CacheableFunction does): advisory hints on the response are then recorded without
+  // re-parsing the key's function prefix. Null: the prefix is parsed on demand.
+  Result<CachedValue> CacheLookup(const std::string& key,
+                                  const std::string* function = nullptr);
   // Batched variant: resolves `keys` in one MULTILOOKUP round-trip per cache node (the
   // cluster groups keys per owning node). Results are positionally aligned with `keys`.
   // Pin-set narrowing is threaded through the responses in order: each hit narrows the pin
@@ -302,16 +315,24 @@ class TxCacheClient {
   // borderline entry as a miss where sequential lookups (whose later probes carry narrower
   // bounds) might have found an older compatible version — never the reverse, so consistency
   // is unaffected; only the hit rate can differ marginally.
-  std::vector<Result<CachedValue>> CacheMultiLookup(const std::vector<std::string>& keys);
+  std::vector<Result<CachedValue>> CacheMultiLookup(const std::vector<std::string>& keys,
+                                                    const std::string* function = nullptr);
   // Lookup restricted to values valid at the read/write transaction's snapshot (§2.2
   // extension). Never narrows any pin set; never inserts.
-  Result<CachedValue> RwCacheLookup(const std::string& key);
+  Result<CachedValue> RwCacheLookup(const std::string& key,
+                                    const std::string* function = nullptr);
   void FrameBegin();
   FrameOutcome FrameEnd();
   void FrameAbandon();
-  void CacheStore(const std::string& key, std::string value, const FrameOutcome& outcome);
+  void CacheStore(const std::string& key, std::string value, const FrameOutcome& outcome,
+                  const std::string* function = nullptr);
   void CountCacheableCall() { ++stats_.cacheable_calls; }
   void CountBypassedCall() { ++stats_.bypassed_calls; }
+
+  // Latest advisory hints observed from the cache fleet for a MAKE-CACHEABLE function
+  // (updated from Lookup/Insert responses; see AdvisoryHints for what a caller may and may
+  // not assume). nullopt until any response for the function carried hints. Thread-safe.
+  std::optional<AdvisoryHints> AdvisoryHintsFor(const std::string& function) const;
 
   ClientStats stats() const { return stats_.Snapshot(); }  // safe under concurrent load
   void ResetStats() { stats_.Reset(); }
@@ -333,6 +354,10 @@ class TxCacheClient {
   void RecordMiss(MissKind kind);
   // Folds a response's membership epoch into our routing view; a change is a re-route event.
   void ObserveRingEpoch(uint64_t epoch);
+  // Records the advisory snapshot a response carried (no-op on null). `function` is the
+  // caller-known MAKE-CACHEABLE name; when null it is parsed from the key's prefix.
+  void ObserveHints(const std::string& key, const std::string* function,
+                    const std::shared_ptr<const AdvisoryHints>& hints);
   // Lazily begins the underlying database transaction, choosing the serialization timestamp
   // from the pin set per the §6.2 policy.
   Status EnsureDbTxn();
@@ -356,6 +381,13 @@ class TxCacheClient {
 
   AtomicClientStats stats_;
   std::atomic<uint64_t> ring_epoch_{0};  // newest membership epoch observed (0 = none yet)
+
+  // Advisory hints per function, as last observed on any cache response. Mutex-guarded
+  // because benchmarks/monitors may read while the session runs; bounded like the server's
+  // profile maps so raw ad-hoc keys cannot grow it without bound.
+  static constexpr size_t kMaxHintFunctions = 1024;
+  mutable std::mutex hints_mu_;
+  std::unordered_map<std::string, AdvisoryHints> observed_hints_;
 };
 
 }  // namespace txcache

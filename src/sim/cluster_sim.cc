@@ -80,6 +80,43 @@ Result<SimResult> ClusterSim::Run() {
     sessions_.push_back(std::make_unique<rubis::RubisSession>(
         clients_.back().get(), dataset_.get(), clock_.get(), config_.seed * 7919 + i));
   }
+  if (config_.bulk_fraction > 0.0) {
+    // Bulk-attachment wrappers, one per client and size class. Each calls a real (nested)
+    // cacheable lookup so the padded result inherits genuine invalidation tags: large blobs
+    // depend on Zipf-hot active items (bid traffic updates them constantly → short learned
+    // lifetimes), medium on arbitrary items, small on users (rarely updated → long ones).
+    bulk_small_.reserve(config_.num_clients);
+    bulk_medium_.reserve(config_.num_clients);
+    bulk_large_.reserve(config_.num_clients);
+    for (size_t i = 0; i < config_.num_clients; ++i) {
+      rubis::RubisSession* session = sessions_[i].get();
+      TxCacheClient* client = clients_[i].get();
+      auto pad_user = [session, this](int64_t id, size_t bytes) {
+        rubis::UserInfo u = session->app().get_user(id);
+        std::string body = u.nickname;
+        body.resize(std::max(bytes, body.size()), 'b');
+        return body;
+      };
+      auto pad_item = [session, this](int64_t id, size_t bytes) {
+        rubis::ItemInfo item = session->app().get_item(id);
+        std::string body = item.name;
+        body.resize(std::max(bytes, body.size()), 'b');
+        return body;
+      };
+      bulk_small_.push_back(client->MakeCacheable<std::string, int64_t>(
+          "bulk_small", [pad_user, this](int64_t id) {
+            return pad_user(id, config_.bulk_small_bytes);
+          }));
+      bulk_medium_.push_back(client->MakeCacheable<std::string, int64_t>(
+          "bulk_medium", [pad_item, this](int64_t id) {
+            return pad_item(id, config_.bulk_medium_bytes);
+          }));
+      bulk_large_.push_back(client->MakeCacheable<std::string, int64_t>(
+          "bulk_large", [pad_item, this](int64_t id) {
+            return pad_item(id, config_.bulk_large_bytes);
+          }));
+    }
+  }
 
   // --- maintenance loop (pincushion sweep + vacuum, as the real deployment would run) ---
   std::function<void()> maintenance = [this, &maintenance] {
@@ -93,11 +130,18 @@ Result<SimResult> ClusterSim::Run() {
   // kill: the victim crashes (and leaves the ring under kLeaveRejoin) — in-flight and future
   // traffic to it degrades to misses. rejoin: the victim runs the join protocol against the
   // bus (catch-up from bounded history, or flush when the stream moved too far) and, once
-  // back, re-enters the ring. The cycle optionally repeats every churn_period. The callable
-  // owns itself through a shared_ptr so an event left in the queue past the end of this
-  // scope (a periodic cycle cut off by the run boundary) never dangles.
+  // back, re-enters the ring. The cycle optionally repeats every churn_period. Each QUEUED
+  // event holds a strong ref so a cycle left in the queue past the end of this scope never
+  // dangles; the callable itself holds only a weak self-ref (a strong one would be a
+  // shared_ptr cycle — it leaked every churn run until the ASan pass caught it). The lock
+  // below always succeeds: we only execute through an event's strong ref.
   auto churn_cycle = std::make_shared<std::function<void(bool)>>();
-  *churn_cycle = [this, churn_cycle](bool kill) {
+  *churn_cycle = [this, weak_cycle = std::weak_ptr<std::function<void(bool)>>(churn_cycle)](
+                     bool kill) {
+    auto churn_cycle = weak_cycle.lock();
+    if (churn_cycle == nullptr) {
+      return;
+    }
     CacheServer* victim = cache_nodes_[config_.churn_victim % cache_nodes_.size()].get();
     if (kill) {
       if (config_.churn == ChurnKind::kLeaveRejoin) {
@@ -196,7 +240,35 @@ Result<SimResult> ClusterSim::Run() {
   result.max_backlog_s = ToSeconds(backlog);
   result.churn_kills = churn_kills_;
   result.churn_rejoins = churn_rejoins_;
+  result.bulk_calls = bulk_calls_;
+  result.bulk_downgrades = bulk_downgrades_;
   return result;
+}
+
+void ClusterSim::RunBulkFetch(size_t idx) {
+  TxCacheClient* client = clients_[idx].get();
+  if (!client->BeginRO().ok()) {
+    return;
+  }
+  ++bulk_calls_;
+  const double roll = rng_->UniformReal(0, 1);
+  if (roll < config_.bulk_large_fraction) {
+    // Feedback loop: if the fleet's advisory hints say large fills are being declined,
+    // downgrade to the small class — the generator adapts its fill sizing to what the cache
+    // will actually store instead of recomputing multi-MB blobs it can never cache.
+    auto hints = bulk_large_[idx].hints();
+    if (hints.has_value() && hints->decline_rate > config_.bulk_downgrade_decline_rate) {
+      ++bulk_downgrades_;
+      bulk_small_[idx](dataset_->PickUser(*rng_));
+    } else {
+      bulk_large_[idx](dataset_->PickActiveItem(*rng_));
+    }
+  } else if (roll < config_.bulk_large_fraction + config_.bulk_medium_fraction) {
+    bulk_medium_[idx](dataset_->PickAnyItem(*rng_));
+  } else {
+    bulk_small_[idx](dataset_->PickUser(*rng_));
+  }
+  client->Commit();
 }
 
 ClientStats ClusterSim::AggregateClientStats() const {
@@ -219,6 +291,11 @@ void ClusterSim::RunClientInteraction(size_t idx) {
   const ClientStats before = client->stats();
   rubis::Interaction interaction = session->Next();
   const Status st = session->Run(interaction);
+  if (config_.bulk_fraction > 0.0 && rng_->UniformReal(0, 1) < config_.bulk_fraction) {
+    // The attachment fetch rides inside the same before/after window, so its cache and
+    // database work is charged to the resource chain like any other interaction work.
+    RunBulkFetch(idx);
+  }
   const ClientStats after = client->stats();
 
   // --- translate measured work into service demands ---
@@ -231,7 +308,9 @@ void ClusterSim::RunClientInteraction(size_t idx) {
   const uint64_t cache_ops = (after.cache_hits - before.cache_hits) +
                              (after.cache_misses - before.cache_misses) +
                              (after.cache_inserts - before.cache_inserts) +
-                             (after.inserts_declined - before.inserts_declined);
+                             (after.inserts_declined - before.inserts_declined) +
+                             (after.inserts_declined_too_large -
+                              before.inserts_declined_too_large);
   const uint64_t pincushion_ops =
       (after.ro_txns - before.ro_txns) + (after.pins_created - before.pins_created);
   const bool used_db = queries + writes > 0;
@@ -274,7 +353,9 @@ void ClusterSim::RunClientInteraction(size_t idx) {
   if (config_.cache_policy == EvictionPolicy::kCostAware) {
     // Eviction-policy term: admission bookkeeping + amortized score maintenance per PUT.
     const uint64_t cache_puts = (after.cache_inserts - before.cache_inserts) +
-                                (after.inserts_declined - before.inserts_declined);
+                                (after.inserts_declined - before.inserts_declined) +
+                                (after.inserts_declined_too_large -
+                                 before.inserts_declined_too_large);
     cache_cost += c.cache_insert_policy_op * cache_puts;
   }
   const WallClock pincushion_cost = c.pincushion_op * pincushion_ops;

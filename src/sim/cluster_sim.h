@@ -19,6 +19,7 @@
 
 #include "src/bus/bus.h"
 #include "src/cache/cache_cluster.h"
+#include "src/core/cacheable_function.h"
 #include "src/core/txcache_client.h"
 #include "src/pincushion/pincushion.h"
 #include "src/rubis/data.h"
@@ -59,6 +60,25 @@ struct SimConfig {
   WallClock measure = Seconds(15);
   WallClock maintenance_interval = Seconds(5);  // pincushion sweep + vacuum cadence
 
+  // --- bulk-value workload overlay (size-aware admission experiments) ---
+  // With this probability an interaction additionally fetches one "bulk attachment" through
+  // a MAKE-CACHEABLE wrapper whose result is padded to a skewed size mix (75% small / 20%
+  // medium / 5% large by default). Size classes are deliberately churn-correlated: large
+  // blobs key on Zipf-hot *active items* (whose rows the bid traffic updates constantly, so
+  // their entries are invalidated quickly), medium blobs on arbitrary items, small blobs on
+  // users (rarely updated) — per-function learned lifetimes therefore differ by an order of
+  // magnitude, which is what the TTL-learning subsystem feeds on. 0 disables the overlay.
+  double bulk_fraction = 0.0;
+  size_t bulk_small_bytes = 4 << 10;
+  size_t bulk_medium_bytes = 64 << 10;
+  size_t bulk_large_bytes = 1 << 20;
+  double bulk_medium_fraction = 0.20;
+  double bulk_large_fraction = 0.05;
+  // Feedback-loop pacing: when the advisory hints for the large class report a decline rate
+  // above this threshold, the generator downgrades that fetch to the small class (adapting
+  // fill sizing to what the cache will actually store). > 1 disables adaptation.
+  double bulk_downgrade_decline_rate = 0.5;
+
   // --- membership churn (fault injection) ---
   // At churn_start the victim node fails (and leaves the ring under kLeaveRejoin); after
   // churn_down_time it rejoins through the join protocol — catch-up from the bus's bounded
@@ -98,6 +118,10 @@ struct SimResult {
   // Membership churn events that fired during the whole run (warmup included).
   uint64_t churn_kills = 0;
   uint64_t churn_rejoins = 0;
+  // Bulk-value overlay: attachments fetched, and large fetches downgraded to small because
+  // the advisory hints reported the cache declining the large class (whole run).
+  uint64_t bulk_calls = 0;
+  uint64_t bulk_downgrades = 0;
 };
 
 class ClusterSim {
@@ -113,6 +137,9 @@ class ClusterSim {
  private:
   void ScheduleClient(size_t idx, WallClock at);
   void RunClientInteraction(size_t idx);
+  // Bulk-value overlay: one extra RO transaction fetching a padded attachment through the
+  // per-client MAKE-CACHEABLE wrappers (see SimConfig::bulk_fraction).
+  void RunBulkFetch(size_t idx);
   ClientStats AggregateClientStats() const;
 
   SimConfig config_;
@@ -126,6 +153,12 @@ class ClusterSim {
   std::unique_ptr<rubis::RubisDataset> dataset_;
   std::vector<std::unique_ptr<TxCacheClient>> clients_;
   std::vector<std::unique_ptr<rubis::RubisSession>> sessions_;
+  // Per-client bulk-attachment wrappers (empty unless the overlay is enabled). Separate
+  // MAKE-CACHEABLE names per size class give each class its own admission profile, learned
+  // lifetime and advisory hints.
+  std::vector<CacheableFunction<std::string, int64_t>> bulk_small_;
+  std::vector<CacheableFunction<std::string, int64_t>> bulk_medium_;
+  std::vector<CacheableFunction<std::string, int64_t>> bulk_large_;
   std::unique_ptr<Rng> rng_;
 
   // Resources.
@@ -146,6 +179,10 @@ class ClusterSim {
   // Membership churn.
   uint64_t churn_kills_ = 0;
   uint64_t churn_rejoins_ = 0;
+
+  // Bulk-value overlay.
+  uint64_t bulk_calls_ = 0;
+  uint64_t bulk_downgrades_ = 0;
 };
 
 // Convenience: runs configurations with increasing client counts until throughput stops

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kDeclined:
       return "DECLINED";
+    case StatusCode::kDeclinedTooLarge:
+      return "DECLINED_TOO_LARGE";
     case StatusCode::kInternal:
       return "INTERNAL";
   }

@@ -17,6 +17,10 @@ enum class StatusCode {
   kFailedPrecondition,  // operation not valid in current state (e.g. commit of aborted txn)
   kUnavailable,       // component offline / partitioned (used in fault-injection tests)
   kDeclined,          // request refused by policy (e.g. cache admission gate), not an error
+  // Size-aware admission refusal: the entry is too large for its shard's budget slice, or
+  // its benefit loses to the summed benefit of the victims its bytes would displace. Distinct
+  // from kDeclined so clients can count (and adapt fill sizing to) oversized fills separately.
+  kDeclinedTooLarge,
   kInternal,          // invariant violation; indicates a bug
 };
 
@@ -46,6 +50,9 @@ class Status {
   }
   static Status Declined(std::string m = "declined by policy") {
     return Status(StatusCode::kDeclined, std::move(m));
+  }
+  static Status DeclinedTooLarge(std::string m = "declined: entry not worth its bytes") {
+    return Status(StatusCode::kDeclinedTooLarge, std::move(m));
   }
   static Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
 

@@ -215,7 +215,11 @@ TEST(CacheEviction, ByteBudgetAccountingAcrossShards) {
     InsertRequest req =
         StillValid(FnKey("fn" + std::to_string(i % 7), i), 100 + (i * 37) % 900, 50 + i % 400);
     Status st = server.Insert(req);
-    ASSERT_TRUE(st.ok() || st.code() == StatusCode::kDeclined) << st.ToString();
+    // The 16 KiB budget split 8 ways puts the size-aware guard at 1 KiB per entry, so the
+    // biggest fills are declined kDeclinedTooLarge; accounting must hold either way.
+    ASSERT_TRUE(st.ok() || st.code() == StatusCode::kDeclined ||
+                st.code() == StatusCode::kDeclinedTooLarge)
+        << st.ToString();
     if (st.ok()) {
       accepted_bytes += CacheShard::EstimateBytes(req);
       ++accepted;

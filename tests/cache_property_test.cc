@@ -177,24 +177,20 @@ TEST_P(CachePropertyTest, EvictionNeverBreaksAccounting) {
   }
 }
 
-TEST_P(CachePropertyTest, EvictionNeverResurrectsOrWidensValidity) {
-  // Under random insert / invalidate / capacity-evict interleavings (the tiny budget keeps the
-  // cost-aware eviction policy continuously active), no lookup may ever return a version
-  // outside its true validity interval: the value must be one actually inserted for that
-  // (key, lower), and its reported upper bound may never exceed the earliest invalidation of
-  // the version's tag group after its computed_at (nor the inserted upper for closed
-  // intervals). Eviction may only lose entries, never resurrect or widen them.
+// Body of the no-resurrect/no-widen model check, shared by the capacity-eviction and
+// TTL-expiry variants below. Under random insert / invalidate / evict interleavings (the tiny
+// budget keeps the cost-aware eviction policy continuously active), no lookup may ever return
+// a version outside its true validity interval: the value must be one actually inserted for
+// that (key, lower), and its reported upper bound may never exceed the earliest invalidation
+// of the version's tag group after its computed_at (nor the inserted upper for closed
+// intervals). Eviction may only lose entries, never resurrect or widen them.
+// (ASSERTs force a void return type; final stats are reported through *stats_out.)
+void RunNoResurrectNoWiden(const CacheServer::Options& options, uint64_t seed,
+                           CacheStats* stats_out = nullptr) {
   ManualClock clock;
   clock.Set(Seconds(100));
-  CacheServer::Options options;
-  options.capacity_bytes = 8192;
-  options.policy = EvictionPolicy::kCostAware;
-  // Tiny touch buffer: the probe on every step enqueues deferred hits, so the drains (and
-  // their overflow-repair path) interleave with every insert/invalidate/evict the model
-  // checks — the no-resurrect/no-widen invariant must survive those interleavings too.
-  options.touch_buffer_capacity = 3;
   CacheServer server("evict-prop", &clock, options);
-  Rng rng(GetParam() ^ 0xbeef);
+  Rng rng(seed);
 
   constexpr int kKeys = 12;
   constexpr int kGroups = 4;
@@ -292,6 +288,40 @@ TEST_P(CachePropertyTest, EvictionNeverResurrectsOrWidensValidity) {
     ASSERT_LE(resp.interval.upper, allowed_upper)
         << "validity widened beyond the stream: k" << probe << " lower=" << resp.interval.lower;
   }
+  if (stats_out != nullptr) {
+    *stats_out = server.stats();
+  }
+}
+
+TEST_P(CachePropertyTest, EvictionNeverResurrectsOrWidensValidity) {
+  CacheServer::Options options;
+  options.capacity_bytes = 8192;
+  options.policy = EvictionPolicy::kCostAware;
+  // Tiny touch buffer: the probe on every step enqueues deferred hits, so the drains (and
+  // their overflow-repair path) interleave with every insert/invalidate/evict the model
+  // checks — the no-resurrect/no-widen invariant must survive those interleavings too.
+  options.touch_buffer_capacity = 3;
+  RunNoResurrectNoWiden(options, GetParam() ^ 0xbeef);
+}
+
+TEST_P(CachePropertyTest, TtlExpiryEvictionNeverResurrectsOrWidensValidity) {
+  // Same model check with learned-TTL expiry running hot inside the interleavings: raw keys
+  // are their own CacheKeyFunction bucket, the frequent invalidations teach per-key
+  // lifetimes quickly (min_samples 2), the aggressive slack demotes anything resident past
+  // half its learned lifetime, and the tiny sweep interval runs the demotion pass every few
+  // mutations. Demotion must remain pure eviction preference: whatever it evicts, no lookup
+  // may ever see a resurrected value or a widened interval.
+  CacheServer::Options options;
+  options.capacity_bytes = 8192;
+  options.policy = EvictionPolicy::kCostAware;
+  options.touch_buffer_capacity = 3;
+  options.lifetime_min_samples = 1;
+  options.ttl_expiry_slack = 0.25;
+  options.sweep_interval_ops = 4;
+  CacheStats stats;
+  RunNoResurrectNoWiden(options, GetParam() ^ 0x77d1, &stats);
+  EXPECT_GT(stats.ttl_demotions, 0u)
+      << "the TTL variant must actually demote inside the interleavings, or it checks nothing";
 }
 
 TEST_P(CachePropertyTest, ChurnNeverServesVersionsInvalidatedWhileDown) {

@@ -624,5 +624,153 @@ TEST(ConcurrencyStress, ZeroCopyReadersStayStableUnderInvalidationEvictionAndDra
   EXPECT_EQ(s.hits + s.misses(), s.lookups);
 }
 
+TEST(ConcurrencyStress, MultiMbInsertsRaceZeroCopyReadersAndSizeAwareAdmission) {
+  // Size-aware admission under fire (TSan-checked via scripts/check.sh): writer threads pump
+  // multi-MB values through the displacement-comparison path (shared-lock victim previews
+  // racing inserts, evictions and invalidations on every shard) while small fills churn the
+  // budget and zero-copy readers hold aliases of the big buffers across their evictions.
+  // Every held multi-MB alias must stay bitwise stable, admission declines must never leak
+  // partial state, and the byte budget and hit accounting must hold at the end.
+  SystemClock clock;
+  CacheServer::Options options;
+  options.capacity_bytes = 16u << 20;
+  options.num_shards = 2;  // 8 MB shard slices: a 2 MB value passes the 0.5 guard
+  options.touch_buffer_capacity = 32;
+  options.lifetime_min_samples = 1;  // invalidations teach lifetimes immediately
+  options.ttl_expiry_slack = 1.0;
+  options.sweep_interval_ops = 64;   // TTL demotion pass runs frequently
+  CacheServer server("multimb-stress", &clock, options);
+  std::atomic<uint64_t> seqno{1};
+  std::atomic<bool> stop{false};
+
+  constexpr int kBigKeys = 12;
+  constexpr size_t kBigBytes = 2u << 20;
+  constexpr int kSmallKeys = 200;
+  auto big_value = [](int key) {
+    std::string v = "BIG(" + std::to_string(key) + ")";
+    v.resize(kBigBytes, static_cast<char>('A' + key % 23));
+    return v;
+  };
+  auto small_value = [](int key) {
+    return "small(" + std::to_string(key) + ")" +
+           std::string(300, static_cast<char>('a' + key % 23));
+  };
+  // Expected contents, precomputed so reader-side comparison allocates nothing.
+  std::vector<std::string> expected_big;
+  for (int k = 0; k < kBigKeys; ++k) {
+    expected_big.push_back(big_value(k));
+  }
+
+  std::vector<std::thread> big_writers;
+  for (int t = 0; t < 2; ++t) {
+    big_writers.emplace_back([&server, &big_value, t] {
+      Rng rng(900 + t);
+      for (int i = 0; i < 80; ++i) {
+        const int key = static_cast<int>(rng.Uniform(0, kBigKeys - 1));
+        InsertRequest req;
+        req.key = "big-" + std::to_string(key);
+        req.value = big_value(key);
+        req.interval = {1, kTimestampInfinity};
+        req.computed_at = 1;
+        req.tags = {InvalidationTag::Concrete("t", "i", "big" + std::to_string(key % 4))};
+        // Costs straddle the displacement break-even, so both admission outcomes race.
+        req.fill_cost_us = static_cast<uint64_t>(rng.Uniform(0, 4'000'000));
+        Status st = server.Insert(req);
+        ASSERT_TRUE(st.ok() || st.code() == StatusCode::kDeclined ||
+                    st.code() == StatusCode::kDeclinedTooLarge)
+            << st.ToString();
+      }
+    });
+  }
+  std::thread small_writer([&server, &small_value] {
+    Rng rng(77);
+    for (int i = 0; i < 4000; ++i) {
+      const int key = static_cast<int>(rng.Uniform(0, kSmallKeys - 1));
+      InsertRequest req;
+      req.key = "s" + std::to_string(key);
+      req.value = small_value(key);
+      req.interval = {1, kTimestampInfinity};
+      req.computed_at = 1;
+      req.tags = {InvalidationTag::Concrete("t", "i", std::to_string(key % 12))};
+      req.fill_cost_us = static_cast<uint64_t>(rng.Uniform(0, 2000));
+      Status st = server.Insert(req);
+      ASSERT_TRUE(st.ok() || st.code() == StatusCode::kDeclined ||
+                  st.code() == StatusCode::kDeclinedTooLarge)
+          << st.ToString();
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&server, &expected_big, &small_value, t] {
+      Rng rng(300 + t);
+      std::vector<std::pair<int, std::shared_ptr<const std::string>>> held;
+      for (int i = 0; i < 1500; ++i) {
+        const bool big = rng.Bernoulli(0.3);
+        const int key = static_cast<int>(
+            rng.Uniform(0, big ? kBigKeys - 1 : kSmallKeys - 1));
+        LookupRequest req;
+        req.key = (big ? "big-" : "s") + std::to_string(key);
+        req.bounds_lo = 1;
+        req.bounds_hi = kTimestampInfinity;
+        LookupResponse resp = server.Lookup(req);
+        if (resp.hit) {
+          if (big) {
+            ASSERT_EQ(*resp.value, expected_big[key]) << "multi-MB hit returned torn bytes";
+            if (held.size() < 8) {
+              held.emplace_back(key, resp.value);  // outlives this version's eviction
+            }
+          } else {
+            ASSERT_EQ(*resp.value, small_value(key));
+          }
+        }
+        if (held.size() >= 8 || (i % 256 == 255 && !held.empty())) {
+          for (const auto& [k, v] : held) {
+            ASSERT_EQ(*v, expected_big[k]) << "held multi-MB alias mutated after eviction";
+          }
+          held.clear();
+        }
+      }
+    });
+  }
+  std::thread invalidator([&server, &seqno, &stop] {
+    Rng rng(13);
+    while (!stop.load()) {
+      InvalidationMessage msg;
+      msg.seqno = seqno.fetch_add(1);
+      msg.ts = msg.seqno;  // below computed_at: machinery runs, values stay servable
+      msg.tags = {rng.Bernoulli(0.3)
+                      ? InvalidationTag::Concrete("t", "i",
+                                                  "big" + std::to_string(rng.Uniform(0, 3)))
+                      : InvalidationTag::Concrete("t", "i",
+                                                  std::to_string(rng.Uniform(0, 11)))};
+      server.Deliver(msg);
+      std::this_thread::yield();
+    }
+  });
+  std::thread stats_poller([&server, &stop] {
+    while (!stop.load()) {
+      CacheStats s = server.stats();
+      ASSERT_LE(s.hits, s.lookups);
+      (void)server.FunctionStats();  // drains touch buffers + advisor snapshots concurrently
+      std::this_thread::yield();
+    }
+  });
+
+  for (std::thread& t : big_writers) {
+    t.join();
+  }
+  small_writer.join();
+  for (std::thread& t : readers) {
+    t.join();
+  }
+  stop.store(true);
+  invalidator.join();
+  stats_poller.join();
+
+  EXPECT_LE(server.bytes_used(), options.capacity_bytes);
+  const CacheStats s = server.stats();
+  EXPECT_EQ(s.hits + s.misses(), s.lookups);
+}
+
 }  // namespace
 }  // namespace txcache

@@ -15,11 +15,13 @@ class ClientTest : public ::testing::Test {
  protected:
   void SetUp() override { Reset(TxCacheClient::Options{}); }
 
-  void Reset(TxCacheClient::Options options) {
+  void Reset(TxCacheClient::Options options) { Reset(options, CacheServer::Options{}); }
+
+  void Reset(TxCacheClient::Options options, CacheServer::Options cache_options) {
     client_.reset();
     pincushion_.reset();
     cluster_ = std::make_unique<CacheCluster>();
-    cache_ = std::make_unique<CacheServer>("node", &clock_);
+    cache_ = std::make_unique<CacheServer>("node", &clock_, cache_options);
     db_ = std::make_unique<Database>(&clock_);
     bus_ = std::make_unique<InvalidationBus>();
     db_->set_invalidation_bus(bus_.get());
@@ -380,6 +382,53 @@ TEST_F(ClientTest, PureFunctionCachedForever) {
   EXPECT_EQ(pure(9), 81);
   ASSERT_TRUE(client_->Commit().ok());
   EXPECT_EQ(executions, 1) << "no database dependency, never invalidated";
+}
+
+TEST_F(ClientTest, DeclinedTooLargeFillRecomputesWithoutRetryAndKeepsAccounting) {
+  // The size-aware gate refuses every fill of a function whose serialized result exceeds its
+  // shard's max_entry_fraction slice. The client must simply keep recomputing — one
+  // execution per call, no insert retry loop — count the declines in the dedicated counter,
+  // and keep hits + misses == lookups on both sides of the wire.
+  CacheServer::Options cache_options;
+  cache_options.capacity_bytes = 16 * 1024;
+  cache_options.num_shards = 1;
+  cache_options.max_entry_fraction = 0.05;  // 820-byte ceiling: the 4 KB result never fits
+  Reset(TxCacheClient::Options{}, cache_options);
+  InsertAccount(db_.get(), 1, "alice", 100);
+  int executions = 0;
+  auto blob = client_->MakeCacheable<std::string, int64_t>("blob", [&](int64_t id) {
+    ++executions;
+    auto r = client_->ExecuteQuery(AccountById(id));  // real DB work: tags + validity
+    return std::string(4096, r.ok() ? 'b' : '?');
+  });
+
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(client_->BeginRO().ok());
+    EXPECT_EQ(blob(1).size(), 4096u);
+    ASSERT_TRUE(client_->Commit().ok());
+  }
+  EXPECT_EQ(executions, 3) << "every call recomputes exactly once: decline, not retry";
+
+  const ClientStats stats = client_->stats();
+  EXPECT_EQ(stats.inserts_declined_too_large, 3u);
+  EXPECT_EQ(stats.inserts_declined, 0u) << "size declines are counted separately";
+  EXPECT_EQ(stats.cache_inserts, 0u);
+  EXPECT_EQ(stats.cacheable_calls, 3u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 3u);
+
+  // Server-side accounting closes too (this was the PR-2 gap: nothing covered the decline
+  // path through a real CacheableFunction).
+  const CacheStats cs = cache_->stats();
+  EXPECT_EQ(cs.hits + cs.misses(), cs.lookups);
+  EXPECT_EQ(cs.admission_rejects_too_large, 3u);
+  EXPECT_EQ(cs.inserts, 0u);
+
+  // The feedback loop: the decline responses carried hints, so the call site can see that
+  // 100% of its fills are refused and adapt its sizing.
+  auto hints = blob.hints();
+  ASSERT_TRUE(hints.has_value());
+  EXPECT_DOUBLE_EQ(hints->decline_rate, 1.0);
 }
 
 TEST_F(ClientTest, NoCacheModeAlwaysExecutes) {

@@ -113,6 +113,37 @@ TEST(ClusterSim, SmallRunProducesSaneMetrics) {
   EXPECT_GT(r.db_bytes, 0u);
 }
 
+TEST(ClusterSim, BulkValueOverlayExercisesSizeAwareAdmissionAndAdapts) {
+  // The multi-MB skewed value mix: bulk attachments padded to three size classes ride on a
+  // fraction of interactions, with large blobs keyed on write-hot active items (short
+  // learned lifetimes) and small ones on users. The large class exceeds its shard-slice
+  // guard on the small per-node budget, so fills are declined kDeclinedTooLarge — and the
+  // advisory-hint feedback makes the generator downgrade large fetches to the small class.
+  SimConfig cfg;
+  cfg.scale = rubis::RubisScale::InMemory(0.005);
+  cfg.num_clients = 50;
+  cfg.warmup = Seconds(2);
+  cfg.measure = Seconds(6);
+  cfg.cache_bytes_per_node = 2 << 20;  // shard slice 256 KiB: the large class can never fit
+  cfg.bulk_fraction = 0.5;
+  cfg.bulk_small_bytes = 2 << 10;
+  cfg.bulk_medium_bytes = 16 << 10;
+  cfg.bulk_large_bytes = 512 << 10;
+  cfg.bulk_large_fraction = 0.2;
+  ClusterSim sim(cfg);
+  auto result = sim.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const SimResult& r = result.value();
+  EXPECT_GT(r.completed, 50u);
+  EXPECT_GT(r.bulk_calls, 100u) << "the overlay must actually run";
+  EXPECT_GT(r.clients.inserts_declined_too_large, 0u)
+      << "oversized bulk fills must hit the size-aware gate";
+  EXPECT_GT(r.bulk_downgrades, 0u)
+      << "decline-rate hints must reach the generator and shrink its fills";
+  // hits + misses == lookups still holds fleet-wide with declines in play.
+  EXPECT_EQ(r.cache.hits + r.cache.misses(), r.cache.lookups);
+}
+
 TEST(ClusterSim, MembershipChurnDegradesToMissesAndRecovers) {
   // Fault injection through the new churn knobs: a cache node crashes mid-run and rejoins
   // while the RUBiS closed loop keeps going. The run must stay healthy (no failed
