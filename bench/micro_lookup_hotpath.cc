@@ -11,13 +11,20 @@
 // requester, measured in real wall-clock time on this host. The interesting regime is large
 // values — the baseline pays a malloc+memcpy per hit that grows with the value while the
 // fast path's cost is flat — so the matrix crosses {1, 16} shards with {256 B, 4 KiB, 16 KiB}
-// values. A trailing multi-threaded section (4 readers, 16 shards, 4 KiB) shows the
-// shared-vs-exclusive lock effect under contention; on a single-core CI host that column is
-// informational only.
+// values. A trailing thread sweep ({1,2,4,8} readers x {1,16} shards, 4 KiB, zero-copy path)
+// measures multi-core hit scaling after the EBR rebuild: hits take no lock at all, so
+// aggregate throughput should rise with reader count instead of serializing on the shard
+// mutex. The 4-thread/16-shard cell also runs the copy/exclusive baseline for the contention
+// contrast.
 //
-// Gate (TXCACHE_BENCH_GATE=0 to disable): single-shard hit throughput on >= 4 KiB values
-// must be >= 1.5x the copy/exclusive baseline. Results also land in
-// BENCH_lookup_hotpath.json via bench::BenchJson for cross-PR perf tracking.
+// Gates (TXCACHE_BENCH_GATE=0 to disable):
+//   1. single-shard hit throughput on >= 4 KiB values must be >= 1.5x the copy/exclusive
+//      baseline;
+//   2. 8-thread aggregate zero-copy throughput on 16 shards must be >= 3x the 1-thread run.
+// Gate 2 needs real cores to mean anything — when std::thread::hardware_concurrency() is
+// below the sweep width (single-core CI hosts), it auto-relaxes to informational: the
+// scaling_8t_over_1t metric is still measured and written, but does not fail the run.
+// Results land in BENCH_lookup_hotpath.json via bench::BenchJson for cross-PR perf tracking.
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -157,22 +164,46 @@ int main() {
     }
   }
 
-  // Contended section: 4 reader threads on a 16-shard node. Shared locks admit them
-  // concurrently; the baseline serializes them per shard. Informational on 1-core hosts.
-  const size_t threads = 4;
-  const double base_mt =
-      RunThreaded(16, ReadPath::kExclusiveCopy, 4096, ops / threads, threads);
-  const double fast_mt =
-      RunThreaded(16, ReadPath::kSharedZeroCopy, 4096, ops / threads, threads);
-  std::printf("%7s %8s %22.2f %22.2f %8.2fx   (4 threads, aggregate)\n", "16", "4096B", base_mt,
-              fast_mt, base_mt > 0 ? fast_mt / base_mt : 0);
-  json.Add("mt4_s16_v4096_exclusive_copy_mops", base_mt);
-  json.Add("mt4_s16_v4096_zero_copy_mops", fast_mt);
+  // Thread sweep: aggregate zero-copy throughput as reader count grows. With EBR-guarded
+  // lock-free hits the per-shard mutex is out of the hit path entirely, so 16-shard (and
+  // even 1-shard) aggregate throughput should scale with cores. Each cell divides the op
+  // budget across threads so wall-clock per cell stays flat.
+  std::printf("\n%7s %7s %8s %22s\n", "threads", "shards", "value", "zero-copy agg Mops");
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  double mt1_s16 = 0, mt8_s16 = 0;
+  for (size_t shards : {size_t{1}, size_t{16}}) {
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      const double agg =
+          RunThreaded(shards, ReadPath::kSharedZeroCopy, 4096, ops / threads, threads);
+      if (shards == 16 && threads == 1) mt1_s16 = agg;
+      if (shards == 16 && threads == 8) mt8_s16 = agg;
+      std::printf("%7zu %7zu %8s %22.2f\n", threads, shards, "4096B", agg);
+      json.Add("mt" + std::to_string(threads) + "_s" + std::to_string(shards) +
+                   "_v4096_zero_copy_mops",
+               agg);
+    }
+  }
+  // Contention contrast at the 4-thread/16-shard cell: the baseline's exclusive lock
+  // serializes readers per shard; kept under its historical key for cross-PR diffing.
+  const double base_mt4 = RunThreaded(16, ReadPath::kExclusiveCopy, 4096, ops / 4, 4);
+  std::printf("%7d %7d %8s %22.2f   (copy/exclusive baseline)\n", 4, 16, "4096B", base_mt4);
+  json.Add("mt4_s16_v4096_exclusive_copy_mops", base_mt4);
 
+  const double scaling = mt1_s16 > 0 ? mt8_s16 / mt1_s16 : 0;
+  json.Add("scaling_8t_over_1t", scaling);
   json.Add("gate_single_shard_4k_speedup", gate_speedup);
   json.Write();
 
+  const bool speedup_ok = gate_speedup >= 1.5;
+  // The scaling gate only binds when the host can actually run the sweep in parallel.
+  const bool scaling_binds = hw_threads >= 8;
+  const bool scaling_ok = scaling >= 3.0;
   std::printf("\nsingle-shard 4 KiB speedup: %.2fx (target >= 1.50x): %s\n", gate_speedup,
-              gate_speedup >= 1.5 ? "PASS" : "FAIL");
-  return gate_speedup >= 1.5 || !bench::GateEnabled() ? 0 : 1;
+              speedup_ok ? "PASS" : "FAIL");
+  std::printf("8-thread/1-thread scaling, 16 shards: %.2fx (target >= 3.00x): %s\n", scaling,
+              !scaling_binds
+                  ? "INFO (host reports < 8 hardware threads; gate relaxed)"
+                  : (scaling_ok ? "PASS" : "FAIL"));
+  const bool pass = speedup_ok && (scaling_ok || !scaling_binds);
+  return pass || !bench::GateEnabled() ? 0 : 1;
 }

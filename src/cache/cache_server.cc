@@ -53,6 +53,7 @@ CacheServer::CacheServer(std::string name, const Clock* clock, Options options)
     : name_(std::move(name)),
       clock_(clock),
       options_(options),
+      interner_(options.max_function_profiles),
       sequencer_([this](const InvalidationMessage& msg) { ApplySequenced(msg); }),
       advisor_(options.lifetime_ewma_alpha, options.lifetime_min_samples,
                options.max_function_profiles) {
@@ -60,7 +61,8 @@ CacheServer::CacheServer(std::string name, const Clock* clock, Options options)
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<CacheShard>(clock_, options_, &bytes_used_,
-                                                   &touch_ticker_, &aging_floor_, &advisor_));
+                                                   &touch_ticker_, &aging_floor_, &advisor_,
+                                                   &interner_));
   }
 }
 

@@ -201,6 +201,9 @@ class CacheServer : public InvalidationSubscriber {
   std::atomic<size_t> bytes_used_{0};     // shared with shards
   std::atomic<uint64_t> touch_ticker_{1};  // node-global LRU clock, shared with shards
   std::atomic<double> aging_floor_{0.0};   // shared GreedyDual aging value
+  // Node-wide function-name interning: shards store dense uint32 ids on their versions and
+  // resolve names only on cold paths. Declared before shards_ (they capture a pointer).
+  FunctionInterner interner_;
   std::vector<std::unique_ptr<CacheShard>> shards_;
   StreamSequencer sequencer_;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
+#include <thread>
 
 namespace txcache {
 
@@ -30,24 +32,88 @@ Timestamp FirstAfter(const std::vector<Timestamp>& history, Timestamp after) {
   return it == history.end() ? kTimestampInfinity : *it;
 }
 
+// Stable per-thread stripe seed; each thread maps to one touch-buffer / stats stripe via
+// seed % stripe_count, so concurrent hitters spread over stripes without coordination.
+uint32_t ThreadStripeSeed() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t seed = next.fetch_add(1, std::memory_order_relaxed);
+  return seed;
+}
+
+size_t DefaultStripes(const CacheOptions& options) {
+  if (options.touch_buffer_stripes > 0) {
+    return options.touch_buffer_stripes;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc < 1 ? 1 : (hc > 16 ? 16 : hc);
+}
+
+// Node-global LRU ticks, handed out in thread-local batches so a hit touches the shared
+// ticker once per kTickBatch allocations instead of once per hit. Ticks stay strictly
+// monotone per (thread, ticker) — which is exactly what the single-threaded LRU model tests
+// require — while cross-thread ordering is approximate within a batch, matching the already
+// best-effort cross-shard eviction comparisons. The small cache is keyed by ticker address
+// (one node = one ticker); rotation evicts the least recently added entry.
+uint64_t NextTick(std::atomic<uint64_t>* ticker) {
+  constexpr uint64_t kTickBatch = 64;
+  struct Entry {
+    std::atomic<uint64_t>* ticker = nullptr;
+    uint64_t next = 0;
+    uint64_t end = 0;
+  };
+  thread_local Entry entries[4];
+  thread_local uint32_t victim = 0;
+  for (Entry& e : entries) {
+    if (e.ticker == ticker) {
+      // A ticker that carved out this batch is always >= the batch end; a smaller value
+      // means the address was reused by a fresh ticker (new server at a recycled address)
+      // and the cached batch is stale.
+      if (e.next == e.end || ticker->load(std::memory_order_relaxed) < e.end) {
+        e.next = ticker->fetch_add(kTickBatch, std::memory_order_relaxed);
+        e.end = e.next + kTickBatch;
+      }
+      return e.next++;
+    }
+  }
+  Entry& e = entries[victim++ % 4];
+  e.ticker = ticker;
+  e.next = ticker->fetch_add(kTickBatch, std::memory_order_relaxed);
+  e.end = e.next + kTickBatch;
+  return e.next++;
+}
+
 }  // namespace
 
 CacheShard::CacheShard(const Clock* clock, const CacheOptions& options,
                        std::atomic<size_t>* global_bytes, std::atomic<uint64_t>* touch_ticker,
-                       std::atomic<double>* aging_floor, FunctionAdvisor* advisor)
+                       std::atomic<double>* aging_floor, FunctionAdvisor* advisor,
+                       FunctionInterner* interner)
     : clock_(clock),
       options_(options),
       global_bytes_(global_bytes),
       touch_ticker_(touch_ticker),
       aging_floor_(aging_floor),
       advisor_(advisor),
-      touch_buffer_(options.touch_buffer_capacity) {}
+      interner_(interner),
+      domain_(&EbrDomain::Global()),
+      table_(domain_),
+      stripe_count_(DefaultStripes(options)),
+      touch_buffer_(stripe_count_, options.touch_buffer_capacity),
+      lookup_stats_(std::make_unique<LookupStatsStripe[]>(stripe_count_)) {}
 
-CacheShard::~CacheShard() = default;
+CacheShard::~CacheShard() {
+  Flush();
+  // Best-effort reclaim of everything just retired (and anything older): with no readers
+  // active this empties the domain's lists, so sanitized test runs exit with nothing held
+  // back. Leftovers (a live reader elsewhere) are freed by the domain at process teardown.
+  domain_->Synchronize();
+}
 
 size_t CacheShard::EstimateBytes(const InsertRequest& req) {
   return kVersionOverhead + req.key.size() + req.value.size() + TagBytes(req.tags);
 }
+
+size_t CacheShard::StripeIndex() const { return ThreadStripeSeed() % stripe_count_; }
 
 void CacheShard::AddToScoreIndexLocked(Version* v) {
   // GreedyDual-Size score: the node's aging floor (score of the most valuable entry evicted so
@@ -61,7 +127,7 @@ void CacheShard::AddToScoreIndexLocked(Version* v) {
 }
 
 void CacheShard::AddToStaleListLocked(Version* v) {
-  v->stale_seq = touch_ticker_->fetch_add(1, std::memory_order_relaxed);
+  v->stale_seq = NextTick(touch_ticker_);
   stale_lru_.push_back(v);
   v->stale_it = std::prev(stale_lru_.end());
   v->in_stale_list = true;
@@ -79,42 +145,44 @@ void CacheShard::DetachPolicyStateLocked(Version* v) {
 }
 
 void CacheShard::AttributeHitsLocked(Version* v) {
-  if (!cost_aware() || v->function.empty()) {
+  if (!cost_aware() || v->fn_id == 0) {
     return;
   }
   const uint64_t total = v->hit_count.load(std::memory_order_relaxed);
   if (total == v->attributed_hits) {
     return;
   }
-  // Per-function hit attribution, bounded like the frontend's profile map.
-  auto it = fn_hits_.find(v->function);
-  if (it != fn_hits_.end()) {
-    it->second += total - v->attributed_hits;
-  } else if (fn_hits_.size() < options_.max_function_profiles) {
-    fn_hits_.emplace(v->function, total - v->attributed_hits);
+  // Per-function hit attribution into a dense vector indexed by the interned id (the
+  // interner's cap bounds it like the frontend's profile map).
+  if (v->fn_id >= fn_hits_.size()) {
+    fn_hits_.resize(v->fn_id + 1, 0);
   }
+  fn_hits_[v->fn_id] += total - v->attributed_hits;
   v->attributed_hits = total;
 }
 
 void CacheShard::DrainTouchesLocked() {
-  const size_t n = touch_buffer_.pending();
   const bool overflowed = touch_overflow_.exchange(false, std::memory_order_relaxed);
-  if (n == 0 && !overflowed) {
-    return;
-  }
   drain_scratch_.clear();
-  for (size_t i = 0; i < n; ++i) {
-    drain_scratch_.push_back(touch_buffer_.slot(i));
+  for (size_t s = 0; s < touch_buffer_.stripe_count(); ++s) {
+    const size_t n = touch_buffer_.pending(s);
+    for (size_t i = 0; i < n; ++i) {
+      Version* v = touch_buffer_.slot(s, i);
+      // Readers are not quiesced against this drain: a slot may hold null (claimed but not
+      // yet written), a pointer a previous exclusive section removed, or a stale value from
+      // an earlier round (Reset raced a straggler). The live-set check makes all of those
+      // inert; a stale-but-live pointer just re-touches at the version's own current tick.
+      if (v != nullptr && live_.count(v) != 0) {
+        drain_scratch_.push_back(v);
+      }
+    }
   }
   touch_buffer_.Reset();
-  // Advisory-hint refresh, one advisor probe per DISTINCT function in the batch (a hot batch
-  // is typically many versions of few functions — per-version probes would serialize every
-  // shard's drains on the advisor's node-global mutex).
-  std::unordered_map<std::string_view, std::shared_ptr<const AdvisoryHints>> hint_batch;
+  if (drain_scratch_.empty() && !overflowed) {
+    return;
+  }
   // Unique versions, oldest current tick first: splicing to the front in ascending-tick order
-  // leaves lru_ fully sorted by last touch. This is exact because nothing can still be in
-  // flight — a producer holds the shared lock across both its tick assignment and its Record,
-  // so by the time the exclusive side is held every assigned tick is in the buffer.
+  // leaves lru_ fully sorted by last touch among the drained set.
   std::sort(drain_scratch_.begin(), drain_scratch_.end());
   drain_scratch_.erase(std::unique(drain_scratch_.begin(), drain_scratch_.end()),
                        drain_scratch_.end());
@@ -132,22 +200,13 @@ void CacheShard::DrainTouchesLocked() {
       score_index_.erase(v->score_it);
       AddToScoreIndexLocked(v);
     }
-    if (cost_aware() && advisor_ != nullptr && !v->function.empty()) {
-      // Refresh the advisory snapshot a hit hands out; the shared-lock hit path itself
-      // stays probe-free (it only copies the shared_ptr stamped here).
-      auto it = hint_batch.find(v->function);
-      if (it == hint_batch.end()) {
-        it = hint_batch.emplace(v->function, advisor_->Hints(v->function)).first;
-      }
-      v->hints = it->second;
-    }
     AttributeHitsLocked(v);
   }
   if (overflowed) {
-    // Some touches never made it into the buffer; their recency lives only in the per-version
-    // ticks. Re-sort the whole list so LRU monotonicity (never evict a more recently touched
-    // version while a less recently touched one stays resident) survives the overflow.
-    // std::list::sort relinks nodes, so every Version::lru_it stays valid.
+    // Some touches never made it into the buffers; their recency lives only in the
+    // per-version ticks. Re-sort the whole list so LRU monotonicity (never evict a more
+    // recently touched version while a less recently touched one stays resident) survives
+    // the overflow. std::list::sort relinks nodes, so every Version::lru_it stays valid.
     lru_.sort([](const Version* a, const Version* b) {
       return a->touch_tick.load(std::memory_order_relaxed) >
              b->touch_tick.load(std::memory_order_relaxed);
@@ -168,19 +227,23 @@ EvictedVersion CacheShard::MakeEvictedLocked(const Version& v) const {
   out.bytes = v.bytes;
   out.fill_cost_us = v.fill_cost_us;
   out.hits = v.hit_count.load(std::memory_order_relaxed);
-  out.function = v.function;  // parsed once at insert; no re-parse on the eviction path
+  if (v.fn_id != 0) {
+    out.function = interner_->Name(v.fn_id);  // cold path; never on a hit
+  }
   return out;
 }
 
-Timestamp CacheShard::EffectiveUpperLocked(const Version& v) const {
-  if (!v.still_valid) {
-    return v.interval.upper;
+Timestamp CacheShard::EffectiveUpper(const Version& v, Timestamp last_ts) {
+  if (!v.still_valid.load(std::memory_order_acquire)) {
+    // The acquire above pairs with truncation's release store of still_valid, making the
+    // final upper visible.
+    return v.upper.load(std::memory_order_relaxed);
   }
   // A still-valid entry is known valid through the later of (a) the snapshot it was computed
-  // from (the database vouches for it) and (b) the last invalidation applied by this shard (the
-  // stream would have truncated it otherwise). +1 converts an inclusive timestamp to the
-  // exclusive upper bound.
-  return std::max(v.known_valid_through, last_invalidation_ts_) + 1;
+  // from (the database vouches for it) and (b) the last invalidation this caller observed
+  // applied (the stream would have truncated it otherwise). +1 converts an inclusive
+  // timestamp to the exclusive upper bound.
+  return std::max(v.known_valid_through, last_ts) + 1;
 }
 
 LookupResponse CacheShard::Lookup(const LookupRequest& req, uint64_t key_hash) {
@@ -188,8 +251,8 @@ LookupResponse CacheShard::Lookup(const LookupRequest& req, uint64_t key_hash) {
     std::unique_lock<InstrumentedSharedMutex> lock(mu_);
     return LookupExclusive(req, key_hash);
   }
-  std::shared_lock<InstrumentedSharedMutex> lock(mu_);
-  return LookupShared(req, key_hash);
+  EbrDomain::Guard guard(domain_);
+  return LookupRead(req, key_hash);
 }
 
 void CacheShard::LookupBatch(const MultiLookupRequest& req, const std::vector<uint32_t>& indices,
@@ -201,40 +264,41 @@ void CacheShard::LookupBatch(const MultiLookupRequest& req, const std::vector<ui
     }
     return;
   }
-  std::shared_lock<InstrumentedSharedMutex> lock(mu_);
+  EbrDomain::Guard guard(domain_);
   for (uint32_t i : indices) {
-    out->responses[i] = LookupShared(req.lookups[i], RequestKeyHash(req.lookups[i]));
+    out->responses[i] = LookupRead(req.lookups[i], RequestKeyHash(req.lookups[i]));
   }
 }
 
-CacheShard::Version* CacheShard::MatchLocked(const LookupRequest& req, uint64_t key_hash,
-                                             LookupResponse* resp) {
-  auto it = map_.find(HashedKey{req.key, key_hash});
-  const KeyEntry* entry = it == map_.end() ? nullptr : &it->second;
-  if (entry == nullptr || !entry->ever_inserted) {
+CacheShard::Version* CacheShard::MatchVersions(const LookupRequest& req, uint64_t key_hash,
+                                               Timestamp last_ts, LookupResponse* resp) const {
+  const KeySlot* slot = table_.Find(key_hash, req.key);
+  if (slot == nullptr) {
     resp->miss = MissKind::kCompulsory;
     return nullptr;
   }
+  const VersionArray* arr = slot->versions.load(std::memory_order_acquire);
 
   const Interval want{req.bounds_lo,
                       req.bounds_hi == kTimestampInfinity ? kTimestampInfinity
                                                           : req.bounds_hi + 1};
+  const Interval fresh_want{req.fresh_lo, std::max(req.fresh_lo, last_ts) + 1};
   Version* best = nullptr;
   Interval best_effective;
   bool any_fresh = false;  // some version intersects [fresh_lo, last_inval]: staleness is fine
-  for (const auto& v : entry->versions) {
-    Interval effective = v->interval;
-    effective.upper = EffectiveUpperLocked(*v);
-    const Interval fresh_want{req.fresh_lo, std::max(req.fresh_lo, last_invalidation_ts_) + 1};
-    if (effective.Overlaps(fresh_want)) {
-      any_fresh = true;
-    }
-    if (!effective.Overlaps(want)) {
-      continue;
-    }
-    if (best == nullptr || effective.lower > best_effective.lower) {
-      best = v.get();
-      best_effective = effective;
+  if (arr != nullptr) {
+    for (Version* v : arr->items) {
+      const Interval effective{v->lower, EffectiveUpper(*v, last_ts)};
+      if (effective.Overlaps(fresh_want)) {
+        any_fresh = true;
+      }
+      if (!effective.Overlaps(want)) {
+        continue;
+      }
+      if (best == nullptr || effective.lower > best_effective.lower) {
+        best = v;
+        best_effective = effective;
+      }
     }
   }
   if (best != nullptr) {
@@ -244,7 +308,7 @@ CacheShard::Version* CacheShard::MatchLocked(const LookupRequest& req, uint64_t 
   if (any_fresh) {
     // Something fresh enough existed, just not consistent with the caller's pin set.
     resp->miss = MissKind::kConsistency;
-  } else if (entry->versions.empty()) {
+  } else if (arr == nullptr || arr->items.empty()) {
     resp->miss = MissKind::kCapacity;
   } else {
     resp->miss = MissKind::kStaleness;
@@ -252,50 +316,63 @@ CacheShard::Version* CacheShard::MatchLocked(const LookupRequest& req, uint64_t 
   return nullptr;
 }
 
-void CacheShard::CountMissShared(MissKind kind) {
+void CacheShard::CountMiss(MissKind kind, LookupStatsStripe* st) {
   switch (kind) {
     case MissKind::kCompulsory:
-      miss_compulsory_.fetch_add(1, std::memory_order_relaxed);
+      st->miss_compulsory.fetch_add(1, std::memory_order_relaxed);
       break;
     case MissKind::kConsistency:
-      miss_consistency_.fetch_add(1, std::memory_order_relaxed);
+      st->miss_consistency.fetch_add(1, std::memory_order_relaxed);
       break;
     case MissKind::kCapacity:
-      miss_capacity_.fetch_add(1, std::memory_order_relaxed);
+      st->miss_capacity.fetch_add(1, std::memory_order_relaxed);
       break;
     case MissKind::kStaleness:
-      miss_staleness_.fetch_add(1, std::memory_order_relaxed);
+      st->miss_staleness.fetch_add(1, std::memory_order_relaxed);
       break;
     default:
       break;
   }
 }
 
-LookupResponse CacheShard::LookupShared(const LookupRequest& req, uint64_t key_hash) {
-  lookups_.fetch_add(1, std::memory_order_relaxed);
+LookupResponse CacheShard::LookupRead(const LookupRequest& req, uint64_t key_hash) {
+  // Caller holds an EBR guard; nothing reachable below can be freed under us. The
+  // last-invalidation snapshot is taken ONCE, before any version state is read: a racing
+  // truncation can only leave us with an equal-or-older snapshot, so a still-valid
+  // observation yields an upper bound no wider than the truncating message's timestamp.
+  LookupStatsStripe& st = lookup_stats_[StripeIndex()];
+  st.lookups.fetch_add(1, std::memory_order_relaxed);
   LookupResponse resp;
-  Version* best = MatchLocked(req, key_hash, &resp);
+  const Timestamp last_ts = last_invalidation_ts_.load(std::memory_order_acquire);
+  Version* best = MatchVersions(req, key_hash, last_ts, &resp);
   if (best == nullptr) {
-    CountMissShared(resp.miss);
+    CountMiss(resp.miss, &st);
     return resp;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  st.hits.fetch_add(1, std::memory_order_relaxed);
   // Deferred touch: recency is published immediately through the atomic tick; the LRU splice,
   // score refresh and per-function attribution are queued for the next exclusive drain. When
-  // the buffer is full the tick alone carries the recency and the drain repairs the order.
-  best->touch_tick.store(touch_ticker_->fetch_add(1, std::memory_order_relaxed),
-                         std::memory_order_relaxed);
+  // the stripe is full the tick alone carries the recency and the drain repairs the order.
+  best->touch_tick.store(NextTick(touch_ticker_), std::memory_order_relaxed);
   best->hit_count.fetch_add(1, std::memory_order_relaxed);
-  if (!touch_buffer_.Record(best)) {
+  if (!touch_buffer_.Record(best, ThreadStripeSeed())) {
     touch_overflow_.store(true, std::memory_order_relaxed);
   }
   resp.hit = true;
-  resp.value = best->value;  // aliases the resident buffer: refcount bump, zero byte copies
-  resp.hints = best->hints;  // advisory snapshot, same aliasing discipline
+  // One control block for value + tags + hints: the aliases below share the resident block's
+  // refcount, so a hit bumps a single count instead of three. Copying `block` is safe under
+  // the guard — the version (and with it this shared_ptr instance) is destroyed only through
+  // EBR retire, never while a reader pins it.
+  const std::shared_ptr<const ResidentBlock>& block = best->block;
+  resp.value = std::shared_ptr<const std::string>(block, &block->value);
+  if (block->has_hints) {
+    resp.hints = std::shared_ptr<const AdvisoryHints>(block, &block->hints);
+  }
   resp.fill_cost_us = best->fill_cost_us;
-  resp.still_valid = best->still_valid;
-  if (best->still_valid) {
-    resp.tags = best->tags;
+  const bool sv = best->still_valid.load(std::memory_order_acquire);
+  resp.still_valid = sv;
+  if (sv) {
+    resp.tags = std::shared_ptr<const std::vector<InvalidationTag>>(block, &block->tags);
   }
   return resp;
 }
@@ -303,19 +380,20 @@ LookupResponse CacheShard::LookupShared(const LookupRequest& req, uint64_t key_h
 LookupResponse CacheShard::LookupExclusive(const LookupRequest& req, uint64_t key_hash) {
   // Benchmark baseline (ReadPath::kExclusiveCopy): the pre-fast-path cost profile — inline
   // LRU/score/profile maintenance and deep-copied payloads under the exclusive lock.
-  lookups_.fetch_add(1, std::memory_order_relaxed);
+  LookupStatsStripe& st = lookup_stats_[StripeIndex()];
+  st.lookups.fetch_add(1, std::memory_order_relaxed);
   LookupResponse resp;
-  Version* best = MatchLocked(req, key_hash, &resp);
+  const Timestamp last_ts = last_invalidation_ts_.load(std::memory_order_relaxed);
+  Version* best = MatchVersions(req, key_hash, last_ts, &resp);
   if (best == nullptr) {
-    CountMissShared(resp.miss);
+    CountMiss(resp.miss, &st);
     return resp;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  st.hits.fetch_add(1, std::memory_order_relaxed);
   lru_.erase(best->lru_it);
   lru_.push_front(best);
   best->lru_it = lru_.begin();
-  best->touch_tick.store(touch_ticker_->fetch_add(1, std::memory_order_relaxed),
-                         std::memory_order_relaxed);
+  best->touch_tick.store(NextTick(touch_ticker_), std::memory_order_relaxed);
   best->hit_count.fetch_add(1, std::memory_order_relaxed);
   AttributeHitsLocked(best);
   if (best->in_score_index) {
@@ -323,12 +401,14 @@ LookupResponse CacheShard::LookupExclusive(const LookupRequest& req, uint64_t ke
     AddToScoreIndexLocked(best);
   }
   resp.hit = true;
-  resp.value = std::make_shared<const std::string>(*best->value);
-  resp.hints = best->hints;
+  resp.value = std::make_shared<const std::string>(best->block->value);
+  if (best->block->has_hints) {
+    resp.hints = std::make_shared<const AdvisoryHints>(best->block->hints);
+  }
   resp.fill_cost_us = best->fill_cost_us;
-  resp.still_valid = best->still_valid;
-  if (best->still_valid) {
-    resp.tags = std::make_shared<const std::vector<InvalidationTag>>(*best->tags);
+  resp.still_valid = best->still_valid.load(std::memory_order_relaxed);
+  if (resp.still_valid) {
+    resp.tags = std::make_shared<const std::vector<InvalidationTag>>(best->block->tags);
   }
   return resp;
 }
@@ -348,12 +428,14 @@ Status CacheShard::Insert(const InsertRequest& req, uint64_t key_hash, std::stri
   if (req.interval.empty()) {
     return Status::InvalidArgument("empty validity interval");
   }
-  auto map_it = map_.find(HashedKey{req.key, key_hash});
-  if (map_it == map_.end()) {
-    map_it = map_.try_emplace(req.key).first;
+  KeySlot* slot = table_.Find(key_hash, req.key);
+  if (slot == nullptr) {
+    // The slot outlives its versions deliberately: its existence records "this key was
+    // inserted at some point", which classifies later misses as capacity/staleness rather
+    // than compulsory (the old map kept empty KeyEntries for the same purpose).
+    slot = new KeySlot{key_hash, req.key};
+    table_.InsertIfAbsent(key_hash, slot);
   }
-  KeyEntry& entry = map_it->second;
-  entry.ever_inserted = true;
 
   Interval interval = req.interval;
   Timestamp known_through = std::max(interval.lower, req.computed_at);
@@ -389,50 +471,71 @@ Status CacheShard::Insert(const InsertRequest& req, uint64_t key_hash, std::stri
 
   // Preserve the disjointness invariant: if any stored version already covers part of this
   // interval, keep the existing one (same key + overlapping validity implies equal value).
-  for (const auto& v : entry.versions) {
-    Interval effective = v->interval;
-    effective.upper = EffectiveUpperLocked(*v);
-    if (effective.Overlaps(interval) || v->interval.Overlaps(interval)) {
-      ++stats_.duplicate_inserts;
-      return Status::Ok();
+  const Timestamp last_ts = last_invalidation_ts_.load(std::memory_order_relaxed);
+  const VersionArray* existing = slot->versions.load(std::memory_order_relaxed);
+  if (existing != nullptr) {
+    for (Version* v : existing->items) {
+      const Interval effective{v->lower, EffectiveUpper(*v, last_ts)};
+      const Interval raw{v->lower, v->upper.load(std::memory_order_relaxed)};
+      if (effective.Overlaps(interval) || raw.Overlaps(interval)) {
+        ++stats_.duplicate_inserts;
+        return Status::Ok();
+      }
     }
   }
 
-  auto version = std::make_unique<Version>();
-  version->interval = interval;
+  auto* version = new Version();
+  version->lower = interval.lower;
   version->known_valid_through = known_through;
-  version->still_valid = still_valid;
-  version->value = std::make_shared<const std::string>(req.value);
-  version->tags = std::make_shared<const std::vector<InvalidationTag>>(req.tags);
+  version->upper.store(interval.upper, std::memory_order_relaxed);
+  version->still_valid.store(still_valid, std::memory_order_relaxed);
+  auto block = std::make_shared<ResidentBlock>();
+  block->value = req.value;
+  block->tags = req.tags;
+  if (hints != nullptr) {
+    block->hints = *hints;
+    block->has_hints = true;
+  }
+  version->block = std::move(block);
   version->invalidated_wallclock = invalidated_at;
   version->bytes = EstimateBytes(req);
-  version->touch_tick.store(touch_ticker_->fetch_add(1, std::memory_order_relaxed),
-                            std::memory_order_relaxed);
+  version->touch_tick.store(NextTick(touch_ticker_), std::memory_order_relaxed);
   version->fill_cost_us = req.fill_cost_us;
-  version->function = std::move(function);
+  version->fn_id = interner_->Intern(function);
   version->inserted_wallclock = clock_->Now();
-  version->hints = std::move(hints);
+  version->owner = slot;
 
-  version->key = &map_it->first;
-  lru_.push_front(version.get());
+  lru_.push_front(version);
   version->lru_it = lru_.begin();
   global_bytes_->fetch_add(version->bytes, std::memory_order_relaxed);
   ++version_count_;
+  live_.insert(version);
   if (still_valid) {
-    RegisterTagsLocked(version.get());
+    RegisterTagsLocked(version);
   }
   if (cost_aware()) {
     if (still_valid) {
-      AddToScoreIndexLocked(version.get());
+      AddToScoreIndexLocked(version);
     } else {
-      AddToStaleListLocked(version.get());
+      AddToStaleListLocked(version);
     }
   }
 
-  auto pos = std::lower_bound(
-      entry.versions.begin(), entry.versions.end(), version->interval.lower,
-      [](const std::unique_ptr<Version>& a, Timestamp t) { return a->interval.lower < t; });
-  entry.versions.insert(pos, std::move(version));
+  // Publish: copy-on-write the version array (sorted by lower) and retire the superseded
+  // snapshot — a concurrent reader keeps walking whichever array it acquired.
+  auto* next = new VersionArray();
+  const VersionArray* old = slot->versions.load(std::memory_order_relaxed);
+  next->items.reserve((old == nullptr ? 0 : old->items.size()) + 1);
+  if (old != nullptr) {
+    next->items = old->items;
+  }
+  auto pos = std::lower_bound(next->items.begin(), next->items.end(), version->lower,
+                              [](const Version* a, Timestamp t) { return a->lower < t; });
+  next->items.insert(pos, version);
+  slot->versions.store(next, std::memory_order_release);
+  if (old != nullptr) {
+    domain_->RetireObject(const_cast<VersionArray*>(old));
+  }
   ++stats_.inserts;
 
   *sweep_due = CountOpLocked();
@@ -468,12 +571,15 @@ void CacheShard::ApplyInvalidation(const InvalidationMessage& msg, bool* sweep_d
     TruncateLocked(v, msg.ts, now);
   }
   RecordHistoryLocked(msg);
-  last_invalidation_ts_ = std::max(last_invalidation_ts_, msg.ts);
+  // Published AFTER the truncations (release): a reader whose snapshot includes this
+  // timestamp is guaranteed to see every truncation the message caused.
+  const Timestamp cur = last_invalidation_ts_.load(std::memory_order_relaxed);
+  last_invalidation_ts_.store(std::max(cur, msg.ts), std::memory_order_release);
   *sweep_due = CountOpLocked();
 }
 
 void CacheShard::TruncateLocked(Version* v, Timestamp ts, WallClock wallclock) {
-  if (!v->still_valid) {
+  if (!v->still_valid.load(std::memory_order_relaxed)) {
     return;
   }
   // The database accounted for everything up to known_valid_through when it computed the
@@ -482,18 +588,20 @@ void CacheShard::TruncateLocked(Version* v, Timestamp ts, WallClock wallclock) {
     return;
   }
   UnregisterTagsLocked(v);
-  v->still_valid = false;
-  v->interval.upper = ts;
+  // Store order matters for lock-free readers: final upper first, then the release store of
+  // still_valid — a reader that observes still_valid == false (acquire) sees the new upper.
+  v->upper.store(ts, std::memory_order_relaxed);
+  v->still_valid.store(false, std::memory_order_release);
   v->invalidated_wallclock = wallclock;
   if (cost_aware()) {
-    if (advisor_ != nullptr && !v->function.empty()) {
+    if (advisor_ != nullptr && v->fn_id != 0) {
       // TTL learning: the stream just revealed how long this function's result actually
       // stayed valid while resident. (Insert-time truncations never reach here — they carry
       // no residency interval worth learning from.)
       const WallClock lived = wallclock > v->inserted_wallclock
                                   ? wallclock - v->inserted_wallclock
                                   : WallClock{0};
-      advisor_->ObserveLifetime(v->function, static_cast<uint64_t>(lived));
+      advisor_->ObserveLifetime(interner_->Name(v->fn_id), static_cast<uint64_t>(lived));
     }
     if (v->ttl_demoted) {
       // Already parked in the stale list by learned-TTL expiry — the prediction just came
@@ -510,7 +618,7 @@ void CacheShard::TruncateLocked(Version* v, Timestamp ts, WallClock wallclock) {
 }
 
 void CacheShard::RegisterTagsLocked(Version* v) {
-  for (const InvalidationTag& tag : *v->tags) {
+  for (const InvalidationTag& tag : v->block->tags) {
     if (tag.wildcard) {
       wildcard_holders_[tag.table].insert(v);
     } else {
@@ -521,7 +629,7 @@ void CacheShard::RegisterTagsLocked(Version* v) {
 }
 
 void CacheShard::UnregisterTagsLocked(Version* v) {
-  for (const InvalidationTag& tag : *v->tags) {
+  for (const InvalidationTag& tag : v->block->tags) {
     if (tag.wildcard) {
       auto it = wildcard_holders_.find(tag.table);
       if (it != wildcard_holders_.end()) {
@@ -549,22 +657,38 @@ void CacheShard::UnregisterTagsLocked(Version* v) {
   }
 }
 
+void CacheShard::UnpublishVersionLocked(Version* v) {
+  KeySlot* slot = v->owner;
+  VersionArray* old = slot->versions.load(std::memory_order_relaxed);
+  assert(old != nullptr);
+  VersionArray* next = nullptr;
+  if (old->items.size() > 1) {
+    next = new VersionArray();
+    next->items.reserve(old->items.size() - 1);
+    for (Version* u : old->items) {
+      if (u != v) {
+        next->items.push_back(u);
+      }
+    }
+  }
+  slot->versions.store(next, std::memory_order_release);
+  domain_->RetireObject(old);
+  // The version itself is retired too: a pinned reader may hold it (and, through its block
+  // member, the payload an outstanding response aliases).
+  domain_->RetireObject(v);
+}
+
 void CacheShard::RemoveVersionLocked(Version* v) {
-  if (v->still_valid) {
+  if (v->still_valid.load(std::memory_order_relaxed)) {
     UnregisterTagsLocked(v);
   }
   DetachPolicyStateLocked(v);
   lru_.erase(v->lru_it);
   global_bytes_->fetch_sub(v->bytes, std::memory_order_relaxed);
   --version_count_;
-  auto it = map_.find(*v->key);
-  assert(it != map_.end());
-  KeyEntry& entry = it->second;
-  auto pos = std::find_if(entry.versions.begin(), entry.versions.end(),
-                          [v](const std::unique_ptr<Version>& p) { return p.get() == v; });
-  assert(pos != entry.versions.end());
-  entry.versions.erase(pos);  // destroys v (readers holding its buffers keep them alive)
-  // Keep the KeyEntry itself (ever_inserted distinguishes capacity from compulsory misses).
+  live_.erase(v);
+  UnpublishVersionLocked(v);
+  // Keep the KeySlot itself (its existence distinguishes capacity from compulsory misses).
 }
 
 std::optional<uint64_t> CacheShard::OldestTick() const {
@@ -670,7 +794,13 @@ std::unordered_map<std::string, uint64_t> CacheShard::FunctionHits() {
   // Fold pending touches in first so profiles reflect every completed hit (the overflow
   // repair folds the whole LRU list, so dropped touch records cannot lose attribution).
   DrainTouchesLocked();
-  return fn_hits_;
+  std::unordered_map<std::string, uint64_t> out;
+  for (uint32_t id = 1; id < fn_hits_.size(); ++id) {
+    if (fn_hits_[id] != 0) {
+      out.emplace(interner_->Name(id), fn_hits_[id]);
+    }
+  }
+  return out;
 }
 
 void CacheShard::SweepStale(const LifetimeSnapshot* learned) {
@@ -699,11 +829,16 @@ void CacheShard::DemoteTtlExpiredLocked(const LifetimeSnapshot& learned) {
   }
   const WallClock now = clock_->Now();
   std::vector<Version*> expired;
+  std::unordered_map<uint32_t, std::string> names;  // resolve each fn id once per pass
   for (const auto& [_, v] : score_index_) {
-    if (v->function.empty()) {
+    if (v->fn_id == 0) {
       continue;
     }
-    auto it = learned.find(v->function);
+    auto nit = names.find(v->fn_id);
+    if (nit == names.end()) {
+      nit = names.emplace(v->fn_id, interner_->Name(v->fn_id)).first;
+    }
+    auto it = learned.find(nit->second);
     if (it == learned.end() || it->second.truncations < options_.lifetime_min_samples) {
       continue;  // lifetime not learned yet: never demote on guesswork
     }
@@ -727,7 +862,8 @@ void CacheShard::SweepStaleLocked() {
   const WallClock cutoff = clock_->Now() - options_.max_staleness;
   std::vector<Version*> victims;
   for (Version* v : lru_) {
-    if (!v->still_valid && v->invalidated_wallclock > 0 && v->invalidated_wallclock < cutoff) {
+    if (!v->still_valid.load(std::memory_order_relaxed) && v->invalidated_wallclock > 0 &&
+        v->invalidated_wallclock < cutoff) {
       victims.push_back(v);
     }
   }
@@ -794,29 +930,37 @@ Timestamp CacheShard::EarliestInvalidationAfterLocked(const std::vector<Invalida
 std::pair<uint64_t, std::string> CacheShard::ExportEntries() const {
   std::shared_lock<InstrumentedSharedMutex> lock(mu_);
   Writer w;
-  for (const auto& [key, entry] : map_) {
-    for (const auto& v : entry.versions) {
-      w.PutString(key);
-      w.PutString(*v->value);
-      w.PutU64(v->interval.lower);
-      w.PutU64(v->still_valid ? kTimestampInfinity : v->interval.upper);
+  // The shared lock excludes writers, so the writer-side iteration over the flat table is
+  // stable here.
+  table_.ForEach([&w](KeySlot* slot) {
+    const VersionArray* arr = slot->versions.load(std::memory_order_relaxed);
+    if (arr == nullptr) {
+      return;
+    }
+    for (const Version* v : arr->items) {
+      const bool sv = v->still_valid.load(std::memory_order_relaxed);
+      w.PutString(slot->key);
+      w.PutString(v->block->value);
+      w.PutU64(v->lower);
+      w.PutU64(sv ? kTimestampInfinity : v->upper.load(std::memory_order_relaxed));
       w.PutU64(v->known_valid_through);
       w.PutU64(v->fill_cost_us);
-      w.PutU32(static_cast<uint32_t>(v->tags->size()));
-      for (const InvalidationTag& tag : *v->tags) {
+      w.PutU32(static_cast<uint32_t>(v->block->tags.size()));
+      for (const InvalidationTag& tag : v->block->tags) {
         w.PutString(tag.table);
         w.PutString(tag.index);
         w.PutString(tag.key);
         w.PutBool(tag.wildcard);
       }
     }
-  }
+  });
   return {version_count_, w.Take()};
 }
 
 void CacheShard::AdoptStreamPosition(Timestamp last_invalidation_ts, bool raise_history_floor) {
   std::unique_lock<InstrumentedSharedMutex> lock(mu_);
-  last_invalidation_ts_ = std::max(last_invalidation_ts_, last_invalidation_ts);
+  const Timestamp cur = last_invalidation_ts_.load(std::memory_order_relaxed);
+  last_invalidation_ts_.store(std::max(cur, last_invalidation_ts), std::memory_order_release);
   if (raise_history_floor && last_invalidation_ts > history_floor_) {
     // The messages up to the adopted position were never applied here, so the retained
     // history has a gap. Raising the floor makes Insert's replay path bound any still-valid
@@ -827,21 +971,33 @@ void CacheShard::AdoptStreamPosition(Timestamp last_invalidation_ts, bool raise_
 
 void CacheShard::Flush() {
   std::unique_lock<InstrumentedSharedMutex> lock(mu_);
-  // Everything the touch buffer points at dies below; discard the records rather than apply
-  // them (readers that already hold value aliases keep their buffers via the shared_ptrs).
+  // Everything the touch buffers point at dies below; discard the records rather than apply
+  // them. Readers that already hold value aliases keep their buffers — the versions (and the
+  // blocks they own) are retired through the EBR domain, not freed in place.
   touch_buffer_.Reset();
   touch_overflow_.store(false, std::memory_order_relaxed);
   size_t freed = 0;
   for (const Version* v : lru_) {
     freed += v->bytes;
   }
-  map_.clear();
+  table_.ForEach([this](KeySlot* slot) {
+    VersionArray* arr = slot->versions.load(std::memory_order_relaxed);
+    if (arr != nullptr) {
+      for (Version* v : arr->items) {
+        domain_->RetireObject(v);
+      }
+      domain_->RetireObject(arr);
+    }
+    domain_->RetireObject(slot);
+  });
+  table_.Clear();  // publishes a fresh empty table; the old slot array is retired
   lru_.clear();
   score_index_.clear();
   stale_lru_.clear();
   tag_index_.clear();
   table_index_.clear();
   wildcard_holders_.clear();
+  live_.clear();
   global_bytes_->fetch_sub(freed, std::memory_order_relaxed);
   version_count_ = 0;
 }
@@ -849,26 +1005,33 @@ void CacheShard::Flush() {
 CacheStats CacheShard::stats() const {
   std::shared_lock<InstrumentedSharedMutex> lock(mu_);
   CacheStats s = stats_;
-  s.lookups += lookups_.load(std::memory_order_relaxed);
-  s.hits += hits_.load(std::memory_order_relaxed);
-  s.miss_compulsory += miss_compulsory_.load(std::memory_order_relaxed);
-  s.miss_staleness += miss_staleness_.load(std::memory_order_relaxed);
-  s.miss_capacity += miss_capacity_.load(std::memory_order_relaxed);
-  s.miss_consistency += miss_consistency_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < stripe_count_; ++i) {
+    const LookupStatsStripe& st = lookup_stats_[i];
+    s.lookups += st.lookups.load(std::memory_order_relaxed);
+    s.hits += st.hits.load(std::memory_order_relaxed);
+    s.miss_compulsory += st.miss_compulsory.load(std::memory_order_relaxed);
+    s.miss_staleness += st.miss_staleness.load(std::memory_order_relaxed);
+    s.miss_capacity += st.miss_capacity.load(std::memory_order_relaxed);
+    s.miss_consistency += st.miss_consistency.load(std::memory_order_relaxed);
+  }
   return s;
 }
 
 void CacheShard::ResetStats() {
   std::unique_lock<InstrumentedSharedMutex> lock(mu_);
-  // Drain so pending per-function attribution lands before the profile map is cleared, then
-  // mark every resident version fully attributed — pre-reset hits must not leak into the
+  // Drain so pending per-function attribution lands before the profile counters are cleared,
+  // then mark every resident version fully attributed — pre-reset hits must not leak into the
   // next window's profiles at a later drain.
   DrainTouchesLocked();
   stats_ = CacheStats{};
-  for (std::atomic<uint64_t>* c :
-       {&lookups_, &hits_, &miss_compulsory_, &miss_staleness_, &miss_capacity_,
-        &miss_consistency_}) {
-    c->store(0, std::memory_order_relaxed);
+  for (size_t i = 0; i < stripe_count_; ++i) {
+    LookupStatsStripe& st = lookup_stats_[i];
+    st.lookups.store(0, std::memory_order_relaxed);
+    st.hits.store(0, std::memory_order_relaxed);
+    st.miss_compulsory.store(0, std::memory_order_relaxed);
+    st.miss_staleness.store(0, std::memory_order_relaxed);
+    st.miss_capacity.store(0, std::memory_order_relaxed);
+    st.miss_consistency.store(0, std::memory_order_relaxed);
   }
   fn_hits_.clear();
   for (Version* v : lru_) {
@@ -883,12 +1046,12 @@ size_t CacheShard::version_count() const {
 
 size_t CacheShard::key_count() const {
   std::shared_lock<InstrumentedSharedMutex> lock(mu_);
-  return map_.size();
+  return table_.size();
 }
 
 Timestamp CacheShard::last_invalidation_ts() const {
   std::shared_lock<InstrumentedSharedMutex> lock(mu_);
-  return last_invalidation_ts_;
+  return last_invalidation_ts_.load(std::memory_order_relaxed);
 }
 
 }  // namespace txcache

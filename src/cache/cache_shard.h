@@ -2,19 +2,33 @@
 //
 // A shard owns every mutable structure for the keys that hash to it: the version chains, the
 // still-valid tag index, its slice of the LRU order, the per-tag invalidation history used for
-// insert-time replay, and its own stats counters — all guarded by one shard lock. Nothing in
-// a shard ever takes another shard's lock, so lookups and inserts on different shards never
-// contend.
+// insert-time replay, and its own stats counters. Mutations (insert, invalidation, eviction,
+// sweep, flush) serialize on the shard's exclusive lock, exactly as before.
 //
-// Read fast path (docs/architecture.md §"Read fast path"): the shard lock is a shared mutex.
-// Lookups (and the other read-only accessors) take only the SHARED side and perform zero
-// deep copies — a hit aliases the resident value/tag buffers through shared_ptrs, which also
-// keep the bytes alive after the version is evicted or truncated. The LRU/score/profile
-// bookkeeping a hit owes is deferred: the hit stores a fresh recency tick on the version
-// atomically and records the version in a bounded multi-producer touch buffer; the next
-// operation that holds the exclusive lock (insert, invalidation, sweep, eviction) drains the
-// buffer and applies the accumulated maintenance in one pass. Every exclusive section that
-// can destroy a version drains first, so the buffer never holds a dangling pointer.
+// Read fast path (docs/architecture.md §"Memory reclamation and the flat shard table"): a
+// zero-copy lookup holds NO shard lock at all. It enters an epoch-based-reclamation critical
+// region (EbrDomain::Guard — one seq_cst RMW on the calling thread's own epoch slot), probes
+// an open-addressing flat table with the request's carried Fnv1a hash (memcmp only on a full
+// 64-bit hash match), walks an immutable copy-on-write version array, and aliases the hit's
+// resident block. Writers never free anything a reader might still reach: removed versions,
+// superseded version arrays, displaced flat-table arrays and flushed key slots are RETIRED
+// into the EBR domain and reclaimed only after every pinned reader epoch has moved on.
+//
+// What a hit writes: its own thread's epoch slot, the winning version's recency tick +
+// hit counter (per-version lines, contended only by hitters of the same key), one slot in its
+// thread-stripe of the touch buffer, and its thread-stripe of the lookup counters. It bumps
+// ONE shared_ptr refcount — the hit's resident block bundles value + tags + hints into a
+// single control block, so the response's three aliases share one count. The node-global LRU
+// tick is handed out in thread-local batches, so the shared ticker is touched once per batch,
+// not once per hit. Nothing else a hit touches is shared-writable — no lock word, no shard-
+// wide counter — which is what lets hit throughput scale with cores.
+//
+// Deferred hit maintenance is unchanged in spirit: the LRU splice, score refresh and
+// per-function attribution a hit owes are queued in per-thread-stripe touch buffers and
+// applied by the next exclusive section (insert, invalidation, sweep, eviction). Because
+// readers no longer quiesce (they hold no lock), a drained record may point at a version an
+// earlier exclusive section already removed — the drain validates every record against the
+// shard's live-version set before dereferencing, making stale records inert.
 //
 // Cross-shard concerns live in the CacheServer frontend:
 //   * the invalidation stream is sequenced once per node (StreamSequencer) and fanned out to
@@ -45,8 +59,11 @@
 
 #include "src/bus/invalidation.h"
 #include "src/cache/cache_types.h"
+#include "src/cache/flat_table.h"
 #include "src/cache/function_advisor.h"
+#include "src/cache/function_interner.h"
 #include "src/util/clock.h"
+#include "src/util/ebr.h"
 #include "src/util/hash.h"
 #include "src/util/serde.h"
 #include "src/util/shared_mutex.h"
@@ -61,7 +78,7 @@ struct EvictedVersion {
   size_t bytes = 0;
   uint64_t fill_cost_us = 0;
   uint64_t hits = 0;
-  std::string function;  // CacheKeyFunction of the evicted key (parsed once, at insert)
+  std::string function;  // CacheKeyFunction of the evicted key (interned once, at insert)
 };
 
 // Cheapest victim this shard could offer right now; the frontend compares candidates across
@@ -91,9 +108,12 @@ struct VictimPreview {
 
 class CacheShard {
  public:
+  // `interner` is the node-wide function-name interner (shared across shards so ids agree);
+  // must outlive the shard.
   CacheShard(const Clock* clock, const CacheOptions& options,
              std::atomic<size_t>* global_bytes, std::atomic<uint64_t>* touch_ticker,
-             std::atomic<double>* aging_floor, FunctionAdvisor* advisor);
+             std::atomic<double>* aging_floor, FunctionAdvisor* advisor,
+             FunctionInterner* interner);
   ~CacheShard();
 
   // Byte cost a version created from `req` would be charged against the node budget. Public so
@@ -104,17 +124,18 @@ class CacheShard {
   CacheShard& operator=(const CacheShard&) = delete;
 
   // `key_hash` is the request's carried (or frontend-computed) Fnv1a key hash; the shard
-  // reuses it for the map probe, so a hit never rehashes nor materializes a key copy.
+  // reuses it for the flat-table probe, so a hit never rehashes nor materializes a key copy.
   LookupResponse Lookup(const LookupRequest& req, uint64_t key_hash);
-  // Answers req.lookups[i] for every i in `indices` under a single lock acquisition, writing
-  // each result to out->responses[i]. Byte-identical to issuing the lookups one at a time.
+  // Answers req.lookups[i] for every i in `indices` inside a single EBR critical region,
+  // writing each result to out->responses[i]. Byte-identical to issuing the lookups one at a
+  // time.
   void LookupBatch(const MultiLookupRequest& req, const std::vector<uint32_t>& indices,
                    MultiLookupResponse* out);
   // `function` is CacheKeyFunction(req.key), parsed once by the frontend (empty under plain
-  // LRU, which never uses it); `hints` is the function's current advisory snapshot, stamped
-  // on the stored version so the zero-copy hit path can serve it without a map probe.
-  // `*sweep_due` is set when this shard's mutating-op counter crossed the sweep interval;
-  // the caller (frontend) then sweeps all shards without any shard lock held.
+  // LRU, which never uses it); `hints` is the function's current advisory snapshot, copied
+  // into the stored version's resident block so the zero-copy hit path can serve it without a
+  // map probe. `*sweep_due` is set when this shard's mutating-op counter crossed the sweep
+  // interval; the caller (frontend) then sweeps all shards without any shard lock held.
   Status Insert(const InsertRequest& req, uint64_t key_hash, std::string function,
                 std::shared_ptr<const AdvisoryHints> hints, bool* sweep_due);
 
@@ -148,9 +169,9 @@ class CacheShard {
   // heuristic, never a correctness question.
   std::vector<VictimPreview> PreviewVictims(size_t bytes_needed) const;
 
-  // Per-function hit counters (attributed at touch-buffer drain time from the function name
-  // stored on each version), merged by the frontend into FunctionStats(). Drains pending
-  // touches so the profile is current as of this call.
+  // Per-function hit counters (attributed at touch-buffer drain time from the interned
+  // function id stored on each version), merged by the frontend into FunctionStats(). Drains
+  // pending touches so the profile is current as of this call.
   std::unordered_map<std::string, uint64_t> FunctionHits();
 
   void Flush();  // drops cached data; keeps invalidation history and stream position
@@ -174,41 +195,58 @@ class CacheShard {
   // hit takes no exclusive lock" claim is asserted against this by tests and benchmarks.
   uint64_t exclusive_lock_acquisitions() const { return mu_.exclusive_acquisitions(); }
   uint64_t shared_lock_acquisitions() const { return mu_.shared_acquisitions(); }
-  // True when the touch buffer has overflowed since the last drain (diagnostic; tests use it
-  // to force-cover the overflow repair path).
+  // True when any touch-buffer stripe has overflowed since the last drain (diagnostic; tests
+  // use it to force-cover the overflow repair path).
   bool touch_buffer_overflowed() const {
     return touch_overflow_.load(std::memory_order_relaxed);
   }
 
  private:
+  struct KeySlot;
+
+  // The bytes a hit hands out, bundled so one control block covers the value, the tags and
+  // the advisory hints: a zero-copy response carries three aliasing shared_ptrs but bumps a
+  // single refcount. The block is immutable from publication to destruction — truncation
+  // narrows the version's validity, never the payload — which is what keeps held aliases
+  // bitwise-stable across truncate/evict/flush and lets lock-free readers copy `block`
+  // concurrently. The hints are a value copy of the function's advisory snapshot at insert
+  // time (the contract has always allowed hints to lag; fresh ones flow via InsertResponse).
+  struct ResidentBlock {
+    std::string value;
+    std::vector<InvalidationTag> tags;
+    AdvisoryHints hints{};
+    bool has_hints = false;
+  };
+
   struct Version {
-    Interval interval;                      // truncated in place by invalidations
+    // Immutable after publication (a reader acquires the version array that exposes them).
+    Timestamp lower = kTimestampZero;
     Timestamp known_valid_through = kTimestampZero;  // max(lower, computed_at)
-    bool still_valid = false;
-    // Immutable once inserted; hits hand out aliases, so the buffers must never be mutated
-    // in place (truncation narrows `interval`, never rewrites the payload).
-    std::shared_ptr<const std::string> value;
-    std::shared_ptr<const std::vector<InvalidationTag>> tags;  // in tag index iff still_valid
-    WallClock invalidated_wallclock = 0;    // set when truncated
+    std::shared_ptr<const ResidentBlock> block;      // destroyed only with the version (EBR)
     size_t bytes = 0;
-    // Node-global LRU ordinal of the last touch. Written by hits under the SHARED lock
-    // (relaxed store), so it is atomic; all other Version state is exclusive-lock-only.
-    std::atomic<uint64_t> touch_tick{0};
-    std::atomic<uint64_t> hit_count{0};     // bumped by hits under the shared lock
-    const std::string* key = nullptr;       // points at the map node's key (stable)
-    std::string function;                   // CacheKeyFunction(key); empty under kLru
-    std::list<Version*>::iterator lru_it;   // position in lru_
-    WallClock inserted_wallclock = 0;       // TTL learning: residency start
-    // Advisory snapshot of the function's hints, stamped at insert and refreshed at drain
-    // (exclusive-lock writes only; the shared-lock hit path copies the shared_ptr).
-    std::shared_ptr<const AdvisoryHints> hints;
+    uint64_t fill_cost_us = 0;
+    uint32_t fn_id = 0;       // interned CacheKeyFunction; 0 = none
+    KeySlot* owner = nullptr; // the slot whose array publishes this version
+    WallClock inserted_wallclock = 0;  // TTL learning: residency start
+
+    // Reader-visible mutable state. Truncation stores `upper` (relaxed) and THEN
+    // `still_valid = false` (release); a reader that loads still_valid == false (acquire)
+    // therefore sees the final upper. While still_valid is true the effective upper is
+    // derived from known_valid_through and the reader's last-invalidation snapshot instead.
+    std::atomic<Timestamp> upper{kTimestampInfinity};
+    std::atomic<bool> still_valid{false};
+    std::atomic<uint64_t> touch_tick{0};  // node-global LRU ordinal of the last touch
+    std::atomic<uint64_t> hit_count{0};
+
+    // Exclusive-lock-only state.
+    WallClock invalidated_wallclock = 0;  // set when truncated
+    std::list<Version*>::iterator lru_it;  // position in lru_
 
     // Cost-aware policy state. A resident version is in exactly one of the two structures:
     // still-valid versions carry a GreedyDual-style score (aging floor + fill_cost/bytes,
     // refreshed at drain time for every hit batch) in score_index_; closed-interval versions
     // — plus still-valid versions demoted for outliving their function's learned lifetime
     // (ttl_demoted) — sit in stale_lru_ in the order they went stale and are evicted first.
-    uint64_t fill_cost_us = 0;
     uint64_t attributed_hits = 0;  // hit_count already folded into fn_hits_ (drain-side)
     double score = 0.0;
     std::multimap<double, Version*>::iterator score_it;  // valid iff in_score_index
@@ -219,75 +257,102 @@ class CacheShard {
     uint64_t stale_seq = 0;  // node-global ordinal taken when listed stale
   };
 
-  struct KeyEntry {
-    // Sorted by interval.lower; intervals pairwise disjoint.
-    std::vector<std::unique_ptr<Version>> versions;
-    bool ever_inserted = false;
+  // Immutable snapshot of a key's version chain, sorted by `lower`, intervals pairwise
+  // disjoint. Writers publish a fresh array on every insert/remove and retire the old one;
+  // readers walk whichever snapshot they acquired.
+  struct VersionArray {
+    std::vector<Version*> items;
   };
 
-  // Heterogeneous probe for map_: carries the key view plus its precomputed Fnv1a hash, so
-  // the read path neither rehashes nor materializes a temporary std::string key.
-  struct HashedKey {
-    std::string_view key;
-    uint64_t hash;  // must equal Fnv1a(key)
-  };
-  struct KeyHasher {
-    using is_transparent = void;
-    size_t operator()(const HashedKey& k) const { return static_cast<size_t>(k.hash); }
-    size_t operator()(const std::string& k) const { return static_cast<size_t>(Fnv1a(k)); }
-  };
-  struct KeyEqual {
-    using is_transparent = void;
-    bool operator()(const std::string& a, const std::string& b) const { return a == b; }
-    bool operator()(const HashedKey& a, const std::string& b) const { return a.key == b; }
-    bool operator()(const std::string& a, const HashedKey& b) const { return a == b.key; }
+  // One key's flat-table record. Created by the first insert for the key and kept for the
+  // shard's lifetime (its existence is what distinguishes a capacity/staleness miss from a
+  // compulsory one — the old map kept empty KeyEntries for the same reason); retired only by
+  // Flush and destruction. `versions` may be null (all versions removed).
+  struct KeySlot {
+    uint64_t hash = 0;  // Fnv1a(key); field required by FlatHashTable
+    std::string key;
+    std::atomic<VersionArray*> versions{nullptr};
   };
 
-  // Bounded multi-producer touch queue. Producers (hits) run under the SHARED lock and claim
-  // slots with an atomic ticket; the single consumer (DrainTouchesLocked) runs under the
-  // EXCLUSIVE lock, so production and consumption are never concurrent — the shared/exclusive
-  // handoff of the shard lock is the synchronization point.
-  class TouchBuffer {
+  // Per-thread-stripe touch queues. Producers (hits) hold no lock: they claim a slot in their
+  // own stripe with an atomic ticket and store the version pointer. The consumer
+  // (DrainTouchesLocked, exclusive lock held) is NOT quiesced against producers — a straggler
+  // may publish into a stripe mid-drain — so the drain treats slot contents as hints: every
+  // drained pointer is validated against the shard's live-version set, and lost or duplicate
+  // touches are self-correcting (recency truth lives in the per-version ticks; the overflow
+  // repair re-sorts from them).
+  class StripedTouchBuffer {
    public:
-    explicit TouchBuffer(size_t capacity)
-        : capacity_(capacity < 1 ? 1 : capacity),
-          slots_(std::make_unique<std::atomic<Version*>[]>(capacity_)) {}
+    // Each stripe gets the full per-drain capacity, so single-threaded behavior (and the
+    // overflow tests built on tiny capacities) is identical to the old single buffer.
+    StripedTouchBuffer(size_t stripes, size_t capacity)
+        : stripe_count_(stripes < 1 ? 1 : stripes),
+          capacity_(capacity < 1 ? 1 : capacity),
+          stripes_(std::make_unique<Stripe[]>(stripe_count_)) {
+      for (size_t s = 0; s < stripe_count_; ++s) {
+        stripes_[s].slots = std::make_unique<std::atomic<Version*>[]>(capacity_);
+      }
+    }
 
-    // Returns false (and leaves the buffer untouched) when full.
-    bool Record(Version* v) {
-      const uint64_t ticket = tickets_.fetch_add(1, std::memory_order_relaxed);
+    // Returns false when the stripe is full (the ticket is NOT handed back: a concurrent
+    // Reset could otherwise underflow the counter; unclaimed growth past capacity is
+    // harmless and clears at the next drain).
+    bool Record(Version* v, size_t stripe) {
+      Stripe& st = stripes_[stripe % stripe_count_];
+      const uint64_t ticket = st.tickets.fetch_add(1, std::memory_order_relaxed);
       if (ticket >= capacity_) {
-        // Over-claimed: hand the ticket back. Tickets below capacity_ are still unique —
-        // the counter can only drop back toward capacity_, never below the claimed count.
-        tickets_.fetch_sub(1, std::memory_order_relaxed);
         return false;
       }
-      slots_[ticket].store(v, std::memory_order_release);
+      st.slots[ticket].store(v, std::memory_order_release);
       return true;
     }
 
-    // Consumer side (exclusive lock held; no concurrent Record calls by construction).
-    size_t pending() const {
-      const uint64_t n = tickets_.load(std::memory_order_acquire);
+    size_t stripe_count() const { return stripe_count_; }
+    size_t pending(size_t s) const {
+      const uint64_t n = stripes_[s].tickets.load(std::memory_order_acquire);
       return n < capacity_ ? static_cast<size_t>(n) : capacity_;
     }
-    Version* slot(size_t i) const { return slots_[i].load(std::memory_order_acquire); }
-    void Reset() { tickets_.store(0, std::memory_order_relaxed); }
+    Version* slot(size_t s, size_t i) const {
+      return stripes_[s].slots[i].load(std::memory_order_acquire);
+    }
+    void Reset() {
+      for (size_t s = 0; s < stripe_count_; ++s) {
+        stripes_[s].tickets.store(0, std::memory_order_relaxed);
+      }
+    }
 
    private:
+    struct alignas(64) Stripe {
+      std::atomic<uint64_t> tickets{0};
+      std::unique_ptr<std::atomic<Version*>[]> slots;
+    };
+
+    const size_t stripe_count_;
     const size_t capacity_;
-    std::unique_ptr<std::atomic<Version*>[]> slots_;
-    std::atomic<uint64_t> tickets_{0};
+    std::unique_ptr<Stripe[]> stripes_;
   };
 
-  // Mutating *Locked helpers assume the EXCLUSIVE side of mu_ is held; the const ones only
-  // require some side of it (the shared read path runs them under the shared side).
-  //
-  // Matching core shared by both read paths: classifies the miss (resp->miss) or returns the
-  // winning version with resp->interval filled. Pure read; safe under the shared lock.
-  Version* MatchLocked(const LookupRequest& req, uint64_t key_hash, LookupResponse* resp);
-  void CountMissShared(MissKind kind);  // atomic miss counters (shared-lock safe)
-  LookupResponse LookupShared(const LookupRequest& req, uint64_t key_hash);
+  // Per-thread-stripe lookup counters: the hit path bumps only its own stripe's cache line;
+  // stats() folds the stripes under the shared lock.
+  struct alignas(64) LookupStatsStripe {
+    std::atomic<uint64_t> lookups{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> miss_compulsory{0};
+    std::atomic<uint64_t> miss_staleness{0};
+    std::atomic<uint64_t> miss_capacity{0};
+    std::atomic<uint64_t> miss_consistency{0};
+  };
+
+  // Mutating *Locked helpers assume the EXCLUSIVE side of mu_ is held. MatchVersions and
+  // EffectiveUpper are the shared matching core: lock-free readers call them inside an EBR
+  // critical region with `last_ts` snapshotted ONCE before walking (so a racing truncation
+  // can only make the claimed upper more conservative); exclusive-side callers pass the
+  // current value.
+  Version* MatchVersions(const LookupRequest& req, uint64_t key_hash, Timestamp last_ts,
+                         LookupResponse* resp) const;
+  static Timestamp EffectiveUpper(const Version& v, Timestamp last_ts);
+  void CountMiss(MissKind kind, LookupStatsStripe* st);
+  LookupResponse LookupRead(const LookupRequest& req, uint64_t key_hash);  // EBR, no lock
   LookupResponse LookupExclusive(const LookupRequest& req, uint64_t key_hash);
   void TruncateLocked(Version* v, Timestamp ts, WallClock wallclock);
   void RegisterTagsLocked(Version* v);
@@ -295,7 +360,8 @@ class CacheShard {
   void RemoveVersionLocked(Version* v);
   // Applies every deferred hit: LRU front-moves in touch order, score refreshes, and
   // per-function hit attribution. MUST run at the top of any exclusive section that may
-  // remove a version (the buffer holds raw Version pointers).
+  // remove a version; records pointing outside live_ (removed since recording, or a
+  // straggler's torn slot) are discarded unread.
   void DrainTouchesLocked();
   void SweepStaleLocked();
   // TTL-expiry pass (cost-aware only): demotes still-valid versions that outlived
@@ -307,7 +373,6 @@ class CacheShard {
   // Earliest invalidation affecting `tags` with timestamp > after; kTimestampInfinity if none.
   Timestamp EarliestInvalidationAfterLocked(const std::vector<InvalidationTag>& tags,
                                             Timestamp after) const;
-  Timestamp EffectiveUpperLocked(const Version& v) const;
   bool CountOpLocked();  // bumps the mutating-op counter; true when a sweep is due
   bool cost_aware() const { return options_.policy == EvictionPolicy::kCostAware; }
   void AddToScoreIndexLocked(Version* v);
@@ -315,6 +380,9 @@ class CacheShard {
   void DetachPolicyStateLocked(Version* v);
   void AttributeHitsLocked(Version* v);
   EvictedVersion MakeEvictedLocked(const Version& v) const;
+  // Republishes `owner`'s version array without `v` and retires the old array + the version.
+  void UnpublishVersionLocked(Version* v);
+  size_t StripeIndex() const;  // this thread's stripe (stats + touch buffer)
 
   const Clock* clock_;
   const CacheOptions options_;
@@ -322,34 +390,34 @@ class CacheShard {
   std::atomic<uint64_t>* const touch_ticker_;  // shared monotone LRU clock
   std::atomic<double>* const aging_floor_;     // shared GreedyDual aging value (max evicted score)
   FunctionAdvisor* const advisor_;             // node-global TTL learning + hint snapshots
+  FunctionInterner* const interner_;           // node-global function-name interning
+  EbrDomain* const domain_;                    // process-global reclamation domain
 
-  // Readers (Lookup, LookupBatch, PeekVictim, OldestTick, stats, ExportEntries, counters)
-  // take the shared side; every mutation takes the exclusive side. The instrumentation backs
-  // the "a hit acquires no exclusive lock" acceptance test.
+  // Writers (insert, invalidation, sweep, eviction, flush, reset) take the exclusive side;
+  // the cold read-only accessors (PeekVictim, OldestTick, stats, ExportEntries, counts) take
+  // the shared side. Zero-copy lookups take NEITHER — they run under EBR. The instrumentation
+  // still backs the "a hit acquires no exclusive lock" acceptance test.
   mutable InstrumentedSharedMutex mu_;
-  std::unordered_map<std::string, KeyEntry, KeyHasher, KeyEqual> map_;
+  FlatHashTable<KeySlot> table_;
   std::list<Version*> lru_;  // front = most recently used within this shard
   // Cost-aware structures (maintained only under EvictionPolicy::kCostAware).
   std::multimap<double, Version*> score_index_;  // still-valid versions by benefit score
   std::list<Version*> stale_lru_;                // closed-interval versions, oldest-stale first
-  std::unordered_map<std::string, uint64_t> fn_hits_;  // per-function hit counters
+  std::vector<uint64_t> fn_hits_;                // per-function hit counters, by interned id
+  // Every resident version. The drain's membership oracle: a touch record whose pointer is
+  // not in here was removed (or never completed) since it was recorded and must not be
+  // dereferenced. Maintained exclusively alongside lru_.
+  std::unordered_set<Version*> live_;
   size_t version_count_ = 0;
 
   // Deferred hit maintenance (see class comment). touch_overflow_ marks that at least one
   // hit could not be recorded since the last drain; the drain then repairs the full LRU
-  // order from the per-version ticks instead of trusting the (incomplete) queue.
-  TouchBuffer touch_buffer_;
+  // order from the per-version ticks instead of trusting the (incomplete) queues.
+  const size_t stripe_count_;
+  StripedTouchBuffer touch_buffer_;
   std::atomic<bool> touch_overflow_{false};
   std::vector<Version*> drain_scratch_;  // reused across drains; exclusive-lock-only
-
-  // Lookup-path counters, bumped under the shared lock — hence atomic. The remaining fields
-  // of stats_ are mutated only under the exclusive lock and folded together in stats().
-  std::atomic<uint64_t> lookups_{0};
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> miss_compulsory_{0};
-  std::atomic<uint64_t> miss_staleness_{0};
-  std::atomic<uint64_t> miss_capacity_{0};
-  std::atomic<uint64_t> miss_consistency_{0};
+  std::unique_ptr<LookupStatsStripe[]> lookup_stats_;
 
   // Still-valid version registry: concrete tag -> versions carrying it; table -> versions
   // carrying any tag of that table (serves wildcard invalidation messages); table -> versions
@@ -358,10 +426,12 @@ class CacheShard {
   std::unordered_map<std::string, std::unordered_set<Version*>> table_index_;
   std::unordered_map<std::string, std::unordered_set<Version*>> wildcard_holders_;
 
-  // Timestamp of the last invalidation fanned out to this shard. Every shard receives every
-  // message, so after a Deliver completes all shards agree; mid-fan-out a shard may briefly
-  // lag, which only makes its effective upper bounds more conservative.
-  Timestamp last_invalidation_ts_ = kTimestampZero;
+  // Timestamp of the last invalidation fanned out to this shard. Written under the exclusive
+  // lock AFTER the message's truncations land (release); a lock-free reader snapshots it
+  // (acquire) once per lookup BEFORE walking versions, so a still-valid observation can only
+  // pair with an equal-or-older snapshot — the claimed upper bound is never wider than what
+  // a lock-holding reader would have computed. Mid-fan-out lag only narrows claims.
+  std::atomic<Timestamp> last_invalidation_ts_{kTimestampZero};
 
   // Recent invalidation history for insert-time replay: per concrete tag, per table (wildcard
   // messages), and per table (any message touching the table). Each shard keeps the full

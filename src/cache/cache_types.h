@@ -92,10 +92,10 @@ struct LookupResponse {
   // rules as `value`). A cacheable function that consumed this value inherits them, so its
   // own cached result is invalidated when this one would be (§6.3). Null when absent.
   std::shared_ptr<const std::vector<InvalidationTag>> tags;
-  // Advisory hints for the hit entry's function, aliasing the node's latest published
-  // snapshot (refreshed on the entry's next deferred-touch drain, so a hot hit may carry a
-  // slightly stale snapshot — hints are advisory, see AdvisoryHints). Null on misses, under
-  // plain LRU, and for unprofiled functions.
+  // Advisory hints for the hit entry's function, aliasing the snapshot bundled with the
+  // entry at insert time (hints are advisory and allowed to lag, see AdvisoryHints; fresh
+  // snapshots flow to fillers via InsertResponse). Null on misses, under plain LRU, and for
+  // unprofiled functions.
   std::shared_ptr<const AdvisoryHints> hints;
 
   // Borrow-style accessors for callers that just want to read the payload.
@@ -214,6 +214,11 @@ struct CacheOptions {
   // at the next drain, which re-sorts the LRU order from the ticks (see docs/architecture.md
   // §"Read fast path").
   size_t touch_buffer_capacity = 1024;
+  // Touch-buffer / lookup-counter stripes per shard. Threads map to stripes by a stable
+  // per-thread seed, so concurrent hitters spread over distinct cache lines. Each stripe gets
+  // the full touch_buffer_capacity (single-threaded behavior is unchanged by striping).
+  // 0 = auto: min(hardware_concurrency, 16).
+  size_t touch_buffer_stripes = 0;
 
   // --- automatic management (cost-aware admission + eviction) ---
   EvictionPolicy policy = EvictionPolicy::kCostAware;

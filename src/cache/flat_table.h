@@ -1,0 +1,239 @@
+// Open-addressing flat hash table for the shard's key index, safe for lock-free readers
+// under epoch-based reclamation.
+//
+// The previous std::unordered_map cost a hit two dependent pointer chases (bucket -> node)
+// plus a rehash of the key; with the hash-once contract the 64-bit FNV key hash arrives with
+// the request, so the probe here is: mix the carried hash into a slot index, then linear-probe
+// 16-byte slots {hash, record*} — a memcmp of the key happens only on a full 64-bit hash
+// match.
+//
+// Concurrency contract:
+//   * Writers (insert / erase / rehash) run under the shard's exclusive lock — never two at
+//     once. A writer publishes a slot by storing the hash (relaxed) and THEN the record
+//     pointer (release); erasure stores the tombstone sentinel. Rehash builds a fresh slot
+//     array, republishes the table pointer (release), and retires the old array through the
+//     EBR domain.
+//   * Readers hold no lock but are inside an EBR critical region. They load the table pointer
+//     (acquire) once, then probe that snapshot: ptr == null ends the probe chain, tombstones
+//     are skipped, and a non-sentinel ptr (acquire) makes the paired hash store visible.
+//     A reader racing an erase may still return the record — record lifetime and logical
+//     validity are the shard's problem (EBR retire + per-version validity bits), not the
+//     table's.
+//
+// Tombstone / rehash rules: erase never breaks a probe chain (tombstone keeps it walkable);
+// insert reuses the first tombstone on its probe path; when live + tombstone occupancy
+// crosses kMaxLoadNum/kMaxLoadDen the table rehashes — doubling if the live count alone
+// justifies it, or at the same size purely to squash tombstones. Record pointers are stable
+// across rehash (slots hold pointers; records never move).
+//
+// Record must expose `uint64_t hash` and `std::string key` members.
+#ifndef SRC_CACHE_FLAT_TABLE_H_
+#define SRC_CACHE_FLAT_TABLE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "src/util/ebr.h"
+#include "src/util/hash.h"
+
+namespace txcache {
+
+template <typename Record>
+class FlatHashTable {
+ public:
+  explicit FlatHashTable(EbrDomain* domain = &EbrDomain::Global(), size_t initial_capacity = 64)
+      : domain_(domain) {
+    table_.store(NewTable(RoundUpPow2(initial_capacity)), std::memory_order_release);
+  }
+
+  ~FlatHashTable() {
+    // Destruction implies no concurrent readers on THIS table remain; the current array can
+    // die in place, but previously rehashed arrays may still sit in retire lists (freed by
+    // the domain's retire machinery).
+    delete table_.load(std::memory_order_relaxed);
+  }
+
+  FlatHashTable(const FlatHashTable&) = delete;
+  FlatHashTable& operator=(const FlatHashTable&) = delete;
+
+  // Lock-free lookup; caller must be inside an EBR critical region.
+  Record* Find(uint64_t hash, std::string_view key) const {
+    const Table* t = table_.load(std::memory_order_acquire);
+    const size_t mask = t->mask;
+    for (size_t i = Mix64(hash) & mask, n = 0; n <= mask; i = (i + 1) & mask, ++n) {
+      const Slot& s = t->slots[i];
+      Record* r = s.ptr.load(std::memory_order_acquire);
+      if (r == nullptr) {
+        return nullptr;
+      }
+      if (r == Tombstone()) {
+        continue;
+      }
+      if (s.hash.load(std::memory_order_relaxed) == hash && r->key == key) {
+        return r;
+      }
+    }
+    return nullptr;
+  }
+
+  // Writer-side insert (exclusive lock held). Returns the existing record for the key if one
+  // is present (and does not insert), else links `rec` and returns nullptr.
+  Record* InsertIfAbsent(uint64_t hash, Record* rec) {
+    Table* t = table_.load(std::memory_order_relaxed);
+    if ((t->filled + 1) * kMaxLoadDen >= t->capacity * kMaxLoadNum) {
+      t = Rehash(t);
+    }
+    const size_t mask = t->mask;
+    size_t tomb = kNoSlot;
+    for (size_t i = Mix64(hash) & mask;; i = (i + 1) & mask) {
+      Slot& s = t->slots[i];
+      Record* r = s.ptr.load(std::memory_order_relaxed);
+      if (r == nullptr) {
+        if (tomb != kNoSlot) {
+          Publish(t->slots[tomb], hash, rec);
+        } else {
+          Publish(s, hash, rec);
+          ++t->filled;
+        }
+        ++live_;
+        return nullptr;
+      }
+      if (r == Tombstone()) {
+        if (tomb == kNoSlot) {
+          tomb = i;
+        }
+        continue;
+      }
+      if (s.hash.load(std::memory_order_relaxed) == hash && r->key == rec->key) {
+        return r;
+      }
+    }
+  }
+
+  // Writer-side erase (exclusive lock held): tombstones the slot so probe chains stay intact.
+  // The caller still owns `rec`'s memory (typically retiring it). Returns the record, or
+  // nullptr if the key was absent.
+  Record* Erase(uint64_t hash, std::string_view key) {
+    Table* t = table_.load(std::memory_order_relaxed);
+    const size_t mask = t->mask;
+    for (size_t i = Mix64(hash) & mask, n = 0; n <= mask; i = (i + 1) & mask, ++n) {
+      Slot& s = t->slots[i];
+      Record* r = s.ptr.load(std::memory_order_relaxed);
+      if (r == nullptr) {
+        return nullptr;
+      }
+      if (r == Tombstone()) {
+        continue;
+      }
+      if (s.hash.load(std::memory_order_relaxed) == hash && r->key == key) {
+        s.ptr.store(Tombstone(), std::memory_order_release);
+        --live_;
+        return r;
+      }
+    }
+    return nullptr;
+  }
+
+  // Writer-side reset (exclusive lock held): publishes a fresh empty table and retires the
+  // old array. Records themselves are NOT touched — the caller must have collected them.
+  void Clear(size_t initial_capacity = 64) {
+    Table* old = table_.load(std::memory_order_relaxed);
+    table_.store(NewTable(RoundUpPow2(initial_capacity)), std::memory_order_release);
+    live_ = 0;
+    RetireTable(old);
+  }
+
+  // Writer-side iteration over live records (exclusive lock held).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const Table* t = table_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < t->capacity; ++i) {
+      Record* r = t->slots[i].ptr.load(std::memory_order_relaxed);
+      if (r != nullptr && r != Tombstone()) {
+        fn(r);
+      }
+    }
+  }
+
+  size_t size() const { return live_; }
+  size_t capacity() const { return table_.load(std::memory_order_relaxed)->capacity; }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> hash{0};
+    std::atomic<Record*> ptr{nullptr};
+  };
+
+  struct Table {
+    size_t capacity;
+    size_t mask;
+    size_t filled;  // live + tombstones: monotone per table, resets on rehash
+    Slot* slots;
+    ~Table() { delete[] slots; }
+  };
+
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+  static constexpr size_t kMaxLoadNum = 7;  // rehash at 7/10 occupancy (incl. tombstones)
+  static constexpr size_t kMaxLoadDen = 10;
+
+  static Record* Tombstone() { return reinterpret_cast<Record*>(static_cast<uintptr_t>(1)); }
+
+  static size_t RoundUpPow2(size_t v) {
+    size_t c = 16;
+    while (c < v) {
+      c <<= 1;
+    }
+    return c;
+  }
+
+  static Table* NewTable(size_t capacity) {
+    auto* t = new Table{capacity, capacity - 1, 0, new Slot[capacity]};
+    return t;
+  }
+
+  static void Publish(Slot& s, uint64_t hash, Record* rec) {
+    s.hash.store(hash, std::memory_order_relaxed);
+    s.ptr.store(rec, std::memory_order_release);
+  }
+
+  Table* Rehash(Table* old) {
+    // Double only when live occupancy warrants it; otherwise rebuild at the same size to
+    // squash tombstones.
+    size_t cap = old->capacity;
+    if ((live_ + 1) * kMaxLoadDen >= cap * kMaxLoadNum / 2) {
+      cap <<= 1;
+    }
+    Table* t = NewTable(cap);
+    for (size_t i = 0; i < old->capacity; ++i) {
+      Record* r = old->slots[i].ptr.load(std::memory_order_relaxed);
+      if (r == nullptr || r == Tombstone()) {
+        continue;
+      }
+      const uint64_t h = old->slots[i].hash.load(std::memory_order_relaxed);
+      for (size_t j = Mix64(h) & t->mask;; j = (j + 1) & t->mask) {
+        if (t->slots[j].ptr.load(std::memory_order_relaxed) == nullptr) {
+          Publish(t->slots[j], h, r);
+          ++t->filled;
+          break;
+        }
+      }
+    }
+    table_.store(t, std::memory_order_release);
+    RetireTable(old);
+    return t;
+  }
+
+  void RetireTable(Table* t) {
+    domain_->Retire(t, [](void* p) { delete static_cast<Table*>(p); });
+  }
+
+  EbrDomain* domain_;
+  std::atomic<Table*> table_;
+  size_t live_ = 0;  // writer-side only
+};
+
+}  // namespace txcache
+
+#endif  // SRC_CACHE_FLAT_TABLE_H_

@@ -1,0 +1,76 @@
+// Node-wide cacheable-function name interning.
+//
+// The hit path attributes hits to the generating function (per-function profiles drive the
+// learned-TTL and admission machinery). Carrying the function *name* through touch records
+// and per-shard counters put a std::string — an allocation plus a deep compare — on the hot
+// path. Instead, CacheServer owns one interner; shards store a dense uint32 id in each
+// Version and attribute hits into a plain vector indexed by id. Names are resolved back only
+// on the cold paths (FunctionHits(), advisor observations, stats export).
+//
+// Id 0 is reserved for "no function". The table is append-only and bounded by `max_ids`
+// (mirroring CacheOptions::max_function_profiles): once full, unseen names intern to 0 and
+// simply go unattributed, matching the profile table's own cap. The leaf mutex is taken on
+// Insert (intern) and on name resolution — never on a hit.
+#ifndef SRC_CACHE_FUNCTION_INTERNER_H_
+#define SRC_CACHE_FUNCTION_INTERNER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace txcache {
+
+class FunctionInterner {
+ public:
+  explicit FunctionInterner(size_t max_ids = 4096) : max_ids_(max_ids) {
+    names_.emplace_back();  // id 0: the empty / unattributed function
+  }
+
+  // Returns the stable id for `name`, assigning the next dense id on first sight. Empty names
+  // and overflow beyond max_ids intern to 0.
+  uint32_t Intern(const std::string& name) {
+    if (name.empty()) {
+      return 0;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) {
+      return it->second;
+    }
+    if (names_.size() > max_ids_) {
+      return 0;
+    }
+    const uint32_t id = static_cast<uint32_t>(names_.size());
+    names_.push_back(name);
+    ids_.emplace(name, id);
+    return id;
+  }
+
+  // Name for an id previously returned by Intern; empty string for 0 or out-of-range.
+  std::string Name(uint32_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= names_.size()) {
+      return std::string();
+    }
+    return names_[id];
+  }
+
+  // Ids assigned so far, including the reserved 0 (so valid ids are [0, size())). Shards use
+  // this to size their per-id counters.
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return names_.size();
+  }
+
+ private:
+  const size_t max_ids_;
+  mutable std::mutex mu_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_CACHE_FUNCTION_INTERNER_H_

@@ -1,0 +1,300 @@
+// Epoch-based reclamation (EBR) for the lookup hot path.
+//
+// The cache shard's read fast path walks shard structures (flat table slots, version arrays,
+// versions) with NO lock held: a reader enters a critical region by pinning the domain's
+// current epoch in a thread-local slot, reads, and unpins. Writers never wait for readers —
+// they unlink an object from the data structure (under their own exclusive lock), then Retire
+// it into the bucket of the current epoch. A retired object is freed only once the global
+// epoch has advanced twice past its retire epoch, which requires two full scans observing
+// every active reader at the then-current epoch — at that point no reader that could still
+// hold a pointer to the object remains inside a critical region.
+//
+// Epoch protocol (3-bucket classic EBR):
+//   * enter: e = global; slot.exchange(e, seq_cst); re-read global until it matches the
+//     pinned value. The seq_cst store/load pair closes the in-flight-reader race: either the
+//     advancing writer's scan observes the pin, or the reader observes the bumped epoch and
+//     re-pins at it — so a reader can never sit at epoch e without either blocking the
+//     advance past e+1 or having happens-before visibility of every unlink retired at e-1
+//     (the advance to e stored `global = e` after those unlinks, and the reader's load of
+//     `global == e` acquires it).
+//   * advance G -> G+1: allowed only when every non-idle slot equals G; frees bucket G-2.
+//     Hence a reader pinned at e blocks reclamation of everything retired at >= e: at most
+//     one advance (to e+1) can happen under a stalled reader, and the retire lists then only
+//     grow — bounded staleness, never a use-after-free.
+//
+// One process-global domain serves every cache node: slots are per THREAD (cache-line
+// padded, allocated in never-freed segments, recycled through a free list on thread exit),
+// so entering a critical region writes only the calling thread's own line — the whole point,
+// versus bouncing a shared reader-writer lock word between cores on every hit.
+//
+// Writers retire from inside exclusive shard sections; the domain's own mutex guards only
+// the retire lists and the advance scan (cold path). Deleters run outside that mutex and
+// must not re-enter the domain.
+#ifndef SRC_UTIL_EBR_H_
+#define SRC_UTIL_EBR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+
+namespace txcache {
+
+class EbrDomain {
+ public:
+  EbrDomain() = default;
+  ~EbrDomain() {
+    // Process teardown (static destruction): no readers can remain; free everything.
+    CollectAll();
+    Segment* seg = segments_.load(std::memory_order_relaxed);
+    while (seg != nullptr) {
+      Segment* next = seg->next;
+      delete seg;
+      seg = next;
+    }
+  }
+
+  EbrDomain(const EbrDomain&) = delete;
+  EbrDomain& operator=(const EbrDomain&) = delete;
+
+  // The process-wide domain used by every CacheShard.
+  static EbrDomain& Global() {
+    static EbrDomain domain;
+    return domain;
+  }
+
+  // RAII critical region. Re-entrant per thread (nested guards pin once); cheap enough for
+  // one guard per lookup: one uncontended seq_cst RMW on the thread's own slot.
+  class Guard {
+   public:
+    Guard() : domain_(&Global()) { domain_->Enter(); }
+    explicit Guard(EbrDomain* domain) : domain_(domain) { domain_->Enter(); }
+    ~Guard() { domain_->Exit(); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EbrDomain* domain_;
+  };
+
+  void Enter() {
+    ThreadState& ts = Tls();
+    if (ts.depth++ > 0) {
+      return;  // nested region: the outermost pin covers it
+    }
+    Slot* slot = ts.slot;
+    if (slot == nullptr) {
+      slot = ts.slot = AcquireSlot();
+    }
+    uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    for (;;) {
+      slot->state.exchange(e, std::memory_order_seq_cst);
+      const uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+      if (now == e) {
+        return;
+      }
+      e = now;  // epoch moved while pinning: re-pin at the value we provably observed
+    }
+  }
+
+  void Exit() {
+    ThreadState& ts = Tls();
+    if (--ts.depth == 0) {
+      ts.slot->state.store(kIdle, std::memory_order_release);
+    }
+  }
+
+  // Defers `deleter(p)` until no critical region that may still reach `p` remains. The caller
+  // must have unlinked `p` from every reader-reachable structure first. Periodically tries to
+  // advance the epoch and run due deleters.
+  void Retire(void* p, void (*deleter)(void*)) {
+    Node* n = new Node{p, deleter, nullptr};
+    Node* run = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+      Bucket& b = buckets_[e % 3];
+      n->next = b.head;
+      b.head = n;
+      ++b.count;
+      pending_ += 1;
+      if (++retires_since_advance_ >= kAdvanceEvery) {
+        retires_since_advance_ = 0;
+        run = TryAdvanceLocked();
+      }
+    }
+    RunDeleters(run);  // outside mu_: deleters may free arbitrary object graphs
+  }
+
+  template <typename T>
+  void RetireObject(T* p) {
+    Retire(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  // One epoch step if no reader blocks it; frees the newly safe bucket. Returns true when the
+  // epoch advanced.
+  bool TryAdvance() {
+    Node* run = nullptr;
+    bool advanced;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      run = TryAdvanceLocked();
+      advanced = run != nullptr || advanced_empty_;
+    }
+    RunDeleters(run);
+    return advanced;
+  }
+
+  // Best-effort drain: advance up to `steps` epochs and free everything that becomes safe.
+  // With no active readers this empties all retire lists (shard/server destructors call it so
+  // sanitizer runs see no outstanding allocations); a stalled reader simply stops progress.
+  void Synchronize(int steps = 4) {
+    for (int i = 0; i < steps; ++i) {
+      if (!TryAdvance()) {
+        return;
+      }
+    }
+  }
+
+  // Objects retired but not yet freed (tests: a stalled reader bounds reclamation, so this
+  // only grows while the reader pins; it returns to zero once the reader exits and the
+  // epoch is allowed to advance again).
+  size_t pending_retired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_;
+  }
+
+  uint64_t epoch() const { return global_epoch_.load(std::memory_order_seq_cst); }
+
+ private:
+  static constexpr uint64_t kIdle = 0;
+  static constexpr size_t kSlotsPerSegment = 64;
+  static constexpr uint64_t kAdvanceEvery = 64;
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> state{kIdle};
+    std::atomic<Slot*> next_free{nullptr};
+  };
+
+  struct Segment {
+    Slot slots[kSlotsPerSegment];
+    Segment* next = nullptr;
+  };
+
+  struct Node {
+    void* p;
+    void (*deleter)(void*);
+    Node* next;
+  };
+
+  struct Bucket {
+    Node* head = nullptr;
+    size_t count = 0;
+  };
+
+  // Thread registration: a slot is claimed from the free list (or a fresh segment) on first
+  // use and recycled when the thread exits, so slot count tracks peak concurrency, not total
+  // threads ever started.
+  struct ThreadState {
+    Slot* slot = nullptr;
+    uint32_t depth = 0;
+    ~ThreadState() {
+      if (slot != nullptr) {
+        Global().ReleaseSlot(slot);
+      }
+    }
+  };
+
+  static ThreadState& Tls() {
+    thread_local ThreadState ts;
+    return ts;
+  }
+
+  Slot* AcquireSlot() {
+    Slot* s = free_slots_.load(std::memory_order_acquire);
+    while (s != nullptr) {
+      Slot* next = s->next_free.load(std::memory_order_relaxed);
+      if (free_slots_.compare_exchange_weak(s, next, std::memory_order_acq_rel)) {
+        return s;
+      }
+    }
+    auto* seg = new Segment();
+    // Claim slot 0 for the caller; chain the rest into the free list.
+    for (size_t i = kSlotsPerSegment - 1; i >= 2; --i) {
+      ReleaseSlot(&seg->slots[i]);
+    }
+    ReleaseSlot(&seg->slots[1]);
+    Segment* head = segments_.load(std::memory_order_relaxed);
+    do {
+      seg->next = head;
+    } while (!segments_.compare_exchange_weak(head, seg, std::memory_order_acq_rel));
+    return &seg->slots[0];
+  }
+
+  void ReleaseSlot(Slot* s) {
+    s->state.store(kIdle, std::memory_order_release);
+    Slot* head = free_slots_.load(std::memory_order_relaxed);
+    do {
+      s->next_free.store(head, std::memory_order_relaxed);
+    } while (!free_slots_.compare_exchange_weak(head, s, std::memory_order_acq_rel));
+  }
+
+  // Returns the deleter list to run (epoch advanced) or nullptr. advanced_empty_ records an
+  // advance whose freed bucket happened to be empty, so TryAdvance can still report progress.
+  Node* TryAdvanceLocked() {
+    advanced_empty_ = false;
+    const uint64_t g = global_epoch_.load(std::memory_order_seq_cst);
+    for (Segment* seg = segments_.load(std::memory_order_acquire); seg != nullptr;
+         seg = seg->next) {
+      for (size_t i = 0; i < kSlotsPerSegment; ++i) {
+        const uint64_t s = seg->slots[i].state.load(std::memory_order_seq_cst);
+        if (s != kIdle && s != g) {
+          return nullptr;  // a reader still pins an older epoch
+        }
+      }
+    }
+    global_epoch_.store(g + 1, std::memory_order_seq_cst);
+    // Everything retired at epoch g-2 ((g+1) % 3's previous occupancy) is now unreachable:
+    // the two advances since required every active reader to be at g-1, then at g.
+    Bucket& freed = buckets_[(g + 1) % 3];
+    Node* run = freed.head;
+    advanced_empty_ = run == nullptr;
+    pending_ -= freed.count;
+    freed.head = nullptr;
+    freed.count = 0;
+    return run;
+  }
+
+  void CollectAll() {
+    for (Bucket& b : buckets_) {
+      RunDeleters(b.head);
+      b.head = nullptr;
+      b.count = 0;
+    }
+    pending_ = 0;
+  }
+
+  static void RunDeleters(Node* n) {
+    while (n != nullptr) {
+      Node* next = n->next;
+      n->deleter(n->p);
+      delete n;
+      n = next;
+    }
+  }
+
+  std::atomic<uint64_t> global_epoch_{1};  // 0 is the idle sentinel, so epochs start at 1
+  std::atomic<Segment*> segments_{nullptr};
+  std::atomic<Slot*> free_slots_{nullptr};
+
+  mutable std::mutex mu_;  // guards buckets_ + counters; never held while running deleters
+  Bucket buckets_[3];
+  size_t pending_ = 0;
+  uint64_t retires_since_advance_ = 0;
+  bool advanced_empty_ = false;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_UTIL_EBR_H_

@@ -3,15 +3,23 @@
 // The cache shard's read fast path promises "no exclusive lock on a hit"; that promise is
 // only testable if the lock itself can report how often each side was taken. The counters are
 // relaxed atomics bumped after the acquisition succeeds — two uncontended atomic increments
-// per lock/unlock pair, cheap enough to leave on in production builds and in benchmarks
-// (which measure the instrumented lock on both sides of the comparison, so the overhead
-// cancels out).
+// per lock/unlock pair.
+//
+// Instrumentation is compile-time toggleable via TXCACHE_LOCK_STATS (CMake option, default
+// ON): tests rely on the counters for their zero-exclusive-lock-on-hit assertions, while
+// Release benchmark builds compile them out entirely so the measured hot path carries no
+// accounting at all. With stats off the accessors return 0; callers that assert on deltas
+// must be built with stats on (the default build is).
 #ifndef SRC_UTIL_SHARED_MUTEX_H_
 #define SRC_UTIL_SHARED_MUTEX_H_
 
 #include <atomic>
 #include <cstdint>
 #include <shared_mutex>
+
+#ifndef TXCACHE_LOCK_STATS
+#define TXCACHE_LOCK_STATS 1
+#endif
 
 namespace txcache {
 
@@ -20,38 +28,54 @@ class InstrumentedSharedMutex {
   // BasicLockable / SharedLockable, usable with std::unique_lock / std::shared_lock.
   void lock() {
     mu_.lock();
+#if TXCACHE_LOCK_STATS
     exclusive_.fetch_add(1, std::memory_order_relaxed);
+#endif
   }
   void unlock() { mu_.unlock(); }
   bool try_lock() {
     if (!mu_.try_lock()) {
       return false;
     }
+#if TXCACHE_LOCK_STATS
     exclusive_.fetch_add(1, std::memory_order_relaxed);
+#endif
     return true;
   }
 
   void lock_shared() {
     mu_.lock_shared();
+#if TXCACHE_LOCK_STATS
     shared_.fetch_add(1, std::memory_order_relaxed);
+#endif
   }
   void unlock_shared() { mu_.unlock_shared(); }
   bool try_lock_shared() {
     if (!mu_.try_lock_shared()) {
       return false;
     }
+#if TXCACHE_LOCK_STATS
     shared_.fetch_add(1, std::memory_order_relaxed);
+#endif
     return true;
   }
 
-  // Lifetime totals; safe to read concurrently with lock traffic.
+  // Lifetime totals; safe to read concurrently with lock traffic. Always 0 when
+  // TXCACHE_LOCK_STATS is compiled out.
+#if TXCACHE_LOCK_STATS
   uint64_t exclusive_acquisitions() const { return exclusive_.load(std::memory_order_relaxed); }
   uint64_t shared_acquisitions() const { return shared_.load(std::memory_order_relaxed); }
+#else
+  uint64_t exclusive_acquisitions() const { return 0; }
+  uint64_t shared_acquisitions() const { return 0; }
+#endif
 
  private:
   std::shared_mutex mu_;
+#if TXCACHE_LOCK_STATS
   std::atomic<uint64_t> exclusive_{0};
   std::atomic<uint64_t> shared_{0};
+#endif
 };
 
 }  // namespace txcache

@@ -1,0 +1,394 @@
+// Epoch-based reclamation (src/util/ebr.h) and the flat shard table (src/cache/flat_table.h):
+//   * a retired object is never reclaimed while any reader epoch pins it — checked over the
+//     deterministic enter/retire/advance interleavings AND under a threaded hammer;
+//   * a stalled reader bounds reclamation: the domain's retire lists only grow while the
+//     reader pins, and drain once it exits;
+//   * payload aliases handed out by the zero-copy hit path stay readable and bitwise stable
+//     across truncation, eviction, flush and destruction of the owning server (the EBR
+//     deferral is what makes the shard-side frees safe);
+//   * the flat table's tombstone / probe-chain / rehash rules.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cache/cache_server.h"
+#include "src/cache/cache_types.h"
+#include "src/cache/flat_table.h"
+#include "src/util/ebr.h"
+#include "tests/test_support.h"
+
+namespace txcache {
+namespace {
+
+using namespace txcache::testing;
+
+// All tests use the process-global domain: reader slots live in thread-local state shared
+// with the shards, so a second domain instance would not see pins taken through it.
+EbrDomain& Domain() { return EbrDomain::Global(); }
+
+// Runs `fn` on a fresh thread inside an EBR critical region and keeps the region pinned
+// until Release() is called. The calling test controls exactly when the reader's pin starts
+// and ends, which is what lets it enumerate enter/retire/advance interleavings.
+class PinnedReader {
+ public:
+  PinnedReader() {
+    thread_ = std::thread([this] {
+      EbrDomain::Guard guard(&Domain());
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        pinned_ = true;
+        cv_.notify_all();
+        cv_.wait(lock, [this] { return released_; });
+      }
+    });
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return pinned_; });
+  }
+
+  ~PinnedReader() { Release(); }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (released_) {
+        return;
+      }
+      released_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool pinned_ = false;
+  bool released_ = false;
+};
+
+void RetireFlag(std::atomic<bool>* freed) {
+  Domain().Retire(freed, [](void* p) {
+    static_cast<std::atomic<bool>*>(p)->store(true, std::memory_order_release);
+  });
+}
+
+TEST(Ebr, ReaderPinBlocksReclamationUntilExit) {
+  // Interleaving: enter -> retire -> advance*N. The object is retired at (or after) the
+  // reader's pinned epoch, so no number of advance attempts may free it while the pin holds.
+  PinnedReader reader;
+  std::atomic<bool> freed{false};
+  RetireFlag(&freed);
+  for (int i = 0; i < 16; ++i) {
+    Domain().TryAdvance();
+    ASSERT_FALSE(freed.load(std::memory_order_acquire))
+        << "retired object reclaimed while a reader epoch pinned it (attempt " << i << ")";
+  }
+  reader.Release();
+  Domain().Synchronize();
+  EXPECT_TRUE(freed.load(std::memory_order_acquire))
+      << "object leaked after the pinning reader exited";
+}
+
+TEST(Ebr, RetireThenPinStillBlocksReclamation) {
+  // Interleaving: retire -> enter -> advance*N. The reader pins the epoch the object was
+  // retired in (or a later one); the required two-advance gap cannot complete under the pin.
+  std::atomic<bool> freed{false};
+  RetireFlag(&freed);
+  PinnedReader reader;
+  for (int i = 0; i < 16; ++i) {
+    Domain().TryAdvance();
+    ASSERT_FALSE(freed.load(std::memory_order_acquire));
+  }
+  reader.Release();
+  Domain().Synchronize();
+  EXPECT_TRUE(freed.load(std::memory_order_acquire));
+}
+
+TEST(Ebr, InterleavedRetiresAcrossEpochStepsAllWaitForTheReader) {
+  // Interleaving: retire -> advance -> retire -> advance -> ... with a reader pinned the
+  // whole time. Objects land in different epoch buckets, yet none may be freed until exit.
+  PinnedReader reader;
+  std::atomic<bool> freed[4] = {{false}, {false}, {false}, {false}};
+  for (auto& f : freed) {
+    RetireFlag(&f);
+    Domain().TryAdvance();
+  }
+  for (const auto& f : freed) {
+    ASSERT_FALSE(f.load(std::memory_order_acquire));
+  }
+  reader.Release();
+  Domain().Synchronize();
+  for (const auto& f : freed) {
+    EXPECT_TRUE(f.load(std::memory_order_acquire));
+  }
+}
+
+TEST(Ebr, StalledReaderBoundsRetireListGrowth) {
+  // While one reader stalls inside a critical region, everything retired since accumulates
+  // unfreed (bounded staleness, never a use-after-free); the backlog drains once it exits.
+  Domain().Synchronize();  // start from a drained domain so the delta below is exact
+  const size_t before = Domain().pending_retired();
+  PinnedReader reader;
+  constexpr int kRetired = 200;
+  std::vector<std::unique_ptr<std::atomic<bool>>> flags;
+  for (int i = 0; i < kRetired; ++i) {
+    flags.push_back(std::make_unique<std::atomic<bool>>(false));
+    RetireFlag(flags.back().get());
+  }
+  Domain().Synchronize();
+  EXPECT_GE(Domain().pending_retired(), before + kRetired)
+      << "retires reclaimed under a stalled reader";
+  reader.Release();
+  Domain().Synchronize();
+  EXPECT_LE(Domain().pending_retired(), before);
+  for (const auto& f : flags) {
+    EXPECT_TRUE(f->load(std::memory_order_acquire));
+  }
+}
+
+TEST(Ebr, NestedGuardsPinOnce) {
+  std::atomic<bool> freed{false};
+  {
+    EbrDomain::Guard outer(&Domain());
+    {
+      EbrDomain::Guard inner(&Domain());
+      RetireFlag(&freed);
+    }
+    // The inner guard's exit must not unpin the thread: the outer region still protects.
+    for (int i = 0; i < 8; ++i) {
+      Domain().TryAdvance();
+    }
+    ASSERT_FALSE(freed.load(std::memory_order_acquire));
+  }
+  Domain().Synchronize();
+  EXPECT_TRUE(freed.load(std::memory_order_acquire));
+}
+
+TEST(Ebr, ThreadedHammerNeverReclaimsUnderAReader) {
+  // Many readers repeatedly pin, snapshot a shared pointer to the current object, and verify
+  // its canary; one writer keeps swapping and retiring objects. Any premature reclamation is
+  // a torn canary (and a sanitizer report under ASan/TSan).
+  struct Canary {
+    explicit Canary(uint64_t v) : value(v), check(~v) {}
+    uint64_t value;
+    uint64_t check;
+  };
+  std::atomic<Canary*> current{new Canary(0)};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&current, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        EbrDomain::Guard guard(&Domain());
+        Canary* c = current.load(std::memory_order_acquire);
+        ASSERT_EQ(c->check, ~c->value) << "reclaimed (or torn) object reached under a pin";
+      }
+    });
+  }
+  for (uint64_t i = 1; i <= 3000; ++i) {
+    Canary* next = new Canary(i);
+    Canary* old = current.exchange(next, std::memory_order_acq_rel);
+    Domain().RetireObject(old);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) {
+    t.join();
+  }
+  delete current.load(std::memory_order_relaxed);
+  Domain().Synchronize();
+}
+
+// --- zero-copy aliases across shard-side frees ------------------------------------------
+
+InsertRequest StillValidInsert(const std::string& key, std::string value, Timestamp lower = 1) {
+  InsertRequest req;
+  req.key = key;
+  req.value = std::move(value);
+  req.interval = {lower, kTimestampInfinity};
+  req.computed_at = lower;
+  req.tags = {InvalidationTag::Concrete("t", "idx", key)};
+  return req;
+}
+
+LookupRequest Probe(const std::string& key) {
+  LookupRequest req;
+  req.key = key;
+  req.bounds_lo = 1;
+  req.bounds_hi = kTimestampInfinity;
+  return req;
+}
+
+TEST(Ebr, HeldAliasesStayBitwiseStableAcrossEveryFreePath) {
+  // The shard never frees a version in place — it retires it — so aliases taken from hits
+  // stay valid across truncation, capacity eviction, flush and full server destruction, even
+  // while other readers keep hitting. This is the PR-4 lifetime contract, now carried by EBR.
+  ManualClock clock;
+  CacheOptions options;
+  options.num_shards = 1;
+  options.capacity_bytes = 16 * 1024;
+  auto server = std::make_unique<CacheServer>("ebr-alias", &clock, options);
+  const std::string payload(4096, 'e');
+  ASSERT_TRUE(server->Insert(StillValidInsert("k", payload)).ok());
+
+  LookupResponse hit = server->Lookup(Probe("k"));
+  ASSERT_TRUE(hit.hit);
+  const std::string* raw = hit.value.get();
+  std::shared_ptr<const std::vector<InvalidationTag>> held_tags = hit.tags;
+  ASSERT_TRUE(held_tags != nullptr);
+
+  // Truncate (invalidation), then evict by capacity pressure.
+  InvalidationMessage msg;
+  msg.seqno = 1;
+  msg.ts = 50;
+  msg.tags = {InvalidationTag::Concrete("t", "idx", "k")};
+  server->Deliver(msg);
+  EXPECT_EQ(hit.value.get(), raw);
+  EXPECT_EQ(*hit.value, payload);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        server->Insert(StillValidInsert("fill" + std::to_string(i), std::string(4096, 'f'), 60))
+            .ok());
+  }
+  EXPECT_EQ(hit.value.get(), raw) << "the alias IS the resident buffer, not a copy";
+  EXPECT_EQ(*hit.value, payload);
+
+  server->Flush();
+  EXPECT_EQ(*hit.value, payload);
+  server.reset();  // shard destruction retires every slot/array/version it still owned
+  EXPECT_EQ(*hit.value, payload);
+  ASSERT_EQ(held_tags->size(), 1u);
+  EXPECT_EQ((*held_tags)[0].key, "k");
+}
+
+// --- flat table --------------------------------------------------------------------------
+
+struct Rec {
+  uint64_t hash = 0;
+  std::string key;
+  int id = 0;
+};
+
+uint64_t H(const std::string& key) { return Fnv1a(key); }
+
+TEST(FlatTable, InsertFindEraseWithTombstones) {
+  FlatHashTable<Rec> table(&Domain(), 16);
+  std::vector<std::unique_ptr<Rec>> recs;
+  for (int i = 0; i < 8; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    recs.push_back(std::unique_ptr<Rec>(new Rec{H(key), key, i}));
+    EXPECT_EQ(table.InsertIfAbsent(recs.back()->hash, recs.back().get()), nullptr);
+  }
+  EXPECT_EQ(table.size(), 8u);
+  {
+    EbrDomain::Guard guard(&Domain());
+    for (int i = 0; i < 8; ++i) {
+      const std::string key = "key" + std::to_string(i);
+      Rec* r = table.Find(H(key), key);
+      ASSERT_NE(r, nullptr);
+      EXPECT_EQ(r->id, i);
+    }
+    EXPECT_EQ(table.Find(H("absent"), "absent"), nullptr);
+  }
+
+  // Erase tombstones the slot: later keys on the same probe chain must stay reachable, and
+  // a re-insert of the erased key must reuse the tombstone, not shadow a duplicate.
+  EXPECT_EQ(table.Erase(H("key3"), "key3"), recs[3].get());
+  EXPECT_EQ(table.size(), 7u);
+  {
+    EbrDomain::Guard guard(&Domain());
+    EXPECT_EQ(table.Find(H("key3"), "key3"), nullptr);
+    for (int i = 4; i < 8; ++i) {
+      const std::string key = "key" + std::to_string(i);
+      EXPECT_NE(table.Find(H(key), key), nullptr) << "probe chain broken by a tombstone";
+    }
+  }
+  auto again = std::unique_ptr<Rec>(new Rec{H("key3"), "key3", 33});
+  EXPECT_EQ(table.InsertIfAbsent(again->hash, again.get()), nullptr);
+  {
+    EbrDomain::Guard guard(&Domain());
+    Rec* r = table.Find(H("key3"), "key3");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->id, 33);
+  }
+  // Inserting a present key returns the existing record and does not replace it.
+  auto dup = std::unique_ptr<Rec>(new Rec{H("key5"), "key5", 55});
+  EXPECT_EQ(table.InsertIfAbsent(dup->hash, dup.get()), recs[5].get());
+}
+
+TEST(FlatTable, RehashGrowsAndPreservesEveryRecord) {
+  FlatHashTable<Rec> table(&Domain(), 16);
+  std::vector<std::unique_ptr<Rec>> recs;
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "grow" + std::to_string(i);
+    recs.push_back(std::unique_ptr<Rec>(new Rec{H(key), key, i}));
+    ASSERT_EQ(table.InsertIfAbsent(recs.back()->hash, recs.back().get()), nullptr);
+  }
+  EXPECT_EQ(table.size(), 500u);
+  EXPECT_GE(table.capacity(), 512u);
+  EbrDomain::Guard guard(&Domain());
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "grow" + std::to_string(i);
+    Rec* r = table.Find(H(key), key);
+    ASSERT_NE(r, nullptr) << key << " lost in rehash";
+    EXPECT_EQ(r, recs[i].get()) << "record pointers must be stable across rehash";
+  }
+}
+
+TEST(FlatTable, TombstoneChurnRehashesInPlaceInsteadOfGrowing) {
+  // Insert/erase churn with few live entries fills the table with tombstones; the rehash rule
+  // must rebuild at the SAME size (squashing tombstones), not double forever.
+  FlatHashTable<Rec> table(&Domain(), 16);
+  for (int round = 0; round < 300; ++round) {
+    const std::string key = "churn" + std::to_string(round);
+    auto* r = new Rec{H(key), key, round};
+    ASSERT_EQ(table.InsertIfAbsent(r->hash, r), nullptr);
+    ASSERT_EQ(table.Erase(r->hash, key), r);
+    delete r;  // writer-side test: no concurrent readers, immediate delete is fine
+  }
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_LE(table.capacity(), 64u) << "tombstone churn must not grow the table";
+  Domain().Synchronize();  // drain the retired slot arrays
+}
+
+TEST(FlatTable, ReadersOnTheOldTableSurviveARehash) {
+  // A reader probing the pre-rehash slot array must keep working after the writer rehashes:
+  // the displaced array is EBR-retired, not freed.
+  auto table = std::make_unique<FlatHashTable<Rec>>(&Domain(), 16);
+  std::vector<std::unique_ptr<Rec>> recs;
+  for (int i = 0; i < 8; ++i) {
+    const std::string key = "pre" + std::to_string(i);
+    recs.push_back(std::unique_ptr<Rec>(new Rec{H(key), key, i}));
+    table->InsertIfAbsent(recs.back()->hash, recs.back().get());
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&table, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      EbrDomain::Guard guard(&Domain());
+      for (int i = 0; i < 8; ++i) {
+        const std::string key = "pre" + std::to_string(i);
+        Rec* r = table->Find(Fnv1a(key), key);
+        ASSERT_NE(r, nullptr);
+        ASSERT_EQ(r->id, i);
+      }
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {  // force repeated rehashes under the reader
+    const std::string key = "more" + std::to_string(i);
+    recs.push_back(std::unique_ptr<Rec>(new Rec{H(key), key, 100 + i}));
+    table->InsertIfAbsent(recs.back()->hash, recs.back().get());
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  table.reset();
+  Domain().Synchronize();
+}
+
+}  // namespace
+}  // namespace txcache

@@ -772,5 +772,117 @@ TEST(ConcurrencyStress, MultiMbInsertsRaceZeroCopyReadersAndSizeAwareAdmission) 
   EXPECT_EQ(s.hits + s.misses(), s.lookups);
 }
 
+TEST(ConcurrencyStress, EightHittersRaceEvictionInvalidationTtlDemotionAndDrainsOnOneShard) {
+  // The EBR hit path at maximum contention on a SINGLE shard: eight hitter threads run
+  // lock-free lookups (each writing only its own touch-buffer/stats stripe) while one writer
+  // forces capacity evictions and touch-buffer drains, an invalidator truncates entries with
+  // post-insert timestamps (so TTL learning observes real lifetimes and the sweep's demotion
+  // pass runs), and a stats poller folds the striped counters. Everything a hitter touched —
+  // flat-table slots, version arrays, versions, resident blocks — is freed only through the
+  // EBR domain, so TSan/ASan verify the reclamation protocol and every held alias must stay
+  // bitwise stable.
+  SystemClock clock;
+  CacheServer::Options options;
+  options.num_shards = 1;  // all contention lands on one shard's structures
+  options.capacity_bytes = 48 * 1024;
+  options.touch_buffer_capacity = 32;  // per-stripe; small enough to overflow under 8 hitters
+  options.sweep_interval_ops = 64;     // TTL demotion pass fires often
+  options.lifetime_min_samples = 1;
+  options.ttl_expiry_slack = 0.5;
+  CacheServer server("onehot", &clock, options);
+  std::atomic<uint64_t> seqno{1};
+  std::atomic<bool> stop{false};
+
+  constexpr int kKeys = 96;
+  auto key_for = [](int key) {
+    return MakeCacheKey("hot_fn" + std::to_string(key % 7), static_cast<int64_t>(key));
+  };
+  auto value_for = [](int key) {
+    return "HOT(" + std::to_string(key) + ")" + std::string(200, static_cast<char>('A' + key % 19));
+  };
+
+  std::vector<std::thread> hitters;
+  for (int t = 0; t < 8; ++t) {
+    hitters.emplace_back([&server, &key_for, &value_for, t] {
+      Rng rng(9100 + t);
+      std::vector<std::pair<int, std::shared_ptr<const std::string>>> held;
+      for (int i = 0; i < 3000; ++i) {
+        const int key = static_cast<int>(rng.Uniform(0, kKeys - 1));
+        LookupRequest req;
+        req.key = key_for(key);
+        req.key_hash = Fnv1a(req.key);  // hash-once: carried into the flat-table probe
+        req.bounds_lo = 1;
+        req.bounds_hi = kTimestampInfinity;
+        LookupResponse resp = server.Lookup(req);
+        if (resp.hit) {
+          ASSERT_EQ(*resp.value, value_for(key)) << "hit returned a foreign/torn buffer";
+          if (resp.tags != nullptr) {
+            ASSERT_EQ(resp.tags->size(), 1u);
+          }
+          if (held.size() < 48) {
+            held.emplace_back(key, resp.value);
+          }
+        }
+        if (held.size() >= 48) {
+          for (const auto& [k, v] : held) {
+            ASSERT_EQ(*v, value_for(k)) << "held alias mutated after eviction/truncation";
+          }
+          held.clear();
+        }
+      }
+    });
+  }
+  std::thread writer([&server, &key_for, &value_for] {
+    Rng rng(77);
+    for (int i = 0; i < 5000; ++i) {
+      const int key = static_cast<int>(rng.Uniform(0, kKeys - 1));
+      InsertRequest req;
+      req.key = key_for(key);
+      req.key_hash = Fnv1a(req.key);
+      req.value = value_for(key);
+      req.interval = {1, kTimestampInfinity};
+      req.computed_at = 1;
+      req.tags = {InvalidationTag::Concrete("t", "i", std::to_string(key % 8))};
+      req.fill_cost_us = static_cast<uint64_t>(rng.Uniform(100, 3000));
+      Status st = server.Insert(req);
+      ASSERT_TRUE(st.ok() || st.code() == StatusCode::kDeclined) << st.ToString();
+    }
+  });
+  std::thread invalidator([&server, &seqno, &stop] {
+    Rng rng(31);
+    while (!stop.load()) {
+      InvalidationMessage msg;
+      msg.seqno = seqno.fetch_add(1);
+      // Timestamps ABOVE every insert's computed_at: versions genuinely truncate, the
+      // advisor observes realized lifetimes, and the stale-first/TTL machinery gets fed.
+      msg.ts = 100 + msg.seqno;
+      msg.tags = {InvalidationTag::Concrete("t", "i", std::to_string(rng.Uniform(0, 7)))};
+      server.Deliver(msg);
+      std::this_thread::yield();
+    }
+  });
+  std::thread stats_poller([&server, &stop] {
+    while (!stop.load()) {
+      CacheStats s = server.stats();
+      ASSERT_LE(s.hits, s.lookups);
+      (void)server.FunctionStats();
+      std::this_thread::yield();
+    }
+  });
+
+  for (std::thread& t : hitters) {
+    t.join();
+  }
+  writer.join();
+  stop.store(true);
+  invalidator.join();
+  stats_poller.join();
+
+  EXPECT_LE(server.bytes_used(), options.capacity_bytes);
+  const CacheStats s = server.stats();
+  EXPECT_EQ(s.hits + s.misses(), s.lookups);
+  EXPECT_GT(s.invalidation_truncations, 0u) << "invalidator never bit: test exercised nothing";
+}
+
 }  // namespace
 }  // namespace txcache
