@@ -426,6 +426,7 @@ Status CacheShard::Insert(const InsertRequest& req, uint64_t key_hash, std::stri
   std::unique_lock<InstrumentedSharedMutex> lock(mu_);
   DrainTouchesLocked();
   if (req.interval.empty()) {
+    *sweep_due = CountOpLocked();
     return Status::InvalidArgument("empty validity interval");
   }
   KeySlot* slot = table_.Find(key_hash, req.key);
@@ -479,6 +480,7 @@ Status CacheShard::Insert(const InsertRequest& req, uint64_t key_hash, std::stri
       const Interval raw{v->lower, v->upper.load(std::memory_order_relaxed)};
       if (effective.Overlaps(interval) || raw.Overlaps(interval)) {
         ++stats_.duplicate_inserts;
+        *sweep_due = CountOpLocked();
         return Status::Ok();
       }
     }
@@ -980,7 +982,14 @@ void CacheShard::Flush() {
   for (const Version* v : lru_) {
     freed += v->bytes;
   }
-  table_.ForEach([this](KeySlot* slot) {
+  // Unlink before retire: swap in the fresh empty table FIRST, so no reader can reach a slot
+  // through the published table once it sits in a retire list (Retire may advance the epoch
+  // mid-loop on a large flush, which would otherwise free still-reachable records).
+  std::vector<KeySlot*> flushed;
+  flushed.reserve(table_.size());
+  table_.ForEach([&flushed](KeySlot* slot) { flushed.push_back(slot); });
+  table_.Clear();  // publishes a fresh empty table; the old slot array is retired
+  for (KeySlot* slot : flushed) {
     VersionArray* arr = slot->versions.load(std::memory_order_relaxed);
     if (arr != nullptr) {
       for (Version* v : arr->items) {
@@ -989,8 +998,7 @@ void CacheShard::Flush() {
       domain_->RetireObject(arr);
     }
     domain_->RetireObject(slot);
-  });
-  table_.Clear();  // publishes a fresh empty table; the old slot array is retired
+  }
   lru_.clear();
   score_index_.clear();
   stale_lru_.clear();

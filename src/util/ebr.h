@@ -47,7 +47,7 @@ class EbrDomain {
   ~EbrDomain() {
     // Process teardown (static destruction): no readers can remain; free everything.
     CollectAll();
-    Segment* seg = segments_.load(std::memory_order_relaxed);
+    Segment* seg = segments_;
     while (seg != nullptr) {
       Segment* next = seg->next;
       delete seg;
@@ -174,7 +174,7 @@ class EbrDomain {
 
   struct alignas(64) Slot {
     std::atomic<uint64_t> state{kIdle};
-    std::atomic<Slot*> next_free{nullptr};
+    Slot* next_free = nullptr;  // guarded by slots_mu_
   };
 
   struct Segment {
@@ -211,33 +211,37 @@ class EbrDomain {
     return ts;
   }
 
+  // Slot registry: a plain mutex guards the free list and segment publication. Both paths are
+  // cold (first EBR use on a thread, thread exit), and the mutex closes two races a lock-free
+  // registry had: a Treiber-stack pop is ABA-prone (one slot handed to two threads breaks the
+  // pin protocol), and a slot pinned before its segment is visible to the advance scan would
+  // let the epoch move past an active reader. TryAdvanceLocked takes the same mutex while
+  // scanning, so any slot that can hold a pin belongs to a segment the scan observes.
   Slot* AcquireSlot() {
-    Slot* s = free_slots_.load(std::memory_order_acquire);
-    while (s != nullptr) {
-      Slot* next = s->next_free.load(std::memory_order_relaxed);
-      if (free_slots_.compare_exchange_weak(s, next, std::memory_order_acq_rel)) {
-        return s;
-      }
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    if (free_slots_ != nullptr) {
+      Slot* s = free_slots_;
+      free_slots_ = s->next_free;
+      return s;
     }
     auto* seg = new Segment();
+    // Register the segment before any of its slots can be handed out; the slot returned here
+    // cannot be pinned until we release slots_mu_, by which point the scan sees the segment.
+    seg->next = segments_;
+    segments_ = seg;
     // Claim slot 0 for the caller; chain the rest into the free list.
-    for (size_t i = kSlotsPerSegment - 1; i >= 2; --i) {
-      ReleaseSlot(&seg->slots[i]);
+    for (size_t i = kSlotsPerSegment - 1; i >= 1; --i) {
+      seg->slots[i].next_free = free_slots_;
+      free_slots_ = &seg->slots[i];
     }
-    ReleaseSlot(&seg->slots[1]);
-    Segment* head = segments_.load(std::memory_order_relaxed);
-    do {
-      seg->next = head;
-    } while (!segments_.compare_exchange_weak(head, seg, std::memory_order_acq_rel));
     return &seg->slots[0];
   }
 
   void ReleaseSlot(Slot* s) {
     s->state.store(kIdle, std::memory_order_release);
-    Slot* head = free_slots_.load(std::memory_order_relaxed);
-    do {
-      s->next_free.store(head, std::memory_order_relaxed);
-    } while (!free_slots_.compare_exchange_weak(head, s, std::memory_order_acq_rel));
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    s->next_free = free_slots_;
+    free_slots_ = s;
   }
 
   // Returns the deleter list to run (epoch advanced) or nullptr. advanced_empty_ records an
@@ -245,12 +249,19 @@ class EbrDomain {
   Node* TryAdvanceLocked() {
     advanced_empty_ = false;
     const uint64_t g = global_epoch_.load(std::memory_order_seq_cst);
-    for (Segment* seg = segments_.load(std::memory_order_acquire); seg != nullptr;
-         seg = seg->next) {
-      for (size_t i = 0; i < kSlotsPerSegment; ++i) {
-        const uint64_t s = seg->slots[i].state.load(std::memory_order_seq_cst);
-        if (s != kIdle && s != g) {
-          return nullptr;  // a reader still pins an older epoch
+    {
+      // slots_mu_ orders this scan against segment publication in AcquireSlot: a slot pinned
+      // before we locked belongs to a segment we will see. A slot handed out after we locked
+      // can pin at most the pre-advance epoch g, which never blocks this advance (to g+1)
+      // and is seen by the scan for the next one. Lock order is mu_ -> slots_mu_ only;
+      // AcquireSlot/ReleaseSlot never take mu_.
+      std::lock_guard<std::mutex> slots_lock(slots_mu_);
+      for (Segment* seg = segments_; seg != nullptr; seg = seg->next) {
+        for (size_t i = 0; i < kSlotsPerSegment; ++i) {
+          const uint64_t s = seg->slots[i].state.load(std::memory_order_seq_cst);
+          if (s != kIdle && s != g) {
+            return nullptr;  // a reader still pins an older epoch
+          }
         }
       }
     }
@@ -285,8 +296,10 @@ class EbrDomain {
   }
 
   std::atomic<uint64_t> global_epoch_{1};  // 0 is the idle sentinel, so epochs start at 1
-  std::atomic<Segment*> segments_{nullptr};
-  std::atomic<Slot*> free_slots_{nullptr};
+
+  std::mutex slots_mu_;  // guards segments_ + free_slots_; taken inside mu_ by the scan
+  Segment* segments_ = nullptr;
+  Slot* free_slots_ = nullptr;
 
   mutable std::mutex mu_;  // guards buckets_ + counters; never held while running deleters
   Bucket buckets_[3];
