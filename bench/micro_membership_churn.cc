@@ -1,7 +1,7 @@
 // micro_membership_churn — elastic membership: what a node leave costs, and how fast the
 // fleet recovers after a crash + rejoin.
 //
-// Two measurements:
+// Four measurements:
 //
 //   1. Remap fraction. On an epoch-stamped consistent-hash ring with virtual nodes, removing
 //      one of n nodes must disturb only the departed node's arc — about 1/n of the key space,
@@ -15,6 +15,19 @@
 //      flush path — the worst case: the node comes back cold and must re-earn its hit rate.
 //      The run reports per-round hit rates and checks that the fleet recovers to >= 90% of
 //      its steady state within the recovery window.
+//
+//   3. Warm rejoin. Same outage, but the victim is a genuine cold restart (the process is
+//      destroyed and rebuilt — no in-memory state survives) with a snapshot store attached.
+//      The node persisted snapshots while serving; the rejoin restores the freshest one,
+//      adopts its stream position and replays only the residual gap — so it must come back
+//      WARM: join_snapshot_restores >= 1, zero join flushes, and recovery >= 90% of steady.
+//
+//   4. Flash crowd + node loss. Traffic shifts ~100x onto a handful of hot keys, then the
+//      node owning hot keys crashes. Baseline (R=1): the crowd's keys answer
+//      kNodeUnavailable until the node returns — a miss storm. With hot-key replication
+//      (R=2, periodic ReplicateHotKeys): ring successors hold the hot keys and lookups fail
+//      over, so the post-crash hit-rate floor must be no worse than the baseline's.
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -24,6 +37,7 @@
 #include "src/bus/bus.h"
 #include "src/cache/cache_cluster.h"
 #include "src/cache/cache_server.h"
+#include "src/cache/snapshot_store.h"
 #include "src/cluster/consistent_hash.h"
 #include "src/util/clock.h"
 #include "src/util/rng.h"
@@ -174,6 +188,192 @@ double WindowMean(const std::vector<double>& v, int from, int to) {
   return sum / (to - from + 1);
 }
 
+// --- part 3: warm rejoin from a persisted snapshot -----------------------------
+
+struct WarmRun {
+  std::vector<double> hit_rate;  // per round
+  uint64_t join_flushes = 0;
+  uint64_t join_snapshot_restores = 0;
+  uint64_t snapshot_saves = 0;
+};
+
+WarmRun RunWarmRejoin() {
+  ManualClock clock;
+  clock.Set(Seconds(1));
+  // History sized so the COLD path still fails (the victim restarts at stream position 1,
+  // hundreds of messages behind) but the RESIDUAL gap after restoring a recent snapshot is
+  // covered: the snapshot, not the history, is what makes this rejoin warm.
+  InvalidationBus bus(/*history_limit=*/128);
+  InMemorySnapshotStore store;
+  CacheServer::Options options;
+  options.snapshot_interval_messages = 8;  // persist frequently relative to the feed
+  CacheCluster cluster;
+  std::vector<std::unique_ptr<CacheServer>> nodes;
+  for (size_t n = 0; n < kNodes; ++n) {
+    nodes.push_back(
+        std::make_unique<CacheServer>("cache-" + std::to_string(n), &clock, options));
+    nodes.back()->set_snapshot_store(&store);
+    bus.Subscribe(nodes.back().get());
+    cluster.AddNode(nodes.back().get());
+  }
+
+  Rng rng(43);
+  Timestamp feed_ts = 1;
+  auto fill = [&](size_t k) {
+    InsertRequest req;
+    req.key = KeyName(k);
+    req.value = std::string(64, 'v');
+    req.interval = {feed_ts, kTimestampInfinity};
+    req.computed_at = feed_ts;
+    req.tags = {GroupTag(k % kGroups)};
+    req.fill_cost_us = 500;
+    cluster.Insert(req);
+  };
+  for (size_t k = 0; k < kKeys; ++k) {
+    fill(k);
+  }
+
+  WarmRun run;
+  for (int round = 0; round < kRounds; ++round) {
+    if (round == kCrashRound) {
+      // Cold restart, not a healed partition: the process dies and every byte of in-memory
+      // state dies with it. Only the snapshot store (stable storage) survives.
+      bus.Unsubscribe(nodes[0].get());
+      cluster.RemoveNode(nodes[0]->name());
+      nodes[0].reset();
+    }
+    if (round == kRejoinRound) {
+      nodes[0] = std::make_unique<CacheServer>("cache-0", &clock, options);
+      nodes[0]->set_snapshot_store(&store);
+      nodes[0]->Join(&bus);  // restores the snapshot, replays the residual gap
+      cluster.AddNode(nodes[0].get());
+    }
+    clock.Advance(Millis(100));
+    for (int i = 0; i < kInvalsPerRound; ++i) {
+      InvalidationMessage msg;
+      msg.ts = ++feed_ts;
+      msg.wallclock = clock.Now();
+      msg.tags = {GroupTag(static_cast<size_t>(rng.Uniform(0, kGroups - 1)))};
+      bus.Publish(msg);
+    }
+    uint64_t hits = 0;
+    for (int i = 0; i < kLookupsPerRound; ++i) {
+      const size_t k = static_cast<size_t>(rng.Uniform(0, kKeys - 1));
+      LookupRequest req;
+      req.key = KeyName(k);
+      req.bounds_lo = feed_ts > 60 ? feed_ts - 60 : 1;
+      req.bounds_hi = kTimestampInfinity;
+      req.fresh_lo = req.bounds_lo;
+      LookupResponse resp = cluster.Lookup(req);
+      if (resp.hit) {
+        ++hits;
+      } else {
+        fill(k);
+      }
+    }
+    run.hit_rate.push_back(static_cast<double>(hits) / kLookupsPerRound);
+  }
+  const CacheStats total = cluster.TotalStats();
+  run.join_flushes = total.join_flushes;
+  run.join_snapshot_restores = total.join_snapshot_restores;
+  run.snapshot_saves = store.saves();
+  return run;
+}
+
+// --- part 4: flash crowd + node loss, with and without hot-key replication -----
+
+constexpr size_t kHotKeys = 8;           // the crowd's whole working set
+constexpr double kCrowdFraction = 0.9;   // share of lookups on it (~100x per-key skew shift)
+constexpr int kFlashRounds = 16;
+constexpr int kCrowdFrom = 4;   // skew shifts entering this round
+constexpr int kHotCrashRound = 8;  // a hot key's owner crashes entering this one
+
+struct FlashRun {
+  std::vector<double> hit_rate;  // per round
+  double floor = 1.0;            // min round hit rate from the crash on
+  uint64_t replica_pushes = 0;
+  uint64_t replica_redirects = 0;
+};
+
+FlashRun RunFlashCrowd(bool replicate) {
+  ManualClock clock;
+  clock.Set(Seconds(1));
+  InvalidationBus bus(/*history_limit=*/4096);
+  CacheCluster cluster;
+  if (replicate) {
+    cluster.set_replication(2);
+  }
+  std::vector<std::unique_ptr<CacheServer>> nodes;
+  for (size_t n = 0; n < kNodes; ++n) {
+    nodes.push_back(std::make_unique<CacheServer>("cache-" + std::to_string(n), &clock));
+    bus.Subscribe(nodes.back().get());
+    cluster.AddNode(nodes.back().get());
+  }
+
+  Rng rng(44);
+  Timestamp feed_ts = 1;
+  auto fill = [&](size_t k) {
+    InsertRequest req;
+    req.key = KeyName(k);
+    req.value = std::string(64, 'v');
+    req.interval = {feed_ts, kTimestampInfinity};
+    req.computed_at = feed_ts;
+    req.tags = {GroupTag(k % kGroups)};
+    req.fill_cost_us = 500;
+    cluster.Insert(req);
+  };
+  for (size_t k = 0; k < kKeys; ++k) {
+    fill(k);
+  }
+  // The node that owns hot key 0 is the one the crowd will lose.
+  CacheServer* hot_owner = cluster.NodeForKey(KeyName(0)).value();
+
+  FlashRun run;
+  for (int round = 0; round < kFlashRounds; ++round) {
+    if (round == kHotCrashRound) {
+      hot_owner->Crash();  // stays in the ring: its keys answer kNodeUnavailable
+    }
+    clock.Advance(Millis(100));
+    for (int i = 0; i < kInvalsPerRound; ++i) {
+      InvalidationMessage msg;
+      msg.ts = ++feed_ts;
+      msg.wallclock = clock.Now();
+      msg.tags = {GroupTag(static_cast<size_t>(rng.Uniform(0, kGroups - 1)))};
+      bus.Publish(msg);
+    }
+    const bool crowd = round >= kCrowdFrom;
+    uint64_t hits = 0;
+    for (int i = 0; i < kLookupsPerRound; ++i) {
+      const size_t k = crowd && rng.Uniform(0, 999) < static_cast<int>(kCrowdFraction * 1000)
+                           ? static_cast<size_t>(rng.Uniform(0, kHotKeys - 1))
+                           : static_cast<size_t>(rng.Uniform(0, kKeys - 1));
+      LookupRequest req;
+      req.key = KeyName(k);
+      req.bounds_lo = feed_ts > 60 ? feed_ts - 60 : 1;
+      req.bounds_hi = kTimestampInfinity;
+      req.fresh_lo = req.bounds_lo;
+      LookupResponse resp = cluster.Lookup(req);
+      if (resp.hit) {
+        ++hits;
+      } else {
+        fill(k);
+      }
+    }
+    run.hit_rate.push_back(static_cast<double>(hits) / kLookupsPerRound);
+    if (round >= kHotCrashRound) {
+      run.floor = std::min(run.floor, run.hit_rate.back());
+    }
+    if (replicate) {
+      // Replication rides a maintenance cadence: each round every live node drains its
+      // hot-key sketch and pushes its hottest keys to their ring successors.
+      cluster.ReplicateHotKeys(/*max_keys_per_node=*/16);
+    }
+  }
+  run.replica_pushes = cluster.replica_pushes();
+  run.replica_redirects = cluster.replica_redirects();
+  return run;
+}
+
 }  // namespace
 }  // namespace txcache
 
@@ -214,6 +414,44 @@ int main() {
               static_cast<unsigned long long>(run.join_flushes),
               static_cast<unsigned long long>(run.join_catchups));
 
+  const WarmRun warm = RunWarmRejoin();
+  std::printf("\n[3] warm rejoin: same outage, cold process restart + snapshot store\n");
+  std::printf("    snapshots persisted while serving: %llu\n",
+              static_cast<unsigned long long>(warm.snapshot_saves));
+  std::printf("%8s %9s %s\n", "round", "hit%", "phase");
+  for (int i = 0; i < kRounds; ++i) {
+    const char* phase = i < kCrashRound      ? "steady"
+                        : i < kRejoinRound   ? "node 0 DESTROYED"
+                        : i < kRejoinRound + 2 ? "rejoined (warm)"
+                                               : "recovering";
+    std::printf("%8d %8.1f%% %s\n", i, warm.hit_rate[static_cast<size_t>(i)] * 100.0, phase);
+  }
+  const double warm_steady = WindowMean(warm.hit_rate, kSteadyFrom, kSteadyTo);
+  const double warm_recovered = WindowMean(warm.hit_rate, kRecoveredFrom, kRecoveredTo);
+  std::printf("\nsteady %.1f%% | recovered %.1f%% (%.0f%% of steady)\n", warm_steady * 100,
+              warm_recovered * 100, 100 * warm_recovered / warm_steady);
+  std::printf("snapshot restores: %llu, join flushes: %llu\n",
+              static_cast<unsigned long long>(warm.join_snapshot_restores),
+              static_cast<unsigned long long>(warm.join_flushes));
+
+  const FlashRun flash_base = RunFlashCrowd(/*replicate=*/false);
+  const FlashRun flash_repl = RunFlashCrowd(/*replicate=*/true);
+  std::printf("\n[4] flash crowd + node loss: %.0f%% of lookups shift onto %zu keys entering "
+              "round %d; their owner crashes entering round %d\n",
+              kCrowdFraction * 100, kHotKeys, kCrowdFrom, kHotCrashRound);
+  std::printf("%8s %12s %12s\n", "round", "R=1 hit%", "R=2 hit%");
+  for (int i = 0; i < kFlashRounds; ++i) {
+    std::printf("%8d %11.1f%% %11.1f%%%s\n", i,
+                flash_base.hit_rate[static_cast<size_t>(i)] * 100.0,
+                flash_repl.hit_rate[static_cast<size_t>(i)] * 100.0,
+                i == kHotCrashRound ? "   <- owner down" : "");
+  }
+  std::printf("\npost-crash floor: R=1 %.1f%% | R=2 %.1f%% (replica pushes %llu, "
+              "failover redirects %llu)\n",
+              flash_base.floor * 100, flash_repl.floor * 100,
+              static_cast<unsigned long long>(flash_repl.replica_pushes),
+              static_cast<unsigned long long>(flash_repl.replica_redirects));
+
   bench::BenchJson json("membership_churn");
   json.Add("leave_remapped_fraction", remap.fraction);
   json.Add("leave_remap_bound", 2.0 / kRingNodes);
@@ -223,15 +461,33 @@ int main() {
   json.Add("recovered_fraction_of_steady", steady > 0 ? recovered / steady : 0);
   json.Add("join_flushes", static_cast<double>(run.join_flushes));
   json.Add("join_catchups", static_cast<double>(run.join_catchups));
+  json.Add("warm_rejoin_hit_rate", warm_recovered);
+  json.Add("warm_rejoin_fraction_of_steady", warm_steady > 0 ? warm_recovered / warm_steady : 0);
+  json.Add("join_snapshot_restores", static_cast<double>(warm.join_snapshot_restores));
+  json.Add("flash_crowd_floor", flash_repl.floor);
+  json.Add("flash_crowd_floor_baseline", flash_base.floor);
+  json.Add("replica_pushes", static_cast<double>(flash_repl.replica_pushes));
+  json.Add("replica_redirects", static_cast<double>(flash_repl.replica_redirects));
   json.Write();
 
   const bool remap_ok = remap.fraction <= 2.0 / kRingNodes && remap.only_victim_moved;
   const bool degraded = during < steady;  // the outage must actually have cost something
   const bool recovered_ok = recovered >= 0.9 * steady;
   const bool flushed = run.join_flushes >= 1;  // the worst-case rejoin path was exercised
+  // Warm rejoin must take the snapshot path (never the flush path) and recover at least as
+  // well as the cold baseline's bar.
+  const bool warm_ok = warm.join_snapshot_restores >= 1 && warm.join_flushes == 0 &&
+                       warm_recovered >= 0.9 * warm_steady;
+  // Replication must not make the flash-crowd outage worse; it should hold the floor up.
+  const bool flash_ok = flash_repl.floor >= flash_base.floor;
   std::printf("\nleave remaps <= 2/n: %s | outage visible: %s | rejoin flushed: %s | "
-              "recovery >= 90%% of steady: %s\n",
+              "recovery >= 90%% of steady: %s | warm rejoin (restore, no flush, >= 90%%): %s | "
+              "replicated floor >= baseline floor: %s\n",
               remap_ok ? "PASS" : "FAIL", degraded ? "PASS" : "FAIL",
-              flushed ? "PASS" : "FAIL", recovered_ok ? "PASS" : "FAIL");
-  return (remap_ok && degraded && recovered_ok && flushed) || !bench::GateEnabled() ? 0 : 1;
+              flushed ? "PASS" : "FAIL", recovered_ok ? "PASS" : "FAIL",
+              warm_ok ? "PASS" : "FAIL", flash_ok ? "PASS" : "FAIL");
+  return (remap_ok && degraded && recovered_ok && flushed && warm_ok && flash_ok) ||
+                 !bench::GateEnabled()
+             ? 0
+             : 1;
 }

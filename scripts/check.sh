@@ -77,10 +77,13 @@ cmake --build build -j "$JOBS"
 # cache_eviction_test and cache_property_test ride along: the eviction/admission suite must be
 # deterministic AND data-race-free (its stats are read concurrently by the stress tests).
 # membership_test rides along too: the join protocol and cluster membership mutex must stay
-# race-free against the churn thread in concurrency_stress_test.
+# race-free against the churn thread in concurrency_stress_test. cache_snapshot_test and
+# cache_replication_test join them: snapshot persistence fires from Deliver and replica
+# pushes/failover cross node boundaries, both of which must stay race-free.
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_TARGETS=(concurrency_stress_test cache_shard_test cache_eviction_test cache_property_test
-                membership_test cache_readpath_test cache_admission_sizing_test cache_ebr_test)
+                membership_test cache_readpath_test cache_admission_sizing_test cache_ebr_test
+                cache_snapshot_test cache_replication_test)
   cmake -B build-tsan -S . -DTXCACHE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
   if [[ -n "$LABELS" ]]; then
@@ -137,7 +140,7 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
   declare -A required_keys=(
     [lookup_hotpath]="gate_single_shard_4k_speedup scaling_8t_over_1t"
     [shard_scaling]="gate_16_shard_speedup"
-    [membership_churn]="leave_remapped_fraction recovered_fraction_of_steady"
+    [membership_churn]="leave_remapped_fraction recovered_fraction_of_steady warm_rejoin_hit_rate flash_crowd_floor join_snapshot_restores"
     [large_values]="recompute_saved_with_feedback ttl_consistency_miss_reduction"
   )
   for bench in "${!required_keys[@]}"; do

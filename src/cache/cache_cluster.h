@@ -55,6 +55,69 @@ class CacheCluster {
     return ring_.epoch();
   }
 
+  // --- hot-key replication ---
+  // Replication factor R: each hot key lives on its primary plus R-1 distinct ring
+  // successors (pushed by ReplicateHotKeys), and a lookup whose primary answers
+  // kNodeUnavailable fails over to those successors. R=1 (default) disables both. Replica
+  // reads stay consistent without any cross-node coordination because the invalidation bus
+  // fans out to every node: a replica's copy is truncated by the same stream messages that
+  // truncate the primary's, so the freshest version a replica holds is never staler than
+  // what the bus has published — exactly the single-node guarantee.
+  void set_replication(size_t r) { replication_.store(std::max<size_t>(r, 1), std::memory_order_relaxed); }
+  size_t replication() const { return replication_.load(std::memory_order_relaxed); }
+
+  // One replication round: each node drains its hot-key sketch and pushes the newest
+  // still-valid version of its `max_keys_per_node` hottest keys to the R-1 other members of
+  // each key's replica set (skipping itself). Pushes go through the normal Insert path on
+  // the replica — admission may decline, a joining replica refuses, and insert-time history
+  // replay truncates a copy the replica's stream position has already invalidated. Returns
+  // the number of accepted pushes this round (also accumulated in replica_pushes()).
+  // Call periodically (simulator: maintenance tick; benches: between rounds).
+  size_t ReplicateHotKeys(size_t max_keys_per_node) {
+    const size_t replication = replication_.load(std::memory_order_relaxed);
+    if (replication < 2 || max_keys_per_node == 0) {
+      return 0;
+    }
+    size_t pushes = 0;
+    for (CacheServer* primary : Nodes()) {
+      std::vector<InsertRequest> hot = primary->ExportHotKeys(max_keys_per_node);
+      if (hot.empty()) {
+        continue;
+      }
+      // Resolve every key's replica set under one shared-lock hop; push with it released
+      // (same discipline as Lookup: membership writes never wait behind cache work).
+      std::vector<std::pair<CacheServer*, const InsertRequest*>> dispatch;
+      {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        for (const InsertRequest& req : hot) {
+          for (const std::string& name : ring_.ReplicasForHash(req.key_hash, replication)) {
+            if (name == primary->name()) {
+              continue;  // the exporter already holds it
+            }
+            auto it = servers_.find(name);
+            if (it != servers_.end()) {
+              dispatch.emplace_back(it->second, &req);
+            }
+          }
+        }
+      }
+      for (auto& [replica, req] : dispatch) {
+        if (replica->Insert(*req).ok()) {
+          ++pushes;
+        }
+      }
+    }
+    replica_pushes_.fetch_add(pushes, std::memory_order_relaxed);
+    return pushes;
+  }
+
+  // Lookups answered by a replica after the primary answered kNodeUnavailable.
+  uint64_t replica_redirects() const {
+    return replica_redirects_.load(std::memory_order_relaxed);
+  }
+  // Accepted hot-key pushes across all ReplicateHotKeys rounds.
+  uint64_t replica_pushes() const { return replica_pushes_.load(std::memory_order_relaxed); }
+
   // Routes a key to its owning server. Unroutable (empty ring, or — defensively — a ring
   // entry with no registered server) is kUnavailable, never kInternal: under churn that key
   // is a miss, not a bug.
@@ -89,8 +152,14 @@ class CacheCluster {
       nodes_unavailable_.fetch_add(1, std::memory_order_relaxed);
     } else {
       resp = server->Lookup(req);
+      resp.served_by = server->name();
     }
     resp.ring_epoch = epoch;
+    if (resp.miss == MissKind::kNodeUnavailable) {
+      // Primary down/joining/departed: a hot key replicated to the ring successors can still
+      // be served warm (a flash crowd must not turn into a miss storm because one node died).
+      TryReplicaFailover(req, &resp);
+    }
     return resp;
   }
 
@@ -113,6 +182,9 @@ class CacheCluster {
       }
     }
     resp.status = server != nullptr ? server->Insert(req, &resp.hints) : route;
+    if (server != nullptr) {
+      resp.served_by = server->name();
+    }
     return resp;
   }
 
@@ -158,6 +230,18 @@ class CacheCluster {
     for (auto& [server, indices] : dispatch) {
       // Scatter form: each node answers its positions straight into the shared response.
       server->MultiLookup(req, indices, &resp);
+      for (uint32_t i : indices) {
+        resp.responses[i].served_by = server->name();
+      }
+    }
+    if (replication_.load(std::memory_order_relaxed) > 1) {
+      // Per-position replica failover, same contract as Lookup. Only unavailable positions
+      // pay the extra routing hop, so the warm path stays one round-trip per node.
+      for (uint32_t i = 0; i < resp.responses.size(); ++i) {
+        if (resp.responses[i].miss == MissKind::kNodeUnavailable) {
+          TryReplicaFailover(req.lookups[i], &resp.responses[i]);
+        }
+      }
     }
     return resp;
   }
@@ -265,6 +349,43 @@ class CacheCluster {
   }
 
  private:
+  // Replica failover for one position: try the key's ring successors (primary excluded) and
+  // adopt the first answer that is not itself kNodeUnavailable — a hit for a replicated hot
+  // key, an honest recomputable miss from a live node otherwise. Preserves the caller's
+  // ring_epoch stamp. Returns true when a replica's answer was adopted.
+  bool TryReplicaFailover(const LookupRequest& req, LookupResponse* resp) const {
+    const size_t replication = replication_.load(std::memory_order_relaxed);
+    if (replication < 2) {
+      return false;
+    }
+    const uint64_t key_hash = RequestKeyHash(req);
+    std::vector<CacheServer*> fallbacks;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto primary_or = ring_.NodeForKey(key_hash);
+      for (const std::string& name : ring_.ReplicasForHash(key_hash, replication)) {
+        if (primary_or.ok() && name == primary_or.value()) {
+          continue;  // that one already answered unavailable
+        }
+        auto it = servers_.find(name);
+        if (it != servers_.end()) {
+          fallbacks.push_back(it->second);
+        }
+      }
+    }
+    for (CacheServer* replica : fallbacks) {
+      LookupResponse alt = replica->Lookup(req);
+      if (alt.miss != MissKind::kNodeUnavailable) {
+        alt.ring_epoch = resp->ring_epoch;
+        alt.served_by = replica->name();
+        *resp = std::move(alt);
+        replica_redirects_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
   Result<CacheServer*> NodeForHashLocked(uint64_t key_hash) const {
     auto name_or = ring_.NodeForKey(key_hash);
     if (!name_or.ok()) {
@@ -283,6 +404,12 @@ class CacheCluster {
   ConsistentHashRing ring_;
   std::unordered_map<std::string, CacheServer*> servers_;
   mutable std::atomic<uint64_t> nodes_unavailable_{0};
+
+  // Hot-key replication factor and counters (see set_replication). replica_redirects_ is
+  // mutable because failover happens on the const lookup path.
+  std::atomic<size_t> replication_{1};
+  mutable std::atomic<uint64_t> replica_redirects_{0};
+  std::atomic<uint64_t> replica_pushes_{0};
 };
 
 }  // namespace txcache

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <limits>
+#include <optional>
 
 #include "src/util/hash.h"
 #include "src/util/serde.h"
@@ -128,13 +130,14 @@ Status CacheServer::Join(InvalidationBus* bus) {
   const uint64_t position = sequencer_.next_expected_seqno();
   if (position < target) {
     Status replay = bus->ReplayFrom(this, position);
-    if (!replay.ok()) {
-      // Catch-up impossible: the bounded history no longer reaches back to our position.
-      // Discard everything rather than risk serving an entry whose invalidation fell in the
-      // gap, and adopt the live position (draining any live-delivered messages the reorder
-      // buffer already holds at/after it). Raising the shards' history floor makes later
-      // inserts computed inside the gap truncate conservatively instead of claiming
-      // still-valid (the no-stale-read analogue of the snapshot-import caveat).
+    if (!replay.ok() && !TryRestoreFromSnapshot(bus, target, position)) {
+      // Catch-up impossible and no snapshot helped: the bounded history no longer reaches
+      // back to our position. Discard everything rather than risk serving an entry whose
+      // invalidation fell in the gap, and adopt the live position (draining any
+      // live-delivered messages the reorder buffer already holds at/after it). Raising the
+      // shards' history floor makes later inserts computed inside the gap truncate
+      // conservatively instead of claiming still-valid (the no-stale-read analogue of the
+      // snapshot-import caveat).
       Flush();
       sequencer_.AdoptPosition(target);
       const Timestamp adopted_ts = bus->last_published_ts();
@@ -142,7 +145,7 @@ Status CacheServer::Join(InvalidationBus* bus) {
         shard->AdoptStreamPosition(adopted_ts, /*raise_history_floor=*/true);
       }
       join_flushes_.fetch_add(1, std::memory_order_relaxed);
-    } else {
+    } else if (replay.ok()) {
       join_catchups_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -151,6 +154,63 @@ Status CacheServer::Join(InvalidationBus* bus) {
   join_target_.store(target, std::memory_order_release);
   CheckServing();
   return Status::Ok();
+}
+
+bool CacheServer::TryRestoreFromSnapshot(InvalidationBus* bus, uint64_t target,
+                                         uint64_t position) {
+  if (snapshot_store_ == nullptr) {
+    return false;
+  }
+  std::optional<std::string> snap = snapshot_store_->LoadFreshest(name_);
+  if (!snap.has_value()) {
+    return false;
+  }
+  // Peek the header without importing: the decision needs only the snapshot's stream
+  // position. Restoring helps exactly when the snapshot is AHEAD of us — a cold restart
+  // (fresh process at position 1) behind a store that kept persisting. A snapshot at or
+  // behind our own position adds nothing: our residual gap would be unchanged.
+  Reader r(*snap);
+  uint32_t version = 0;
+  uint64_t snap_seqno = 0;
+  uint64_t snap_last_ts = 0;
+  if (!r.GetU32(&version) || version != kSnapshotFormatVersion || !r.GetU64(&snap_seqno) ||
+      !r.GetU64(&snap_last_ts) || snap_seqno <= position) {
+    return false;
+  }
+  // Drop whatever (stale, uncovered) state we hold, then import. The fresh-node precondition
+  // of ImportSnapshot (see the caveat on its declaration) is established by this flush: no
+  // pre-existing still-valid entry can skip a truncation the snapshot fast-forwards past.
+  Flush();
+  if (!ImportSnapshot(*snap).ok()) {
+    Flush();  // half-imported state is unusable; the caller's flush path adopts the target
+    return false;
+  }
+  if (snap_seqno < target) {
+    Status residual = bus->ReplayFrom(this, snap_seqno);
+    if (!residual.ok()) {
+      // Even the post-snapshot gap outran the bounded history. Keep the imported data — its
+      // closed intervals are correct regardless — but administratively close every imported
+      // still-valid version at what the exporter had seen: an invalidation inside the gap
+      // can then never be skipped, because nothing claims validity beyond the snapshot.
+      // Adopt the live position and raise the history floor, exactly like the flush path.
+      const Timestamp adopted_ts = bus->last_published_ts();
+      sequencer_.AdoptPosition(target);
+      for (auto& shard : shards_) {
+        shard->CloseAllStillValid(snap_last_ts);
+        shard->AdoptStreamPosition(adopted_ts, /*raise_history_floor=*/true);
+      }
+    }
+  }
+  join_snapshot_restores_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void CacheServer::PersistSnapshot() {
+  if (snapshot_store_ == nullptr ||
+      state_.load(std::memory_order_acquire) != NodeState::kServing) {
+    return;
+  }
+  snapshot_store_->Save(name_, ExportSnapshot());
 }
 
 LookupResponse CacheServer::Lookup(const LookupRequest& req) {
@@ -339,8 +399,15 @@ Status CacheServer::Insert(const InsertRequest& req,
   if (!CheckServing()) {
     // Refusing fills while down/joining keeps the join barrier simple: nothing enters the
     // cache until the node provably holds the complete invalidation history behind it.
+    // (Warm rejoin is the one exception — ImportSnapshot inserts through InsertImpl below,
+    // because the snapshot's entries carry their own provably-consistent stream position.)
     return Status::Unavailable("cache node not serving (down or joining)");
   }
+  return InsertImpl(req, hints_out);
+}
+
+Status CacheServer::InsertImpl(const InsertRequest& req,
+                               std::shared_ptr<const AdvisoryHints>* hints_out) {
   // Hash and parse once per insert: the key hash routes the shard and probes its map; the
   // function prefix feeds the admission gate, the shard's per-function hit bookkeeping and
   // the eviction fold-back. Plain LRU never uses the function, so it skips the parse.
@@ -382,6 +449,16 @@ void CacheServer::Deliver(const InvalidationMessage& msg) {
   // stall every concurrent Deliver for its whole duration.
   if (sweep_pending_.exchange(false, std::memory_order_relaxed)) {
     SweepAllShards();
+  }
+  // Periodic warm-rejoin persistence, also outside the sequencer: every
+  // snapshot_interval_messages deliveries one (arbitrary) delivering thread exports and
+  // saves. PersistSnapshot itself refuses while joining — a snapshot taken behind the join
+  // barrier could capture a position ahead of entries the barrier hasn't admitted yet.
+  if (snapshot_store_ != nullptr && options_.snapshot_interval_messages != 0 &&
+      messages_since_snapshot_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+          options_.snapshot_interval_messages) {
+    messages_since_snapshot_.store(0, std::memory_order_relaxed);
+    PersistSnapshot();
   }
 }
 
@@ -555,7 +632,9 @@ Status CacheServer::ImportSnapshot(const std::string& snapshot) {
       }
       req.tags.push_back(std::move(tag));
     }
-    Status st = Insert(req);
+    // InsertImpl, not Insert: warm rejoin imports while the join barrier still refuses
+    // public fills.
+    Status st = InsertImpl(req, nullptr);
     if (!st.ok() && st.code() != StatusCode::kDeclined &&
         st.code() != StatusCode::kDeclinedTooLarge) {
       // An admission decline (watermark or size gate) is a policy outcome, not a malformed
@@ -570,6 +649,52 @@ void CacheServer::Flush() {
   for (auto& shard : shards_) {
     shard->Flush();
   }
+}
+
+std::vector<InsertRequest> CacheServer::ExportHotKeys(size_t max_keys) {
+  std::vector<InsertRequest> out;
+  if (max_keys == 0) {
+    return out;
+  }
+  // Harvest every shard's sketch (the counters reset as a side effect — sliding window),
+  // rank globally, then export each shard's share of the winners in one pass per shard.
+  std::vector<std::unordered_map<uint64_t, uint64_t>> per_shard;
+  per_shard.reserve(shards_.size());
+  std::vector<std::pair<uint64_t, uint64_t>> ranked;  // (count, hash)
+  for (auto& shard : shards_) {
+    per_shard.push_back(shard->HarvestHotHashes());
+    for (const auto& [hash, count] : per_shard.back()) {
+      ranked.emplace_back(count, hash);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), std::greater<>());
+  if (ranked.size() > max_keys) {
+    ranked.resize(max_keys);
+  }
+  std::vector<std::vector<uint64_t>> wanted(shards_.size());
+  for (const auto& [count, hash] : ranked) {
+    wanted[ShardIndexForHash(hash)].push_back(hash);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (wanted[s].empty()) {
+      continue;
+    }
+    std::vector<InsertRequest> part = shards_[s]->ExportForReplication(wanted[s]);
+    for (InsertRequest& req : part) {
+      out.push_back(std::move(req));
+    }
+  }
+  // Re-rank the flattened exports hottest-first so callers replicating a prefix replicate
+  // the right keys.
+  std::unordered_map<uint64_t, uint64_t> rank;
+  rank.reserve(ranked.size());
+  for (const auto& [count, hash] : ranked) {
+    rank[hash] = count;
+  }
+  std::sort(out.begin(), out.end(), [&rank](const InsertRequest& a, const InsertRequest& b) {
+    return rank[a.key_hash] > rank[b.key_hash];
+  });
+  return out;
 }
 
 CacheStats CacheServer::stats() const {
@@ -591,6 +716,7 @@ CacheStats CacheServer::stats() const {
   total.nodes_unavailable += unavailable;
   total.join_catchups = join_catchups_.load(std::memory_order_relaxed);
   total.join_flushes = join_flushes_.load(std::memory_order_relaxed);
+  total.join_snapshot_restores = join_snapshot_restores_.load(std::memory_order_relaxed);
   return total;
 }
 
@@ -657,6 +783,7 @@ void CacheServer::ResetStats() {
   unavailable_misses_.store(0, std::memory_order_relaxed);
   join_catchups_.store(0, std::memory_order_relaxed);
   join_flushes_.store(0, std::memory_order_relaxed);
+  join_snapshot_restores_.store(0, std::memory_order_relaxed);
   // Function profiles are policy state, not counters: they survive a stats reset so the
   // admission gate keeps its learned benefit history between measurement windows.
   sequencer_.ResetStats();

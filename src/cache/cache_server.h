@@ -43,6 +43,7 @@
 #include "src/bus/sequencer.h"
 #include "src/cache/cache_shard.h"
 #include "src/cache/cache_types.h"
+#include "src/cache/snapshot_store.h"
 #include "src/util/clock.h"
 #include "src/util/status.h"
 
@@ -99,10 +100,13 @@ class CacheServer : public InvalidationSubscriber {
   // Rejoin barrier. Re-subscribes to the stream, records the current publish position as the
   // join target, then closes the gap between our sequencer position and the target: replay
   // the missed messages from the bus's bounded history if it still covers them (cached
-  // entries survive, truncated exactly as live delivery would have), otherwise flush all
-  // cached data and adopt the live position. The node starts serving only once its sequencer
-  // reaches the join target — with the simulator's delivery hook, replayed messages arrive
-  // with latency and the barrier stays up until they do.
+  // entries survive, truncated exactly as live delivery would have). When replay fails, a
+  // snapshot store (if attached) is tried first — restoring a snapshot ahead of our position
+  // shrinks the gap to [snapshot seqno, target), which history usually still covers — and
+  // only as a last resort is everything flushed and the live position adopted. The node
+  // starts serving only once its sequencer reaches the join target — with the simulator's
+  // delivery hook, replayed messages arrive with latency and the barrier stays up until
+  // they do.
   Status Join(InvalidationBus* bus);
   NodeState state() const { return state_.load(std::memory_order_acquire); }
   bool serving() const { return state() == NodeState::kServing; }
@@ -124,6 +128,29 @@ class CacheServer : public InvalidationSubscriber {
   // history. The §8 deployment pattern (restore into a fresh node before serving) is safe.
   std::string ExportSnapshot() const;
   Status ImportSnapshot(const std::string& snapshot);
+
+  // --- warm rejoin (snapshot persistence) ---
+  // Attaches a snapshot store. While serving, the node persists ExportSnapshot() under its
+  // own name every Options::snapshot_interval_messages applied invalidations (plus on demand
+  // via PersistSnapshot). On Join(), when catch-up replay fails, the freshest stored snapshot
+  // — if it is AHEAD of our stream position, i.e. we are a cold restart with less state than
+  // the store holds — is restored first, its stream position adopted, and only the residual
+  // gap closed by replay (or, when history no longer covers even that, by administratively
+  // closing the imported still-valid entries and raising the history floor). Either way the
+  // node rejoins warm instead of flushing; CacheStats::join_snapshot_restores counts it.
+  // The store must outlive the server; pass nullptr to detach.
+  void set_snapshot_store(SnapshotStore* store) { snapshot_store_ = store; }
+  // Exports and saves a snapshot now (no-op without a store or while not serving).
+  void PersistSnapshot();
+
+  // --- hot-key replication ---
+  // Drains the per-thread hot-key sketches and exports the newest still-valid version of the
+  // `max_keys` hottest keys as replication-ready InsertRequests (key_hash carried, interval
+  // re-opened, computed_at capped so a replica that lags this node's invalidation history
+  // truncates conservatively at insert time). The sketch counters reset on harvest, so each
+  // call reflects roughly the traffic since the previous one (a sliding window, not a
+  // lifetime ranking). Ordering: hottest first.
+  std::vector<InsertRequest> ExportHotKeys(size_t max_keys);
 
   const std::string& name() const { return name_; }
   CacheStats stats() const;  // aggregated over shards; safe under concurrent load
@@ -188,6 +215,14 @@ class CacheServer : public InvalidationSubscriber {
   // Builds and publishes the function's advisory snapshot from its profile (fn_mu_ held).
   std::shared_ptr<const AdvisoryHints> PublishHintsLocked(const std::string& function,
                                                           const FunctionProfile& p);
+  // Insert body shared by the public (serving-gated) Insert and ImportSnapshot, which must
+  // bypass the gate: warm rejoin imports while the join barrier is still up.
+  Status InsertImpl(const InsertRequest& req, std::shared_ptr<const AdvisoryHints>* hints_out);
+  // Join()'s warm path: restore the freshest stored snapshot if it is ahead of `position`,
+  // then close the residual gap up to `target` (replay, or degraded close + floor raise).
+  // Returns true iff the node was restored (counted in join_snapshot_restores_); false means
+  // the caller falls through to the cold flush path with node state untouched or re-flushed.
+  bool TryRestoreFromSnapshot(InvalidationBus* bus, uint64_t target, uint64_t position);
   // True iff the node may answer requests. Promotes kJoining to kServing when the sequencer
   // has reached the join target (the barrier drops itself as catch-up completes).
   bool CheckServing();
@@ -214,6 +249,12 @@ class CacheServer : public InvalidationSubscriber {
   std::atomic<uint64_t> unavailable_misses_{0};
   std::atomic<uint64_t> join_catchups_{0};
   std::atomic<uint64_t> join_flushes_{0};
+  std::atomic<uint64_t> join_snapshot_restores_{0};
+
+  // Warm-rejoin persistence: optional, not owned. messages_since_snapshot_ drives the
+  // periodic PersistSnapshot cadence from Deliver.
+  SnapshotStore* snapshot_store_ = nullptr;
+  std::atomic<uint64_t> messages_since_snapshot_{0};
 
   // Eviction/admission counters are node-level atomics (not per-shard, mutex-guarded partials)
   // so stats() stays safe to call while the stress tests hammer Insert/EvictToFit.

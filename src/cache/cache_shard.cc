@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <iterator>
 #include <thread>
 
@@ -358,6 +359,14 @@ LookupResponse CacheShard::LookupRead(const LookupRequest& req, uint64_t key_has
   if (!touch_buffer_.Record(best, ThreadStripeSeed())) {
     touch_overflow_.store(true, std::memory_order_relaxed);
   }
+  // Hot-key sampling for replication: every Nth hit lands in the stripe's space-saving
+  // sketch; the other N-1 pay exactly one relaxed counter bump.
+  if (options_.hot_key_sample_interval != 0 &&
+      st.sample_ticker.fetch_add(1, std::memory_order_relaxed) %
+              options_.hot_key_sample_interval ==
+          0) {
+    RecordHotSample(st, key_hash);
+  }
   resp.hit = true;
   // One control block for value + tags + hints: the aliases below share the resident block's
   // refcount, so a hit bumps a single count instead of three. Copying `block` is safe under
@@ -375,6 +384,105 @@ LookupResponse CacheShard::LookupRead(const LookupRequest& req, uint64_t key_has
     resp.tags = std::shared_ptr<const std::vector<InvalidationTag>>(block, &block->tags);
   }
   return resp;
+}
+
+void CacheShard::RecordHotSample(LookupStatsStripe& st, uint64_t key_hash) {
+  // Space-saving over a fixed slot array: a tracked hash increments its counter; an untracked
+  // one claims an empty slot, else displaces the minimum-count slot inheriting its count + 1
+  // (the classic overestimate bound). Races between samplers can lose or double an update —
+  // the sketch only steers which keys get replicated, so approximate is fine.
+  size_t min_i = 0;
+  uint32_t min_count = UINT32_MAX;
+  for (size_t i = 0; i < kHotSlotsPerStripe; ++i) {
+    HotSample& slot = st.hot[i];
+    const uint64_t h = slot.hash.load(std::memory_order_relaxed);
+    if (h == key_hash) {
+      slot.count.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (h == 0) {
+      slot.hash.store(key_hash, std::memory_order_relaxed);
+      slot.count.store(1, std::memory_order_relaxed);
+      return;
+    }
+    const uint32_t c = slot.count.load(std::memory_order_relaxed);
+    if (c < min_count) {
+      min_count = c;
+      min_i = i;
+    }
+  }
+  st.hot[min_i].hash.store(key_hash, std::memory_order_relaxed);
+  st.hot[min_i].count.store(min_count + 1, std::memory_order_relaxed);
+}
+
+std::unordered_map<uint64_t, uint64_t> CacheShard::HarvestHotHashes() {
+  std::unordered_map<uint64_t, uint64_t> out;
+  for (size_t s = 0; s < stripe_count_; ++s) {
+    LookupStatsStripe& st = lookup_stats_[s];
+    for (size_t i = 0; i < kHotSlotsPerStripe; ++i) {
+      const uint64_t h = st.hot[i].hash.load(std::memory_order_relaxed);
+      const uint32_t c = st.hot[i].count.exchange(0, std::memory_order_relaxed);
+      // Clear the slot so the next harvest window starts fresh (sliding-window decay: a key
+      // that cooled off stops being harvested instead of coasting on stale counts).
+      st.hot[i].hash.store(0, std::memory_order_relaxed);
+      if (h != 0 && c != 0) {
+        out[h] += c;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<InsertRequest> CacheShard::ExportForReplication(
+    const std::vector<uint64_t>& hashes) const {
+  std::shared_lock<InstrumentedSharedMutex> lock(mu_);
+  std::vector<InsertRequest> out;
+  if (hashes.empty()) {
+    return out;
+  }
+  const Timestamp last_ts = last_invalidation_ts_.load(std::memory_order_relaxed);
+  table_.ForEach([&](KeySlot* slot) {
+    bool wanted = false;
+    for (uint64_t h : hashes) {
+      if (h == slot->hash) {
+        wanted = true;
+        break;
+      }
+    }
+    if (!wanted) {
+      return;
+    }
+    const VersionArray* arr = slot->versions.load(std::memory_order_relaxed);
+    if (arr == nullptr) {
+      return;
+    }
+    // Only the newest still-valid version is worth pushing: closed-interval versions serve a
+    // shrinking set of pinned-old readers and would age out on the replica anyway.
+    const Version* best = nullptr;
+    for (const Version* v : arr->items) {
+      if (v->still_valid.load(std::memory_order_relaxed) &&
+          (best == nullptr || v->lower > best->lower)) {
+        best = v;
+      }
+    }
+    if (best == nullptr) {
+      return;
+    }
+    InsertRequest req;
+    req.key = slot->key;
+    req.key_hash = slot->hash;
+    req.value = best->block->value;
+    req.interval = {best->lower, kTimestampInfinity};
+    // The entry survived every invalidation this shard applied, so it is provably valid
+    // through the later of what the database vouched for and our applied stream position.
+    // A replica ahead of that position re-checks the claim against its own replay history
+    // at insert time; a replica behind it truncates when the killing message arrives.
+    req.computed_at = std::max(best->known_valid_through, last_ts);
+    req.tags = best->block->tags;
+    req.fill_cost_us = best->fill_cost_us;
+    out.push_back(std::move(req));
+  });
+  return out;
 }
 
 LookupResponse CacheShard::LookupExclusive(const LookupRequest& req, uint64_t key_hash) {
@@ -736,6 +844,7 @@ std::vector<VictimPreview> CacheShard::PreviewVictims(size_t bytes_needed) const
     out.push_back(p);  // benefit 0: stale-listed bytes are free to displace
     covered += v->bytes;
   }
+  const uint64_t now_tick = touch_ticker_->load(std::memory_order_relaxed);
   for (const auto& [score, v] : score_index_) {
     if (covered >= bytes_needed) {
       break;
@@ -744,6 +853,22 @@ std::vector<VictimPreview> CacheShard::PreviewVictims(size_t bytes_needed) const
     p.score = score;
     p.bytes = v->bytes;
     p.benefit_us = std::max(0.0, score - floor) * static_cast<double>(v->bytes);
+    // GreedyDual's score sinks toward the floor for any entry that stopped being REFRESHED,
+    // even one that keeps serving hits — the drain re-bases the score but the margin decays
+    // as the floor ratchets. Fold in a recency-decayed estimate of the recompute the victim
+    // is still saving (hits x fill cost, halved every kRecencyHalfLifeTicks of touch-tick
+    // idleness), so a quiet-but-alive victim is not priced near zero and displaced by a
+    // marginal large fill. Never-hit entries contribute nothing, keeping the original
+    // score-margin formula (and the admission-oracle model built on it) exact for them.
+    const uint64_t hits = v->hit_count.load(std::memory_order_relaxed);
+    if (hits > 0) {
+      constexpr double kRecencyHalfLifeTicks = 1024.0;
+      const uint64_t tick = v->touch_tick.load(std::memory_order_relaxed);
+      const uint64_t idle = now_tick > tick ? now_tick - tick : 0;
+      const double recency = std::exp2(-static_cast<double>(idle) / kRecencyHalfLifeTicks);
+      p.benefit_us +=
+          recency * static_cast<double>(hits) * static_cast<double>(v->fill_cost_us);
+    }
     out.push_back(p);
     covered += v->bytes;
   }
@@ -968,6 +1093,37 @@ void CacheShard::AdoptStreamPosition(Timestamp last_invalidation_ts, bool raise_
     // history has a gap. Raising the floor makes Insert's replay path bound any still-valid
     // claim computed before the gap at known_through + 1 instead of trusting it.
     history_floor_ = last_invalidation_ts;
+  }
+}
+
+void CacheShard::CloseAllStillValid(Timestamp through) {
+  std::unique_lock<InstrumentedSharedMutex> lock(mu_);
+  DrainTouchesLocked();
+  const WallClock now = clock_->Now();
+  std::vector<Version*> open;
+  for (Version* v : lru_) {
+    if (v->still_valid.load(std::memory_order_relaxed)) {
+      open.push_back(v);
+    }
+  }
+  for (Version* v : open) {
+    // Same store order as TruncateLocked (upper, then the release-clear of still_valid) so
+    // lock-free readers racing this closure observe a consistent narrowed interval. No
+    // lifetime is reported to the advisor — this is a join-time administrative closure, not
+    // a stream-revealed lifetime — and invalidation_truncations stays untouched for the same
+    // reason.
+    UnregisterTagsLocked(v);
+    v->upper.store(std::max(v->known_valid_through, through) + 1, std::memory_order_relaxed);
+    v->still_valid.store(false, std::memory_order_release);
+    v->invalidated_wallclock = now;
+    if (cost_aware()) {
+      if (v->ttl_demoted) {
+        v->ttl_demoted = false;
+      } else {
+        DetachPolicyStateLocked(v);
+        AddToStaleListLocked(v);
+      }
+    }
   }
 }
 

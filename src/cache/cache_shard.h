@@ -185,6 +185,23 @@ class CacheShard {
   std::pair<uint64_t, std::string> ExportEntries() const;
   void AdoptStreamPosition(Timestamp last_invalidation_ts, bool raise_history_floor = false);
 
+  // Degraded warm rejoin: closes every still-valid version at max(its known_valid_through,
+  // `through`) — the data survives for reads pinned inside its proven validity window, but
+  // nothing claims to be current. Used when a restored snapshot's residual stream gap cannot
+  // be replayed: the entries were provably valid through the snapshot position and nothing
+  // later can be vouched for. Validity only narrows, so no-stale-read holds by construction.
+  void CloseAllStillValid(Timestamp through);
+
+  // Hot-key replication support. HarvestHotHashes folds the per-stripe sketches (clearing
+  // them, so each harvest reflects traffic since the last) into hash -> sampled-hit-count.
+  // ExportForReplication builds replica InsertRequests for the wanted key hashes: for each
+  // matching key, the newest still-valid version, with computed_at advanced to this shard's
+  // last applied invalidation timestamp — the entry is provably valid through it, and a
+  // replica behind that position will re-check the claim against its own replay history
+  // while a replica ahead truncates it at insert time. Both are shared-lock cold paths.
+  std::unordered_map<uint64_t, uint64_t> HarvestHotHashes();
+  std::vector<InsertRequest> ExportForReplication(const std::vector<uint64_t>& hashes) const;
+
   CacheStats stats() const;  // this shard's partial counters
   void ResetStats();
   size_t version_count() const;
@@ -334,6 +351,16 @@ class CacheShard {
 
   // Per-thread-stripe lookup counters: the hit path bumps only its own stripe's cache line;
   // stats() folds the stripes under the shared lock.
+  //
+  // The stripe also carries a tiny space-saving sketch of the hottest key hashes seen by its
+  // threads, fed by every hot_key_sample_interval-th hit (one extra relaxed counter on the
+  // unsampled hits). All sketch fields are racy-by-design approximations — hot-key harvesting
+  // is a replication heuristic, never a correctness input — so plain relaxed atomics suffice.
+  struct HotSample {
+    std::atomic<uint64_t> hash{0};  // 0 = empty slot (Fnv1a/Mix64 of a real key is never 0)
+    std::atomic<uint32_t> count{0};
+  };
+  static constexpr size_t kHotSlotsPerStripe = 8;
   struct alignas(64) LookupStatsStripe {
     std::atomic<uint64_t> lookups{0};
     std::atomic<uint64_t> hits{0};
@@ -341,6 +368,8 @@ class CacheShard {
     std::atomic<uint64_t> miss_staleness{0};
     std::atomic<uint64_t> miss_capacity{0};
     std::atomic<uint64_t> miss_consistency{0};
+    std::atomic<uint64_t> sample_ticker{0};
+    HotSample hot[kHotSlotsPerStripe];
   };
 
   // Mutating *Locked helpers assume the EXCLUSIVE side of mu_ is held. MatchVersions and
@@ -352,6 +381,8 @@ class CacheShard {
                          LookupResponse* resp) const;
   static Timestamp EffectiveUpper(const Version& v, Timestamp last_ts);
   void CountMiss(MissKind kind, LookupStatsStripe* st);
+  // Space-saving update of the stripe's hot-key sketch (relaxed, racy-by-design).
+  static void RecordHotSample(LookupStatsStripe& st, uint64_t key_hash);
   LookupResponse LookupRead(const LookupRequest& req, uint64_t key_hash);  // EBR, no lock
   LookupResponse LookupExclusive(const LookupRequest& req, uint64_t key_hash);
   void TruncateLocked(Version* v, Timestamp ts, WallClock wallclock);

@@ -74,6 +74,11 @@ struct LookupResponse {
   // when the server was addressed directly). A client seeing it change knows its cached view
   // of the fleet is stale and refreshes routing state instead of treating churn as an error.
   uint64_t ring_epoch = 0;
+  // Name of the node that produced this response (stamped by cluster-level routing; empty
+  // when the server was addressed directly). With hot-key replication a lookup may be served
+  // by a replica rather than the primary, and clients keying per-node state — notably the
+  // advisory-hint observations — need the true origin, not the routing decision.
+  std::string served_by;
   // Zero-copy payload: on a hit this aliases the shard-resident buffer — never a copy. The
   // shared_ptr keeps the bytes alive and bitwise stable even after the version is evicted,
   // truncated, flushed or the owning node is destroyed; readers therefore never observe a
@@ -146,6 +151,9 @@ struct InsertRequest {
 struct InsertResponse {
   Status status;
   uint64_t ring_epoch = 0;
+  // Name of the node that stored (or declined) the fill; same contract as
+  // LookupResponse::served_by. Empty when the server was addressed directly.
+  std::string served_by;
   // Advisory hints for the inserted function, fresh as of this admission decision (attached
   // to accepts AND declines — a declined caller is exactly the one that should adapt its
   // fill sizing). Null when the node keeps no profile for the function.
@@ -267,6 +275,21 @@ struct CacheOptions {
   // entries. Demotion never touches the entry's validity — it still serves hits with its
   // true interval until genuinely invalidated or evicted. <= 0 disables TTL demotion.
   double ttl_expiry_slack = 1.5;
+
+  // --- warm rejoin (snapshot persistence) ---
+  // With a SnapshotStore attached (CacheServer::set_snapshot_store), persist a full snapshot
+  // after every N applied invalidation messages. A cold-restarted node then rejoins at most N
+  // stream messages behind its snapshot instead of empty; the residual gap is catch-up
+  // replayed from the bus history (or floored conservatively when even that is gone).
+  // 0 disables periodic persistence (explicit PersistSnapshot() still works).
+  uint64_t snapshot_interval_messages = 256;
+
+  // --- hot-key replication ---
+  // Sample every Nth lookup hit into the per-stripe hot-key sketch that feeds top-k hot-key
+  // replication (CacheServer::HarvestHotKeys). Sampling keeps the hit path at one extra
+  // relaxed counter per hit; the sketch itself is touched only on the sampled ones.
+  // 0 disables hot-key tracking.
+  uint64_t hot_key_sample_interval = 16;
 };
 
 // Per-function cost/benefit profile surfaced through CacheServer::FunctionStats(). `hits` is
@@ -327,6 +350,10 @@ struct CacheStats {
   uint64_t nodes_unavailable = 0;
   uint64_t join_catchups = 0;
   uint64_t join_flushes = 0;
+  // Rejoins that restored cached state from a persisted snapshot (warm rejoin) instead of
+  // flushing: the snapshot's stream position was adopted and only the residual gap was
+  // replayed or conservatively floored.
+  uint64_t join_snapshot_restores = 0;
 
   // Counter-wise accumulation (fleet aggregation) and difference (measurement-window deltas:
   // end snapshot minus start snapshot). Both walk the single field list below, so a counter
@@ -367,7 +394,8 @@ struct CacheStats {
         &CacheStats::admission_rejects, &CacheStats::admission_probes,
         &CacheStats::admission_rejects_too_large, &CacheStats::ttl_demotions,
         &CacheStats::reorder_buffered, &CacheStats::nodes_unavailable,
-        &CacheStats::join_catchups, &CacheStats::join_flushes};
+        &CacheStats::join_catchups, &CacheStats::join_flushes,
+        &CacheStats::join_snapshot_restores};
     for (auto field : fields) {
       fn(this->*field, o.*field);
     }

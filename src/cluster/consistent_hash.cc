@@ -1,5 +1,7 @@
 #include "src/cluster/consistent_hash.h"
 
+#include <algorithm>
+
 namespace txcache {
 
 bool ConsistentHashRing::AddNode(const std::string& name) {
@@ -47,6 +49,39 @@ Result<std::string> ConsistentHashRing::NodeForKey(uint64_t key_hash) const {
     it = ring_.begin();  // wrap around
   }
   return it->second;
+}
+
+std::vector<std::string> ConsistentHashRing::ReplicasForHash(uint64_t key_hash,
+                                                             size_t replicas) const {
+  std::vector<std::string> out;
+  if (ring_.empty() || replicas == 0) {
+    return out;
+  }
+  out.reserve(std::min(replicas, nodes_.size()));
+  auto it = ring_.lower_bound(Mix64(key_hash));
+  if (it == ring_.end()) {
+    it = ring_.begin();
+  }
+  // Walk successive virtual-node positions, wrapping once around the ring at most: each
+  // DISTINCT node encountered is the next replica. Adjacent positions often belong to the
+  // same node, so the linear membership test over the small `out` beats a hash set here.
+  for (size_t steps = 0; steps < ring_.size() && out.size() < replicas; ++steps) {
+    const std::string& node = it->second;
+    bool seen = false;
+    for (const std::string& have : out) {
+      if (have == node) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      out.push_back(node);
+    }
+    if (++it == ring_.end()) {
+      it = ring_.begin();
+    }
+  }
+  return out;
 }
 
 Result<std::map<std::string, std::vector<uint32_t>>> ConsistentHashRing::GroupByNode(

@@ -41,6 +41,13 @@ class ConsistentHashRing {
     return NodeForKey(Fnv1a(key));
   }
 
+  // The hash's primary owner followed by up to `replicas - 1` DISTINCT successor nodes,
+  // walking the ring clockwise from the hash position (the standard successor-list placement:
+  // the same walk every node computes, so replica sets agree fleet-wide without coordination).
+  // Fewer than `replicas` entries when the ring holds fewer distinct nodes; empty ring =>
+  // empty vector. The front entry always equals NodeForKey(key_hash).
+  std::vector<std::string> ReplicasForHash(uint64_t key_hash, size_t replicas) const;
+
   // Batch routing for the batched lookup pipeline: maps every key to its owning node in one
   // pass, returning request positions grouped per node (preserving per-node request order).
   // The hash form is the hot path — callers carry each key's Fnv1a hash (hash-once contract,

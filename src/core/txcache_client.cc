@@ -277,6 +277,7 @@ void TxCacheClient::RecordMiss(MissKind kind) {
 }
 
 void TxCacheClient::ObserveHints(const std::string& key, const std::string* function,
+                                 const std::string& served_by,
                                  const std::shared_ptr<const AdvisoryHints>& hints) {
   if (hints == nullptr) {
     return;
@@ -284,7 +285,10 @@ void TxCacheClient::ObserveHints(const std::string& key, const std::string* func
   // The function name is the hint bucket. CacheableFunction passes its own name down, so
   // the hot path never re-parses the key; raw callers fall back to the MakeCacheKey prefix,
   // exactly as the server's cost accounting does — either way hints line up 1:1 with
-  // MAKE-CACHEABLE names.
+  // MAKE-CACHEABLE names. Within a function, observations are kept per responding node
+  // (served_by; direct unrouted responses share the "" bucket): each node publishes its OWN
+  // learned state, and overwriting one node's observation with another's — the old behavior
+  // — made the merged view whatever node happened to answer last.
   std::string parsed;
   if (function == nullptr) {
     parsed = CacheKeyFunction(key);
@@ -292,20 +296,56 @@ void TxCacheClient::ObserveHints(const std::string& key, const std::string* func
   }
   std::lock_guard<std::mutex> lock(hints_mu_);
   auto it = observed_hints_.find(*function);
-  if (it != observed_hints_.end()) {
-    it->second = *hints;
-  } else if (observed_hints_.size() < kMaxHintFunctions) {
-    observed_hints_.emplace(*function, *hints);
+  if (it == observed_hints_.end()) {
+    if (observed_hints_.size() >= kMaxHintFunctions) {
+      return;
+    }
+    it = observed_hints_.emplace(*function,
+                                 std::unordered_map<std::string, NodeHintObservation>{})
+             .first;
   }
+  NodeHintObservation& obs = it->second[served_by];
+  obs.hints = *hints;
+  ++obs.observations;
 }
 
 std::optional<AdvisoryHints> TxCacheClient::AdvisoryHintsFor(const std::string& function) const {
   std::lock_guard<std::mutex> lock(hints_mu_);
   auto it = observed_hints_.find(function);
-  if (it == observed_hints_.end()) {
+  if (it == observed_hints_.end() || it->second.empty()) {
     return std::nullopt;
   }
-  return it->second;
+  // Merge the per-node observations into one fleet view. decline_rate takes the max: one
+  // node refusing this function's fills is already actionable (that node owns a share of the
+  // key space, and fills routed there are wasted work). The learned lifetime and
+  // benefit-per-byte are averaged weighted by each node's observation count — a node that
+  // served most of the function's traffic taught us most of what we know — skipping nodes
+  // that have not learned a value yet (zero means "no estimate", not "short").
+  AdvisoryHints merged;
+  uint64_t lifetime_weight = 0;
+  double lifetime_sum = 0.0;
+  double bpb_weight = 0.0;
+  double bpb_sum = 0.0;
+  for (const auto& [node, obs] : it->second) {
+    merged.decline_rate = std::max(merged.decline_rate, obs.hints.decline_rate);
+    if (obs.hints.learned_lifetime_us > 0) {
+      lifetime_weight += obs.observations;
+      lifetime_sum += static_cast<double>(obs.hints.learned_lifetime_us) *
+                      static_cast<double>(obs.observations);
+    }
+    if (obs.hints.observed_bpb > 0.0) {
+      bpb_weight += static_cast<double>(obs.observations);
+      bpb_sum += obs.hints.observed_bpb * static_cast<double>(obs.observations);
+    }
+  }
+  if (lifetime_weight > 0) {
+    merged.learned_lifetime_us =
+        static_cast<uint64_t>(lifetime_sum / static_cast<double>(lifetime_weight));
+  }
+  if (bpb_weight > 0.0) {
+    merged.observed_bpb = bpb_sum / bpb_weight;
+  }
+  return merged;
 }
 
 void TxCacheClient::ObserveRingEpoch(uint64_t epoch) {
@@ -339,7 +379,7 @@ Result<TxCacheClient::CachedValue> TxCacheClient::CacheLookup(const std::string&
   // an error (§4 failure model), and the response's epoch refreshes our routing view.
   LookupResponse resp = cache_->Lookup(req);
   ObserveRingEpoch(resp.ring_epoch);
-  ObserveHints(key, function, resp.hints);
+  ObserveHints(key, function, resp.served_by, resp.hints);
   if (!resp.hit) {
     RecordMiss(resp.miss);
     return Status::NotFound("cache miss");
@@ -400,7 +440,7 @@ std::vector<Result<TxCacheClient::CachedValue>> TxCacheClient::CacheMultiLookup(
   // serializability rule sequential lookups enforce (§6.2).
   for (size_t i = 0; i < resp_or.value().responses.size(); ++i) {
     LookupResponse& resp = resp_or.value().responses[i];
-    ObserveHints(keys[i], function, resp.hints);
+    ObserveHints(keys[i], function, resp.served_by, resp.hints);
     if (!resp.hit) {
       RecordMiss(resp.miss);
       out.push_back(Result<CachedValue>(Status::NotFound("cache miss")));
@@ -435,7 +475,7 @@ Result<TxCacheClient::CachedValue> TxCacheClient::RwCacheLookup(const std::strin
   req.fresh_lo = snap_or.value();
   LookupResponse resp = cache_->Lookup(req);
   ObserveRingEpoch(resp.ring_epoch);
-  ObserveHints(key, function, resp.hints);
+  ObserveHints(key, function, resp.served_by, resp.hints);
   if (!resp.hit) {
     ++stats_.cache_misses;
     return Status::NotFound("cache miss");
@@ -511,7 +551,7 @@ void TxCacheClient::CacheStore(const std::string& key, std::string value,
   req.fill_cost_us = outcome.fill_cost_us;
   InsertResponse resp = cache_->Insert(req);
   ObserveRingEpoch(resp.ring_epoch);
-  ObserveHints(key, function, resp.hints);
+  ObserveHints(key, function, resp.served_by, resp.hints);
   if (resp.status.ok()) {
     ++stats_.cache_inserts;
   } else if (resp.status.code() == StatusCode::kDeclined) {

@@ -329,10 +329,26 @@ class TxCacheClient {
   void CountCacheableCall() { ++stats_.cacheable_calls; }
   void CountBypassedCall() { ++stats_.bypassed_calls; }
 
-  // Latest advisory hints observed from the cache fleet for a MAKE-CACHEABLE function
+  // Merged advisory hints observed from the cache fleet for a MAKE-CACHEABLE function
   // (updated from Lookup/Insert responses; see AdvisoryHints for what a caller may and may
-  // not assume). nullopt until any response for the function carried hints. Thread-safe.
+  // not assume). Observations are kept per responding NODE and merged here: decline_rate is
+  // the max across nodes (one node refusing this function's fills is already a reason to
+  // shrink them), learned_lifetime_us and observed_bpb are weighted by each node's share of
+  // the function's observed traffic. Last-writer-wins across nodes — the previous behavior —
+  // made the hints flap with routing: under hot-key replication or a sharded key space,
+  // consecutive responses come from different nodes with different learned state, and
+  // whichever answered last erased the rest. nullopt until any response for the function
+  // carried hints. Thread-safe.
   std::optional<AdvisoryHints> AdvisoryHintsFor(const std::string& function) const;
+
+  // Records the advisory snapshot a response carried (no-op on null), bucketed under the
+  // responding node (`served_by`; empty for direct/unrouted responses, which share one
+  // bucket). `function` is the caller-known MAKE-CACHEABLE name; when null it is parsed
+  // from the key's prefix. Called internally from every lookup/insert response; public so
+  // out-of-band drivers (and the hints-merge regression tests) can feed observations.
+  void ObserveHints(const std::string& key, const std::string* function,
+                    const std::string& served_by,
+                    const std::shared_ptr<const AdvisoryHints>& hints);
 
   ClientStats stats() const { return stats_.Snapshot(); }  // safe under concurrent load
   void ResetStats() { stats_.Reset(); }
@@ -354,10 +370,6 @@ class TxCacheClient {
   void RecordMiss(MissKind kind);
   // Folds a response's membership epoch into our routing view; a change is a re-route event.
   void ObserveRingEpoch(uint64_t epoch);
-  // Records the advisory snapshot a response carried (no-op on null). `function` is the
-  // caller-known MAKE-CACHEABLE name; when null it is parsed from the key's prefix.
-  void ObserveHints(const std::string& key, const std::string* function,
-                    const std::shared_ptr<const AdvisoryHints>& hints);
   // Lazily begins the underlying database transaction, choosing the serialization timestamp
   // from the pin set per the §6.2 policy.
   Status EnsureDbTxn();
@@ -382,12 +394,19 @@ class TxCacheClient {
   AtomicClientStats stats_;
   std::atomic<uint64_t> ring_epoch_{0};  // newest membership epoch observed (0 = none yet)
 
-  // Advisory hints per function, as last observed on any cache response. Mutex-guarded
-  // because benchmarks/monitors may read while the session runs; bounded like the server's
-  // profile maps so raw ad-hoc keys cannot grow it without bound.
+  // Advisory hints per function, bucketed per responding node (AdvisoryHintsFor merges the
+  // buckets; observations counts the responses that fed each one, weighting the merge by the
+  // node's share of the function's traffic). Mutex-guarded because benchmarks/monitors may
+  // read while the session runs; bounded like the server's profile maps so raw ad-hoc keys
+  // cannot grow it without bound.
+  struct NodeHintObservation {
+    AdvisoryHints hints;
+    uint64_t observations = 0;
+  };
   static constexpr size_t kMaxHintFunctions = 1024;
   mutable std::mutex hints_mu_;
-  std::unordered_map<std::string, AdvisoryHints> observed_hints_;
+  std::unordered_map<std::string, std::unordered_map<std::string, NodeHintObservation>>
+      observed_hints_;
 };
 
 }  // namespace txcache

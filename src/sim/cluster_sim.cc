@@ -32,12 +32,17 @@ Result<SimResult> ClusterSim::Run() {
   cache_options.max_staleness = std::max<WallClock>(config_.staleness * 4, Seconds(10));
   cache_options.num_shards = std::max<size_t>(config_.cost.cache_shards_per_node, 1);
   cache_options.policy = config_.cache_policy;
+  cache_options.snapshot_interval_messages = config_.snapshot_interval_messages;
   for (size_t i = 0; i < config_.num_cache_nodes; ++i) {
     cache_nodes_.push_back(std::make_unique<CacheServer>("cache-" + std::to_string(i),
                                                          clock_.get(), cache_options));
+    if (config_.snapshot_store != nullptr) {
+      cache_nodes_.back()->set_snapshot_store(config_.snapshot_store);
+    }
     cluster_.AddNode(cache_nodes_.back().get());
     bus_.Subscribe(cache_nodes_.back().get());
   }
+  cluster_.set_replication(config_.replication);
   // Invalidation stream flows through the event queue with one-way network latency.
   bus_.SetDeliveryHook([this](InvalidationSubscriber* sub, const InvalidationMessage& msg) {
     queue_.ScheduleAfter(config_.cost.network_rtt / 2,
@@ -122,9 +127,22 @@ Result<SimResult> ClusterSim::Run() {
   std::function<void()> maintenance = [this, &maintenance] {
     pincushion_->Sweep();
     db_->Vacuum();
+    if (config_.replication > 1) {
+      // Hot-key replication rides the maintenance cadence: each node drains its sketch and
+      // pushes its hottest keys to their ring successors.
+      cluster_.ReplicateHotKeys(config_.hot_keys_per_node);
+    }
     queue_.ScheduleAfter(config_.maintenance_interval, maintenance);
   };
   queue_.ScheduleAfter(config_.maintenance_interval, maintenance);
+
+  // --- flash-crowd hot set (fixed for the whole run) ---
+  if (config_.flash_crowd_start > 0 && config_.bulk_fraction > 0.0) {
+    flash_crowd_ids_.reserve(config_.flash_crowd_hot_keys);
+    for (size_t i = 0; i < config_.flash_crowd_hot_keys; ++i) {
+      flash_crowd_ids_.push_back(dataset_->PickUser(*rng_));
+    }
+  }
 
   // --- membership churn (fault injection) ---
   // kill: the victim crashes (and leaves the ring under kLeaveRejoin) — in-flight and future
@@ -242,6 +260,10 @@ Result<SimResult> ClusterSim::Run() {
   result.churn_rejoins = churn_rejoins_;
   result.bulk_calls = bulk_calls_;
   result.bulk_downgrades = bulk_downgrades_;
+  result.flash_crowd_calls = flash_crowd_calls_;
+  result.replica_pushes = cluster_.replica_pushes();
+  result.replica_redirects = cluster_.replica_redirects();
+  result.join_snapshot_restores = result.cache.join_snapshot_restores;
   return result;
 }
 
@@ -251,6 +273,19 @@ void ClusterSim::RunBulkFetch(size_t idx) {
     return;
   }
   ++bulk_calls_;
+  if (!flash_crowd_ids_.empty() && queue_.now() >= config_.flash_crowd_start &&
+      rng_->UniformReal(0, 1) < config_.flash_crowd_fraction) {
+    // Flash crowd: the population piles onto the fixed hot set — a sudden skew shift of
+    // orders of magnitude onto a handful of keys. These ride the small class (user-keyed),
+    // so the hot-key sketch sees them as ordinary lookups and replication can spread them.
+    const size_t pick = static_cast<size_t>(rng_->UniformReal(
+                            0, static_cast<double>(flash_crowd_ids_.size()))) %
+                        flash_crowd_ids_.size();
+    ++flash_crowd_calls_;
+    bulk_small_[idx](flash_crowd_ids_[pick]);
+    client->Commit();
+    return;
+  }
   const double roll = rng_->UniformReal(0, 1);
   if (roll < config_.bulk_large_fraction) {
     // Feedback loop: if the fleet's advisory hints say large fills are being declined,

@@ -91,6 +91,28 @@ struct SimConfig {
   WallClock churn_period = 0;            // 0 = one-shot
   size_t churn_history_limit = 4096;     // invalidation-bus history retained for catch-up
 
+  // --- warm rejoin (snapshot persistence) ---
+  // Optional snapshot store wired into every cache node (caller-owned, must outlive the
+  // sim). With it attached, nodes persist periodically and a churn rejoin whose catch-up
+  // replay fails restores the freshest snapshot instead of flushing.
+  SnapshotStore* snapshot_store = nullptr;
+  uint64_t snapshot_interval_messages = 256;
+
+  // --- hot-key replication ---
+  size_t replication = 1;        // replica-set size R (1 = primary only, replication off)
+  size_t hot_keys_per_node = 16; // ReplicateHotKeys budget per maintenance tick
+
+  // --- flash-crowd overlay (hot-key replication experiments) ---
+  // From flash_crowd_start on, each bulk fetch is redirected with probability
+  // flash_crowd_fraction onto one of flash_crowd_hot_keys fixed users — a sudden ~100x skew
+  // shift onto a handful of keys. Combined with churn on those keys' owner it is the §4
+  // flash-crowd-meets-node-loss scenario: without replication the crowd's keys turn into a
+  // miss storm; with replication the ring successors keep serving them. Requires the bulk
+  // overlay (bulk_fraction > 0) for the MAKE-CACHEABLE wrappers. 0 disables.
+  WallClock flash_crowd_start = 0;
+  double flash_crowd_fraction = 0.9;
+  size_t flash_crowd_hot_keys = 4;
+
   CostModel cost;
   uint64_t seed = 1;
   // Engine options (ablations: stock visibility-first ordering, tag thresholds, ...).
@@ -122,6 +144,13 @@ struct SimResult {
   // the advisory hints reported the cache declining the large class (whole run).
   uint64_t bulk_calls = 0;
   uint64_t bulk_downgrades = 0;
+  // Hot-key replication (whole run): bulk fetches redirected onto the flash-crowd hot set,
+  // accepted replica pushes, lookups a replica answered after the primary was unavailable,
+  // and rejoins the snapshot store turned warm.
+  uint64_t flash_crowd_calls = 0;
+  uint64_t replica_pushes = 0;
+  uint64_t replica_redirects = 0;
+  uint64_t join_snapshot_restores = 0;
 };
 
 class ClusterSim {
@@ -159,6 +188,9 @@ class ClusterSim {
   std::vector<CacheableFunction<std::string, int64_t>> bulk_small_;
   std::vector<CacheableFunction<std::string, int64_t>> bulk_medium_;
   std::vector<CacheableFunction<std::string, int64_t>> bulk_large_;
+  // Flash-crowd hot set: fixed user ids drawn once at startup (see
+  // SimConfig::flash_crowd_start).
+  std::vector<int64_t> flash_crowd_ids_;
   std::unique_ptr<Rng> rng_;
 
   // Resources.
@@ -183,6 +215,9 @@ class ClusterSim {
   // Bulk-value overlay.
   uint64_t bulk_calls_ = 0;
   uint64_t bulk_downgrades_ = 0;
+
+  // Flash-crowd overlay.
+  uint64_t flash_crowd_calls_ = 0;
 };
 
 // Convenience: runs configurations with increasing client counts until throughput stops

@@ -22,10 +22,12 @@
 //     one advance (to e+1) can happen under a stalled reader, and the retire lists then only
 //     grow — bounded staleness, never a use-after-free.
 //
-// One process-global domain serves every cache node: slots are per THREAD (cache-line
-// padded, allocated in never-freed segments, recycled through a free list on thread exit),
-// so entering a critical region writes only the calling thread's own line — the whole point,
-// versus bouncing a shared reader-writer lock word between cores on every hit.
+// One process-global domain serves every cache node: slots are per (THREAD, domain) —
+// cache-line padded, allocated in never-freed segments, recycled through the owning
+// domain's free list — so entering a critical region writes only the calling thread's own
+// line — the whole point, versus bouncing a shared reader-writer lock word between cores on
+// every hit. The global domain's slot is cached for the thread's lifetime; a private
+// domain's slot is returned at the outermost Exit, so it never outlives its domain.
 //
 // Writers retire from inside exclusive shard sections; the domain's own mutex guards only
 // the retire lists and the advance scan (cold path). Deleters run outside that mutex and
@@ -36,6 +38,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <mutex>
 #include <new>
 
@@ -79,13 +82,13 @@ class EbrDomain {
   };
 
   void Enter() {
-    ThreadState& ts = Tls();
-    if (ts.depth++ > 0) {
-      return;  // nested region: the outermost pin covers it
+    Pin& pin = PinFor(this);
+    if (pin.depth++ > 0) {
+      return;  // nested region in THIS domain: the outermost pin covers it
     }
-    Slot* slot = ts.slot;
+    Slot* slot = pin.slot;
     if (slot == nullptr) {
-      slot = ts.slot = AcquireSlot();
+      slot = pin.slot = AcquireSlot();
     }
     uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
     for (;;) {
@@ -99,9 +102,19 @@ class EbrDomain {
   }
 
   void Exit() {
-    ThreadState& ts = Tls();
-    if (--ts.depth == 0) {
-      ts.slot->state.store(kIdle, std::memory_order_release);
+    Pin& pin = PinFor(this);
+    if (--pin.depth == 0) {
+      pin.slot->state.store(kIdle, std::memory_order_release);
+      if (this != &Global()) {
+        // Hand the slot back to the domain that issued it, NOW: a non-global domain may be
+        // destroyed (or the thread may exit) long before the other is torn down, and a slot
+        // cached across that boundary would dangle — either freed under the domain or
+        // released into the wrong domain's registry. Only the global pin (below) caches its
+        // slot across guards; Global() outlives every thread.
+        ReleaseSlot(pin.slot);
+        pin.slot = nullptr;
+        pin.domain = nullptr;
+      }
     }
   }
 
@@ -193,15 +206,28 @@ class EbrDomain {
     size_t count = 0;
   };
 
-  // Thread registration: a slot is claimed from the free list (or a fresh segment) on first
-  // use and recycled when the thread exits, so slot count tracks peak concurrency, not total
-  // threads ever started.
-  struct ThreadState {
+  // One thread's registration in ONE domain. Pins are per (thread, domain): each domain's
+  // advance scan only walks its own segments, so a pin must live in a slot allocated by the
+  // domain being read — parking it in another domain's slot would let this domain's epoch
+  // advance past an active reader.
+  struct Pin {
+    EbrDomain* domain = nullptr;  // owner; nullptr = free entry
     Slot* slot = nullptr;
     uint32_t depth = 0;
+  };
+
+  // Thread registration. The global pin claims a slot from the free list (or a fresh
+  // segment) on first use and recycles it when the thread exits, so Global()'s slot count
+  // tracks peak concurrency, not total threads ever started. Non-global domains instead
+  // acquire at the outermost Enter and release at the outermost Exit (see Exit); their
+  // entries here only carry the nesting depth between the two.
+  struct ThreadState {
+    static constexpr size_t kMaxExtraPins = 4;
+    Pin global_pin;
+    Pin extra[kMaxExtraPins];  // concurrently-pinned non-global domains
     ~ThreadState() {
-      if (slot != nullptr) {
-        Global().ReleaseSlot(slot);
+      if (global_pin.slot != nullptr) {
+        Global().ReleaseSlot(global_pin.slot);
       }
     }
   };
@@ -209,6 +235,31 @@ class EbrDomain {
   static ThreadState& Tls() {
     thread_local ThreadState ts;
     return ts;
+  }
+
+  // This thread's pin for `d`. The global domain short-circuits to its dedicated entry (the
+  // hot path: every cache lookup lands here); other domains linear-scan the small fixed
+  // table — a thread nesting more than kMaxExtraPins distinct private domains is a usage
+  // error, and aborting beats silently sharing a pin between domains.
+  static Pin& PinFor(EbrDomain* d) {
+    ThreadState& ts = Tls();
+    if (d == &Global()) {
+      return ts.global_pin;
+    }
+    Pin* free_pin = nullptr;
+    for (Pin& p : ts.extra) {
+      if (p.domain == d) {
+        return p;
+      }
+      if (p.domain == nullptr && free_pin == nullptr) {
+        free_pin = &p;
+      }
+    }
+    if (free_pin == nullptr) {
+      std::abort();  // > kMaxExtraPins distinct non-global domains nested on one thread
+    }
+    free_pin->domain = d;
+    return *free_pin;
   }
 
   // Slot registry: a plain mutex guards the free list and segment publication. Both paths are

@@ -313,6 +313,53 @@ TEST(CacheAdmissionSizing, OracleNeverEvictsMoreBenefitThanAdmitted) {
   }
 }
 
+TEST(CacheAdmissionSizing, DisplacementPricesInHitsOnUnrefreshedVictims) {
+  // Regression for the displacement estimate undervaluing live-but-unrefreshed victims: a
+  // resident entry that keeps serving HITS but is never re-filled has a GreedyDual score
+  // margin near the floor, so the pure score-margin formula priced it as almost free and a
+  // marginal large fill displaced it. PreviewVictims now folds in a recency-decayed hit
+  // benefit (hits x fill cost), so the same fill is declined once the victims have proven
+  // traffic. Two identical servers, identical fill — the only difference is lookups.
+  auto build = [](ManualClock* clock, const char* name) {
+    CacheServer::Options options = OneShardOptions(32 * 1024);
+    options.max_entry_fraction = 0;
+    options.displacement_check_bytes = 4096;
+    options.admission_min_samples = 1'000'000;  // watermark out of the way
+    auto server = std::make_unique<CacheServer>(name, clock, options);
+    for (uint64_t i = 0; i < 8; ++i) {
+      // Low-cost residents: score margin ~ 1000/4096 us/byte, so the score-only displacement
+      // sum for any victim subset stays around 1000 us per victim.
+      EXPECT_TRUE(server->Insert(StillValid(FnKey("resident", i), 3800, 1000)).ok());
+    }
+    return server;
+  };
+  // The challenger needs ~16 KB at full pressure: roughly four residents must make way.
+  // Its 6000 us benefit beats their ~4 x 1000 us score-margin price.
+  const InsertRequest challenger = StillValid(FnKey("challenger", 0), 16 * 1024, 6000);
+
+  ManualClock clock;
+  clock.Set(Seconds(100));
+  auto idle = build(&clock, "idle");
+  Status admitted = idle->Insert(challenger);
+  EXPECT_TRUE(admitted.ok()) << admitted.ToString()
+                             << " (never-hit victims keep the exact score-margin price)";
+
+  auto busy = build(&clock, "busy");
+  for (int round = 0; round < 10; ++round) {
+    for (uint64_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(busy->Lookup(Probe(FnKey("resident", i))).hit);
+    }
+  }
+  Status declined = busy->Insert(challenger);
+  EXPECT_EQ(declined.code(), StatusCode::kDeclinedTooLarge)
+      << "ten hits apiece must outprice a 6000 us fill: the victims' saved recomputes "
+         "(~10 x 1000 us each, barely decayed) now count";
+  EXPECT_EQ(busy->version_count(), 8u) << "the declined fill displaced nothing";
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(busy->Lookup(Probe(FnKey("resident", i))).hit);
+  }
+}
+
 TEST(CacheAdmissionSizing, LearnedTtlDemotesOverdueEntriesToStaleFirstEviction) {
   ManualClock clock;
   clock.Set(Seconds(100));

@@ -28,8 +28,9 @@ namespace {
 
 using namespace txcache::testing;
 
-// All tests use the process-global domain: reader slots live in thread-local state shared
-// with the shards, so a second domain instance would not see pins taken through it.
+// Most tests use the process-global domain — the one the shards share. Reader slots are
+// per (thread, domain): a private domain instance tracks its own pins, which the dedicated
+// tests below exercise (that used to be broken; see PrivateDomain* and CrossDomain*).
 EbrDomain& Domain() { return EbrDomain::Global(); }
 
 // Runs `fn` on a fresh thread inside an EBR critical region and keeps the region pinned
@@ -169,6 +170,77 @@ TEST(Ebr, NestedGuardsPinOnce) {
   }
   Domain().Synchronize();
   EXPECT_TRUE(freed.load(std::memory_order_acquire));
+}
+
+TEST(Ebr, CrossDomainPinsAreIndependent) {
+  // Regression: thread-local reader state used to be a single slot shared across ALL
+  // domains. A thread that entered domain A and then domain B silently reused A's slot —
+  // registered only in A's slot list — so B's epoch scan saw no pin at all and B could
+  // reclaim an object the thread was still reading (use-after-free), while A's epochs were
+  // pinned by critical regions that had nothing to do with A. Pins are per (thread, domain)
+  // now: a pin on one domain neither protects nor stalls another.
+  EbrDomain private_domain;
+  std::atomic<bool> freed{false};
+  {
+    EbrDomain::Guard global_guard(&Domain());
+    EbrDomain::Guard private_guard(&private_domain);
+    private_domain.Retire(&freed, [](void* p) {
+      static_cast<std::atomic<bool>*>(p)->store(true, std::memory_order_release);
+    });
+    for (int i = 0; i < 16; ++i) {
+      private_domain.TryAdvance();
+      ASSERT_FALSE(freed.load(std::memory_order_acquire))
+          << "the private domain ignored its own reader's pin";
+    }
+    // Dropping only the private pin lets the private domain reclaim, even though the global
+    // guard (a different domain) is still open on this thread.
+  }
+  {
+    EbrDomain::Guard global_guard(&Domain());
+    private_domain.Synchronize();
+    EXPECT_TRUE(freed.load(std::memory_order_acquire))
+        << "an unrelated domain's pin stalled this domain's reclamation";
+  }
+}
+
+TEST(Ebr, PrivateDomainSlotReleasesWhenItsGuardExits) {
+  // Regression: a thread's reader slot was released back to its domain only at THREAD exit —
+  // and unconditionally to the global domain at that. For a private domain this meant (a)
+  // the slot stayed pinned-idle in the private domain's slot list after the critical region
+  // ended, and (b) a slot the global domain never allocated was handed to its free list when
+  // the thread died — corrupting it, or use-after-free if the private domain died first.
+  // Non-global slots now return to their owning domain at the outermost Exit, so a private
+  // domain outlived by nothing can be destroyed as soon as its guards are gone.
+  for (int round = 0; round < 8; ++round) {
+    EbrDomain private_domain;
+    std::atomic<bool> freed{false};
+    // Short-lived threads enter/exit the private domain and die; their slots must not leak
+    // into the domain nor escape into the global domain's free list.
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+      workers.emplace_back([&private_domain] {
+        for (int i = 0; i < 50; ++i) {
+          EbrDomain::Guard guard(&private_domain);
+        }
+      });
+    }
+    for (auto& t : workers) {
+      t.join();
+    }
+    {
+      EbrDomain::Guard guard(&private_domain);
+      private_domain.Retire(&freed, [](void* p) {
+        static_cast<std::atomic<bool>*>(p)->store(true, std::memory_order_release);
+      });
+    }
+    private_domain.Synchronize();
+    EXPECT_TRUE(freed.load(std::memory_order_acquire))
+        << "a dead thread's abandoned slot still pins the private domain";
+    // private_domain is destroyed here, strictly before the threads' thread-local state
+    // would have been torn down under the old scheme. ASan/TSan make any lingering
+    // cross-domain slot release a hard failure.
+  }
+  Domain().Synchronize();  // the global domain must be unharmed by all of the above
 }
 
 TEST(Ebr, ThreadedHammerNeverReclaimsUnderAReader) {

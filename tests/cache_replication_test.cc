@@ -1,0 +1,284 @@
+// Hot-key replication: the ring's replica-set resolution, the server's top-k hot-key export,
+// the cluster's replica push + primary-first/failover routing, the no-stale-read guarantee
+// across replicas racing truncations, and the client's per-node advisory-hint merge (the
+// cross-node last-writer-wins regression).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/bus/bus.h"
+#include "src/cache/cache_cluster.h"
+#include "src/cache/cache_server.h"
+#include "src/cluster/consistent_hash.h"
+#include "src/core/txcache_client.h"
+#include "src/util/clock.h"
+#include "tests/test_support.h"
+
+namespace txcache {
+namespace {
+
+using namespace txcache::testing;
+
+InsertRequest StillValidEntry(const std::string& key, const std::string& value,
+                              const std::string& group, Timestamp computed_at = 1) {
+  InsertRequest req;
+  req.key = key;
+  req.value = value;
+  req.interval = {computed_at, kTimestampInfinity};
+  req.computed_at = computed_at;
+  req.tags = {InvalidationTag::Concrete("t", "idx", group)};
+  return req;
+}
+
+LookupRequest Probe(const std::string& key, Timestamp lo, Timestamp hi) {
+  LookupRequest req;
+  req.key = key;
+  req.bounds_lo = lo;
+  req.bounds_hi = hi;
+  req.fresh_lo = lo;
+  return req;
+}
+
+InvalidationMessage GroupInval(const std::string& group, Timestamp ts) {
+  InvalidationMessage msg;
+  msg.ts = ts;
+  msg.tags = {InvalidationTag::Concrete("t", "idx", group)};
+  return msg;
+}
+
+// --- ring: replica-set resolution ----------------------------------------------
+
+TEST(Replication, ReplicasForHashYieldsDistinctSuccessorsLedByThePrimary) {
+  ConsistentHashRing ring(32);
+  for (int n = 0; n < 5; ++n) {
+    ASSERT_TRUE(ring.AddNode("n" + std::to_string(n)));
+  }
+  for (int k = 0; k < 200; ++k) {
+    const uint64_t hash = Fnv1a("key" + std::to_string(k));
+    std::vector<std::string> replicas = ring.ReplicasForHash(hash, 3);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_EQ(replicas.front(), ring.NodeForKey(hash).value())
+        << "the replica set is led by the key's primary";
+    std::set<std::string> distinct(replicas.begin(), replicas.end());
+    EXPECT_EQ(distinct.size(), replicas.size()) << "replicas must be distinct nodes";
+  }
+  // Successor sets walk the ring, so different keys see different orderings overall.
+  std::set<std::string> seconds;
+  for (int k = 0; k < 200; ++k) {
+    seconds.insert(ring.ReplicasForHash(Fnv1a("key" + std::to_string(k)), 2)[1]);
+  }
+  EXPECT_GT(seconds.size(), 1u) << "every key having the same successor is a degenerate ring";
+}
+
+TEST(Replication, ReplicasForHashClampsToMembershipAndHandlesEmptyRing) {
+  ConsistentHashRing ring(8);
+  EXPECT_TRUE(ring.ReplicasForHash(123, 2).empty());
+  ASSERT_TRUE(ring.AddNode("a"));
+  ASSERT_TRUE(ring.AddNode("b"));
+  std::vector<std::string> all = ring.ReplicasForHash(Fnv1a("k"), 16);
+  ASSERT_EQ(all.size(), 2u) << "R beyond the membership returns every node once";
+  EXPECT_NE(all[0], all[1]);
+  EXPECT_EQ(ring.ReplicasForHash(Fnv1a("k"), 0).size(), 0u);
+}
+
+// --- server: top-k hot-key export ----------------------------------------------
+
+TEST(Replication, ExportHotKeysRanksByObservedTraffic) {
+  ManualClock clock;
+  CacheServer::Options options;
+  options.hot_key_sample_interval = 1;  // sample every hit: deterministic sketch counts
+  CacheServer node("n", &clock, options);
+  ASSERT_TRUE(node.Insert(StillValidEntry("hot", "vh", "g")).ok());
+  ASSERT_TRUE(node.Insert(StillValidEntry("warm", "vw", "g")).ok());
+  ASSERT_TRUE(node.Insert(StillValidEntry("cold", "vc", "g")).ok());
+  auto hammer = [&](const std::string& key, int times) {
+    for (int i = 0; i < times; ++i) {
+      ASSERT_TRUE(node.Lookup(Probe(key, 1, kTimestampInfinity)).hit);
+    }
+  };
+  hammer("hot", 64);
+  hammer("warm", 8);
+  hammer("cold", 1);
+
+  std::vector<InsertRequest> exported = node.ExportHotKeys(2);
+  ASSERT_EQ(exported.size(), 2u);
+  EXPECT_EQ(exported[0].key, "hot") << "hottest first";
+  EXPECT_EQ(exported[1].key, "warm");
+  for (const InsertRequest& req : exported) {
+    EXPECT_NE(req.key_hash, 0u) << "the carried hash spares replicas a rehash";
+    EXPECT_EQ(req.interval.upper, kTimestampInfinity) << "still-valid entries re-open";
+    EXPECT_FALSE(req.tags.empty()) << "tags must travel so replicas truncate on the stream";
+  }
+
+  // Harvest clears the sketch: with no further traffic a second export finds nothing.
+  EXPECT_TRUE(node.ExportHotKeys(2).empty()) << "the sketch is a sliding window, not a log";
+}
+
+// --- cluster: replica push and failover routing ---------------------------------
+
+struct ReplicatedFixture {
+  ManualClock clock;
+  InvalidationBus bus{4096};
+  CacheCluster cluster;
+  std::vector<std::unique_ptr<CacheServer>> nodes;
+  CacheServer* primary = nullptr;
+
+  explicit ReplicatedFixture(const std::string& key) {
+    CacheServer::Options options;
+    options.hot_key_sample_interval = 1;
+    for (int n = 0; n < 3; ++n) {
+      nodes.push_back(
+          std::make_unique<CacheServer>("n" + std::to_string(n), &clock, options));
+      bus.Subscribe(nodes.back().get());
+      EXPECT_TRUE(cluster.AddNode(nodes.back().get()));
+    }
+    cluster.set_replication(2);
+    EXPECT_TRUE(cluster.Insert(StillValidEntry(key, "val", "g")).status.ok());
+    primary = cluster.NodeForKey(key).value();
+    for (int i = 0; i < 32; ++i) {  // make the key register as hot on its primary
+      EXPECT_TRUE(cluster.Lookup(Probe(key, 1, kTimestampInfinity)).hit);
+    }
+    cluster.ReplicateHotKeys(/*max_keys_per_node=*/8);
+  }
+
+  // The non-primary node holding a replica of `key` (exactly one with R=2 and 3 nodes).
+  CacheServer* ReplicaHolding(const std::string& key) {
+    for (auto& node : nodes) {
+      if (node.get() != primary && node->Lookup(Probe(key, 1, kTimestampInfinity)).hit) {
+        return node.get();
+      }
+    }
+    return nullptr;
+  }
+};
+
+TEST(Replication, ReplicateHotKeysPushesToRingSuccessors) {
+  ReplicatedFixture fix("payload");
+  EXPECT_GE(fix.cluster.replica_pushes(), 1u);
+  CacheServer* replica = fix.ReplicaHolding("payload");
+  ASSERT_NE(replica, nullptr) << "a ring successor must now hold the hot key";
+  LookupResponse direct = replica->Lookup(Probe("payload", 1, kTimestampInfinity));
+  ASSERT_TRUE(direct.hit);
+  EXPECT_EQ(direct.value_ref(), "val");
+}
+
+TEST(Replication, LookupFailsOverToAReplicaWhenThePrimaryIsDown) {
+  ReplicatedFixture fix("payload");
+  CacheServer* replica = fix.ReplicaHolding("payload");
+  ASSERT_NE(replica, nullptr);
+
+  fix.primary->Crash();
+  LookupResponse resp = fix.cluster.Lookup(Probe("payload", 1, kTimestampInfinity));
+  ASSERT_TRUE(resp.hit) << "the replica must absorb the primary's outage";
+  EXPECT_EQ(resp.value_ref(), "val");
+  EXPECT_EQ(resp.served_by, replica->name());
+  EXPECT_GE(fix.cluster.replica_redirects(), 1u);
+
+  // Batched path fails over too.
+  MultiLookupRequest batch;
+  batch.lookups.push_back(Probe("payload", 1, kTimestampInfinity));
+  auto multi = fix.cluster.MultiLookup(batch);
+  ASSERT_TRUE(multi.ok());
+  ASSERT_TRUE(multi.value().responses[0].hit);
+  EXPECT_EQ(multi.value().responses[0].served_by, replica->name());
+}
+
+TEST(Replication, WithoutReplicationAPrimaryOutageStaysAMiss) {
+  // Guard the default: R=1 keeps the old contract (kNodeUnavailable, no secret failover).
+  ManualClock clock;
+  CacheServer a("a", &clock), b("b", &clock);
+  CacheCluster cluster;
+  cluster.AddNode(&a);
+  cluster.AddNode(&b);
+  ASSERT_TRUE(cluster.Insert(StillValidEntry("k", "v", "g")).status.ok());
+  cluster.NodeForKey("k").value()->Crash();
+  LookupResponse resp = cluster.Lookup(Probe("k", 1, kTimestampInfinity));
+  EXPECT_FALSE(resp.hit);
+  EXPECT_EQ(resp.miss, MissKind::kNodeUnavailable);
+  EXPECT_EQ(cluster.replica_redirects(), 0u);
+}
+
+TEST(Replication, ReplicaNeverServesStaleReadsAcrossTruncations) {
+  // The race the design must win: a replica receives a pushed copy, then the entry's group is
+  // invalidated. Because every node subscribes to the same bus, the replica truncates on the
+  // same stream as the primary — so when the primary then crashes, the failover read at fresh
+  // bounds must MISS, never serve the pre-invalidation value.
+  ReplicatedFixture fix("payload");
+  ASSERT_NE(fix.ReplicaHolding("payload"), nullptr);
+
+  fix.bus.Publish(GroupInval("g", 50));
+  fix.primary->Crash();
+
+  LookupResponse fresh = fix.cluster.Lookup(Probe("payload", 50, kTimestampInfinity));
+  EXPECT_FALSE(fresh.hit) << "replica served a value its own stream already invalidated";
+  // The replica still answers the pre-invalidation window — failover is not a flush.
+  LookupResponse old_window = fix.cluster.Lookup(Probe("payload", 1, 49));
+  ASSERT_TRUE(old_window.hit);
+  EXPECT_EQ(old_window.value_ref(), "val");
+  EXPECT_LE(old_window.interval.upper, 50);
+}
+
+// --- client: per-node advisory-hint merge (cross-node regression) ---------------
+
+TEST(Replication, ClientMergesHintsAcrossNodesInsteadOfLastWriterWins) {
+  // Regression: ObserveHints used to overwrite the function's hints with whichever node
+  // answered last. With replication (or any multi-node key space) consecutive responses come
+  // from different nodes, so a healthy node's "all fine" response erased the overloaded
+  // node's decline signal, and callers flapped. The merged view must keep the max decline
+  // rate and weight the numeric estimates by each node's observed traffic.
+  ManualClock clock;
+  Database db(&clock);
+  Pincushion pincushion(&db, &clock);
+  CacheCluster cluster;
+  TxCacheClient client(&db, &pincushion, &cluster, &clock);
+  const std::string function = "f";
+
+  auto overloaded = std::make_shared<const AdvisoryHints>([] {
+    AdvisoryHints h;
+    h.decline_rate = 0.8;
+    h.learned_lifetime_us = 1000;
+    h.observed_bpb = 2.0;
+    return h;
+  }());
+  auto healthy = std::make_shared<const AdvisoryHints>([] {
+    AdvisoryHints h;
+    h.decline_rate = 0.0;
+    h.learned_lifetime_us = 5000;
+    h.observed_bpb = 0.0;  // no estimate yet — must not drag the merged value to zero
+    return h;
+  }());
+
+  // Three responses from the overloaded node, then ONE from the healthy node — last.
+  for (int i = 0; i < 3; ++i) {
+    client.ObserveHints("f(1)", &function, "node-a", overloaded);
+  }
+  client.ObserveHints("f(1)", &function, "node-b", healthy);
+
+  auto merged = client.AdvisoryHintsFor(function);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_DOUBLE_EQ(merged->decline_rate, 0.8)
+      << "the healthy node answering last must not erase the decline signal";
+  // Traffic-weighted lifetime: (1000 * 3 + 5000 * 1) / 4.
+  EXPECT_EQ(merged->learned_lifetime_us, 2000u);
+  // Only node-a has a bpb estimate; node-b's zero means "unknown", not "zero benefit".
+  EXPECT_DOUBLE_EQ(merged->observed_bpb, 2.0);
+
+  // Same-node updates still refresh that node's bucket in place.
+  auto recovered = std::make_shared<const AdvisoryHints>([] {
+    AdvisoryHints h;
+    h.decline_rate = 0.1;
+    h.learned_lifetime_us = 1000;
+    return h;
+  }());
+  client.ObserveHints("f(1)", &function, "node-a", recovered);
+  merged = client.AdvisoryHintsFor(function);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_DOUBLE_EQ(merged->decline_rate, 0.1) << "node-a's newer state replaces its old one";
+}
+
+}  // namespace
+}  // namespace txcache

@@ -1,0 +1,325 @@
+// Snapshot persistence and warm rejoin: the export/import round-trip property (no lookup on
+// an imported node may ever answer staler than the exporter would have), the periodic
+// persistence cadence, and Join()'s snapshot-first fallback — restore + residual replay, the
+// degraded close when history no longer covers even the residual gap, and the guards that
+// keep a stale snapshot from masking the flush path.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bus/bus.h"
+#include "src/cache/cache_server.h"
+#include "src/cache/snapshot_store.h"
+#include "src/util/clock.h"
+#include "src/util/rng.h"
+
+namespace txcache {
+namespace {
+
+InsertRequest StillValidEntry(const std::string& key, const std::string& value,
+                              const std::string& group, Timestamp computed_at = 1) {
+  InsertRequest req;
+  req.key = key;
+  req.value = value;
+  req.interval = {computed_at, kTimestampInfinity};
+  req.computed_at = computed_at;
+  req.tags = {InvalidationTag::Concrete("t", "idx", group)};
+  return req;
+}
+
+LookupRequest Probe(const std::string& key, Timestamp lo, Timestamp hi) {
+  LookupRequest req;
+  req.key = key;
+  req.bounds_lo = lo;
+  req.bounds_hi = hi;
+  req.fresh_lo = lo;
+  return req;
+}
+
+InvalidationMessage GroupInval(const std::string& group, Timestamp ts) {
+  InvalidationMessage msg;
+  msg.ts = ts;
+  msg.tags = {InvalidationTag::Concrete("t", "idx", group)};
+  return msg;
+}
+
+// --- round-trip property under a live invalidation feed -------------------------
+
+TEST(Snapshot, RoundTripUnderLiveFeedNeverServesStaleReads) {
+  // Property: export a node mid-stream while inserts and invalidations interleave, import
+  // the bytes into a fresh node, and compare every probe against a replay oracle. The
+  // imported node must never claim validity past the last invalidation the exporter applied
+  // to that entry's group — that would be the stale read — while entries whose groups were
+  // never invalidated after their insert must still hit (the snapshot is not allowed to be
+  // conservatively empty either).
+  ManualClock clock;
+  InvalidationBus bus(/*history_limit=*/4096);
+  CacheServer exporter("exporter", &clock);
+  bus.Subscribe(&exporter);
+
+  constexpr size_t kKeys = 96;
+  constexpr size_t kGroups = 12;
+  auto key_name = [](size_t k) { return "key-" + std::to_string(k); };
+  auto group_name = [&](size_t k) { return "g" + std::to_string(k % kGroups); };
+
+  Rng rng(11);
+  Timestamp feed_ts = 1;
+  std::map<size_t, Timestamp> inserted_at;           // key -> computed_at of its live insert
+  std::map<std::string, Timestamp> last_inval;       // group -> last invalidation ts
+  // Interleave: each step either (re)inserts a key still-valid at the current feed position
+  // or publishes an invalidation on a random group through the real bus.
+  for (int step = 0; step < 600; ++step) {
+    if (rng.Uniform(0, 2) != 0) {
+      const size_t k = static_cast<size_t>(rng.Uniform(0, kKeys - 1));
+      ASSERT_TRUE(
+          exporter.Insert(StillValidEntry(key_name(k), "v" + std::to_string(k), group_name(k),
+                                          /*computed_at=*/feed_ts))
+              .ok());
+      inserted_at[k] = feed_ts;
+    } else {
+      const std::string group = "g" + std::to_string(rng.Uniform(0, kGroups - 1));
+      bus.Publish(GroupInval(group, ++feed_ts));
+      last_inval[group] = feed_ts;
+    }
+  }
+
+  const std::string snapshot = exporter.ExportSnapshot();
+  CacheServer importer("importer", &clock);
+  ASSERT_TRUE(importer.ImportSnapshot(snapshot).ok());
+  EXPECT_EQ(importer.stream_position(), exporter.stream_position())
+      << "the importer adopts the exporter's stream position";
+
+  const Timestamp now = feed_ts;
+  size_t live_hits = 0;
+  for (const auto& [k, computed_at] : inserted_at) {
+    auto it = last_inval.find(group_name(k));
+    const bool invalidated_after_insert = it != last_inval.end() && it->second > computed_at;
+    LookupResponse fresh = importer.Lookup(Probe(key_name(k), now, kTimestampInfinity));
+    if (invalidated_after_insert) {
+      // Oracle: the exporter truncated this entry at its group's invalidation; the imported
+      // copy claiming validity at/past `now` would be a stale read.
+      EXPECT_FALSE(fresh.hit) << key_name(k);
+      // The closed version still serves the pre-invalidation window, exactly like the
+      // exporter's copy.
+      LookupResponse old_window =
+          importer.Lookup(Probe(key_name(k), computed_at, it->second - 1));
+      EXPECT_TRUE(old_window.hit) << key_name(k);
+      if (old_window.hit) {
+        EXPECT_LE(old_window.interval.upper, it->second) << key_name(k);
+      }
+    } else {
+      ASSERT_TRUE(fresh.hit) << key_name(k) << " must survive the round-trip still-valid";
+      EXPECT_EQ(fresh.value_ref(), "v" + std::to_string(k));
+      ++live_hits;
+    }
+  }
+  ASSERT_GT(live_hits, 0u) << "degenerate run: every key was invalidated";
+
+  // Tag registrations survive the import: a post-import invalidation delivered to the
+  // importer truncates its still-valid entries like any live node's.
+  bus.Subscribe(&importer);
+  const std::string victim_group = "g0";
+  bus.Publish(GroupInval(victim_group, ++feed_ts));
+  for (const auto& [k, computed_at] : inserted_at) {
+    if (group_name(k) == victim_group) {
+      EXPECT_FALSE(importer.Lookup(Probe(key_name(k), feed_ts, kTimestampInfinity)).hit)
+          << "imported still-valid entry must honor post-import invalidations";
+    }
+  }
+}
+
+// --- periodic persistence cadence ----------------------------------------------
+
+TEST(Snapshot, PeriodicPersistenceFollowsTheConfiguredCadence) {
+  ManualClock clock;
+  InvalidationBus bus;
+  InMemorySnapshotStore store;
+  CacheServer::Options options;
+  options.snapshot_interval_messages = 4;
+  CacheServer node("n", &clock, options);
+  node.set_snapshot_store(&store);
+  bus.Subscribe(&node);
+  ASSERT_TRUE(node.Insert(StillValidEntry("k", "v", "g")).ok());
+
+  for (Timestamp ts = 2; ts <= 13; ++ts) {
+    bus.Publish(GroupInval("other", ts));
+  }
+  EXPECT_EQ(store.saves(), 3u) << "12 applied messages at interval 4";
+
+  // The persisted bytes are a usable snapshot: a fresh node importing them holds the entry.
+  auto snap = store.LoadFreshest("n");
+  ASSERT_TRUE(snap.has_value());
+  CacheServer probe("probe", &clock);
+  ASSERT_TRUE(probe.ImportSnapshot(*snap).ok());
+  EXPECT_TRUE(probe.Lookup(Probe("k", 1, kTimestampInfinity)).hit);
+}
+
+TEST(Snapshot, PersistenceIsInertWithoutAStoreOrWithIntervalZero) {
+  ManualClock clock;
+  InvalidationBus bus;
+  // No store attached: deliveries must not crash, PersistSnapshot is a no-op.
+  CacheServer bare("bare", &clock);
+  bus.Subscribe(&bare);
+  bus.Publish(GroupInval("g", 2));
+  bare.PersistSnapshot();
+
+  // interval 0 disables the periodic hook entirely; explicit PersistSnapshot still works.
+  InMemorySnapshotStore store;
+  CacheServer::Options options;
+  options.snapshot_interval_messages = 0;
+  CacheServer node("n", &clock, options);
+  node.set_snapshot_store(&store);
+  bus.Subscribe(&node);
+  for (Timestamp ts = 3; ts < 40; ++ts) {
+    bus.Publish(GroupInval("g", ts));
+  }
+  EXPECT_EQ(store.saves(), 0u);
+  node.PersistSnapshot();
+  EXPECT_EQ(store.saves(), 1u);
+}
+
+// --- warm rejoin: Join()'s snapshot-first fallback ------------------------------
+
+TEST(Snapshot, ColdRestartRestoresFreshestSnapshotInsteadOfFlushing) {
+  ManualClock clock;
+  // History far too short for a from-scratch replay (the restart's position is 1) but long
+  // enough for the residual gap after the last periodic snapshot.
+  InvalidationBus bus(/*history_limit=*/8);
+  InMemorySnapshotStore store;
+  CacheServer::Options options;
+  options.snapshot_interval_messages = 2;
+  auto incarnation1 = std::make_unique<CacheServer>("n", &clock, options);
+  incarnation1->set_snapshot_store(&store);
+  bus.Subscribe(incarnation1.get());
+  ASSERT_TRUE(incarnation1->Insert(StillValidEntry("ka", "va", "ga")).ok());
+  ASSERT_TRUE(incarnation1->Insert(StillValidEntry("kb", "vb", "gb")).ok());
+  Timestamp feed_ts = 1;
+  for (int i = 0; i < 10; ++i) {
+    bus.Publish(GroupInval("other", ++feed_ts));  // periodic snapshots fire along the way
+  }
+  ASSERT_GE(store.saves(), 1u);
+
+  // True crash: process destroyed, memory gone; only the snapshot store survives. Traffic
+  // continues while no incarnation is alive.
+  bus.Unsubscribe(incarnation1.get());
+  incarnation1.reset();
+  bus.Publish(GroupInval("ga", ++feed_ts));  // invalidates ka during the outage
+  bus.Publish(GroupInval("other", ++feed_ts));
+
+  CacheServer incarnation2("n", &clock, options);
+  incarnation2.set_snapshot_store(&store);
+  ASSERT_TRUE(incarnation2.Join(&bus).ok());
+  EXPECT_TRUE(incarnation2.serving());
+  EXPECT_EQ(incarnation2.stats().join_snapshot_restores, 1u);
+  EXPECT_EQ(incarnation2.stats().join_flushes, 0u)
+      << "the snapshot made the rejoin warm; flushing would have thrown the state away";
+  EXPECT_EQ(incarnation2.stream_position(), bus.next_seqno());
+
+  // Warm: the entry untouched by the outage serves immediately.
+  LookupResponse warm = incarnation2.Lookup(Probe("kb", 1, kTimestampInfinity));
+  ASSERT_TRUE(warm.hit);
+  EXPECT_EQ(warm.value_ref(), "vb");
+  // Correct: the invalidation published during the outage was replayed over the restored
+  // state — serving ka at fresh bounds would be the stale read.
+  EXPECT_FALSE(incarnation2.Lookup(Probe("ka", feed_ts, kTimestampInfinity)).hit);
+}
+
+TEST(Snapshot, ResidualGapBeyondHistoryClosesRestoredEntriesConservatively) {
+  // The degraded warm path: the snapshot restores, but the bus history no longer covers even
+  // the residual gap [snapshot position, join target). The node must keep the restored data
+  // yet stop vouching for its current validity — still-valid entries are closed at the
+  // snapshot's last applied invalidation, and the history floor rises to the adopted
+  // position so late inserts from inside the gap are truncated too.
+  ManualClock clock;
+  InvalidationBus bus(/*history_limit=*/4);
+  InMemorySnapshotStore store;
+  CacheServer::Options options;
+  options.snapshot_interval_messages = 0;  // manual persistence: pin the snapshot position
+  auto incarnation1 = std::make_unique<CacheServer>("n", &clock, options);
+  incarnation1->set_snapshot_store(&store);
+  bus.Subscribe(incarnation1.get());
+  ASSERT_TRUE(incarnation1->Insert(StillValidEntry("ka", "va", "ga")).ok());
+  bus.Publish(GroupInval("other", 5));  // the snapshot's last applied invalidation
+  incarnation1->PersistSnapshot();
+
+  // The outage outruns the bounded history even measured from the snapshot's position.
+  bus.Unsubscribe(incarnation1.get());
+  incarnation1.reset();
+  for (Timestamp ts = 6; ts < 14; ++ts) {
+    bus.Publish(GroupInval("other", ts));
+  }
+
+  CacheServer incarnation2("n", &clock, options);
+  incarnation2.set_snapshot_store(&store);
+  ASSERT_TRUE(incarnation2.Join(&bus).ok());
+  EXPECT_TRUE(incarnation2.serving());
+  EXPECT_EQ(incarnation2.stats().join_snapshot_restores, 1u);
+  EXPECT_EQ(incarnation2.stats().join_flushes, 0u);
+  EXPECT_GT(incarnation2.version_count(), 0u) << "restored data is retained, not flushed";
+
+  // ka cannot prove it survived the unseen gap: no hit at fresh bounds...
+  EXPECT_FALSE(incarnation2.Lookup(Probe("ka", 13, kTimestampInfinity)).hit);
+  // ...but the window the snapshot could vouch for still serves.
+  LookupResponse old_window = incarnation2.Lookup(Probe("ka", 1, 5));
+  ASSERT_TRUE(old_window.hit);
+  EXPECT_EQ(old_window.value_ref(), "va");
+
+  // History floor: an insert computed inside the unseen gap is conservatively truncated.
+  ASSERT_TRUE(incarnation2.Insert(StillValidEntry("kc", "vc", "gc", /*computed_at=*/8)).ok());
+  EXPECT_GE(incarnation2.stats().insert_time_truncations, 1u);
+  EXPECT_FALSE(incarnation2.Lookup(Probe("kc", 13, kTimestampInfinity)).hit);
+}
+
+TEST(Snapshot, StaleSnapshotDoesNotMaskTheFlushPath) {
+  // Warm restart (memory survived, position ahead of every stored snapshot): restoring would
+  // REWIND the node onto state whose truncations it already applied — the guard requires the
+  // snapshot to be strictly ahead of our position, so this rejoin must take the flush path.
+  ManualClock clock;
+  InvalidationBus bus(/*history_limit=*/4);
+  InMemorySnapshotStore store;
+  CacheServer node("n", &clock);
+  node.set_snapshot_store(&store);
+  bus.Subscribe(&node);
+  ASSERT_TRUE(node.Insert(StillValidEntry("ka", "va", "ga")).ok());
+  node.PersistSnapshot();  // snapshot at the CURRENT position — never ahead of it
+
+  node.Crash();  // memory kept: the node's position stays where it was
+  for (Timestamp ts = 10; ts < 18; ++ts) {
+    bus.Publish(GroupInval("ga", ts));
+  }
+  ASSERT_TRUE(node.Join(&bus).ok());
+  EXPECT_TRUE(node.serving());
+  EXPECT_EQ(node.stats().join_snapshot_restores, 0u);
+  EXPECT_EQ(node.stats().join_flushes, 1u);
+  EXPECT_FALSE(node.Lookup(Probe("ka", 1, kTimestampInfinity)).hit)
+      << "flush semantics unchanged: pre-crash state is gone";
+}
+
+TEST(Snapshot, CorruptSnapshotFallsBackToFlush) {
+  ManualClock clock;
+  InvalidationBus bus(/*history_limit=*/4);
+  InMemorySnapshotStore store;
+  CacheServer node("n", &clock);
+  node.set_snapshot_store(&store);
+  bus.Subscribe(&node);
+  ASSERT_TRUE(node.Insert(StillValidEntry("ka", "va", "ga")).ok());
+
+  // A truncated/garbage blob in the store: the header peek (or the import) must reject it
+  // and the rejoin must degrade to the flush path, never crash or serve bad state.
+  store.Save("n", "not a snapshot");
+  node.Crash();
+  for (Timestamp ts = 10; ts < 18; ++ts) {
+    bus.Publish(GroupInval("ga", ts));
+  }
+  ASSERT_TRUE(node.Join(&bus).ok());
+  EXPECT_TRUE(node.serving());
+  EXPECT_EQ(node.stats().join_snapshot_restores, 0u);
+  EXPECT_EQ(node.stats().join_flushes, 1u);
+  EXPECT_EQ(node.version_count(), 0u);
+}
+
+}  // namespace
+}  // namespace txcache
