@@ -1,0 +1,301 @@
+// Optimistic read-write transactions through the cache, on the RUBiS bid/comment write mix:
+// abort rate vs committed throughput as the write share of the client population rises, with
+// exact lost-update oracles.
+//
+// Workload: kThreads concurrent clients over one shared database + cache node. Reader
+// threads render item/bid-history/user pages through MAKE-CACHEABLE at staleness 0 (every
+// invalidation forces a real recompute). Writer threads run StoreBid (80%) / StoreComment
+// (20%) as optimistic transactions (RunRwTransaction): advisory write intents on the keys
+// they invalidate, snapshot reads recorded for commit-time validation, abort-and-retry on
+// conflict. The write mix is the writer share of the population (1 of 4 threads = 25%), so
+// the committed-throughput comparison measures what matters: write transactions flowing
+// through the cache must leave the lock-free read fast path intact.
+//
+// Oracles (exact, not statistical): StoreBid increments its item's nb_of_bids by one and
+// inserts one bid row inside the same validated transaction, so a stale nb_of_bids read
+// surviving commit validation is a lost update — after the run, Δ sum(nb_of_bids) must equal
+// Δ count(bids) must equal committed StoreBids. StoreComment's rating adjustment gives the
+// analogous check: Δ sum(users.rating) == Δ sum over comments of (rating - 3).
+//
+// Gates: every oracle holds at every mix (no_stale_reads), and committed throughput at the
+// 25% write mix stays >= 50% of the read-only baseline.
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/bus/bus.h"
+#include "src/cache/cache_cluster.h"
+#include "src/cache/cache_server.h"
+#include "src/core/txcache_client.h"
+#include "src/pincushion/pincushion.h"
+#include "src/rubis/app.h"
+#include "src/rubis/data.h"
+#include "src/rubis/schema.h"
+
+using namespace txcache;
+
+namespace {
+
+constexpr size_t kThreads = 4;
+
+struct MixResult {
+  double committed_per_s = 0;  // committed transactions (reads + writes) per wall second
+  double abort_rate = 0;       // aborted optimistic rounds / all finished optimistic rounds
+  uint64_t committed_bids = 0;
+  uint64_t committed_comments = 0;
+  uint64_t rw_retries = 0;
+  bool serializable = true;
+};
+
+// Reads the whole table at the latest snapshot and folds one int column.
+int64_t SumColumn(Database* db, const char* table, uint32_t col) {
+  auto txn = db->BeginReadOnly();
+  if (!txn.ok()) {
+    return 0;
+  }
+  auto r = db->Execute(txn.value(), Query::From(AccessPath::SeqScan(table)));
+  db->Commit(txn.value());
+  int64_t sum = 0;
+  if (r.ok()) {
+    for (const Row& row : r.value().rows) {
+      sum += row[col].AsInt();
+    }
+  }
+  return sum;
+}
+
+int64_t CountTable(Database* db, const char* table) {
+  auto txn = db->BeginReadOnly();
+  if (!txn.ok()) {
+    return 0;
+  }
+  auto r = db->Execute(txn.value(),
+                       Query::From(AccessPath::SeqScan(table)).Agg(AggKind::kCount));
+  db->Commit(txn.value());
+  return r.ok() ? r.value().rows[0][0].AsInt() : 0;
+}
+
+// Σ (rating - 3) over every comment row: the exact total adjustment the comments applied.
+int64_t CommentAdjustment(Database* db) {
+  auto txn = db->BeginReadOnly();
+  if (!txn.ok()) {
+    return 0;
+  }
+  auto r = db->Execute(txn.value(), Query::From(AccessPath::SeqScan(rubis::kComments)));
+  db->Commit(txn.value());
+  int64_t sum = 0;
+  if (r.ok()) {
+    for (const Row& row : r.value().rows) {
+      sum += row[rubis::CommentsCol::kRating].AsInt() - 3;
+    }
+  }
+  return sum;
+}
+
+MixResult RunMix(size_t writer_threads, double duration_s) {
+  ManualClock clock;
+  Database db(&clock);
+  InvalidationBus bus;
+  CacheServer::Options cache_options;
+  cache_options.num_shards = 8;
+  CacheServer cache("node", &clock, cache_options);
+  bus.Subscribe(&cache);
+  CacheCluster cluster;
+  cluster.AddNode(&cache);
+  Pincushion pincushion(&db, &clock);
+
+  rubis::RubisScale scale;
+  scale.users = 100;
+  scale.active_items = 200;
+  scale.old_items = 20;
+  scale.max_bids_per_item = 3;
+  scale.description_bytes = 64;
+  auto dataset_or = rubis::LoadRubis(&db, scale, &clock, /*seed=*/42);
+  if (!dataset_or.ok()) {
+    std::fprintf(stderr, "LoadRubis: %s\n", dataset_or.status().ToString().c_str());
+    return {};
+  }
+  std::unique_ptr<rubis::RubisDataset> dataset = std::move(dataset_or.value());
+  db.set_invalidation_bus(&bus);
+
+  const int64_t bids_before = CountTable(&db, rubis::kBids);
+  const int64_t nb_before = SumColumn(&db, rubis::kItems, rubis::ItemsCol::kNbOfBids) +
+                            SumColumn(&db, rubis::kOldItems, rubis::ItemsCol::kNbOfBids);
+  const int64_t rating_before = SumColumn(&db, rubis::kUsers, rubis::UsersCol::kRating);
+  const int64_t adjust_before = CommentAdjustment(&db);
+
+  std::atomic<uint64_t> committed_reads{0}, committed_bids{0}, committed_comments{0};
+  std::atomic<uint64_t> rw_commits{0}, rw_aborts{0}, rw_retries{0};
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::duration<double>(duration_s);
+
+  auto writer = [&](size_t t) {
+    TxCacheClient::Options options;
+    options.rw_backoff_sleep = [](WallClock) {};  // retry immediately: abort cost in rounds
+    options.rw_backoff_seed = 1000 + t;
+    TxCacheClient client(&db, &pincushion, &cluster, &clock, options);
+    rubis::RubisApp app(&client, dataset.get(), &clock);
+    Rng rng(0xb1d + t);
+    const int64_t user = dataset->PickUser(rng);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (rng.UniformReal(0, 1) < 0.8) {
+        auto ts = client.RunRwTransaction([&]() -> Status {
+          return app.StoreBid(user, dataset->PickActiveItem(rng),
+                              rng.UniformReal(1.0, 300.0));
+        });
+        if (ts.ok()) {
+          committed_bids.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        auto ts = client.RunRwTransaction([&]() -> Status {
+          return app.StoreComment(user, dataset->PickUser(rng), dataset->PickAnyItem(rng),
+                                  rng.Uniform(1, 5), "great transaction");
+        });
+        if (ts.ok()) {
+          committed_comments.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    const ClientStats stats = client.stats();
+    rw_commits.fetch_add(stats.rw_commits, std::memory_order_relaxed);
+    rw_aborts.fetch_add(stats.rw_aborts, std::memory_order_relaxed);
+    rw_retries.fetch_add(stats.rw_retries, std::memory_order_relaxed);
+  };
+
+  auto reader = [&](size_t t) {
+    TxCacheClient client(&db, &pincushion, &cluster, &clock);
+    rubis::RubisApp app(&client, dataset.get(), &clock);
+    Rng rng(0xead + t);
+    uint64_t local = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (!client.BeginRO(/*staleness=*/0).ok()) {
+        continue;
+      }
+      const double roll = rng.UniformReal(0, 1);
+      if (roll < 0.7) {
+        app.view_item_page(dataset->PickActiveItem(rng));
+      } else if (roll < 0.9) {
+        app.bid_history_page(dataset->PickActiveItem(rng));
+      } else {
+        app.view_user_page(dataset->PickUser(rng));
+      }
+      if (client.Commit().ok()) {
+        ++local;
+      }
+    }
+    committed_reads.fetch_add(local, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    if (t < writer_threads) {
+      threads.emplace_back(writer, t);
+    } else {
+      threads.emplace_back(reader, t);
+    }
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  MixResult result;
+  result.committed_bids = committed_bids.load();
+  result.committed_comments = committed_comments.load();
+  result.rw_retries = rw_retries.load();
+  const uint64_t rounds = rw_commits.load() + rw_aborts.load();
+  result.abort_rate =
+      rounds == 0 ? 0.0 : static_cast<double>(rw_aborts.load()) / static_cast<double>(rounds);
+  result.committed_per_s =
+      static_cast<double>(committed_reads.load() + result.committed_bids +
+                          result.committed_comments) /
+      std::max(elapsed_s, 1e-9);
+
+  // --- exact serializability oracles on the final database state ---
+  const int64_t bid_rows = CountTable(&db, rubis::kBids) - bids_before;
+  const int64_t nb_delta = SumColumn(&db, rubis::kItems, rubis::ItemsCol::kNbOfBids) +
+                           SumColumn(&db, rubis::kOldItems, rubis::ItemsCol::kNbOfBids) -
+                           nb_before;
+  const int64_t rating_delta =
+      SumColumn(&db, rubis::kUsers, rubis::UsersCol::kRating) - rating_before;
+  const int64_t adjust_delta = CommentAdjustment(&db) - adjust_before;
+  const bool bids_ok = bid_rows == static_cast<int64_t>(result.committed_bids) &&
+                       nb_delta == static_cast<int64_t>(result.committed_bids);
+  const bool comments_ok = rating_delta == adjust_delta;
+  result.serializable = bids_ok && comments_ok;
+  if (!bids_ok) {
+    std::fprintf(stderr,
+                 "ORACLE: committed bids %llu, bid rows %+lld, nb_of_bids %+lld (lost update)\n",
+                 static_cast<unsigned long long>(result.committed_bids),
+                 static_cast<long long>(bid_rows), static_cast<long long>(nb_delta));
+  }
+  if (!comments_ok) {
+    std::fprintf(stderr, "ORACLE: rating delta %+lld != comment adjustment %+lld\n",
+                 static_cast<long long>(rating_delta), static_cast<long long>(adjust_delta));
+  }
+  // No intent may outlive its transaction on any path.
+  const uint64_t leaked = cache.ClearIntents();
+  if (leaked != 0) {
+    std::fprintf(stderr, "ORACLE: %llu intents leaked\n",
+                 static_cast<unsigned long long>(leaked));
+    result.serializable = false;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("micro_write_tx: optimistic RUBiS bid/comment mix through the cache",
+                     "whole-system serializability (commit-time read validation)");
+  // One quarter of the default 8 s window per mix point; bench-smoke shrinks it via
+  // TXCACHE_BENCH_MEASURE_S.
+  const double duration_s = std::max(0.04, ToSeconds(bench::EnvMeasure()) / 8.0);
+
+  std::printf("\n%8s %16s %12s %10s %10s %10s %8s\n", "writers", "committed/s", "abort rate",
+              "bids", "comments", "retries", "oracle");
+  MixResult baseline, mix25;
+  double max_abort_rate = 0;
+  bool all_serializable = true;
+  for (size_t writers = 0; writers < kThreads; ++writers) {
+    MixResult r = RunMix(writers, duration_s);
+    max_abort_rate = std::max(max_abort_rate, r.abort_rate);
+    std::printf("%5zu/%zu %16.0f %11.1f%% %10llu %10llu %10llu %8s\n", writers, kThreads,
+                r.committed_per_s, r.abort_rate * 100,
+                static_cast<unsigned long long>(r.committed_bids),
+                static_cast<unsigned long long>(r.committed_comments),
+                static_cast<unsigned long long>(r.rw_retries),
+                r.serializable ? "PASS" : "FAIL");
+    all_serializable = all_serializable && r.serializable;
+    if (writers == 0) {
+      baseline = r;
+    }
+    if (writers == 1) {
+      mix25 = r;
+    }
+  }
+
+  const double retention =
+      baseline.committed_per_s > 0 ? mix25.committed_per_s / baseline.committed_per_s : 0.0;
+  const bool throughput_ok = retention >= 0.5;
+
+  bench::BenchJson json("write_tx");
+  json.Add("read_only_throughput", baseline.committed_per_s);
+  json.Add("commit_throughput", mix25.committed_per_s);
+  json.Add("abort_rate", mix25.abort_rate);
+  json.Add("abort_rate_max_mix", max_abort_rate);
+  json.Add("throughput_retention_25pct_writes", retention);
+  json.Add("committed_writes_25pct",
+           static_cast<double>(mix25.committed_bids + mix25.committed_comments));
+  json.Add("no_stale_reads", all_serializable ? 1.0 : 0.0);
+  json.Write();
+
+  std::printf("\nlost-update oracles at every mix: %s\n", all_serializable ? "PASS" : "FAIL");
+  std::printf("25%%-write committed throughput: %.0f/s = %.0f%% of read-only baseline "
+              "(target >= 50%%): %s\n",
+              mix25.committed_per_s, retention * 100, throughput_ok ? "PASS" : "FAIL");
+  return (all_serializable && throughput_ok) || !bench::GateEnabled() ? 0 : 1;
+}

@@ -73,6 +73,12 @@ fi
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS" ${LABELS:+-L "$LABELS"})
 
+# The optimistic read-write transaction suite (label `txn`) is a standing gate: run it as a
+# dedicated pass so a label rename or a GLOB miss can never leave serializability untested.
+if [[ -z "$LABELS" ]]; then
+  (cd build && ctest --output-on-failure -L txn)
+fi
+
 # --- ThreadSanitizer build of the concurrency-sensitive tests ---
 # cache_eviction_test and cache_property_test ride along: the eviction/admission suite must be
 # deterministic AND data-race-free (its stats are read concurrently by the stress tests).
@@ -80,10 +86,12 @@ cmake --build build -j "$JOBS"
 # race-free against the churn thread in concurrency_stress_test. cache_snapshot_test and
 # cache_replication_test join them: snapshot persistence fires from Deliver and replica
 # pushes/failover cross node boundaries, both of which must stay race-free.
+# cache_write_tx_test (label txn) completes the set: write intents and commit-time read
+# validation race against the invalidation stream and concurrent zero-copy readers.
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_TARGETS=(concurrency_stress_test cache_shard_test cache_eviction_test cache_property_test
                 membership_test cache_readpath_test cache_admission_sizing_test cache_ebr_test
-                cache_snapshot_test cache_replication_test)
+                cache_snapshot_test cache_replication_test cache_write_tx_test)
   cmake -B build-tsan -S . -DTXCACHE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
   if [[ -n "$LABELS" ]]; then
@@ -142,6 +150,7 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
     [shard_scaling]="gate_16_shard_speedup"
     [membership_churn]="leave_remapped_fraction recovered_fraction_of_steady warm_rejoin_hit_rate flash_crowd_floor join_snapshot_restores"
     [large_values]="recompute_saved_with_feedback ttl_consistency_miss_reduction"
+    [write_tx]="abort_rate commit_throughput no_stale_reads"
   )
   for bench in "${!required_keys[@]}"; do
     json="build-bench/BENCH_${bench}.json"

@@ -32,20 +32,41 @@ class CacheCluster {
 
   // The cluster does not own servers; callers keep them alive.
   bool AddNode(CacheServer* server) {
-    std::unique_lock<std::shared_mutex> lock(mu_);
-    if (!ring_.AddNode(server->name())) {
-      return false;
+    size_t auto_keys = 0;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      if (!ring_.AddNode(server->name())) {
+        return false;
+      }
+      servers_[server->name()] = server;
+      auto_keys = auto_replication_keys_;
     }
-    servers_[server->name()] = server;
+    // A node joining a fleet with auto-replication enabled gets the hook immediately (outside
+    // the membership lock: set_replication_hook takes the server's own leaf mutex).
+    if (auto_keys != 0) {
+      AttachReplicationHook(server, auto_keys);
+    }
     return true;
   }
 
   bool RemoveNode(const std::string& name) {
-    std::unique_lock<std::shared_mutex> lock(mu_);
-    if (!ring_.RemoveNode(name)) {
-      return false;
+    CacheServer* departed = nullptr;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      if (!ring_.RemoveNode(name)) {
+        return false;
+      }
+      auto it = servers_.find(name);
+      if (it != servers_.end()) {
+        departed = it->second;
+        servers_.erase(it);
+      }
     }
-    servers_.erase(name);
+    if (departed != nullptr) {
+      // Detach the auto-replication hook (if any): the departed server may outlive this
+      // cluster, and its Deliver tail must not call back into a dead fleet.
+      departed->set_replication_hook(nullptr);
+    }
     return true;
   }
 
@@ -72,43 +93,78 @@ class CacheCluster {
   // the replica — admission may decline, a joining replica refuses, and insert-time history
   // replay truncates a copy the replica's stream position has already invalidated. Returns
   // the number of accepted pushes this round (also accumulated in replica_pushes()).
-  // Call periodically (simulator: maintenance tick; benches: between rounds).
+  // Normally driven in the background by EnableAutoReplication below; still callable
+  // directly for benches that replicate between measurement rounds.
   size_t ReplicateHotKeys(size_t max_keys_per_node) {
+    size_t pushes = 0;
+    for (CacheServer* primary : Nodes()) {
+      pushes += ReplicateHotKeysFromNode(primary, max_keys_per_node);
+    }
+    return pushes;
+  }
+
+  // One node's share of a replication round (see ReplicateHotKeys). This is the unit the
+  // background cadence fires: CacheServer's Deliver tail calls it for its own node every
+  // Options::replication_interval_messages deliveries, so replication rides the invalidation
+  // traffic itself — a fleet under write load keeps its replicas warm with no driver loop.
+  size_t ReplicateHotKeysFromNode(CacheServer* primary, size_t max_keys_per_node) {
     const size_t replication = replication_.load(std::memory_order_relaxed);
     if (replication < 2 || max_keys_per_node == 0) {
       return 0;
     }
-    size_t pushes = 0;
-    for (CacheServer* primary : Nodes()) {
-      std::vector<InsertRequest> hot = primary->ExportHotKeys(max_keys_per_node);
-      if (hot.empty()) {
-        continue;
-      }
-      // Resolve every key's replica set under one shared-lock hop; push with it released
-      // (same discipline as Lookup: membership writes never wait behind cache work).
-      std::vector<std::pair<CacheServer*, const InsertRequest*>> dispatch;
-      {
-        std::shared_lock<std::shared_mutex> lock(mu_);
-        for (const InsertRequest& req : hot) {
-          for (const std::string& name : ring_.ReplicasForHash(req.key_hash, replication)) {
-            if (name == primary->name()) {
-              continue;  // the exporter already holds it
-            }
-            auto it = servers_.find(name);
-            if (it != servers_.end()) {
-              dispatch.emplace_back(it->second, &req);
-            }
+    std::vector<InsertRequest> hot = primary->ExportHotKeys(max_keys_per_node);
+    if (hot.empty()) {
+      return 0;
+    }
+    // Resolve every key's replica set under one shared-lock hop; push with it released
+    // (same discipline as Lookup: membership writes never wait behind cache work).
+    std::vector<std::pair<CacheServer*, const InsertRequest*>> dispatch;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      for (const InsertRequest& req : hot) {
+        for (const std::string& name : ring_.ReplicasForHash(req.key_hash, replication)) {
+          if (name == primary->name()) {
+            continue;  // the exporter already holds it
+          }
+          auto it = servers_.find(name);
+          if (it != servers_.end()) {
+            dispatch.emplace_back(it->second, &req);
           }
         }
       }
-      for (auto& [replica, req] : dispatch) {
-        if (replica->Insert(*req).ok()) {
-          ++pushes;
-        }
+    }
+    size_t pushes = 0;
+    for (auto& [replica, req] : dispatch) {
+      if (replica->Insert(*req).ok()) {
+        ++pushes;
       }
     }
     replica_pushes_.fetch_add(pushes, std::memory_order_relaxed);
     return pushes;
+  }
+
+  // Turns on background replication: every current node (and every node added later) gets a
+  // Deliver-tail hook that pushes its own hot keys to its ring replicas, paced by the node's
+  // Options::replication_interval_messages. The cluster must outlive the servers' delivery
+  // traffic (or nodes must be RemoveNode'd first — that detaches the hook). Pass 0 to turn
+  // the background cadence off again.
+  void EnableAutoReplication(size_t max_keys_per_node) {
+    std::vector<CacheServer*> nodes;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      auto_replication_keys_ = max_keys_per_node;
+      nodes.reserve(servers_.size());
+      for (const auto& [_, server] : servers_) {
+        nodes.push_back(server);
+      }
+    }
+    for (CacheServer* server : nodes) {
+      if (max_keys_per_node == 0) {
+        server->set_replication_hook(nullptr);
+      } else {
+        AttachReplicationHook(server, max_keys_per_node);
+      }
+    }
   }
 
   // Lookups answered by a replica after the primary answered kNodeUnavailable.
@@ -186,6 +242,21 @@ class CacheCluster {
       resp.served_by = server->name();
     }
     return resp;
+  }
+
+  // --- write intents (optimistic read-write transactions) ---
+  // Routes a write-intent acquire/release to the key's owning node; same route-then-dispatch
+  // discipline (and epoch stamp) as Lookup. An unroutable key or a down/joining owner answers
+  // kUnavailable, which callers treat as vacuous success: a node serving no reads protects
+  // nothing, and its intents were dropped wholesale anyway (see CacheServer::Crash/Join).
+  // Intents deliberately do NOT fail over to replicas — the intent guards the PRIMARY's
+  // copy, the one an in-transaction reader would hit; replicas learn of the write from the
+  // invalidation stream like everyone else.
+  IntentResponse AcquireIntent(const IntentRequest& req) const {
+    return RouteIntent(req, /*acquire=*/true);
+  }
+  IntentResponse ReleaseIntent(const IntentRequest& req) const {
+    return RouteIntent(req, /*acquire=*/false);
   }
 
   // Batched lookups across the fleet: groups the batch per owning node (consistent hashing on
@@ -349,6 +420,36 @@ class CacheCluster {
   }
 
  private:
+  IntentResponse RouteIntent(const IntentRequest& req, bool acquire) const {
+    CacheServer* server = nullptr;
+    uint64_t epoch = 0;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      epoch = ring_.epoch();
+      auto node_or = NodeForHashLocked(RequestKeyHash(req));
+      if (node_or.ok()) {
+        server = node_or.value();
+      }
+    }
+    IntentResponse resp;
+    if (server == nullptr) {
+      resp.status = Status::Unavailable("no cache node owns this key");
+    } else {
+      resp = acquire ? server->AcquireIntent(req) : server->ReleaseIntent(req);
+      resp.served_by = server->name();
+    }
+    resp.ring_epoch = epoch;
+    return resp;
+  }
+
+  // Installs the Deliver-tail hook on one server (see EnableAutoReplication). The hook
+  // captures `this`; RemoveNode and EnableAutoReplication(0) detach it.
+  void AttachReplicationHook(CacheServer* server, size_t max_keys_per_node) {
+    server->set_replication_hook([this, max_keys_per_node](CacheServer* s) {
+      ReplicateHotKeysFromNode(s, max_keys_per_node);
+    });
+  }
+
   // Replica failover for one position: try the key's ring successors (primary excluded) and
   // adopt the first answer that is not itself kNodeUnavailable — a hit for a replicated hot
   // key, an honest recomputable miss from a live node otherwise. Preserves the caller's
@@ -410,6 +511,9 @@ class CacheCluster {
   std::atomic<size_t> replication_{1};
   mutable std::atomic<uint64_t> replica_redirects_{0};
   std::atomic<uint64_t> replica_pushes_{0};
+  // Background replication budget per node per round; nonzero iff EnableAutoReplication is on
+  // (guarded by mu_ so AddNode reads a consistent value).
+  size_t auto_replication_keys_ = 0;
 };
 
 }  // namespace txcache

@@ -113,7 +113,14 @@ void CacheServer::FillUnavailable(LookupResponse* resp) {
   unavailable_misses_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void CacheServer::Crash() { state_.store(NodeState::kDown, std::memory_order_release); }
+void CacheServer::Crash() {
+  state_.store(NodeState::kDown, std::memory_order_release);
+  // A crashed process holds no advisory state: every write intent dies with it. (Cached DATA
+  // is deliberately kept — Join() decides its fate — but intents guard in-flight transactions
+  // whose clients will observe the crash as kUnavailable and treat their operations as
+  // vacuously complete, so a surviving intent could only wedge later writers.)
+  ClearIntents();
+}
 
 Status CacheServer::Join(InvalidationBus* bus) {
   // Raise the barrier before touching the stream: nothing may be served until the node has
@@ -122,6 +129,10 @@ Status CacheServer::Join(InvalidationBus* bus) {
   // before the catch-up/flush work below has finished; the real target is published last.
   join_target_.store(std::numeric_limits<uint64_t>::max(), std::memory_order_release);
   state_.store(NodeState::kJoining, std::memory_order_release);
+  // Any intent that survived in pre-crash state is from a transaction that has long since
+  // aborted or committed (its release bounced off the down node): drop them all before
+  // serving resumes, so a rejoined node never blocks fresh writers on dead owners.
+  ClearIntents();
   // Subscribe BEFORE reading the join target: a message published in between is then either
   // inside the replayed range or delivered live (and held by the sequencer's reorder buffer
   // until replay fills the gap) — never lost.
@@ -223,6 +234,43 @@ LookupResponse CacheServer::Lookup(const LookupRequest& req) {
   // this point rehashes the key.
   const uint64_t key_hash = RequestKeyHash(req);
   return ShardForHash(key_hash)->Lookup(req, key_hash);
+}
+
+IntentResponse CacheServer::AcquireIntent(const IntentRequest& req) {
+  if (!CheckServing()) {
+    IntentResponse resp;
+    resp.status = Status::Unavailable("cache node not serving (down or joining)");
+    return resp;
+  }
+  const uint64_t key_hash = RequestKeyHash(req);
+  return ShardForHash(key_hash)->AcquireIntent(req, key_hash);
+}
+
+IntentResponse CacheServer::ReleaseIntent(const IntentRequest& req) {
+  IntentResponse resp;
+  if (!CheckServing()) {
+    // A node that went down holding intents has already dropped them (Crash/Join clear
+    // wholesale); release against a non-serving node is a vacuous success.
+    resp.status = Status::Unavailable("cache node not serving (down or joining)");
+    return resp;
+  }
+  const uint64_t key_hash = RequestKeyHash(req);
+  ShardForHash(key_hash)->ReleaseIntent(req, key_hash);
+  resp.status = Status::Ok();
+  return resp;
+}
+
+size_t CacheServer::ClearIntents() {
+  size_t dropped = 0;
+  for (auto& shard : shards_) {
+    dropped += shard->ClearIntents();
+  }
+  return dropped;
+}
+
+void CacheServer::set_replication_hook(std::function<void(CacheServer*)> hook) {
+  std::lock_guard<std::mutex> lock(replication_hook_mu_);
+  replication_hook_ = std::move(hook);
 }
 
 MultiLookupResponse CacheServer::MultiLookup(const MultiLookupRequest& req) {
@@ -459,6 +507,24 @@ void CacheServer::Deliver(const InvalidationMessage& msg) {
           options_.snapshot_interval_messages) {
     messages_since_snapshot_.store(0, std::memory_order_relaxed);
     PersistSnapshot();
+  }
+  // Background hot-key replication rides the same tail: every replication_interval_messages
+  // deliveries, one (arbitrary) delivering thread pushes this node's hot keys to its replicas
+  // via the installed hook — no driver needs to pump ReplicateHotKeys. Only while serving: a
+  // joining node's entries are behind the barrier and must not propagate.
+  if (options_.replication_interval_messages != 0 &&
+      messages_since_replication_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+          options_.replication_interval_messages &&
+      state_.load(std::memory_order_acquire) == NodeState::kServing) {
+    messages_since_replication_.store(0, std::memory_order_relaxed);
+    std::function<void(CacheServer*)> hook;
+    {
+      std::lock_guard<std::mutex> lock(replication_hook_mu_);
+      hook = replication_hook_;
+    }
+    if (hook) {
+      hook(this);
+    }
   }
 }
 

@@ -33,6 +33,7 @@
 #define SRC_CACHE_CACHE_SERVER_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -143,7 +144,26 @@ class CacheServer : public InvalidationSubscriber {
   // Exports and saves a snapshot now (no-op without a store or while not serving).
   void PersistSnapshot();
 
+  // --- write intents (optimistic read-write transactions) ---
+  // Check-and-acquire / release of the advisory per-key write intent (see IntentRequest).
+  // Both are gated by the serving barrier: a node that is down or joining answers
+  // kUnavailable, which callers treat as vacuous success — a node serving no reads protects
+  // nothing. Intents never survive Crash(), Join() or Flush(): they are dropped wholesale
+  // (CacheStats::intents_cleared), which is safe because serializability comes from the
+  // database's commit-time read validation, not from the intents.
+  IntentResponse AcquireIntent(const IntentRequest& req);
+  IntentResponse ReleaseIntent(const IntentRequest& req);
+  // Drops every intent on the node. Returns how many were held.
+  size_t ClearIntents();
+
   // --- hot-key replication ---
+  // Attaches the background replication hook, fired from the Deliver tail every
+  // Options::replication_interval_messages applied deliveries (same shape as the
+  // snapshot-persistence cadence, and like it the hook runs outside the sequencer's critical
+  // section on one arbitrary delivering thread). CacheCluster::EnableAutoReplication installs
+  // a hook that pushes this node's hot keys to its ring replicas. Pass nullptr to detach.
+  // The hook must not call back into Deliver.
+  void set_replication_hook(std::function<void(CacheServer*)> hook);
   // Drains the per-thread hot-key sketches and exports the newest still-valid version of the
   // `max_keys` hottest keys as replication-ready InsertRequests (key_hash carried, interval
   // re-opened, computed_at capped so a replica that lags this node's invalidation history
@@ -255,6 +275,13 @@ class CacheServer : public InvalidationSubscriber {
   // periodic PersistSnapshot cadence from Deliver.
   SnapshotStore* snapshot_store_ = nullptr;
   std::atomic<uint64_t> messages_since_snapshot_{0};
+
+  // Background hot-key replication: the hook (usually installed by CacheCluster) fires from
+  // the Deliver tail every replication_interval_messages deliveries. Guarded by a leaf mutex
+  // (copied out before invocation, so the hook itself runs unlocked).
+  mutable std::mutex replication_hook_mu_;
+  std::function<void(CacheServer*)> replication_hook_;
+  std::atomic<uint64_t> messages_since_replication_{0};
 
   // Eviction/admission counters are node-level atomics (not per-shard, mutex-guarded partials)
   // so stats() stays safe to call while the stress tests hammer Insert/EvictToFit.

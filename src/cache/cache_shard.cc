@@ -378,6 +378,7 @@ LookupResponse CacheShard::LookupRead(const LookupRequest& req, uint64_t key_has
     resp.hints = std::shared_ptr<const AdvisoryHints>(block, &block->hints);
   }
   resp.fill_cost_us = best->fill_cost_us;
+  resp.intent_owner = best->intent_owner.load(std::memory_order_relaxed);
   const bool sv = best->still_valid.load(std::memory_order_acquire);
   resp.still_valid = sv;
   if (sv) {
@@ -514,6 +515,7 @@ LookupResponse CacheShard::LookupExclusive(const LookupRequest& req, uint64_t ke
     resp.hints = std::make_shared<const AdvisoryHints>(best->block->hints);
   }
   resp.fill_cost_us = best->fill_cost_us;
+  resp.intent_owner = best->intent_owner.load(std::memory_order_relaxed);
   resp.still_valid = best->still_valid.load(std::memory_order_relaxed);
   if (resp.still_valid) {
     resp.tags = std::make_shared<const std::vector<InvalidationTag>>(best->block->tags);
@@ -614,6 +616,14 @@ Status CacheShard::Insert(const InsertRequest& req, uint64_t key_hash, std::stri
   version->fn_id = interner_->Intern(function);
   version->inserted_wallclock = clock_->Now();
   version->owner = slot;
+  // A fresh version for a key whose write intent is held inherits the ownership bit, so
+  // lock-free readers keep seeing the intent across the fill.
+  if (!intents_.empty()) {
+    auto intent_it = intents_.find(req.key);
+    if (intent_it != intents_.end()) {
+      version->intent_owner.store(intent_it->second, std::memory_order_relaxed);
+    }
+  }
 
   lru_.push_front(version);
   version->lru_it = lru_.begin();
@@ -1127,8 +1137,71 @@ void CacheShard::CloseAllStillValid(Timestamp through) {
   }
 }
 
+void CacheShard::StampIntentLocked(KeySlot* slot, uint64_t token) {
+  if (slot == nullptr) {
+    return;
+  }
+  const VersionArray* arr = slot->versions.load(std::memory_order_relaxed);
+  if (arr == nullptr) {
+    return;
+  }
+  for (Version* v : arr->items) {
+    v->intent_owner.store(token, std::memory_order_relaxed);
+  }
+}
+
+IntentResponse CacheShard::AcquireIntent(const IntentRequest& req, uint64_t key_hash) {
+  IntentResponse resp;
+  if (req.txn_id == 0) {
+    resp.status = Status::InvalidArgument("intent needs a nonzero owner token");
+    return resp;
+  }
+  std::unique_lock<InstrumentedSharedMutex> lock(mu_);
+  auto [it, inserted] = intents_.try_emplace(req.key, req.txn_id);
+  if (!inserted && it->second != req.txn_id) {
+    ++stats_.intent_conflicts;
+    resp.holder = it->second;
+    resp.status = Status::Conflict("write intent held by another transaction");
+    return resp;
+  }
+  if (inserted) {
+    StampIntentLocked(table_.Find(key_hash, req.key), req.txn_id);
+    ++stats_.intent_acquires;
+  }
+  resp.status = Status::Ok();
+  return resp;
+}
+
+void CacheShard::ReleaseIntent(const IntentRequest& req, uint64_t key_hash) {
+  std::unique_lock<InstrumentedSharedMutex> lock(mu_);
+  auto it = intents_.find(req.key);
+  if (it == intents_.end() || it->second != req.txn_id) {
+    return;  // idempotent: already released, or cleared wholesale by flush/crash/rejoin
+  }
+  intents_.erase(it);
+  StampIntentLocked(table_.Find(key_hash, req.key), 0);
+  ++stats_.intent_releases;
+}
+
+size_t CacheShard::ClearIntents() {
+  std::unique_lock<InstrumentedSharedMutex> lock(mu_);
+  const size_t dropped = intents_.size();
+  if (dropped == 0) {
+    return 0;
+  }
+  intents_.clear();
+  // Clear every ownership bit in one table walk instead of one Find per dropped intent.
+  table_.ForEach([this](KeySlot* slot) { StampIntentLocked(slot, 0); });
+  stats_.intents_cleared += dropped;
+  return dropped;
+}
+
 void CacheShard::Flush() {
   std::unique_lock<InstrumentedSharedMutex> lock(mu_);
+  // Intents die with the data: advisory state only, so dropping them wholesale is safe (the
+  // owning transactions discover the loss at commit validation, not as staleness).
+  stats_.intents_cleared += intents_.size();
+  intents_.clear();
   // Everything the touch buffers point at dies below; discard the records rather than apply
   // them. Readers that already hold value aliases keep their buffers — the versions (and the
   // blocks they own) are retired through the EBR domain, not freed in place.

@@ -174,6 +174,18 @@ class CacheShard {
   // pending touches so the profile is current as of this call.
   std::unordered_map<std::string, uint64_t> FunctionHits();
 
+  // Write-intent ownership (optimistic read-write transactions). AcquireIntent is
+  // check-and-acquire under the exclusive lock: Ok when the key was free or already held by
+  // this token (idempotent), kConflict (with the holder's token) when another transaction
+  // owns it. Acquisition stamps the key's still-valid version's ownership bit so lock-free
+  // readers see the intent without a map probe; Insert re-stamps a fresh version while its
+  // key's intent is held. ReleaseIntent is idempotent and only honors the owning token.
+  // ClearIntents drops every intent wholesale (flush/crash/rejoin — advisory state, see
+  // IntentRequest) and returns how many were dropped.
+  IntentResponse AcquireIntent(const IntentRequest& req, uint64_t key_hash);
+  void ReleaseIntent(const IntentRequest& req, uint64_t key_hash);
+  size_t ClearIntents();
+
   void Flush();  // drops cached data; keeps invalidation history and stream position
 
   // Snapshot/rejoin support. ExportEntries serializes this shard's resident versions (same
@@ -254,6 +266,12 @@ class CacheShard {
     std::atomic<bool> still_valid{false};
     std::atomic<uint64_t> touch_tick{0};  // node-global LRU ordinal of the last touch
     std::atomic<uint64_t> hit_count{0};
+    // Write-intent ownership bit (ClusterSTM-style): the token of the transaction that
+    // acquired a write intent on this version's key, 0 when free. Stamped/cleared under the
+    // exclusive lock, read lock-free by the zero-copy hit path (relaxed — the bit is advisory
+    // early-conflict detection; serializability comes from commit-time validation, so a torn
+    // or lagging read can only cost an extra abort or a later-detected conflict).
+    std::atomic<uint64_t> intent_owner{0};
 
     // Exclusive-lock-only state.
     WallClock invalidated_wallclock = 0;  // set when truncated
@@ -386,6 +404,8 @@ class CacheShard {
   LookupResponse LookupRead(const LookupRequest& req, uint64_t key_hash);  // EBR, no lock
   LookupResponse LookupExclusive(const LookupRequest& req, uint64_t key_hash);
   void TruncateLocked(Version* v, Timestamp ts, WallClock wallclock);
+  // Stores `token` into the ownership bit of every version published for `slot` (0 clears).
+  void StampIntentLocked(KeySlot* slot, uint64_t token);
   void RegisterTagsLocked(Version* v);
   void UnregisterTagsLocked(Version* v);
   void RemoveVersionLocked(Version* v);
@@ -471,6 +491,11 @@ class CacheShard {
   std::unordered_map<std::string, std::vector<Timestamp>> table_wildcard_history_;
   std::unordered_map<std::string, std::vector<Timestamp>> table_any_history_;
   Timestamp history_floor_ = kTimestampZero;  // history below this has been pruned
+
+  // Write intents held on this shard's keys: key -> owner token. Exclusive-lock-only; the
+  // per-version ownership bits mirror it for lock-free readers. Keyed by the full key (not
+  // the hash) so a hash collision can never make two keys share an intent.
+  std::unordered_map<std::string, uint64_t> intents_;
 
   uint64_t ops_since_sweep_ = 0;
   CacheStats stats_;

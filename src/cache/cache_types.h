@@ -102,6 +102,12 @@ struct LookupResponse {
   // snapshots flow to fillers via InsertResponse). Null on misses, under plain LRU, and for
   // unprofiled functions.
   std::shared_ptr<const AdvisoryHints> hints;
+  // Write-intent owner token stamped on the served version (optimistic read-write
+  // transactions): nonzero when some transaction holds a write intent covering this key —
+  // i.e. it is about to invalidate what was just read. A reader inside an optimistic RW
+  // transaction that sees a foreign token aborts early instead of discovering the conflict
+  // at commit validation. Advisory only: correctness comes from commit-time validation.
+  uint64_t intent_owner = 0;
 
   // Borrow-style accessors for callers that just want to read the payload.
   const std::string& value_ref() const {
@@ -160,6 +166,31 @@ struct InsertResponse {
   std::shared_ptr<const AdvisoryHints> hints;
 };
 
+// WRITE INTENT: check-and-acquire / release of per-key write-intent ownership (optimistic
+// read-write transactions, ClusterSTM-style). A transaction that will invalidate a key
+// acquires an intent on it before writing; a concurrent acquirer or an in-transaction reader
+// that encounters a foreign intent aborts early with backoff instead of paying for a doomed
+// commit. Intents are strictly advisory — serializability comes from commit-time read-set
+// validation in the database — so a node may drop them wholesale on crash, flush, or rejoin
+// without any correctness consequence (only a briefly higher abort rate).
+struct IntentRequest {
+  std::string key;
+  // Fnv1a(key); same hash-once contract as LookupRequest::key_hash (zero = not computed).
+  uint64_t key_hash = 0;
+  // Owner token (the client's database transaction id); nonzero.
+  uint64_t txn_id = 0;
+};
+
+struct IntentResponse {
+  // Ok = acquired/released (idempotent re-acquire by the same owner is Ok too); kConflict =
+  // held by another transaction; kUnavailable = owning node down/joining/unroutable — treated
+  // as vacuous success by callers, since a node serving no reads protects nothing.
+  Status status;
+  uint64_t ring_epoch = 0;  // membership epoch the routing decision was made at
+  std::string served_by;
+  uint64_t holder = 0;  // on kConflict: the token that owns the intent
+};
+
 // The function-name prefix of a cache key built by MakeCacheKey (length-prefixed serde
 // string). Falls back to the whole key when the prefix does not parse (raw keys used by tests
 // and tools), so every key always maps to exactly one "function" for cost accounting.
@@ -172,6 +203,9 @@ inline uint64_t RequestKeyHash(const LookupRequest& req) {
   return req.key_hash != 0 ? req.key_hash : Fnv1a(req.key);
 }
 inline uint64_t RequestKeyHash(const InsertRequest& req) {
+  return req.key_hash != 0 ? req.key_hash : Fnv1a(req.key);
+}
+inline uint64_t RequestKeyHash(const IntentRequest& req) {
   return req.key_hash != 0 ? req.key_hash : Fnv1a(req.key);
 }
 
@@ -290,6 +324,12 @@ struct CacheOptions {
   // relaxed counter per hit; the sketch itself is touched only on the sampled ones.
   // 0 disables hot-key tracking.
   uint64_t hot_key_sample_interval = 16;
+  // With a replication hook attached (CacheServer::set_replication_hook — CacheCluster
+  // installs one per node under EnableAutoReplication), fire it after every N applied
+  // invalidation deliveries, exactly like the snapshot-persistence cadence: replication then
+  // rides the stream traffic itself, with no driver pumping ReplicateHotKeys. 0 disables the
+  // cadence (explicit ReplicateHotKeys calls still work).
+  uint64_t replication_interval_messages = 128;
 };
 
 // Per-function cost/benefit profile surfaced through CacheServer::FunctionStats(). `hits` is
@@ -354,6 +394,13 @@ struct CacheStats {
   // flushing: the snapshot's stream position was adopted and only the residual gap was
   // replayed or conservatively floored.
   uint64_t join_snapshot_restores = 0;
+  // Write-intent traffic (optimistic read-write transactions): successful check-and-acquires,
+  // acquires refused because another transaction held the key, releases, and intents dropped
+  // wholesale by flush/crash/rejoin (advisory state only — see IntentRequest).
+  uint64_t intent_acquires = 0;
+  uint64_t intent_conflicts = 0;
+  uint64_t intent_releases = 0;
+  uint64_t intents_cleared = 0;
 
   // Counter-wise accumulation (fleet aggregation) and difference (measurement-window deltas:
   // end snapshot minus start snapshot). Both walk the single field list below, so a counter
@@ -395,7 +442,9 @@ struct CacheStats {
         &CacheStats::admission_rejects_too_large, &CacheStats::ttl_demotions,
         &CacheStats::reorder_buffered, &CacheStats::nodes_unavailable,
         &CacheStats::join_catchups, &CacheStats::join_flushes,
-        &CacheStats::join_snapshot_restores};
+        &CacheStats::join_snapshot_restores, &CacheStats::intent_acquires,
+        &CacheStats::intent_conflicts, &CacheStats::intent_releases,
+        &CacheStats::intents_cleared};
     for (auto field : fields) {
       fn(this->*field, o.*field);
     }

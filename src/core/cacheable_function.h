@@ -71,6 +71,23 @@ class CacheableFunction {
     // the documented own-writes anomaly), but results are never stored.
     if (client_ == nullptr || !client_->ShouldUseCache()) {
       if (client_ != nullptr) {
+        if (client_->in_optimistic_rw()) {
+          // Optimistic read-write transaction: read through the cache with the read recorded
+          // for commit-time validation. On a miss — or an early intent conflict, which this
+          // interface cannot surface as a status — recompute at the snapshot; the engine
+          // tag-tracks those reads into the same read set, so commit validation protects the
+          // recompute exactly as it would the hit. Results are never stored (our own
+          // uncommitted writes may have dirtied them).
+          client_->CountCacheableCall();
+          auto hit = client_->ReadInTx(MakeCacheKey(name_, args...), &name_);
+          if (hit.ok()) {
+            auto decoded = DeserializeFromString<Ret>(*hit.value());
+            if (decoded.ok()) {
+              return decoded.take();
+            }
+          }
+          return fn_(args...);
+        }
         if (client_->ShouldTryRwCacheRead()) {
           client_->CountCacheableCall();
           auto hit = client_->RwCacheLookup(MakeCacheKey(name_, args...), &name_);

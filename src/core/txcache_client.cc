@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <thread>
 
 namespace txcache {
 
 TxCacheClient::TxCacheClient(Database* db, Pincushion* pincushion, CacheCluster* cache,
                              const Clock* clock, Options options)
-    : db_(db), pincushion_(pincushion), cache_(cache), clock_(clock), options_(options) {}
+    : db_(db), pincushion_(pincushion), cache_(cache), clock_(clock), options_(options) {
+  rw_backoff_state_ = options_.rw_backoff_seed;
+}
 
 TxCacheClient::~TxCacheClient() {
   if (in_transaction()) {
@@ -50,9 +54,181 @@ Status TxCacheClient::BeginRW() {
   return Status::Ok();
 }
 
+Status TxCacheClient::BeginRw() {
+  if (in_transaction()) {
+    return Status::FailedPrecondition("transaction already active");
+  }
+  state_ = TxnState::kOptimisticRw;
+  frames_.clear();
+  // track_reads: queries inside this transaction collect invalidation tags, which ReadInTx
+  // and ExecuteQuery fold into the read set CommitRw validates.
+  db_txn_ = db_->BeginReadWrite(/*track_reads=*/true);
+  auto snap_or = db_->SnapshotOf(*db_txn_);
+  rw_snapshot_ = snap_or.ok() ? snap_or.value() : db_->LatestCommitTs();
+  rw_intent_token_ = *db_txn_;
+  rw_read_set_.clear();
+  rw_intents_.clear();
+  chosen_ts_.reset();
+  ++stats_.rw_txns;
+  ++stats_.rw_optimistic_txns;
+  return Status::Ok();
+}
+
+Result<TxCacheClient::CachedValue> TxCacheClient::ReadInTx(const std::string& key,
+                                                           const std::string* function) {
+  if (state_ != TxnState::kOptimisticRw) {
+    return Status::FailedPrecondition("no optimistic read-write transaction");
+  }
+  LookupRequest req;
+  req.key = key;
+  req.key_hash = Fnv1a(key);  // hash-once, as on the read-only path
+  // Bound to the transaction snapshot: only a version valid at exactly the snapshot can be
+  // consistent with the reads the engine itself will serve this transaction.
+  req.bounds_lo = rw_snapshot_;
+  req.bounds_hi = rw_snapshot_;
+  req.fresh_lo = rw_snapshot_;
+  LookupResponse resp = cache_->Lookup(req);
+  ObserveRingEpoch(resp.ring_epoch);
+  ObserveHints(key, function, resp.served_by, resp.hints);
+  if (resp.hit && resp.intent_owner != 0 && resp.intent_owner != rw_intent_token_) {
+    // A foreign write intent covers this key: its holder is about to invalidate what we just
+    // read, so a commit racing it is likely doomed. Abort early (advisory — the caller
+    // retries with backoff); commit validation would catch the stale read regardless.
+    ++stats_.rw_intent_conflicts;
+    RecordMiss(MissKind::kConsistency);
+    return Status::Conflict("cached read covered by a foreign write intent");
+  }
+  if (!resp.hit) {
+    RecordMiss(resp.miss);
+    return Status::NotFound("cache miss");
+  }
+  // Record the read for commit-time validation. The response's exclusive upper converts to
+  // the last timestamp the value is known unchanged through: a still-valid hit reports the
+  // shard's applied-invalidation position, a closed hit the truncation point (such a read
+  // will fail a writer's validation — correctly, the value IS stale at any later commit —
+  // while a write-free transaction, serializing at its snapshot, passes).
+  ReadValidationEntry entry;
+  entry.tags = resp.tags_ref();
+  entry.valid_through = resp.interval.unbounded() ? rw_snapshot_ : resp.interval.upper - 1;
+  if (!entry.tags.empty()) {
+    rw_read_set_.push_back(std::move(entry));
+  }
+  ++stats_.cache_hits;
+  stats_.saved_recompute_cost_us += resp.fill_cost_us;
+  return std::move(resp.value);  // zero-copy alias, same contract as CacheLookup
+}
+
+Status TxCacheClient::WriteIntent(const std::string& key) {
+  if (state_ != TxnState::kOptimisticRw) {
+    return Status::FailedPrecondition("no optimistic read-write transaction");
+  }
+  IntentRequest req;
+  req.key = key;
+  req.key_hash = Fnv1a(key);
+  req.txn_id = rw_intent_token_;
+  IntentResponse resp = cache_->AcquireIntent(req);
+  ObserveRingEpoch(resp.ring_epoch);
+  if (resp.status.ok()) {
+    rw_intents_.emplace_back(key, req.key_hash);
+    ++stats_.rw_intents_acquired;
+    return Status::Ok();
+  }
+  if (resp.status.code() == StatusCode::kConflict) {
+    ++stats_.rw_intent_conflicts;
+    return resp.status;  // early abort signal: another transaction got there first
+  }
+  // kUnavailable (down/joining/unroutable owner): the node serves no reads, so there is
+  // nothing to protect — vacuous success, nothing to release later.
+  return Status::Ok();
+}
+
+Result<Timestamp> TxCacheClient::CommitRw() {
+  if (state_ != TxnState::kOptimisticRw) {
+    return Status::FailedPrecondition("no optimistic read-write transaction");
+  }
+  auto info_or = db_->CommitValidated(*db_txn_, rw_read_set_);
+  if (!info_or.ok()) {
+    if (info_or.status().code() != StatusCode::kConflict) {
+      // Validation conflicts abort in place inside CommitValidated; anything else (bad txn
+      // id, engine error) still needs the explicit abort.
+      db_->Abort(*db_txn_);
+    }
+    EndTransactionCleanup();  // releases the intents
+    ++stats_.aborts;
+    ++stats_.rw_aborts;
+    return info_or.status();
+  }
+  const Timestamp ts = info_or.value().ts;
+  EndTransactionCleanup();
+  ++stats_.commits;
+  ++stats_.rw_commits;
+  return ts;
+}
+
+Result<Timestamp> TxCacheClient::RunRwTransaction(const std::function<Status()>& body) {
+  for (uint64_t attempt = 0;; ++attempt) {
+    Status begin = BeginRw();
+    if (!begin.ok()) {
+      return begin;
+    }
+    Status body_st = body();
+    Status outcome;
+    if (body_st.ok()) {
+      auto ts_or = CommitRw();
+      if (ts_or.ok()) {
+        return ts_or;
+      }
+      outcome = ts_or.status();
+    } else {
+      Abort();
+      outcome = body_st;
+    }
+    if (outcome.code() != StatusCode::kConflict || attempt + 1 >= options_.rw_max_retries) {
+      return outcome;  // non-retryable failure, or the retry budget is spent
+    }
+    ++stats_.rw_retries;
+    RwBackoff(attempt);
+  }
+}
+
+void TxCacheClient::RwBackoff(uint64_t attempt) {
+  // Capped exponential: attempt k targets base << k, clamped to the cap. Half the delay is
+  // fixed, half jitter from a deterministic SplitMix64 stream — two clients seeded apart
+  // desynchronize their retries, and a seeded test replays the exact delay sequence.
+  const WallClock base = std::max<WallClock>(options_.rw_backoff_base, 1);
+  const uint64_t shift = std::min<uint64_t>(attempt, 20);
+  const WallClock target =
+      std::min(options_.rw_backoff_cap, static_cast<WallClock>(base << shift));
+  rw_backoff_state_ += 0x9e3779b97f4a7c15ull;  // SplitMix64 increment
+  const WallClock half = std::max<WallClock>(target / 2, 1);
+  const WallClock delay =
+      half + static_cast<WallClock>(Mix64(rw_backoff_state_) % static_cast<uint64_t>(half + 1));
+  if (options_.rw_backoff_sleep) {
+    options_.rw_backoff_sleep(delay);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(delay));
+}
+
+void TxCacheClient::ReleaseRwIntents() {
+  for (const auto& [key, hash] : rw_intents_) {
+    IntentRequest req;
+    req.key = key;
+    req.key_hash = hash;
+    req.txn_id = rw_intent_token_;
+    // kUnavailable is fine: a crashed/rejoined owner already dropped its intents wholesale.
+    cache_->ReleaseIntent(req);
+  }
+  rw_intents_.clear();
+}
+
 Result<Timestamp> TxCacheClient::Commit() {
   if (!in_transaction()) {
     return Status::FailedPrecondition("no active transaction");
+  }
+  if (state_ == TxnState::kOptimisticRw) {
+    // A generic Commit on an optimistic transaction must never skip read validation.
+    return CommitRw();
   }
   Timestamp report;
   if (db_txn_.has_value()) {
@@ -88,12 +264,24 @@ Status TxCacheClient::Abort() {
   if (db_txn_.has_value()) {
     db_->Abort(*db_txn_);
   }
+  if (state_ == TxnState::kOptimisticRw) {
+    // An optimistic round abandoned before commit (intent conflict, read conflict surfaced by
+    // the body) is an rw abort just like a failed validation.
+    ++stats_.rw_aborts;
+  }
   EndTransactionCleanup();
   ++stats_.aborts;
   return Status::Ok();
 }
 
 void TxCacheClient::EndTransactionCleanup() {
+  // Intents first (they are keyed by the still-live transaction id): EVERY exit path funnels
+  // through here — commit, validation abort, explicit abort, destructor — so no intent can
+  // outlive its transaction on this client.
+  ReleaseRwIntents();
+  rw_read_set_.clear();
+  rw_snapshot_ = kTimestampZero;
+  rw_intent_token_ = 0;
   if (!acquired_pins_.empty()) {
     pincushion_->Release(acquired_pins_);
     acquired_pins_.clear();
@@ -176,12 +364,22 @@ Result<QueryResult> TxCacheClient::ExecuteQuery(const Query& query) {
   if (!in_transaction()) {
     return Status::FailedPrecondition("no active transaction");
   }
-  if (state_ == TxnState::kReadWrite) {
+  if (state_ == TxnState::kReadWrite || state_ == TxnState::kOptimisticRw) {
     ++stats_.db_queries;
     auto rw_result = db_->Execute(*db_txn_, query);
     if (rw_result.ok()) {
       stats_.db_tuples_examined += rw_result.value().stats.tuples_examined;
       stats_.db_index_probes += rw_result.value().stats.index_probes;
+      if (state_ == TxnState::kOptimisticRw && !rw_result.value().tags.empty()) {
+        // Optimistic transactions validate their engine reads too: the db vouches for the
+        // result through the transaction snapshot (the engine tag-tracked the query under
+        // track_reads; validity intervals stay unbounded because the snapshot sees our own
+        // uncommitted writes).
+        ReadValidationEntry entry;
+        entry.tags = rw_result.value().tags;
+        entry.valid_through = rw_snapshot_;
+        rw_read_set_.push_back(std::move(entry));
+      }
     }
     return rw_result;
   }
@@ -213,7 +411,7 @@ Result<QueryResult> TxCacheClient::ExecuteQuery(const Query& query) {
 }
 
 Status TxCacheClient::Insert(const std::string& table, Row row) {
-  if (state_ != TxnState::kReadWrite) {
+  if (state_ != TxnState::kReadWrite && state_ != TxnState::kOptimisticRw) {
     return Status::FailedPrecondition("writes require a read/write transaction");
   }
   ++stats_.db_writes;
@@ -223,7 +421,7 @@ Status TxCacheClient::Insert(const std::string& table, Row row) {
 Result<size_t> TxCacheClient::Update(const std::string& table, const AccessPath& path,
                                      const PredicatePtr& where,
                                      const std::vector<std::pair<ColumnId, Value>>& sets) {
-  if (state_ != TxnState::kReadWrite) {
+  if (state_ != TxnState::kReadWrite && state_ != TxnState::kOptimisticRw) {
     return Status::FailedPrecondition("writes require a read/write transaction");
   }
   ++stats_.db_writes;
@@ -232,7 +430,7 @@ Result<size_t> TxCacheClient::Update(const std::string& table, const AccessPath&
 
 Result<size_t> TxCacheClient::Delete(const std::string& table, const AccessPath& path,
                                      const PredicatePtr& where) {
-  if (state_ != TxnState::kReadWrite) {
+  if (state_ != TxnState::kReadWrite && state_ != TxnState::kOptimisticRw) {
     return Status::FailedPrecondition("writes require a read/write transaction");
   }
   ++stats_.db_writes;

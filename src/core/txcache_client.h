@@ -21,6 +21,7 @@
 #define SRC_CORE_TXCACHE_CLIENT_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -87,6 +88,18 @@ struct ClientStats {
   // Times a cluster response carried a different membership epoch than the last one observed:
   // the client refreshed its routing view instead of erroring (re-route events under churn).
   uint64_t ring_epoch_changes = 0;
+  // Optimistic read-write transactions (BeginRw/ReadInTx/WriteIntent/CommitRw).
+  // rw_optimistic_txns counts BeginRw calls; rw_commits/rw_aborts split their outcomes
+  // (both also feed the generic commits/aborts totals). rw_retries counts abort-and-retry
+  // rounds taken by RunRwTransaction; rw_intent_conflicts counts early aborts triggered by a
+  // foreign write intent (an acquire refused, or an in-transaction read that saw one);
+  // rw_intents_acquired counts successful check-and-acquires.
+  uint64_t rw_optimistic_txns = 0;
+  uint64_t rw_commits = 0;
+  uint64_t rw_aborts = 0;
+  uint64_t rw_retries = 0;
+  uint64_t rw_intent_conflicts = 0;
+  uint64_t rw_intents_acquired = 0;
 
   // Counter-wise accumulation and difference (fleet aggregation, measurement-window deltas).
   // Kept here so the compiler owns the field list: a counter added to the struct but missed
@@ -116,7 +129,10 @@ struct ClientStats {
         &ClientStats::multi_lookup_batches, &ClientStats::multi_lookup_keys,
         &ClientStats::recompute_cost_us, &ClientStats::saved_recompute_cost_us,
         &ClientStats::inserts_declined, &ClientStats::inserts_declined_too_large,
-        &ClientStats::inserts_unavailable, &ClientStats::ring_epoch_changes};
+        &ClientStats::inserts_unavailable, &ClientStats::ring_epoch_changes,
+        &ClientStats::rw_optimistic_txns, &ClientStats::rw_commits, &ClientStats::rw_aborts,
+        &ClientStats::rw_retries, &ClientStats::rw_intent_conflicts,
+        &ClientStats::rw_intents_acquired};
     for (auto field : fields) {
       fn(this->*field, o.*field);
     }
@@ -159,6 +175,12 @@ struct AtomicClientStats {
   std::atomic<uint64_t> inserts_declined_too_large{0};
   std::atomic<uint64_t> inserts_unavailable{0};
   std::atomic<uint64_t> ring_epoch_changes{0};
+  std::atomic<uint64_t> rw_optimistic_txns{0};
+  std::atomic<uint64_t> rw_commits{0};
+  std::atomic<uint64_t> rw_aborts{0};
+  std::atomic<uint64_t> rw_retries{0};
+  std::atomic<uint64_t> rw_intent_conflicts{0};
+  std::atomic<uint64_t> rw_intents_acquired{0};
 
   ClientStats Snapshot() const {
     ClientStats s;
@@ -192,6 +214,12 @@ struct AtomicClientStats {
         inserts_declined_too_large.load(std::memory_order_relaxed);
     s.inserts_unavailable = inserts_unavailable.load(std::memory_order_relaxed);
     s.ring_epoch_changes = ring_epoch_changes.load(std::memory_order_relaxed);
+    s.rw_optimistic_txns = rw_optimistic_txns.load(std::memory_order_relaxed);
+    s.rw_commits = rw_commits.load(std::memory_order_relaxed);
+    s.rw_aborts = rw_aborts.load(std::memory_order_relaxed);
+    s.rw_retries = rw_retries.load(std::memory_order_relaxed);
+    s.rw_intent_conflicts = rw_intent_conflicts.load(std::memory_order_relaxed);
+    s.rw_intents_acquired = rw_intents_acquired.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -203,7 +231,8 @@ struct AtomicClientStats {
           &inserts_skipped, &db_queries, &db_tuples_examined, &db_index_probes, &db_writes,
           &pins_created, &multi_lookup_batches, &multi_lookup_keys, &recompute_cost_us,
           &saved_recompute_cost_us, &inserts_declined, &inserts_declined_too_large,
-          &inserts_unavailable, &ring_epoch_changes}) {
+          &inserts_unavailable, &ring_epoch_changes, &rw_optimistic_txns, &rw_commits,
+          &rw_aborts, &rw_retries, &rw_intent_conflicts, &rw_intents_acquired}) {
       c->store(0, std::memory_order_relaxed);
     }
   }
@@ -250,6 +279,23 @@ class TxCacheClient {
     WallClock fill_cost_per_query = Millis(0.12);
     WallClock fill_cost_per_tuple = Millis(0.004);
     WallClock fill_cost_per_probe = Millis(0.015);
+
+    // --- optimistic read-write transactions (BeginRw / RunRwTransaction) ---
+    // Abort-and-retry budget of RunRwTransaction: after this many conflict aborts the last
+    // conflict status is returned to the caller instead of retrying again.
+    uint64_t rw_max_retries = 12;
+    // Capped exponential backoff between retries: attempt k waits roughly
+    // min(rw_backoff_cap, rw_backoff_base << k), half fixed and half deterministic jitter
+    // drawn from a SplitMix64 stream seeded with rw_backoff_seed (so a seeded test replays
+    // the exact same delay sequence).
+    WallClock rw_backoff_base = Millis(0.2);
+    WallClock rw_backoff_cap = Millis(10);
+    uint64_t rw_backoff_seed = 0x9e3779b97f4a7c15ull;
+    // Injectable delay hook: called with each computed backoff (µs). When unset the client
+    // sleeps for real (std::this_thread). Tests inject a recorder for determinism; the
+    // simulator injects a virtual-clock advance so backoff costs simulated time, not wall
+    // time.
+    std::function<void(WallClock)> rw_backoff_sleep;
   };
 
   TxCacheClient(Database* db, Pincushion* pincushion, CacheCluster* cache, const Clock* clock)
@@ -272,6 +318,40 @@ class TxCacheClient {
 
   bool in_transaction() const { return state_ != TxnState::kNone; }
   bool in_read_only() const { return state_ == TxnState::kReadOnly; }
+  bool in_optimistic_rw() const { return state_ == TxnState::kOptimisticRw; }
+
+  // A cached payload handed back by the lookup paths. Zero-copy: it aliases the buffer
+  // resident in the cache node (see LookupResponse::value); holding it keeps the bytes alive
+  // and bitwise stable regardless of later evictions or invalidations.
+  using CachedValue = std::shared_ptr<const std::string>;
+
+  // --- optimistic read-write transactions through the cache ---
+  // Unlike BeginRW (which bypasses the cache entirely, §2.2), an optimistic read-write
+  // transaction READS through the cache and validates those reads at commit:
+  //   - ReadInTx serves cached values valid at the transaction's snapshot and records their
+  //     invalidation tags plus the timestamp they are known unchanged through (a still-valid
+  //     hit's applied-invalidation position) into the transaction's read set. Cacheable
+  //     functions called inside the transaction route through it automatically.
+  //   - Database reads (direct or via recomputed cacheable functions) are tag-tracked by the
+  //     engine and recorded with the snapshot as their known-unchanged point.
+  //   - WriteIntent(key) announces that this transaction is about to invalidate `key`:
+  //     check-and-acquire of the advisory per-key intent on the owning cache node. A refused
+  //     acquire (kConflict) — or a ReadInTx that runs into a foreign intent — is an early
+  //     abort signal; correctness never depends on it.
+  //   - CommitRw commits through Database::CommitValidated: every recorded read is checked
+  //     against the engine's exact last-invalidation bookkeeping inside the commit critical
+  //     section, so a committed transaction is strictly serializable at its commit timestamp
+  //     (its snapshot, when it wrote nothing). A stale read aborts with kConflict.
+  //   - Results computed inside an optimistic transaction are never stored in the cache (its
+  //     own uncommitted writes may have dirtied them).
+  // RunRwTransaction wraps the begin/body/commit cycle in the canonical retry loop: on
+  // kConflict (from the body or from commit validation) it aborts, waits a capped-exponential
+  // jittered backoff, and retries up to Options::rw_max_retries times.
+  Status BeginRw();
+  Result<CachedValue> ReadInTx(const std::string& key, const std::string* function = nullptr);
+  Status WriteIntent(const std::string& key);
+  Result<Timestamp> CommitRw();
+  Result<Timestamp> RunRwTransaction(const std::function<Status()>& body);
 
   // --- database access (bare queries/DML inside the current transaction) ---
   Result<QueryResult> ExecuteQuery(const Query& query);
@@ -291,11 +371,6 @@ class TxCacheClient {
   auto MakeCacheable(std::string name, Fn&& fn);
 
   // --- cacheable-call plumbing (used by CacheableFunction; not application-facing) ---
-  // A cached payload handed back by the lookup path. Zero-copy: it aliases the buffer
-  // resident in the cache node (see LookupResponse::value); holding it keeps the bytes alive
-  // and bitwise stable regardless of later evictions or invalidations.
-  using CachedValue = std::shared_ptr<const std::string>;
-
   bool ShouldUseCache() const { return state_ == TxnState::kReadOnly && options_.mode != ClientMode::kNoCache; }
   bool ShouldTryRwCacheRead() const {
     return state_ == TxnState::kReadWrite && options_.allow_rw_cache_reads &&
@@ -360,7 +435,12 @@ class TxCacheClient {
   uint64_t ring_epoch() const { return ring_epoch_.load(std::memory_order_relaxed); }
 
  private:
-  enum class TxnState : uint8_t { kNone, kReadOnly, kReadWrite };
+  enum class TxnState : uint8_t {
+    kNone,
+    kReadOnly,
+    kReadWrite,     // legacy BEGIN-RW: bypasses the cache entirely (§2.2)
+    kOptimisticRw,  // BeginRw: reads through the cache, commit-time read validation
+  };
 
   // Makes sure the pin set holds at least one concrete pin (pinning a fresh snapshot if the
   // pincushion had nothing fresh enough), so cache lookups have usable bounds (§5.4).
@@ -376,6 +456,13 @@ class TxCacheClient {
   PinInfo PinNewSnapshot();
   void PropagateToFrames(const Interval& validity, const std::vector<InvalidationTag>& tags);
   void EndTransactionCleanup();
+  // Releases every intent this optimistic transaction acquired (no-op otherwise). Safe on any
+  // path — commit, abort, destructor — and against crashed owners, whose intents were already
+  // dropped wholesale (release answers kUnavailable, a vacuous success).
+  void ReleaseRwIntents();
+  // Sleeps (or invokes Options::rw_backoff_sleep with) the capped-exponential jittered delay
+  // for retry round `attempt`.
+  void RwBackoff(uint64_t attempt);
 
   Database* db_;
   Pincushion* pincushion_;
@@ -390,6 +477,17 @@ class TxCacheClient {
   std::optional<TxnId> db_txn_;
   std::optional<Timestamp> chosen_ts_;
   std::vector<Frame> frames_;
+
+  // Optimistic read-write transaction state (kOptimisticRw only). The read set feeds
+  // Database::CommitValidated; rw_intents_ remembers the (key, hash) pairs whose advisory
+  // intents this transaction acquired, released on every exit path under rw_intent_token_
+  // (the transaction id the intents were stamped with). rw_backoff_state_ is the SplitMix64
+  // jitter stream, seeded once from Options::rw_backoff_seed.
+  Timestamp rw_snapshot_ = kTimestampZero;
+  std::vector<ReadValidationEntry> rw_read_set_;
+  std::vector<std::pair<std::string, uint64_t>> rw_intents_;
+  uint64_t rw_intent_token_ = 0;
+  uint64_t rw_backoff_state_ = 0;
 
   AtomicClientStats stats_;
   std::atomic<uint64_t> ring_epoch_{0};  // newest membership epoch observed (0 = none yet)

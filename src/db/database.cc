@@ -114,12 +114,13 @@ Result<Database::ActiveTxn*> Database::GetTxnLocked(TxnId txn) {
   return &it->second;
 }
 
-TxnId Database::BeginReadWrite() {
+TxnId Database::BeginReadWrite(bool track_reads) {
   std::lock_guard<std::mutex> lock(mu_);
   TxnId id = clog_.Begin(clog_.latest_commit_ts(), /*read_only=*/false);
   ActiveTxn& t = active_[id];
   t.id = id;
   t.read_only = false;
+  t.track_reads = track_reads;
   t.snapshot = clog_.latest_commit_ts();
   return id;
 }
@@ -152,29 +153,32 @@ Result<Timestamp> Database::SnapshotOf(TxnId txn) const {
 }
 
 Result<CommitInfo> Database::Commit(TxnId txn) {
-  // Publication happens while mu_ is held so that invalidation-stream sequence order always
-  // matches commit-timestamp order — the invariant that lets cache nodes use "last invalidation
-  // applied" as the effective upper bound of still-valid entries (§4.2).
   std::lock_guard<std::mutex> lock(mu_);
   auto txn_or = GetTxnLocked(txn);
   if (!txn_or.ok()) {
     return txn_or.status();
   }
-  ActiveTxn& t = *txn_or.value();
+  return CommitLocked(*txn_or.value());
+}
+
+Result<CommitInfo> Database::CommitLocked(ActiveTxn& t) {
+  // Publication happens while mu_ is held so that invalidation-stream sequence order always
+  // matches commit-timestamp order — the invariant that lets cache nodes use "last invalidation
+  // applied" as the effective upper bound of still-valid entries (§4.2).
   CommitInfo info;
   const bool wrote = !t.created.empty() || !t.stamped.empty();
   if (!wrote) {
     // Read-only (or write-free) transactions do not consume a commit timestamp; they "ran at"
     // their snapshot.
-    clog_.FinishReadOnly(txn);
+    clog_.FinishReadOnly(t.id);
     info.ts = t.snapshot;
     info.wallclock = clock_->Now();
-    active_.erase(txn);
+    active_.erase(t.id);
     clog_.AdvanceLiveScanFloor();
     ++stats_.commits;
     return info;
   }
-  info.ts = clog_.Commit(txn, clock_->Now());
+  info.ts = clog_.Commit(t.id, clock_->Now());
   info.wallclock = clock_->Now();
   ++stats_.commits;
 
@@ -199,13 +203,71 @@ Result<CommitInfo> Database::Commit(TxnId txn) {
     if (!msg.tags.empty()) {
       ++stats_.invalidation_messages;
     }
+    // Fold the message into the commit-validation maps in the same critical section that
+    // orders the stream: later CommitValidated calls see exactly the invalidations that
+    // committed before them.
+    for (const InvalidationTag& tag : msg.tags) {
+      if (tag.wildcard) {
+        last_wildcard_invalidation_[tag.table] = info.ts;
+      } else {
+        last_concrete_invalidation_[tag] = info.ts;
+      }
+      last_table_invalidation_[tag.table] = info.ts;
+    }
   }
-  active_.erase(txn);
+  active_.erase(t.id);
   clog_.AdvanceLiveScanFloor();
   if (bus_ != nullptr && !msg.tags.empty()) {
     bus_->Publish(std::move(msg));
   }
   return info;
+}
+
+Timestamp Database::LastInvalidationForLocked(const InvalidationTag& tag) const {
+  if (tag.wildcard) {
+    // A scan read depends on the whole table: any invalidation there conflicts.
+    auto it = last_table_invalidation_.find(tag.table);
+    return it == last_table_invalidation_.end() ? kTimestampZero : it->second;
+  }
+  Timestamp last = kTimestampZero;
+  if (auto it = last_concrete_invalidation_.find(tag); it != last_concrete_invalidation_.end()) {
+    last = it->second;
+  }
+  if (auto it = last_wildcard_invalidation_.find(tag.table);
+      it != last_wildcard_invalidation_.end()) {
+    last = std::max(last, it->second);
+  }
+  return last;
+}
+
+Result<CommitInfo> Database::CommitValidated(TxnId txn,
+                                             const std::vector<ReadValidationEntry>& reads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto txn_or = GetTxnLocked(txn);
+  if (!txn_or.ok()) {
+    return txn_or.status();
+  }
+  ActiveTxn& t = *txn_or.value();
+  // Serialization point: a writer gets a fresh commit timestamp greater than every published
+  // invalidation, so any match after valid_through is a conflict. A write-free transaction
+  // serializes at its snapshot, so only matches in (valid_through, snapshot] conflict.
+  const bool wrote = !t.created.empty() || !t.stamped.empty();
+  for (const ReadValidationEntry& read : reads) {
+    for (const InvalidationTag& tag : read.tags) {
+      const Timestamp last = LastInvalidationForLocked(tag);
+      if (last > read.valid_through && (wrote || last <= t.snapshot)) {
+        UndoLocked(t);
+        clog_.Abort(t.id);
+        active_.erase(t.id);
+        clog_.AdvanceLiveScanFloor();
+        ++stats_.aborts;
+        ++stats_.validation_conflicts;
+        return Status::Conflict("read invalidated before commit: " + tag.ToString());
+      }
+    }
+  }
+  ++stats_.validated_commits;
+  return CommitLocked(t);
 }
 
 Status Database::Abort(TxnId txn) {
@@ -332,6 +394,10 @@ Result<QueryResult> Database::ExecuteLocked(ActiveTxn& txn, const Query& query) 
     return Status::InvalidArgument("no such table: " + query.from.table);
   }
   const bool track = txn.read_only && options_.track_validity;
+  // Optimistic read-write transactions collect tags too (for commit-time read validation) but
+  // never validity intervals: an RW snapshot sees its own uncommitted writes, which have no
+  // committed lifetime to intersect.
+  const bool track_tags = track || (txn.track_reads && options_.track_validity);
   ValidityTracker tracker(&clog_, txn.snapshot, track);
   // Collected as a flat vector and deduplicated once at the end: queries touch few distinct
   // tags, and this path must stay cheap enough that tracking is "not observable" (§8.1).
@@ -339,7 +405,7 @@ Result<QueryResult> Database::ExecuteLocked(ActiveTxn& txn, const Query& query) 
   QueryResult result;
   QueryStats& qstats = result.stats;
 
-  if (track) {
+  if (track_tags) {
     AddAccessTag(outer->schema.name, query.from, &tags);
   }
 
@@ -403,7 +469,7 @@ Result<QueryResult> Database::ExecuteLocked(ActiveTxn& txn, const Query& query) 
         }
         key.push_back(row[c]);
       }
-      if (track) {
+      if (track_tags) {
         // Tag the probe even when the bucket is empty: a negative result depends on the
         // continued absence of matching tuples.
         tags.push_back(InvalidationTag::Concrete(inner->schema.name, index->schema().name,

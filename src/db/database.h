@@ -59,6 +59,17 @@ struct PinnedSnapshot {
   WallClock wallclock = 0;  // when the snapshot was pinned (database-reported)
 };
 
+// One read an optimistic read-write transaction performed outside the engine (through the
+// cache, or recomputed at its snapshot): the invalidation tags that cover the read, and the
+// last timestamp at which the result is known unchanged — a still-valid cache hit reports the
+// shard's applied-invalidation position; a recompute reports the transaction snapshot. Commit
+// validation (CommitValidated) accepts the read iff no matching invalidation committed after
+// valid_through and at or before the transaction's serialization point.
+struct ReadValidationEntry {
+  std::vector<InvalidationTag> tags;
+  Timestamp valid_through = kTimestampZero;
+};
+
 struct DatabaseStats {
   uint64_t queries = 0;
   uint64_t tuples_examined = 0;
@@ -68,6 +79,8 @@ struct DatabaseStats {
   uint64_t commits = 0;
   uint64_t aborts = 0;
   uint64_t conflicts = 0;
+  uint64_t validated_commits = 0;    // CommitValidated calls that committed
+  uint64_t validation_conflicts = 0; // CommitValidated calls aborted by read-set validation
   uint64_t invalidation_messages = 0;
   uint64_t invalidation_tags = 0;
   uint64_t wildcard_collapses = 0;
@@ -100,11 +113,25 @@ class Database {
   std::vector<IndexSchema> ListIndexes(const std::string& table) const;
 
   // --- transactions ---
-  TxnId BeginReadWrite();
+  // With track_reads set, queries in this read-write transaction also collect invalidation
+  // tags (validity intervals stay unbounded — an RW snapshot sees its own uncommitted writes,
+  // which have no committed lifetime to intersect). Used by optimistic clients that feed the
+  // tags into CommitValidated read sets.
+  TxnId BeginReadWrite(bool track_reads = false);
   // Begins a read-only transaction. With no snapshot, runs on the latest committed state. With
   // a snapshot (BEGIN SNAPSHOTID), the snapshot must still be retained (pinned or latest).
   Result<TxnId> BeginReadOnly(std::optional<Timestamp> snapshot = std::nullopt);
   Result<CommitInfo> Commit(TxnId txn);
+  // Commit with optimistic read-set validation, all inside the engine's single commit critical
+  // section: every entry is checked against the last invalidation matching its tags BEFORE the
+  // commit timestamp is assigned, so a read that passes is unchanged through the transaction's
+  // serialization point (the fresh commit timestamp for writers; the snapshot for write-free
+  // transactions). Any stale read aborts the transaction in place — writes are undone, nothing
+  // is published — and returns kConflict; the caller retries with a new transaction. Because
+  // commit order equals invalidation order under mu_, success is strict serializability at the
+  // returned timestamp. A transaction's own writes never conflict with its reads (the maps are
+  // consulted before its tags fold in).
+  Result<CommitInfo> CommitValidated(TxnId txn, const std::vector<ReadValidationEntry>& reads);
   Status Abort(TxnId txn);
   Result<Timestamp> SnapshotOf(TxnId txn) const;
 
@@ -154,6 +181,7 @@ class Database {
   struct ActiveTxn {
     TxnId id = kInvalidTxnId;
     bool read_only = false;
+    bool track_reads = false;  // collect tags on queries (optimistic RW; see BeginReadWrite)
     Timestamp snapshot = kTimestampZero;
     // Undo log: versions created (to ignore after abort) and xmax stamps placed (to clear).
     std::vector<std::pair<Table*, TupleId>> created;
@@ -178,6 +206,11 @@ class Database {
   Status CollectTargetsLocked(ActiveTxn& txn, Table& table, const AccessPath& path,
                               const PredicatePtr& where, std::vector<TupleId>* out,
                               QueryStats* stats);
+  Result<CommitInfo> CommitLocked(ActiveTxn& t);
+  // Last invalidation timestamp matching one read tag: a concrete tag is hit by the same
+  // concrete tag or its table's wildcard; a wildcard (scan) read is hit by anything in the
+  // table. Mirrors the shard's three-way history match, last-timestamp-only.
+  Timestamp LastInvalidationForLocked(const InvalidationTag& tag) const;
   Status CheckWriteConflict(const TupleVersion& v, TxnId self) const;
   Status CheckUniqueLocked(Table& table, const Row& row, TxnId self,
                            std::optional<TupleId> skip_tuple) const;
@@ -192,6 +225,15 @@ class Database {
   std::unordered_map<TxnId, ActiveTxn> active_;
   InvalidationBus* bus_ = nullptr;
   DatabaseStats stats_;
+
+  // Commit-time read validation state: the last commit timestamp whose invalidation message
+  // carried each concrete tag, each table's wildcard, and anything in each table at all.
+  // Updated inside Commit while assembling the message (same critical section that orders the
+  // stream), so CommitValidated's checks are exact with respect to the total commit order —
+  // immune to bus delivery lag.
+  std::unordered_map<InvalidationTag, Timestamp, TagHasher> last_concrete_invalidation_;
+  std::unordered_map<std::string, Timestamp> last_wildcard_invalidation_;
+  std::unordered_map<std::string, Timestamp> last_table_invalidation_;
 };
 
 }  // namespace txcache

@@ -51,6 +51,23 @@ RubisApp::RubisApp(TxCacheClient* client, RubisDataset* dataset, const Clock* cl
       "rubis.page.about_me", [this](int64_t user) { return AboutMePageImpl(user); });
 }
 
+int64_t RubisApp::FillLimit(const std::optional<AdvisoryHints>& hints) {
+  if (!hints.has_value() || hints->decline_rate < 0.5) {
+    return kPageSize;
+  }
+  // Severe decline (≥ 3 of 4 fills refused): quarter page; moderate: half page. Never below
+  // one row — the page must stay renderable.
+  const int64_t shrunk = hints->decline_rate >= 0.75 ? kPageSize / 4 : kPageSize / 2;
+  return std::max<int64_t>(shrunk, 1);
+}
+
+Status RubisApp::AnnounceIntent(const std::string& key) {
+  if (!client_->in_optimistic_rw()) {
+    return Status::Ok();
+  }
+  return client_->WriteIntent(key);
+}
+
 std::vector<Row> RubisApp::FetchItemRow(const char* table, const char* index, int64_t id) {
   auto result =
       client_->ExecuteQuery(Query::From(AccessPath::IndexEq(table, index, Row{Value(id)})));
@@ -118,10 +135,13 @@ int64_t RubisApp::AuthUserImpl(const std::string& nickname) {
 }
 
 std::vector<int64_t> RubisApp::CategoryItemsImpl(int64_t category, int64_t page) {
+  // Fill size adapts to the fleet's advisory hints; the page offset keeps the full stride so
+  // pagination never overlaps regardless of the downgrade.
+  const int64_t limit = FillLimit(category_items.hints());
   auto result = client_->ExecuteQuery(
       Query::From(AccessPath::IndexEq(kItems, kItemsByCategory, Row{Value(category)}))
           .SortBy(ItemsCol::kEndDate)
-          .Limit(kPageSize, static_cast<size_t>(page) * kPageSize)
+          .Limit(limit, static_cast<size_t>(page) * kPageSize)
           .Project({ItemsCol::kId}));
   std::vector<int64_t> ids;
   if (result.ok()) {
@@ -136,11 +156,12 @@ std::vector<int64_t> RubisApp::RegionCategoryItemsImpl(int64_t region, int64_t c
                                                        int64_t page) {
   // Uses the item_reg_cat table the paper adds: one composite-index lookup instead of a
   // sequential scan over active auctions joined with users (§7.1).
+  const int64_t limit = FillLimit(region_category_items.hints());
   auto result = client_->ExecuteQuery(
       Query::From(AccessPath::IndexEq(kItemRegCat, kItemRegCatByRegionCat,
                                       Row{Value(region), Value(category)}))
           .SortBy(ItemRegCatCol::kItemId)
-          .Limit(kPageSize, static_cast<size_t>(page) * kPageSize)
+          .Limit(limit, static_cast<size_t>(page) * kPageSize)
           .Project({ItemRegCatCol::kItemId}));
   std::vector<int64_t> ids;
   if (result.ok()) {
@@ -158,7 +179,7 @@ std::vector<BidInfo> RubisApp::ItemBidsImpl(int64_t item) {
       Query::From(AccessPath::IndexEq(kBids, kBidsByItem, Row{Value(item)}))
           .Join(JoinStep{kUsers, kUsersPk, {BidsCol::kUserId}, nullptr})
           .SortBy(BidsCol::kDate, /*descending=*/true)
-          .Limit(kPageSize)
+          .Limit(static_cast<size_t>(FillLimit(item_bids.hints())))
           .Project({BidsCol::kUserId, kNickCol, BidsCol::kBid, BidsCol::kDate}));
   std::vector<BidInfo> bids;
   if (result.ok()) {
@@ -338,6 +359,15 @@ Page RubisApp::AboutMePageImpl(int64_t user) {
 }
 
 Status RubisApp::StoreBid(int64_t user, int64_t item, double amount) {
+  // Announce what this bid will invalidate before doing any work: a refused intent aborts
+  // the optimistic transaction here, before the reads and writes are paid for.
+  Status intent = AnnounceIntent(MakeCacheKey("rubis.get_item", item));
+  if (intent.ok()) {
+    intent = AnnounceIntent(MakeCacheKey("rubis.page.view_item", item));
+  }
+  if (!intent.ok()) {
+    return intent;
+  }
   auto current = client_->ExecuteQuery(
       Query::From(AccessPath::IndexEq(kItems, kItemsPk, Row{Value(item)}))
           .Project({ItemsCol::kNbOfBids, ItemsCol::kMaxBid}));
@@ -364,6 +394,13 @@ Status RubisApp::StoreBid(int64_t user, int64_t item, double amount) {
 }
 
 Status RubisApp::StoreBuyNow(int64_t user, int64_t item, int64_t qty) {
+  Status intent = AnnounceIntent(MakeCacheKey("rubis.get_item", item));
+  if (intent.ok()) {
+    intent = AnnounceIntent(MakeCacheKey("rubis.page.view_item", item));
+  }
+  if (!intent.ok()) {
+    return intent;
+  }
   auto current = client_->ExecuteQuery(
       Query::From(AccessPath::IndexEq(kItems, kItemsPk, Row{Value(item)})));
   if (!current.ok()) {
@@ -406,6 +443,13 @@ Status RubisApp::StoreBuyNow(int64_t user, int64_t item, int64_t qty) {
 
 Status RubisApp::StoreComment(int64_t from_user, int64_t to_user, int64_t item, int64_t rating,
                               const std::string& text) {
+  Status intent = AnnounceIntent(MakeCacheKey("rubis.get_user", to_user));
+  if (intent.ok()) {
+    intent = AnnounceIntent(MakeCacheKey("rubis.page.view_user", to_user));
+  }
+  if (!intent.ok()) {
+    return intent;
+  }
   auto current = client_->ExecuteQuery(
       Query::From(AccessPath::IndexEq(kUsers, kUsersPk, Row{Value(to_user)}))
           .Project({UsersCol::kRating}));

@@ -55,6 +55,18 @@ class RubisApp {
   TxCacheClient* client() { return client_; }
 
  private:
+  // Hint-driven fill pacing (automatic management feedback): when the fleet's advisory hints
+  // say a listing function's fills are being declined, shrink the page the fill computes —
+  // there is no point paying for rows the cache refuses to store. Returns the effective row
+  // limit for one listing fill; kPageSize when the hints raise no flag.
+  static int64_t FillLimit(const std::optional<AdvisoryHints>& hints);
+
+  // Announces an advisory write intent on `key` when running inside an optimistic read-write
+  // transaction (no-op otherwise): the RW operations below call it with the cache keys their
+  // writes are about to invalidate, so racing optimistic readers abort early instead of at
+  // commit validation. A kConflict return is an early-abort signal for the caller.
+  Status AnnounceIntent(const std::string& key);
+
   // Uncached implementations (wrapped by the cacheable functions above).
   ItemInfo GetItemImpl(int64_t id);
   UserInfo GetUserImpl(int64_t id);

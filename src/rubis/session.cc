@@ -151,10 +151,34 @@ Status RubisSession::RunReadOnly(Interaction interaction) {
 }
 
 Status RubisSession::RunReadWrite(Interaction interaction) {
+  if (optimistic_writes_) {
+    // Optimistic path: the body re-runs on each retry round (fresh reads at a fresh
+    // snapshot, fresh random picks — exactly how the emulated user would re-submit).
+    const uint64_t retries_before = client_->stats().rw_retries;
+    auto ts = client_->RunRwTransaction([&] { return ReadWriteBody(interaction); });
+    stats_.rw_retries += client_->stats().rw_retries - retries_before;
+    if (!ts.ok()) {
+      if (ts.status().code() == StatusCode::kConflict) {
+        ++stats_.rw_conflicts;
+      }
+      return ts.status();
+    }
+    return Status::Ok();
+  }
   Status st = client_->BeginRW();
   if (!st.ok()) {
     return st;
   }
+  Status op = ReadWriteBody(interaction);
+  if (!op.ok()) {
+    client_->Abort();
+    return op;
+  }
+  auto commit = client_->Commit();
+  return commit.ok() ? Status::Ok() : commit.status();
+}
+
+Status RubisSession::ReadWriteBody(Interaction interaction) {
   Status op = Status::Ok();
   switch (interaction) {
     case Interaction::kRegisterUser: {
@@ -184,12 +208,7 @@ Status RubisSession::RunReadWrite(Interaction interaction) {
     default:
       break;
   }
-  if (!op.ok()) {
-    client_->Abort();
-    return op;
-  }
-  auto commit = client_->Commit();
-  return commit.ok() ? Status::Ok() : commit.status();
+  return op;
 }
 
 }  // namespace txcache::rubis

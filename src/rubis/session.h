@@ -49,6 +49,10 @@ struct SessionStats {
   uint64_t failed = 0;
   uint64_t read_only = 0;
   uint64_t read_write = 0;
+  // Optimistic-writes mode only: abort-and-retry rounds taken inside RunRwTransaction, and
+  // interactions that ultimately failed with a serialization conflict (retry budget spent).
+  uint64_t rw_retries = 0;
+  uint64_t rw_conflicts = 0;
 };
 
 class RubisSession {
@@ -67,9 +71,18 @@ class RubisSession {
   const SessionStats& stats() const { return stats_; }
   TxCacheClient* client() { return client_; }
 
+  // Routes read/write interactions through optimistic transactions (BeginRw/RunRwTransaction):
+  // reads inside the interaction are served from the cache and validated at commit, writes
+  // announce advisory intents, and serialization conflicts abort-and-retry with backoff. Off
+  // by default — the legacy BEGIN-RW bypass (§2.2) stays the baseline behavior.
+  void set_optimistic_writes(bool on) { optimistic_writes_ = on; }
+  bool optimistic_writes() const { return optimistic_writes_; }
+
  private:
   Status RunReadOnly(Interaction interaction);
   Status RunReadWrite(Interaction interaction);
+  // The interaction's actual operations, run inside whichever transaction RunReadWrite chose.
+  Status ReadWriteBody(Interaction interaction);
 
   TxCacheClient* client_;
   RubisDataset* dataset_;
@@ -77,6 +90,7 @@ class RubisSession {
   Rng rng_;
   WeightedChoice mix_;
   int64_t user_id_;  // the logged-in user this session acts as
+  bool optimistic_writes_ = false;
   SessionStats stats_;
 };
 

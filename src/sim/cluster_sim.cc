@@ -77,13 +77,21 @@ Result<SimResult> ClusterSim::Run() {
   client_options.fill_cost_per_query = config_.cost.db_query_base;
   client_options.fill_cost_per_tuple = config_.cost.db_per_tuple;
   client_options.fill_cost_per_probe = config_.cost.db_per_probe;
+  if (config_.optimistic_writes) {
+    // Backoff must cost simulated time, not wall time: the hook accumulates the delay and
+    // RunClientInteraction adds it to the interaction's response.
+    client_options.rw_backoff_sleep = [this](WallClock delay) { rw_backoff_accum_ += delay; };
+  }
   clients_.reserve(config_.num_clients);
   sessions_.reserve(config_.num_clients);
   for (size_t i = 0; i < config_.num_clients; ++i) {
+    // Per-client backoff seeds keep concurrent retry schedules desynchronized.
+    client_options.rw_backoff_seed = config_.seed * 0x9e3779b97f4a7c15ull + i;
     clients_.push_back(std::make_unique<TxCacheClient>(db_.get(), pincushion_.get(), &cluster_,
                                                        clock_.get(), client_options));
     sessions_.push_back(std::make_unique<rubis::RubisSession>(
         clients_.back().get(), dataset_.get(), clock_.get(), config_.seed * 7919 + i));
+    sessions_.back()->set_optimistic_writes(config_.optimistic_writes);
   }
   if (config_.bulk_fraction > 0.0) {
     // Bulk-attachment wrappers, one per client and size class. Each calls a real (nested)
@@ -264,6 +272,9 @@ Result<SimResult> ClusterSim::Run() {
   result.replica_pushes = cluster_.replica_pushes();
   result.replica_redirects = cluster_.replica_redirects();
   result.join_snapshot_restores = result.cache.join_snapshot_restores;
+  result.rw_commits = result.clients.rw_commits;
+  result.rw_aborts = result.clients.rw_aborts;
+  result.rw_retries = result.clients.rw_retries;
   return result;
 }
 
@@ -324,6 +335,7 @@ void ClusterSim::RunClientInteraction(size_t idx) {
   rubis::RubisSession* session = sessions_[idx].get();
 
   const ClientStats before = client->stats();
+  const WallClock backoff_before = rw_backoff_accum_;
   rubis::Interaction interaction = session->Next();
   const Status st = session->Run(interaction);
   if (config_.bulk_fraction > 0.0 && rng_->UniformReal(0, 1) < config_.bulk_fraction) {
@@ -409,6 +421,9 @@ void ClusterSim::RunClientInteraction(size_t idx) {
       t = db_disk_.Serve(t, disk_cost);
     }
   }
+  // Optimistic retry backoff: pure waiting — it lengthens this interaction's response but
+  // occupies no resource.
+  t += rw_backoff_accum_ - backoff_before;
 
   if (measuring_) {
     if (st.ok()) {

@@ -52,6 +52,11 @@ struct SimConfig {
   WallClock think_time_mean = Seconds(0.7);
   WallClock staleness = Seconds(30);
   ClientMode mode = ClientMode::kConsistent;
+  // Route the sessions' read/write interactions through optimistic transactions
+  // (BeginRw/RunRwTransaction: cache reads with commit-time validation, advisory write
+  // intents, abort-and-retry with backoff) instead of the legacy BEGIN-RW cache bypass.
+  // Retry backoff is charged to the interaction's response time on the simulated clock.
+  bool optimistic_writes = false;
   // Capacity management policy of the cache fleet (automatic management). Cost-aware is the
   // default, matching CacheOptions; benchmarks flip this to compare against plain LRU.
   EvictionPolicy cache_policy = EvictionPolicy::kCostAware;
@@ -151,6 +156,11 @@ struct SimResult {
   uint64_t replica_pushes = 0;
   uint64_t replica_redirects = 0;
   uint64_t join_snapshot_restores = 0;
+  // Optimistic read/write transactions (measure-window deltas; nonzero only with
+  // SimConfig::optimistic_writes): commits, aborts, and abort-and-retry rounds.
+  uint64_t rw_commits = 0;
+  uint64_t rw_aborts = 0;
+  uint64_t rw_retries = 0;
 };
 
 class ClusterSim {
@@ -215,6 +225,11 @@ class ClusterSim {
   // Bulk-value overlay.
   uint64_t bulk_calls_ = 0;
   uint64_t bulk_downgrades_ = 0;
+
+  // Optimistic-writes backoff: total delay the clients' rw_backoff_sleep hook asked for.
+  // RunClientInteraction charges the per-interaction delta to that interaction's response
+  // time (the sim is single-threaded, so a simple accumulator is race-free).
+  WallClock rw_backoff_accum_ = 0;
 
   // Flash-crowd overlay.
   uint64_t flash_crowd_calls_ = 0;

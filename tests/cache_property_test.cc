@@ -7,16 +7,26 @@
 //   * under membership churn (node kill/rejoin, ring resize) racing inserts and invalidations,
 //     no lookup ever returns a version whose validity interval was invalidated while its node
 //     was down — the no-stale-read analogue of EvictionNeverResurrectsOrWidensValidity.
+//   * two optimistic writer transactions racing readers, invalidations, cache flushes and
+//     crash/rejoin churn stay serializable: every committed transaction's reads are exact
+//     against a model applied in commit order, aborted transactions leave no trace, and no
+//     write intent survives any exit path.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "src/bus/bus.h"
 #include "src/cache/cache_cluster.h"
 #include "src/cache/cache_server.h"
+#include "src/core/cacheable_function.h"
+#include "src/core/txcache_client.h"
 #include "src/util/clock.h"
 #include "src/util/rng.h"
+#include "tests/test_support.h"
 
 namespace txcache {
 namespace {
@@ -496,6 +506,208 @@ TEST_P(CachePropertyTest, ChurnNeverServesVersionsInvalidatedWhileDown) {
     ASSERT_NE(it, model.end());
     ASSERT_LE(resp.interval.upper, it->second.upper);
   }
+}
+
+TEST_P(CachePropertyTest, RacingWritersStaySerializable) {
+  // Whole-system serializability under model-checked interleavings: two optimistic read-write
+  // transactions advance step by step (begin / cached read / write intent / write / commit or
+  // abort) interleaved with read-only transactions, the invalidation traffic their commits
+  // generate, cache flushes, node crash/rejoin and ring resizes. The oracle applies committed
+  // effects in commit order (the single-threaded step order IS the commit order):
+  //   * a committed writer must have read exactly the model's current value — a stale cached
+  //     read surviving commit validation would surface here as a lost update;
+  //   * a committed write-free transaction and every read-only transaction must have read the
+  //     model's value at their reported serialization timestamp;
+  //   * an aborted transaction contributes nothing: the final database state equals the model,
+  //     and no write intent survives any exit path or churn event.
+  ManualClock clock;
+  clock.Set(Seconds(100));
+  Database db(&clock);
+  InvalidationBus bus;
+  db.set_invalidation_bus(&bus);
+  CacheServer::Options copts;
+  copts.num_shards = 4;
+  CacheServer n0("n0", &clock, copts), n1("n1", &clock, copts);
+  CacheServer* nodes[2] = {&n0, &n1};
+  bus.Subscribe(&n0);
+  bus.Subscribe(&n1);
+  CacheCluster cluster;
+  cluster.AddNode(&n0);
+  cluster.AddNode(&n1);
+  Pincushion pincushion(&db, &clock);
+  bool down[2] = {false, false};
+  bool in_ring[2] = {true, true};
+  Rng rng(GetParam() ^ 0x0ddba11);
+
+  constexpr int64_t kNumAccounts = 6;
+  testing::CreateAccountsTable(&db);
+  // Committed history per account: (commit ts, balance), appended in commit order.
+  std::map<int64_t, std::vector<std::pair<Timestamp, int64_t>>> history;
+  for (int64_t id = 1; id <= kNumAccounts; ++id) {
+    const Timestamp ts = testing::InsertAccount(&db, id, "u" + std::to_string(id), 1000);
+    history[id] = {{ts, 1000}};
+  }
+  auto value_at = [&history](int64_t id, Timestamp ts) {
+    int64_t v = -1;
+    for (const auto& [cts, bal] : history[id]) {
+      if (cts <= ts) {
+        v = bal;
+      }
+    }
+    return v;
+  };
+  auto latest = [&history](int64_t id) { return history[id].back().second; };
+
+  TxCacheClient::Options wopts;
+  wopts.rw_backoff_sleep = [](WallClock) {};
+  auto wa = std::make_unique<TxCacheClient>(&db, &pincushion, &cluster, &clock, wopts);
+  auto wb = std::make_unique<TxCacheClient>(&db, &pincushion, &cluster, &clock, wopts);
+  auto rd = std::make_unique<TxCacheClient>(&db, &pincushion, &cluster, &clock);
+  TxCacheClient* writers[2] = {wa.get(), wb.get()};
+  auto make_balance = [](TxCacheClient* c) {
+    return c->MakeCacheable<int64_t, int64_t>("balance", [c](int64_t id) -> int64_t {
+      auto r = c->ExecuteQuery(testing::AccountById(id));
+      return r.ok() && !r.value().rows.empty()
+                 ? r.value().rows[0][testing::AccountsCol::kBalance].AsInt()
+                 : -1;
+    });
+  };
+  CacheableFunction<int64_t, int64_t> balances[2] = {make_balance(wa.get()),
+                                                     make_balance(wb.get())};
+  CacheableFunction<int64_t, int64_t> reader_balance = make_balance(rd.get());
+
+  struct WriterState {
+    bool active = false;
+    int64_t src = 0, dst = 0;
+    int64_t observed = 0;       // balance(src) read at the transaction's snapshot
+    bool wrote = false;
+    int64_t written_value = 0;  // observed + delta, pending on dst until commit
+  } w[2];
+  uint64_t committed_writes = 0;
+
+  for (int step = 0; step < 700; ++step) {
+    clock.Advance(Millis(7));
+    const double roll = rng.UniformReal(0, 1);
+    if (roll < 0.55) {
+      // Advance one writer's transaction state machine.
+      const size_t i = rng.Uniform(0, 1);
+      TxCacheClient* c = writers[i];
+      WriterState& s = w[i];
+      if (!s.active) {
+        ASSERT_TRUE(c->BeginRw().ok());
+        s.src = static_cast<int64_t>(rng.Uniform(1, kNumAccounts));
+        s.dst = static_cast<int64_t>(rng.Uniform(1, kNumAccounts));
+        s.observed = balances[i](s.src);  // cached hit, or tag-tracked recompute at snapshot
+        ASSERT_GE(s.observed, 0);
+        s.wrote = false;
+        s.active = true;
+      } else if (!s.wrote && rng.Bernoulli(0.7)) {
+        // Announce and perform the write. A refused intent (the other writer got there
+        // first) or a write-write conflict is an early abort: retryable, traceless.
+        if (rng.Bernoulli(0.6)) {
+          Status intent = c->WriteIntent(MakeCacheKey("balance", s.dst));
+          if (!intent.ok()) {
+            ASSERT_EQ(intent.code(), StatusCode::kConflict);
+            ASSERT_TRUE(c->Abort().ok());
+            s.active = false;
+            continue;
+          }
+        }
+        s.written_value = s.observed + 1 + static_cast<int64_t>(i);
+        auto nrows = c->Update(
+            testing::kAccounts,
+            AccessPath::IndexEq(testing::kAccounts, testing::kAccountsPk, Row{Value(s.dst)}),
+            nullptr, {{testing::AccountsCol::kBalance, Value(s.written_value)}});
+        if (!nrows.ok()) {
+          ASSERT_EQ(nrows.status().code(), StatusCode::kConflict);
+          ASSERT_TRUE(c->Abort().ok());
+          s.active = false;
+          continue;
+        }
+        s.wrote = true;
+      } else if (rng.Bernoulli(0.15)) {
+        ASSERT_TRUE(c->Abort().ok());  // model untouched: the no-trace half of the oracle
+        s.active = false;
+      } else {
+        auto ts_or = c->CommitRw();
+        if (ts_or.ok()) {
+          if (s.wrote) {
+            // Strict serializability at the commit timestamp: the snapshot read must still
+            // be the model's CURRENT value (commit order here is step order). A stale cached
+            // read that slipped through validation shows up as exactly this mismatch.
+            ASSERT_EQ(s.observed, latest(s.src))
+                << "committed writer observed a stale balance for account " << s.src;
+            history[s.dst].emplace_back(ts_or.value(), s.written_value);
+            ++committed_writes;
+          } else {
+            // Write-free transactions serialize at their snapshot.
+            ASSERT_EQ(s.observed, value_at(s.src, ts_or.value()));
+          }
+        } else {
+          ASSERT_EQ(ts_or.status().code(), StatusCode::kConflict);
+        }
+        s.active = false;
+      }
+    } else if (roll < 0.72) {
+      // Read-only transaction: its reported serialization point must explain its read.
+      const int64_t id = static_cast<int64_t>(rng.Uniform(1, kNumAccounts));
+      ASSERT_TRUE(rd->BeginRO(Seconds(30)).ok());
+      const int64_t v = reader_balance(id);
+      auto ts_or = rd->Commit();
+      ASSERT_TRUE(ts_or.ok());
+      ASSERT_EQ(v, value_at(id, ts_or.value()))
+          << "read-only transaction read a value inconsistent with its serialization point";
+    } else if (roll < 0.82) {
+      // Kill or rejoin a node; crash and rejoin both drop intents wholesale.
+      const size_t i = rng.Uniform(0, 1);
+      if (down[i]) {
+        ASSERT_TRUE(nodes[i]->Join(&bus).ok());
+        down[i] = false;
+      } else {
+        nodes[i]->Crash();
+        down[i] = true;
+      }
+    } else if (roll < 0.88) {
+      // Ring resize, independent of up/down state.
+      const size_t i = rng.Uniform(0, 1);
+      if (in_ring[i]) {
+        cluster.RemoveNode(nodes[i]->name());
+        in_ring[i] = false;
+      } else {
+        cluster.AddNode(nodes[i]);
+        in_ring[i] = true;
+      }
+    } else if (roll < 0.92) {
+      // Wholesale eviction of a serving node's data (and any intents parked on it).
+      const size_t i = rng.Uniform(0, 1);
+      if (!down[i]) {
+        nodes[i]->Flush();
+      }
+    }
+  }
+
+  // Quiesce: close open transactions, rejoin everything. The final database state must equal
+  // the model exactly — every aborted transaction traceless, every committed one applied —
+  // and no write intent may survive.
+  for (size_t i = 0; i < 2; ++i) {
+    if (w[i].active) {
+      ASSERT_TRUE(writers[i]->Abort().ok());
+    }
+    if (down[i]) {
+      ASSERT_TRUE(nodes[i]->Join(&bus).ok());
+      down[i] = false;
+    }
+  }
+  EXPECT_GT(committed_writes, 0u) << "the interleaving never committed a write; vacuous run";
+  for (int64_t id = 1; id <= kNumAccounts; ++id) {
+    ASSERT_EQ(testing::ReadLatest(&db, testing::AccountById(id))
+                  .rows[0][testing::AccountsCol::kBalance]
+                  .AsInt(),
+              latest(id))
+        << "final state diverged from the commit-order model on account " << id;
+  }
+  EXPECT_EQ(n0.ClearIntents(), 0u);
+  EXPECT_EQ(n1.ClearIntents(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CachePropertyTest,

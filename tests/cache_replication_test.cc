@@ -222,6 +222,110 @@ TEST(Replication, ReplicaNeverServesStaleReadsAcrossTruncations) {
   EXPECT_LE(old_window.interval.upper, 50);
 }
 
+// --- background replication cadence (no driver pumping) --------------------------
+
+TEST(Replication, AutoReplicationFiresFromTheDeliverTailWithoutPumping) {
+  // Regression for the driver-pumped design: replication used to happen only when some caller
+  // invoked ReplicateHotKeys() by hand. With EnableAutoReplication the hook fires from the
+  // Deliver tail every Options::replication_interval_messages applied invalidations — the same
+  // cadence shape as snapshot persistence — so ordinary invalidation traffic alone must push
+  // hot keys to their ring successors.
+  ManualClock clock;
+  InvalidationBus bus{4096};
+  CacheCluster cluster;
+  CacheServer::Options options;
+  options.hot_key_sample_interval = 1;
+  options.replication_interval_messages = 4;
+  std::vector<std::unique_ptr<CacheServer>> nodes;
+  for (int n = 0; n < 3; ++n) {
+    nodes.push_back(std::make_unique<CacheServer>("n" + std::to_string(n), &clock, options));
+    bus.Subscribe(nodes.back().get());
+    ASSERT_TRUE(cluster.AddNode(nodes.back().get()));
+  }
+  cluster.set_replication(2);
+  cluster.EnableAutoReplication(/*max_keys_per_node=*/8);
+
+  ASSERT_TRUE(cluster.Insert(StillValidEntry("payload", "val", "g")).status.ok());
+  CacheServer* primary = cluster.NodeForKey("payload").value();
+  for (int i = 0; i < 32; ++i) {  // register the key as hot on its primary
+    ASSERT_TRUE(cluster.Lookup(Probe("payload", 1, kTimestampInfinity)).hit);
+  }
+
+  // Ordinary invalidation traffic for an unrelated group. Note: NO ReplicateHotKeys call.
+  for (Timestamp ts = 100; ts < 110; ++ts) {
+    bus.Publish(GroupInval("unrelated", ts));
+  }
+
+  EXPECT_GE(cluster.replica_pushes(), 1u) << "the Deliver-tail cadence never fired";
+  CacheServer* replica = nullptr;
+  for (auto& node : nodes) {
+    if (node.get() != primary && node->Lookup(Probe("payload", 1, kTimestampInfinity)).hit) {
+      replica = node.get();
+    }
+  }
+  ASSERT_NE(replica, nullptr) << "a ring successor must hold the hot key without pumping";
+
+  // Disabling detaches the hooks: further traffic pushes nothing new.
+  cluster.EnableAutoReplication(0);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(cluster.Lookup(Probe("payload", 1, kTimestampInfinity)).hit);
+  }
+  const uint64_t pushes_at_disable = cluster.replica_pushes();
+  for (Timestamp ts = 200; ts < 210; ++ts) {
+    bus.Publish(GroupInval("unrelated", ts));
+  }
+  EXPECT_EQ(cluster.replica_pushes(), pushes_at_disable);
+}
+
+TEST(Replication, AutoReplicationCoversLateJoiningNodes) {
+  // A node added AFTER EnableAutoReplication must get the hook too: hot keys whose primary is
+  // the newcomer replicate on its own invalidation cadence.
+  ManualClock clock;
+  InvalidationBus bus{4096};
+  CacheCluster cluster;
+  CacheServer::Options options;
+  options.hot_key_sample_interval = 1;
+  options.replication_interval_messages = 4;
+  std::vector<std::unique_ptr<CacheServer>> nodes;
+  for (int n = 0; n < 2; ++n) {
+    nodes.push_back(std::make_unique<CacheServer>("n" + std::to_string(n), &clock, options));
+    bus.Subscribe(nodes.back().get());
+    ASSERT_TRUE(cluster.AddNode(nodes.back().get()));
+  }
+  cluster.set_replication(2);
+  cluster.EnableAutoReplication(8);
+  nodes.push_back(std::make_unique<CacheServer>("late", &clock, options));
+  bus.Subscribe(nodes.back().get());
+  ASSERT_TRUE(cluster.AddNode(nodes.back().get()));
+
+  // Find a key the late node owns, make it hot there, then drive the bus cadence.
+  std::string key;
+  for (int i = 0; i < 512; ++i) {
+    const std::string candidate = "k" + std::to_string(i);
+    auto owner = cluster.NodeForKey(candidate);
+    if (owner.ok() && owner.value() == nodes.back().get()) {
+      key = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(key.empty()) << "no key routed to the late node (degenerate ring)";
+  ASSERT_TRUE(cluster.Insert(StillValidEntry(key, "lv", "g")).status.ok());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(cluster.Lookup(Probe(key, 1, kTimestampInfinity)).hit);
+  }
+  for (Timestamp ts = 100; ts < 110; ++ts) {
+    bus.Publish(GroupInval("unrelated", ts));
+  }
+  bool replicated = false;
+  for (auto& node : nodes) {
+    if (node.get() != nodes.back().get() &&
+        node->Lookup(Probe(key, 1, kTimestampInfinity)).hit) {
+      replicated = true;
+    }
+  }
+  EXPECT_TRUE(replicated) << "the late joiner's hook never fired";
+}
+
 // --- client: per-node advisory-hint merge (cross-node regression) ---------------
 
 TEST(Replication, ClientMergesHintsAcrossNodesInsteadOfLastWriterWins) {

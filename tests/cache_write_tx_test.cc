@@ -1,0 +1,468 @@
+// Optimistic read-write transactions through the cache (ctest label: txn).
+//
+// Covers the full intent lifecycle (check-and-acquire, conflict, idempotent release, wholesale
+// drop on crash/flush/rejoin), the commit-validation accept/reject matrix (stale cached read
+// vs. write-free serialization at the snapshot vs. own-writes no-self-conflict vs. unrelated
+// invalidations), deterministic seeded backoff in the retry loop, the no-intent-leak guarantee
+// on every abort/crash/rejoin path, and a racing-committers stress run (TSan set) whose
+// read-modify-write counter would lose updates if a stale cached read ever survived commit
+// validation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/cacheable_function.h"
+#include "src/core/txcache_client.h"
+#include "tests/test_support.h"
+
+namespace txcache {
+namespace {
+
+using namespace txcache::testing;
+
+IntentRequest Intent(const std::string& key, uint64_t token) {
+  IntentRequest req;
+  req.key = key;
+  req.key_hash = Fnv1a(key);
+  req.txn_id = token;
+  return req;
+}
+
+class WriteTxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(&clock_);
+    bus_ = std::make_unique<InvalidationBus>();
+    db_->set_invalidation_bus(bus_.get());
+    cache_ = std::make_unique<CacheServer>("node", &clock_);
+    bus_->Subscribe(cache_.get());
+    cluster_ = std::make_unique<CacheCluster>();
+    cluster_->AddNode(cache_.get());
+    pincushion_ = std::make_unique<Pincushion>(db_.get(), &clock_);
+    CreateAccountsTable(db_.get());
+    InsertAccount(db_.get(), 1, "alice", 100);
+    InsertAccount(db_.get(), 2, "bob", 200);
+    client_ = MakeClient();
+  }
+
+  std::unique_ptr<TxCacheClient> MakeClient(uint64_t seed = 7) {
+    TxCacheClient::Options options;
+    options.rw_backoff_seed = seed;
+    options.rw_backoff_sleep = [this](WallClock delay) { backoff_delays_.push_back(delay); };
+    return std::make_unique<TxCacheClient>(db_.get(), pincushion_.get(), cluster_.get(),
+                                           &clock_, options);
+  }
+
+  CacheableFunction<int64_t, int64_t> MakeBalanceFn(TxCacheClient* client) {
+    return client->MakeCacheable<int64_t, int64_t>("balance", [client](int64_t id) -> int64_t {
+      auto r = client->ExecuteQuery(AccountById(id));
+      return r.ok() && !r.value().rows.empty()
+                 ? r.value().rows[0][AccountsCol::kBalance].AsInt()
+                 : -1;
+    });
+  }
+
+  // Warms the cache entry for balance(id) through a read-only transaction (optimistic
+  // transactions never store).
+  void WarmBalance(TxCacheClient* client, CacheableFunction<int64_t, int64_t>& fn, int64_t id) {
+    ASSERT_TRUE(client->BeginRO().ok());
+    fn(id);
+    ASSERT_TRUE(client->Commit().ok());
+  }
+
+  Status SetBalance(TxCacheClient* client, int64_t id, int64_t balance) {
+    auto n = client->Update(kAccounts,
+                            AccessPath::IndexEq(kAccounts, kAccountsPk, Row{Value(id)}),
+                            nullptr, {{AccountsCol::kBalance, Value(balance)}});
+    return n.ok() ? Status::Ok() : n.status();
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<InvalidationBus> bus_;
+  std::unique_ptr<CacheServer> cache_;
+  std::unique_ptr<CacheCluster> cluster_;
+  std::unique_ptr<Pincushion> pincushion_;
+  std::unique_ptr<TxCacheClient> client_;
+  std::vector<WallClock> backoff_delays_;
+};
+
+// --- intent lifecycle -------------------------------------------------------------------
+
+TEST_F(WriteTxTest, IntentAcquireConflictRelease) {
+  const std::string key = "k";
+  EXPECT_TRUE(cache_->AcquireIntent(Intent(key, 10)).status.ok());
+  // Idempotent re-acquire by the same owner.
+  EXPECT_TRUE(cache_->AcquireIntent(Intent(key, 10)).status.ok());
+  // A different transaction is refused and told who holds it.
+  IntentResponse conflict = cache_->AcquireIntent(Intent(key, 20));
+  EXPECT_EQ(conflict.status.code(), StatusCode::kConflict);
+  EXPECT_EQ(conflict.holder, 10u);
+  // Release by a non-owner is a no-op: the intent stays held.
+  cache_->ReleaseIntent(Intent(key, 20));
+  EXPECT_EQ(cache_->AcquireIntent(Intent(key, 20)).status.code(), StatusCode::kConflict);
+  // The owner's release frees it for the next acquirer.
+  cache_->ReleaseIntent(Intent(key, 10));
+  EXPECT_TRUE(cache_->AcquireIntent(Intent(key, 20)).status.ok());
+  cache_->ReleaseIntent(Intent(key, 20));
+  EXPECT_EQ(cache_->ClearIntents(), 0u);  // nothing leaked
+  CacheStats stats = cache_->stats();
+  EXPECT_EQ(stats.intent_acquires, 2u);
+  EXPECT_EQ(stats.intent_conflicts, 2u);
+  EXPECT_EQ(stats.intent_releases, 2u);
+}
+
+TEST_F(WriteTxTest, IntentStampsServedVersions) {
+  auto balance = MakeBalanceFn(client_.get());
+  WarmBalance(client_.get(), balance, 1);
+  const std::string key = MakeCacheKey("balance", int64_t{1});
+  ASSERT_TRUE(cache_->AcquireIntent(Intent(key, 42)).status.ok());
+  LookupRequest req;
+  req.key = key;
+  req.key_hash = Fnv1a(key);
+  LookupResponse resp = cache_->Lookup(req);
+  ASSERT_TRUE(resp.hit);
+  EXPECT_EQ(resp.intent_owner, 42u);  // lookups surface the holder for early aborts
+  cache_->ReleaseIntent(Intent(key, 42));
+  resp = cache_->Lookup(req);
+  ASSERT_TRUE(resp.hit);
+  EXPECT_EQ(resp.intent_owner, 0u);
+}
+
+TEST_F(WriteTxTest, InsertUnderHeldIntentInheritsOwner) {
+  const std::string key = MakeCacheKey("balance", int64_t{1});
+  ASSERT_TRUE(cache_->AcquireIntent(Intent(key, 9)).status.ok());
+  // A fill landing while the intent is held must surface the owner too — otherwise an
+  // in-transaction reader hitting the fresh fill would miss the early-abort signal.
+  auto balance = MakeBalanceFn(client_.get());
+  WarmBalance(client_.get(), balance, 1);
+  LookupRequest req;
+  req.key = key;
+  req.key_hash = Fnv1a(key);
+  LookupResponse resp = cache_->Lookup(req);
+  ASSERT_TRUE(resp.hit);
+  EXPECT_EQ(resp.intent_owner, 9u);
+  cache_->ReleaseIntent(Intent(key, 9));
+}
+
+TEST_F(WriteTxTest, NoIntentLeakOnCrashFlushAndRejoin) {
+  ASSERT_TRUE(cache_->AcquireIntent(Intent("a", 1)).status.ok());
+  ASSERT_TRUE(cache_->AcquireIntent(Intent("b", 2)).status.ok());
+  cache_->Crash();
+  // Crash drops every intent wholesale; after rejoin nothing may still be held.
+  ASSERT_TRUE(cache_->Join(bus_.get()).ok());
+  ASSERT_TRUE(cache_->serving());
+  EXPECT_EQ(cache_->ClearIntents(), 0u);
+  EXPECT_TRUE(cache_->AcquireIntent(Intent("a", 3)).status.ok());
+  EXPECT_TRUE(cache_->AcquireIntent(Intent("b", 3)).status.ok());
+  // Flush drops them too.
+  cache_->Flush();
+  EXPECT_EQ(cache_->ClearIntents(), 0u);
+  EXPECT_GE(cache_->stats().intents_cleared, 4u);
+}
+
+TEST_F(WriteTxTest, ClientReleasesIntentsOnEveryExitPath) {
+  auto balance = MakeBalanceFn(client_.get());
+  const std::string key = MakeCacheKey("balance", int64_t{1});
+  // Abort path.
+  ASSERT_TRUE(client_->BeginRw().ok());
+  ASSERT_TRUE(client_->WriteIntent(key).ok());
+  ASSERT_TRUE(client_->Abort().ok());
+  EXPECT_EQ(cache_->ClearIntents(), 0u);
+  // Commit path.
+  ASSERT_TRUE(client_->BeginRw().ok());
+  ASSERT_TRUE(client_->WriteIntent(key).ok());
+  ASSERT_TRUE(SetBalance(client_.get(), 1, 101).ok());
+  ASSERT_TRUE(client_->CommitRw().ok());
+  EXPECT_EQ(cache_->ClearIntents(), 0u);
+  // Destructor path.
+  {
+    auto doomed = MakeClient();
+    ASSERT_TRUE(doomed->BeginRw().ok());
+    ASSERT_TRUE(doomed->WriteIntent(key).ok());
+  }
+  EXPECT_EQ(cache_->ClearIntents(), 0u);
+  EXPECT_EQ(client_->stats().rw_intents_acquired, 2u);
+}
+
+TEST_F(WriteTxTest, WriteIntentConflictIsEarlyAbortSignal) {
+  const std::string key = MakeCacheKey("balance", int64_t{1});
+  auto other = MakeClient();
+  ASSERT_TRUE(other->BeginRw().ok());
+  ASSERT_TRUE(other->WriteIntent(key).ok());
+
+  ASSERT_TRUE(client_->BeginRw().ok());
+  EXPECT_EQ(client_->WriteIntent(key).code(), StatusCode::kConflict);
+  EXPECT_EQ(client_->stats().rw_intent_conflicts, 1u);
+  ASSERT_TRUE(client_->Abort().ok());
+  // An in-transaction cached read under the foreign intent also aborts early.
+  auto balance = MakeBalanceFn(client_.get());
+  WarmBalance(client_.get(), balance, 1);
+  ASSERT_TRUE(client_->BeginRw().ok());
+  EXPECT_EQ(client_->ReadInTx(key).status().code(), StatusCode::kConflict);
+  ASSERT_TRUE(client_->Abort().ok());
+  ASSERT_TRUE(other->Abort().ok());
+  EXPECT_EQ(cache_->ClearIntents(), 0u);
+}
+
+// --- commit-validation accept/reject matrix ---------------------------------------------
+
+TEST_F(WriteTxTest, StaleCachedReadAbortsWriter) {
+  auto balance = MakeBalanceFn(client_.get());
+  WarmBalance(client_.get(), balance, 1);
+
+  ASSERT_TRUE(client_->BeginRw().ok());
+  auto read = client_->ReadInTx(MakeCacheKey("balance", int64_t{1}));
+  ASSERT_TRUE(read.ok());  // cached hit, recorded in the read set
+
+  // A racing writer invalidates account 1 before we commit.
+  UpdateBalance(db_.get(), 1, 50);
+
+  // We write a DIFFERENT row, so snapshot isolation alone would commit this write skew; only
+  // commit-time read validation can reject it.
+  ASSERT_TRUE(SetBalance(client_.get(), 2, 999).ok());
+  auto commit = client_->CommitRw();
+  EXPECT_EQ(commit.status().code(), StatusCode::kConflict);
+  EXPECT_EQ(client_->stats().rw_aborts, 1u);
+  EXPECT_EQ(db_->stats().validation_conflicts, 1u);
+
+  // The aborted write left no trace.
+  EXPECT_EQ(ReadLatest(db_.get(), AccountById(2)).rows[0][AccountsCol::kBalance].AsInt(), 200);
+}
+
+TEST_F(WriteTxTest, WriteFreeTransactionSerializesAtSnapshot) {
+  auto balance = MakeBalanceFn(client_.get());
+  WarmBalance(client_.get(), balance, 1);
+
+  ASSERT_TRUE(client_->BeginRw().ok());
+  ASSERT_TRUE(client_->ReadInTx(MakeCacheKey("balance", int64_t{1})).ok());
+  UpdateBalance(db_.get(), 1, 50);
+  // No writes: the transaction serializes at its snapshot, where the read WAS valid.
+  auto commit = client_->CommitRw();
+  EXPECT_TRUE(commit.ok()) << commit.status().ToString();
+  EXPECT_EQ(client_->stats().rw_commits, 1u);
+}
+
+TEST_F(WriteTxTest, RecomputedReadValidatedLikeCachedOne) {
+  // Cold cache: the cacheable call inside the transaction recomputes through the engine,
+  // whose tag tracking feeds the same read set.
+  ASSERT_TRUE(client_->BeginRw().ok());
+  auto balance = MakeBalanceFn(client_.get());
+  EXPECT_EQ(balance(1), 100);
+  UpdateBalance(db_.get(), 1, 50);
+  ASSERT_TRUE(SetBalance(client_.get(), 2, 999).ok());
+  EXPECT_EQ(client_->CommitRw().status().code(), StatusCode::kConflict);
+}
+
+TEST_F(WriteTxTest, UnrelatedInvalidationDoesNotAbort) {
+  auto balance = MakeBalanceFn(client_.get());
+  WarmBalance(client_.get(), balance, 1);
+  ASSERT_TRUE(client_->BeginRw().ok());
+  ASSERT_TRUE(client_->ReadInTx(MakeCacheKey("balance", int64_t{1})).ok());
+  // Racing write to a different key: its tags do not match the read set.
+  UpdateBalance(db_.get(), 2, 201);
+  ASSERT_TRUE(SetBalance(client_.get(), 1, 101).ok());
+  auto commit = client_->CommitRw();
+  EXPECT_TRUE(commit.ok()) << commit.status().ToString();
+  EXPECT_EQ(db_->stats().validated_commits, 1u);
+}
+
+TEST_F(WriteTxTest, OwnWritesNeverSelfConflict) {
+  auto balance = MakeBalanceFn(client_.get());
+  WarmBalance(client_.get(), balance, 1);
+  ASSERT_TRUE(client_->BeginRw().ok());
+  ASSERT_TRUE(client_->ReadInTx(MakeCacheKey("balance", int64_t{1})).ok());
+  // Update the very row the read covers: our own invalidation tags must not trip validation.
+  ASSERT_TRUE(SetBalance(client_.get(), 1, 150).ok());
+  auto commit = client_->CommitRw();
+  EXPECT_TRUE(commit.ok()) << commit.status().ToString();
+  EXPECT_EQ(ReadLatest(db_.get(), AccountById(1)).rows[0][AccountsCol::kBalance].AsInt(), 150);
+}
+
+TEST_F(WriteTxTest, GenericCommitRoutesThroughValidation) {
+  auto balance = MakeBalanceFn(client_.get());
+  WarmBalance(client_.get(), balance, 1);
+  ASSERT_TRUE(client_->BeginRw().ok());
+  ASSERT_TRUE(client_->ReadInTx(MakeCacheKey("balance", int64_t{1})).ok());
+  UpdateBalance(db_.get(), 1, 50);
+  ASSERT_TRUE(SetBalance(client_.get(), 2, 999).ok());
+  // The generic Commit() must not offer a validation-skipping back door.
+  EXPECT_EQ(client_->Commit().status().code(), StatusCode::kConflict);
+}
+
+// --- retry loop and backoff -------------------------------------------------------------
+
+TEST_F(WriteTxTest, RunRwTransactionRetriesConflictsToSuccess) {
+  auto balance = MakeBalanceFn(client_.get());
+  WarmBalance(client_.get(), balance, 1);
+  int attempts = 0;
+  auto ts_or = client_->RunRwTransaction([&]() -> Status {
+    ++attempts;
+    auto read = client_->ReadInTx(MakeCacheKey("balance", int64_t{1}));
+    if (!read.ok() && read.status().code() != StatusCode::kNotFound) {
+      return read.status();
+    }
+    if (attempts == 1) {
+      UpdateBalance(db_.get(), 1, 50);  // sabotage the first attempt only
+    }
+    return SetBalance(client_.get(), 2, 777);
+  });
+  EXPECT_TRUE(ts_or.ok()) << ts_or.status().ToString();
+  EXPECT_EQ(attempts, 2);
+  ClientStats stats = client_->stats();
+  EXPECT_EQ(stats.rw_retries, 1u);
+  EXPECT_EQ(stats.rw_commits, 1u);
+  EXPECT_EQ(stats.rw_aborts, 1u);
+  EXPECT_EQ(backoff_delays_.size(), 1u);
+}
+
+TEST_F(WriteTxTest, RetryBudgetCapsConflictLoop) {
+  auto ts_or = client_->RunRwTransaction([]() -> Status { return Status::Conflict("always"); });
+  EXPECT_EQ(ts_or.status().code(), StatusCode::kConflict);
+  EXPECT_EQ(client_->stats().rw_retries,
+            client_->options().rw_max_retries - 1);  // budget spent, then surfaced
+  // Every round aborted through the body path, not commit validation — each one still counts.
+  EXPECT_EQ(client_->stats().rw_aborts, client_->options().rw_max_retries);
+  EXPECT_EQ(backoff_delays_.size(), client_->options().rw_max_retries - 1);
+}
+
+TEST_F(WriteTxTest, BackoffIsSeededDeterministicAndCapped) {
+  auto run = [this](uint64_t seed) {
+    backoff_delays_.clear();
+    auto c = MakeClient(seed);
+    c->RunRwTransaction([]() -> Status { return Status::Conflict("always"); });
+    return backoff_delays_;
+  };
+  const std::vector<WallClock> a = run(11);
+  const std::vector<WallClock> b = run(11);
+  const std::vector<WallClock> c = run(12);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);  // same seed => identical delay sequence
+  EXPECT_NE(a, c);  // different seed => different jitter
+  TxCacheClient::Options defaults;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GT(a[i], 0);
+    EXPECT_LE(a[i], defaults.rw_backoff_cap + defaults.rw_backoff_cap / 2 + 1);
+    if (i > 0) {
+      // Capped exponential: the deterministic half never shrinks attempt over attempt.
+      EXPECT_GE(a[i] * 2 + 1, a[i - 1]);
+    }
+  }
+}
+
+TEST_F(WriteTxTest, NonConflictErrorIsNotRetried) {
+  int attempts = 0;
+  auto ts_or = client_->RunRwTransaction([&]() -> Status {
+    ++attempts;
+    return Status::InvalidArgument("bug in the body");
+  });
+  EXPECT_EQ(ts_or.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_TRUE(backoff_delays_.empty());
+}
+
+// --- aborted transactions leave no trace ------------------------------------------------
+
+TEST_F(WriteTxTest, AbortedTransactionLeavesNoTrace) {
+  auto balance = MakeBalanceFn(client_.get());
+  WarmBalance(client_.get(), balance, 1);
+  const CacheStats before = cache_->stats();
+  ASSERT_TRUE(client_->BeginRw().ok());
+  ASSERT_TRUE(client_->WriteIntent(MakeCacheKey("balance", int64_t{1})).ok());
+  ASSERT_TRUE(client_->ReadInTx(MakeCacheKey("balance", int64_t{1})).ok());
+  ASSERT_TRUE(SetBalance(client_.get(), 1, 12345).ok());
+  ASSERT_TRUE(client_->Abort().ok());
+  // Database state untouched, no invalidation published, no cache mutation, no intent held.
+  EXPECT_EQ(ReadLatest(db_.get(), AccountById(1)).rows[0][AccountsCol::kBalance].AsInt(), 100);
+  EXPECT_EQ(cache_->stats().inserts, before.inserts);
+  EXPECT_EQ(cache_->stats().invalidation_messages, before.invalidation_messages);
+  EXPECT_EQ(cache_->ClearIntents(), 0u);
+  // And the cached entry still serves (the abort widened/neither resurrected nothing).
+  ASSERT_TRUE(client_->BeginRO().ok());
+  EXPECT_EQ(balance(1), 100);
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+TEST_F(WriteTxTest, IntentAgainstDownNodeIsVacuousSuccess) {
+  cache_->Crash();
+  ASSERT_TRUE(client_->BeginRw().ok());
+  // The owning node serves no reads, so there is nothing to protect: vacuous success, and
+  // the release on exit must not error either.
+  EXPECT_TRUE(client_->WriteIntent(MakeCacheKey("balance", int64_t{1})).ok());
+  EXPECT_EQ(client_->stats().rw_intents_acquired, 0u);  // nothing actually held
+  ASSERT_TRUE(client_->Abort().ok());
+  ASSERT_TRUE(cache_->Join(bus_.get()).ok());
+  EXPECT_EQ(cache_->ClearIntents(), 0u);
+}
+
+// --- racing committers (TSan set) -------------------------------------------------------
+
+TEST_F(WriteTxTest, ConcurrencyStressRacingCommittersLoseNoUpdate) {
+  constexpr int kThreads = 4;
+  constexpr int kIncrementsPerThread = 50;
+  std::atomic<int64_t> committed{0};
+  std::atomic<bool> stop_warming{false};
+
+  // A warming thread keeps refilling the cacheable read through RO transactions, so the
+  // optimistic committers race against live fills, hits and invalidations.
+  std::thread warmer([&] {
+    TxCacheClient warm_client(db_.get(), pincushion_.get(), cluster_.get(), &clock_);
+    auto balance = MakeBalanceFn(&warm_client);
+    while (!stop_warming.load(std::memory_order_relaxed)) {
+      if (warm_client.BeginRO().ok()) {
+        balance(1);
+        warm_client.Commit();
+      }
+    }
+  });
+
+  std::vector<std::thread> committers;
+  for (int t = 0; t < kThreads; ++t) {
+    committers.emplace_back([&, t] {
+      TxCacheClient::Options options;
+      options.rw_backoff_seed = 1000 + static_cast<uint64_t>(t);
+      options.rw_max_retries = 1u << 20;  // the increment must eventually land
+      options.rw_backoff_sleep = [](WallClock) {};
+      TxCacheClient client(db_.get(), pincushion_.get(), cluster_.get(), &clock_, options);
+      auto balance = MakeBalanceFn(&client);
+      const std::string key = MakeCacheKey("balance", int64_t{1});
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        auto ts_or = client.RunRwTransaction([&]() -> Status {
+          const int64_t bal = balance(1);  // cached hit or tag-tracked recompute
+          if (bal < 0) {
+            return Status::Internal("read failed");
+          }
+          Status intent = client.WriteIntent(key);
+          if (!intent.ok()) {
+            return intent;  // early abort on a foreign intent; retried with backoff
+          }
+          auto n = client.Update(kAccounts,
+                                 AccessPath::IndexEq(kAccounts, kAccountsPk, Row{Value(1)}),
+                                 nullptr, {{AccountsCol::kBalance, Value(bal + 1)}});
+          return n.ok() ? Status::Ok() : n.status();
+        });
+        if (ts_or.ok()) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : committers) {
+    th.join();
+  }
+  stop_warming.store(true, std::memory_order_relaxed);
+  warmer.join();
+
+  // The serializability oracle for a read-modify-write counter: any stale read that survived
+  // commit validation would lose an update and leave the balance short.
+  EXPECT_EQ(committed.load(), kThreads * kIncrementsPerThread);
+  EXPECT_EQ(ReadLatest(db_.get(), AccountById(1)).rows[0][AccountsCol::kBalance].AsInt(),
+            100 + committed.load());
+  EXPECT_EQ(cache_->ClearIntents(), 0u);  // no intent leaked under the race either
+}
+
+}  // namespace
+}  // namespace txcache

@@ -290,6 +290,102 @@ TEST_F(RubisTest, SessionMixIsRoughlyEightyFifteen) {
   EXPECT_NEAR(rw_frac, 0.15, 0.02) << "bidding mix is ~15% read/write";
 }
 
+TEST_F(RubisTest, AdvisoryDeclineRateShrinksListingFills) {
+  // Hint-driven fill pacing: when the fleet's advisory hints report the listing function's
+  // fills being declined, the impl shrinks the page it computes (kPageSize=20 → 5 at a
+  // decline rate ≥ 0.75). Give category 2 enough items that a full page is actually full.
+  constexpr int64_t kCat = 2;
+  ASSERT_TRUE(client_->BeginRW().ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(app_->RegisterItem(5, kCat, 3, "filler", "bulk listing", 4.2).ok());
+  }
+  ASSERT_TRUE(client_->Commit().ok());
+  clock_.Advance(Seconds(1));
+
+  ASSERT_TRUE(client_->BeginRO(/*staleness=*/0).ok());
+  EXPECT_EQ(app_->category_items(kCat, 0).size(), 20u) << "no hints: full page";
+  ASSERT_TRUE(client_->Commit().ok());
+
+  // The cache fleet starts declining this function's fills: feed the observation the next
+  // lookup/insert response would have carried.
+  const std::string fn = "rubis.category_items";
+  auto hints = std::make_shared<AdvisoryHints>();
+  hints->decline_rate = 0.9;
+  client_->ObserveHints(MakeCacheKey(fn, kCat, int64_t{0}), &fn, cache_->name(), hints);
+
+  // Invalidate the cached page so the next read actually recomputes.
+  ASSERT_TRUE(client_->BeginRW().ok());
+  ASSERT_TRUE(app_->RegisterItem(5, kCat, 3, "filler", "bulk listing", 4.2).ok());
+  ASSERT_TRUE(client_->Commit().ok());
+  clock_.Advance(Seconds(1));
+
+  ASSERT_TRUE(client_->BeginRO(/*staleness=*/0).ok());
+  EXPECT_EQ(app_->category_items(kCat, 0).size(), 5u)
+      << "decline rate 0.9 downgrades the fill to a quarter page";
+  // The page offset keeps the full stride, so downgraded pages still never overlap.
+  std::vector<int64_t> page0 = app_->category_items(kCat, 0);
+  std::vector<int64_t> page1 = app_->category_items(kCat, 1);
+  for (int64_t id : page1) {
+    EXPECT_EQ(std::count(page0.begin(), page0.end(), id), 0);
+  }
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+TEST_F(RubisTest, OptimisticStoreBidBacksOffOnForeignIntentThenCommits) {
+  const int64_t bids_before = CountRows(kBids);
+  ASSERT_TRUE(client_->BeginRO().ok());
+  ItemInfo before = app_->get_item(1);
+  ASSERT_TRUE(client_->Commit().ok());
+
+  // A rival optimistic transaction announces it is about to invalidate item 1's entries.
+  TxCacheClient rival(db_.get(), pincushion_.get(), cluster_.get(), &clock_);
+  ASSERT_TRUE(rival.BeginRw().ok());
+  ASSERT_TRUE(rival.WriteIntent(MakeCacheKey("rubis.get_item", int64_t{1})).ok());
+
+  // StoreBid's own intent acquisition is refused every round, so the retry budget is spent
+  // without paying for any reads or writes.
+  auto blocked = client_->RunRwTransaction(
+      [&] { return app_->StoreBid(3, 1, before.max_bid + 50); });
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kConflict);
+  EXPECT_EQ(client_->stats().rw_retries, client_->options().rw_max_retries - 1);
+  EXPECT_GT(client_->stats().rw_intent_conflicts, 0u);
+  EXPECT_EQ(CountRows(kBids), bids_before) << "refused intent aborts before any write";
+
+  // The rival aborts; its intent is released and the bid goes through.
+  rival.Abort();
+  auto ts = client_->RunRwTransaction(
+      [&] { return app_->StoreBid(3, 1, before.max_bid + 50); });
+  ASSERT_TRUE(ts.ok()) << ts.status().ToString();
+  EXPECT_EQ(CountRows(kBids), bids_before + 1);
+  clock_.Advance(Seconds(1));
+  ASSERT_TRUE(client_->BeginRO(/*staleness=*/0).ok());
+  ItemInfo after = app_->get_item(1);
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_EQ(after.nb_of_bids, before.nb_of_bids + 1);
+  EXPECT_EQ(cache_->ClearIntents(), 0u) << "no intent may outlive its transaction";
+}
+
+TEST_F(RubisTest, SessionOptimisticWritesRunEveryInteraction) {
+  RubisSession session(client_.get(), dataset_.get(), &clock_, /*seed=*/7);
+  session.set_optimistic_writes(true);
+  for (size_t i = 0; i < static_cast<size_t>(Interaction::kCount); ++i) {
+    auto interaction = static_cast<Interaction>(i);
+    Status st = session.Run(interaction);
+    EXPECT_TRUE(st.ok() || st.code() == StatusCode::kNotFound ||
+                st.code() == StatusCode::kConflict)
+        << InteractionName(interaction) << ": " << st.ToString();
+    EXPECT_FALSE(client_->in_transaction()) << InteractionName(interaction);
+    clock_.Advance(Millis(200));
+  }
+  EXPECT_GT(session.stats().completed, 15u);
+  EXPECT_GT(client_->stats().rw_optimistic_txns, 0u);
+  EXPECT_GT(client_->stats().rw_commits, 0u);
+  EXPECT_EQ(client_->stats().bypassed_calls, 0u)
+      << "optimistic RW interactions read through the cache instead of bypassing it";
+  EXPECT_EQ(cache_->ClearIntents(), 0u);
+}
+
 TEST_F(RubisTest, SessionLoopMaintainsConsistency) {
   RubisSession session(client_.get(), dataset_.get(), &clock_, /*seed=*/13);
   for (int i = 0; i < 300; ++i) {

@@ -181,6 +181,28 @@ TEST(ClusterSim, MembershipChurnDegradesToMissesAndRecovers) {
   EXPECT_GT(resize.value().completed, 50u);
 }
 
+TEST(ClusterSim, OptimisticWritesCommitThroughTheCache) {
+  // The whole write mix routed through optimistic transactions: the closed loop must stay
+  // healthy, commits must flow, and no advisory intent may survive the run. Backoff on the
+  // rare conflicts costs simulated time only, so the run's wall time stays bounded.
+  SimConfig cfg;
+  cfg.scale = rubis::RubisScale::InMemory(0.005);
+  cfg.num_clients = 50;
+  cfg.warmup = Seconds(2);
+  cfg.measure = Seconds(4);
+  cfg.optimistic_writes = true;
+  ClusterSim sim(cfg);
+  auto result = sim.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const SimResult& r = result.value();
+  EXPECT_GT(r.completed, 50u);
+  EXPECT_GT(r.rw_commits, 0u) << "read/write interactions committed optimistically";
+  EXPECT_GE(r.rw_aborts, r.rw_retries > 0 ? 1u : 0u);
+  EXPECT_GT(r.cache.hits, 0u);
+  EXPECT_EQ(r.cache.intent_releases + r.cache.intents_cleared, r.cache.intent_acquires)
+      << "every acquired intent was released or dropped";
+}
+
 TEST(ClusterSim, NoCacheModeNeverTouchesCache) {
   SimConfig cfg;
   cfg.scale = rubis::RubisScale::InMemory(0.005);
