@@ -1,0 +1,255 @@
+// micro_net_rpc: wire-protocol RPC cost and the pipelining win.
+//
+// Measures the socket data plane in isolation (one CacheServer behind an epoll NetServer on
+// loopback, no simulator):
+//
+//   1. Hit latency over the wire — p50/p99 of single LOOKUP round-trips on one keep-alive
+//      connection.
+//   2. Pipelining — throughput of batch-16 lookups issued as 16 sequential round-trips vs
+//      one pipelined CallPipelined exchange. GATE: pipelined must be >= 3x sequential (the
+//      tentpole claim: K small requests ride one round-trip, not K).
+//   3. Connection scaling — lookup throughput with 1 vs 128 concurrent client connections
+//      against the shared epoll workers.
+//
+// Wall-clock timed (real sockets, real scheduler), so numbers vary with the host; the gate
+// compares two modes of the SAME run, which is robust. TXCACHE_BENCH_OPS scales iteration
+// counts; TXCACHE_BENCH_GATE=0 turns the hard gate into a report (check.sh --bench-smoke).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/cache/cache_server.h"
+#include "src/net/net_client.h"
+#include "src/net/net_server.h"
+#include "src/net/wire.h"
+#include "src/util/clock.h"
+#include "src/util/hash.h"
+
+namespace txcache {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double SecondsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+std::string KeyFor(uint64_t i) { return "net:key:" + std::to_string(i % 512); }
+
+LookupRequest ProbeFor(uint64_t i) {
+  LookupRequest req;
+  req.key = KeyFor(i);
+  req.key_hash = Fnv1a(req.key);
+  req.bounds_lo = 1;
+  req.bounds_hi = kTimestampInfinity;
+  req.fresh_lo = 1;
+  return req;
+}
+
+struct LatencyStats {
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+LatencyStats Percentiles(std::vector<double>& samples_us) {
+  LatencyStats out;
+  if (samples_us.empty()) {
+    return out;
+  }
+  std::sort(samples_us.begin(), samples_us.end());
+  out.p50_us = samples_us[samples_us.size() / 2];
+  out.p99_us = samples_us[std::min(samples_us.size() - 1,
+                                   (samples_us.size() * 99) / 100)];
+  return out;
+}
+
+}  // namespace
+
+int Run() {
+  bench::PrintHeader("micro_net_rpc: socket RPC latency, pipelining, connection scaling",
+                     "transport layer for the paper's cluster protocol (LOOKUP/PUT, §4)");
+
+  const uint64_t ops = bench::EnvOps(20000);
+  const int kBatch = 16;
+
+  SystemClock clock;
+  CacheServer::Options options;
+  options.capacity_bytes = 64 << 20;
+  CacheServer server("bench-node", &clock, options);
+
+  net::NetServerOptions server_options;
+  server_options.num_workers = 4;
+  net::NetServer net_server(&server, server_options);
+  if (!net_server.Start().ok()) {
+    std::fprintf(stderr, "FAIL: could not bind loopback NetServer\n");
+    return 1;
+  }
+
+  // Seed the working set through the wire (also verifies INSERT end to end).
+  net::NetClientOptions copts;
+  copts.port = net_server.port();
+  {
+    net::NetClient seeder(copts);
+    for (uint64_t i = 0; i < 512; ++i) {
+      InsertRequest ins;
+      ins.key = KeyFor(i);
+      ins.key_hash = Fnv1a(ins.key);
+      ins.value = std::string(256, 'v');
+      ins.interval = {1, kTimestampInfinity};
+      ins.computed_at = 1;
+      ins.fill_cost_us = 100;
+      net::FrameType type;
+      std::string payload;
+      if (!seeder.Call(net::FrameType::kInsertReq, net::EncodeInsertRequest(ins), &type,
+                       &payload) ||
+          type != net::FrameType::kInsertResp) {
+        std::fprintf(stderr, "FAIL: seed insert %llu\n", static_cast<unsigned long long>(i));
+        return 1;
+      }
+    }
+  }
+
+  // --- 1. single-request hit latency (one keep-alive connection) ---
+  net::NetClient client(copts);
+  std::vector<double> lat_us;
+  lat_us.reserve(ops);
+  uint64_t hits = 0;
+  const auto lat_start = SteadyClock::now();
+  for (uint64_t i = 0; i < ops; ++i) {
+    net::FrameType type;
+    std::string payload;
+    const auto t0 = SteadyClock::now();
+    if (!client.Call(net::FrameType::kLookupReq, net::EncodeLookupRequest(ProbeFor(i)), &type,
+                     &payload)) {
+      std::fprintf(stderr, "FAIL: lookup rpc failed\n");
+      return 1;
+    }
+    lat_us.push_back(std::chrono::duration<double, std::micro>(SteadyClock::now() - t0).count());
+    LookupResponse resp;
+    if (type == net::FrameType::kLookupResp && net::DecodeLookupResponse(payload, &resp) &&
+        resp.hit) {
+      ++hits;
+    }
+  }
+  const double single_conn_s = SecondsSince(lat_start);
+  const double single_conn_mops = static_cast<double>(ops) / single_conn_s / 1e6;
+  LatencyStats lat = Percentiles(lat_us);
+  std::printf("\nsingle connection: %llu lookups, hit_rate=%.3f\n",
+              static_cast<unsigned long long>(ops),
+              static_cast<double>(hits) / static_cast<double>(ops));
+  std::printf("  hit latency p50=%.1fus p99=%.1fus, throughput=%.3f Mops/s\n", lat.p50_us,
+              lat.p99_us, single_conn_mops);
+
+  // --- 2. pipelining: batch-16 sequential vs pipelined on the same connection ---
+  const uint64_t batches = std::max<uint64_t>(ops / kBatch, 1);
+  const auto seq_start = SteadyClock::now();
+  for (uint64_t b = 0; b < batches; ++b) {
+    for (int j = 0; j < kBatch; ++j) {
+      net::FrameType type;
+      std::string payload;
+      if (!client.Call(net::FrameType::kLookupReq,
+                       net::EncodeLookupRequest(ProbeFor(b * kBatch + j)), &type, &payload)) {
+        std::fprintf(stderr, "FAIL: sequential batch rpc\n");
+        return 1;
+      }
+    }
+  }
+  const double seq_s = SecondsSince(seq_start);
+
+  const auto pipe_start = SteadyClock::now();
+  for (uint64_t b = 0; b < batches; ++b) {
+    std::vector<std::pair<net::FrameType, std::string>> requests;
+    requests.reserve(kBatch);
+    for (int j = 0; j < kBatch; ++j) {
+      requests.emplace_back(net::FrameType::kLookupReq,
+                            net::EncodeLookupRequest(ProbeFor(b * kBatch + j)));
+    }
+    std::vector<net::FrameType> types;
+    std::vector<std::string> payloads;
+    if (!client.CallPipelined(requests, &types, &payloads) || types.size() != kBatch) {
+      std::fprintf(stderr, "FAIL: pipelined batch rpc\n");
+      return 1;
+    }
+  }
+  const double pipe_s = SecondsSince(pipe_start);
+  const double pipeline_speedup = pipe_s > 0 ? seq_s / pipe_s : 0;
+  std::printf("\nbatch-%d x %llu: sequential=%.3fs pipelined=%.3fs speedup=%.2fx\n", kBatch,
+              static_cast<unsigned long long>(batches), seq_s, pipe_s, pipeline_speedup);
+
+  // --- 3. connection scaling: 1 vs 128 concurrent connections ---
+  auto run_concurrent = [&](int conns, uint64_t ops_per_conn) {
+    std::atomic<uint64_t> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(conns);
+    const auto start = SteadyClock::now();
+    for (int c = 0; c < conns; ++c) {
+      threads.emplace_back([&, c] {
+        // One NetClient per thread = one dedicated connection (pool of size 1 per client).
+        net::NetClient mine(copts);
+        for (uint64_t i = 0; i < ops_per_conn; ++i) {
+          net::FrameType type;
+          std::string payload;
+          if (!mine.Call(net::FrameType::kLookupReq,
+                         net::EncodeLookupRequest(ProbeFor(i * 131 + c)), &type, &payload)) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+    const double secs = SecondsSince(start);
+    if (failures.load() != 0) {
+      return -1.0;
+    }
+    return static_cast<double>(conns) * static_cast<double>(ops_per_conn) / secs / 1e6;
+  };
+
+  const uint64_t scale_ops = std::max<uint64_t>(ops / 64, 16);
+  const double conns_1_mops = run_concurrent(1, scale_ops * 8);
+  const double conns_128_mops = run_concurrent(128, scale_ops);
+  std::printf("\nconnection scaling: 1 conn=%.3f Mops/s, 128 conns=%.3f Mops/s (%.1fx)\n",
+              conns_1_mops, conns_128_mops,
+              conns_1_mops > 0 ? conns_128_mops / conns_1_mops : 0);
+  std::printf("server: %llu connections accepted, %llu frames served, %llu protocol errors\n",
+              static_cast<unsigned long long>(net_server.connections_accepted()),
+              static_cast<unsigned long long>(net_server.frames_served()),
+              static_cast<unsigned long long>(net_server.protocol_errors()));
+
+  bench::BenchJson json("net_rpc");
+  json.Add("p50_us", lat.p50_us);
+  json.Add("p99_us", lat.p99_us);
+  json.Add("single_conn_mops", single_conn_mops);
+  json.Add("pipeline_speedup", pipeline_speedup);
+  json.Add("conns_1_mops", conns_1_mops);
+  json.Add("conns_128_mops", conns_128_mops);
+  json.Write();
+
+  net_server.Stop();
+
+  if (conns_1_mops < 0 || conns_128_mops < 0) {
+    std::fprintf(stderr, "FAIL: rpc failures during connection-scaling run\n");
+    return 1;
+  }
+  if (bench::GateEnabled() && pipeline_speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: pipelined batch-16 speedup %.2fx < 3x over sequential round-trips\n",
+                 pipeline_speedup);
+    return 1;
+  }
+  std::printf("\nPASS\n");
+  return 0;
+}
+
+}  // namespace txcache
+
+int main() { return txcache::Run(); }

@@ -79,6 +79,18 @@ if [[ -z "$LABELS" ]]; then
   (cd build && ctest --output-on-failure -L txn)
 fi
 
+# --- socket-transport parity pass ---
+# The cross-node suites rerun with TXCACHE_TRANSPORT=socket: AddNode(CacheServer*) then
+# self-hosts every node behind a real epoll NetServer and routes the data plane through the
+# binary wire protocol over TCP. The parity contract (src/net/transport.h) says the answers
+# are identical to loopback, so the SAME tests must pass unchanged — this pass is what
+# enforces it. Scoped to the suites that exercise cluster routing; pure-unit suites gain
+# nothing from riding a socket.
+if [[ -z "$LABELS" ]]; then
+  (cd build && TXCACHE_TRANSPORT=socket ctest --output-on-failure -j "$JOBS" \
+      -R '^(core_lookup_semantics_test|core_client_test|core_invariant_property_test|membership_test|cache_replication_test|cache_write_tx_test|net_transport_test)$')
+fi
+
 # --- ThreadSanitizer build of the concurrency-sensitive tests ---
 # cache_eviction_test and cache_property_test ride along: the eviction/admission suite must be
 # deterministic AND data-race-free (its stats are read concurrently by the stress tests).
@@ -88,10 +100,12 @@ fi
 # pushes/failover cross node boundaries, both of which must stay race-free.
 # cache_write_tx_test (label txn) completes the set: write intents and commit-time read
 # validation race against the invalidation stream and concurrent zero-copy readers.
+# net_transport_test joins them: epoll workers, pipelined clients and the socket no-stale-read
+# property test are the transport's own race surface.
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_TARGETS=(concurrency_stress_test cache_shard_test cache_eviction_test cache_property_test
                 membership_test cache_readpath_test cache_admission_sizing_test cache_ebr_test
-                cache_snapshot_test cache_replication_test cache_write_tx_test)
+                cache_snapshot_test cache_replication_test cache_write_tx_test net_transport_test)
   cmake -B build-tsan -S . -DTXCACHE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
   if [[ -n "$LABELS" ]]; then
@@ -151,6 +165,7 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
     [membership_churn]="leave_remapped_fraction recovered_fraction_of_steady warm_rejoin_hit_rate flash_crowd_floor join_snapshot_restores"
     [large_values]="recompute_saved_with_feedback ttl_consistency_miss_reduction"
     [write_tx]="abort_rate commit_throughput no_stale_reads"
+    [net_rpc]="pipeline_speedup p99_us conns_128_mops"
   )
   for bench in "${!required_keys[@]}"; do
     json="build-bench/BENCH_${bench}.json"

@@ -47,6 +47,22 @@ struct InvalidationTag {
 
   // Human-readable form, e.g. "users:idx_users_id=\x07" or "items:?".
   std::string ToString() const;
+
+  // Serde hook (src/util/serde.h): tags ride insert RPCs and invalidation pushes.
+  template <typename F>
+  void ForEachField(F&& f) {
+    f(table);
+    f(index);
+    f(key);
+    f(wildcard);
+  }
+  template <typename F>
+  void ForEachField(F&& f) const {
+    f(table);
+    f(index);
+    f(key);
+    f(wildcard);
+  }
 };
 
 struct TagHasher {
@@ -59,6 +75,22 @@ struct InvalidationMessage {
   Timestamp ts = kTimestampZero;
   WallClock wallclock = 0;
   std::vector<InvalidationTag> tags;
+
+  // Serde hook (src/util/serde.h): messages are delivered over the wire to remote nodes.
+  template <typename F>
+  void ForEachField(F&& f) {
+    f(seqno);
+    f(ts);
+    f(wallclock);
+    f(tags);
+  }
+  template <typename F>
+  void ForEachField(F&& f) const {
+    f(seqno);
+    f(ts);
+    f(wallclock);
+    f(tags);
+  }
 };
 
 }  // namespace txcache

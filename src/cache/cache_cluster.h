@@ -1,27 +1,40 @@
 // A fleet of cache servers addressed through consistent hashing (paper §4): every application
 // node holds the full node list and maps keys directly to the owning server.
 //
+// Every data-plane RPC (Lookup, MultiLookup, Insert, intent acquire/release) is issued
+// through a CacheTransport (src/net/transport.h): the loopback transport keeps the original
+// in-process method-call path, the socket transport rides the binary wire protocol over real
+// TCP. AddNode(CacheServer*) picks the transport via the process-global default factory
+// (TXCACHE_TRANSPORT=socket flips the whole suite); management operations — membership,
+// stats, snapshots, hot-key export, replication hooks — reach the node's in-process server
+// object via CacheTransport::local_server().
+//
 // Membership is dynamic (docs/architecture.md §"Membership and recovery"): AddNode/RemoveNode
-// may race with lookups from application threads, so the ring and server map live behind a
+// may race with lookups from application threads, so the ring and node map live behind a
 // shared mutex, and every successful change bumps the ring's membership epoch. Cluster-level
 // Lookup/Insert/MultiLookup stamp that epoch on their responses so clients can detect stale
 // routing and refresh it. Churn is never an error: a key whose owner is departed or unroutable
 // degrades to a kNodeUnavailable miss (counted in CacheStats::nodes_unavailable), and a down
 // or joining node answers its own positions as misses — the caller recomputes, exactly as the
-// paper's "a vanished node is just misses" failure model prescribes.
+// paper's "a vanished node is just misses" failure model prescribes. Transport failures
+// (connect refused, timeout, mid-request disconnect) degrade identically: the socket
+// transport absorbs them into kNodeUnavailable answers before the cluster ever sees them.
 #ifndef SRC_CACHE_CACHE_CLUSTER_H_
 #define SRC_CACHE_CACHE_CLUSTER_H_
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/cache/cache_server.h"
 #include "src/cluster/consistent_hash.h"
+#include "src/net/transport.h"
 #include "src/util/hash.h"
 
 namespace txcache {
@@ -30,42 +43,51 @@ class CacheCluster {
  public:
   explicit CacheCluster(size_t virtual_nodes_per_node = 64) : ring_(virtual_nodes_per_node) {}
 
-  // The cluster does not own servers; callers keep them alive.
-  bool AddNode(CacheServer* server) {
+  // The cluster does not own servers; callers keep them alive. The transport wrapping the
+  // server comes from the default factory (loopback unless TXCACHE_TRANSPORT=socket or an
+  // installed factory says otherwise).
+  bool AddNode(CacheServer* server) { return AddNode(MakeDefaultTransport(server)); }
+
+  // Explicit-transport form (tests aim transports at dead endpoints; deployments mix nodes).
+  bool AddNode(std::shared_ptr<CacheTransport> transport) {
+    if (transport == nullptr) {
+      return false;
+    }
     size_t auto_keys = 0;
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
-      if (!ring_.AddNode(server->name())) {
+      if (!ring_.AddNode(transport->name())) {
         return false;
       }
-      servers_[server->name()] = server;
+      nodes_[transport->name()] = transport;
       auto_keys = auto_replication_keys_;
     }
     // A node joining a fleet with auto-replication enabled gets the hook immediately (outside
     // the membership lock: set_replication_hook takes the server's own leaf mutex).
-    if (auto_keys != 0) {
+    CacheServer* server = transport->local_server();
+    if (auto_keys != 0 && server != nullptr) {
       AttachReplicationHook(server, auto_keys);
     }
     return true;
   }
 
   bool RemoveNode(const std::string& name) {
-    CacheServer* departed = nullptr;
+    std::shared_ptr<CacheTransport> departed;
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
       if (!ring_.RemoveNode(name)) {
         return false;
       }
-      auto it = servers_.find(name);
-      if (it != servers_.end()) {
-        departed = it->second;
-        servers_.erase(it);
+      auto it = nodes_.find(name);
+      if (it != nodes_.end()) {
+        departed = std::move(it->second);
+        nodes_.erase(it);
       }
     }
-    if (departed != nullptr) {
+    if (departed != nullptr && departed->local_server() != nullptr) {
       // Detach the auto-replication hook (if any): the departed server may outlive this
       // cluster, and its Deliver tail must not call back into a dead fleet.
-      departed->set_replication_hook(nullptr);
+      departed->local_server()->set_replication_hook(nullptr);
     }
     return true;
   }
@@ -98,7 +120,9 @@ class CacheCluster {
   size_t ReplicateHotKeys(size_t max_keys_per_node) {
     size_t pushes = 0;
     for (CacheServer* primary : Nodes()) {
-      pushes += ReplicateHotKeysFromNode(primary, max_keys_per_node);
+      if (primary != nullptr) {
+        pushes += ReplicateHotKeysFromNode(primary, max_keys_per_node);
+      }
     }
     return pushes;
   }
@@ -117,8 +141,9 @@ class CacheCluster {
       return 0;
     }
     // Resolve every key's replica set under one shared-lock hop; push with it released
-    // (same discipline as Lookup: membership writes never wait behind cache work).
-    std::vector<std::pair<CacheServer*, const InsertRequest*>> dispatch;
+    // (same discipline as Lookup: membership writes never wait behind cache work). The
+    // shared_ptr copies keep each replica's transport alive across a concurrent RemoveNode.
+    std::vector<std::pair<std::shared_ptr<CacheTransport>, const InsertRequest*>> dispatch;
     {
       std::shared_lock<std::shared_mutex> lock(mu_);
       for (const InsertRequest& req : hot) {
@@ -126,8 +151,8 @@ class CacheCluster {
           if (name == primary->name()) {
             continue;  // the exporter already holds it
           }
-          auto it = servers_.find(name);
-          if (it != servers_.end()) {
+          auto it = nodes_.find(name);
+          if (it != nodes_.end()) {
             dispatch.emplace_back(it->second, &req);
           }
         }
@@ -135,7 +160,7 @@ class CacheCluster {
     }
     size_t pushes = 0;
     for (auto& [replica, req] : dispatch) {
-      if (replica->Insert(*req).ok()) {
+      if (replica->Insert(*req, nullptr).ok()) {
         ++pushes;
       }
     }
@@ -153,9 +178,11 @@ class CacheCluster {
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
       auto_replication_keys_ = max_keys_per_node;
-      nodes.reserve(servers_.size());
-      for (const auto& [_, server] : servers_) {
-        nodes.push_back(server);
+      nodes.reserve(nodes_.size());
+      for (const auto& [_, transport] : nodes_) {
+        if (transport->local_server() != nullptr) {
+          nodes.push_back(transport->local_server());
+        }
       }
     }
     for (CacheServer* server : nodes) {
@@ -174,12 +201,20 @@ class CacheCluster {
   // Accepted hot-key pushes across all ReplicateHotKeys rounds.
   uint64_t replica_pushes() const { return replica_pushes_.load(std::memory_order_relaxed); }
 
-  // Routes a key to its owning server. Unroutable (empty ring, or — defensively — a ring
-  // entry with no registered server) is kUnavailable, never kInternal: under churn that key
-  // is a miss, not a bug.
+  // Routes a key to its owning node's in-process server (nullptr-free: an unroutable key or
+  // a fully remote node without a local server object is kUnavailable, never kInternal —
+  // under churn that key is a miss, not a bug).
   Result<CacheServer*> NodeForKey(const std::string& key) const {
     std::shared_lock<std::shared_mutex> lock(mu_);
-    return NodeForHashLocked(Fnv1a(key));
+    auto node_or = NodeForHashLocked(Fnv1a(key));
+    if (!node_or.ok()) {
+      return node_or.status();
+    }
+    CacheServer* server = node_or.value()->local_server();
+    if (server == nullptr) {
+      return Status::Unavailable("node has no in-process server");
+    }
+    return server;
   }
 
   // Single lookup through cluster routing. An unroutable key answers a kNodeUnavailable miss
@@ -190,7 +225,7 @@ class CacheCluster {
   // its RemoveNode is still safe to call — servers are caller-owned and outlive the cluster,
   // so the request simply completes under the routing view it was issued at (its epoch).
   LookupResponse Lookup(const LookupRequest& req) const {
-    CacheServer* server = nullptr;
+    std::shared_ptr<CacheTransport> node;
     uint64_t epoch = 0;
     {
       std::shared_lock<std::shared_mutex> lock(mu_);
@@ -199,16 +234,16 @@ class CacheCluster {
       // below; the key is never rehashed.
       auto node_or = NodeForHashLocked(RequestKeyHash(req));
       if (node_or.ok()) {
-        server = node_or.value();
+        node = node_or.value();
       }
     }
     LookupResponse resp;
-    if (server == nullptr) {
+    if (node == nullptr) {
       resp.miss = MissKind::kNodeUnavailable;
       nodes_unavailable_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      resp = server->Lookup(req);
-      resp.served_by = server->name();
+      resp = node->Lookup(req);
+      resp.served_by = node->name();
     }
     resp.ring_epoch = epoch;
     if (resp.miss == MissKind::kNodeUnavailable) {
@@ -224,7 +259,7 @@ class CacheCluster {
   // gate's policy outcomes. The response carries the owning node's fresh advisory snapshot
   // for the function (accepts and declines alike).
   InsertResponse Insert(const InsertRequest& req) const {
-    CacheServer* server = nullptr;
+    std::shared_ptr<CacheTransport> node;
     Status route = Status::Ok();
     InsertResponse resp;
     {
@@ -232,14 +267,14 @@ class CacheCluster {
       resp.ring_epoch = ring_.epoch();
       auto node_or = NodeForHashLocked(RequestKeyHash(req));
       if (node_or.ok()) {
-        server = node_or.value();
+        node = node_or.value();
       } else {
         route = node_or.status();
       }
     }
-    resp.status = server != nullptr ? server->Insert(req, &resp.hints) : route;
-    if (server != nullptr) {
-      resp.served_by = server->name();
+    resp.status = node != nullptr ? node->Insert(req, &resp.hints) : route;
+    if (node != nullptr) {
+      resp.served_by = node->name();
     }
     return resp;
   }
@@ -267,9 +302,11 @@ class CacheCluster {
   Result<MultiLookupResponse> MultiLookup(const MultiLookupRequest& req) const {
     MultiLookupResponse resp;
     resp.responses.resize(req.lookups.size());
-    // Route the whole batch under the shared lock, then dispatch to the owning servers with
-    // the lock released (see Lookup above for why that is safe).
-    std::vector<std::pair<CacheServer*, std::vector<uint32_t>>> dispatch;
+    // Route the whole batch under the shared lock, then dispatch to the owning nodes with
+    // the lock released (see Lookup above for why that is safe). Over the socket transport
+    // each dispatch is ONE pipelined MultiLookup frame per node — the batch still costs one
+    // round-trip per node touched, not one per key.
+    std::vector<std::pair<std::shared_ptr<CacheTransport>, std::vector<uint32_t>>> dispatch;
     {
       std::shared_lock<std::shared_mutex> lock(mu_);
       resp.ring_epoch = ring_.epoch();
@@ -285,8 +322,8 @@ class CacheCluster {
       }
       dispatch.reserve(groups_or.value().size());
       for (auto& [name, indices] : groups_or.value()) {
-        auto it = servers_.find(name);
-        if (it == servers_.end()) {
+        auto it = nodes_.find(name);
+        if (it == nodes_.end()) {
           // The ring names a node with no live server (departed under our feet): those
           // positions become misses with correct request-order reassembly, never an error.
           for (uint32_t i : indices) {
@@ -298,11 +335,11 @@ class CacheCluster {
         dispatch.emplace_back(it->second, std::move(indices));
       }
     }
-    for (auto& [server, indices] : dispatch) {
+    for (auto& [node, indices] : dispatch) {
       // Scatter form: each node answers its positions straight into the shared response.
-      server->MultiLookup(req, indices, &resp);
+      node->MultiLookup(req, indices, &resp);
       for (uint32_t i : indices) {
-        resp.responses[i].served_by = server->name();
+        resp.responses[i].served_by = node->name();
       }
     }
     if (replication_.load(std::memory_order_relaxed) > 1) {
@@ -319,15 +356,30 @@ class CacheCluster {
 
   size_t node_count() const {
     std::shared_lock<std::shared_mutex> lock(mu_);
-    return servers_.size();
+    return nodes_.size();
   }
 
+  // In-process server objects of the fleet (management plane). Fully remote nodes (no local
+  // server) are skipped.
   std::vector<CacheServer*> Nodes() const {
     std::shared_lock<std::shared_mutex> lock(mu_);
     std::vector<CacheServer*> out;
-    out.reserve(servers_.size());
-    for (const auto& [_, server] : servers_) {
-      out.push_back(server);
+    out.reserve(nodes_.size());
+    for (const auto& [_, transport] : nodes_) {
+      if (transport->local_server() != nullptr) {
+        out.push_back(transport->local_server());
+      }
+    }
+    return out;
+  }
+
+  // The fleet's transports (one per node, whatever their kind).
+  std::vector<std::shared_ptr<CacheTransport>> Transports() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::vector<std::shared_ptr<CacheTransport>> out;
+    out.reserve(nodes_.size());
+    for (const auto& [_, transport] : nodes_) {
+      out.push_back(transport);
     }
     return out;
   }
@@ -335,8 +387,10 @@ class CacheCluster {
   CacheStats TotalStats() const {
     std::shared_lock<std::shared_mutex> lock(mu_);
     CacheStats total;
-    for (const auto& [_, server] : servers_) {
-      total += server->stats();
+    for (const auto& [_, transport] : nodes_) {
+      if (transport->local_server() != nullptr) {
+        total += transport->local_server()->stats();
+      }
     }
     // Routing failures the cluster answered itself (no server to charge them to). They count
     // as lookups too, so fleet hit_rate() reflects the traffic churn turned away.
@@ -352,7 +406,11 @@ class CacheCluster {
   std::vector<FunctionStatsEntry> TotalFunctionStats() const {
     std::shared_lock<std::shared_mutex> lock(mu_);
     std::unordered_map<std::string, FunctionStatsEntry> merged;
-    for (const auto& [_, server] : servers_) {
+    for (const auto& [_, transport] : nodes_) {
+      CacheServer* server = transport->local_server();
+      if (server == nullptr) {
+        continue;
+      }
       for (FunctionStatsEntry& e : server->FunctionStats()) {
         auto it = merged.find(e.function);
         if (it == merged.end()) {
@@ -397,15 +455,19 @@ class CacheCluster {
 
   void FlushAll() {
     std::shared_lock<std::shared_mutex> lock(mu_);
-    for (const auto& [_, server] : servers_) {
-      server->Flush();
+    for (const auto& [_, transport] : nodes_) {
+      if (transport->local_server() != nullptr) {
+        transport->local_server()->Flush();
+      }
     }
   }
 
   void ResetStatsAll() {
     std::shared_lock<std::shared_mutex> lock(mu_);
-    for (const auto& [_, server] : servers_) {
-      server->ResetStats();
+    for (const auto& [_, transport] : nodes_) {
+      if (transport->local_server() != nullptr) {
+        transport->local_server()->ResetStats();
+      }
     }
     nodes_unavailable_.store(0, std::memory_order_relaxed);
   }
@@ -413,30 +475,32 @@ class CacheCluster {
   size_t TotalBytesUsed() const {
     std::shared_lock<std::shared_mutex> lock(mu_);
     size_t n = 0;
-    for (const auto& [_, server] : servers_) {
-      n += server->bytes_used();
+    for (const auto& [_, transport] : nodes_) {
+      if (transport->local_server() != nullptr) {
+        n += transport->local_server()->bytes_used();
+      }
     }
     return n;
   }
 
  private:
   IntentResponse RouteIntent(const IntentRequest& req, bool acquire) const {
-    CacheServer* server = nullptr;
+    std::shared_ptr<CacheTransport> node;
     uint64_t epoch = 0;
     {
       std::shared_lock<std::shared_mutex> lock(mu_);
       epoch = ring_.epoch();
       auto node_or = NodeForHashLocked(RequestKeyHash(req));
       if (node_or.ok()) {
-        server = node_or.value();
+        node = node_or.value();
       }
     }
     IntentResponse resp;
-    if (server == nullptr) {
+    if (node == nullptr) {
       resp.status = Status::Unavailable("no cache node owns this key");
     } else {
-      resp = acquire ? server->AcquireIntent(req) : server->ReleaseIntent(req);
-      resp.served_by = server->name();
+      resp = acquire ? node->AcquireIntent(req) : node->ReleaseIntent(req);
+      resp.served_by = node->name();
     }
     resp.ring_epoch = epoch;
     return resp;
@@ -460,7 +524,7 @@ class CacheCluster {
       return false;
     }
     const uint64_t key_hash = RequestKeyHash(req);
-    std::vector<CacheServer*> fallbacks;
+    std::vector<std::shared_ptr<CacheTransport>> fallbacks;
     {
       std::shared_lock<std::shared_mutex> lock(mu_);
       auto primary_or = ring_.NodeForKey(key_hash);
@@ -468,13 +532,13 @@ class CacheCluster {
         if (primary_or.ok() && name == primary_or.value()) {
           continue;  // that one already answered unavailable
         }
-        auto it = servers_.find(name);
-        if (it != servers_.end()) {
+        auto it = nodes_.find(name);
+        if (it != nodes_.end()) {
           fallbacks.push_back(it->second);
         }
       }
     }
-    for (CacheServer* replica : fallbacks) {
+    for (const std::shared_ptr<CacheTransport>& replica : fallbacks) {
       LookupResponse alt = replica->Lookup(req);
       if (alt.miss != MissKind::kNodeUnavailable) {
         alt.ring_epoch = resp->ring_epoch;
@@ -487,23 +551,23 @@ class CacheCluster {
     return false;
   }
 
-  Result<CacheServer*> NodeForHashLocked(uint64_t key_hash) const {
+  Result<std::shared_ptr<CacheTransport>> NodeForHashLocked(uint64_t key_hash) const {
     auto name_or = ring_.NodeForKey(key_hash);
     if (!name_or.ok()) {
       return name_or.status();
     }
-    auto it = servers_.find(name_or.value());
-    if (it == servers_.end()) {
+    auto it = nodes_.find(name_or.value());
+    if (it == nodes_.end()) {
       return Status::Unavailable("ring references a departed node");
     }
     return it->second;
   }
 
-  // Guards ring_ and servers_ against membership changes racing application traffic. Reads
+  // Guards ring_ and nodes_ against membership changes racing application traffic. Reads
   // (routing, stats) share; AddNode/RemoveNode are exclusive and brief.
   mutable std::shared_mutex mu_;
   ConsistentHashRing ring_;
-  std::unordered_map<std::string, CacheServer*> servers_;
+  std::unordered_map<std::string, std::shared_ptr<CacheTransport>> nodes_;
   mutable std::atomic<uint64_t> nodes_unavailable_{0};
 
   // Hot-key replication factor and counters (see set_replication). replica_redirects_ is

@@ -30,6 +30,24 @@ struct LookupRequest {
   Timestamp bounds_lo = kTimestampZero;
   Timestamp bounds_hi = kTimestampInfinity;  // kTimestampInfinity when * is in the pin set
   Timestamp fresh_lo = kTimestampZero;
+
+  // Serde hook (src/util/serde.h) for the binary wire protocol (src/net/wire.h).
+  template <typename F>
+  void ForEachField(F&& f) {
+    f(key);
+    f(key_hash);
+    f(bounds_lo);
+    f(bounds_hi);
+    f(fresh_lo);
+  }
+  template <typename F>
+  void ForEachField(F&& f) const {
+    f(key);
+    f(key_hash);
+    f(bounds_lo);
+    f(bounds_hi);
+    f(fresh_lo);
+  }
 };
 
 enum class MissKind : uint8_t {
@@ -126,6 +144,15 @@ struct LookupResponse {
 // so a cacheable call fanning out to many keys costs one round-trip per node, not per key.
 struct MultiLookupRequest {
   std::vector<LookupRequest> lookups;
+
+  template <typename F>
+  void ForEachField(F&& f) {
+    f(lookups);
+  }
+  template <typename F>
+  void ForEachField(F&& f) const {
+    f(lookups);
+  }
 };
 
 struct MultiLookupResponse {
@@ -149,6 +176,28 @@ struct InsertRequest {
   // zero (legacy callers) is always safe — it can never trigger an admission reject on its own
   // because the adaptive watermark stays at zero until priced entries start being evicted.
   uint64_t fill_cost_us = 0;
+
+  // Serde hook (src/util/serde.h) for the binary wire protocol (src/net/wire.h).
+  template <typename F>
+  void ForEachField(F&& f) {
+    f(key);
+    f(key_hash);
+    f(value);
+    f(interval);
+    f(computed_at);
+    f(tags);
+    f(fill_cost_us);
+  }
+  template <typename F>
+  void ForEachField(F&& f) const {
+    f(key);
+    f(key_hash);
+    f(value);
+    f(interval);
+    f(computed_at);
+    f(tags);
+    f(fill_cost_us);
+  }
 };
 
 // PUT acknowledgement from cluster-level routing: the storage/admission outcome plus the
@@ -179,6 +228,20 @@ struct IntentRequest {
   uint64_t key_hash = 0;
   // Owner token (the client's database transaction id); nonzero.
   uint64_t txn_id = 0;
+
+  // Serde hook (src/util/serde.h) for the binary wire protocol (src/net/wire.h).
+  template <typename F>
+  void ForEachField(F&& f) {
+    f(key);
+    f(key_hash);
+    f(txn_id);
+  }
+  template <typename F>
+  void ForEachField(F&& f) const {
+    f(key);
+    f(key_hash);
+    f(txn_id);
+  }
 };
 
 struct IntentResponse {

@@ -1,0 +1,147 @@
+#include "src/cache/file_snapshot_store.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <stdio.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "src/util/hash.h"
+#include "src/util/serde.h"
+
+namespace txcache {
+
+namespace {
+
+// "TXSN" little-endian, followed by a u32 format version.
+constexpr uint32_t kSnapFileMagic = 0x4e535854;
+constexpr uint32_t kSnapFileVersion = 1;
+// magic + version + payload_len(u64) + checksum(u64)
+constexpr size_t kSnapHeaderBytes = 4 + 4 + 8 + 8;
+
+std::string SanitizeNodeName(const std::string& node) {
+  std::string out;
+  out.reserve(node.size());
+  for (char c : node) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) {
+    out = "_";
+  }
+  return out;
+}
+
+// Write all of `data` to fd, riding out EINTR/short writes.
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+FileSnapshotStore::FileSnapshotStore(std::string dir) : dir_(std::move(dir)) {
+  if (mkdir(dir_.c_str(), 0755) == 0 || errno == EEXIST) {
+    dir_ok_ = true;
+  }
+}
+
+std::string FileSnapshotStore::PathFor(const std::string& node) const {
+  return dir_ + "/" + SanitizeNodeName(node) + ".snap";
+}
+
+void FileSnapshotStore::Save(const std::string& node, std::string snapshot) {
+  if (!dir_ok_) {
+    save_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Writer w;
+  w.PutU32(kSnapFileMagic);
+  w.PutU32(kSnapFileVersion);
+  w.PutU64(snapshot.size());
+  w.PutU64(Fnv1a(snapshot));
+  const std::string path = PathFor(node);
+  const std::string tmp = path + ".tmp";
+  int fd = open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    save_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const bool wrote = WriteAll(fd, w.Take()) && WriteAll(fd, snapshot) && fsync(fd) == 0;
+  close(fd);
+  if (!wrote || rename(tmp.c_str(), path.c_str()) != 0) {
+    unlink(tmp.c_str());
+    save_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  saves_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<std::string> FileSnapshotStore::LoadFreshest(const std::string& node) const {
+  loads_.fetch_add(1, std::memory_order_relaxed);
+  const std::string path = PathFor(node);
+  int fd = open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return std::nullopt;  // no snapshot yet — not corruption
+  }
+  std::string raw;
+  char buf[64 * 1024];
+  while (true) {
+    ssize_t n = read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      raw.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    close(fd);
+    if (n < 0) {
+      corrupt_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    break;
+  }
+  if (raw.size() < kSnapHeaderBytes) {
+    corrupt_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Reader r(raw);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t payload_len = 0;
+  uint64_t checksum = 0;
+  if (!r.GetU32(&magic) || !r.GetU32(&version) || !r.GetU64(&payload_len) ||
+      !r.GetU64(&checksum) || magic != kSnapFileMagic || version != kSnapFileVersion ||
+      payload_len != raw.size() - kSnapHeaderBytes) {
+    corrupt_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::string payload = raw.substr(kSnapHeaderBytes);
+  if (Fnv1a(payload) != checksum) {
+    corrupt_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  return payload;
+}
+
+void FileSnapshotStore::Erase(const std::string& node) {
+  unlink(PathFor(node).c_str());
+}
+
+}  // namespace txcache

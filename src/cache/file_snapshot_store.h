@@ -1,0 +1,62 @@
+// File-backed SnapshotStore: warm rejoins that survive a process restart.
+//
+// The in-memory store dies with the process, so it only warms SIMULATED crashes. This store
+// writes each node's snapshot to `<dir>/<node>.snap` with the durability idiom real caches
+// use:
+//
+//   * Atomic replace — Save writes to `<node>.snap.tmp` and rename(2)s over the final path,
+//     so a crash mid-write leaves either the previous complete snapshot or a stray .tmp,
+//     never a torn .snap.
+//   * Validated load — the file carries a magic, a format version, the payload length and an
+//     FNV-1a checksum. LoadFreshest verifies all four and answers nullopt for anything
+//     short, truncated, corrupt or from a different format — a damaged snapshot degrades to
+//     the cold-join path (ImportSnapshot then re-validates entry-by-entry on top).
+//
+// Node names become file names via a conservative sanitizer (alnum, '-', '_', '.' pass;
+// everything else maps to '_'), so ring names like "node:0" can't escape the directory.
+#ifndef SRC_CACHE_FILE_SNAPSHOT_STORE_H_
+#define SRC_CACHE_FILE_SNAPSHOT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/cache/snapshot_store.h"
+
+namespace txcache {
+
+class FileSnapshotStore : public SnapshotStore {
+ public:
+  // `dir` is created (one level) if missing. Failures to create it are remembered and every
+  // Save becomes a counted no-op — persistence is an optimization, never an outage.
+  explicit FileSnapshotStore(std::string dir);
+
+  void Save(const std::string& node, std::string snapshot) override;
+  std::optional<std::string> LoadFreshest(const std::string& node) const override;
+
+  // Removes `node`'s snapshot file (tests: force the no-snapshot fallback).
+  void Erase(const std::string& node);
+
+  const std::string& dir() const { return dir_; }
+  uint64_t saves() const { return saves_.load(std::memory_order_relaxed); }
+  uint64_t save_failures() const { return save_failures_.load(std::memory_order_relaxed); }
+  uint64_t loads() const { return loads_.load(std::memory_order_relaxed); }
+  // Loads that found a file but rejected it (bad magic/version/length/checksum).
+  uint64_t corrupt_rejects() const { return corrupt_rejects_.load(std::memory_order_relaxed); }
+
+  // Path `node`'s snapshot lives at (exposed so tests can corrupt it deliberately).
+  std::string PathFor(const std::string& node) const;
+
+ private:
+  const std::string dir_;
+  bool dir_ok_ = false;
+  std::atomic<uint64_t> saves_{0};
+  std::atomic<uint64_t> save_failures_{0};
+  mutable std::atomic<uint64_t> loads_{0};
+  mutable std::atomic<uint64_t> corrupt_rejects_{0};
+};
+
+}  // namespace txcache
+
+#endif  // SRC_CACHE_FILE_SNAPSHOT_STORE_H_

@@ -1,0 +1,137 @@
+// Node-wide invalidation-tag-set interning.
+//
+// Successive versions of the same cache entry — and frequently entries produced by the same
+// query template over different bind values — carry byte-identical tag sets. Before
+// interning, every insert copied the request's tag vector into its ResidentBlock, so a
+// tag-heavy workload paid (tags × versions) resident bytes and allocations. The interner
+// extends the function_interner.h idea to whole tag sets: CacheServer owns one
+// TagSetInterner, inserts exchange their tag vector for a shared immutable
+// shared_ptr<const vector<InvalidationTag>>, and identical sets alias a single allocation.
+//
+// Unlike FunctionInterner, entries are NOT append-only — a tag set must die when the last
+// version referencing it is evicted, or the interner would pin every set ever seen. The map
+// therefore holds weak_ptrs keyed by a 64-bit FNV-1a of the set's contents (buckets are
+// vectors to disambiguate hash collisions by deep compare); expired entries are pruned
+// lazily whenever their bucket is revisited and by the occasional full sweep.
+//
+// Thread safety: a leaf mutex guards the map. Intern runs on the insert path (exclusive
+// shard lock already held — the interner lock nests strictly inside and is held only for map
+// operations). The returned shared_ptrs are immutable, so readers never touch the interner:
+// the zero-copy hit path hands out aliases of the ResidentBlock exactly as before.
+#ifndef SRC_CACHE_TAG_INTERNER_H_
+#define SRC_CACHE_TAG_INTERNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/bus/invalidation.h"
+#include "src/util/hash.h"
+
+namespace txcache {
+
+class TagSetInterner {
+ public:
+  using TagSet = std::vector<InvalidationTag>;
+
+  // Returns a shared immutable copy of `tags`, aliasing a previously interned set when one
+  // with identical contents is still alive. The empty set maps to a process-wide singleton.
+  // Never returns null.
+  std::shared_ptr<const TagSet> Intern(TagSet tags) {
+    if (tags.empty()) {
+      return EmptySet();
+    }
+    const uint64_t h = HashTagSet(tags);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sets_.find(h);
+    if (it != sets_.end()) {
+      auto& bucket = it->second;
+      for (size_t i = 0; i < bucket.size();) {
+        std::shared_ptr<const TagSet> live = bucket[i].lock();
+        if (live == nullptr) {
+          bucket[i] = std::move(bucket.back());  // lazy prune of a dead set
+          bucket.pop_back();
+          continue;
+        }
+        if (*live == tags) {
+          ++dedup_hits_;
+          return live;
+        }
+        ++i;  // genuine 64-bit collision: keep looking
+      }
+    }
+    auto fresh = std::make_shared<const TagSet>(std::move(tags));
+    sets_[h].push_back(fresh);
+    if (++inserts_since_sweep_ >= kSweepInterval) {
+      inserts_since_sweep_ = 0;
+      SweepLocked();
+    }
+    return fresh;
+  }
+
+  // Distinct tag sets currently tracked (live + not-yet-pruned dead). Diagnostic.
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto& [h, bucket] : sets_) {
+      n += bucket.size();
+    }
+    return n;
+  }
+
+  // Interns answered by an already-live identical set.
+  uint64_t dedup_hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dedup_hits_;
+  }
+
+  static uint64_t HashTagSet(const TagSet& tags) {
+    uint64_t h = kFnvOffsetBasis;
+    for (const InvalidationTag& t : tags) {
+      h = Fnv1a(t.table, h);
+      h = Fnv1a({"\x1f", 1}, h);  // field separator: ("ab","c") must not equal ("a","bc")
+      h = Fnv1a(t.index, h);
+      h = Fnv1a({"\x1f", 1}, h);
+      h = Fnv1a(t.key, h);
+      h = Fnv1a(t.wildcard ? std::string_view("\x1fw") : std::string_view("\x1f."), h);
+    }
+    return h;
+  }
+
+ private:
+  static constexpr uint64_t kSweepInterval = 1024;
+
+  static const std::shared_ptr<const TagSet>& EmptySet() {
+    static const std::shared_ptr<const TagSet> kEmpty = std::make_shared<const TagSet>();
+    return kEmpty;
+  }
+
+  // Drops every expired weak_ptr so churny workloads (sets die, new distinct sets arrive)
+  // can't grow the map without bound between bucket revisits.
+  void SweepLocked() {
+    for (auto it = sets_.begin(); it != sets_.end();) {
+      auto& bucket = it->second;
+      for (size_t i = 0; i < bucket.size();) {
+        if (bucket[i].expired()) {
+          bucket[i] = std::move(bucket.back());
+          bucket.pop_back();
+        } else {
+          ++i;
+        }
+      }
+      it = bucket.empty() ? sets_.erase(it) : std::next(it);
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::vector<std::weak_ptr<const TagSet>>> sets_;
+  uint64_t dedup_hits_ = 0;
+  uint64_t inserts_since_sweep_ = 0;
+};
+
+}  // namespace txcache
+
+#endif  // SRC_CACHE_TAG_INTERNER_H_

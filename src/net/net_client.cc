@@ -1,0 +1,271 @@
+#include "src/net/net_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+namespace txcache::net {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+int RemainingMs(SteadyClock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - SteadyClock::now())
+                  .count();
+  if (left <= 0) {
+    return 0;
+  }
+  return static_cast<int>(left);
+}
+
+// Polls fd for `events` until the deadline. True iff the event arrived in time.
+bool PollFor(int fd, short events, SteadyClock::time_point deadline) {
+  while (true) {
+    int timeout = RemainingMs(deadline);
+    if (timeout == 0) {
+      return false;
+    }
+    pollfd p{fd, events, 0};
+    int rc = poll(&p, 1, timeout);
+    if (rc > 0) {
+      return (p.revents & (events | POLLERR | POLLHUP)) != 0;
+    }
+    if (rc == 0) {
+      return false;  // timed out
+    }
+    if (errno != EINTR) {
+      return false;
+    }
+  }
+}
+
+}  // namespace
+
+NetClient::NetClient(NetClientOptions options) : options_(std::move(options)) {}
+
+NetClient::~NetClient() { CloseIdle(); }
+
+void NetClient::CloseIdle() {
+  std::vector<Conn> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    doomed.swap(idle_);
+  }
+  for (Conn& c : doomed) {
+    close(c.fd);
+  }
+}
+
+std::optional<NetClient::Conn> NetClient::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!idle_.empty()) {
+    Conn c = std::move(idle_.back());
+    idle_.pop_back();
+    return c;
+  }
+  return std::nullopt;
+}
+
+void NetClient::Release(Conn conn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (idle_.size() < options_.max_idle_connections) {
+      idle_.push_back(std::move(conn));
+      return;
+    }
+  }
+  close(conn.fd);
+}
+
+std::optional<NetClient::Conn> NetClient::Dial() {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const auto deadline =
+      SteadyClock::now() + std::chrono::milliseconds(options_.connect_timeout_ms);
+  int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      close(fd);  // immediate refusal (no listener): degrade, don't error
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    if (!PollFor(fd, POLLOUT, deadline)) {
+      close(fd);  // connect timeout
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      close(fd);  // deferred refusal
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+  }
+  int on = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+  connects_.fetch_add(1, std::memory_order_relaxed);
+  Conn c;
+  c.fd = fd;
+  return c;
+}
+
+bool NetClient::Exchange(Conn& conn,
+                         const std::vector<std::pair<FrameType, std::string>>& requests,
+                         std::vector<FrameType>* resp_types,
+                         std::vector<std::string>* resp_payloads) {
+  const auto deadline =
+      SteadyClock::now() + std::chrono::milliseconds(options_.request_timeout_ms);
+
+  // Stamp request ids now so response ids can be verified in order.
+  std::vector<uint64_t> ids;
+  ids.reserve(requests.size());
+  std::string wire;
+  for (const auto& [type, payload] : requests) {
+    const uint64_t id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    ids.push_back(id);
+    wire += EncodeFrame(type, id, payload);
+  }
+
+  // Write side: the socket is non-blocking, so short writes spin through poll(POLLOUT).
+  size_t off = 0;
+  while (off < wire.size()) {
+    ssize_t n = send(conn.fd, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!PollFor(conn.fd, POLLOUT, deadline)) {
+        return false;  // request timeout while the send buffer stayed full
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;  // peer reset / mid-request disconnect
+  }
+
+  // Read side: responses arrive in request order; parse frames out of the rolling buffer.
+  resp_types->clear();
+  resp_payloads->clear();
+  resp_types->reserve(requests.size());
+  resp_payloads->reserve(requests.size());
+  size_t answered = 0;
+  char buf[64 * 1024];
+  while (answered < requests.size()) {
+    FrameHeader header;
+    std::string_view payload;
+    size_t consumed = 0;
+    FrameParse parse = TryParseFrame(conn.in, &header, &payload, &consumed, nullptr);
+    if (parse == FrameParse::kError) {
+      return false;  // server is not speaking our protocol
+    }
+    if (parse == FrameParse::kFrame) {
+      if (header.request_id != ids[answered]) {
+        return false;  // response misordered or for someone else: the stream is poisoned
+      }
+      resp_types->push_back(header.type);
+      resp_payloads->emplace_back(payload);
+      conn.in.erase(0, consumed);
+      ++answered;
+      continue;
+    }
+    // kNeedMore: pull bytes within the deadline.
+    if (!PollFor(conn.fd, POLLIN, deadline)) {
+      return false;  // response timeout
+    }
+    ssize_t n = recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.in.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return false;  // server closed mid-response
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool NetClient::Call(FrameType type, std::string_view payload, FrameType* resp_type,
+                     std::string* resp_payload) {
+  std::vector<std::pair<FrameType, std::string>> requests;
+  requests.emplace_back(type, std::string(payload));
+  std::vector<FrameType> types;
+  std::vector<std::string> payloads;
+  if (!CallPipelined(requests, &types, &payloads)) {
+    return false;
+  }
+  *resp_type = types[0];
+  *resp_payload = std::move(payloads[0]);
+  return true;
+}
+
+bool NetClient::CallPipelined(const std::vector<std::pair<FrameType, std::string>>& requests,
+                              std::vector<FrameType>* resp_types,
+                              std::vector<std::string>* resp_payloads) {
+  if (requests.empty()) {
+    resp_types->clear();
+    resp_payloads->clear();
+    return true;
+  }
+  // Prefer a pooled keep-alive connection; the server may have closed it while it sat idle,
+  // so a pooled connection that fails gets ONE retry on a freshly dialed one before the call
+  // degrades. Fresh dials never retry — their failure is the server genuinely unreachable.
+  std::optional<Conn> conn = Acquire();
+  bool pooled = conn.has_value();
+  if (!pooled) {
+    conn = Dial();
+    if (!conn.has_value()) {
+      return false;  // dial failed (refused / connect timeout)
+    }
+  }
+  if (!Exchange(*conn, requests, resp_types, resp_payloads)) {
+    close(conn->fd);  // failed connections never go back in the pool
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    if (!pooled) {
+      return false;
+    }
+    conn = Dial();
+    if (!conn.has_value() || !Exchange(*conn, requests, resp_types, resp_payloads)) {
+      if (conn.has_value()) {
+        close(conn->fd);
+        failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return false;
+    }
+  }
+  if (!conn->in.empty()) {
+    // Trailing unread bytes mean the server sent more than we asked for; don't reuse.
+    close(conn->fd);
+    return true;
+  }
+  Release(std::move(*conn));
+  return true;
+}
+
+}  // namespace txcache::net

@@ -1,0 +1,96 @@
+// Pooled socket client for the cache wire protocol (docs/architecture.md §"Network
+// transport").
+//
+// A NetClient talks to exactly one server endpoint. Connections are pooled and keep-alive:
+// Call/CallPipelined check a connection out of the free list (dialing a new one when the list
+// is empty), run the exchange, and return it on success. Any failure — connect refused,
+// deadline exceeded, mid-request disconnect, protocol garbage — discards the connection and
+// fails the call; the caller (SocketTransport) degrades the RPC to a kNodeUnavailable miss,
+// never an error and never a stale read, matching the paper's "a vanished node is just
+// misses" failure model.
+//
+// Pipelining: CallPipelined writes every request frame back-to-back before reading any
+// response, then reads exactly one response per request, in order (the server's contract).
+// A batch of K small requests therefore costs one round-trip instead of K.
+//
+// Timeouts: connect_timeout_ms bounds the non-blocking dial; request_timeout_ms bounds each
+// whole exchange (write + read, one deadline per Call/CallPipelined invocation).
+#ifndef SRC_NET_NET_CLIENT_H_
+#define SRC_NET_NET_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/net/wire.h"
+
+namespace txcache::net {
+
+struct NetClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connect_timeout_ms = 1000;
+  int request_timeout_ms = 2000;
+  // Idle connections retained for reuse; extra connections are closed on release. Callers
+  // that want N truly concurrent exchanges just issue them from N threads — each checks out
+  // its own connection.
+  size_t max_idle_connections = 32;
+};
+
+class NetClient {
+ public:
+  explicit NetClient(NetClientOptions options);
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  // One request/response exchange. Returns false on any transport failure; *resp_type and
+  // *resp_payload are valid only on success (the server may answer kError for a payload it
+  // could not decode — that is a successful exchange carrying an error frame).
+  bool Call(FrameType type, std::string_view payload, FrameType* resp_type,
+            std::string* resp_payload);
+
+  // Pipelined exchange: all requests written back-to-back, then one response read per
+  // request, in request order. All-or-nothing: false means the connection failed somewhere
+  // and no response should be trusted.
+  bool CallPipelined(const std::vector<std::pair<FrameType, std::string>>& requests,
+                     std::vector<FrameType>* resp_types,
+                     std::vector<std::string>* resp_payloads);
+
+  // Closes every pooled idle connection (in-flight calls keep theirs).
+  void CloseIdle();
+
+  uint64_t failures() const { return failures_.load(std::memory_order_relaxed); }
+  uint64_t connects() const { return connects_.load(std::memory_order_relaxed); }
+  const NetClientOptions& options() const { return options_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;  // read-ahead bytes (a well-behaved server never leaves any)
+  };
+
+  std::optional<Conn> Acquire();  // pooled or freshly dialed
+  void Release(Conn conn);        // back to the pool (or closed if the pool is full)
+  std::optional<Conn> Dial();
+  // The exchange body; on failure the conn's fd is closed and failures_ bumped.
+  bool Exchange(Conn& conn, const std::vector<std::pair<FrameType, std::string>>& requests,
+                std::vector<FrameType>* resp_types, std::vector<std::string>* resp_payloads);
+
+  const NetClientOptions options_;
+  std::mutex mu_;
+  std::vector<Conn> idle_;
+  std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<uint64_t> failures_{0};
+  std::atomic<uint64_t> connects_{0};
+};
+
+}  // namespace txcache::net
+
+#endif  // SRC_NET_NET_CLIENT_H_

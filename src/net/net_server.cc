@@ -1,0 +1,427 @@
+#include "src/net/net_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace txcache::net {
+
+namespace {
+
+void DrainEventFd(int fd) {
+  uint64_t n;
+  while (read(fd, &n, sizeof(n)) > 0) {
+  }
+}
+
+void SignalEventFd(int fd) {
+  uint64_t one = 1;
+  ssize_t ignored = write(fd, &one, sizeof(one));
+  (void)ignored;
+}
+
+}  // namespace
+
+NetServer::NetServer(CacheServer* server, NetServerOptions options)
+    : server_(server), options_(std::move(options)) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal("socket(): " + std::string(strerror(errno)));
+  }
+  int on = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " + options_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::Unavailable("bind(): " + std::string(strerror(errno)));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (listen(listen_fd_, options_.backlog) != 0) {
+    Status s = Status::Unavailable("listen(): " + std::string(strerror(errno)));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  accept_wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (accept_wake_fd_ < 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("eventfd(): " + std::string(strerror(errno)));
+  }
+
+  const size_t n_workers = options_.num_workers > 0 ? options_.num_workers : 1;
+  workers_.reserve(n_workers);
+  for (size_t i = 0; i < n_workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    w->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (w->epoll_fd < 0 || w->wake_fd < 0) {
+      Stop();
+      return Status::Internal("epoll/eventfd setup failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = w->wake_fd;
+    epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->wake_fd, &ev);
+    workers_.push_back(std::move(w));
+  }
+
+  running_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, wp = w.get()] { WorkerLoop(wp); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void NetServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    // Never started (or already stopped): still release any half-built fds from Start().
+    if (listen_fd_ >= 0) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (accept_wake_fd_ >= 0) {
+      close(accept_wake_fd_);
+      accept_wake_fd_ = -1;
+    }
+    for (auto& w : workers_) {
+      if (w->epoll_fd >= 0) close(w->epoll_fd);
+      if (w->wake_fd >= 0) close(w->wake_fd);
+    }
+    workers_.clear();
+    return;
+  }
+  SignalEventFd(accept_wake_fd_);
+  for (auto& w : workers_) {
+    SignalEventFd(w->wake_fd);
+  }
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) {
+      w->thread.join();
+    }
+    for (auto& [fd, conn] : w->conns) {
+      close(fd);
+    }
+    for (int fd : w->pending) {
+      close(fd);
+    }
+    w->conns.clear();
+    w->pending.clear();
+    close(w->epoll_fd);
+    close(w->wake_fd);
+  }
+  workers_.clear();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  close(accept_wake_fd_);
+  accept_wake_fd_ = -1;
+}
+
+void NetServer::AcceptLoop() {
+  // The acceptor multiplexes just two fds (listen + wake); epoll would be overkill, but the
+  // listen socket is non-blocking so accept() never stalls shutdown.
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {accept_wake_fd_, POLLIN, 0}};
+    int rc = poll(fds, 2, 500);
+    if (rc < 0 && errno != EINTR) {
+      break;
+    }
+    if (fds[1].revents != 0) {
+      DrainEventFd(accept_wake_fd_);
+    }
+    if ((fds[0].revents & POLLIN) == 0) {
+      continue;
+    }
+    // Non-blocking accept burst: take everything the backlog holds, then go back to poll.
+    while (true) {
+      int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        break;  // EAGAIN (drained) or transient error; poll again
+      }
+      int on = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      Worker* w = workers_[next_worker_.fetch_add(1, std::memory_order_relaxed) %
+                           workers_.size()]
+                      .get();
+      {
+        std::lock_guard<std::mutex> lock(w->mu);
+        w->pending.push_back(fd);
+      }
+      SignalEventFd(w->wake_fd);
+    }
+  }
+}
+
+void NetServer::AdoptPending(Worker* w) {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(w->mu);
+    fds.swap(w->pending);
+  }
+  for (int fd : fds) {
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.fd = fd;
+    if (epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      close(fd);
+      continue;
+    }
+    w->conns.emplace(fd, std::move(conn));
+  }
+}
+
+void NetServer::WorkerLoop(Worker* w) {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (running_.load(std::memory_order_acquire)) {
+    int n = epoll_wait(w->epoll_fd, events, kMaxEvents, 500);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == w->wake_fd) {
+        DrainEventFd(w->wake_fd);
+        AdoptPending(w);
+        continue;
+      }
+      auto it = w->conns.find(fd);
+      if (it == w->conns.end()) {
+        continue;  // closed earlier in this batch
+      }
+      Connection* c = it->second.get();
+      const uint32_t ev = events[i].events;
+      bool alive = true;
+      if ((ev & (EPOLLERR | EPOLLHUP)) != 0) {
+        alive = false;
+      }
+      if (alive && (ev & (EPOLLIN | EPOLLRDHUP)) != 0) {
+        alive = HandleReadable(c);
+      }
+      if (alive && (ev & EPOLLOUT) != 0) {
+        alive = FlushWrites(w, c);
+      }
+      if (alive && c->out_off < c->out.size() && !c->want_write) {
+        // HandleReadable queued responses it could not fully write inline.
+        alive = FlushWrites(w, c);
+      }
+      if (!alive) {
+        CloseConnection(w, fd);
+      }
+    }
+  }
+}
+
+bool NetServer::HandleReadable(Connection* c) {
+  // Drain the socket (level-triggered epoll would re-arm anyway, but draining now lets a
+  // whole pipelined request window be dispatched in one pass).
+  char buf[64 * 1024];
+  bool peer_closed = false;
+  while (true) {
+    ssize_t n = recv(c->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c->in.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return false;  // hard socket error
+  }
+
+  // Dispatch every complete frame, in order; responses accumulate in `out` in that same
+  // order (the pipelining contract).
+  size_t offset = 0;
+  while (true) {
+    FrameHeader header;
+    std::string_view payload;
+    size_t consumed = 0;
+    std::string error;
+    FrameParse parse = TryParseFrame(std::string_view(c->in).substr(offset), &header, &payload,
+                                     &consumed, &error);
+    if (parse == FrameParse::kNeedMore) {
+      break;
+    }
+    if (parse == FrameParse::kError) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      return false;  // stream unsynchronized; nothing sane can follow
+    }
+    c->out += DispatchFrame(header, payload);
+    frames_served_.fetch_add(1, std::memory_order_relaxed);
+    offset += consumed;
+  }
+  if (offset > 0) {
+    c->in.erase(0, offset);
+  }
+
+  if (peer_closed) {
+    // Allow the queued responses to flush before closing only if the peer half-closed with
+    // requests in flight; the simple (and sufficient) policy is: flush what we can now, then
+    // close. A client that half-closes mid-request forfeits the tail.
+    while (c->out_off < c->out.size()) {
+      ssize_t n = send(c->fd, c->out.data() + c->out_off, c->out.size() - c->out_off,
+                       MSG_NOSIGNAL);
+      if (n <= 0) {
+        break;
+      }
+      c->out_off += static_cast<size_t>(n);
+    }
+    return false;
+  }
+  return true;
+}
+
+bool NetServer::FlushWrites(Worker* w, Connection* c) {
+  while (c->out_off < c->out.size()) {
+    ssize_t n = send(c->fd, c->out.data() + c->out_off, c->out.size() - c->out_off,
+                     MSG_NOSIGNAL);
+    if (n > 0) {
+      c->out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Short write: keep the rest for EPOLLOUT.
+      if (!c->want_write) {
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLRDHUP | EPOLLOUT;
+        ev.data.fd = c->fd;
+        epoll_ctl(w->epoll_fd, EPOLL_CTL_MOD, c->fd, &ev);
+        c->want_write = true;
+      }
+      return true;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  c->out.clear();
+  c->out_off = 0;
+  if (c->want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.fd = c->fd;
+    epoll_ctl(w->epoll_fd, EPOLL_CTL_MOD, c->fd, &ev);
+    c->want_write = false;
+  }
+  return true;
+}
+
+void NetServer::CloseConnection(Worker* w, int fd) {
+  epoll_ctl(w->epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  close(fd);
+  w->conns.erase(fd);
+}
+
+std::string NetServer::DispatchFrame(const FrameHeader& header, std::string_view payload) {
+  auto malformed = [&](const char* what) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    return EncodeFrame(FrameType::kError, header.request_id,
+                       EncodeStatus(Status::InvalidArgument(what)));
+  };
+  switch (header.type) {
+    case FrameType::kLookupReq: {
+      LookupRequest req;
+      if (!DecodeLookupRequest(payload, &req)) {
+        return malformed("malformed LOOKUP_REQ payload");
+      }
+      return EncodeFrame(FrameType::kLookupResp, header.request_id,
+                         EncodeLookupResponse(server_->Lookup(req)));
+    }
+    case FrameType::kMultiLookupReq: {
+      MultiLookupRequest req;
+      if (!DecodeMultiLookupRequest(payload, &req)) {
+        return malformed("malformed MULTILOOKUP_REQ payload");
+      }
+      return EncodeFrame(FrameType::kMultiLookupResp, header.request_id,
+                         EncodeMultiLookupResponse(server_->MultiLookup(req)));
+    }
+    case FrameType::kInsertReq: {
+      InsertRequest req;
+      if (!DecodeInsertRequest(payload, &req)) {
+        return malformed("malformed INSERT_REQ payload");
+      }
+      std::shared_ptr<const AdvisoryHints> hints;
+      Status status = server_->Insert(req, &hints);
+      return EncodeFrame(FrameType::kInsertResp, header.request_id,
+                         EncodeInsertOutcome(status, hints));
+    }
+    case FrameType::kIntentAcquireReq:
+    case FrameType::kIntentReleaseReq: {
+      IntentRequest req;
+      if (!DecodeIntentRequest(payload, &req)) {
+        return malformed("malformed INTENT_REQ payload");
+      }
+      IntentResponse resp = header.type == FrameType::kIntentAcquireReq
+                                ? server_->AcquireIntent(req)
+                                : server_->ReleaseIntent(req);
+      return EncodeFrame(FrameType::kIntentResp, header.request_id,
+                         EncodeIntentResponse(resp));
+    }
+    case FrameType::kInvalidationPush: {
+      InvalidationMessage msg;
+      if (!DecodeInvalidationMessage(payload, &msg)) {
+        return malformed("malformed INVALIDATION_PUSH payload");
+      }
+      server_->Deliver(msg);
+      return EncodeFrame(FrameType::kInvalidationAck, header.request_id, {});
+    }
+    case FrameType::kSnapshotPush: {
+      // Payload is the opaque ExportSnapshot blob (it carries its own integrity checks).
+      Status status = server_->ImportSnapshot(std::string(payload));
+      return EncodeFrame(FrameType::kSnapshotAck, header.request_id, EncodeStatus(status));
+    }
+    case FrameType::kPing:
+      return EncodeFrame(FrameType::kPong, header.request_id, {});
+    default:
+      // Response-typed or unknown-but-in-range frames are not valid requests.
+      return malformed("frame type is not a request");
+  }
+}
+
+}  // namespace txcache::net

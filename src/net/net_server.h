@@ -1,0 +1,121 @@
+// Epoll-based socket frontend for one CacheServer (docs/architecture.md §"Network
+// transport").
+//
+// Architecture: one acceptor thread owns the non-blocking listen socket and hands accepted
+// connections round-robin to N worker threads; each worker runs its own epoll loop over its
+// connections (no cross-worker sharing, so no connection-level locking). Connections are
+// keep-alive: a connection serves any number of requests until the peer closes it or breaks
+// the protocol.
+//
+// Per-connection state machines:
+//   * partial reads — bytes accumulate in an input buffer until TryParseFrame yields a
+//     complete frame; a request split across any number of TCP segments is reassembled.
+//   * short writes — responses accumulate in an output buffer; when the socket's send buffer
+//     fills, the remainder is flushed on EPOLLOUT and the connection keeps accepting reads.
+//   * pipelining — ALL complete frames in the input buffer are dispatched before responses
+//     are flushed, and responses are written back in strict request order, so a client that
+//     writes K requests back-to-back pays one round-trip for the whole window.
+//
+// Protocol errors (bad magic, unknown version, oversized frame) close the connection; a
+// well-framed request whose payload fails to decode is answered with a kError frame and the
+// connection stays usable.
+#ifndef SRC_NET_NET_SERVER_H_
+#define SRC_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/cache_server.h"
+#include "src/net/wire.h"
+#include "src/util/status.h"
+
+namespace txcache::net {
+
+struct NetServerOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  // 0 = kernel-assigned ephemeral port (read it back via port())
+  size_t num_workers = 2;
+  // Listen backlog; bursts beyond it queue in the kernel or get RST, clients retry/degrade.
+  int backlog = 256;
+};
+
+class NetServer {
+ public:
+  // `server` must outlive this NetServer and must not be destroyed while Start()ed.
+  explicit NetServer(CacheServer* server, NetServerOptions options = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Binds, listens and spins the acceptor + worker threads. Idempotent-hostile: call once.
+  Status Start();
+  // Stops the threads and closes every connection. Safe to call twice; called by the dtor.
+  void Stop();
+
+  // The bound port (resolved after Start() when options.port was 0).
+  uint16_t port() const { return port_; }
+  const std::string& bind_address() const { return options_.bind_address; }
+  CacheServer* server() const { return server_; }
+
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t frames_served() const { return frames_served_.load(std::memory_order_relaxed); }
+  uint64_t protocol_errors() const { return protocol_errors_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;       // unparsed request bytes (partial-read state)
+    std::string out;      // unflushed response bytes (short-write state)
+    size_t out_off = 0;   // bytes of `out` already written
+    bool want_write = false;  // EPOLLOUT currently armed
+  };
+
+  struct Worker {
+    int epoll_fd = -1;
+    int wake_fd = -1;  // eventfd: new connections or shutdown
+    std::thread thread;
+    std::mutex mu;
+    std::vector<int> pending;  // accepted fds awaiting adoption (guarded by mu)
+    std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  };
+
+  void AcceptLoop();
+  void WorkerLoop(Worker* w);
+  void AdoptPending(Worker* w);
+  // Drains readable bytes, dispatches every complete frame, queues responses. Returns false
+  // when the connection must close (EOF, socket error, protocol error).
+  bool HandleReadable(Connection* c);
+  // Flushes queued responses; arms/disarms EPOLLOUT as needed. False = close.
+  bool FlushWrites(Worker* w, Connection* c);
+  void CloseConnection(Worker* w, int fd);
+  // Executes one request frame against the CacheServer, returning the response frame.
+  std::string DispatchFrame(const FrameHeader& header, std::string_view payload);
+
+  CacheServer* const server_;
+  const NetServerOptions options_;
+
+  int listen_fd_ = -1;
+  int accept_wake_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<size_t> next_worker_{0};
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> frames_served_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+}  // namespace txcache::net
+
+#endif  // SRC_NET_NET_SERVER_H_

@@ -1,0 +1,233 @@
+#include "src/net/transport.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <utility>
+
+#include "src/net/net_client.h"
+#include "src/net/net_server.h"
+#include "src/net/wire.h"
+
+namespace txcache {
+
+namespace {
+
+class LoopbackTransport final : public CacheTransport {
+ public:
+  explicit LoopbackTransport(CacheServer* server) : server_(server) {}
+
+  const std::string& name() const override { return server_->name(); }
+
+  LookupResponse Lookup(const LookupRequest& req) override { return server_->Lookup(req); }
+  MultiLookupResponse MultiLookup(const MultiLookupRequest& req) override {
+    return server_->MultiLookup(req);
+  }
+  void MultiLookup(const MultiLookupRequest& req, const std::vector<uint32_t>& indices,
+                   MultiLookupResponse* out) override {
+    server_->MultiLookup(req, indices, out);
+  }
+  Status Insert(const InsertRequest& req,
+                std::shared_ptr<const AdvisoryHints>* hints_out) override {
+    return server_->Insert(req, hints_out);
+  }
+  IntentResponse AcquireIntent(const IntentRequest& req) override {
+    return server_->AcquireIntent(req);
+  }
+  IntentResponse ReleaseIntent(const IntentRequest& req) override {
+    return server_->ReleaseIntent(req);
+  }
+  CacheServer* local_server() const override { return server_; }
+
+ private:
+  CacheServer* const server_;
+};
+
+// Data plane over NetClient; management plane via the (optional) local server object.
+class SocketTransport final : public CacheTransport {
+ public:
+  SocketTransport(std::string name, CacheServer* server, net::NetClientOptions client_options,
+                  std::unique_ptr<net::NetServer> owned_server)
+      : name_(std::move(name)),
+        server_(server),
+        owned_net_server_(std::move(owned_server)),
+        client_(std::move(client_options)) {}
+
+  ~SocketTransport() override {
+    // Drop client connections before tearing down a self-hosted server.
+    client_.CloseIdle();
+    owned_net_server_.reset();
+  }
+
+  const std::string& name() const override { return name_; }
+
+  LookupResponse Lookup(const LookupRequest& req) override {
+    net::FrameType type;
+    std::string payload;
+    LookupResponse resp;
+    if (!client_.Call(net::FrameType::kLookupReq, net::EncodeLookupRequest(req), &type,
+                      &payload) ||
+        type != net::FrameType::kLookupResp || !net::DecodeLookupResponse(payload, &resp)) {
+      return Unreachable();
+    }
+    return resp;
+  }
+
+  MultiLookupResponse MultiLookup(const MultiLookupRequest& req) override {
+    net::FrameType type;
+    std::string payload;
+    MultiLookupResponse resp;
+    if (!client_.Call(net::FrameType::kMultiLookupReq, net::EncodeMultiLookupRequest(req),
+                      &type, &payload) ||
+        type != net::FrameType::kMultiLookupResp ||
+        !net::DecodeMultiLookupResponse(payload, &resp) ||
+        resp.responses.size() != req.lookups.size()) {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      MultiLookupResponse degraded;
+      degraded.responses.resize(req.lookups.size());
+      for (LookupResponse& r : degraded.responses) {
+        r.miss = MissKind::kNodeUnavailable;
+      }
+      return degraded;
+    }
+    return resp;
+  }
+
+  void MultiLookup(const MultiLookupRequest& req, const std::vector<uint32_t>& indices,
+                   MultiLookupResponse* out) override {
+    // One sub-batch frame per node — this single round-trip IS the pipelining win cluster
+    // MultiLookup gets over per-key lookups.
+    MultiLookupRequest sub;
+    sub.lookups.reserve(indices.size());
+    for (uint32_t i : indices) {
+      sub.lookups.push_back(req.lookups[i]);
+    }
+    MultiLookupResponse resp = MultiLookup(sub);
+    for (size_t j = 0; j < indices.size(); ++j) {
+      out->responses[indices[j]] = std::move(resp.responses[j]);
+    }
+  }
+
+  Status Insert(const InsertRequest& req,
+                std::shared_ptr<const AdvisoryHints>* hints_out) override {
+    net::FrameType type;
+    std::string payload;
+    Status status;
+    std::shared_ptr<const AdvisoryHints> hints;
+    if (!client_.Call(net::FrameType::kInsertReq, net::EncodeInsertRequest(req), &type,
+                      &payload) ||
+        type != net::FrameType::kInsertResp ||
+        !net::DecodeInsertOutcome(payload, &status, &hints)) {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("cache node unreachable");
+    }
+    if (hints_out != nullptr) {
+      *hints_out = std::move(hints);
+    }
+    return status;
+  }
+
+  IntentResponse AcquireIntent(const IntentRequest& req) override {
+    return Intent(req, net::FrameType::kIntentAcquireReq);
+  }
+  IntentResponse ReleaseIntent(const IntentRequest& req) override {
+    return Intent(req, net::FrameType::kIntentReleaseReq);
+  }
+
+  CacheServer* local_server() const override { return server_; }
+  uint64_t transport_failures() const override {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+  net::NetClient* client() { return &client_; }
+  net::NetServer* net_server() { return owned_net_server_.get(); }
+
+ private:
+  LookupResponse Unreachable() {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    LookupResponse resp;
+    resp.miss = MissKind::kNodeUnavailable;
+    return resp;
+  }
+
+  IntentResponse Intent(const IntentRequest& req, net::FrameType frame) {
+    net::FrameType type;
+    std::string payload;
+    IntentResponse resp;
+    if (!client_.Call(frame, net::EncodeIntentRequest(req), &type, &payload) ||
+        type != net::FrameType::kIntentResp || !net::DecodeIntentResponse(payload, &resp)) {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      IntentResponse degraded;
+      degraded.status = Status::Unavailable("cache node unreachable");
+      return degraded;
+    }
+    return resp;
+  }
+
+  const std::string name_;
+  CacheServer* const server_;  // may be null (fully remote node)
+  std::unique_ptr<net::NetServer> owned_net_server_;  // self-hosted form only
+  net::NetClient client_;
+  std::atomic<uint64_t> failures_{0};
+};
+
+TransportFactory g_default_factory;  // empty = environment-driven
+
+bool EnvWantsSocket() {
+  const char* v = std::getenv("TXCACHE_TRANSPORT");
+  return v != nullptr && std::string(v) == "socket";
+}
+
+}  // namespace
+
+std::shared_ptr<CacheTransport> MakeLoopbackTransport(CacheServer* server) {
+  return std::make_shared<LoopbackTransport>(server);
+}
+
+std::shared_ptr<CacheTransport> MakeSelfHostedSocketTransport(CacheServer* server,
+                                                              int request_timeout_ms) {
+  auto net_server = std::make_unique<net::NetServer>(server);
+  if (!net_server->Start().ok()) {
+    return nullptr;
+  }
+  net::NetClientOptions client_options;
+  client_options.host = "127.0.0.1";
+  client_options.port = net_server->port();
+  client_options.request_timeout_ms = request_timeout_ms;
+  return std::make_shared<SocketTransport>(server->name(), server, std::move(client_options),
+                                           std::move(net_server));
+}
+
+std::shared_ptr<CacheTransport> MakeSocketTransport(std::string name, CacheServer* server,
+                                                    const std::string& host, uint16_t port,
+                                                    int connect_timeout_ms,
+                                                    int request_timeout_ms) {
+  net::NetClientOptions client_options;
+  client_options.host = host;
+  client_options.port = port;
+  client_options.connect_timeout_ms = connect_timeout_ms;
+  client_options.request_timeout_ms = request_timeout_ms;
+  return std::make_shared<SocketTransport>(std::move(name), server, std::move(client_options),
+                                           nullptr);
+}
+
+std::shared_ptr<CacheTransport> MakeDefaultTransport(CacheServer* server) {
+  if (g_default_factory) {
+    return g_default_factory(server);
+  }
+  if (EnvWantsSocket()) {
+    auto transport = MakeSelfHostedSocketTransport(server);
+    if (transport != nullptr) {
+      return transport;
+    }
+    // Could not bind (port exhaustion?): loopback beats a dead node.
+  }
+  return MakeLoopbackTransport(server);
+}
+
+void SetDefaultTransportFactory(TransportFactory factory) {
+  g_default_factory = std::move(factory);
+}
+
+bool DefaultTransportIsSocket() { return EnvWantsSocket(); }
+
+}  // namespace txcache

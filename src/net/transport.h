@@ -1,0 +1,105 @@
+// Transport abstraction between cluster routing and cache nodes (docs/architecture.md
+// §"Network transport").
+//
+// CacheCluster routes every data-plane RPC — Lookup, MultiLookup, Insert, intent
+// acquire/release — through a CacheTransport instead of calling the CacheServer directly.
+// Two implementations:
+//
+//   * LoopbackTransport — the original in-process method-call path. Zero overhead, zero
+//     behavior change; the entire existing test/property/TSan suite runs on it.
+//   * SocketTransport — the RPCs ride the binary wire protocol over real TCP sockets
+//     (NetClient → epoll NetServer). The self-hosted form spins a NetServer around the given
+//     in-process CacheServer on an ephemeral loopback port, so one process can exercise the
+//     full socket data plane while cluster MANAGEMENT (membership, stats, snapshots,
+//     replication export) still reaches the server object via local_server().
+//
+// Parity contract: both transports answer every RPC with identical semantics. The only
+// socket-specific behavior is failure: connect refused, request timeout and mid-request
+// disconnect all degrade to kNodeUnavailable misses (lookups), Status kUnavailable (inserts,
+// intents) — never an error, never a stale read — exactly how a crashed node already answers.
+//
+// Suite parameterization: CacheCluster::AddNode(CacheServer*) builds its transport through
+// the process-global default factory. TXCACHE_TRANSPORT=socket flips that factory to
+// self-hosted socket transports, running the whole existing suite over real sockets with no
+// per-test changes; SetDefaultTransportFactory overrides it programmatically.
+#ifndef SRC_NET_TRANSPORT_H_
+#define SRC_NET_TRANSPORT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cache/cache_server.h"
+#include "src/cache/cache_types.h"
+
+namespace txcache {
+
+class CacheTransport {
+ public:
+  virtual ~CacheTransport() = default;
+
+  // Node name (ring identity). Stable for the transport's lifetime.
+  virtual const std::string& name() const = 0;
+
+  // --- data plane ---
+  virtual LookupResponse Lookup(const LookupRequest& req) = 0;
+  virtual MultiLookupResponse MultiLookup(const MultiLookupRequest& req) = 0;
+  // Scatter form (cluster routing): answer only req.lookups[i] for i in `indices`, writing
+  // each result to out->responses[i] (pre-sized by the caller).
+  virtual void MultiLookup(const MultiLookupRequest& req, const std::vector<uint32_t>& indices,
+                           MultiLookupResponse* out) = 0;
+  virtual Status Insert(const InsertRequest& req,
+                        std::shared_ptr<const AdvisoryHints>* hints_out) = 0;
+  virtual IntentResponse AcquireIntent(const IntentRequest& req) = 0;
+  virtual IntentResponse ReleaseIntent(const IntentRequest& req) = 0;
+
+  // --- management plane ---
+  // The in-process server behind this transport: membership lifecycle, stats aggregation,
+  // snapshot/replication orchestration. Both bundled transports are backed by a server in
+  // this process (a fully remote deployment drives NetClient directly; see examples/).
+  virtual CacheServer* local_server() const = 0;
+
+  // Transport-level failures this node absorbed into kNodeUnavailable/kUnavailable answers
+  // (always 0 for loopback).
+  virtual uint64_t transport_failures() const { return 0; }
+};
+
+// The in-process path: direct method calls on the server.
+std::shared_ptr<CacheTransport> MakeLoopbackTransport(CacheServer* server);
+
+// Self-hosted socket path: serves `server` on an ephemeral 127.0.0.1 port via NetServer and
+// routes the data plane through a pooled NetClient. Returns nullptr only if the server
+// socket could not be bound. request_timeout_ms bounds every RPC (then: degrade to
+// unavailable).
+std::shared_ptr<CacheTransport> MakeSelfHostedSocketTransport(CacheServer* server,
+                                                              int request_timeout_ms = 2000);
+
+// Client-only socket transport to an already-listening endpoint (no local NetServer;
+// local_server() is `server`, which may be nullptr for fully remote nodes — cluster
+// management then skips the node). Used by tests to aim a transport at dead/black-hole
+// endpoints and by multi-process deployments.
+std::shared_ptr<CacheTransport> MakeSocketTransport(std::string name, CacheServer* server,
+                                                    const std::string& host, uint16_t port,
+                                                    int connect_timeout_ms = 1000,
+                                                    int request_timeout_ms = 2000);
+
+// --- default factory (suite parameterization) ---
+using TransportFactory =
+    std::function<std::shared_ptr<CacheTransport>(CacheServer* server)>;
+
+// Builds a transport for AddNode(CacheServer*): the installed factory if any, else
+// TXCACHE_TRANSPORT=socket → self-hosted socket, else loopback.
+std::shared_ptr<CacheTransport> MakeDefaultTransport(CacheServer* server);
+
+// Installs (or, with nullptr, restores the environment-driven) default factory. Not
+// thread-safe against concurrent AddNode — install before building clusters.
+void SetDefaultTransportFactory(TransportFactory factory);
+
+// True when TXCACHE_TRANSPORT=socket routes AddNode over sockets; tests use it to scale down
+// iteration counts (socket RPCs cost microseconds, not nanoseconds).
+bool DefaultTransportIsSocket();
+
+}  // namespace txcache
+
+#endif  // SRC_NET_TRANSPORT_H_

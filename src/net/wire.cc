@@ -1,0 +1,365 @@
+#include "src/net/wire.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace txcache::net {
+
+namespace {
+
+// Decoders that must reject out-of-range enum bytes anchor on these maxima; extending either
+// enum without bumping the bound here turns valid frames into decode errors, which the wire
+// round-trip tests catch immediately.
+constexpr uint8_t kMaxMissKind = static_cast<uint8_t>(MissKind::kNodeUnavailable);
+constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kInternal);
+
+// Payloads decode against exactly their bytes: every successful parse must land on AtEnd().
+template <typename Fn>
+bool DecodeExact(std::string_view payload, Fn fn) {
+  Reader r(payload);
+  if (!fn(r)) {
+    return false;
+  }
+  return !r.failed() && r.AtEnd();
+}
+
+void WriteHints(Writer& w, const std::shared_ptr<const AdvisoryHints>& hints) {
+  w.PutBool(hints != nullptr);
+  if (hints != nullptr) {
+    w.PutU64(hints->learned_lifetime_us);
+    w.PutDouble(hints->observed_bpb);
+    w.PutDouble(hints->decline_rate);
+  }
+}
+
+bool ReadHints(Reader& r, std::shared_ptr<const AdvisoryHints>* out) {
+  bool present = false;
+  if (!r.GetBool(&present)) {
+    return false;
+  }
+  if (!present) {
+    out->reset();
+    return true;
+  }
+  auto hints = std::make_shared<AdvisoryHints>();
+  if (!r.GetU64(&hints->learned_lifetime_us) || !r.GetDouble(&hints->observed_bpb) ||
+      !r.GetDouble(&hints->decline_rate)) {
+    return false;
+  }
+  *out = std::move(hints);
+  return true;
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kLookupReq: return "LOOKUP_REQ";
+    case FrameType::kLookupResp: return "LOOKUP_RESP";
+    case FrameType::kMultiLookupReq: return "MULTILOOKUP_REQ";
+    case FrameType::kMultiLookupResp: return "MULTILOOKUP_RESP";
+    case FrameType::kInsertReq: return "INSERT_REQ";
+    case FrameType::kInsertResp: return "INSERT_RESP";
+    case FrameType::kIntentAcquireReq: return "INTENT_ACQUIRE_REQ";
+    case FrameType::kIntentReleaseReq: return "INTENT_RELEASE_REQ";
+    case FrameType::kIntentResp: return "INTENT_RESP";
+    case FrameType::kInvalidationPush: return "INVALIDATION_PUSH";
+    case FrameType::kInvalidationAck: return "INVALIDATION_ACK";
+    case FrameType::kSnapshotPush: return "SNAPSHOT_PUSH";
+    case FrameType::kSnapshotAck: return "SNAPSHOT_ACK";
+    case FrameType::kPing: return "PING";
+    case FrameType::kPong: return "PONG";
+    case FrameType::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+bool IsKnownFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kLookupReq) &&
+         type <= static_cast<uint8_t>(FrameType::kError);
+}
+
+std::string EncodeFrame(FrameType type, uint64_t request_id, std::string_view payload) {
+  Writer w;
+  w.PutU32(kFrameMagic);
+  w.PutU8(kWireVersion);
+  w.PutU8(static_cast<uint8_t>(type));
+  // flags: reserved, must be zero in version 1.
+  w.PutU8(0);
+  w.PutU8(0);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU64(request_id);
+  w.PutBytes(payload.data(), payload.size());
+  return w.Take();
+}
+
+FrameParse TryParseFrame(std::string_view buf, FrameHeader* header, std::string_view* payload,
+                         size_t* consumed, std::string* error) {
+  if (buf.size() < kFrameHeaderBytes) {
+    // Magic is validated as soon as its 4 bytes exist, so a connection speaking the wrong
+    // protocol is cut off without waiting for a full header's worth of garbage.
+    if (buf.size() >= sizeof(uint32_t)) {
+      Reader peek(buf);
+      uint32_t magic = 0;
+      peek.GetU32(&magic);
+      if (magic != kFrameMagic) {
+        if (error != nullptr) {
+          *error = "bad frame magic";
+        }
+        return FrameParse::kError;
+      }
+    }
+    return FrameParse::kNeedMore;
+  }
+  Reader r(buf.substr(0, kFrameHeaderBytes));
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint8_t type = 0;
+  uint8_t flags_lo = 0;
+  uint8_t flags_hi = 0;
+  uint32_t payload_len = 0;
+  uint64_t request_id = 0;
+  if (!r.GetU32(&magic) || !r.GetU8(&version) || !r.GetU8(&type) || !r.GetU8(&flags_lo) ||
+      !r.GetU8(&flags_hi) || !r.GetU32(&payload_len) || !r.GetU64(&request_id)) {
+    if (error != nullptr) {
+      *error = "short frame header";
+    }
+    return FrameParse::kError;  // unreachable given the size check, but keep the parse honest
+  }
+  if (magic != kFrameMagic) {
+    if (error != nullptr) {
+      *error = "bad frame magic";
+    }
+    return FrameParse::kError;
+  }
+  if (version != kWireVersion) {
+    if (error != nullptr) {
+      *error = "unsupported wire version";
+    }
+    return FrameParse::kError;
+  }
+  if (!IsKnownFrameType(type)) {
+    if (error != nullptr) {
+      *error = "unknown frame type";
+    }
+    return FrameParse::kError;
+  }
+  if (payload_len > kMaxFramePayload) {
+    if (error != nullptr) {
+      *error = "frame payload exceeds protocol limit";
+    }
+    return FrameParse::kError;
+  }
+  if (buf.size() < kFrameHeaderBytes + payload_len) {
+    return FrameParse::kNeedMore;
+  }
+  if (header != nullptr) {
+    header->version = version;
+    header->type = static_cast<FrameType>(type);
+    header->flags = static_cast<uint16_t>(flags_lo) | (static_cast<uint16_t>(flags_hi) << 8);
+    header->payload_len = payload_len;
+    header->request_id = request_id;
+  }
+  if (payload != nullptr) {
+    *payload = buf.substr(kFrameHeaderBytes, payload_len);
+  }
+  if (consumed != nullptr) {
+    *consumed = kFrameHeaderBytes + payload_len;
+  }
+  return FrameParse::kFrame;
+}
+
+// --- request codecs (generic serde via ForEachField) ---
+
+std::string EncodeLookupRequest(const LookupRequest& req) { return SerializeToString(req); }
+bool DecodeLookupRequest(std::string_view payload, LookupRequest* out) {
+  return DecodeExact(payload, [out](Reader& r) { return DeserializeValue(r, out); });
+}
+
+std::string EncodeMultiLookupRequest(const MultiLookupRequest& req) {
+  return SerializeToString(req);
+}
+bool DecodeMultiLookupRequest(std::string_view payload, MultiLookupRequest* out) {
+  return DecodeExact(payload, [out](Reader& r) { return DeserializeValue(r, out); });
+}
+
+std::string EncodeInsertRequest(const InsertRequest& req) { return SerializeToString(req); }
+bool DecodeInsertRequest(std::string_view payload, InsertRequest* out) {
+  return DecodeExact(payload, [out](Reader& r) { return DeserializeValue(r, out); });
+}
+
+std::string EncodeIntentRequest(const IntentRequest& req) { return SerializeToString(req); }
+bool DecodeIntentRequest(std::string_view payload, IntentRequest* out) {
+  return DecodeExact(payload, [out](Reader& r) { return DeserializeValue(r, out); });
+}
+
+std::string EncodeInvalidationMessage(const InvalidationMessage& msg) {
+  return SerializeToString(msg);
+}
+bool DecodeInvalidationMessage(std::string_view payload, InvalidationMessage* out) {
+  return DecodeExact(payload, [out](Reader& r) { return DeserializeValue(r, out); });
+}
+
+// --- response codecs (hand-rolled: shared_ptr payloads and range-checked enums) ---
+
+void WriteStatus(Writer& w, const Status& s) {
+  w.PutU8(static_cast<uint8_t>(s.code()));
+  w.PutString(s.message());
+}
+
+bool ReadStatus(Reader& r, Status* out) {
+  uint8_t code = 0;
+  std::string message;
+  if (!r.GetU8(&code) || !r.GetString(&message)) {
+    return false;
+  }
+  if (code > kMaxStatusCode) {
+    return false;
+  }
+  *out = Status(static_cast<StatusCode>(code), std::move(message));
+  return true;
+}
+
+void WriteLookupResponse(Writer& w, const LookupResponse& resp) {
+  w.PutBool(resp.hit);
+  w.PutU8(static_cast<uint8_t>(resp.miss));
+  w.PutU64(resp.ring_epoch);
+  w.PutString(resp.served_by);
+  w.PutBool(resp.value != nullptr);
+  if (resp.value != nullptr) {
+    w.PutString(*resp.value);
+  }
+  w.PutU64(resp.fill_cost_us);
+  SerializeValue(w, resp.interval);
+  w.PutBool(resp.still_valid);
+  w.PutBool(resp.tags != nullptr);
+  if (resp.tags != nullptr) {
+    SerializeValue(w, *resp.tags);
+  }
+  WriteHints(w, resp.hints);
+  w.PutU64(resp.intent_owner);
+}
+
+bool ReadLookupResponse(Reader& r, LookupResponse* out) {
+  *out = LookupResponse{};
+  uint8_t miss = 0;
+  if (!r.GetBool(&out->hit) || !r.GetU8(&miss)) {
+    return false;
+  }
+  if (miss > kMaxMissKind) {
+    return false;
+  }
+  out->miss = static_cast<MissKind>(miss);
+  if (!r.GetU64(&out->ring_epoch) || !r.GetString(&out->served_by)) {
+    return false;
+  }
+  bool has_value = false;
+  if (!r.GetBool(&has_value)) {
+    return false;
+  }
+  if (has_value) {
+    auto value = std::make_shared<std::string>();
+    if (!r.GetString(value.get())) {
+      return false;
+    }
+    out->value = std::move(value);
+  }
+  if (!r.GetU64(&out->fill_cost_us) || !DeserializeValue(r, &out->interval) ||
+      !r.GetBool(&out->still_valid)) {
+    return false;
+  }
+  bool has_tags = false;
+  if (!r.GetBool(&has_tags)) {
+    return false;
+  }
+  if (has_tags) {
+    auto tags = std::make_shared<std::vector<InvalidationTag>>();
+    if (!DeserializeValue(r, tags.get())) {
+      return false;
+    }
+    out->tags = std::move(tags);
+  }
+  return ReadHints(r, &out->hints) && r.GetU64(&out->intent_owner);
+}
+
+std::string EncodeLookupResponse(const LookupResponse& resp) {
+  Writer w;
+  WriteLookupResponse(w, resp);
+  return w.Take();
+}
+bool DecodeLookupResponse(std::string_view payload, LookupResponse* out) {
+  return DecodeExact(payload, [out](Reader& r) { return ReadLookupResponse(r, out); });
+}
+
+std::string EncodeMultiLookupResponse(const MultiLookupResponse& resp) {
+  Writer w;
+  w.PutU64(resp.ring_epoch);
+  w.PutU32(static_cast<uint32_t>(resp.responses.size()));
+  for (const LookupResponse& lr : resp.responses) {
+    WriteLookupResponse(w, lr);
+  }
+  return w.Take();
+}
+bool DecodeMultiLookupResponse(std::string_view payload, MultiLookupResponse* out) {
+  return DecodeExact(payload, [out](Reader& r) {
+    *out = MultiLookupResponse{};
+    uint32_t n = 0;
+    if (!r.GetU64(&out->ring_epoch) || !r.GetU32(&n)) {
+      return false;
+    }
+    // A batch entry is never smaller than its fixed-width fields; a count implying more bytes
+    // than the payload holds is rejected before the reserve can balloon.
+    if (n > r.remaining()) {
+      return false;
+    }
+    out->responses.resize(n);
+    for (LookupResponse& lr : out->responses) {
+      if (!ReadLookupResponse(r, &lr)) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+std::string EncodeInsertOutcome(const Status& status,
+                                const std::shared_ptr<const AdvisoryHints>& hints) {
+  Writer w;
+  WriteStatus(w, status);
+  WriteHints(w, hints);
+  return w.Take();
+}
+bool DecodeInsertOutcome(std::string_view payload, Status* status,
+                         std::shared_ptr<const AdvisoryHints>* hints) {
+  return DecodeExact(payload, [status, hints](Reader& r) {
+    return ReadStatus(r, status) && ReadHints(r, hints);
+  });
+}
+
+std::string EncodeIntentResponse(const IntentResponse& resp) {
+  Writer w;
+  WriteStatus(w, resp.status);
+  w.PutU64(resp.ring_epoch);
+  w.PutString(resp.served_by);
+  w.PutU64(resp.holder);
+  return w.Take();
+}
+bool DecodeIntentResponse(std::string_view payload, IntentResponse* out) {
+  return DecodeExact(payload, [out](Reader& r) {
+    *out = IntentResponse{};
+    return ReadStatus(r, &out->status) && r.GetU64(&out->ring_epoch) &&
+           r.GetString(&out->served_by) && r.GetU64(&out->holder);
+  });
+}
+
+std::string EncodeStatus(const Status& status) {
+  Writer w;
+  WriteStatus(w, status);
+  return w.Take();
+}
+bool DecodeStatus(std::string_view payload, Status* out) {
+  return DecodeExact(payload, [out](Reader& r) { return ReadStatus(r, out); });
+}
+
+}  // namespace txcache::net

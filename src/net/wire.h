@@ -1,0 +1,141 @@
+// Binary wire protocol for the cache's cluster RPCs (docs/architecture.md §"Network
+// transport").
+//
+// Every RPC the in-process cluster path issues — LOOKUP, MULTILOOKUP, PUT, write-intent
+// acquire/release, invalidation delivery and snapshot/replication push — has a frame type
+// here, encoded with the same deterministic length-prefixed serde the cache keys and values
+// already use (src/util/serde.h). A frame is a fixed 20-byte header followed by the payload:
+//
+//   u32 magic 'TXCP' | u8 version | u8 type | u16 flags | u32 payload_len | u64 request_id
+//
+// all little-endian. request_id is chosen by the client and echoed verbatim by the server;
+// responses on one connection are answered strictly in request order (pipelining contract:
+// a client may write any number of request frames back-to-back and then read the same number
+// of responses — a MultiLookup batch or 16 back-to-back lookups ride one round-trip).
+//
+// Parsing is incremental and hostile-input-safe: TryParseFrame consumes a byte stream that
+// may hold a partial frame (kNeedMore), a complete frame (kFrame), or garbage — wrong magic,
+// unknown version, a length exceeding kMaxFramePayload (kError: the stream cannot be trusted
+// past this point and the connection must be closed). Payload decoders reject truncated,
+// trailing-bytes and out-of-range-enum payloads.
+#ifndef SRC_NET_WIRE_H_
+#define SRC_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/bus/invalidation.h"
+#include "src/cache/cache_types.h"
+#include "src/util/serde.h"
+#include "src/util/status.h"
+
+namespace txcache::net {
+
+inline constexpr uint32_t kFrameMagic = 0x50435854u;  // "TXCP" in little-endian byte order
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 20;
+// Values are multi-MB at the top of the admission range and snapshot pushes carry a whole
+// node; anything beyond this is a protocol violation, not a big request.
+inline constexpr uint32_t kMaxFramePayload = 256u << 20;
+
+enum class FrameType : uint8_t {
+  kLookupReq = 1,
+  kLookupResp = 2,
+  kMultiLookupReq = 3,
+  kMultiLookupResp = 4,
+  kInsertReq = 5,
+  kInsertResp = 6,
+  kIntentAcquireReq = 7,
+  kIntentReleaseReq = 8,
+  kIntentResp = 9,
+  // Invalidation-stream delivery to a remote node (multi-process deployments feed the stream
+  // over the wire; in-process tests keep using the bus directly). Acked so a pusher can pace.
+  kInvalidationPush = 10,
+  kInvalidationAck = 11,
+  // Whole-snapshot push (warm hand-off / replication bootstrap): payload is the opaque
+  // ExportSnapshot blob, answered with the ImportSnapshot status.
+  kSnapshotPush = 12,
+  kSnapshotAck = 13,
+  kPing = 14,
+  kPong = 15,
+  // Server-side decode failure or unsupported type: payload is a Status. The connection
+  // stays usable (the broken request was fully framed).
+  kError = 16,
+};
+
+const char* FrameTypeName(FrameType type);
+bool IsKnownFrameType(uint8_t type);
+
+struct FrameHeader {
+  uint8_t version = kWireVersion;
+  FrameType type = FrameType::kPing;
+  uint16_t flags = 0;
+  uint32_t payload_len = 0;
+  uint64_t request_id = 0;
+};
+
+// One complete frame: header + payload, ready to write to a socket.
+std::string EncodeFrame(FrameType type, uint64_t request_id, std::string_view payload);
+
+enum class FrameParse : uint8_t {
+  kNeedMore,  // the buffer holds a prefix of a valid frame; read more bytes
+  kFrame,     // *header/*payload filled; *consumed bytes belong to this frame
+  kError,     // the stream is not speaking this protocol; close the connection
+};
+
+// Examines the front of `buf`. On kFrame, `*payload` views into `buf` (valid until the caller
+// mutates it) and `*consumed` is header + payload length. On kError, `*error` says why.
+FrameParse TryParseFrame(std::string_view buf, FrameHeader* header, std::string_view* payload,
+                         size_t* consumed, std::string* error);
+
+// --- payload codecs ---
+// Requests ride the generic serde path (the structs expose ForEachField); responses carry
+// shared_ptr payloads and enums, so they are encoded field-by-field here. Every decoder
+// requires the payload to parse exactly (no truncation, no trailing bytes) and every enum to
+// be in range; on failure the out-param is unspecified and false is returned.
+
+std::string EncodeLookupRequest(const LookupRequest& req);
+bool DecodeLookupRequest(std::string_view payload, LookupRequest* out);
+
+std::string EncodeMultiLookupRequest(const MultiLookupRequest& req);
+bool DecodeMultiLookupRequest(std::string_view payload, MultiLookupRequest* out);
+
+std::string EncodeInsertRequest(const InsertRequest& req);
+bool DecodeInsertRequest(std::string_view payload, InsertRequest* out);
+
+std::string EncodeIntentRequest(const IntentRequest& req);
+bool DecodeIntentRequest(std::string_view payload, IntentRequest* out);
+
+std::string EncodeInvalidationMessage(const InvalidationMessage& msg);
+bool DecodeInvalidationMessage(std::string_view payload, InvalidationMessage* out);
+
+std::string EncodeLookupResponse(const LookupResponse& resp);
+bool DecodeLookupResponse(std::string_view payload, LookupResponse* out);
+
+std::string EncodeMultiLookupResponse(const MultiLookupResponse& resp);
+bool DecodeMultiLookupResponse(std::string_view payload, MultiLookupResponse* out);
+
+// InsertResponse on the wire is the server-side outcome only: status + advisory hints.
+// ring_epoch/served_by are routing-layer stamps added by the cluster on the client side,
+// identically for the loopback and socket transports.
+std::string EncodeInsertOutcome(const Status& status,
+                                const std::shared_ptr<const AdvisoryHints>& hints);
+bool DecodeInsertOutcome(std::string_view payload, Status* status,
+                         std::shared_ptr<const AdvisoryHints>* hints);
+
+std::string EncodeIntentResponse(const IntentResponse& resp);
+bool DecodeIntentResponse(std::string_view payload, IntentResponse* out);
+
+std::string EncodeStatus(const Status& status);
+bool DecodeStatus(std::string_view payload, Status* out);
+
+// Shared by the codecs above (exposed for tests).
+void WriteStatus(Writer& w, const Status& s);
+bool ReadStatus(Reader& r, Status* out);
+void WriteLookupResponse(Writer& w, const LookupResponse& resp);
+bool ReadLookupResponse(Reader& r, LookupResponse* out);
+
+}  // namespace txcache::net
+
+#endif  // SRC_NET_WIRE_H_

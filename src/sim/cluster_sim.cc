@@ -33,11 +33,16 @@ Result<SimResult> ClusterSim::Run() {
   cache_options.num_shards = std::max<size_t>(config_.cost.cache_shards_per_node, 1);
   cache_options.policy = config_.cache_policy;
   cache_options.snapshot_interval_messages = config_.snapshot_interval_messages;
+  SnapshotStore* snapshot_store = config_.snapshot_store;
+  if (snapshot_store == nullptr && !config_.snapshot_dir.empty()) {
+    owned_snapshot_store_ = std::make_unique<FileSnapshotStore>(config_.snapshot_dir);
+    snapshot_store = owned_snapshot_store_.get();
+  }
   for (size_t i = 0; i < config_.num_cache_nodes; ++i) {
     cache_nodes_.push_back(std::make_unique<CacheServer>("cache-" + std::to_string(i),
                                                          clock_.get(), cache_options));
-    if (config_.snapshot_store != nullptr) {
-      cache_nodes_.back()->set_snapshot_store(config_.snapshot_store);
+    if (snapshot_store != nullptr) {
+      cache_nodes_.back()->set_snapshot_store(snapshot_store);
     }
     cluster_.AddNode(cache_nodes_.back().get());
     bus_.Subscribe(cache_nodes_.back().get());

@@ -19,6 +19,7 @@
 
 #include "src/bus/bus.h"
 #include "src/cache/cache_cluster.h"
+#include "src/cache/file_snapshot_store.h"
 #include "src/core/cacheable_function.h"
 #include "src/core/txcache_client.h"
 #include "src/pincushion/pincushion.h"
@@ -101,6 +102,11 @@ struct SimConfig {
   // sim). With it attached, nodes persist periodically and a churn rejoin whose catch-up
   // replay fails restores the freshest snapshot instead of flushing.
   SnapshotStore* snapshot_store = nullptr;
+  // Alternative to snapshot_store: a directory the sim backs with its own FileSnapshotStore
+  // (created on construction, owned by the sim). Snapshots then survive the process, so a
+  // restarted sim — or a real node pointed at the same directory — rejoins warm. Ignored
+  // when snapshot_store is set.
+  std::string snapshot_dir;
   uint64_t snapshot_interval_messages = 256;
 
   // --- hot-key replication ---
@@ -185,6 +191,8 @@ class ClusterSim {
   EventQueue queue_;
   std::unique_ptr<SimClock> clock_;
   std::unique_ptr<Database> db_;
+  // Owned store backing SimConfig::snapshot_dir (null when unset or snapshot_store given).
+  std::unique_ptr<FileSnapshotStore> owned_snapshot_store_;
   InvalidationBus bus_;
   std::vector<std::unique_ptr<CacheServer>> cache_nodes_;
   CacheCluster cluster_;

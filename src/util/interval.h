@@ -35,6 +35,18 @@ struct Interval {
   bool operator==(const Interval& o) const = default;
 
   std::string ToString() const;
+
+  // Serde hook (src/util/serde.h): intervals cross the wire inside cache RPCs.
+  template <typename F>
+  void ForEachField(F&& f) {
+    f(lower);
+    f(upper);
+  }
+  template <typename F>
+  void ForEachField(F&& f) const {
+    f(lower);
+    f(upper);
+  }
 };
 
 // A set of timestamps represented as sorted, disjoint, non-adjacent half-open intervals.

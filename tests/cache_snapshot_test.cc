@@ -5,13 +5,20 @@
 // keep a stale snapshot from masking the flush path.
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/bus/bus.h"
 #include "src/cache/cache_server.h"
+#include "src/cache/file_snapshot_store.h"
 #include "src/cache/snapshot_store.h"
 #include "src/util/clock.h"
 #include "src/util/rng.h"
@@ -319,6 +326,209 @@ TEST(Snapshot, CorruptSnapshotFallsBackToFlush) {
   EXPECT_EQ(node.stats().join_snapshot_restores, 0u);
   EXPECT_EQ(node.stats().join_flushes, 1u);
   EXPECT_EQ(node.version_count(), 0u);
+}
+
+// --- file-backed store: durability across a real process boundary ---------------
+
+// A scratch directory under /tmp, removed (recursively, one level) on destruction.
+class ScratchDir {
+ public:
+  ScratchDir() {
+    char tmpl[] = "/tmp/txcache_snap_XXXXXX";
+    char* made = mkdtemp(tmpl);
+    EXPECT_NE(made, nullptr);
+    path_ = made != nullptr ? made : "";
+  }
+  ~ScratchDir() {
+    if (path_.empty()) {
+      return;
+    }
+    if (DIR* d = opendir(path_.c_str())) {
+      while (dirent* e = readdir(d)) {
+        std::string name = e->d_name;
+        if (name != "." && name != "..") {
+          unlink((path_ + "/" + name).c_str());
+        }
+      }
+      closedir(d);
+    }
+    rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(FileSnapshot, SaveLoadRoundTripAndAtomicReplace) {
+  ScratchDir dir;
+  FileSnapshotStore store(dir.path());
+  store.Save("n", "first snapshot bytes");
+  EXPECT_EQ(store.saves(), 1u);
+  EXPECT_EQ(store.save_failures(), 0u);
+
+  auto loaded = store.LoadFreshest("n");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "first snapshot bytes");
+
+  // Replace: the newer save wins wholesale — never a splice of old and new bytes.
+  store.Save("n", "second, longer snapshot payload");
+  loaded = store.LoadFreshest("n");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "second, longer snapshot payload");
+
+  // A second store over the same directory sees the bytes: this is the property the
+  // in-memory store cannot provide — survival across the process boundary.
+  FileSnapshotStore reopened(dir.path());
+  auto survived = reopened.LoadFreshest("n");
+  ASSERT_TRUE(survived.has_value());
+  EXPECT_EQ(*survived, "second, longer snapshot payload");
+
+  store.Erase("n");
+  EXPECT_FALSE(store.LoadFreshest("n").has_value());
+}
+
+TEST(FileSnapshot, HostileNodeNamesStayInsideTheDirectory) {
+  ScratchDir dir;
+  FileSnapshotStore store(dir.path());
+  const std::string hostile = "../escape/node:0";
+  store.Save(hostile, "bytes");
+  const std::string path = store.PathFor(hostile);
+  EXPECT_EQ(path.find(dir.path() + "/"), 0u);
+  // Separators never survive sanitization, so ".." is just two literal dots in one file
+  // name — the path cannot climb out of the directory.
+  const std::string leaf = path.substr(dir.path().size() + 1);
+  EXPECT_EQ(leaf.find('/'), std::string::npos);
+  auto loaded = store.LoadFreshest(hostile);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "bytes");
+}
+
+TEST(FileSnapshot, CorruptAndTruncatedFilesAreRejectedNotServed) {
+  ScratchDir dir;
+  FileSnapshotStore store(dir.path());
+  const std::string snapshot(512, 's');
+  store.Save("n", snapshot);
+  const std::string path = store.PathFor("n");
+
+  // Read the good file once so we can write damaged variants back.
+  std::string good;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    good = ss.str();
+  }
+  ASSERT_GT(good.size(), 24u);
+
+  auto rewrite = [&](const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  const uint64_t rejects_before = store.corrupt_rejects();
+  // Flip one payload byte: checksum mismatch.
+  std::string flipped = good;
+  flipped[flipped.size() / 2] ^= 0x5a;
+  rewrite(flipped);
+  EXPECT_FALSE(store.LoadFreshest("n").has_value());
+  // Truncate mid-payload: length mismatch.
+  rewrite(good.substr(0, good.size() / 2));
+  EXPECT_FALSE(store.LoadFreshest("n").has_value());
+  // Shorter than the header: rejected before any field parses.
+  rewrite(good.substr(0, 7));
+  EXPECT_FALSE(store.LoadFreshest("n").has_value());
+  // Wrong magic entirely.
+  rewrite("this is not a snapshot file at all");
+  EXPECT_FALSE(store.LoadFreshest("n").has_value());
+  EXPECT_GE(store.corrupt_rejects(), rejects_before + 4);
+
+  // Intact bytes restored: loads again. Corruption never poisons the store object.
+  rewrite(good);
+  auto loaded = store.LoadFreshest("n");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, snapshot);
+}
+
+TEST(FileSnapshot, UncreatableDirectoryMakesSavesCountedNoOps) {
+  FileSnapshotStore store("/proc/definitely/not/creatable");
+  store.Save("n", "bytes");
+  EXPECT_EQ(store.save_failures(), 1u);
+  EXPECT_FALSE(store.LoadFreshest("n").has_value());
+}
+
+TEST(FileSnapshot, WarmRejoinThroughARealDirectorySurvivesStoreDestruction) {
+  // The ColdRestartRestoresFreshestSnapshot scenario, but nothing in memory survives the
+  // crash: incarnation1 AND its store object are destroyed, and incarnation2 warms up from
+  // a brand-new FileSnapshotStore over the same directory — i.e. from the disk bytes alone.
+  ScratchDir dir;
+  ManualClock clock;
+  InvalidationBus bus(/*history_limit=*/8);
+  CacheServer::Options options;
+  options.snapshot_interval_messages = 2;
+  Timestamp feed_ts = 1;
+  {
+    FileSnapshotStore store1(dir.path());
+    auto incarnation1 = std::make_unique<CacheServer>("n", &clock, options);
+    incarnation1->set_snapshot_store(&store1);
+    bus.Subscribe(incarnation1.get());
+    ASSERT_TRUE(incarnation1->Insert(StillValidEntry("ka", "va", "ga")).ok());
+    ASSERT_TRUE(incarnation1->Insert(StillValidEntry("kb", "vb", "gb")).ok());
+    for (int i = 0; i < 10; ++i) {
+      bus.Publish(GroupInval("other", ++feed_ts));
+    }
+    ASSERT_GE(store1.saves(), 1u);
+    bus.Unsubscribe(incarnation1.get());
+  }
+  bus.Publish(GroupInval("ga", ++feed_ts));  // invalidates ka during the outage
+  bus.Publish(GroupInval("other", ++feed_ts));
+
+  FileSnapshotStore store2(dir.path());
+  CacheServer incarnation2("n", &clock, options);
+  incarnation2.set_snapshot_store(&store2);
+  ASSERT_TRUE(incarnation2.Join(&bus).ok());
+  EXPECT_TRUE(incarnation2.serving());
+  EXPECT_EQ(incarnation2.stats().join_snapshot_restores, 1u);
+  EXPECT_EQ(incarnation2.stats().join_flushes, 0u);
+
+  LookupResponse warm = incarnation2.Lookup(Probe("kb", 1, kTimestampInfinity));
+  ASSERT_TRUE(warm.hit);
+  EXPECT_EQ(warm.value_ref(), "vb");
+  EXPECT_FALSE(incarnation2.Lookup(Probe("ka", feed_ts, kTimestampInfinity)).hit);
+}
+
+TEST(FileSnapshot, DamagedFileDegradesTheRejoinToFlushNeverAnError) {
+  ScratchDir dir;
+  ManualClock clock;
+  InvalidationBus bus(/*history_limit=*/4);
+  FileSnapshotStore store(dir.path());
+  CacheServer node("n", &clock);
+  node.set_snapshot_store(&store);
+  bus.Subscribe(&node);
+  ASSERT_TRUE(node.Insert(StillValidEntry("ka", "va", "ga")).ok());
+  node.PersistSnapshot();
+  ASSERT_TRUE(store.LoadFreshest("n").has_value());
+
+  // Torn write simulation: chop the tail off the on-disk file.
+  {
+    std::ifstream in(store.PathFor("n"), std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string bytes = ss.str();
+    std::ofstream out(store.PathFor("n"), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 3));
+  }
+
+  node.Crash();
+  for (Timestamp ts = 10; ts < 18; ++ts) {
+    bus.Publish(GroupInval("ga", ts));
+  }
+  ASSERT_TRUE(node.Join(&bus).ok());
+  EXPECT_TRUE(node.serving());
+  EXPECT_EQ(node.stats().join_snapshot_restores, 0u);
+  EXPECT_EQ(node.stats().join_flushes, 1u);
+  EXPECT_GE(store.corrupt_rejects(), 1u);
 }
 
 }  // namespace

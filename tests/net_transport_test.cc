@@ -1,0 +1,530 @@
+// Socket-transport integration tests: real RPCs over real TCP (NetClient → epoll
+// NetServer), the parity contract with the loopback transport, pipelining, keep-alive, and
+// — most importantly — the failure contract: connect refused, request timeout and
+// mid-request disconnect each degrade to kNodeUnavailable / kUnavailable, never an error
+// and never a stale read. Labeled into the TSan set by scripts/check.sh.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/bus/bus.h"
+#include "src/cache/cache_cluster.h"
+#include "src/cache/cache_server.h"
+#include "src/net/net_client.h"
+#include "src/net/net_server.h"
+#include "src/net/transport.h"
+#include "src/net/wire.h"
+#include "src/util/clock.h"
+#include "src/util/hash.h"
+
+namespace txcache {
+namespace {
+
+InsertRequest StillValidEntry(const std::string& key, const std::string& value,
+                              const std::string& group, Timestamp computed_at = 1) {
+  InsertRequest req;
+  req.key = key;
+  req.value = value;
+  req.interval = {computed_at, kTimestampInfinity};
+  req.computed_at = computed_at;
+  req.tags = {InvalidationTag::Concrete("t", "idx", group)};
+  return req;
+}
+
+LookupRequest Probe(const std::string& key, Timestamp lo, Timestamp hi) {
+  LookupRequest req;
+  req.key = key;
+  req.bounds_lo = lo;
+  req.bounds_hi = hi;
+  req.fresh_lo = lo;
+  return req;
+}
+
+InvalidationMessage GroupInval(const std::string& group, Timestamp ts) {
+  InvalidationMessage msg;
+  msg.ts = ts;
+  msg.tags = {InvalidationTag::Concrete("t", "idx", group)};
+  return msg;
+}
+
+// A listener that accepts connections and then does exactly nothing with them (black hole:
+// requests sit unanswered until the client's deadline) — or closes them immediately.
+class MisbehavingListener {
+ public:
+  enum class Mode { kBlackHole, kCloseOnAccept };
+
+  explicit MisbehavingListener(Mode mode) : mode_(mode) {
+    fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    EXPECT_GE(fd_, 0);
+    int on = 1;
+    setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    EXPECT_EQ(listen(fd_, 16), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { AcceptLoop(); });
+  }
+
+  ~MisbehavingListener() {
+    stop_.store(true);
+    shutdown(fd_, SHUT_RDWR);
+    close(fd_);
+    thread_.join();
+    for (int fd : held_) {
+      close(fd);
+    }
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop() {
+    while (!stop_.load()) {
+      int conn = accept(fd_, nullptr, nullptr);
+      if (conn < 0) {
+        return;  // listener closed
+      }
+      if (mode_ == Mode::kCloseOnAccept) {
+        // Let the client finish its write, then slam the connection shut mid-request.
+        char buf[4096];
+        (void)recv(conn, buf, sizeof(buf), 0);
+        close(conn);
+      } else {
+        held_.push_back(conn);  // never read, never write
+      }
+    }
+  }
+
+  const Mode mode_;
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::vector<int> held_;
+  std::thread thread_;
+};
+
+// Binds and immediately closes a listener to find a port with (very probably) nobody on it.
+uint16_t UnusedPort() {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  close(fd);
+  return ntohs(addr.sin_port);
+}
+
+// --- basic RPC parity ---------------------------------------------------------
+
+TEST(SocketTransport, InsertLookupRoundTripOverRealSockets) {
+  ManualClock clock;
+  CacheServer server("n0", &clock);
+  auto transport = MakeSelfHostedSocketTransport(&server);
+  ASSERT_NE(transport, nullptr);
+
+  ASSERT_TRUE(transport->Insert(StillValidEntry("k1", "v1", "g"), nullptr).ok());
+  LookupResponse resp = transport->Lookup(Probe("k1", 1, kTimestampInfinity));
+  ASSERT_TRUE(resp.hit);
+  EXPECT_EQ(resp.value_ref(), "v1");
+  EXPECT_TRUE(resp.still_valid);
+  ASSERT_NE(resp.tags, nullptr);
+  ASSERT_EQ(resp.tags->size(), 1u);
+  EXPECT_EQ((*resp.tags)[0], InvalidationTag::Concrete("t", "idx", "g"));
+
+  // Miss classification survives the wire.
+  LookupResponse miss = transport->Lookup(Probe("nope", 1, kTimestampInfinity));
+  EXPECT_FALSE(miss.hit);
+  EXPECT_EQ(miss.miss, MissKind::kCompulsory);
+  EXPECT_EQ(transport->transport_failures(), 0u);
+}
+
+TEST(SocketTransport, LoopbackParityOnIdenticalWorkload) {
+  // The same operation sequence against the same server must answer identically over both
+  // transports (values, miss kinds, validity intervals, intent outcomes).
+  ManualClock clock;
+  CacheServer server("n0", &clock);
+  auto loop = MakeLoopbackTransport(&server);
+  auto sock = MakeSelfHostedSocketTransport(&server);
+  ASSERT_NE(sock, nullptr);
+
+  ASSERT_TRUE(loop->Insert(StillValidEntry("a", "va", "g1", 2), nullptr).ok());
+  ASSERT_TRUE(sock->Insert(StillValidEntry("b", "vb", "g2", 3), nullptr).ok());
+  InvalidationMessage inval = GroupInval("g1", 10);
+  inval.seqno = 1;  // direct Deliver bypasses the bus; the sequencer expects seqno 1 first
+  server.Deliver(inval);
+
+  for (const auto& t : {loop, sock}) {
+    LookupResponse a = t->Lookup(Probe("a", 2, 5));
+    ASSERT_TRUE(a.hit) << t->name();
+    EXPECT_EQ(a.value_ref(), "va");
+    EXPECT_FALSE(a.still_valid) << "g1 was invalidated at ts 10";
+    EXPECT_EQ(a.interval.upper, 10u) << "truncated upper must survive the wire";
+
+    LookupResponse b = t->Lookup(Probe("b", 3, kTimestampInfinity));
+    ASSERT_TRUE(b.hit);
+    EXPECT_EQ(b.value_ref(), "vb");
+    EXPECT_TRUE(b.still_valid);
+  }
+
+  // Intent acquire/release parity, including the conflict answer.
+  IntentRequest intent;
+  intent.key = "a";
+  intent.txn_id = 42;
+  EXPECT_TRUE(sock->AcquireIntent(intent).status.ok());
+  IntentRequest other = intent;
+  other.txn_id = 43;
+  IntentResponse conflict = sock->AcquireIntent(other);
+  EXPECT_EQ(conflict.status.code(), StatusCode::kConflict);
+  EXPECT_EQ(conflict.holder, 42u);
+  EXPECT_TRUE(sock->ReleaseIntent(intent).status.ok());
+  EXPECT_TRUE(loop->AcquireIntent(other).status.ok());
+  EXPECT_TRUE(loop->ReleaseIntent(other).status.ok());
+}
+
+TEST(SocketTransport, MultiLookupScatterAnswersOnlyItsIndices) {
+  ManualClock clock;
+  CacheServer server("n0", &clock);
+  auto sock = MakeSelfHostedSocketTransport(&server);
+  ASSERT_NE(sock, nullptr);
+  ASSERT_TRUE(sock->Insert(StillValidEntry("k0", "v0", "g"), nullptr).ok());
+  ASSERT_TRUE(sock->Insert(StillValidEntry("k2", "v2", "g"), nullptr).ok());
+
+  MultiLookupRequest batch;
+  batch.lookups.push_back(Probe("k0", 1, kTimestampInfinity));
+  batch.lookups.push_back(Probe("k1", 1, kTimestampInfinity));
+  batch.lookups.push_back(Probe("k2", 1, kTimestampInfinity));
+  MultiLookupResponse out;
+  out.responses.resize(batch.lookups.size());
+  sock->MultiLookup(batch, {0, 2}, &out);
+  EXPECT_TRUE(out.responses[0].hit);
+  EXPECT_EQ(out.responses[0].value_ref(), "v0");
+  EXPECT_FALSE(out.responses[1].hit) << "index 1 was not asked for";
+  EXPECT_EQ(out.responses[1].miss, MissKind::kNone) << "untouched slot stays default";
+  EXPECT_TRUE(out.responses[2].hit);
+  EXPECT_EQ(out.responses[2].value_ref(), "v2");
+}
+
+// --- pipelining ---------------------------------------------------------------
+
+TEST(SocketTransport, PipelinedCallsAnswerInOrderOnOneConnection) {
+  ManualClock clock;
+  CacheServer server("n0", &clock);
+  net::NetServer net_server(&server);
+  ASSERT_TRUE(net_server.Start().ok());
+  net::NetClientOptions opts;
+  opts.port = net_server.port();
+  net::NetClient client(opts);
+
+  for (int i = 0; i < 8; ++i) {
+    InsertRequest ins = StillValidEntry("k" + std::to_string(i), "v" + std::to_string(i), "g");
+    net::FrameType type;
+    std::string payload;
+    ASSERT_TRUE(client.Call(net::FrameType::kInsertReq, net::EncodeInsertRequest(ins), &type,
+                            &payload));
+    ASSERT_EQ(type, net::FrameType::kInsertResp);
+  }
+
+  // 16 back-to-back lookups in ONE exchange; responses must come back in request order.
+  std::vector<std::pair<net::FrameType, std::string>> requests;
+  for (int i = 0; i < 16; ++i) {
+    requests.emplace_back(
+        net::FrameType::kLookupReq,
+        net::EncodeLookupRequest(Probe("k" + std::to_string(i % 8), 1, kTimestampInfinity)));
+  }
+  std::vector<net::FrameType> types;
+  std::vector<std::string> payloads;
+  ASSERT_TRUE(client.CallPipelined(requests, &types, &payloads));
+  ASSERT_EQ(types.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(types[i], net::FrameType::kLookupResp);
+    LookupResponse resp;
+    ASSERT_TRUE(net::DecodeLookupResponse(payloads[i], &resp));
+    ASSERT_TRUE(resp.hit) << "lookup " << i;
+    EXPECT_EQ(resp.value_ref(), "v" + std::to_string(i % 8));
+  }
+  // The whole burst plus the inserts rode a single kept-alive connection.
+  EXPECT_EQ(client.connects(), 1u);
+  EXPECT_EQ(client.failures(), 0u);
+  net_server.Stop();
+}
+
+TEST(SocketTransport, WellFramedGarbageGetsErrorFrameAndConnectionSurvives) {
+  ManualClock clock;
+  CacheServer server("n0", &clock);
+  net::NetServer net_server(&server);
+  ASSERT_TRUE(net_server.Start().ok());
+  net::NetClientOptions opts;
+  opts.port = net_server.port();
+  net::NetClient client(opts);
+
+  // A correctly framed request whose payload does not decode: the server answers kError and
+  // keeps serving on the same connection (the stream itself was never corrupted).
+  net::FrameType type;
+  std::string payload;
+  ASSERT_TRUE(client.Call(net::FrameType::kLookupReq, "not a lookup", &type, &payload));
+  EXPECT_EQ(type, net::FrameType::kError);
+  Status err;
+  ASSERT_TRUE(net::DecodeStatus(payload, &err));
+  EXPECT_FALSE(err.ok());
+
+  ASSERT_TRUE(client.Call(net::FrameType::kPing, "", &type, &payload));
+  EXPECT_EQ(type, net::FrameType::kPong);
+  EXPECT_EQ(client.connects(), 1u) << "the error frame must not cost the connection";
+  EXPECT_GE(net_server.protocol_errors(), 1u);
+  net_server.Stop();
+}
+
+// --- the failure contract -----------------------------------------------------
+
+TEST(SocketTransportFailure, ConnectRefusedDegradesToNodeUnavailable) {
+  auto transport = MakeSocketTransport("dead", nullptr, "127.0.0.1", UnusedPort(),
+                                       /*connect_timeout_ms=*/200, /*request_timeout_ms=*/200);
+  LookupResponse resp = transport->Lookup(Probe("k", 1, kTimestampInfinity));
+  EXPECT_FALSE(resp.hit);
+  EXPECT_EQ(resp.miss, MissKind::kNodeUnavailable);
+
+  MultiLookupRequest batch;
+  batch.lookups.push_back(Probe("a", 1, kTimestampInfinity));
+  batch.lookups.push_back(Probe("b", 1, kTimestampInfinity));
+  MultiLookupResponse multi = transport->MultiLookup(batch);
+  ASSERT_EQ(multi.responses.size(), 2u) << "degraded batch still answers every position";
+  for (const LookupResponse& r : multi.responses) {
+    EXPECT_EQ(r.miss, MissKind::kNodeUnavailable);
+  }
+
+  Status ins = transport->Insert(StillValidEntry("k", "v", "g"), nullptr);
+  EXPECT_EQ(ins.code(), StatusCode::kUnavailable);
+
+  IntentRequest intent;
+  intent.key = "k";
+  intent.txn_id = 7;
+  EXPECT_EQ(transport->AcquireIntent(intent).status.code(), StatusCode::kUnavailable);
+  EXPECT_GE(transport->transport_failures(), 4u);
+}
+
+TEST(SocketTransportFailure, RequestTimeoutDegradesToNodeUnavailable) {
+  MisbehavingListener blackhole(MisbehavingListener::Mode::kBlackHole);
+  auto transport = MakeSocketTransport("tarpit", nullptr, "127.0.0.1", blackhole.port(),
+                                       /*connect_timeout_ms=*/500, /*request_timeout_ms=*/150);
+  LookupResponse resp = transport->Lookup(Probe("k", 1, kTimestampInfinity));
+  EXPECT_FALSE(resp.hit);
+  EXPECT_EQ(resp.miss, MissKind::kNodeUnavailable);
+  Status ins = transport->Insert(StillValidEntry("k", "v", "g"), nullptr);
+  EXPECT_EQ(ins.code(), StatusCode::kUnavailable);
+  EXPECT_GE(transport->transport_failures(), 2u);
+}
+
+TEST(SocketTransportFailure, MidRequestDisconnectDegradesToNodeUnavailable) {
+  MisbehavingListener slammer(MisbehavingListener::Mode::kCloseOnAccept);
+  auto transport = MakeSocketTransport("flaky", nullptr, "127.0.0.1", slammer.port(),
+                                       /*connect_timeout_ms=*/500, /*request_timeout_ms=*/500);
+  LookupResponse resp = transport->Lookup(Probe("k", 1, kTimestampInfinity));
+  EXPECT_FALSE(resp.hit);
+  EXPECT_EQ(resp.miss, MissKind::kNodeUnavailable);
+  EXPECT_GE(transport->transport_failures(), 1u);
+}
+
+TEST(SocketTransportFailure, ServerStopMakesNodeUnavailableNotAnError) {
+  // A node that was healthy and then vanished: in-flight pool connections die, later calls
+  // hit connect-refused — every path lands on kNodeUnavailable.
+  ManualClock clock;
+  auto server = std::make_unique<CacheServer>("n0", &clock);
+  auto net_server = std::make_unique<net::NetServer>(server.get());
+  ASSERT_TRUE(net_server->Start().ok());
+  auto transport =
+      MakeSocketTransport("n0", server.get(), "127.0.0.1", net_server->port(), 200, 200);
+
+  ASSERT_TRUE(transport->Insert(StillValidEntry("k", "v", "g"), nullptr).ok());
+  ASSERT_TRUE(transport->Lookup(Probe("k", 1, kTimestampInfinity)).hit);
+
+  net_server->Stop();
+  net_server.reset();
+
+  LookupResponse resp = transport->Lookup(Probe("k", 1, kTimestampInfinity));
+  EXPECT_FALSE(resp.hit);
+  EXPECT_EQ(resp.miss, MissKind::kNodeUnavailable);
+}
+
+// --- cluster over sockets -----------------------------------------------------
+
+TEST(SocketCluster, RoutedLookupsInsertsAndInvalidationsBehaveAcrossNodes) {
+  ManualClock clock;
+  CacheServer a("node-a", &clock);
+  CacheServer b("node-b", &clock);
+  InvalidationBus bus;
+  bus.Subscribe(&a);
+  bus.Subscribe(&b);
+
+  CacheCluster cluster;
+  auto ta = MakeSelfHostedSocketTransport(&a);
+  auto tb = MakeSelfHostedSocketTransport(&b);
+  ASSERT_NE(ta, nullptr);
+  ASSERT_NE(tb, nullptr);
+  ASSERT_TRUE(cluster.AddNode(ta));
+  ASSERT_TRUE(cluster.AddNode(tb));
+
+  // Spread entries over both nodes; every routed answer must carry the true origin.
+  constexpr int kKeys = 64;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    InsertRequest req = StillValidEntry(key, "val-" + std::to_string(i),
+                                        i % 2 == 0 ? "even" : "odd");
+    req.key_hash = Fnv1a(req.key);
+    InsertResponse ins = cluster.Insert(req);
+    ASSERT_TRUE(ins.status.ok()) << key << ": " << ins.status.ToString();
+    ASSERT_FALSE(ins.served_by.empty());
+  }
+  EXPECT_GT(a.stats().inserts, 0u) << "ring should route some keys to node-a";
+  EXPECT_GT(b.stats().inserts, 0u) << "ring should route some keys to node-b";
+
+  for (int i = 0; i < kKeys; ++i) {
+    LookupRequest probe = Probe("key-" + std::to_string(i), 1, kTimestampInfinity);
+    probe.key_hash = Fnv1a(probe.key);
+    LookupResponse resp = cluster.Lookup(probe);
+    ASSERT_TRUE(resp.hit) << i;
+    EXPECT_EQ(resp.value_ref(), "val-" + std::to_string(i));
+    EXPECT_FALSE(resp.served_by.empty());
+  }
+
+  // Invalidate the even group; still_valid flips over the wire, odd group untouched.
+  bus.Publish(GroupInval("even", 50));
+  for (int i = 0; i < kKeys; ++i) {
+    LookupRequest probe = Probe("key-" + std::to_string(i), 1, kTimestampInfinity);
+    probe.key_hash = Fnv1a(probe.key);
+    LookupResponse resp = cluster.Lookup(probe);
+    if (i % 2 == 0) {
+      if (resp.hit) {
+        EXPECT_FALSE(resp.still_valid);
+        EXPECT_LE(resp.interval.upper, 50u);
+      }
+    } else {
+      ASSERT_TRUE(resp.hit) << i;
+      EXPECT_TRUE(resp.still_valid);
+    }
+  }
+
+  // Batch path: one MultiLookup spanning both nodes (scatter + single frame per node).
+  MultiLookupRequest batch;
+  for (int i = 1; i < kKeys; i += 2) {
+    LookupRequest probe = Probe("key-" + std::to_string(i), 1, kTimestampInfinity);
+    probe.key_hash = Fnv1a(probe.key);
+    batch.lookups.push_back(probe);
+  }
+  auto multi = cluster.MultiLookup(batch);
+  ASSERT_TRUE(multi.ok());
+  ASSERT_EQ(multi.value().responses.size(), batch.lookups.size());
+  for (size_t i = 0; i < multi.value().responses.size(); ++i) {
+    ASSERT_TRUE(multi.value().responses[i].hit) << i;
+    EXPECT_TRUE(multi.value().responses[i].still_valid);
+  }
+  EXPECT_EQ(ta->transport_failures() + tb->transport_failures(), 0u);
+}
+
+// No-stale-read property over sockets: concurrent inserts, lookups and invalidations; no
+// lookup may ever answer a still-valid hit whose group was already invalidated at a
+// timestamp <= the probe's lower bound (that would be a stale read presented as fresh).
+TEST(SocketCluster, NoStaleReadsUnderConcurrentInvalidationOverSockets) {
+  ManualClock clock;
+  CacheServer a("node-a", &clock);
+  CacheServer b("node-b", &clock);
+  InvalidationBus bus;
+  bus.Subscribe(&a);
+  bus.Subscribe(&b);
+
+  CacheCluster cluster;
+  auto ta = MakeSelfHostedSocketTransport(&a);
+  auto tb = MakeSelfHostedSocketTransport(&b);
+  ASSERT_NE(ta, nullptr);
+  ASSERT_NE(tb, nullptr);
+  ASSERT_TRUE(cluster.AddNode(ta));
+  ASSERT_TRUE(cluster.AddNode(tb));
+
+  constexpr int kKeys = 16;
+  // invalidated_at[g] is the highest timestamp the invalidator has PUBLISHED for group g
+  // (monotone; published strictly before the atomic store, so any lookup observing the
+  // store's value can rely on delivery having begun).
+  std::array<std::atomic<uint64_t>, kKeys> invalidated_at{};
+  std::atomic<uint64_t> now{100};
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+
+  std::thread invalidator([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const int g = static_cast<int>(now.load(std::memory_order_relaxed)) % kKeys;
+      const uint64_t ts = now.fetch_add(1, std::memory_order_relaxed);
+      bus.Publish(GroupInval("g" + std::to_string(g), ts));
+      invalidated_at[g].store(ts, std::memory_order_release);
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&, w] {
+      for (int iter = 0; iter < 120 && !stop.load(std::memory_order_relaxed); ++iter) {
+        const int k = (iter * 7 + w) % kKeys;
+        const std::string key = "key-" + std::to_string(k);
+        const std::string group = "g" + std::to_string(k);
+        const uint64_t ts = now.fetch_add(1, std::memory_order_relaxed);
+        InsertRequest req = StillValidEntry(key, "v", group, ts);
+        req.key_hash = Fnv1a(req.key);
+        cluster.Insert(req);
+
+        // Publish is synchronous (no delivery hook), so an invalidation at ts X recorded in
+        // invalidated_at BEFORE our lookup has been applied by every node. A still-valid hit
+        // reports upper = the node's last-applied invalidation timestamp — claiming an upper
+        // strictly below X would present a pre-invalidation view as current: a stale read.
+        const uint64_t floor_before = invalidated_at[k].load(std::memory_order_acquire);
+        LookupRequest probe = Probe(key, 1, kTimestampInfinity);
+        probe.key_hash = Fnv1a(probe.key);
+        LookupResponse resp = cluster.Lookup(probe);
+        if (resp.hit && resp.still_valid && resp.interval.upper < floor_before) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  stop.store(true);
+  invalidator.join();
+  EXPECT_EQ(violations.load(), 0) << "a still-valid hit claimed validity at or below an "
+                                     "invalidation already published before its own insert";
+  EXPECT_EQ(ta->transport_failures() + tb->transport_failures(), 0u);
+}
+
+// --- default-factory parameterization ----------------------------------------
+
+TEST(TransportFactory, AddNodeUsesInstalledFactory) {
+  ManualClock clock;
+  CacheServer server("n0", &clock);
+  int built = 0;
+  SetDefaultTransportFactory([&built](CacheServer* s) {
+    ++built;
+    return MakeLoopbackTransport(s);
+  });
+  CacheCluster cluster;
+  ASSERT_TRUE(cluster.AddNode(&server));
+  EXPECT_EQ(built, 1);
+  SetDefaultTransportFactory(nullptr);  // restore the environment-driven default
+}
+
+}  // namespace
+}  // namespace txcache

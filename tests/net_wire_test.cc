@@ -1,0 +1,426 @@
+// Wire-protocol unit tests: framing (incremental parse, torn/truncated/oversized/garbage
+// streams) and payload codec round-trips for every frame type. The transport-level behavior
+// (sockets, timeouts, failure degradation) lives in net_transport_test.cc; this file never
+// opens a socket.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/bus/invalidation.h"
+#include "src/cache/cache_types.h"
+#include "src/net/wire.h"
+#include "src/util/status.h"
+
+namespace txcache::net {
+namespace {
+
+LookupRequest SampleLookup() {
+  LookupRequest req;
+  req.key = "fn:user:42";
+  req.key_hash = 0x1234567890abcdefull;
+  req.bounds_lo = 7;
+  req.bounds_hi = kTimestampInfinity;
+  req.fresh_lo = 5;
+  return req;
+}
+
+InsertRequest SampleInsert() {
+  InsertRequest req;
+  req.key = "fn:item:9";
+  req.key_hash = 99;
+  req.value = std::string("payload\0with\xff"
+                          "binary",
+                          19);
+  req.interval = {11, kTimestampInfinity};
+  req.computed_at = 11;
+  req.tags = {InvalidationTag::Concrete("items", "idx_id", "\x09"),
+              InvalidationTag::Wildcard("bids")};
+  req.fill_cost_us = 420;
+  return req;
+}
+
+// --- framing ---
+
+TEST(WireFraming, EncodedFrameParsesBack) {
+  const std::string payload = "hello payload";
+  const std::string frame = EncodeFrame(FrameType::kLookupReq, 77, payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+
+  FrameHeader header;
+  std::string_view got;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(TryParseFrame(frame, &header, &got, &consumed, &error), FrameParse::kFrame)
+      << error;
+  EXPECT_EQ(header.type, FrameType::kLookupReq);
+  EXPECT_EQ(header.request_id, 77u);
+  EXPECT_EQ(header.version, kWireVersion);
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(consumed, frame.size());
+}
+
+TEST(WireFraming, EveryTruncationPrefixNeedsMore) {
+  // A torn frame — any strict prefix — must parse as kNeedMore, never kFrame or kError.
+  const std::string frame = EncodeFrame(FrameType::kInsertReq, 5, "0123456789");
+  for (size_t n = 0; n < frame.size(); ++n) {
+    FrameHeader header;
+    std::string_view payload;
+    size_t consumed = 0;
+    EXPECT_EQ(TryParseFrame(std::string_view(frame).substr(0, n), &header, &payload,
+                            &consumed, nullptr),
+              FrameParse::kNeedMore)
+        << "prefix length " << n;
+  }
+}
+
+TEST(WireFraming, TwoFramesBackToBackParseInOrder) {
+  const std::string a = EncodeFrame(FrameType::kPing, 1, "");
+  const std::string b = EncodeFrame(FrameType::kLookupReq, 2, "xy");
+  std::string buf = a + b;
+
+  FrameHeader header;
+  std::string_view payload;
+  size_t consumed = 0;
+  ASSERT_EQ(TryParseFrame(buf, &header, &payload, &consumed, nullptr), FrameParse::kFrame);
+  EXPECT_EQ(header.type, FrameType::kPing);
+  EXPECT_EQ(header.request_id, 1u);
+  buf.erase(0, consumed);
+
+  ASSERT_EQ(TryParseFrame(buf, &header, &payload, &consumed, nullptr), FrameParse::kFrame);
+  EXPECT_EQ(header.type, FrameType::kLookupReq);
+  EXPECT_EQ(header.request_id, 2u);
+  EXPECT_EQ(payload, "xy");
+  EXPECT_EQ(consumed, buf.size());
+}
+
+TEST(WireFraming, GarbageMagicIsAnErrorImmediately) {
+  // The magic check fires as soon as four bytes are present — a client talking HTTP (or
+  // anything else) to the cache port is rejected before it can stream a bogus "length".
+  std::string garbage = "GET / HTTP/1.1\r\n";
+  FrameHeader header;
+  std::string_view payload;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(TryParseFrame(garbage, &header, &payload, &consumed, &error), FrameParse::kError);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(TryParseFrame(std::string_view(garbage).substr(0, 4), &header, &payload,
+                          &consumed, nullptr),
+            FrameParse::kError);
+}
+
+TEST(WireFraming, WrongVersionAndUnknownTypeAreErrors) {
+  std::string frame = EncodeFrame(FrameType::kPing, 1, "");
+  FrameHeader header;
+  std::string_view payload;
+  size_t consumed = 0;
+
+  std::string bad_version = frame;
+  bad_version[4] = 99;  // version byte
+  EXPECT_EQ(TryParseFrame(bad_version, &header, &payload, &consumed, nullptr),
+            FrameParse::kError);
+
+  std::string bad_type = frame;
+  bad_type[5] = static_cast<char>(200);  // type byte
+  EXPECT_EQ(TryParseFrame(bad_type, &header, &payload, &consumed, nullptr),
+            FrameParse::kError);
+}
+
+TEST(WireFraming, OversizedLengthIsAnErrorNotAnAllocation) {
+  // Header claims a payload beyond kMaxFramePayload: reject at header-parse time, i.e. with
+  // only 20 bytes in the buffer (kNeedMore here would make clients buffer 4 GiB of nothing).
+  std::string frame = EncodeFrame(FrameType::kLookupReq, 1, "x");
+  const uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(frame.data() + 8, &huge, sizeof(huge));  // payload_len field
+  FrameHeader header;
+  std::string_view payload;
+  size_t consumed = 0;
+  EXPECT_EQ(TryParseFrame(std::string_view(frame).substr(0, kFrameHeaderBytes), &header,
+                          &payload, &consumed, nullptr),
+            FrameParse::kError);
+}
+
+TEST(WireFraming, CorruptionCorpusNeverCrashesOrOverreads) {
+  // Flip each byte of a valid two-frame stream and re-parse from scratch: every outcome must
+  // be one of the three parse results with in-bounds `consumed` — no crashes, no throws.
+  const std::string stream = EncodeFrame(FrameType::kInsertReq, 3, "abcdef") +
+                             EncodeFrame(FrameType::kLookupReq, 4, "0123456789");
+  for (size_t i = 0; i < stream.size(); ++i) {
+    for (int delta : {1, 0x7f, 0xff}) {
+      std::string mutated = stream;
+      mutated[i] = static_cast<char>(mutated[i] + delta);
+      std::string_view rest = mutated;
+      for (int frames = 0; frames < 3; ++frames) {
+        FrameHeader header;
+        std::string_view payload;
+        size_t consumed = 0;
+        FrameParse parse = TryParseFrame(rest, &header, &payload, &consumed, nullptr);
+        if (parse != FrameParse::kFrame) {
+          break;  // kError closes the stream; kNeedMore waits — both safe
+        }
+        ASSERT_LE(consumed, rest.size());
+        ASSERT_LE(header.payload_len, kMaxFramePayload);
+        rest.remove_prefix(consumed);
+      }
+    }
+  }
+}
+
+// --- request codecs ---
+
+TEST(WireCodec, LookupRequestRoundTrip) {
+  const LookupRequest req = SampleLookup();
+  LookupRequest out;
+  ASSERT_TRUE(DecodeLookupRequest(EncodeLookupRequest(req), &out));
+  EXPECT_EQ(out.key, req.key);
+  EXPECT_EQ(out.key_hash, req.key_hash);
+  EXPECT_EQ(out.bounds_lo, req.bounds_lo);
+  EXPECT_EQ(out.bounds_hi, req.bounds_hi);
+  EXPECT_EQ(out.fresh_lo, req.fresh_lo);
+}
+
+TEST(WireCodec, MultiLookupRequestRoundTrip) {
+  MultiLookupRequest req;
+  for (int i = 0; i < 5; ++i) {
+    LookupRequest one = SampleLookup();
+    one.key += std::to_string(i);
+    req.lookups.push_back(one);
+  }
+  MultiLookupRequest out;
+  ASSERT_TRUE(DecodeMultiLookupRequest(EncodeMultiLookupRequest(req), &out));
+  ASSERT_EQ(out.lookups.size(), 5u);
+  EXPECT_EQ(out.lookups[4].key, req.lookups[4].key);
+}
+
+TEST(WireCodec, InsertRequestRoundTripWithBinaryValueAndTags) {
+  const InsertRequest req = SampleInsert();
+  InsertRequest out;
+  ASSERT_TRUE(DecodeInsertRequest(EncodeInsertRequest(req), &out));
+  EXPECT_EQ(out.key, req.key);
+  EXPECT_EQ(out.value, req.value);
+  EXPECT_EQ(out.interval.lower, req.interval.lower);
+  EXPECT_EQ(out.interval.upper, req.interval.upper);
+  EXPECT_EQ(out.computed_at, req.computed_at);
+  ASSERT_EQ(out.tags.size(), 2u);
+  EXPECT_EQ(out.tags[0], req.tags[0]);
+  EXPECT_EQ(out.tags[1], req.tags[1]);
+  EXPECT_EQ(out.fill_cost_us, req.fill_cost_us);
+}
+
+TEST(WireCodec, IntentRequestRoundTrip) {
+  IntentRequest req;
+  req.key = "k";
+  req.key_hash = 1;
+  req.txn_id = 0xfeedfacecafebeefull;
+  IntentRequest out;
+  ASSERT_TRUE(DecodeIntentRequest(EncodeIntentRequest(req), &out));
+  EXPECT_EQ(out.key, req.key);
+  EXPECT_EQ(out.txn_id, req.txn_id);
+}
+
+TEST(WireCodec, InvalidationMessageRoundTrip) {
+  InvalidationMessage msg;
+  msg.seqno = 31337;
+  msg.ts = 1234;
+  msg.wallclock = 5678;
+  msg.tags = {InvalidationTag::Concrete("users", "idx", "abc"),
+              InvalidationTag::Wildcard("items")};
+  InvalidationMessage out;
+  ASSERT_TRUE(DecodeInvalidationMessage(EncodeInvalidationMessage(msg), &out));
+  EXPECT_EQ(out.seqno, msg.seqno);
+  EXPECT_EQ(out.ts, msg.ts);
+  EXPECT_EQ(out.wallclock, msg.wallclock);
+  EXPECT_EQ(out.tags, msg.tags);
+}
+
+// --- response codecs ---
+
+TEST(WireCodec, LookupResponseHitRoundTrip) {
+  LookupResponse resp;
+  resp.hit = true;
+  resp.value = std::make_shared<const std::string>("the value");
+  resp.fill_cost_us = 777;
+  resp.interval = {10, 20};
+  resp.still_valid = true;
+  resp.tags = std::make_shared<const std::vector<InvalidationTag>>(
+      std::vector<InvalidationTag>{InvalidationTag::Concrete("t", "i", "k")});
+  auto hints = std::make_shared<AdvisoryHints>();
+  hints->learned_lifetime_us = 5000;
+  hints->observed_bpb = 1.5;
+  hints->decline_rate = 0.25;
+  resp.hints = hints;
+  resp.intent_owner = 404;
+
+  LookupResponse out;
+  ASSERT_TRUE(DecodeLookupResponse(EncodeLookupResponse(resp), &out));
+  EXPECT_TRUE(out.hit);
+  EXPECT_EQ(out.miss, MissKind::kNone);
+  ASSERT_NE(out.value, nullptr);
+  EXPECT_EQ(*out.value, "the value");
+  EXPECT_EQ(out.fill_cost_us, 777u);
+  EXPECT_EQ(out.interval.lower, 10u);
+  EXPECT_EQ(out.interval.upper, 20u);
+  EXPECT_TRUE(out.still_valid);
+  ASSERT_NE(out.tags, nullptr);
+  EXPECT_EQ(out.tags->size(), 1u);
+  ASSERT_NE(out.hints, nullptr);
+  EXPECT_EQ(out.hints->learned_lifetime_us, 5000u);
+  EXPECT_DOUBLE_EQ(out.hints->observed_bpb, 1.5);
+  EXPECT_EQ(out.intent_owner, 404u);
+}
+
+TEST(WireCodec, LookupResponseMissRoundTripsEveryMissKind) {
+  for (MissKind kind : {MissKind::kNone, MissKind::kCompulsory, MissKind::kStaleness,
+                        MissKind::kCapacity, MissKind::kConsistency,
+                        MissKind::kNodeUnavailable}) {
+    LookupResponse resp;
+    resp.hit = false;
+    resp.miss = kind;
+    LookupResponse out;
+    ASSERT_TRUE(DecodeLookupResponse(EncodeLookupResponse(resp), &out));
+    EXPECT_FALSE(out.hit);
+    EXPECT_EQ(out.miss, kind);
+    EXPECT_EQ(out.value, nullptr);
+    EXPECT_EQ(out.tags, nullptr);
+    EXPECT_EQ(out.hints, nullptr);
+  }
+}
+
+TEST(WireCodec, MultiLookupResponseRoundTrip) {
+  MultiLookupResponse resp;
+  LookupResponse hit;
+  hit.hit = true;
+  hit.value = std::make_shared<const std::string>("v");
+  hit.interval = {1, 2};
+  resp.responses.push_back(hit);
+  LookupResponse miss;
+  miss.miss = MissKind::kCapacity;
+  resp.responses.push_back(miss);
+
+  MultiLookupResponse out;
+  ASSERT_TRUE(DecodeMultiLookupResponse(EncodeMultiLookupResponse(resp), &out));
+  ASSERT_EQ(out.responses.size(), 2u);
+  EXPECT_TRUE(out.responses[0].hit);
+  EXPECT_EQ(*out.responses[0].value, "v");
+  EXPECT_FALSE(out.responses[1].hit);
+  EXPECT_EQ(out.responses[1].miss, MissKind::kCapacity);
+}
+
+TEST(WireCodec, InsertOutcomeRoundTrip) {
+  auto hints = std::make_shared<AdvisoryHints>();
+  hints->learned_lifetime_us = 123;
+  const std::string wire =
+      EncodeInsertOutcome(Status::DeclinedTooLarge("too big"), hints);
+  Status status;
+  std::shared_ptr<const AdvisoryHints> got_hints;
+  ASSERT_TRUE(DecodeInsertOutcome(wire, &status, &got_hints));
+  EXPECT_EQ(status.code(), StatusCode::kDeclinedTooLarge);
+  EXPECT_EQ(status.message(), "too big");
+  ASSERT_NE(got_hints, nullptr);
+  EXPECT_EQ(got_hints->learned_lifetime_us, 123u);
+
+  // And the hint-less form.
+  const std::string wire2 = EncodeInsertOutcome(Status::Ok(), nullptr);
+  ASSERT_TRUE(DecodeInsertOutcome(wire2, &status, &got_hints));
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(got_hints, nullptr);
+}
+
+TEST(WireCodec, IntentResponseRoundTrip) {
+  IntentResponse resp;
+  resp.status = Status::Conflict("held");
+  resp.holder = 9009;
+  IntentResponse out;
+  ASSERT_TRUE(DecodeIntentResponse(EncodeIntentResponse(resp), &out));
+  EXPECT_EQ(out.status.code(), StatusCode::kConflict);
+  EXPECT_EQ(out.holder, 9009u);
+}
+
+TEST(WireCodec, StatusRoundTrip) {
+  Status out;
+  ASSERT_TRUE(DecodeStatus(EncodeStatus(Status::Unavailable("gone")), &out));
+  EXPECT_EQ(out.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(out.message(), "gone");
+}
+
+// --- hostile payloads ---
+
+TEST(WireCodec, DecodersRejectTruncatedAndTrailingBytes) {
+  const std::string lookup = EncodeLookupRequest(SampleLookup());
+  const std::string insert = EncodeInsertRequest(SampleInsert());
+  LookupRequest lr;
+  InsertRequest ir;
+
+  // Every strict prefix must fail (no partial decode presented as success)...
+  for (size_t n = 0; n < lookup.size(); ++n) {
+    EXPECT_FALSE(DecodeLookupRequest(std::string_view(lookup).substr(0, n), &lr));
+  }
+  for (size_t n = 0; n < insert.size(); ++n) {
+    EXPECT_FALSE(DecodeInsertRequest(std::string_view(insert).substr(0, n), &ir));
+  }
+  // ...and so must trailing garbage (a frame length lying about its payload).
+  EXPECT_FALSE(DecodeLookupRequest(lookup + "x", &lr));
+  EXPECT_FALSE(DecodeInsertRequest(insert + "x", &ir));
+}
+
+TEST(WireCodec, ResponseDecodersRejectOutOfRangeEnums) {
+  LookupResponse resp;
+  resp.miss = MissKind::kCapacity;
+  std::string wire = EncodeLookupResponse(resp);
+  // First byte is `hit`, second is the MissKind — forge an undefined enum value.
+  ASSERT_GE(wire.size(), 2u);
+  wire[1] = static_cast<char>(250);
+  LookupResponse out;
+  EXPECT_FALSE(DecodeLookupResponse(wire, &out));
+
+  Status status;
+  std::string swire = EncodeStatus(Status::Ok());
+  swire[0] = static_cast<char>(250);  // StatusCode byte
+  EXPECT_FALSE(DecodeStatus(swire, &status));
+}
+
+TEST(WireCodec, MultiLookupResponseRejectsLyingCount) {
+  // A count far beyond the remaining bytes must fail fast, not allocate per claimed entry.
+  MultiLookupResponse resp;
+  resp.responses.emplace_back();
+  std::string wire = EncodeMultiLookupResponse(resp);
+  const uint32_t lie = 0x40000000;
+  std::memcpy(wire.data() + 8, &lie, sizeof(lie));  // count field (after u64 ring_epoch)
+  MultiLookupResponse out;
+  EXPECT_FALSE(DecodeMultiLookupResponse(wire, &out));
+}
+
+TEST(WireCodec, RandomBytesNeverDecode) {
+  // Deterministic xorshift corpus — decoders must fail or succeed cleanly, never crash.
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string junk;
+    const size_t len = next() % 64;
+    for (size_t i = 0; i < len; ++i) {
+      junk.push_back(static_cast<char>(next()));
+    }
+    LookupRequest lr;
+    InsertRequest ir;
+    LookupResponse lresp;
+    IntentResponse iresp;
+    Status st;
+    DecodeLookupRequest(junk, &lr);
+    DecodeInsertRequest(junk, &ir);
+    DecodeLookupResponse(junk, &lresp);
+    DecodeIntentResponse(junk, &iresp);
+    DecodeStatus(junk, &st);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace txcache::net

@@ -1,6 +1,12 @@
 // Discrete-event simulator tests: event queue ordering, resource queueing, end-to-end runs.
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
 #include "src/sim/cluster_sim.h"
 #include "src/sim/event_queue.h"
 
@@ -179,6 +185,50 @@ TEST(ClusterSim, MembershipChurnDegradesToMissesAndRecovers) {
   EXPECT_GT(resize.value().clients.ring_epoch_changes, 0u)
       << "clients observed the resize through response epochs";
   EXPECT_GT(resize.value().completed, 50u);
+}
+
+TEST(ClusterSim, SnapshotDirPersistsNodeSnapshotsToDiskDuringChurn) {
+  // SimConfig::snapshot_dir wires a FileSnapshotStore into the fleet: the periodic
+  // Deliver-tail persistence must land real files on disk while the churn cycle runs, and
+  // the run must stay as healthy as the in-memory-store variant.
+  char tmpl[] = "/tmp/txcache_simsnap_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+
+  SimConfig cfg;
+  cfg.scale = rubis::RubisScale::InMemory(0.005);
+  cfg.num_clients = 50;
+  cfg.warmup = Seconds(2);
+  cfg.measure = Seconds(6);
+  cfg.snapshot_dir = dir;
+  cfg.snapshot_interval_messages = 16;
+  cfg.churn = ChurnKind::kCrashRejoin;
+  cfg.churn_victim = 0;
+  cfg.churn_start = Seconds(3);
+  cfg.churn_down_time = Seconds(2);
+  {
+    ClusterSim sim(cfg);
+    auto result = sim.Run();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().churn_rejoins, 1u);
+    EXPECT_GT(result.value().completed, 50u);
+  }
+
+  size_t snap_files = 0;
+  if (DIR* d = opendir(dir)) {
+    while (dirent* e = readdir(d)) {
+      std::string name = e->d_name;
+      if (name.size() > 5 && name.substr(name.size() - 5) == ".snap") {
+        ++snap_files;
+      }
+      if (name != "." && name != "..") {
+        unlink((std::string(dir) + "/" + name).c_str());
+      }
+    }
+    closedir(d);
+  }
+  rmdir(dir);
+  EXPECT_GT(snap_files, 0u) << "periodic persistence never reached the file store";
 }
 
 TEST(ClusterSim, OptimisticWritesCommitThroughTheCache) {

@@ -1,0 +1,125 @@
+// Tag-set interning: identical invalidation tag sets across versions and keys share one
+// allocation; the unit covers dedup, collision disambiguation, and weak-ptr liveness, and
+// the end-to-end test proves the CacheServer insert path actually routes through the
+// interner without changing lookup semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cache/cache_server.h"
+#include "src/cache/tag_interner.h"
+#include "src/util/clock.h"
+
+namespace txcache {
+namespace {
+
+using TagSet = TagSetInterner::TagSet;
+
+TagSet Tags(const std::string& group) {
+  return {InvalidationTag::Concrete("t", "idx", group), InvalidationTag::Wildcard("t2")};
+}
+
+TEST(TagSetInterner, IdenticalSetsAliasOneAllocation) {
+  TagSetInterner interner;
+  auto a = interner.Intern(Tags("g1"));
+  auto b = interner.Intern(Tags("g1"));
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get()) << "byte-identical sets must share the interned vector";
+  EXPECT_EQ(interner.dedup_hits(), 1u);
+  EXPECT_EQ(interner.size(), 1u);
+
+  auto c = interner.Intern(Tags("g2"));
+  EXPECT_NE(a.get(), c.get()) << "distinct contents must not alias";
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(TagSetInterner, EmptySetIsASingletonAndNeverNull) {
+  TagSetInterner interner;
+  auto a = interner.Intern({});
+  auto b = interner.Intern({});
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->empty());
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(interner.size(), 0u) << "the singleton does not occupy the map";
+}
+
+TEST(TagSetInterner, FieldBoundariesAreHashedNotConcatenated) {
+  // ("ab","c",...) vs ("a","bc",...): same concatenation, different tags. The separator in
+  // HashTagSet makes the hashes differ, and even on a collision the deep compare would
+  // disambiguate — either way these must not alias.
+  TagSetInterner interner;
+  auto a = interner.Intern({InvalidationTag::Concrete("ab", "c", "k")});
+  auto b = interner.Intern({InvalidationTag::Concrete("a", "bc", "k")});
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(interner.dedup_hits(), 0u);
+  // Wildcard-ness is part of identity even when the strings match.
+  auto conc = interner.Intern({InvalidationTag::Concrete("t", "", "")});
+  auto wild = interner.Intern({InvalidationTag::Wildcard("t")});
+  EXPECT_NE(conc.get(), wild.get());
+}
+
+TEST(TagSetInterner, DeadSetsAreNotResurrected) {
+  TagSetInterner interner;
+  const TagSet* first_addr = nullptr;
+  {
+    auto a = interner.Intern(Tags("g"));
+    first_addr = a.get();
+  }
+  // The only owner died: the weak entry is expired, so re-interning allocates fresh (the
+  // old address may or may not be reused by the allocator — what must NOT happen is a lock
+  // of the dead weak_ptr handing back a freed vector).
+  auto b = interner.Intern(Tags("g"));
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(*b, Tags("g"));
+  EXPECT_EQ(interner.dedup_hits(), 0u) << "an expired entry is a miss, not a dedup hit";
+  (void)first_addr;
+}
+
+InsertRequest EntryWith(const std::string& key, const std::string& group) {
+  InsertRequest req;
+  req.key = key;
+  req.value = "v:" + key;
+  req.interval = {1, kTimestampInfinity};
+  req.computed_at = 1;
+  req.tags = Tags(group);
+  return req;
+}
+
+TEST(TagSetInterner, CacheServerSharesTagBlocksAcrossKeysAndVersions) {
+  ManualClock clock;
+  CacheServer server("n", &clock);
+  // 32 keys, all carrying the same two-tag set: one interned allocation serves them all.
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(server.Insert(EntryWith("k" + std::to_string(i), "shared")).ok());
+  }
+  EXPECT_GE(server.tag_interner().dedup_hits(), 31u)
+      << "every insert after the first should have aliased the interned set";
+
+  // Lookups on two different keys hand back the same underlying tag vector.
+  LookupRequest probe;
+  probe.key = "k0";
+  probe.bounds_lo = 1;
+  probe.bounds_hi = kTimestampInfinity;
+  probe.fresh_lo = 1;
+  LookupResponse r0 = server.Lookup(probe);
+  probe.key = "k1";
+  LookupResponse r1 = server.Lookup(probe);
+  ASSERT_TRUE(r0.hit);
+  ASSERT_TRUE(r1.hit);
+  ASSERT_NE(r0.tags, nullptr);
+  EXPECT_EQ(r0.tags.get(), r1.tags.get())
+      << "hit responses alias the single interned tag block";
+  EXPECT_EQ(*r0.tags, Tags("shared")) << "interning must not change the visible tags";
+
+  // A different tag set does not alias.
+  ASSERT_TRUE(server.Insert(EntryWith("kx", "other")).ok());
+  probe.key = "kx";
+  LookupResponse rx = server.Lookup(probe);
+  ASSERT_TRUE(rx.hit);
+  EXPECT_NE(rx.tags.get(), r0.tags.get());
+}
+
+}  // namespace
+}  // namespace txcache
