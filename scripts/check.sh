@@ -85,10 +85,12 @@ fi
 # binary wire protocol over TCP. The parity contract (src/net/transport.h) says the answers
 # are identical to loopback, so the SAME tests must pass unchanged — this pass is what
 # enforces it. Scoped to the suites that exercise cluster routing; pure-unit suites gain
-# nothing from riding a socket.
+# nothing from riding a socket. sql_tag_derivation_test rides along: the derived-vs-handwritten
+# equivalence diff and the derived-mode wiki/RUBiS end-to-end runs must hold identically when
+# every cache lookup/insert crosses a real socket.
 if [[ -z "$LABELS" ]]; then
   (cd build && TXCACHE_TRANSPORT=socket ctest --output-on-failure -j "$JOBS" \
-      -R '^(core_lookup_semantics_test|core_client_test|core_invariant_property_test|membership_test|cache_replication_test|cache_write_tx_test|net_transport_test)$')
+      -R '^(core_lookup_semantics_test|core_client_test|core_invariant_property_test|membership_test|cache_replication_test|cache_write_tx_test|net_transport_test|sql_tag_derivation_test)$')
 fi
 
 # --- ThreadSanitizer build of the concurrency-sensitive tests ---
@@ -102,10 +104,14 @@ fi
 # validation race against the invalidation stream and concurrent zero-copy readers.
 # net_transport_test joins them: epoll workers, pipelined clients and the socket no-stale-read
 # property test are the transport's own race surface.
+# sql_test and sql_tag_derivation_test (label sql) join them: the derivation suites drive full
+# client/cache/bus stacks, and cache_property_test's derived-tag interleavings already ride
+# here — the front-end suites must be equally clean under TSan.
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_TARGETS=(concurrency_stress_test cache_shard_test cache_eviction_test cache_property_test
                 membership_test cache_readpath_test cache_admission_sizing_test cache_ebr_test
-                cache_snapshot_test cache_replication_test cache_write_tx_test net_transport_test)
+                cache_snapshot_test cache_replication_test cache_write_tx_test net_transport_test
+                sql_test sql_tag_derivation_test)
   cmake -B build-tsan -S . -DTXCACHE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
   if [[ -n "$LABELS" ]]; then

@@ -361,6 +361,16 @@ void TxCacheClient::PropagateToFrames(const Interval& validity,
 }
 
 Result<QueryResult> TxCacheClient::ExecuteQuery(const Query& query) {
+  return ExecuteQueryInternal(query, /*override_tags=*/nullptr);
+}
+
+Result<QueryResult> TxCacheClient::ExecuteQueryTagged(const Query& query,
+                                                      const std::vector<InvalidationTag>& tags) {
+  return ExecuteQueryInternal(query, &tags);
+}
+
+Result<QueryResult> TxCacheClient::ExecuteQueryInternal(
+    const Query& query, const std::vector<InvalidationTag>* override_tags) {
   if (!in_transaction()) {
     return Status::FailedPrecondition("no active transaction");
   }
@@ -374,9 +384,11 @@ Result<QueryResult> TxCacheClient::ExecuteQuery(const Query& query) {
         // Optimistic transactions validate their engine reads too: the db vouches for the
         // result through the transaction snapshot (the engine tag-tracked the query under
         // track_reads; validity intervals stay unbounded because the snapshot sees our own
-        // uncommitted writes).
+        // uncommitted writes). With override_tags (statically derived, a superset of the
+        // engine's), validation keys off the broader set — strictly more conflict-prone,
+        // never less safe.
         ReadValidationEntry entry;
-        entry.tags = rw_result.value().tags;
+        entry.tags = override_tags != nullptr ? *override_tags : rw_result.value().tags;
         entry.valid_through = rw_snapshot_;
         rw_read_set_.push_back(std::move(entry));
       }
@@ -405,7 +417,8 @@ Result<QueryResult> TxCacheClient::ExecuteQuery(const Query& query) {
     } else {
       pin_set_.DropStar();
     }
-    PropagateToFrames(result.validity, result.tags);
+    PropagateToFrames(result.validity,
+                      override_tags != nullptr ? *override_tags : result.tags);
   }
   return result_or;
 }

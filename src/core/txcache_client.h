@@ -355,6 +355,15 @@ class TxCacheClient {
 
   // --- database access (bare queries/DML inside the current transaction) ---
   Result<QueryResult> ExecuteQuery(const Query& query);
+  // Like ExecuteQuery, but `tags` — a statically derived superset of the access tags the
+  // executor will attach (src/sql/tag_deriver.h) — is what flows into enclosing cacheable
+  // frames and, in optimistic read-write transactions, into the commit-time read set, in
+  // place of the executor's dynamically observed tags. Broader tags can only cause extra
+  // invalidations or validation conflicts, never a stale read, so any superset is safe.
+  // Validity intervals are never overridden (they come from the engine), and the returned
+  // QueryResult still carries the executor's own tags so callers can diff the two sets.
+  Result<QueryResult> ExecuteQueryTagged(const Query& query,
+                                         const std::vector<InvalidationTag>& tags);
   Status Insert(const std::string& table, Row row);
   Result<size_t> Update(const std::string& table, const AccessPath& path,
                         const PredicatePtr& where,
@@ -442,6 +451,10 @@ class TxCacheClient {
     kOptimisticRw,  // BeginRw: reads through the cache, commit-time read validation
   };
 
+  // Shared body of ExecuteQuery/ExecuteQueryTagged: null override_tags means "use the
+  // executor's observed tags".
+  Result<QueryResult> ExecuteQueryInternal(const Query& query,
+                                           const std::vector<InvalidationTag>* override_tags);
   // Makes sure the pin set holds at least one concrete pin (pinning a fresh snapshot if the
   // pincushion had nothing fresh enough), so cache lookups have usable bounds (§5.4).
   Status EnsurePinnedSnapshot();

@@ -9,6 +9,10 @@ namespace txcache::rubis {
 
 namespace {
 constexpr int64_t kPageSize = 20;
+
+// Terse integer formatting for the synthesized SQL of derived-tag mode.
+std::string N(int64_t v) { return std::to_string(v); }
+
 }  // namespace
 
 RubisApp::RubisApp(TxCacheClient* client, RubisDataset* dataset, const Clock* clock)
@@ -68,13 +72,29 @@ Status RubisApp::AnnounceIntent(const std::string& key) {
   return client_->WriteIntent(key);
 }
 
-std::vector<Row> RubisApp::FetchItemRow(const char* table, const char* index, int64_t id) {
-  auto result =
-      client_->ExecuteQuery(Query::From(AccessPath::IndexEq(table, index, Row{Value(id)})));
-  if (!result.ok()) {
-    return {};
+Status RubisApp::EnableDerivedTags(Database* db) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("EnableDerivedTags needs the database for the planner");
   }
-  return std::move(result.value().rows);
+  sql_ = std::make_unique<sql::SqlSession>(client_, db);
+  sql_->set_tag_mode(sql::SqlSession::TagMode::kDerived);
+  return Status::Ok();
+}
+
+std::vector<Row> RubisApp::FetchRows(const std::string& sql_text,
+                                     const std::function<Query()>& handwritten) {
+  if (sql_ != nullptr) {
+    auto r = sql_->Execute(sql_text);
+    return r.ok() ? std::move(r.value().rows) : std::vector<Row>{};
+  }
+  auto r = client_->ExecuteQuery(handwritten());
+  return r.ok() ? std::move(r.value().rows) : std::vector<Row>{};
+}
+
+std::vector<Row> RubisApp::FetchItemRow(const char* table, const char* index, int64_t id) {
+  return FetchRows("SELECT * FROM " + std::string(table) + " WHERE id = " + N(id), [&] {
+    return Query::From(AccessPath::IndexEq(table, index, Row{Value(id)}));
+  });
 }
 
 ItemInfo RubisApp::GetItemImpl(int64_t id) {
@@ -109,12 +129,13 @@ ItemInfo RubisApp::GetItemImpl(int64_t id) {
 
 UserInfo RubisApp::GetUserImpl(int64_t id) {
   UserInfo info;
-  auto result = client_->ExecuteQuery(
-      Query::From(AccessPath::IndexEq(kUsers, kUsersPk, Row{Value(id)})));
-  if (!result.ok() || result.value().rows.empty()) {
+  std::vector<Row> rows = FetchRows("SELECT * FROM users WHERE id = " + N(id), [&] {
+    return Query::From(AccessPath::IndexEq(kUsers, kUsersPk, Row{Value(id)}));
+  });
+  if (rows.empty()) {
     return info;
   }
-  const Row& r = result.value().rows[0];
+  const Row& r = rows[0];
   info.id = r[UsersCol::kId].AsInt();
   info.nickname = r[UsersCol::kNickname].AsString();
   info.rating = r[UsersCol::kRating].AsInt();
@@ -125,29 +146,31 @@ UserInfo RubisApp::GetUserImpl(int64_t id) {
 }
 
 int64_t RubisApp::AuthUserImpl(const std::string& nickname) {
-  auto result = client_->ExecuteQuery(
-      Query::From(AccessPath::IndexEq(kUsers, kUsersByNickname, Row{Value(nickname)}))
-          .Project({UsersCol::kId}));
-  if (!result.ok() || result.value().rows.empty()) {
-    return -1;
-  }
-  return result.value().rows[0][0].AsInt();
+  std::vector<Row> rows = FetchRows(
+      "SELECT id FROM users WHERE nickname = " + sql::QuoteSqlString(nickname), [&] {
+        return Query::From(AccessPath::IndexEq(kUsers, kUsersByNickname, Row{Value(nickname)}))
+            .Project({UsersCol::kId});
+      });
+  return rows.empty() ? -1 : rows[0][0].AsInt();
 }
 
 std::vector<int64_t> RubisApp::CategoryItemsImpl(int64_t category, int64_t page) {
   // Fill size adapts to the fleet's advisory hints; the page offset keeps the full stride so
-  // pagination never overlaps regardless of the downgrade.
+  // pagination never overlaps regardless of the downgrade. The same FillLimit paces both the
+  // hand-written and the SQL-path fill (PR 5 follow-up).
   const int64_t limit = FillLimit(category_items.hints());
-  auto result = client_->ExecuteQuery(
-      Query::From(AccessPath::IndexEq(kItems, kItemsByCategory, Row{Value(category)}))
-          .SortBy(ItemsCol::kEndDate)
-          .Limit(limit, static_cast<size_t>(page) * kPageSize)
-          .Project({ItemsCol::kId}));
+  std::vector<Row> rows = FetchRows(
+      "SELECT id FROM items WHERE category = " + N(category) + " ORDER BY end_date LIMIT " +
+          N(limit) + " OFFSET " + N(page * kPageSize),
+      [&] {
+        return Query::From(AccessPath::IndexEq(kItems, kItemsByCategory, Row{Value(category)}))
+            .SortBy(ItemsCol::kEndDate)
+            .Limit(limit, static_cast<size_t>(page) * kPageSize)
+            .Project({ItemsCol::kId});
+      });
   std::vector<int64_t> ids;
-  if (result.ok()) {
-    for (const Row& r : result.value().rows) {
-      ids.push_back(r[0].AsInt());
-    }
+  for (const Row& r : rows) {
+    ids.push_back(r[0].AsInt());
   }
   return ids;
 }
@@ -155,33 +178,61 @@ std::vector<int64_t> RubisApp::CategoryItemsImpl(int64_t category, int64_t page)
 std::vector<int64_t> RubisApp::RegionCategoryItemsImpl(int64_t region, int64_t category,
                                                        int64_t page) {
   // Uses the item_reg_cat table the paper adds: one composite-index lookup instead of a
-  // sequential scan over active auctions joined with users (§7.1).
+  // sequential scan over active auctions joined with users (§7.1). The planner finds the
+  // same composite index from the two AND-ed equalities.
   const int64_t limit = FillLimit(region_category_items.hints());
-  auto result = client_->ExecuteQuery(
-      Query::From(AccessPath::IndexEq(kItemRegCat, kItemRegCatByRegionCat,
-                                      Row{Value(region), Value(category)}))
-          .SortBy(ItemRegCatCol::kItemId)
-          .Limit(limit, static_cast<size_t>(page) * kPageSize)
-          .Project({ItemRegCatCol::kItemId}));
+  std::vector<Row> rows = FetchRows(
+      "SELECT item_id FROM item_reg_cat WHERE region = " + N(region) + " AND category = " +
+          N(category) + " ORDER BY item_id LIMIT " + N(limit) + " OFFSET " +
+          N(page * kPageSize),
+      [&] {
+        return Query::From(AccessPath::IndexEq(kItemRegCat, kItemRegCatByRegionCat,
+                                               Row{Value(region), Value(category)}))
+            .SortBy(ItemRegCatCol::kItemId)
+            .Limit(limit, static_cast<size_t>(page) * kPageSize)
+            .Project({ItemRegCatCol::kItemId});
+      });
   std::vector<int64_t> ids;
-  if (result.ok()) {
-    for (const Row& r : result.value().rows) {
-      ids.push_back(r[0].AsInt());
-    }
+  for (const Row& r : rows) {
+    ids.push_back(r[0].AsInt());
   }
   return ids;
 }
 
 std::vector<BidInfo> RubisApp::ItemBidsImpl(int64_t item) {
   // Bids for an item joined with bidder nicknames (index nested-loop join on users_pk).
+  std::vector<BidInfo> bids;
+  const int64_t limit = FillLimit(item_bids.hints());
+  if (sql_ != nullptr) {
+    // Single-table SQL surface: the nickname join decomposes into per-row point SELECTs
+    // (same concrete users_pk probe tags the join executor attaches).
+    auto result = sql_->Execute("SELECT user_id, bid, date FROM bids WHERE item_id = " +
+                                N(item) + " ORDER BY date DESC LIMIT " + N(limit));
+    if (!result.ok()) {
+      return bids;
+    }
+    for (const Row& r : result.value().rows) {
+      auto user =
+          sql_->Execute("SELECT nickname FROM users WHERE id = " + N(r[0].AsInt()));
+      if (!user.ok() || user.value().rows.empty()) {
+        continue;  // inner-join semantics: bids by vanished users are dropped
+      }
+      BidInfo b;
+      b.bidder_id = r[0].AsInt();
+      b.bidder_nickname = user.value().rows[0][0].AsString();
+      b.amount = r[1].AsDouble();
+      b.date = r[2].AsInt();
+      bids.push_back(std::move(b));
+    }
+    return bids;
+  }
   constexpr uint32_t kNickCol = uint32_t{BidsCol::kCount} + uint32_t{UsersCol::kNickname};
   auto result = client_->ExecuteQuery(
       Query::From(AccessPath::IndexEq(kBids, kBidsByItem, Row{Value(item)}))
           .Join(JoinStep{kUsers, kUsersPk, {BidsCol::kUserId}, nullptr})
           .SortBy(BidsCol::kDate, /*descending=*/true)
-          .Limit(static_cast<size_t>(FillLimit(item_bids.hints())))
+          .Limit(static_cast<size_t>(limit))
           .Project({BidsCol::kUserId, kNickCol, BidsCol::kBid, BidsCol::kDate}));
-  std::vector<BidInfo> bids;
   if (result.ok()) {
     for (const Row& r : result.value().rows) {
       BidInfo b;
@@ -222,6 +273,23 @@ Page RubisApp::ViewUserPageImpl(int64_t id) {
     return Page{"<p>This user does not exist.</p>"};
   }
   html << "<h1>" << user.nickname << "</h1><p>rating " << user.rating << "</p><h2>Comments</h2>";
+  if (sql_ != nullptr) {
+    auto comments = sql_->Execute(
+        "SELECT from_user_id, rating, comment FROM comments WHERE to_user_id = " + N(id) +
+        " ORDER BY date DESC LIMIT " + N(kPageSize));
+    if (comments.ok()) {
+      for (const Row& r : comments.value().rows) {
+        auto author =
+            sql_->Execute("SELECT nickname FROM users WHERE id = " + N(r[0].AsInt()));
+        if (!author.ok() || author.value().rows.empty()) {
+          continue;  // inner-join semantics
+        }
+        html << "<p>" << author.value().rows[0][0].AsString() << " (" << r[1].AsInt()
+             << "): " << r[2].AsString() << "</p>";
+      }
+    }
+    return Page{html.str()};
+  }
   constexpr uint32_t kFromNick = uint32_t{CommentsCol::kCount} + uint32_t{UsersCol::kNickname};
   auto result = client_->ExecuteQuery(
       Query::From(AccessPath::IndexEq(kComments, kCommentsByToUser, Row{Value(id)}))
@@ -279,12 +347,11 @@ Page RubisApp::BrowseCategoriesPageImpl() {
   // so the page is invalidated only when a category is added or renamed.
   std::ostringstream html;
   html << "<h1>Categories</h1><ul>";
-  auto result = client_->ExecuteQuery(
-      Query::From(AccessPath::SeqScan(kCategories)).SortBy(CategoriesCol::kId));
-  if (result.ok()) {
-    for (const Row& r : result.value().rows) {
-      html << "<li>" << r[CategoriesCol::kName].AsString() << "</li>";
-    }
+  std::vector<Row> rows = FetchRows("SELECT id, name FROM categories ORDER BY id", [&] {
+    return Query::From(AccessPath::SeqScan(kCategories)).SortBy(CategoriesCol::kId);
+  });
+  for (const Row& r : rows) {
+    html << "<li>" << r[CategoriesCol::kName].AsString() << "</li>";
   }
   html << "</ul>";
   return Page{html.str()};
@@ -293,12 +360,11 @@ Page RubisApp::BrowseCategoriesPageImpl() {
 Page RubisApp::BrowseRegionsPageImpl() {
   std::ostringstream html;
   html << "<h1>Regions</h1><ul>";
-  auto result =
-      client_->ExecuteQuery(Query::From(AccessPath::SeqScan(kRegions)).SortBy(RegionsCol::kId));
-  if (result.ok()) {
-    for (const Row& r : result.value().rows) {
-      html << "<li>" << r[RegionsCol::kName].AsString() << "</li>";
-    }
+  std::vector<Row> rows = FetchRows("SELECT id, name FROM regions ORDER BY id", [&] {
+    return Query::From(AccessPath::SeqScan(kRegions)).SortBy(RegionsCol::kId);
+  });
+  for (const Row& r : rows) {
+    html << "<li>" << r[RegionsCol::kName].AsString() << "</li>";
   }
   html << "</ul>";
   return Page{html.str()};
@@ -310,50 +376,71 @@ Page RubisApp::AboutMePageImpl(int64_t user) {
   html << "<h1>About " << me.nickname << "</h1>";
 
   html << "<h2>Items I am selling</h2>";
-  auto selling = client_->ExecuteQuery(
-      Query::From(AccessPath::IndexEq(kItems, kItemsBySeller, Row{Value(user)}))
-          .SortBy(ItemsCol::kEndDate)
-          .Limit(kPageSize)
-          .Project({ItemsCol::kId, ItemsCol::kName, ItemsCol::kMaxBid}));
-  if (selling.ok()) {
-    for (const Row& r : selling.value().rows) {
-      html << "<p>" << r[1].AsString() << " — current bid " << r[2].AsDouble() << "</p>";
-    }
+  std::vector<Row> selling = FetchRows(
+      "SELECT id, name, max_bid FROM items WHERE seller = " + N(user) +
+          " ORDER BY end_date LIMIT " + N(kPageSize),
+      [&] {
+        return Query::From(AccessPath::IndexEq(kItems, kItemsBySeller, Row{Value(user)}))
+            .SortBy(ItemsCol::kEndDate)
+            .Limit(kPageSize)
+            .Project({ItemsCol::kId, ItemsCol::kName, ItemsCol::kMaxBid});
+      });
+  for (const Row& r : selling) {
+    html << "<p>" << r[1].AsString() << " — current bid " << r[2].AsDouble() << "</p>";
   }
 
   html << "<h2>Items I bid on</h2>";
-  constexpr uint32_t kItemName = uint32_t{BidsCol::kCount} + uint32_t{ItemsCol::kName};
-  auto bidding = client_->ExecuteQuery(
-      Query::From(AccessPath::IndexEq(kBids, kBidsByUser, Row{Value(user)}))
-          .Join(JoinStep{kItems, kItemsPk, {BidsCol::kItemId}, nullptr})
-          .SortBy(BidsCol::kDate, /*descending=*/true)
-          .Limit(kPageSize)
-          .Project({kItemName, BidsCol::kBid}));
-  if (bidding.ok()) {
-    for (const Row& r : bidding.value().rows) {
-      html << "<p>" << r[0].AsString() << " — my bid " << r[1].AsDouble() << "</p>";
+  if (sql_ != nullptr) {
+    auto bidding = sql_->Execute("SELECT item_id, bid FROM bids WHERE user_id = " + N(user) +
+                                 " ORDER BY date DESC LIMIT " + N(kPageSize));
+    if (bidding.ok()) {
+      for (const Row& r : bidding.value().rows) {
+        auto item = sql_->Execute("SELECT name FROM items WHERE id = " + N(r[0].AsInt()));
+        if (!item.ok() || item.value().rows.empty()) {
+          continue;  // inner-join semantics: bids on closed items are dropped
+        }
+        html << "<p>" << item.value().rows[0][0].AsString() << " — my bid " << r[1].AsDouble()
+             << "</p>";
+      }
+    }
+  } else {
+    constexpr uint32_t kItemName = uint32_t{BidsCol::kCount} + uint32_t{ItemsCol::kName};
+    auto bidding = client_->ExecuteQuery(
+        Query::From(AccessPath::IndexEq(kBids, kBidsByUser, Row{Value(user)}))
+            .Join(JoinStep{kItems, kItemsPk, {BidsCol::kItemId}, nullptr})
+            .SortBy(BidsCol::kDate, /*descending=*/true)
+            .Limit(kPageSize)
+            .Project({kItemName, BidsCol::kBid}));
+    if (bidding.ok()) {
+      for (const Row& r : bidding.value().rows) {
+        html << "<p>" << r[0].AsString() << " — my bid " << r[1].AsDouble() << "</p>";
+      }
     }
   }
 
   html << "<h2>Buy-now purchases</h2>";
-  auto purchases = client_->ExecuteQuery(
-      Query::From(AccessPath::IndexEq(kBuyNow, kBuyNowByBuyer, Row{Value(user)}))
-          .SortBy(BuyNowCol::kDate, /*descending=*/true)
-          .Limit(kPageSize)
-          .Project({BuyNowCol::kItemId, BuyNowCol::kQty}));
-  if (purchases.ok()) {
-    for (const Row& r : purchases.value().rows) {
-      ItemInfo item = get_item(r[0].AsInt());
-      html << "<p>" << item.name << " ×" << r[1].AsInt() << "</p>";
-    }
+  std::vector<Row> purchases = FetchRows(
+      "SELECT item_id, qty FROM buy_now WHERE buyer_id = " + N(user) +
+          " ORDER BY date DESC LIMIT " + N(kPageSize),
+      [&] {
+        return Query::From(AccessPath::IndexEq(kBuyNow, kBuyNowByBuyer, Row{Value(user)}))
+            .SortBy(BuyNowCol::kDate, /*descending=*/true)
+            .Limit(kPageSize)
+            .Project({BuyNowCol::kItemId, BuyNowCol::kQty});
+      });
+  for (const Row& r : purchases) {
+    ItemInfo item = get_item(r[0].AsInt());
+    html << "<p>" << item.name << " ×" << r[1].AsInt() << "</p>";
   }
 
   html << "<h2>Comments about me</h2>";
-  auto comments = client_->ExecuteQuery(
-      Query::From(AccessPath::IndexEq(kComments, kCommentsByToUser, Row{Value(user)}))
-          .Agg(AggKind::kCount));
-  if (comments.ok() && !comments.value().rows.empty()) {
-    html << "<p>" << comments.value().rows[0][0].AsInt() << " comments</p>";
+  std::vector<Row> comments = FetchRows(
+      "SELECT COUNT(*) FROM comments WHERE to_user_id = " + N(user), [&] {
+        return Query::From(AccessPath::IndexEq(kComments, kCommentsByToUser, Row{Value(user)}))
+            .Agg(AggKind::kCount);
+      });
+  if (!comments.empty()) {
+    html << "<p>" << comments[0][0].AsInt() << " comments</p>";
   }
   return Page{html.str()};
 }

@@ -9,6 +9,8 @@
 #ifndef SRC_RUBIS_APP_H_
 #define SRC_RUBIS_APP_H_
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "src/core/txcache_client.h"
 #include "src/rubis/data.h"
 #include "src/rubis/types.h"
+#include "src/sql/session.h"
 
 namespace txcache::rubis {
 
@@ -54,6 +57,16 @@ class RubisApp {
 
   TxCacheClient* client() { return client_; }
 
+  // Switches every cacheable read path to automatic tag derivation: queries are issued as
+  // SQL text through a derived-mode SqlSession (src/sql/tag_deriver.h), so invalidation
+  // tags come from the planner — zero hand-written Query/tag specs execute on this path.
+  // Index-nested-loop joins decompose into per-row point SELECTs whose probe tags match the
+  // join executor's, and listing fills keep the FillLimit decline-rate shrink (the hints
+  // feedback loop paces SQL-path fills exactly like hand-written ones). Hand-written mode
+  // (the default) stays runnable for diffing; write paths are unchanged in both modes.
+  Status EnableDerivedTags(Database* db);
+  bool derived_tags() const { return sql_ != nullptr; }
+
  private:
   // Hint-driven fill pacing (automatic management feedback): when the fleet's advisory hints
   // say a listing function's fills are being declined, shrink the page the fill computes —
@@ -85,10 +98,16 @@ class RubisApp {
 
   // Fetches one item row from `table` by primary key; empty if absent.
   std::vector<Row> FetchItemRow(const char* table, const char* index, int64_t id);
+  // Runs `sql_text` through the derived-tag session when enabled, else the hand-written
+  // query (never built in derived mode). Both must produce the same row layout. Errors
+  // degrade to no rows, matching the impls' existing error handling.
+  std::vector<Row> FetchRows(const std::string& sql_text,
+                             const std::function<Query()>& handwritten);
 
   TxCacheClient* client_;
   RubisDataset* dataset_;
   const Clock* clock_;
+  std::unique_ptr<sql::SqlSession> sql_;  // non-null iff derived-tag mode
 };
 
 }  // namespace txcache::rubis

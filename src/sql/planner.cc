@@ -141,14 +141,21 @@ Result<PlannedTarget> Planner::PlanTarget(const std::string& table,
       best_eq = &index;
     }
   }
+  // Every exit derives its tag sets here, so no access path can leave the planner untagged.
+  auto planned = [&](AccessPath path) {
+    PlannedTarget out{std::move(path), residual.value(), {}, {}};
+    out.derived_read_tags = TagDeriver::ForAccessPath(out.path);
+    out.derived_write_tags = TagDeriver::ForWriteTarget(table);
+    return out;
+  };
+
   if (best_eq != nullptr) {
     Row key;
     key.reserve(best_eq->columns.size());
     for (ColumnId c : best_eq->columns) {
       key.push_back(equalities.at(c));
     }
-    return PlannedTarget{AccessPath::IndexEq(table, best_eq->name, std::move(key)),
-                         residual.value()};
+    return planned(AccessPath::IndexEq(table, best_eq->name, std::move(key)));
   }
 
   // 2. Single-column index with a range bound => IndexRange.
@@ -167,12 +174,11 @@ Result<PlannedTarget> Planner::PlanTarget(const std::string& table,
     if (it->second.hi.has_value()) {
       hi = Row{*it->second.hi};
     }
-    return PlannedTarget{AccessPath::IndexRange(table, index.name, std::move(lo), std::move(hi)),
-                         residual.value()};
+    return planned(AccessPath::IndexRange(table, index.name, std::move(lo), std::move(hi)));
   }
 
   // 3. Sequential scan.
-  return PlannedTarget{AccessPath::SeqScan(table), residual.value()};
+  return planned(AccessPath::SeqScan(table));
 }
 
 Result<PlannedSelect> Planner::PlanSelect(const SelectStmt& stmt) const {
@@ -188,6 +194,7 @@ Result<PlannedSelect> Planner::PlanSelect(const SelectStmt& stmt) const {
   PlannedSelect plan;
   plan.query = Query::From(target.value().path);
   plan.query.Where(target.value().residual);
+  plan.derived_tags = target.value().derived_read_tags;
 
   // Select list: exactly one aggregate allowed; otherwise columns / '*'.
   const SelectItem* aggregate = nullptr;

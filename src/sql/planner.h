@@ -19,17 +19,27 @@
 
 #include "src/db/database.h"
 #include "src/sql/ast.h"
+#include "src/sql/tag_deriver.h"
 
 namespace txcache::sql {
 
 struct PlannedSelect {
   Query query;
   std::vector<std::string> column_names;  // output column labels
+  // Statically derived read-side invalidation tags: a superset of the tags the executor will
+  // attach to this query's result (equal for IndexEq paths). See src/sql/tag_deriver.h.
+  DerivedTags derived_tags;
 };
 
 struct PlannedTarget {
   AccessPath path;
   PredicatePtr residual;
+  // What a SELECT through this path depends on / what an UPDATE-or-DELETE through it will
+  // invalidate, statically derived (tag_deriver.h). read is per-key for IndexEq paths; write
+  // is always the conservative table wildcard (the found rows' other index keys — and, for
+  // UPDATE, the post-image keys — are unknowable at plan time).
+  DerivedTags derived_read_tags;
+  DerivedTags derived_write_tags;
 };
 
 class Planner {

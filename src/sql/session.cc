@@ -2,7 +2,58 @@
 
 #include <sstream>
 
+#include "src/core/cacheable_function.h"
+#include "src/sql/lexer.h"
+
 namespace txcache::sql {
+
+namespace {
+
+// The cost-accounting bucket every ad-hoc cached SELECT files under: one function-style name
+// keeps the server-side profiles, advisory hints and admission feedback working for
+// statements no MAKE-CACHEABLE call ever declared.
+const std::string kSqlSelectFunction = "sql.select";
+
+}  // namespace
+
+std::string QuoteSqlString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('\'');
+  for (char c : s) {
+    if (c == '\'') {
+      out.push_back('\'');
+    }
+    out.push_back(c);
+  }
+  out.push_back('\'');
+  return out;
+}
+
+std::string SqlSession::StatementCacheKey(const std::string& sql_text) {
+  // Canonical form: lexer tokens re-joined with single spaces, string literals re-quoted.
+  // Identifiers are upper-cased by the lexer, so statements differing only in whitespace or
+  // identifier case map to the same key; string literals keep their exact (case-sensitive)
+  // value and stay distinguishable from identifiers through the quoting.
+  std::ostringstream canonical;
+  auto tokens = Lex(sql_text);
+  if (!tokens.ok()) {
+    // Unlexable text never reaches the planner; key it verbatim so the caller's lookup is
+    // still well-defined (it will miss, and the statement errors before any store).
+    canonical << sql_text;
+  } else {
+    bool first = true;
+    for (const Token& token : tokens.value()) {
+      if (token.kind == TokenKind::kEnd) {
+        break;
+      }
+      canonical << (first ? "" : " ")
+                << (token.kind == TokenKind::kString ? QuoteSqlString(token.text) : token.text);
+      first = false;
+    }
+  }
+  return MakeCacheKey(kSqlSelectFunction, canonical.str());
+}
 
 std::string SqlResult::ToString() const {
   std::ostringstream os;
@@ -26,29 +77,74 @@ std::string SqlResult::ToString() const {
   return os.str();
 }
 
-Result<SqlResult> SqlSession::Execute(const std::string& sql_text) {
-  auto statement = Parse(sql_text);
-  if (!statement.ok()) {
-    return statement.status();
+Result<SqlResult> SqlSession::ExecuteSelect(const std::string& sql_text,
+                                            const SelectStmt& stmt) {
+  auto plan = planner_.PlanSelect(stmt);
+  if (!plan.ok()) {
+    // Fail closed: a statement the planner rejects reports the table-level fallback and is
+    // never cached (we return before any lookup or store).
+    last_derived_ = TagDeriver::TableFallback(CatalogName(stmt.table));
+    return plan.status();
   }
+  last_derived_ = plan.value().derived_tags;
+
   SqlResult out;
-  if (const auto* select = std::get_if<SelectStmt>(&statement.value())) {
-    SelectStmt normalized = *select;
-    auto plan = planner_.PlanSelect(normalized);
-    if (!plan.ok()) {
-      return plan.status();
+  out.columns = plan.value().column_names;
+
+  const bool derived = tag_mode_ == TagMode::kDerived;
+  if (cache_selects_ && client_->ShouldUseCache()) {
+    // Ad-hoc statement cache: the canonicalized text is the key, the derived tags are what
+    // the entry is filed under — no MAKE-CACHEABLE spec anywhere. ExecuteQueryTagged pushes
+    // the derived (superset) tags into our frame, so the FrameOutcome passed to CacheStore
+    // carries them; nested observations (none today — single statement) would fold in too.
+    const std::string key = StatementCacheKey(sql_text);
+    auto hit = client_->CacheLookup(key, &kSqlSelectFunction);
+    if (hit.ok()) {
+      auto decoded = DeserializeFromString<std::vector<Row>>(*hit.value());
+      if (decoded.ok()) {
+        out.rows = decoded.take();
+        out.from_cache = true;
+        out.validity = Interval::Empty();  // the pin-set machinery owns consistency here
+        return out;
+      }
     }
-    auto result = client_->ExecuteQuery(plan.value().query);
+    FrameGuard guard(client_);
+    auto result = client_->ExecuteQueryTagged(plan.value().query, last_derived_.tags);
     if (!result.ok()) {
       return result.status();
     }
-    out.columns = plan.value().column_names;
+    FrameOutcome outcome = guard.Finish();
+    client_->CacheStore(key, SerializeToString(result.value().rows), outcome,
+                        &kSqlSelectFunction);
     out.rows = std::move(result.value().rows);
     out.validity = result.value().validity;
     return out;
   }
+
+  auto result = derived ? client_->ExecuteQueryTagged(plan.value().query, last_derived_.tags)
+                        : client_->ExecuteQuery(plan.value().query);
+  if (!result.ok()) {
+    return result.status();
+  }
+  out.rows = std::move(result.value().rows);
+  out.validity = result.value().validity;
+  return out;
+}
+
+Result<SqlResult> SqlSession::Execute(const std::string& sql_text) {
+  auto statement = Parse(sql_text);
+  if (!statement.ok()) {
+    last_derived_ = TagDeriver::TableFallback("");  // unparseable: no table to even name
+    return statement.status();
+  }
+  SqlResult out;
+  if (const auto* select = std::get_if<SelectStmt>(&statement.value())) {
+    return ExecuteSelect(sql_text, *select);
+  }
   if (const auto* insert = std::get_if<InsertStmt>(&statement.value())) {
-    Status st = client_->Insert(CatalogName(insert->table), insert->values);
+    const std::string table = CatalogName(insert->table);
+    last_derived_ = deriver_.ForInsert(table, insert->values);
+    Status st = client_->Insert(table, insert->values);
     if (!st.ok()) {
       return st;
     }
@@ -59,8 +155,10 @@ Result<SqlResult> SqlSession::Execute(const std::string& sql_text) {
     const std::string table = CatalogName(update->table);
     auto target = planner_.PlanTarget(table, update->where);
     if (!target.ok()) {
+      last_derived_ = TagDeriver::TableFallback(table);
       return target.status();
     }
+    last_derived_ = target.value().derived_write_tags;
     auto sets = planner_.PlanSets(table, update->sets);
     if (!sets.ok()) {
       return sets.status();
@@ -76,8 +174,10 @@ Result<SqlResult> SqlSession::Execute(const std::string& sql_text) {
   const std::string table = CatalogName(del.table);
   auto target = planner_.PlanTarget(table, del.where);
   if (!target.ok()) {
+    last_derived_ = TagDeriver::TableFallback(table);
     return target.status();
   }
+  last_derived_ = target.value().derived_write_tags;
   auto n = client_->Delete(table, target.value().path, target.value().residual);
   if (!n.ok()) {
     return n.status();

@@ -2,6 +2,14 @@
 // transaction. SELECTs in read-only transactions flow through the full TxCache machinery —
 // they narrow the pin set and accumulate validity/tags for any enclosing cacheable function,
 // so SQL inside MAKE-CACHEABLE bodies "just works".
+//
+// Automatic tag derivation (docs/architecture.md §Automatic tag derivation): in
+// TagMode::kDerived the session propagates the planner's statically derived tag set
+// (src/sql/tag_deriver.h) in place of the executor's observed tags, and — with
+// set_cache_selects(true) — caches any SELECT under those tags with no hand-written
+// MAKE-CACHEABLE spec: the statement text itself (token-canonicalized) is the cache key.
+// Statements the planner rejects fail closed: they are never cached and the last-derived
+// diagnostics report the table-level fallback.
 #ifndef SRC_SQL_SESSION_H_
 #define SRC_SQL_SESSION_H_
 
@@ -11,6 +19,7 @@
 #include "src/core/txcache_client.h"
 #include "src/sql/parser.h"
 #include "src/sql/planner.h"
+#include "src/sql/tag_deriver.h"
 
 namespace txcache::sql {
 
@@ -18,21 +27,58 @@ struct SqlResult {
   std::vector<std::string> columns;  // labels for SELECT output
   std::vector<Row> rows;             // SELECT results
   size_t affected = 0;               // rows touched by INSERT/UPDATE/DELETE
-  Interval validity;                 // SELECT validity interval (read-only transactions)
+  Interval validity;                 // SELECT validity interval (empty for cached hits —
+                                     // the pin-set machinery, not the caller, owns it then)
+  bool from_cache = false;           // SELECT answered from the ad-hoc statement cache
 
   std::string ToString() const;  // ASCII table, for shells and demos
 };
 
 class SqlSession {
  public:
-  SqlSession(TxCacheClient* client, Database* db) : client_(client), planner_(db) {}
+  SqlSession(TxCacheClient* client, Database* db)
+      : client_(client), planner_(db), deriver_(db) {}
+
+  // kExecutor (the default) preserves the original behavior: the executor's dynamically
+  // observed access tags flow to enclosing frames. kDerived propagates the planner's
+  // statically derived superset instead — the mode the converted wiki/RUBiS layers run in.
+  enum class TagMode : uint8_t { kExecutor, kDerived };
+  void set_tag_mode(TagMode m) { tag_mode_ = m; }
+  TagMode tag_mode() const { return tag_mode_; }
+
+  // Ad-hoc statement cache: when on (and the client is in a cacheable read-only
+  // transaction), every SELECT is looked up / stored under its canonicalized text with the
+  // derived tags — caching queries no application ever declared. Implies derived-tag
+  // propagation for the statements it caches.
+  void set_cache_selects(bool on) { cache_selects_ = on; }
+  bool cache_selects() const { return cache_selects_; }
 
   Result<SqlResult> Execute(const std::string& sql_text);
 
+  // Diagnostics for the tag-derivation tests: the statically derived tags of the last
+  // Execute() call (populated even when execution failed after planning; table-level
+  // fallback when planning itself failed but the table was known).
+  const DerivedTags& last_derived_tags() const { return last_derived_; }
+
+  // Canonical cache key for a SELECT's text: lexer tokens re-joined, so statements differing
+  // only in whitespace or identifier case share a cache entry. Exposed for tests.
+  static std::string StatementCacheKey(const std::string& sql_text);
+
  private:
+  Result<SqlResult> ExecuteSelect(const std::string& sql_text, const SelectStmt& stmt);
+
   TxCacheClient* client_;
   Planner planner_;
+  TagDeriver deriver_;
+  TagMode tag_mode_ = TagMode::kExecutor;
+  bool cache_selects_ = false;
+  DerivedTags last_derived_;
 };
+
+// Quotes a string literal for embedding in SQL text ('' escaping). Application layers that
+// synthesize statements (wiki/RUBiS derived-tag mode) must route every user string through
+// this.
+std::string QuoteSqlString(const std::string& s);
 
 }  // namespace txcache::sql
 

@@ -1,0 +1,114 @@
+#include "src/sql/tag_deriver.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace txcache::sql {
+
+namespace {
+
+void Canonicalize(std::vector<InvalidationTag>* tags) {
+  std::sort(tags->begin(), tags->end());
+  tags->erase(std::unique(tags->begin(), tags->end()), tags->end());
+}
+
+}  // namespace
+
+const char* TagDerivationName(TagDerivation d) {
+  switch (d) {
+    case TagDerivation::kIndexEq:
+      return "index-eq";
+    case TagDerivation::kIndexRange:
+      return "index-range";
+    case TagDerivation::kSeqScan:
+      return "seq-scan";
+    case TagDerivation::kWriteRow:
+      return "write-row";
+    case TagDerivation::kWriteTarget:
+      return "write-target";
+    case TagDerivation::kTableFallback:
+      return "table-fallback";
+  }
+  return "unknown";
+}
+
+bool DerivedTags::conservative() const {
+  return std::any_of(tags.begin(), tags.end(),
+                     [](const InvalidationTag& t) { return t.wildcard; });
+}
+
+std::string DerivedTags::ToString() const {
+  std::ostringstream os;
+  os << TagDerivationName(derivation) << "{";
+  for (size_t i = 0; i < tags.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << tags[i].ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+DerivedTags TagDeriver::ForAccessPath(const AccessPath& path) {
+  DerivedTags out;
+  switch (path.kind) {
+    case AccessPath::Kind::kIndexEq:
+      // Byte-identical to the executor's AddAccessTag for the same path.
+      out.tags.push_back(InvalidationTag::Concrete(path.table, path.index,
+                                                   EncodeRow(path.eq_key)));
+      out.derivation = TagDerivation::kIndexEq;
+      return out;
+    case AccessPath::Kind::kIndexRange:
+      out.tags.push_back(InvalidationTag::Wildcard(path.table));
+      out.derivation = TagDerivation::kIndexRange;
+      return out;
+    case AccessPath::Kind::kSeqScan:
+      out.tags.push_back(InvalidationTag::Wildcard(path.table));
+      out.derivation = TagDerivation::kSeqScan;
+      return out;
+  }
+  return TableFallback(path.table);
+}
+
+DerivedTags TagDeriver::ForInsert(const std::string& table, const Row& row) const {
+  DerivedTags out;
+  out.derivation = TagDerivation::kWriteRow;
+  for (const IndexSchema& index : db_->ListIndexes(table)) {
+    Row key;
+    key.reserve(index.columns.size());
+    bool extractable = true;
+    for (ColumnId c : index.columns) {
+      if (c >= row.size()) {
+        extractable = false;  // malformed row; the engine will reject it — stay conservative
+        break;
+      }
+      key.push_back(row[c]);
+    }
+    if (!extractable) {
+      return TableFallback(table);
+    }
+    out.tags.push_back(InvalidationTag::Concrete(table, index.name, EncodeRow(key)));
+  }
+  if (out.tags.empty()) {
+    // No indexes: the engine publishes the table wildcard for such writes.
+    return TableFallback(table);
+  }
+  Canonicalize(&out.tags);
+  return out;
+}
+
+DerivedTags TagDeriver::ForWriteTarget(const std::string& table) {
+  DerivedTags out;
+  out.tags.push_back(InvalidationTag::Wildcard(table));
+  out.derivation = TagDerivation::kWriteTarget;
+  return out;
+}
+
+DerivedTags TagDeriver::TableFallback(const std::string& table) {
+  DerivedTags out;
+  out.derivation = TagDerivation::kTableFallback;
+  if (!table.empty()) {
+    out.tags.push_back(InvalidationTag::Wildcard(table));
+  }
+  return out;
+}
+
+}  // namespace txcache::sql

@@ -1,0 +1,96 @@
+// Automatic invalidation-tag derivation from planned access paths (the paper's
+// automatic-management thesis applied to the SQL surface; cf. Ji et al., "Transparent Cache
+// Invalidation", PAPERS.md).
+//
+// The executor already stamps every query result with the invalidation tags of the access
+// methods it used (db/database.cc, AddAccessTag); the cache uses those tags to truncate
+// validity intervals when writes commit. What was missing is the *static* half: knowing, at
+// plan time, which tags a statement's results will depend on — that is what lets a SELECT be
+// cached with no hand-written MAKE-CACHEABLE tag spec, because the cache entry can be filed
+// under the derived tags before the query ever runs.
+//
+// Derivation rules (the fallback ladder, most precise first):
+//   IndexEq path      -> Concrete(table, index, EncodeRow(bound key))  — exactly the tag the
+//                        executor will attach, byte for byte.
+//   IndexRange path   -> Wildcard(table). A range has no finite key set; the executor makes
+//                        the same call (paper §5.3: anything but index equality is a
+//                        table-level dependency).
+//   SeqScan path      -> Wildcard(table), same reasoning.
+//   INSERT (full row) -> one Concrete tag per index of the table, keys extracted from the
+//                        row — mirrors Database::AddWriteTagsLocked; Wildcard if the table
+//                        has no indexes.
+//   UPDATE/DELETE     -> Wildcard(table). The statement's access path bounds which rows are
+//                        *found*, but the rows' other index keys (and, for UPDATE, the
+//                        post-image keys) are unknowable statically; the table wildcard
+//                        covers every concrete tag the engine can emit for the table.
+//   anything else     -> TableFallback(table): fail closed to the table wildcard. Statements
+//                        the planner rejects are never cached at all.
+//
+// Superset-safety contract: for reads, the derived set must cover every tag the executor
+// attaches to the same statement (equal for IndexEq, table wildcard otherwise — a wildcard
+// covers every tag on its table); for writes, it must cover every tag the commit publishes on
+// the invalidation stream. Covering more than necessary can only cause extra invalidations or
+// commit-validation conflicts — never a stale read — so every rule above errs wide.
+// tests/sql_tag_derivation_test.cc diffs derived against hand-written/executor tags per call
+// site, and the model-checked no-stale-read property in tests/cache_property_test.cc runs
+// random read/write interleavings entirely on derived tags.
+#ifndef SRC_SQL_TAG_DERIVER_H_
+#define SRC_SQL_TAG_DERIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/bus/invalidation.h"
+#include "src/db/database.h"
+
+namespace txcache::sql {
+
+// Which rung of the fallback ladder produced a tag set — diagnostics for the equivalence
+// tests and the "report over-broadening" contract; never consulted for correctness.
+enum class TagDerivation : uint8_t {
+  kIndexEq,        // concrete per-key tag from a fully-bound index
+  kIndexRange,     // range path: conservative table wildcard
+  kSeqScan,        // sequential scan: conservative table wildcard
+  kWriteRow,       // INSERT with the full row in hand: per-index concrete tags
+  kWriteTarget,    // UPDATE/DELETE: conservative table wildcard
+  kTableFallback,  // fail closed (unanalyzable statement)
+};
+
+const char* TagDerivationName(TagDerivation d);
+
+struct DerivedTags {
+  std::vector<InvalidationTag> tags;  // sorted, deduplicated
+  TagDerivation derivation = TagDerivation::kTableFallback;
+
+  // True when the set is (or includes) a table-level wildcard — i.e. the derivation gave up
+  // on per-key precision for at least one dependency.
+  bool conservative() const;
+  std::string ToString() const;
+};
+
+class TagDeriver {
+ public:
+  explicit TagDeriver(const Database* db) : db_(db) {}
+
+  // Read side: the tags a query over `path` will depend on. Static mirror of the executor's
+  // AddAccessTag — for IndexEq the returned tag is byte-identical to the one the executor
+  // attaches at run time.
+  static DerivedTags ForAccessPath(const AccessPath& path);
+
+  // Write side. ForInsert mirrors Database::AddWriteTagsLocked: the full row is known, so
+  // every index key is too. ForWriteTarget (UPDATE/DELETE) is the conservative table
+  // wildcard regardless of how precise the access path is — see the header comment.
+  DerivedTags ForInsert(const std::string& table, const Row& row) const;
+  static DerivedTags ForWriteTarget(const std::string& table);
+
+  // The bottom rung: fail closed to the table-level wildcard. Used for statements that plan
+  // but fit no rule, and by callers that could not plan at all but still know the table.
+  static DerivedTags TableFallback(const std::string& table);
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace txcache::sql
+
+#endif  // SRC_SQL_TAG_DERIVER_H_

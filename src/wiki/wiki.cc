@@ -1,5 +1,6 @@
 #include "src/wiki/wiki.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace txcache::wiki {
@@ -81,24 +82,46 @@ WikiApp::WikiApp(TxCacheClient* client, const Clock* clock) : client_(client), c
       "wiki.messages", [this](const std::string& prefix) { return LocalizationImpl(prefix); });
 }
 
+Status WikiApp::EnableDerivedTags(Database* db) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("EnableDerivedTags needs the database for the planner");
+  }
+  sql_ = std::make_unique<sql::SqlSession>(client_, db);
+  sql_->set_tag_mode(sql::SqlSession::TagMode::kDerived);
+  return Status::Ok();
+}
+
+std::vector<Row> WikiApp::FetchRows(const std::string& sql_text,
+                                    const std::function<Query()>& handwritten) {
+  if (sql_ != nullptr) {
+    auto r = sql_->Execute(sql_text);
+    return r.ok() ? std::move(r.value().rows) : std::vector<Row>{};
+  }
+  auto r = client_->ExecuteQuery(handwritten());
+  return r.ok() ? std::move(r.value().rows) : std::vector<Row>{};
+}
+
 RenderedArticle WikiApp::RenderArticleImpl(const std::string& title) {
   RenderedArticle page;
   page.title = title;
-  auto article = client_->ExecuteQuery(
-      Query::From(AccessPath::IndexEq(kArticles, kArticlesByTitle, Row{Value(title)})));
-  if (!article.ok() || article.value().rows.empty()) {
+  std::vector<Row> articles = FetchRows(
+      "SELECT * FROM wiki_articles WHERE title = " + sql::QuoteSqlString(title), [&] {
+        return Query::From(AccessPath::IndexEq(kArticles, kArticlesByTitle, Row{Value(title)}));
+      });
+  if (articles.empty()) {
     page.html = "<h1>" + title + "</h1><p>(no such page)</p>";
     return page;
   }
-  const Row& a = article.value().rows[0];
-  const int64_t rev_id = a[ArticlesCol::kLatestRev].AsInt();
-  auto revision = client_->ExecuteQuery(
-      Query::From(AccessPath::IndexEq(kRevisions, kRevisionsPk, Row{Value(rev_id)})));
-  if (!revision.ok() || revision.value().rows.empty()) {
+  const int64_t rev_id = articles[0][ArticlesCol::kLatestRev].AsInt();
+  std::vector<Row> revisions = FetchRows(
+      "SELECT * FROM wiki_revisions WHERE id = " + std::to_string(rev_id), [&] {
+        return Query::From(AccessPath::IndexEq(kRevisions, kRevisionsPk, Row{Value(rev_id)}));
+      });
+  if (revisions.empty()) {
     page.html = "<h1>" + title + "</h1><p>(revision missing)</p>";
     return page;
   }
-  const Row& r = revision.value().rows[0];
+  const Row& r = revisions[0];
   UserCard editor = user_card(r[RevisionsCol::kEditor].AsInt());  // nested cacheable call
   std::ostringstream html;
   html << "<h1>" << title << "</h1><div>" << r[RevisionsCol::kBody].AsString()
@@ -112,27 +135,53 @@ RenderedArticle WikiApp::RenderArticleImpl(const std::string& title) {
 
 UserCard WikiApp::UserCardImpl(int64_t id) {
   UserCard card;
-  auto r = client_->ExecuteQuery(
-      Query::From(AccessPath::IndexEq(kUsers, kUsersPk, Row{Value(id)})));
-  if (!r.ok() || r.value().rows.empty()) {
+  std::vector<Row> rows = FetchRows(
+      "SELECT * FROM wiki_users WHERE id = " + std::to_string(id), [&] {
+        return Query::From(AccessPath::IndexEq(kUsers, kUsersPk, Row{Value(id)}));
+      });
+  if (rows.empty()) {
     return card;
   }
   card.id = id;
-  card.name = r.value().rows[0][UsersCol::kName].AsString();
-  card.edit_count = r.value().rows[0][UsersCol::kEditCount].AsInt();
+  card.name = rows[0][UsersCol::kName].AsString();
+  card.edit_count = rows[0][UsersCol::kEditCount].AsInt();
   card.found = true;
   return card;
 }
 
 std::vector<HistoryEntry> WikiApp::ArticleHistoryImpl(const std::string& title, int64_t limit) {
   std::vector<HistoryEntry> history;
-  auto article = client_->ExecuteQuery(
-      Query::From(AccessPath::IndexEq(kArticles, kArticlesByTitle, Row{Value(title)}))
-          .Project({ArticlesCol::kId}));
-  if (!article.ok() || article.value().rows.empty()) {
+  std::vector<Row> articles = FetchRows(
+      "SELECT id FROM wiki_articles WHERE title = " + sql::QuoteSqlString(title), [&] {
+        return Query::From(AccessPath::IndexEq(kArticles, kArticlesByTitle, Row{Value(title)}))
+            .Project({ArticlesCol::kId});
+      });
+  if (articles.empty()) {
     return history;
   }
-  const int64_t article_id = article.value().rows[0][0].AsInt();
+  const int64_t article_id = articles[0][0].AsInt();
+  if (sql_ != nullptr) {
+    // The SQL surface is single-table, so the editor join decomposes into per-row point
+    // SELECTs. Each probe carries the same concrete tag the join executor would attach —
+    // except that the executor probes every revision BEFORE the sort/limit, while this path
+    // only probes the revisions it returns (fewer dependencies, still sound: unseen rows
+    // cannot influence the result).
+    auto revisions = sql_->Execute(
+        "SELECT id, editor, timestamp, comment FROM wiki_revisions WHERE article_id = " +
+        std::to_string(article_id) + " ORDER BY id DESC LIMIT " + std::to_string(limit));
+    if (!revisions.ok()) {
+      return history;
+    }
+    for (const Row& r : revisions.value().rows) {
+      auto editor =
+          sql_->Execute("SELECT name FROM wiki_users WHERE id = " + std::to_string(r[1].AsInt()));
+      const bool found = editor.ok() && !editor.value().rows.empty();
+      history.push_back(HistoryEntry{r[0].AsInt(),
+                                     found ? editor.value().rows[0][0].AsString() : "",
+                                     r[2].AsInt(), r[3].AsString()});
+    }
+    return history;
+  }
   constexpr uint32_t kEditorName = uint32_t{RevisionsCol::kCount} + uint32_t{UsersCol::kName};
   auto revisions = client_->ExecuteQuery(
       Query::From(AccessPath::IndexEq(kRevisions, kRevisionsByArticle, Row{Value(article_id)}))
@@ -155,6 +204,23 @@ std::vector<std::string> WikiApp::WatchlistImpl(int64_t user, int64_t days) {
   // collide in MediaWiki by caching under a user-only key).
   std::vector<std::string> titles;
   const int64_t cutoff = static_cast<int64_t>(clock_->Now()) - days * 86'400 * kMicrosPerSecond;
+  if (sql_ != nullptr) {
+    auto watched = sql_->Execute("SELECT article_id FROM wiki_watchlist WHERE user_id = " +
+                                 std::to_string(user) +
+                                 " AND added_at >= " + std::to_string(cutoff));
+    if (!watched.ok()) {
+      return titles;
+    }
+    for (const Row& row : watched.value().rows) {
+      auto article = sql_->Execute("SELECT title FROM wiki_articles WHERE id = " +
+                                   std::to_string(row[0].AsInt()));
+      if (article.ok() && !article.value().rows.empty()) {
+        titles.push_back(article.value().rows[0][0].AsString());
+      }
+    }
+    std::sort(titles.begin(), titles.end());
+    return titles;
+  }
   constexpr uint32_t kTitleCol = uint32_t{WatchlistCol::kCount} + uint32_t{ArticlesCol::kTitle};
   auto r = client_->ExecuteQuery(
       Query::From(AccessPath::IndexEq(kWatchlist, kWatchlistByUser, Row{Value(user)}))
@@ -172,13 +238,13 @@ std::vector<std::string> WikiApp::WatchlistImpl(int64_t user, int64_t days) {
 
 std::vector<std::string> WikiApp::LocalizationImpl(const std::string& prefix) {
   std::vector<std::string> messages;
-  auto r = client_->ExecuteQuery(
-      Query::From(AccessPath::SeqScan(kMessages)).SortBy(MessagesCol::kKey));
-  if (r.ok()) {
-    for (const Row& row : r.value().rows) {
-      if (row[MessagesCol::kKey].AsString().rfind(prefix, 0) == 0) {
-        messages.push_back(row[MessagesCol::kText].AsString());
-      }
+  std::vector<Row> rows = FetchRows(
+      "SELECT key, text FROM wiki_messages ORDER BY key", [&] {
+        return Query::From(AccessPath::SeqScan(kMessages)).SortBy(MessagesCol::kKey);
+      });
+  for (const Row& row : rows) {
+    if (row[MessagesCol::kKey].AsString().rfind(prefix, 0) == 0) {
+      messages.push_back(row[MessagesCol::kText].AsString());
     }
   }
   return messages;

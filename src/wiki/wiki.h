@@ -17,11 +17,14 @@
 #ifndef SRC_WIKI_WIKI_H_
 #define SRC_WIKI_WIKI_H_
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/cacheable_function.h"
 #include "src/core/txcache_client.h"
+#include "src/sql/session.h"
 
 namespace txcache::wiki {
 
@@ -130,15 +133,30 @@ class WikiApp {
 
   TxCacheClient* client() { return client_; }
 
+  // Switches every cacheable read path to automatic tag derivation: queries are issued as
+  // SQL text through a derived-mode SqlSession (src/sql/tag_deriver.h), so invalidation
+  // tags come from the planner — zero hand-written Query/tag specs execute on this path.
+  // Index-nested-loop joins decompose into per-row point SELECTs whose probe tags match the
+  // join executor's. Hand-written mode (the default) stays runnable for diffing; write
+  // paths are unchanged in both modes (the engine derives write-side invalidations itself).
+  Status EnableDerivedTags(Database* db);
+  bool derived_tags() const { return sql_ != nullptr; }
+
  private:
   RenderedArticle RenderArticleImpl(const std::string& title);
   UserCard UserCardImpl(int64_t id);
   std::vector<HistoryEntry> ArticleHistoryImpl(const std::string& title, int64_t limit);
   std::vector<std::string> WatchlistImpl(int64_t user, int64_t days);
   std::vector<std::string> LocalizationImpl(const std::string& prefix);
+  // Runs `sql_text` through the derived-tag session when enabled, else the hand-written
+  // query (never built in derived mode). Both must produce the same row layout. Errors
+  // degrade to no rows, matching the impls' existing error handling.
+  std::vector<Row> FetchRows(const std::string& sql_text,
+                             const std::function<Query()>& handwritten);
 
   TxCacheClient* client_;
   const Clock* clock_;
+  std::unique_ptr<sql::SqlSession> sql_;  // non-null iff derived-tag mode
   int64_t next_article_id_ = 1;
   int64_t next_revision_id_ = 1;
 };

@@ -331,6 +331,45 @@ TEST_F(RubisTest, AdvisoryDeclineRateShrinksListingFills) {
   ASSERT_TRUE(client_->Commit().ok());
 }
 
+TEST_F(RubisTest, AdvisoryDeclineRateShrinksDerivedSqlListingFills) {
+  // The same hint-driven pacing must govern the SQL-path fills: in derived-tag mode the
+  // listing is computed by an ad-hoc SELECT whose LIMIT comes from FillLimit, so a declining
+  // fleet shrinks the SQL statement's page exactly like the hand-written query's.
+  ASSERT_TRUE(app_->EnableDerivedTags(db_.get()).ok());
+  constexpr int64_t kCat = 2;
+  ASSERT_TRUE(client_->BeginRW().ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(app_->RegisterItem(5, kCat, 3, "filler", "bulk listing", 4.2).ok());
+  }
+  ASSERT_TRUE(client_->Commit().ok());
+  clock_.Advance(Seconds(1));
+
+  ASSERT_TRUE(client_->BeginRO(/*staleness=*/0).ok());
+  EXPECT_EQ(app_->category_items(kCat, 0).size(), 20u) << "no hints: full page";
+  ASSERT_TRUE(client_->Commit().ok());
+
+  const std::string fn = "rubis.category_items";
+  auto hints = std::make_shared<AdvisoryHints>();
+  hints->decline_rate = 0.9;
+  client_->ObserveHints(MakeCacheKey(fn, kCat, int64_t{0}), &fn, cache_->name(), hints);
+
+  ASSERT_TRUE(client_->BeginRW().ok());
+  ASSERT_TRUE(app_->RegisterItem(5, kCat, 3, "filler", "bulk listing", 4.2).ok());
+  ASSERT_TRUE(client_->Commit().ok());
+  clock_.Advance(Seconds(1));
+
+  ASSERT_TRUE(client_->BeginRO(/*staleness=*/0).ok());
+  EXPECT_EQ(app_->category_items(kCat, 0).size(), 5u)
+      << "decline rate 0.9 must downgrade the derived-SQL fill to a quarter page";
+  std::vector<int64_t> page0 = app_->category_items(kCat, 0);
+  std::vector<int64_t> page1 = app_->category_items(kCat, 1);
+  for (int64_t id : page1) {
+    EXPECT_EQ(std::count(page0.begin(), page0.end(), id), 0)
+        << "downgraded pages keep the full stride and must not overlap";
+  }
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
 TEST_F(RubisTest, OptimisticStoreBidBacksOffOnForeignIntentThenCommits) {
   const int64_t bids_before = CountRows(kBids);
   ASSERT_TRUE(client_->BeginRO().ok());

@@ -1,0 +1,570 @@
+// Automatic invalidation-tag derivation (src/sql/tag_deriver.h), proven equivalent to
+// hand-written tags:
+//   * for every planned access path, the derived tag set is a superset of the tags the
+//     executor attaches at run time (byte-identical for IndexEq, table wildcard otherwise);
+//   * every wiki and RUBiS cacheable call site runs in both tag modes on identically-seeded
+//     stacks and the derived set covers the hand-written one, with over-broadening beyond
+//     the table-level fallback reported as a failure;
+//   * hostile SQL (NULL literals, contradictory/range-only/OR predicates, mixed-case text,
+//     planner-rejected statements) never yields an under-scoped tag set — it fails closed to
+//     table tags and is never cached;
+//   * write statements derive tag sets that cover everything the commit publishes on the
+//     invalidation stream;
+//   * both applications run end-to-end on derived tags: caching still works (no re-queries on
+//     a hit) and writes still invalidate (staleness-0 re-reads see fresh data).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/cacheable_function.h"
+#include "src/rubis/app.h"
+#include "src/rubis/data.h"
+#include "src/rubis/schema.h"
+#include "src/sql/session.h"
+#include "src/sql/tag_deriver.h"
+#include "src/wiki/wiki.h"
+#include "tests/test_support.h"
+
+namespace txcache::sql {
+namespace {
+
+using namespace txcache::testing;
+
+using TagSet = std::set<InvalidationTag>;
+
+TagSet ToSet(const std::vector<InvalidationTag>& tags) {
+  return TagSet(tags.begin(), tags.end());
+}
+
+// The superset-safety relation: `derived` covers `tag` if it contains the tag itself or a
+// wildcard on the tag's table (a table wildcard dominates every tag on that table).
+bool Covers(const TagSet& derived, const InvalidationTag& tag) {
+  return derived.count(tag) > 0 || derived.count(InvalidationTag::Wildcard(tag.table)) > 0;
+}
+
+std::string Dump(const TagSet& tags) {
+  std::string out = "{";
+  for (const InvalidationTag& tag : tags) {
+    out += (out.size() > 1 ? ", " : "") + tag.ToString();
+  }
+  return out + "}";
+}
+
+// Derived ⊇ hand-written, and no broader than the hand-written path already went: a derived
+// wildcard is legitimate only where the hand-written tags contain the same wildcard (i.e. the
+// executor itself fell back to a table-level dependency).
+void ExpectDerivedEquivalent(const std::string& site, const TagSet& handwritten,
+                             const TagSet& derived) {
+  for (const InvalidationTag& tag : handwritten) {
+    EXPECT_TRUE(Covers(derived, tag))
+        << site << ": derived set " << Dump(derived) << " misses hand-written tag "
+        << tag.ToString();
+  }
+  for (const InvalidationTag& tag : derived) {
+    if (tag.wildcard) {
+      EXPECT_TRUE(handwritten.count(tag) > 0)
+          << site << ": derivation over-broadened to " << tag.ToString()
+          << " where the hand-written path used " << Dump(handwritten);
+    }
+  }
+}
+
+// --- accounts-table fixture: planner-level derivation, hostile SQL, write-side coverage ---
+
+class TagDerivationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(&clock_);
+    bus_ = std::make_unique<InvalidationBus>();
+    db_->set_invalidation_bus(bus_.get());
+    cache_ = std::make_unique<CacheServer>("node", &clock_);
+    bus_->Subscribe(cache_.get());
+    cluster_ = std::make_unique<CacheCluster>();
+    cluster_->AddNode(cache_.get());
+    pincushion_ = std::make_unique<Pincushion>(db_.get(), &clock_);
+    CreateAccountsTable(db_.get());
+    InsertAccount(db_.get(), 1, "alice", 10, 0);
+    InsertAccount(db_.get(), 2, "bob", 20, 0);
+    InsertAccount(db_.get(), 3, "alice", 30, 1);
+    InsertAccount(db_.get(), 4, "carol", 40, 1);
+    bus_->Subscribe(&sub_);  // record only the invalidations the test itself causes
+    client_ = std::make_unique<TxCacheClient>(db_.get(), pincushion_.get(), cluster_.get(),
+                                              &clock_);
+    session_ = std::make_unique<SqlSession>(client_.get(), db_.get());
+    planner_ = std::make_unique<Planner>(db_.get());
+    clock_.Advance(Seconds(1));
+  }
+
+  // Plans `text`, executes the plan, and asserts the derived tags cover every tag the
+  // executor attached. Returns the derived set for further shape assertions.
+  DerivedTags PlanAndCheck(const std::string& text) {
+    auto parsed = Parse(text);
+    EXPECT_TRUE(parsed.ok()) << text;
+    if (!parsed.ok()) return {};
+    const auto* select = std::get_if<SelectStmt>(&parsed.value());
+    EXPECT_NE(select, nullptr) << text;
+    if (select == nullptr) return {};
+    auto plan = planner_->PlanSelect(*select);
+    EXPECT_TRUE(plan.ok()) << text << ": " << plan.status().ToString();
+    if (!plan.ok()) return {};
+    EXPECT_TRUE(client_->BeginRO().ok());
+    auto result = client_->ExecuteQuery(plan.value().query);
+    EXPECT_TRUE(result.ok()) << text << ": " << result.status().ToString();
+    EXPECT_TRUE(client_->Commit().ok());
+    if (result.ok()) {
+      TagSet derived = ToSet(plan.value().derived_tags.tags);
+      for (const InvalidationTag& tag : result.value().tags) {
+        EXPECT_TRUE(Covers(derived, tag))
+            << text << ": executor tag " << tag.ToString() << " not covered by "
+            << plan.value().derived_tags.ToString();
+      }
+    }
+    return plan.value().derived_tags;
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<InvalidationBus> bus_;
+  std::unique_ptr<CacheServer> cache_;
+  std::unique_ptr<CacheCluster> cluster_;
+  std::unique_ptr<Pincushion> pincushion_;
+  RecordingSubscriber sub_;
+  std::unique_ptr<TxCacheClient> client_;
+  std::unique_ptr<SqlSession> session_;
+  std::unique_ptr<Planner> planner_;
+};
+
+TEST_F(TagDerivationTest, DerivedTagsCoverExecutorTagsAcrossAccessPaths) {
+  // IndexEq: byte-identical concrete tag, no wildcard anywhere.
+  DerivedTags pk = PlanAndCheck("SELECT * FROM accounts WHERE id = 1");
+  EXPECT_EQ(pk.derivation, TagDerivation::kIndexEq);
+  EXPECT_FALSE(pk.conservative());
+  ASSERT_EQ(pk.tags.size(), 1u);
+  EXPECT_EQ(pk.tags[0],
+            InvalidationTag::Concrete(kAccounts, kAccountsPk, EncodeRow(Row{Value(int64_t{1})})));
+
+  DerivedTags owner = PlanAndCheck("SELECT id, balance FROM accounts WHERE owner = 'alice'");
+  EXPECT_EQ(owner.derivation, TagDerivation::kIndexEq);
+  ASSERT_EQ(owner.tags.size(), 1u);
+  EXPECT_EQ(owner.tags[0].index, kAccountsByOwner);
+
+  // IndexEq survives extra residual clauses, sorting and limits.
+  DerivedTags mixed =
+      PlanAndCheck("SELECT * FROM accounts WHERE owner = 'alice' AND balance > 15 "
+                   "ORDER BY id DESC LIMIT 1");
+  EXPECT_EQ(mixed.derivation, TagDerivation::kIndexEq);
+
+  // Range and scan paths: conservative table wildcard, matching the executor.
+  DerivedTags range = PlanAndCheck("SELECT id FROM accounts WHERE id > 2");
+  EXPECT_EQ(range.derivation, TagDerivation::kIndexRange);
+  EXPECT_TRUE(range.conservative());
+  ASSERT_EQ(range.tags.size(), 1u);
+  EXPECT_TRUE(range.tags[0].wildcard);
+
+  DerivedTags scan = PlanAndCheck("SELECT id FROM accounts WHERE balance >= 20");
+  EXPECT_EQ(scan.derivation, TagDerivation::kSeqScan);
+  EXPECT_TRUE(scan.conservative());
+
+  PlanAndCheck("SELECT COUNT(*) FROM accounts");
+  PlanAndCheck("SELECT id FROM accounts ORDER BY balance DESC LIMIT 2 OFFSET 1");
+}
+
+TEST_F(TagDerivationTest, HostileStatementsNeverUnderScope) {
+  // NULL equality: plans as an IndexEq over the (empty) null bucket — the derived concrete
+  // tag equals the executor's, and no row can ever match, so concrete is still sound.
+  DerivedTags null_eq = PlanAndCheck("SELECT * FROM accounts WHERE owner = NULL");
+  EXPECT_EQ(null_eq.derivation, TagDerivation::kIndexEq);
+
+  // IS NULL is not an equality: no index key to bind, falls to the scan wildcard.
+  DerivedTags is_null = PlanAndCheck("SELECT * FROM accounts WHERE owner IS NULL");
+  EXPECT_TRUE(is_null.conservative());
+
+  // Contradictory equalities (the dialect's stand-in for an empty IN list): the planner keeps
+  // the first binding and the full residual — the result is empty forever, and the concrete
+  // tag on the bound bucket is still a superset of what the executor reads.
+  DerivedTags contradiction = PlanAndCheck("SELECT * FROM accounts WHERE id = 1 AND id = 2");
+  EXPECT_EQ(contradiction.derivation, TagDerivation::kIndexEq);
+
+  // OR forces the scan path; so does a range-only predicate on an indexed column.
+  DerivedTags disjunction =
+      PlanAndCheck("SELECT id FROM accounts WHERE (owner = 'alice' OR owner = 'bob')");
+  EXPECT_TRUE(disjunction.conservative());
+  DerivedTags range_only = PlanAndCheck("SELECT * FROM accounts WHERE id >= 1 AND id <= 3");
+  EXPECT_TRUE(range_only.conservative());
+
+  // Mixed-case text derives the same tags as the canonical spelling.
+  DerivedTags canonical = PlanAndCheck("SELECT id FROM accounts WHERE owner = 'alice'");
+  DerivedTags shouty = PlanAndCheck("select ID from ACCOUNTS where OWNER = 'alice'");
+  EXPECT_EQ(ToSet(canonical.tags), ToSet(shouty.tags));
+}
+
+TEST_F(TagDerivationTest, RejectedStatementsFailClosedAndAreNeverCached) {
+  session_->set_tag_mode(SqlSession::TagMode::kDerived);
+  session_->set_cache_selects(true);
+  const uint64_t inserts_before = client_->stats().cache_inserts;
+
+  ASSERT_TRUE(client_->BeginRO().ok());
+  // Planner-rejected (unknown table): error out, report the table wildcard, cache nothing.
+  auto missing = session_->Execute("SELECT * FROM missing_table");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(session_->last_derived_tags().derivation, TagDerivation::kTableFallback);
+  ASSERT_EQ(session_->last_derived_tags().tags.size(), 1u);
+  EXPECT_EQ(session_->last_derived_tags().tags[0], InvalidationTag::Wildcard("missing_table"));
+
+  // Unparseable: error out with the empty bottom rung (no table to even name).
+  auto garbled = session_->Execute("SELECT FROM accounts");
+  EXPECT_FALSE(garbled.ok());
+  EXPECT_EQ(session_->last_derived_tags().derivation, TagDerivation::kTableFallback);
+  EXPECT_TRUE(session_->last_derived_tags().tags.empty());
+  ASSERT_TRUE(client_->Commit().ok());
+
+  EXPECT_EQ(client_->stats().cache_inserts, inserts_before)
+      << "a rejected statement must never reach the cache";
+}
+
+TEST_F(TagDerivationTest, StatementCacheKeyCanonicalizes) {
+  // Whitespace and identifier case collapse to one key; string literals stay case-sensitive
+  // and distinguishable from identifiers.
+  const std::string canonical =
+      SqlSession::StatementCacheKey("SELECT id FROM accounts WHERE owner = 'alice'");
+  EXPECT_EQ(SqlSession::StatementCacheKey("select   id\nfrom ACCOUNTS where OWNER='alice'"),
+            canonical);
+  EXPECT_NE(SqlSession::StatementCacheKey("SELECT id FROM accounts WHERE owner = 'ALICE'"),
+            canonical);
+  EXPECT_NE(SqlSession::StatementCacheKey("SELECT id FROM accounts WHERE owner = 'bob'"),
+            canonical);
+  // 'ID' the string vs ID the identifier must not collide.
+  EXPECT_NE(SqlSession::StatementCacheKey("SELECT id FROM accounts WHERE owner = 'id'"),
+            SqlSession::StatementCacheKey("SELECT id FROM accounts WHERE owner = id"));
+}
+
+TEST_F(TagDerivationTest, AdHocSelectCachingHitsAndStaysFresh) {
+  session_->set_tag_mode(SqlSession::TagMode::kDerived);
+  session_->set_cache_selects(true);
+  const std::string text = "SELECT id, balance FROM accounts WHERE owner = 'alice' ORDER BY id";
+
+  ASSERT_TRUE(client_->BeginRO().ok());
+  auto first = session_->Execute(text);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first.value().from_cache);
+  ASSERT_EQ(first.value().rows.size(), 2u);
+  ASSERT_TRUE(client_->Commit().ok());
+
+  clock_.Advance(Seconds(1));
+  const uint64_t hits_before = client_->stats().cache_hits;
+  ASSERT_TRUE(client_->BeginRO().ok());
+  auto second = session_->Execute(text);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().from_cache) << "same canonical statement must hit";
+  EXPECT_EQ(second.value().rows, first.value().rows);
+  ASSERT_TRUE(client_->Commit().ok());
+  EXPECT_GT(client_->stats().cache_hits, hits_before);
+
+  // A write through the same session invalidates the cached statement: a staleness-0 reread
+  // recomputes and sees the new balance (the no-stale-read guarantee on derived tags).
+  ASSERT_TRUE(client_->BeginRW().ok());
+  auto update = session_->Execute("UPDATE accounts SET balance = 99 WHERE id = 1");
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  EXPECT_EQ(update.value().affected, 1);
+  ASSERT_TRUE(client_->Commit().ok());
+  clock_.Advance(Seconds(1));
+
+  ASSERT_TRUE(client_->BeginRO(/*staleness=*/0).ok());
+  auto third = session_->Execute(text);
+  ASSERT_TRUE(third.ok());
+  ASSERT_EQ(third.value().rows.size(), 2u);
+  EXPECT_EQ(third.value().rows[0][1].AsInt(), 99) << "stale read through a derived-tag entry";
+  ASSERT_TRUE(client_->Commit().ok());
+}
+
+TEST_F(TagDerivationTest, InsertDerivationMatchesPublishedInvalidations) {
+  ASSERT_TRUE(client_->BeginRW().ok());
+  auto r = session_->Execute("INSERT INTO accounts VALUES (7, 'gina', 55, 2)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(client_->Commit().ok());
+
+  DerivedTags derived = session_->last_derived_tags();
+  EXPECT_EQ(derived.derivation, TagDerivation::kWriteRow);
+  EXPECT_FALSE(derived.conservative());
+  // The full row is known, so derivation reproduces the engine's per-index tag set exactly.
+  TagSet expected = {
+      InvalidationTag::Concrete(kAccounts, kAccountsPk, EncodeRow(Row{Value(int64_t{7})})),
+      InvalidationTag::Concrete(kAccounts, kAccountsByOwner,
+                                EncodeRow(Row{Value(std::string("gina"))})),
+      InvalidationTag::Concrete(kAccounts, kAccountsByBranch, EncodeRow(Row{Value(int64_t{2})})),
+  };
+  EXPECT_EQ(ToSet(derived.tags), expected);
+
+  ASSERT_FALSE(sub_.messages.empty());
+  TagSet derived_set = ToSet(derived.tags);
+  for (const InvalidationTag& published : sub_.messages.back().tags) {
+    EXPECT_TRUE(Covers(derived_set, published))
+        << "commit published " << published.ToString() << " outside " << Dump(derived_set);
+  }
+}
+
+TEST_F(TagDerivationTest, UpdateAndDeleteDerivationCoversPublishedInvalidations) {
+  for (const char* text : {"UPDATE accounts SET balance = 0 WHERE owner = 'alice'",
+                           "DELETE FROM accounts WHERE id = 2"}) {
+    const size_t messages_before = sub_.messages.size();
+    ASSERT_TRUE(client_->BeginRW().ok());
+    auto r = session_->Execute(text);
+    ASSERT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+    EXPECT_GT(r.value().affected, 0) << text;
+    ASSERT_TRUE(client_->Commit().ok());
+
+    DerivedTags derived = session_->last_derived_tags();
+    EXPECT_EQ(derived.derivation, TagDerivation::kWriteTarget) << text;
+    EXPECT_TRUE(derived.conservative()) << text << ": write targets go table-wide";
+    TagSet derived_set = ToSet(derived.tags);
+    ASSERT_GT(sub_.messages.size(), messages_before) << text;
+    for (const InvalidationTag& published : sub_.messages.back().tags) {
+      EXPECT_TRUE(Covers(derived_set, published))
+          << text << ": commit published " << published.ToString() << " outside "
+          << Dump(derived_set);
+    }
+  }
+}
+
+// --- full application stacks, one per tag mode, identically seeded ---
+
+// Captures the complete tag footprint of one call site: an explicit outer frame collects
+// every tag any nested query, cache fill or cache hit propagates (§6.3 — PropagateToFrames
+// feeds all frames on the stack), so the set is mode-comparable even across nesting.
+template <typename App>
+TagSet CallSiteTags(TxCacheClient* client, App* app,
+                    const std::function<void(App&)>& call) {
+  EXPECT_TRUE(client->BeginRO().ok());
+  client->FrameBegin();
+  call(*app);
+  FrameOutcome outcome = client->FrameEnd();
+  EXPECT_TRUE(client->Commit().ok());
+  return ToSet(outcome.tags);
+}
+
+struct WikiStack {
+  ManualClock clock;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<InvalidationBus> bus;
+  std::unique_ptr<CacheServer> cache;
+  std::unique_ptr<CacheCluster> cluster;
+  std::unique_ptr<Pincushion> pincushion;
+  std::unique_ptr<TxCacheClient> client;
+  std::unique_ptr<wiki::WikiApp> app;
+
+  void Build(bool derived) {
+    db = std::make_unique<Database>(&clock);
+    bus = std::make_unique<InvalidationBus>();
+    db->set_invalidation_bus(bus.get());
+    cache = std::make_unique<CacheServer>("node", &clock);
+    bus->Subscribe(cache.get());
+    cluster = std::make_unique<CacheCluster>();
+    cluster->AddNode(cache.get());
+    pincushion = std::make_unique<Pincushion>(db.get(), &clock);
+    ASSERT_TRUE(wiki::CreateWikiSchema(db.get()).ok());
+    client = std::make_unique<TxCacheClient>(db.get(), pincushion.get(), cluster.get(), &clock);
+    app = std::make_unique<wiki::WikiApp>(client.get(), &clock);
+    if (derived) {
+      ASSERT_TRUE(app->EnableDerivedTags(db.get()).ok());
+      ASSERT_TRUE(app->derived_tags());
+    }
+    ASSERT_TRUE(client->BeginRW().ok());
+    ASSERT_TRUE(app->RegisterUser(1, "Alice").ok());
+    ASSERT_TRUE(app->RegisterUser(2, "Bob").ok());
+    ASSERT_TRUE(app->SetMessage("sidebar.main", "Main page").ok());
+    ASSERT_TRUE(app->SetMessage("footer.license", "CC BY-SA").ok());
+    ASSERT_TRUE(app->EditArticle(1, "TxCache", "A transactional cache.", "created").ok());
+    ASSERT_TRUE(app->EditArticle(2, "TxCache", "Expanded.", "edited").ok());
+    ASSERT_TRUE(app->Watch(1, /*article_id=*/1).ok());
+    ASSERT_TRUE(client->Commit().ok());
+    clock.Advance(Seconds(1));
+  }
+
+  TagSet Tags(const std::function<void(wiki::WikiApp&)>& call) {
+    return CallSiteTags<wiki::WikiApp>(client.get(), app.get(), call);
+  }
+};
+
+TEST(SqlTagEquivalence, WikiDerivedTagsCoverHandwrittenTags) {
+  WikiStack handwritten, derived;
+  handwritten.Build(false);
+  derived.Build(true);
+
+  const std::vector<std::pair<const char*, std::function<void(wiki::WikiApp&)>>> sites = {
+      {"render_article", [](wiki::WikiApp& a) { a.render_article("TxCache"); }},
+      {"render_article(missing)", [](wiki::WikiApp& a) { a.render_article("Ghost"); }},
+      {"user_card", [](wiki::WikiApp& a) { a.user_card(1); }},
+      {"article_history", [](wiki::WikiApp& a) { a.article_history("TxCache", 10); }},
+      {"watchlist", [](wiki::WikiApp& a) { a.watchlist(1, 7); }},
+      {"localization", [](wiki::WikiApp& a) { a.localization("sidebar."); }},
+  };
+  for (const auto& [name, call] : sites) {
+    ExpectDerivedEquivalent(name, handwritten.Tags(call), derived.Tags(call));
+  }
+
+  // Same data in, same pages out: tag mode must not change results.
+  auto render = [](WikiStack& s) {
+    EXPECT_TRUE(s.client->BeginRO().ok());
+    wiki::RenderedArticle page = s.app->render_article("TxCache");
+    EXPECT_TRUE(s.client->Commit().ok());
+    return page;
+  };
+  wiki::RenderedArticle a = render(handwritten), b = render(derived);
+  EXPECT_EQ(a.html, b.html);
+  EXPECT_EQ(a.revision, b.revision);
+}
+
+TEST(SqlTagEquivalence, WikiRunsEndToEndOnDerivedTags) {
+  WikiStack w;
+  w.Build(true);
+
+  ASSERT_TRUE(w.client->BeginRO().ok());
+  wiki::RenderedArticle first = w.app->render_article("TxCache");
+  ASSERT_TRUE(w.client->Commit().ok());
+  EXPECT_TRUE(first.found);
+  EXPECT_NE(first.html.find("Expanded."), std::string::npos);
+
+  // Fully cached on the second read: the derived-tag path still stores and hits.
+  const uint64_t queries = w.client->stats().db_queries;
+  ASSERT_TRUE(w.client->BeginRO().ok());
+  EXPECT_EQ(w.app->render_article("TxCache").html, first.html);
+  ASSERT_TRUE(w.client->Commit().ok());
+  EXPECT_EQ(w.client->stats().db_queries, queries) << "second render must be fully cached";
+
+  // And writes still invalidate: derived tags carry the dependency to the cache.
+  ASSERT_TRUE(w.client->BeginRW().ok());
+  ASSERT_TRUE(w.app->EditArticle(2, "TxCache", "Rewritten body.", "rewrite").ok());
+  ASSERT_TRUE(w.client->Commit().ok());
+  w.clock.Advance(Seconds(1));
+
+  ASSERT_TRUE(w.client->BeginRO(/*staleness=*/0).ok());
+  EXPECT_NE(w.app->render_article("TxCache").html.find("Rewritten body."), std::string::npos)
+      << "stale render after an edit — derived tags failed to invalidate";
+  EXPECT_EQ(w.app->user_card(2).edit_count, 2) << "Bob's second edit must be visible";
+  std::vector<std::string> watched = w.app->watchlist(1, 7);
+  EXPECT_NE(std::count(watched.begin(), watched.end(), "TxCache"), 0);
+  EXPECT_EQ(w.app->localization("sidebar.").size(), 1u);
+  ASSERT_TRUE(w.client->Commit().ok());
+}
+
+struct RubisStack {
+  ManualClock clock;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<InvalidationBus> bus;
+  std::unique_ptr<CacheServer> cache;
+  std::unique_ptr<CacheCluster> cluster;
+  std::unique_ptr<Pincushion> pincushion;
+  std::unique_ptr<rubis::RubisDataset> dataset;
+  std::unique_ptr<TxCacheClient> client;
+  std::unique_ptr<rubis::RubisApp> app;
+
+  void Build(bool derived) {
+    db = std::make_unique<Database>(&clock);
+    bus = std::make_unique<InvalidationBus>();
+    db->set_invalidation_bus(bus.get());
+    cache = std::make_unique<CacheServer>("node", &clock);
+    bus->Subscribe(cache.get());
+    cluster = std::make_unique<CacheCluster>();
+    cluster->AddNode(cache.get());
+    pincushion = std::make_unique<Pincushion>(db.get(), &clock);
+    // Small deterministic dataset: per-user/per-item row counts stay under every page limit,
+    // so the hand-written join executor probes exactly the rows the decomposed derived-mode
+    // SELECTs probe and the two tag footprints are directly comparable.
+    rubis::RubisScale scale;
+    scale.users = 30;
+    scale.active_items = 40;
+    scale.old_items = 10;
+    scale.max_bids_per_item = 3;
+    scale.description_bytes = 32;
+    auto ds = rubis::LoadRubis(db.get(), scale, &clock, /*seed=*/42);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset = std::move(ds.value());
+    client = std::make_unique<TxCacheClient>(db.get(), pincushion.get(), cluster.get(), &clock);
+    app = std::make_unique<rubis::RubisApp>(client.get(), dataset.get(), &clock);
+    if (derived) {
+      ASSERT_TRUE(app->EnableDerivedTags(db.get()).ok());
+      ASSERT_TRUE(app->derived_tags());
+    }
+    clock.Advance(Seconds(1));
+  }
+
+  TagSet Tags(const std::function<void(rubis::RubisApp&)>& call) {
+    return CallSiteTags<rubis::RubisApp>(client.get(), app.get(), call);
+  }
+};
+
+TEST(SqlTagEquivalence, RubisDerivedTagsCoverHandwrittenTags) {
+  RubisStack handwritten, derived;
+  handwritten.Build(false);
+  derived.Build(true);
+
+  const std::vector<std::pair<const char*, std::function<void(rubis::RubisApp&)>>> sites = {
+      {"get_item(active)", [](rubis::RubisApp& a) { a.get_item(0); }},
+      {"get_item(old)", [](rubis::RubisApp& a) { a.get_item(40); }},
+      {"get_item(missing)", [](rubis::RubisApp& a) { a.get_item(999'999); }},
+      {"get_user", [](rubis::RubisApp& a) { a.get_user(3); }},
+      {"auth_user", [](rubis::RubisApp& a) { a.auth_user("user_7"); }},
+      {"auth_user(missing)", [](rubis::RubisApp& a) { a.auth_user("nobody"); }},
+      {"category_items", [](rubis::RubisApp& a) { a.category_items(2, 0); }},
+      {"region_category_items", [](rubis::RubisApp& a) { a.region_category_items(3, 2, 0); }},
+      {"item_bids", [](rubis::RubisApp& a) { a.item_bids(1); }},
+      {"view_item_page", [](rubis::RubisApp& a) { a.view_item_page(1); }},
+      {"view_user_page", [](rubis::RubisApp& a) { a.view_user_page(3); }},
+      {"bid_history_page", [](rubis::RubisApp& a) { a.bid_history_page(1); }},
+      {"browse_categories_page", [](rubis::RubisApp& a) { a.browse_categories_page(); }},
+      {"browse_regions_page", [](rubis::RubisApp& a) { a.browse_regions_page(); }},
+      {"about_me_page", [](rubis::RubisApp& a) { a.about_me_page(5); }},
+  };
+  for (const auto& [name, call] : sites) {
+    ExpectDerivedEquivalent(name, handwritten.Tags(call), derived.Tags(call));
+  }
+
+  // Tag mode must not change what the pages say.
+  auto page = [](RubisStack& s, int64_t user) {
+    EXPECT_TRUE(s.client->BeginRO().ok());
+    rubis::Page p = s.app->view_user_page(user);
+    EXPECT_TRUE(s.client->Commit().ok());
+    return p.html;
+  };
+  EXPECT_EQ(page(handwritten, 3), page(derived, 3));
+}
+
+TEST(SqlTagEquivalence, RubisRunsEndToEndOnDerivedTags) {
+  RubisStack r;
+  r.Build(true);
+
+  ASSERT_TRUE(r.client->BeginRO().ok());
+  EXPECT_NE(r.app->view_item_page(1).html.find("item-1"), std::string::npos);
+  EXPECT_FALSE(r.app->about_me_page(5).html.empty());
+  EXPECT_EQ(r.app->auth_user("user_7"), 7);
+  ASSERT_TRUE(r.client->Commit().ok());
+
+  const uint64_t queries = r.client->stats().db_queries;
+  ASSERT_TRUE(r.client->BeginRO().ok());
+  r.app->view_item_page(1);
+  r.app->about_me_page(5);
+  ASSERT_TRUE(r.client->Commit().ok());
+  EXPECT_EQ(r.client->stats().db_queries, queries) << "repeat pages must be fully cached";
+
+  // A new bid invalidates through derived tags: the staleness-0 reread sees it first.
+  r.clock.Advance(Seconds(1));
+  ASSERT_TRUE(r.client->BeginRW().ok());
+  ASSERT_TRUE(r.app->StoreBid(/*user=*/2, /*item=*/1, /*amount=*/10'000.0).ok());
+  ASSERT_TRUE(r.client->Commit().ok());
+  r.clock.Advance(Seconds(1));
+
+  ASSERT_TRUE(r.client->BeginRO(/*staleness=*/0).ok());
+  std::vector<rubis::BidInfo> bids = r.app->item_bids(1);
+  ASSERT_FALSE(bids.empty());
+  EXPECT_EQ(bids.front().amount, 10'000.0) << "newest bid missing: stale derived-tag entry";
+  EXPECT_EQ(bids.front().bidder_nickname, "user_2");
+  ASSERT_TRUE(r.client->Commit().ok());
+}
+
+}  // namespace
+}  // namespace txcache::sql
